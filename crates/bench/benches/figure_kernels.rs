@@ -1,0 +1,152 @@
+//! Criterion benches — one kernel per paper figure, on instances sized so
+//! `cargo bench` finishes in minutes. The full-scale series come from the
+//! `fig*` binaries (see EXPERIMENTS.md); these benches track the *latency*
+//! of each figure's representative computation so regressions show up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaopt_core::{find_adversarial_gap, ConstrainedSet, FinderConfig, HeuristicSpec, PopMode};
+use metaopt_milp::MilpConfig;
+use metaopt_te::{demand_pinning::demand_pinning, opt::opt_max_flow, pop::random_partitions, TeInstance};
+use metaopt_topology::synth::{circulant, figure1_triangle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fig1_instance() -> TeInstance {
+    let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+    TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap()
+}
+
+fn quick_cfg() -> FinderConfig {
+    FinderConfig {
+        milp: MilpConfig {
+            max_nodes: 200,
+            ..MilpConfig::default()
+        },
+        ..FinderConfig::default()
+    }
+}
+
+/// Figure 1: DP vs OPT evaluation on the triangle.
+fn bench_fig1(c: &mut Criterion) {
+    let inst = fig1_instance();
+    let demands = vec![50.0, 100.0, 100.0];
+    c.bench_function("fig1_dp_and_opt_eval", |b| {
+        b.iter(|| {
+            let dp = demand_pinning(&inst, &demands, 50.0).unwrap();
+            let opt = opt_max_flow(&inst, &demands).unwrap();
+            std::hint::black_box(opt.total_flow - dp.total_flow)
+        })
+    });
+}
+
+/// Figure 2: the rectangle KKT feasibility solve (see examples/quickstart).
+fn bench_fig2(c: &mut Criterion) {
+    use metaopt_model::{kkt, InnerProblem, LinExpr, Model, ObjSense, Sense};
+    c.bench_function("fig2_rectangle_kkt_solve", |b| {
+        b.iter(|| {
+            let mut m = Model::new();
+            let p = m.add_var("P", 8.0, 8.0).unwrap();
+            let mut inner = InnerProblem::new("rect");
+            let w = inner
+                .add_var(&mut m, "w", f64::NEG_INFINITY, f64::INFINITY)
+                .unwrap();
+            let l = inner
+                .add_var(&mut m, "l", f64::NEG_INFINITY, f64::INFINITY)
+                .unwrap();
+            inner
+                .constrain(LinExpr::from(p) - 2.0 * w - 2.0 * l, Sense::Le)
+                .unwrap();
+            inner.set_objective(ObjSense::Min, LinExpr::zero());
+            inner.add_quadratic(w, 1.0);
+            inner.add_quadratic(l, 1.0);
+            kkt::append_kkt(&mut m, &inner, 1e3).unwrap();
+            let sol = metaopt_milp::solve(&m, &MilpConfig::default()).unwrap();
+            std::hint::black_box(sol.values)
+        })
+    });
+}
+
+/// Figure 3 kernel: one white-box search on the triangle (node-capped).
+fn bench_fig3(c: &mut Criterion) {
+    let inst = fig1_instance();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    c.bench_function("fig3_whitebox_triangle", |b| {
+        b.iter(|| {
+            let r = find_adversarial_gap(
+                &inst,
+                &spec,
+                &ConstrainedSet::unconstrained(),
+                &quick_cfg(),
+            )
+            .unwrap();
+            std::hint::black_box(r.verified_gap)
+        })
+    });
+}
+
+/// Figure 4 kernel: DP gap on a small circle topology (node-capped).
+fn bench_fig4(c: &mut Criterion) {
+    let inst = TeInstance::all_pairs(circulant(6, 1, 100.0), 2).unwrap();
+    let spec = HeuristicSpec::DemandPinning { threshold: 5.0 };
+    c.bench_function("fig4_whitebox_circle6", |b| {
+        b.iter(|| {
+            let r = find_adversarial_gap(
+                &inst,
+                &spec,
+                &ConstrainedSet::unconstrained(),
+                &quick_cfg(),
+            )
+            .unwrap();
+            std::hint::black_box(r.verified_gap)
+        })
+    });
+}
+
+/// Figure 5 kernel: POP white-box search on a small circle (node-capped).
+fn bench_fig5(c: &mut Criterion) {
+    let inst = TeInstance::all_pairs(circulant(6, 1, 100.0), 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let partitions = random_partitions(inst.n_pairs(), 2, 2, &mut rng);
+    let spec = HeuristicSpec::Pop {
+        partitions,
+        mode: PopMode::Average,
+    };
+    c.bench_function("fig5_whitebox_pop_circle6", |b| {
+        b.iter(|| {
+            let r = find_adversarial_gap(
+                &inst,
+                &spec,
+                &ConstrainedSet::unconstrained(),
+                &quick_cfg(),
+            )
+            .unwrap();
+            std::hint::black_box(r.verified_gap)
+        })
+    });
+}
+
+/// Figure 6 kernel: building + compiling the metaopt model (size study).
+fn bench_fig6(c: &mut Criterion) {
+    let inst = TeInstance::all_pairs(circulant(8, 2, 1000.0), 2).unwrap();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let cfg = FinderConfig::default();
+    c.bench_function("fig6_model_build_and_stats", |b| {
+        b.iter(|| {
+            let am = metaopt_core::finder::build_adversarial_model(
+                &inst,
+                &spec,
+                &ConstrainedSet::unconstrained(),
+                &cfg,
+            )
+            .unwrap();
+            std::hint::black_box(am.stats())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6
+}
+criterion_main!(benches);

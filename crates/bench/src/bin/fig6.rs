@@ -1,0 +1,116 @@
+//! Figure 6 — Problem sizes (#linear constraints, #SOS constraints,
+//! #variables) and single-thread latency on B4: the metaoptimizations
+//! (DP + OPT, POP + OPT) versus the plain heuristic/optimal problems.
+//!
+//! Paper's qualitative claims to check: the metaoptimization is a constant
+//! factor larger in size but *disproportionately* slower — the latency is
+//! driven by the SOS (complementarity) constraints the KKT rewrite adds,
+//! not by the raw size.
+
+use metaopt_bench::{budget_secs, f, CsvOut};
+use metaopt_core::finder::build_adversarial_model;
+use metaopt_core::{find_adversarial_gap, ConstrainedSet, FinderConfig, HeuristicSpec, PopMode};
+use metaopt_lp::Simplex;
+use metaopt_model::compile::compile;
+use metaopt_te::{flow::opt_max_flow_lp, pop::random_partitions, TeInstance};
+use metaopt_topology::builtin;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let budget = budget_secs();
+    let topo = builtin::b4(1000.0);
+    let inst = TeInstance::all_pairs(topo, 2).unwrap();
+    println!(
+        "Figure 6: problem sizes and single-thread latency on B4 ({} pairs, 2 paths), metaopt budget {budget}s",
+        inst.n_pairs()
+    );
+    let mut csv = CsvOut::new(
+        "fig6_sizes",
+        &["problem", "vars", "linear", "sos", "binaries", "latency_s"],
+    );
+
+    // Plain OPT: one LP solve on representative demands.
+    let demands = vec![500.0; inst.n_pairs()];
+    let (lp, _) = opt_max_flow_lp(&inst, &demands).unwrap();
+    let t = Instant::now();
+    Simplex::new(&lp).solve().unwrap();
+    csv.row([
+        "OPT (LP)".into(),
+        lp.n_vars().to_string(),
+        lp.n_rows().to_string(),
+        "0".into(),
+        "0".into(),
+        f(t.elapsed().as_secs_f64()),
+    ]);
+
+    // Plain DP: pin + residual LP (evaluator).
+    let t = Instant::now();
+    metaopt_te::demand_pinning::demand_pinning(&inst, &demands, 50.0).unwrap();
+    csv.row([
+        "DP (heuristic)".into(),
+        lp.n_vars().to_string(),
+        lp.n_rows().to_string(),
+        "0".into(),
+        "0".into(),
+        f(t.elapsed().as_secs_f64()),
+    ]);
+
+    // Plain POP: per-partition LPs.
+    let mut rng = StdRng::seed_from_u64(3);
+    let parts = random_partitions(inst.n_pairs(), 2, 1, &mut rng);
+    let t = Instant::now();
+    metaopt_te::pop::pop_max_flow(&inst, &demands, &parts[0]).unwrap();
+    csv.row([
+        "POP (heuristic)".into(),
+        lp.n_vars().to_string(),
+        lp.n_rows().to_string(),
+        "0".into(),
+        "0".into(),
+        f(t.elapsed().as_secs_f64()),
+    ]);
+
+    // Metaopt DP + OPT.
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let cfg = FinderConfig::budgeted(budget);
+    let am = build_adversarial_model(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg).unwrap();
+    let cm = compile(&am.model).unwrap();
+    let t = Instant::now();
+    let r = find_adversarial_gap(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg).unwrap();
+    csv.row([
+        "metaopt DP+OPT".into(),
+        cm.stats.n_vars.to_string(),
+        cm.stats.n_linear.to_string(),
+        cm.stats.n_sos.to_string(),
+        cm.stats.n_binary.to_string(),
+        f(t.elapsed().as_secs_f64()),
+    ]);
+    println!("  metaopt DP+OPT: gap {:.1} ({:?})", r.verified_gap, r.status);
+
+    // Metaopt POP + OPT (2 partitions, 3 instantiations).
+    let mut rng = StdRng::seed_from_u64(9);
+    let partitions = random_partitions(inst.n_pairs(), 2, 3, &mut rng);
+    let spec = HeuristicSpec::Pop {
+        partitions,
+        mode: PopMode::Average,
+    };
+    let am = build_adversarial_model(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg).unwrap();
+    let cm = compile(&am.model).unwrap();
+    let t = Instant::now();
+    let r = find_adversarial_gap(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg).unwrap();
+    csv.row([
+        "metaopt POP+OPT".into(),
+        cm.stats.n_vars.to_string(),
+        cm.stats.n_linear.to_string(),
+        cm.stats.n_sos.to_string(),
+        cm.stats.n_binary.to_string(),
+        f(t.elapsed().as_secs_f64()),
+    ]);
+    println!("  metaopt POP+OPT: gap {:.1} ({:?})", r.verified_gap, r.status);
+
+    println!();
+    csv.print();
+    let path = csv.flush().unwrap();
+    println!("\nseries written to {}", path.display());
+}

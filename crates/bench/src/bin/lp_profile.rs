@@ -1,0 +1,19 @@
+use metaopt_core::finder::build_adversarial_model;
+use metaopt_core::{ConstrainedSet, FinderConfig, HeuristicSpec};
+use metaopt_model::compile::compile;
+use metaopt_lp::Simplex;
+use metaopt_te::TeInstance;
+use metaopt_topology::builtin;
+use std::time::Instant;
+
+fn main() {
+    let inst = TeInstance::all_pairs(builtin::b4(1000.0), 2).unwrap();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let am = build_adversarial_model(&inst, &spec, &ConstrainedSet::unconstrained(), &FinderConfig::default()).unwrap();
+    let cm = compile(&am.model).unwrap();
+    println!("lp: {} vars {} rows {} nnz", cm.lp.n_vars(), cm.lp.n_rows(), cm.lp.nnz());
+    let t = Instant::now();
+    let mut sx = Simplex::new(&cm.lp);
+    let sol = sx.solve().unwrap();
+    println!("root solve: {:?} iters={} status={:?} obj={}", t.elapsed(), sol.iterations, sol.status, sol.objective);
+}

@@ -1,0 +1,69 @@
+//! Zero-mean Gaussian sampling via the Box–Muller transform.
+//!
+//! The `rand` crate's core distribution set has no normal distribution
+//! (that lives in `rand_distr`); the two-line Box–Muller transform keeps
+//! the dependency surface minimal (see DESIGN.md).
+
+use rand::Rng;
+
+/// Samples `N(0, σ²)` deviates, caching the second Box–Muller output.
+#[derive(Debug, Clone)]
+pub struct GaussianSampler {
+    sigma: f64,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler with standard deviation `sigma`.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0);
+        GaussianSampler { sigma, spare: None }
+    }
+
+    /// Standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one `N(0, σ²)` sample.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s * self.sigma;
+        }
+        // Box–Muller: u1 ∈ (0, 1], u2 ∈ [0, 1).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos() * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = GaussianSampler::new(2.0);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_degenerate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = GaussianSampler::new(0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 0.0);
+        }
+    }
+}

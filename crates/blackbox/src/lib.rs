@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # metaopt-blackbox
+//!
+//! The black-box baselines of §3.4: local search over demand vectors using
+//! only gap *evaluations* (no knowledge of the heuristic's structure).
+//!
+//! * [`hill_climb`] — Algorithm 1 of the paper: Gaussian neighborhood
+//!   moves (`σ` = 10% of link capacity), patience `K` = 100, restarted
+//!   from fresh random demands until the time budget runs out,
+//! * [`simulated_annealing`] — the annealed variant (`t₀` = 500,
+//!   `γ` = 0.1, `K_p` = 100) that accepts downhill moves with probability
+//!   `exp(Δgap / t_p)`,
+//! * [`random_search`] — uniform sampling, the weakest baseline.
+//!
+//! All searches record a best-gap-vs-time trajectory so Figure 3 can plot
+//! quality against latency for every method.
+
+mod gaussian;
+mod search;
+
+pub use search::{
+    hill_climb, random_search, simulated_annealing, SearchConfig, SearchOutcome,
+};
+
+pub use gaussian::GaussianSampler;

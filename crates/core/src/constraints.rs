@@ -1,0 +1,454 @@
+//! `ConstrainedSet` — realistic constraints on adversarial inputs (§3.3).
+//!
+//! The paper names two classes:
+//!
+//! * **Bounded distance from a goalpost**: demands stay within an absolute
+//!   or relative distance of (possibly partially specified) reference
+//!   demands, e.g. historically observed traffic.
+//! * **Intra-input constraints**: linear relations among the demands
+//!   themselves, e.g. every demand within a band around the mean demand.
+//!
+//! §5 additionally suggests *diverse* bad inputs found by "iteratively
+//! removing the previously-found inputs from the search space"; this is the
+//! [`ConstrainedSet::exclude`] L∞ exclusion ball, encoded with indicator
+//! binaries.
+
+use crate::{CoreError, CoreResult};
+use metaopt_model::{bigm, LinExpr, Model, Sense, VarRef};
+
+/// Distance measure for goalpost constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distance {
+    /// `|d_k − g_k| <= dist` in absolute volume units.
+    Absolute(f64),
+    /// `|d_k − g_k| <= frac · g_k` relative to the goalpost itself.
+    RelativeFraction(f64),
+}
+
+/// A goalpost: per-pair reference volumes (`None` = unconstrained pair)
+/// plus an allowed distance.
+#[derive(Debug, Clone)]
+pub struct Goalpost {
+    /// Reference volume per pair (`None` leaves the pair unconstrained —
+    /// "the goalpost may be partially specified").
+    pub target: Vec<Option<f64>>,
+    /// Allowed distance from the reference.
+    pub distance: Distance,
+}
+
+/// A linear intra-input constraint `Σ coeffs_k · d_k SENSE rhs`.
+#[derive(Debug, Clone)]
+pub struct LinearDemandConstraint {
+    /// Sparse coefficients `(pair index, coefficient)`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relational sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// The constrained input space of Eq. 1.
+#[derive(Debug, Clone, Default)]
+pub struct ConstrainedSet {
+    /// Upper bound per demand volume (default: the instance's largest link
+    /// capacity — larger volumes cannot increase carried flow).
+    pub d_max: Option<f64>,
+    /// Goalpost constraints.
+    pub goalposts: Vec<Goalpost>,
+    /// Intra-input linear constraints.
+    pub intra: Vec<LinearDemandConstraint>,
+    /// Excluded L∞ balls `(center, radius)`: the input must differ from
+    /// each center by at least `radius` in some coordinate.
+    pub excluded: Vec<(Vec<f64>, f64)>,
+    /// Optional demand quantization grid: when set, every demand must take
+    /// one of these values (§5: "constraining or quantizing the space of
+    /// inputs can speed up the search without sacrificing quality").
+    pub quantize_levels: Option<Vec<f64>>,
+}
+
+impl ConstrainedSet {
+    /// The unconstrained space (box only).
+    pub fn unconstrained() -> Self {
+        ConstrainedSet::default()
+    }
+
+    /// Sets the per-demand upper bound.
+    pub fn with_d_max(mut self, d_max: f64) -> Self {
+        self.d_max = Some(d_max);
+        self
+    }
+
+    /// Adds a fully-specified goalpost.
+    pub fn near(mut self, reference: &[f64], distance: Distance) -> Self {
+        self.goalposts.push(Goalpost {
+            target: reference.iter().map(|&v| Some(v)).collect(),
+            distance,
+        });
+        self
+    }
+
+    /// Adds a partially-specified goalpost.
+    pub fn near_partial(mut self, reference: Vec<Option<f64>>, distance: Distance) -> Self {
+        self.goalposts.push(Goalpost {
+            target: reference,
+            distance,
+        });
+        self
+    }
+
+    /// Intra-input constraint: every demand within `band` of the mean
+    /// demand (`|d_k − mean(d)| <= band`), the paper's worked example.
+    pub fn within_band_of_mean(mut self, n_pairs: usize, band: f64) -> Self {
+        let inv = 1.0 / n_pairs as f64;
+        for k in 0..n_pairs {
+            // d_k − Σ_j d_j / n <= band
+            let mut coeffs: Vec<(usize, f64)> = (0..n_pairs).map(|j| (j, -inv)).collect();
+            coeffs[k].1 += 1.0;
+            self.intra.push(LinearDemandConstraint {
+                coeffs: coeffs.clone(),
+                sense: Sense::Le,
+                rhs: band,
+            });
+            // mean − d_k <= band  ⇔  −(d_k − mean) <= band
+            let neg: Vec<(usize, f64)> = coeffs.iter().map(|&(j, c)| (j, -c)).collect();
+            self.intra.push(LinearDemandConstraint {
+                coeffs: neg,
+                sense: Sense::Le,
+                rhs: band,
+            });
+        }
+        self
+    }
+
+    /// Adds a raw linear intra-input constraint.
+    pub fn with_linear(mut self, c: LinearDemandConstraint) -> Self {
+        self.intra.push(c);
+        self
+    }
+
+    /// Excludes an L∞ ball around a previously found input (diverse-input
+    /// search, §5).
+    pub fn exclude(mut self, center: Vec<f64>, radius: f64) -> Self {
+        self.excluded.push((center, radius));
+        self
+    }
+
+    /// Restricts every demand to the given value grid (§5's quantization
+    /// speedup). For a broad class of heuristics, the worst gaps occur at
+    /// extremum points, so a small grid such as `{0, T_d, d_max}` loses
+    /// little quality while letting branch-and-bound close bounds far
+    /// faster. Levels must be nonnegative and finite.
+    pub fn quantized(mut self, levels: Vec<f64>) -> Self {
+        self.quantize_levels = Some(levels);
+        self
+    }
+
+    /// Hose-model constraints ([3, 28] in the paper): per-node bounds on
+    /// total egress and ingress demand. `pairs[k]` gives `(src, dst)` node
+    /// indices of demand `k`; `egress[u]`/`ingress[u]` bound node `u`'s
+    /// totals (infinite = unconstrained).
+    pub fn hose(
+        mut self,
+        pairs: &[(usize, usize)],
+        egress: &[f64],
+        ingress: &[f64],
+    ) -> Self {
+        let n_nodes = egress.len().max(ingress.len());
+        for u in 0..n_nodes {
+            let out_cap = egress.get(u).copied().unwrap_or(f64::INFINITY);
+            if out_cap.is_finite() {
+                let coeffs: Vec<(usize, f64)> = pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(s, _))| s == u)
+                    .map(|(k, _)| (k, 1.0))
+                    .collect();
+                if !coeffs.is_empty() {
+                    self.intra.push(LinearDemandConstraint {
+                        coeffs,
+                        sense: Sense::Le,
+                        rhs: out_cap,
+                    });
+                }
+            }
+            let in_cap = ingress.get(u).copied().unwrap_or(f64::INFINITY);
+            if in_cap.is_finite() {
+                let coeffs: Vec<(usize, f64)> = pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(_, t))| t == u)
+                    .map(|(k, _)| (k, 1.0))
+                    .collect();
+                if !coeffs.is_empty() {
+                    self.intra.push(LinearDemandConstraint {
+                        coeffs,
+                        sense: Sense::Le,
+                        rhs: in_cap,
+                    });
+                }
+            }
+        }
+        self
+    }
+
+    /// Emits all constraints onto `model` for demand variables `d`.
+    /// `d_hi` is the resolved per-demand upper bound.
+    pub fn apply(
+        &self,
+        model: &mut Model,
+        d: &[VarRef],
+        d_hi: f64,
+    ) -> CoreResult<()> {
+        for (gi, gp) in self.goalposts.iter().enumerate() {
+            if gp.target.len() != d.len() {
+                return Err(CoreError::Config(format!(
+                    "goalpost {gi} has {} entries for {} pairs",
+                    gp.target.len(),
+                    d.len()
+                )));
+            }
+            for (k, tgt) in gp.target.iter().enumerate() {
+                let Some(g) = tgt else { continue };
+                let dist = match gp.distance {
+                    Distance::Absolute(a) => a,
+                    Distance::RelativeFraction(f) => f * g,
+                };
+                if dist < 0.0 || !dist.is_finite() {
+                    return Err(CoreError::Config(format!(
+                        "goalpost {gi} pair {k}: bad distance {dist}"
+                    )));
+                }
+                model.constrain_named(
+                    format!("goal[{gi}][{k}]::hi"),
+                    LinExpr::from(d[k]),
+                    Sense::Le,
+                    g + dist,
+                )?;
+                model.constrain_named(
+                    format!("goal[{gi}][{k}]::lo"),
+                    LinExpr::from(d[k]),
+                    Sense::Ge,
+                    (g - dist).max(0.0),
+                )?;
+            }
+        }
+        for (ci, c) in self.intra.iter().enumerate() {
+            let mut e = LinExpr::zero();
+            for &(k, coef) in &c.coeffs {
+                if k >= d.len() {
+                    return Err(CoreError::Config(format!(
+                        "intra constraint {ci} references pair {k} of {}",
+                        d.len()
+                    )));
+                }
+                e.add_term(d[k], coef);
+            }
+            model.constrain_named(format!("intra[{ci}]"), e, c.sense, c.rhs)?;
+        }
+        for (xi, (center, radius)) in self.excluded.iter().enumerate() {
+            if center.len() != d.len() {
+                return Err(CoreError::Config(format!(
+                    "exclusion {xi} has {} entries for {} pairs",
+                    center.len(),
+                    d.len()
+                )));
+            }
+            if *radius <= 0.0 {
+                return Err(CoreError::Config(format!(
+                    "exclusion {xi}: radius must be positive"
+                )));
+            }
+            // At least one coordinate deviates by >= radius. Indicators:
+            // up_k = 1 ⇒ d_k >= c_k + r;  dn_k = 1 ⇒ d_k <= c_k − r.
+            let mut any = LinExpr::zero();
+            for k in 0..d.len() {
+                if center[k] + radius <= d_hi {
+                    let up = model.add_binary(format!("excl[{xi}]::up[{k}]"))?;
+                    // up = 1 ⇒ c_k + r − d_k <= 0.
+                    bigm::indicator_le(
+                        model,
+                        &format!("excl[{xi}]::up[{k}]"),
+                        up,
+                        LinExpr::constant(center[k] + radius) - d[k],
+                        center[k] + radius,
+                    )?;
+                    any.add_term(up, 1.0);
+                }
+                if center[k] - radius >= 0.0 {
+                    let dn = model.add_binary(format!("excl[{xi}]::dn[{k}]"))?;
+                    // dn = 1 ⇒ d_k − (c_k − r) <= 0.
+                    bigm::indicator_le(
+                        model,
+                        &format!("excl[{xi}]::dn[{k}]"),
+                        dn,
+                        LinExpr::from(d[k]) - (center[k] - radius),
+                        d_hi - (center[k] - radius),
+                    )?;
+                    any.add_term(dn, 1.0);
+                }
+            }
+            if any.is_constant() {
+                return Err(CoreError::Config(format!(
+                    "exclusion {xi}: radius {radius} leaves no reachable deviation"
+                )));
+            }
+            model.constrain_named(format!("excl[{xi}]::any"), any, Sense::Ge, 1.0)?;
+        }
+        if let Some(levels) = &self.quantize_levels {
+            if levels.is_empty() {
+                return Err(CoreError::Config("empty quantization grid".into()));
+            }
+            for (li, l) in levels.iter().enumerate() {
+                if !l.is_finite() || *l < 0.0 || *l > d_hi + 1e-9 {
+                    return Err(CoreError::Config(format!(
+                        "quantization level {li} = {l} outside [0, {d_hi}]"
+                    )));
+                }
+            }
+            for (k, &dk) in d.iter().enumerate() {
+                // d_k = Σ_i level_i · z_{k,i},  Σ_i z_{k,i} = 1.
+                let mut pick = LinExpr::zero();
+                let mut value = LinExpr::from(dk);
+                for (li, &l) in levels.iter().enumerate() {
+                    let z = model.add_binary(format!("quant[{k}][{li}]"))?;
+                    pick.add_term(z, 1.0);
+                    value.add_term(z, -l);
+                }
+                model.constrain_named(format!("quant[{k}]::one"), pick, Sense::Eq, 1.0)?;
+                model.constrain_named(format!("quant[{k}]::val"), value, Sense::Eq, 0.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a concrete demand vector against this set (used to vet
+    /// incumbent-callback candidates). Linear/goalpost violations beyond
+    /// `tol` or landing inside an exclusion ball fail the check.
+    pub fn contains(&self, demands: &[f64], tol: f64) -> bool {
+        for gp in &self.goalposts {
+            for (k, tgt) in gp.target.iter().enumerate() {
+                let Some(g) = tgt else { continue };
+                let dist = match gp.distance {
+                    Distance::Absolute(a) => a,
+                    Distance::RelativeFraction(f) => f * g,
+                };
+                if (demands[k] - g).abs() > dist + tol {
+                    return false;
+                }
+            }
+        }
+        for c in &self.intra {
+            let v: f64 = c.coeffs.iter().map(|&(k, co)| co * demands[k]).sum();
+            let ok = match c.sense {
+                Sense::Le => v <= c.rhs + tol,
+                Sense::Ge => v >= c.rhs - tol,
+                Sense::Eq => (v - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for (center, radius) in &self.excluded {
+            let linf = demands
+                .iter()
+                .zip(center)
+                .map(|(d, c)| (d - c).abs())
+                .fold(0.0, f64::max);
+            if linf < radius - tol {
+                return false;
+            }
+        }
+        if let Some(levels) = &self.quantize_levels {
+            for &d in demands {
+                if !levels.iter().any(|&l| (d - l).abs() <= tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_model::Model;
+
+    fn demand_vars(m: &mut Model, n: usize, hi: f64) -> Vec<VarRef> {
+        (0..n)
+            .map(|k| m.add_var(format!("d{k}"), 0.0, hi).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn goalpost_bounds_apply() {
+        let mut m = Model::new();
+        let d = demand_vars(&mut m, 2, 100.0);
+        let cs = ConstrainedSet::unconstrained().near(&[50.0, 20.0], Distance::Absolute(5.0));
+        cs.apply(&mut m, &d, 100.0).unwrap();
+        assert!(m.violation(&[53.0, 18.0], 1e-9) <= 1e-9);
+        assert!(m.violation(&[60.0, 20.0], 1e-9) > 1.0);
+        assert!(cs.contains(&[53.0, 18.0], 1e-9));
+        assert!(!cs.contains(&[60.0, 20.0], 1e-9));
+    }
+
+    #[test]
+    fn partial_goalpost_leaves_pairs_free() {
+        let mut m = Model::new();
+        let d = demand_vars(&mut m, 2, 100.0);
+        let cs = ConstrainedSet::unconstrained()
+            .near_partial(vec![Some(10.0), None], Distance::RelativeFraction(0.1));
+        cs.apply(&mut m, &d, 100.0).unwrap();
+        assert!(m.violation(&[10.5, 95.0], 1e-9) <= 1e-9);
+        assert!(m.violation(&[12.0, 0.0], 1e-9) > 0.5);
+    }
+
+    #[test]
+    fn band_around_mean() {
+        let cs = ConstrainedSet::unconstrained().within_band_of_mean(3, 10.0);
+        assert!(cs.contains(&[20.0, 25.0, 30.0], 1e-9));
+        assert!(!cs.contains(&[0.0, 0.0, 40.0], 1e-9)); // 40 vs mean 13.3
+        let mut m = Model::new();
+        let d = demand_vars(&mut m, 3, 100.0);
+        cs.apply(&mut m, &d, 100.0).unwrap();
+        assert!(m.violation(&[20.0, 25.0, 30.0], 1e-9) <= 1e-6);
+        assert!(m.violation(&[0.0, 0.0, 40.0], 1e-9) > 1.0);
+    }
+
+    #[test]
+    fn exclusion_ball_requires_deviation() {
+        let cs = ConstrainedSet::unconstrained().exclude(vec![50.0, 50.0], 10.0);
+        assert!(!cs.contains(&[55.0, 45.0], 1e-9)); // inside the ball
+        assert!(cs.contains(&[65.0, 50.0], 1e-9)); // one coord deviates 15
+        // Model form: a point inside the ball admits no valid indicator
+        // assignment (the `any >= 1` row cannot be satisfied).
+        let mut m = Model::new();
+        let d = demand_vars(&mut m, 2, 100.0);
+        cs.apply(&mut m, &d, 100.0).unwrap();
+        // Enumerate all 16 indicator assignments at an inside point.
+        let n = m.n_vars();
+        let mut ok = false;
+        for mask in 0..16u32 {
+            let mut vals = vec![0.0; n];
+            vals[d[0].0] = 55.0;
+            vals[d[1].0] = 45.0;
+            for b in 0..4 {
+                vals[2 + b] = (mask >> b & 1) as f64;
+            }
+            if m.violation(&vals, 1e-9) <= 1e-9 {
+                ok = true;
+            }
+        }
+        assert!(!ok, "inside-ball point should be infeasible");
+    }
+
+    #[test]
+    fn config_errors_detected() {
+        let mut m = Model::new();
+        let d = demand_vars(&mut m, 2, 100.0);
+        let bad = ConstrainedSet::unconstrained().near(&[1.0], Distance::Absolute(1.0));
+        assert!(bad.apply(&mut m, &d, 100.0).is_err());
+        let bad2 = ConstrainedSet::unconstrained().exclude(vec![0.0, 0.0], -1.0);
+        assert!(bad2.apply(&mut m, &d, 100.0).is_err());
+    }
+}

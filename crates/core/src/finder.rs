@@ -1,0 +1,532 @@
+//! The single-shot adversarial gap finder (Eq. 1, §3.1).
+
+use crate::constraints::ConstrainedSet;
+use crate::encode_dp::encode_dp;
+use crate::encode_opt::encode_opt;
+use crate::encode_pop::{encode_pop, PopMode};
+use crate::result::GapResult;
+use crate::{CoreError, CoreResult};
+use metaopt_milp::{solve, solve_with_callback, IncumbentCallback, MilpConfig};
+use metaopt_model::{LinExpr, Model, ModelStats, ObjSense, VarRef};
+use metaopt_te::pop::Partition;
+use metaopt_te::{opt::opt_max_flow, TeInstance};
+use std::time::Instant;
+
+/// How the inner OPT problem is encoded (see [`crate::encode_opt`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptEncoding {
+    /// Full KKT rewrite — the paper's method (§3.1).
+    Kkt,
+    /// Primal feasibility only — sound for the positively-signed inner max;
+    /// halves the complementarity count (ablation; cf. §5 "alternative
+    /// rewrites").
+    PrimalOnly,
+}
+
+/// The heuristic under analysis, in encodable form.
+#[derive(Debug, Clone)]
+pub enum HeuristicSpec {
+    /// Demand Pinning with threshold `T_d` (Eq. 4).
+    DemandPinning {
+        /// Pin threshold in absolute volume units.
+        threshold: f64,
+    },
+    /// POP over fixed partition instantiations (Eq. 6).
+    Pop {
+        /// The (pre-drawn) random partitions.
+        partitions: Vec<Partition>,
+        /// Average or tail-statistic summarization (§3.2).
+        mode: PopMode,
+    },
+}
+
+impl HeuristicSpec {
+    /// Evaluates the *real* heuristic on concrete demands, exactly as the
+    /// encoding models it. Returns `None` for inputs outside the heuristic's
+    /// domain (DP-infeasible pinning, §5).
+    pub fn evaluate(&self, inst: &TeInstance, demands: &[f64]) -> CoreResult<Option<f64>> {
+        match self {
+            HeuristicSpec::DemandPinning { threshold } => {
+                let out = metaopt_te::demand_pinning::demand_pinning(inst, demands, *threshold)?;
+                Ok(out.feasible.then_some(out.total_flow))
+            }
+            HeuristicSpec::Pop { partitions, mode } => {
+                let mut totals = Vec::with_capacity(partitions.len());
+                for p in partitions {
+                    totals.push(metaopt_te::pop::pop_max_flow(inst, demands, p)?.total_flow);
+                }
+                Ok(Some(match mode {
+                    PopMode::Average => totals.iter().sum::<f64>() / totals.len() as f64,
+                    PopMode::TailWorst { rank } => {
+                        let mut s = totals.clone();
+                        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        s[*rank]
+                    }
+                }))
+            }
+        }
+    }
+
+    /// Display label for experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            HeuristicSpec::DemandPinning { threshold } => format!("DP(T={threshold})"),
+            HeuristicSpec::Pop { partitions, mode } => format!(
+                "POP(parts={}, inst={}, {:?})",
+                partitions.first().map_or(0, |p| p.n_parts),
+                partitions.len(),
+                mode
+            ),
+        }
+    }
+}
+
+/// Finder configuration.
+#[derive(Debug, Clone)]
+pub struct FinderConfig {
+    /// OPT encoding choice (default: paper-faithful KKT).
+    pub opt_encoding: OptEncoding,
+    /// Branch-and-bound budget/stop configuration.
+    pub milp: MilpConfig,
+    /// Whether to run the candidate-evaluation incumbent callback (strongly
+    /// recommended; it is how good solutions appear early).
+    pub use_incumbent_callback: bool,
+    /// DP's threshold exclusion half-width ε (absolute units).
+    pub epsilon: f64,
+    /// Upper bound for KKT multipliers (∞ is always sound; finite values
+    /// can speed up branching but risk cutting the true multipliers).
+    pub dual_bound: f64,
+    /// Budget (true-gap evaluations) of the callback's coordinate-
+    /// improvement sweep at each consulted node.
+    pub callback_evals_per_node: usize,
+}
+
+impl Default for FinderConfig {
+    fn default() -> Self {
+        FinderConfig {
+            opt_encoding: OptEncoding::Kkt,
+            milp: MilpConfig::default(),
+            use_incumbent_callback: true,
+            epsilon: 1e-3,
+            dual_bound: f64::INFINITY,
+            callback_evals_per_node: 16,
+        }
+    }
+}
+
+impl FinderConfig {
+    /// Convenience: paper-faithful encoding with a wall-clock budget and
+    /// the §3.3 stall rule.
+    pub fn budgeted(seconds: f64) -> Self {
+        FinderConfig {
+            milp: MilpConfig {
+                time_limit: Some(std::time::Duration::from_secs_f64(seconds)),
+                stall_window: Some(std::time::Duration::from_secs_f64(
+                    (seconds / 3.0).max(1.0),
+                )),
+                ..MilpConfig::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The assembled single-shot model plus handles into it.
+#[derive(Debug, Clone)]
+pub struct AdversarialModel {
+    /// The combined model (outer vars + KKT systems + objective).
+    pub model: Model,
+    /// Demand variable per pair.
+    pub d: Vec<VarRef>,
+    /// OPT's total-flow expression.
+    pub opt_total: LinExpr,
+    /// The heuristic's (deterministic) value expression.
+    pub heu_value: LinExpr,
+    /// Demand upper bound used.
+    pub d_hi: f64,
+}
+
+impl AdversarialModel {
+    /// Figure-6 style size statistics of the single-shot program.
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            n_vars: self.model.n_vars() + self.model.n_complementarities(),
+            n_linear: self.model.n_constraints() + self.model.n_complementarities(),
+            n_sos: self.model.n_complementarities(),
+            n_binary: (0..self.model.n_vars())
+                .filter(|&i| self.model.var_kind(VarRef(i)) == metaopt_model::VarKind::Binary)
+                .count(),
+        }
+    }
+}
+
+/// Builds the single-shot adversarial program without solving it (used by
+/// the Figure-6 size study and by callers that want custom solving).
+pub fn build_adversarial_model(
+    inst: &TeInstance,
+    spec: &HeuristicSpec,
+    constraints: &ConstrainedSet,
+    cfg: &FinderConfig,
+) -> CoreResult<AdversarialModel> {
+    let d_hi = constraints.d_max.unwrap_or_else(|| inst.demand_cap());
+    if !(d_hi > 0.0) {
+        return Err(CoreError::Config(format!("bad demand bound {d_hi}")));
+    }
+    let mut model = Model::new();
+    let d: Vec<VarRef> = (0..inst.n_pairs())
+        .map(|k| model.add_var(format!("d[{k}]"), 0.0, d_hi))
+        .collect::<Result<_, _>>()?;
+    constraints.apply(&mut model, &d, d_hi)?;
+
+    let opt = encode_opt(&mut model, inst, &d, cfg.opt_encoding, cfg.dual_bound)?;
+    let heu_value = match spec {
+        HeuristicSpec::DemandPinning { threshold } => {
+            let enc = encode_dp(
+                &mut model,
+                inst,
+                &d,
+                *threshold,
+                d_hi,
+                cfg.epsilon,
+                cfg.dual_bound,
+            )?;
+            enc.total_flow
+        }
+        HeuristicSpec::Pop { partitions, mode } => {
+            let enc = encode_pop(&mut model, inst, &d, partitions, *mode, cfg.dual_bound)?;
+            enc.heuristic_value
+        }
+    };
+
+    let mut objective = opt.total_flow.clone();
+    objective -= heu_value.clone();
+    model.set_objective(ObjSense::Max, objective)?;
+
+    Ok(AdversarialModel {
+        model,
+        d,
+        opt_total: opt.total_flow,
+        heu_value,
+        d_hi,
+    })
+}
+
+/// Incumbent callback: evaluate candidate demands with the *real* OPT and
+/// heuristic, yielding a certified feasible gap — the domain-specific
+/// primal heuristic that makes good solutions appear early (the role
+/// Gurobi's internal MIP heuristics play in the paper's setup; documented
+/// in DESIGN.md).
+///
+/// Three candidate sources, all vetted against the constrained set and the
+/// real evaluators:
+///
+/// 1. the relaxation's demand values (snapped out of DP's ε-window),
+/// 2. structure-aware roundings of the relaxation (for DP: pin-eligible
+///    demands snapped to the threshold, the rest to the box; for POP: the
+///    relaxation and the all-max corner),
+/// 3. a budgeted round-robin coordinate improvement over the level set
+///    `{0, T, d_hi}` (resp. `{0, d_hi/2, d_hi}`), resumed across calls.
+pub(crate) struct CandidateEvaluator<'a> {
+    inst: &'a TeInstance,
+    spec: &'a HeuristicSpec,
+    constraints: &'a ConstrainedSet,
+    d_indices: Vec<usize>,
+    d_hi: f64,
+    n_model_vars: usize,
+    /// Snap-away window for DP's excluded `(T, T+ε)` slice.
+    snap: Option<(f64, f64)>,
+    /// Best certified candidate so far `(demands, gap)`.
+    best: Option<(Vec<f64>, f64)>,
+    /// Next coordinate for the round-robin improvement sweep.
+    sweep_cursor: usize,
+    /// Evaluation budget per `propose` call.
+    evals_per_call: usize,
+    calls: usize,
+}
+
+impl CandidateEvaluator<'_> {
+    /// Certified gap of a candidate, or `None` if outside the constrained
+    /// set / the heuristic's domain.
+    fn certify(&self, demands: &[f64]) -> Option<f64> {
+        if !self.constraints.contains(demands, 1e-7) {
+            return None;
+        }
+        let heu = self.spec.evaluate(self.inst, demands).ok()??;
+        let opt = opt_max_flow(self.inst, demands).ok()?.total_flow;
+        Some(opt - heu)
+    }
+
+    fn snap_window(&self, demands: &mut [f64]) {
+        if let Some((t, eps)) = self.snap {
+            for v in demands.iter_mut() {
+                if *v > t && *v < t + eps {
+                    *v = t;
+                }
+            }
+        }
+    }
+
+    /// The coordinate levels the improvement sweep explores. A quantization
+    /// grid, when present, overrides the heuristic-specific defaults (all
+    /// candidates must live on the grid to pass `ConstrainedSet::contains`).
+    fn levels(&self) -> Vec<f64> {
+        if let Some(grid) = &self.constraints.quantize_levels {
+            return grid.clone();
+        }
+        match self.spec {
+            HeuristicSpec::DemandPinning { threshold } => {
+                vec![0.0, threshold.min(self.d_hi), self.d_hi]
+            }
+            HeuristicSpec::Pop { .. } => vec![0.0, 0.5 * self.d_hi, self.d_hi],
+        }
+    }
+
+    /// Snaps a demand vector onto the quantization grid (nearest level).
+    fn snap_grid(&self, demands: &mut [f64]) {
+        if let Some(grid) = &self.constraints.quantize_levels {
+            for v in demands.iter_mut() {
+                let mut best = grid[0];
+                for &l in grid {
+                    if (l - *v).abs() < (best - *v).abs() {
+                        best = l;
+                    }
+                }
+                *v = best;
+            }
+        }
+    }
+
+    fn consider(&mut self, demands: Vec<f64>, evals: &mut usize) {
+        *evals += 1;
+        if let Some(g) = self.certify(&demands) {
+            let better = self.best.as_ref().map_or(true, |(_, bg)| g > *bg);
+            if better {
+                self.best = Some((demands, g));
+            }
+        }
+    }
+}
+
+impl IncumbentCallback for CandidateEvaluator<'_> {
+    fn propose(&mut self, relaxation: &[f64]) -> Option<(Vec<f64>, f64)> {
+        self.calls += 1;
+        let budget = if self.calls == 1 {
+            // The pre-root seeding call gets a deeper improvement sweep —
+            // it may be the only certified answer if the root LP eats the
+            // whole wall budget on very large instances.
+            self.evals_per_call * 8
+        } else {
+            self.evals_per_call
+        };
+        let mut evals = 0usize;
+        let before = self.best.as_ref().map(|(_, g)| *g);
+
+        // 1. Relaxation demands as-is.
+        let mut relax_d: Vec<f64> = self
+            .d_indices
+            .iter()
+            .map(|&i| relaxation[i].clamp(0.0, self.d_hi))
+            .collect();
+        self.snap_window(&mut relax_d);
+        self.snap_grid(&mut relax_d);
+        self.consider(relax_d.clone(), &mut evals);
+
+        // 2. Structure-aware roundings (only worth doing early on).
+        if self.calls <= 3 {
+            match self.spec {
+                HeuristicSpec::DemandPinning { threshold } => {
+                    let t = threshold.min(self.d_hi);
+                    // Pin-eligible demands snapped to the threshold (maximum
+                    // pinnable volume), the rest to the box top.
+                    let mut snapped: Vec<f64> = relax_d
+                        .iter()
+                        .map(|&v| if v <= t { t } else { self.d_hi })
+                        .collect();
+                    self.snap_grid(&mut snapped);
+                    self.consider(snapped, &mut evals);
+                    // Long-shortest-path pairs pinned, one-hop pairs maxed:
+                    // pinning on long paths burns capacity on many edges.
+                    // Pins are added greedily longest-path-first while the
+                    // pinned load stays within capacity, so the candidate is
+                    // DP-feasible even on large dense instances.
+                    let mut order: Vec<usize> = (0..self.inst.n_pairs()).collect();
+                    order.sort_by_key(|&k| std::cmp::Reverse(self.inst.paths[k][0].len()));
+                    let mut residual: Vec<f64> = self
+                        .inst
+                        .topo
+                        .edges()
+                        .map(|e| self.inst.topo.capacity(e))
+                        .collect();
+                    let mut structural = vec![self.d_hi; self.inst.n_pairs()];
+                    for k in order {
+                        if self.inst.paths[k][0].len() < 2 || t <= 0.0 {
+                            continue;
+                        }
+                        let fits = self.inst.paths[k][0]
+                            .edges
+                            .iter()
+                            .all(|e| residual[e.0] >= t);
+                        if fits {
+                            for e in &self.inst.paths[k][0].edges {
+                                residual[e.0] -= t;
+                            }
+                            structural[k] = t;
+                        }
+                    }
+                    self.snap_grid(&mut structural);
+                    self.consider(structural, &mut evals);
+                }
+                HeuristicSpec::Pop { .. } => {
+                    let mut all_hi = vec![self.d_hi; self.inst.n_pairs()];
+                    self.snap_grid(&mut all_hi);
+                    self.consider(all_hi, &mut evals);
+                    let mut all_mid = vec![0.5 * self.d_hi; self.inst.n_pairs()];
+                    self.snap_grid(&mut all_mid);
+                    self.consider(all_mid, &mut evals);
+                }
+            }
+        }
+
+        // 3. Budgeted round-robin coordinate improvement from the best
+        //    candidate so far.
+        if let Some((base, _)) = self.best.clone() {
+            let levels = self.levels();
+            let n = base.len();
+            let mut cand = base;
+            // At most one pass over the coordinates per call (guards
+            // against spinning when no level differs from the current
+            // value, e.g. a single-level quantization grid).
+            let mut visited = 0usize;
+            while evals < budget && visited < n {
+                visited += 1;
+                let k = self.sweep_cursor % n;
+                self.sweep_cursor = self.sweep_cursor.wrapping_add(1);
+                let original = cand[k];
+                for &lv in &levels {
+                    if (lv - original).abs() < 1e-12 || evals >= budget {
+                        continue;
+                    }
+                    let mut probe = cand.clone();
+                    probe[k] = lv;
+                    self.consider(probe, &mut evals);
+                }
+                // Greedy: adopt the best-so-far as the new sweep base.
+                if let Some((b, _)) = &self.best {
+                    cand = b.clone();
+                }
+            }
+        }
+
+        let (demands, gap) = self.best.as_ref()?;
+        // Only report when strictly better than what we last handed over —
+        // the solver keeps the running incumbent itself.
+        if before.is_some_and(|b| *gap <= b + 1e-12) {
+            return None;
+        }
+        let mut values = vec![0.0; self.n_model_vars];
+        for (k, &i) in self.d_indices.iter().enumerate() {
+            values[i] = demands[k];
+        }
+        Some((values, *gap))
+    }
+}
+
+/// Builds the domain incumbent callback for an assembled model (shared by
+/// the finder and the §3.3 sweep probes).
+pub(crate) fn new_candidate_evaluator<'a>(
+    inst: &'a TeInstance,
+    spec: &'a HeuristicSpec,
+    constraints: &'a ConstrainedSet,
+    am: &AdversarialModel,
+    cfg: &FinderConfig,
+) -> CandidateEvaluator<'a> {
+    CandidateEvaluator {
+        inst,
+        spec,
+        constraints,
+        d_indices: am.d.iter().map(|v| v.0).collect(),
+        d_hi: am.d_hi,
+        n_model_vars: am.model.n_vars(),
+        snap: match spec {
+            HeuristicSpec::DemandPinning { threshold } => Some((*threshold, cfg.epsilon)),
+            _ => None,
+        },
+        best: None,
+        sweep_cursor: 0,
+        evals_per_call: cfg.callback_evals_per_node,
+        calls: 0,
+    }
+}
+
+/// Solves Eq. 1 for the given instance, heuristic, and constrained set.
+pub fn find_adversarial_gap(
+    inst: &TeInstance,
+    spec: &HeuristicSpec,
+    constraints: &ConstrainedSet,
+    cfg: &FinderConfig,
+) -> CoreResult<GapResult> {
+    let t0 = Instant::now();
+    let am = build_adversarial_model(inst, spec, constraints, cfg)?;
+    let build_time = t0.elapsed();
+    let stats = am.stats();
+
+    let sol = if cfg.use_incumbent_callback {
+        let mut cb = new_candidate_evaluator(inst, spec, constraints, &am, cfg);
+        solve_with_callback(&am.model, &cfg.milp, &mut cb)?
+    } else {
+        solve(&am.model, &cfg.milp)?
+    };
+
+    let demands: Vec<f64> = if sol.values.is_empty() {
+        vec![0.0; inst.n_pairs()]
+    } else {
+        am.d
+            .iter()
+            .map(|v| sol.values[v.0].clamp(0.0, am.d_hi))
+            .collect()
+    };
+
+    // Re-measure the gap with the real algorithms (soundness check).
+    let verified_gap = match spec.evaluate(inst, &demands)? {
+        Some(heu) => opt_max_flow(inst, &demands)?.total_flow - heu,
+        None => f64::NAN, // DP-infeasible demands should never be reported
+    };
+
+    Ok(GapResult {
+        demands,
+        model_gap: sol.objective,
+        verified_gap,
+        normalized_gap: verified_gap / inst.topo.total_capacity(),
+        upper_bound: sol.best_bound,
+        status: sol.status,
+        stats,
+        nodes: sol.nodes,
+        build_time,
+        solve_time: sol.solve_time,
+        trajectory: sol.trajectory,
+    })
+}
+
+/// §5 "diverse kinds of bad inputs": finds up to `count` adversarial inputs,
+/// excluding an L∞ ball of `radius` around each discovered input before the
+/// next search.
+pub fn find_diverse_inputs(
+    inst: &TeInstance,
+    spec: &HeuristicSpec,
+    constraints: &ConstrainedSet,
+    cfg: &FinderConfig,
+    count: usize,
+    radius: f64,
+) -> CoreResult<Vec<GapResult>> {
+    let mut cs = constraints.clone();
+    let mut results = Vec::new();
+    for _ in 0..count {
+        let r = find_adversarial_gap(inst, spec, &cs, cfg)?;
+        if !r.verified_gap.is_finite() || r.demands.is_empty() {
+            break;
+        }
+        cs = cs.exclude(r.demands.clone(), radius);
+        results.push(r);
+    }
+    Ok(results)
+}

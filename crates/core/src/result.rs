@@ -1,0 +1,61 @@
+//! Result types of the adversarial search.
+
+use metaopt_milp::MilpStatus;
+use metaopt_model::ModelStats;
+use std::time::Duration;
+
+/// Outcome of one adversarial-gap search (Eq. 1 solved once).
+#[derive(Debug, Clone)]
+pub struct GapResult {
+    /// The discovered adversarial demand volumes (one per instance pair).
+    pub demands: Vec<f64>,
+    /// The gap claimed by the optimization model (absolute flow units).
+    pub model_gap: f64,
+    /// The gap *re-measured* by running the real OPT and the real heuristic
+    /// on `demands` — the soundness check. Model and verified gaps agree to
+    /// solver tolerance on a correct encoding.
+    pub verified_gap: f64,
+    /// `verified_gap / Σ capacities` — Figure 3's comparable metric.
+    pub normalized_gap: f64,
+    /// Best proven upper bound on the gap (equals `model_gap` at proven
+    /// optimality).
+    pub upper_bound: f64,
+    /// Branch-and-bound terminal status.
+    pub status: MilpStatus,
+    /// Problem-size statistics (Figure 6: #vars, #linear, #SOS, #binary).
+    pub stats: ModelStats,
+    /// Nodes processed by branch-and-bound.
+    pub nodes: usize,
+    /// Time spent building the single-shot model.
+    pub build_time: Duration,
+    /// Time spent solving it.
+    pub solve_time: Duration,
+    /// `(seconds, incumbent gap)` trajectory of the search (for Figure 3).
+    pub trajectory: Vec<(f64, f64)>,
+}
+
+impl GapResult {
+    /// Relative disagreement between the model's gap and the re-measured
+    /// gap (should be ≈ 0; a large value indicates an encoding bug or an
+    /// unverified callback-era incumbent).
+    pub fn certification_error(&self) -> f64 {
+        (self.model_gap - self.verified_gap).abs() / self.verified_gap.abs().max(1.0)
+    }
+}
+
+impl std::fmt::Display for GapResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gap {:.3} (verified {:.3}, normalized {:.4}, bound {:.3}) [{:?}, {} nodes, {:.2}s, {}]",
+            self.model_gap,
+            self.verified_gap,
+            self.normalized_gap,
+            self.upper_bound,
+            self.status,
+            self.nodes,
+            self.solve_time.as_secs_f64(),
+            self.stats,
+        )
+    }
+}

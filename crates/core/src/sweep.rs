@@ -1,0 +1,198 @@
+//! The §3.3 binary-sweep search strategy.
+//!
+//! "For solvers which do not show progress (e.g., Z3), we iteratively ask
+//! for any input with a gap that is at least as large as a specified value
+//! and binary sweep the value with a fixed timeout."
+//!
+//! Each probe adds the constraint `OPT(d) − Heuristic(d) >= g` to the
+//! single-shot model, runs a budgeted branch-and-bound that stops at the
+//! *first* incumbent reaching `g` (feasibility, not optimization), and
+//! *vets the witness* by re-running the real algorithms — a probe only
+//! counts if the certified gap reaches the threshold.
+
+use crate::constraints::ConstrainedSet;
+use crate::finder::{build_adversarial_model, FinderConfig, HeuristicSpec};
+use crate::{CoreError, CoreResult};
+use metaopt_milp::{binary_sweep, solve, MilpConfig, SweepOutcome};
+use metaopt_model::Sense;
+use metaopt_te::{opt::opt_max_flow, TeInstance};
+
+/// A vetted sweep witness.
+#[derive(Debug, Clone)]
+pub struct SweepWitness {
+    /// The demands realizing the gap.
+    pub demands: Vec<f64>,
+    /// The certified gap (re-measured with the real algorithms).
+    pub verified_gap: f64,
+}
+
+/// Result of [`sweep_max_gap`].
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The best witness found (None when even the lowest threshold failed).
+    pub witness: Option<SweepWitness>,
+    /// The highest threshold at which a witness was certified.
+    pub threshold: f64,
+    /// Probe invocations spent.
+    pub probes: usize,
+}
+
+/// Probes whether any input achieves `gap >= g` within `probe_cfg`'s
+/// budget. Returns a vetted witness or `None` (which, under a timeout, is
+/// inconclusive — the sweep is a search strategy, not a proof).
+pub fn find_gap_at_least(
+    inst: &TeInstance,
+    spec: &HeuristicSpec,
+    constraints: &ConstrainedSet,
+    cfg: &FinderConfig,
+    g: f64,
+) -> CoreResult<Option<SweepWitness>> {
+    let mut am = build_adversarial_model(inst, spec, constraints, cfg)?;
+    // gap >= g as a model constraint.
+    let mut gap_expr = am.opt_total.clone();
+    gap_expr -= am.heu_value.clone();
+    am.model
+        .constrain_named("sweep::gap_floor", gap_expr, Sense::Ge, g)?;
+
+    let milp_cfg = MilpConfig {
+        target_objective: Some(g),
+        ..cfg.milp.clone()
+    };
+    // Reuse the finder's callback machinery through find_adversarial_gap's
+    // building blocks: a plain solve is enough here because the incumbent
+    // seeding happens through the callback; without it we still accept
+    // branch-and-bound leaves.
+    let sol = if cfg.use_incumbent_callback {
+        let mut cb = crate::finder::new_candidate_evaluator(inst, spec, constraints, &am, cfg);
+        metaopt_milp::solve_with_callback(&am.model, &milp_cfg, &mut cb)?
+    } else {
+        solve(&am.model, &milp_cfg)?
+    };
+    if sol.values.is_empty() {
+        return Ok(None);
+    }
+    let demands: Vec<f64> = am
+        .d
+        .iter()
+        .map(|v| sol.values[v.0].clamp(0.0, am.d_hi))
+        .collect();
+    let heu = match spec.evaluate(inst, &demands)? {
+        Some(h) => h,
+        None => return Ok(None),
+    };
+    let verified = opt_max_flow(inst, &demands)?.total_flow - heu;
+    if verified + 1e-6 >= g {
+        Ok(Some(SweepWitness {
+            demands,
+            verified_gap: verified,
+        }))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Binary-sweeps the largest certifiable gap in `[lo, hi]` to within
+/// `resolution`, spending `cfg.milp`'s budget per probe.
+pub fn sweep_max_gap(
+    inst: &TeInstance,
+    spec: &HeuristicSpec,
+    constraints: &ConstrainedSet,
+    cfg: &FinderConfig,
+    lo: f64,
+    hi: f64,
+    resolution: f64,
+) -> CoreResult<SweepResult> {
+    if !(lo <= hi) || !(resolution > 0.0) {
+        return Err(CoreError::Config(format!(
+            "bad sweep range [{lo}, {hi}] / resolution {resolution}"
+        )));
+    }
+    let outcome = binary_sweep(lo, hi, resolution, |g| {
+        find_gap_at_least(inst, spec, constraints, cfg, g)
+            .map_err(|e| metaopt_milp::MilpError::Model(e.to_string()))
+    })?;
+    Ok(match outcome {
+        SweepOutcome::Found {
+            threshold,
+            witness,
+            probes,
+        } => SweepResult {
+            witness: Some(witness),
+            threshold,
+            probes,
+        },
+        SweepOutcome::NotFound { probes } => SweepResult {
+            witness: None,
+            threshold: lo,
+            probes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_topology::synth::figure1_triangle;
+
+    fn fig1() -> TeInstance {
+        let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+        TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap()
+    }
+
+    #[test]
+    fn probe_accepts_achievable_threshold() {
+        let inst = fig1();
+        let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+        let w = find_gap_at_least(
+            &inst,
+            &spec,
+            &ConstrainedSet::unconstrained(),
+            &FinderConfig::budgeted(10.0),
+            30.0,
+        )
+        .unwrap();
+        let w = w.expect("gap 30 is achievable (max is 50)");
+        assert!(w.verified_gap >= 30.0 - 1e-6);
+    }
+
+    #[test]
+    fn probe_rejects_impossible_threshold() {
+        let inst = fig1();
+        let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+        // The provable maximum is 50; 80 must be infeasible.
+        let w = find_gap_at_least(
+            &inst,
+            &spec,
+            &ConstrainedSet::unconstrained(),
+            &FinderConfig::budgeted(10.0),
+            80.0,
+        )
+        .unwrap();
+        assert!(w.is_none());
+    }
+
+    #[test]
+    fn sweep_converges_to_the_optimum() {
+        let inst = fig1();
+        let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+        let r = sweep_max_gap(
+            &inst,
+            &spec,
+            &ConstrainedSet::unconstrained(),
+            &FinderConfig::budgeted(5.0),
+            0.0,
+            100.0,
+            1.0,
+        )
+        .unwrap();
+        let w = r.witness.expect("some gap must be found");
+        // The sweep should get within its resolution of the true optimum 50.
+        assert!(
+            r.threshold >= 45.0 && r.threshold <= 50.0 + 1e-6,
+            "threshold {} (probes {})",
+            r.threshold,
+            r.probes
+        );
+        assert!(w.verified_gap >= r.threshold - 1e-6);
+    }
+}

@@ -1,0 +1,234 @@
+//! End-to-end tests of the white-box adversarial gap finder on instances
+//! small enough to verify analytically or by brute force.
+
+use metaopt_core::{
+    find_adversarial_gap, find_diverse_inputs, ConstrainedSet, Distance, FinderConfig,
+    HeuristicSpec, OptEncoding, PopMode,
+};
+use metaopt_milp::MilpStatus;
+use metaopt_te::pop::random_partitions;
+use metaopt_te::{eval::gap as eval_gap, Heuristic, TeInstance};
+use metaopt_topology::synth::figure1_triangle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fig1() -> TeInstance {
+    let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+    TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap()
+}
+
+/// On the Figure-1 triangle with threshold 50, the worst case is
+/// analytically d = (50, 100, 100) with gap exactly 50: DP pins the 50-unit
+/// 1→3 demand across both links, displacing 50 units of each single-hop
+/// demand while only carrying 50 itself.
+#[test]
+fn dp_figure1_worst_case_is_found_exactly() {
+    let inst = fig1();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let r = find_adversarial_gap(
+        &inst,
+        &spec,
+        &ConstrainedSet::unconstrained(),
+        &FinderConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(r.status, MilpStatus::Optimal, "{r}");
+    assert!((r.model_gap - 50.0).abs() < 1e-4, "{r}");
+    assert!((r.verified_gap - 50.0).abs() < 1e-4, "{r}");
+    assert!(r.certification_error() < 1e-6, "{r}");
+    // The discovered demands realize the analytic worst case: d13 = 50
+    // (pinned), both one-hop demands large enough to saturate.
+    assert!((r.demands[0] - 50.0).abs() < 1e-4, "{:?}", r.demands);
+    assert!(r.demands[1] >= 99.0 && r.demands[2] >= 99.0, "{:?}", r.demands);
+    // And the independent evaluator agrees.
+    let h = Heuristic::DemandPinning { threshold: 50.0 };
+    let g = eval_gap(&inst, &h, &r.demands).unwrap();
+    assert!((g - 50.0).abs() < 1e-4);
+}
+
+/// The PrimalOnly OPT encoding (ablation) reaches the same optimum with
+/// fewer complementarity pairs.
+#[test]
+fn primal_only_matches_kkt() {
+    let inst = fig1();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let kkt_cfg = FinderConfig::default();
+    let po_cfg = FinderConfig {
+        opt_encoding: OptEncoding::PrimalOnly,
+        ..Default::default()
+    };
+    let a = find_adversarial_gap(&inst, &spec, &ConstrainedSet::unconstrained(), &kkt_cfg).unwrap();
+    let b = find_adversarial_gap(&inst, &spec, &ConstrainedSet::unconstrained(), &po_cfg).unwrap();
+    assert!((a.model_gap - b.model_gap).abs() < 1e-4, "{a} vs {b}");
+    assert!(b.stats.n_sos < a.stats.n_sos, "{:?} vs {:?}", b.stats, a.stats);
+}
+
+/// Constraining the pinnable demand to a goalpost caps the achievable gap.
+#[test]
+fn goalpost_limits_gap() {
+    let inst = fig1();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    // Pin d13 near 30 (±0), leave the others free.
+    let cs = ConstrainedSet::unconstrained().near_partial(
+        vec![Some(30.0), None, None],
+        Distance::Absolute(0.0),
+    );
+    let r = find_adversarial_gap(&inst, &spec, &cs, &FinderConfig::default()).unwrap();
+    assert_eq!(r.status, MilpStatus::Optimal, "{r}");
+    assert!((r.model_gap - 30.0).abs() < 1e-4, "{r}");
+    assert!((r.demands[0] - 30.0).abs() < 1e-6);
+}
+
+/// Intra-input constraint: demands within a tight band of the mean cannot
+/// realize the full worst case.
+#[test]
+fn band_constraint_reduces_gap() {
+    let inst = fig1();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let cs = ConstrainedSet::unconstrained().within_band_of_mean(3, 5.0);
+    let r = find_adversarial_gap(&inst, &spec, &cs, &FinderConfig::default()).unwrap();
+    assert_eq!(r.status, MilpStatus::Optimal, "{r}");
+    assert!(r.model_gap < 50.0 - 1e-6, "{r}");
+    assert!(cs.contains(&r.demands, 1e-5), "{:?}", r.demands);
+    // Certification still holds under constraints.
+    assert!(r.certification_error() < 1e-6, "{r}");
+}
+
+/// POP whitebox vs brute force on a tiny line instance: the white-box
+/// optimum must dominate every grid point, and its certificate must match
+/// the real POP evaluation.
+#[test]
+fn pop_average_dominates_grid_search() {
+    let inst = TeInstance::all_pairs(metaopt_topology::synth::line(3, 10.0), 1).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let partitions = random_partitions(inst.n_pairs(), 2, 2, &mut rng);
+    let spec = HeuristicSpec::Pop {
+        partitions: partitions.clone(),
+        mode: PopMode::Average,
+    };
+    let cfg = FinderConfig::budgeted(30.0);
+    let r = find_adversarial_gap(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg).unwrap();
+    assert!(r.verified_gap.is_finite());
+    assert!(r.certification_error() < 1e-4, "{r}");
+
+    // Brute force over the {0, 5, 10}^6 grid.
+    let h = Heuristic::Pop {
+        partitions: partitions.clone(),
+    };
+    let mut best = f64::NEG_INFINITY;
+    let levels = [0.0, 5.0, 10.0];
+    let n = inst.n_pairs();
+    let mut idx = vec![0usize; n];
+    loop {
+        let demands: Vec<f64> = idx.iter().map(|&i| levels[i]).collect();
+        let g = eval_gap(&inst, &h, &demands).unwrap();
+        best = best.max(g);
+        // Odometer increment.
+        let mut c = 0;
+        while c < n {
+            idx[c] += 1;
+            if idx[c] < levels.len() {
+                break;
+            }
+            idx[c] = 0;
+            c += 1;
+        }
+        if c == n {
+            break;
+        }
+    }
+    assert!(
+        r.verified_gap >= best - 1e-4,
+        "whitebox {} < grid best {}",
+        r.verified_gap,
+        best
+    );
+}
+
+/// POP tail-worst objective (sorting network) dominates the average
+/// objective: the worst draw is at least as bad as the mean, so the
+/// adversary's optimal tail-gap is ≥ its optimal average-gap.
+#[test]
+fn pop_tail_worst_dominates_average() {
+    let inst = TeInstance::all_pairs(metaopt_topology::synth::line(3, 10.0), 1).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let partitions = random_partitions(inst.n_pairs(), 2, 3, &mut rng);
+    let cfg = FinderConfig::budgeted(20.0);
+    let avg = find_adversarial_gap(
+        &inst,
+        &HeuristicSpec::Pop {
+            partitions: partitions.clone(),
+            mode: PopMode::Average,
+        },
+        &ConstrainedSet::unconstrained(),
+        &cfg,
+    )
+    .unwrap();
+    let tail = find_adversarial_gap(
+        &inst,
+        &HeuristicSpec::Pop {
+            partitions,
+            mode: PopMode::TailWorst { rank: 0 },
+        },
+        &ConstrainedSet::unconstrained(),
+        &cfg,
+    )
+    .unwrap();
+    assert!(
+        tail.verified_gap >= avg.verified_gap - 1e-5,
+        "tail {} < avg {}",
+        tail.verified_gap,
+        avg.verified_gap
+    );
+    // Both certified.
+    assert!(avg.certification_error() < 1e-5, "{avg}");
+    assert!(tail.certification_error() < 1e-5, "{tail}");
+}
+
+/// Diverse-input search returns inputs separated by the exclusion radius.
+#[test]
+fn diverse_inputs_are_separated() {
+    let inst = fig1();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let rs = find_diverse_inputs(
+        &inst,
+        &spec,
+        &ConstrainedSet::unconstrained(),
+        &FinderConfig::default(),
+        2,
+        20.0,
+    )
+    .unwrap();
+    assert_eq!(rs.len(), 2);
+    let linf: f64 = rs[0]
+        .demands
+        .iter()
+        .zip(&rs[1].demands)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(linf >= 20.0 - 1e-4, "inputs too close: {linf}");
+    // Both inputs still realize real gaps.
+    assert!(rs[0].verified_gap >= rs[1].verified_gap - 1e-6);
+    assert!(rs[1].verified_gap > 0.0);
+}
+
+/// The finder's trajectory is monotone and its Figure-6 stats are sane.
+#[test]
+fn stats_and_trajectory_shape() {
+    let inst = fig1();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let r = find_adversarial_gap(
+        &inst,
+        &spec,
+        &ConstrainedSet::unconstrained(),
+        &FinderConfig::default(),
+    )
+    .unwrap();
+    assert!(r.stats.n_sos > 0);
+    assert!(r.stats.n_binary >= 3); // one pin indicator per pair
+    assert!(r.stats.n_vars > r.stats.n_binary);
+    for w in r.trajectory.windows(2) {
+        assert!(w[1].0 >= w[0].0);
+        assert!(w[1].1 >= w[0].1 - 1e-9);
+    }
+}

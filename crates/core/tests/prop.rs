@@ -1,0 +1,79 @@
+//! Property tests for the adversarial finder on randomized small
+//! instances: certification always holds, quantization never *beats* the
+//! continuous optimum, and constrained optima never exceed unconstrained
+//! ones.
+
+use metaopt_core::{
+    find_adversarial_gap, ConstrainedSet, Distance, FinderConfig, HeuristicSpec,
+};
+use metaopt_milp::MilpStatus;
+use metaopt_te::TeInstance;
+use metaopt_topology::synth::random_connected;
+use proptest::prelude::*;
+
+fn small_instance(seed: u64) -> TeInstance {
+    // 4–6 nodes, a couple of chords, capacity 40.
+    let n = 4 + (seed % 3) as usize;
+    let topo = random_connected(n, 2, 40.0, seed.max(1));
+    TeInstance::all_pairs(topo, 2).expect("random_connected graphs are connected")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The finder's certificate holds on arbitrary small topologies, and
+    /// tightening the input space (goalpost around the found optimum with
+    /// zero radius) reproduces exactly the same gap.
+    #[test]
+    fn certification_and_goalpost_consistency(seed in 1u64..500) {
+        let inst = small_instance(seed);
+        let spec = HeuristicSpec::DemandPinning { threshold: 8.0 };
+        let free = find_adversarial_gap(
+            &inst,
+            &spec,
+            &ConstrainedSet::unconstrained(),
+            &FinderConfig::budgeted(8.0),
+        ).unwrap();
+        prop_assert!(free.certification_error() < 1e-5, "{free}");
+        prop_assert!(free.verified_gap >= -1e-7);
+
+        // Re-search pinned exactly to the found optimum: same gap.
+        let pinned = ConstrainedSet::unconstrained()
+            .near(&free.demands, Distance::Absolute(0.0));
+        let again = find_adversarial_gap(&inst, &spec, &pinned, &FinderConfig::budgeted(10.0))
+            .unwrap();
+        prop_assert!(
+            (again.verified_gap - free.verified_gap).abs() <= 1e-4 * (1.0 + free.verified_gap.abs()),
+            "pinned {} vs free {}", again.verified_gap, free.verified_gap
+        );
+    }
+
+    /// A quantized search can never exceed the continuous optimum when the
+    /// continuous search proved optimality.
+    #[test]
+    fn quantized_never_beats_proven_continuous(seed in 1u64..500) {
+        let inst = small_instance(seed);
+        let spec = HeuristicSpec::DemandPinning { threshold: 8.0 };
+        let cont = find_adversarial_gap(
+            &inst,
+            &spec,
+            &ConstrainedSet::unconstrained(),
+            &FinderConfig::budgeted(10.0),
+        ).unwrap();
+        if cont.status != MilpStatus::Optimal {
+            return Ok(()); // inconclusive continuous run: nothing to compare
+        }
+        let quant = find_adversarial_gap(
+            &inst,
+            &spec,
+            &ConstrainedSet::unconstrained().quantized(vec![0.0, 8.0, 40.0]),
+            &FinderConfig::budgeted(10.0),
+        ).unwrap();
+        prop_assert!(
+            quant.verified_gap <= cont.verified_gap + 1e-5,
+            "quantized {} beats proven continuous {}",
+            quant.verified_gap,
+            cont.verified_gap
+        );
+    }
+}

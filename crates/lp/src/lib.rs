@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+//! # metaopt-lp
+//!
+//! A self-contained linear-programming substrate for the `metaopt` workspace.
+//!
+//! The paper this workspace reproduces ("Minding the gap between fast
+//! heuristics and their optimal counterparts", HotNets '22) relies on a
+//! commercial LP/MILP solver (Gurobi). This crate provides the LP layer of
+//! that substrate from scratch:
+//!
+//! * [`LpProblem`] — a builder for linear programs with bounded variables and
+//!   `<=` / `==` / `>=` rows,
+//! * [`Simplex`] — a bounded-variable revised simplex solver with a
+//!   two-phase primal method (artificial-variable phase I) and a dual simplex
+//!   method used for warm-started re-solves after bound changes (the
+//!   operation branch-and-bound performs at every node),
+//! * [`Solution`] — primal values, dual values (row multipliers) and reduced
+//!   costs, which the KKT machinery of `metaopt-model` is validated against.
+//!
+//! The solver keeps a dense basis inverse (the problems produced by the
+//! adversarial-gap formulations are a few thousand rows at most) and
+//! refactorizes periodically for numerical hygiene. Degeneracy — ubiquitous
+//! in traffic-engineering LPs — is handled with a Bland-rule fallback after a
+//! run of degenerate pivots.
+
+mod problem;
+mod solution;
+mod solver;
+mod sparse;
+
+pub use problem::{LpProblem, RowId, RowSense, VarId, INF, NEG_INF};
+pub use solution::{Solution, SolveStatus};
+pub use solver::{Simplex, SimplexConfig};
+pub use sparse::SparseMat;
+
+/// Errors surfaced by the LP layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A variable/row index did not belong to the problem it was used with.
+    BadIndex(String),
+    /// Lower bound exceeds upper bound (beyond tolerance), empty box.
+    EmptyBounds {
+        /// Variable index (or `usize::MAX` for row ranges).
+        var: usize,
+        /// Offending lower bound.
+        lo: f64,
+        /// Offending upper bound.
+        hi: f64,
+    },
+    /// A coefficient, bound, or right-hand side was NaN or infinite where a
+    /// finite value is required.
+    NotFinite(String),
+    /// The iteration limit was exceeded before reaching a conclusion.
+    IterationLimit,
+    /// Internal numerical failure that survived refactorization retries.
+    Numerical(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::BadIndex(s) => write!(f, "bad index: {s}"),
+            LpError::EmptyBounds { var, lo, hi } => {
+                write!(f, "variable {var} has empty bounds [{lo}, {hi}]")
+            }
+            LpError::NotFinite(s) => write!(f, "non-finite data: {s}"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::Numerical(s) => write!(f, "numerical failure: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Convenience alias used across the crate.
+pub type LpResult<T> = Result<T, LpError>;

@@ -1,0 +1,282 @@
+//! Linear-program builder.
+//!
+//! An [`LpProblem`] is the user-facing description of a linear program:
+//!
+//! ```text
+//!   minimize    cᵀ x
+//!   subject to  rlo_i <= a_iᵀ x <= rhi_i      (rows)
+//!               lo_j  <=  x_j   <= hi_j       (variable bounds)
+//! ```
+//!
+//! Maximization problems are expressed by callers by negating the objective
+//! (the higher-level `metaopt-model` crate does this when compiling models).
+
+use crate::sparse::SparseMat;
+use crate::{LpError, LpResult};
+
+/// Positive infinity used for unbounded-above bounds.
+pub const INF: f64 = f64::INFINITY;
+/// Negative infinity used for unbounded-below bounds.
+pub const NEG_INF: f64 = f64::NEG_INFINITY;
+
+/// Handle to a variable of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Handle to a row (constraint) of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub usize);
+
+/// Relational sense of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSense {
+    /// `aᵀx <= b`
+    Le,
+    /// `aᵀx == b`
+    Eq,
+    /// `aᵀx >= b`
+    Ge,
+}
+
+/// A linear program under construction (see module docs for the canonical
+/// form). Rows are kept as triplets by the builder; the solver converts
+/// them to column-wise storage when it is constructed.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    pub(crate) obj: Vec<f64>,
+    pub(crate) lo: Vec<f64>,
+    pub(crate) hi: Vec<f64>,
+    pub(crate) row_lo: Vec<f64>,
+    pub(crate) row_hi: Vec<f64>,
+    /// Triplets (row, col, value).
+    pub(crate) triplets: Vec<(usize, usize, f64)>,
+    /// Constant offset added to the reported objective value.
+    pub(crate) obj_offset: f64,
+}
+
+impl LpProblem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of variables added so far.
+    pub fn n_vars(&self) -> usize {
+        self.obj.len()
+    }
+
+    /// Number of rows added so far.
+    pub fn n_rows(&self) -> usize {
+        self.row_lo.len()
+    }
+
+    /// Number of constraint-matrix nonzeros recorded so far.
+    pub fn nnz(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Adds a variable with bounds `[lo, hi]` and objective coefficient
+    /// `obj`. Either bound may be infinite.
+    pub fn add_var(&mut self, lo: f64, hi: f64, obj: f64) -> LpResult<VarId> {
+        if lo.is_nan() || hi.is_nan() || !obj.is_finite() {
+            return Err(LpError::NotFinite(format!(
+                "var bounds/obj: lo={lo}, hi={hi}, obj={obj}"
+            )));
+        }
+        if lo > hi {
+            return Err(LpError::EmptyBounds {
+                var: self.obj.len(),
+                lo,
+                hi,
+            });
+        }
+        self.obj.push(obj);
+        self.lo.push(lo);
+        self.hi.push(hi);
+        Ok(VarId(self.obj.len() - 1))
+    }
+
+    /// Sets the objective coefficient of an existing variable.
+    pub fn set_obj(&mut self, v: VarId, obj: f64) -> LpResult<()> {
+        if !obj.is_finite() {
+            return Err(LpError::NotFinite(format!("obj={obj}")));
+        }
+        let c = self
+            .obj
+            .get_mut(v.0)
+            .ok_or_else(|| LpError::BadIndex(format!("var {}", v.0)))?;
+        *c = obj;
+        Ok(())
+    }
+
+    /// Overwrites the bounds of an existing variable.
+    pub fn set_bounds(&mut self, v: VarId, lo: f64, hi: f64) -> LpResult<()> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(LpError::NotFinite(format!("bounds lo={lo} hi={hi}")));
+        }
+        if lo > hi {
+            return Err(LpError::EmptyBounds { var: v.0, lo, hi });
+        }
+        if v.0 >= self.n_vars() {
+            return Err(LpError::BadIndex(format!("var {}", v.0)));
+        }
+        self.lo[v.0] = lo;
+        self.hi[v.0] = hi;
+        Ok(())
+    }
+
+    /// Returns the bounds of a variable.
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        (self.lo[v.0], self.hi[v.0])
+    }
+
+    /// Returns the activity range `[rlo, rhi]` of row `i`.
+    pub fn row_bounds(&self, i: usize) -> (f64, f64) {
+        (self.row_lo[i], self.row_hi[i])
+    }
+
+    /// Adds a constant to the reported objective value (useful when a model
+    /// layer eliminates fixed variables).
+    pub fn add_obj_offset(&mut self, c: f64) {
+        self.obj_offset += c;
+    }
+
+    /// Adds a row `sense`-related to `rhs` with the given coefficients.
+    pub fn add_row<I>(&mut self, sense: RowSense, rhs: f64, coeffs: I) -> LpResult<RowId>
+    where
+        I: IntoIterator<Item = (VarId, f64)>,
+    {
+        let (lo, hi) = match sense {
+            RowSense::Le => (NEG_INF, rhs),
+            RowSense::Eq => (rhs, rhs),
+            RowSense::Ge => (rhs, INF),
+        };
+        self.add_range_row(lo, hi, coeffs)
+    }
+
+    /// Adds a row with explicit activity range `rlo <= aᵀx <= rhi`.
+    pub fn add_range_row<I>(&mut self, rlo: f64, rhi: f64, coeffs: I) -> LpResult<RowId>
+    where
+        I: IntoIterator<Item = (VarId, f64)>,
+    {
+        if rlo.is_nan() || rhi.is_nan() {
+            return Err(LpError::NotFinite(format!("row range [{rlo}, {rhi}]")));
+        }
+        if rlo > rhi {
+            return Err(LpError::EmptyBounds {
+                var: usize::MAX,
+                lo: rlo,
+                hi: rhi,
+            });
+        }
+        let r = self.row_lo.len();
+        for (v, c) in coeffs {
+            if v.0 >= self.n_vars() {
+                return Err(LpError::BadIndex(format!("var {} in row {r}", v.0)));
+            }
+            if !c.is_finite() {
+                return Err(LpError::NotFinite(format!("coef {c} in row {r}")));
+            }
+            if c != 0.0 {
+                self.triplets.push((r, v.0, c));
+            }
+        }
+        self.row_lo.push(rlo);
+        self.row_hi.push(rhi);
+        Ok(RowId(r))
+    }
+
+    /// Builds the column-wise constraint matrix (variables only; the solver
+    /// appends logical columns itself).
+    pub(crate) fn build_matrix(&self) -> SparseMat {
+        let m = self.n_rows();
+        let n = self.n_vars();
+        // Bucket triplets per column.
+        let mut per_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(r, c, v) in &self.triplets {
+            per_col[c].push((r, v));
+        }
+        let mut mat = SparseMat::new(m);
+        for col in per_col {
+            mat.push_col(col);
+        }
+        mat
+    }
+
+    /// Evaluates the objective `cᵀx + offset` for a full-length primal point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.n_vars());
+        self.obj
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            + self.obj_offset
+    }
+
+    /// Computes each row's activity `a_iᵀ x`.
+    pub fn row_activity(&self, x: &[f64]) -> Vec<f64> {
+        let mut act = vec![0.0; self.n_rows()];
+        for &(r, c, v) in &self.triplets {
+            act[r] += v * x[c];
+        }
+        act
+    }
+
+    /// Maximum violation of variable bounds and row ranges at point `x`.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut viol: f64 = 0.0;
+        for j in 0..self.n_vars() {
+            viol = viol.max(self.lo[j] - x[j]).max(x[j] - self.hi[j]);
+        }
+        let act = self.row_activity(x);
+        for i in 0..self.n_rows() {
+            viol = viol.max(self.row_lo[i] - act[i]).max(act[i] - self.row_hi[i]);
+        }
+        viol.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, 1.0).unwrap();
+        let y = p.add_var(NEG_INF, INF, -2.0).unwrap();
+        p.add_row(RowSense::Le, 5.0, [(x, 1.0), (y, 2.0)]).unwrap();
+        p.add_row(RowSense::Eq, 1.0, [(x, 1.0), (y, -1.0)]).unwrap();
+        assert_eq!(p.n_vars(), 2);
+        assert_eq!(p.n_rows(), 2);
+        assert_eq!(p.objective_value(&[3.0, 1.0]), 1.0);
+        assert_eq!(p.row_activity(&[3.0, 1.0]), vec![5.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_bounds_rejected() {
+        let mut p = LpProblem::new();
+        assert!(matches!(
+            p.add_var(2.0, 1.0, 0.0),
+            Err(LpError::EmptyBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut p = LpProblem::new();
+        assert!(p.add_var(f64::NAN, 1.0, 0.0).is_err());
+        let x = p.add_var(0.0, 1.0, 0.0).unwrap();
+        assert!(p.add_row(RowSense::Le, f64::NAN, [(x, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn violation_measures_bounds_and_rows() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0, 0.0).unwrap();
+        p.add_row(RowSense::Ge, 3.0, [(x, 1.0)]).unwrap();
+        assert!((p.max_violation(&[2.0]) - 1.0).abs() < 1e-12);
+        assert!((p.max_violation(&[0.5]) - 2.5).abs() < 1e-12);
+    }
+}

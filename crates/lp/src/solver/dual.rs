@@ -1,0 +1,206 @@
+//! Bounded-variable dual simplex used for warm-started re-solves.
+//!
+//! Branch-and-bound tightens or relaxes variable bounds between solves.
+//! Bound changes never disturb dual feasibility of a basis (reduced costs
+//! depend only on the basis), so the dual simplex restores primal
+//! feasibility in a handful of pivots instead of re-solving from scratch.
+
+use super::{Simplex, VarState};
+use crate::solution::SolveStatus;
+use crate::{LpError, LpResult};
+
+impl Simplex {
+    /// Runs dual-simplex iterations from the current basis.
+    ///
+    /// Returns `Ok(Some(status))` on a conclusion, or `Ok(None)` if the
+    /// starting basis is not dual feasible (caller should cold-start).
+    pub(crate) fn dual_loop(&mut self) -> LpResult<Option<SolveStatus>> {
+        if !self.restore_dual_feasibility() {
+            return Ok(None);
+        }
+        let limit = self.auto_iter_limit();
+        let mut w = vec![0.0; self.m];
+        let mut local_iters = 0usize;
+        // Degenerate-pivot streak: the dual simplex has no Bland rule, so a
+        // long streak hands control back to the (anti-cycling) primal
+        // cold-start path instead of risking a cycle.
+        let mut degen_streak = 0usize;
+        loop {
+            if local_iters > limit {
+                return Err(LpError::IterationLimit);
+            }
+            local_iters += 1;
+            if local_iters % 64 == 0 && self.deadline_passed() {
+                return Err(LpError::IterationLimit);
+            }
+            if self.pivots_since_refactor >= self.cfg.refactor_every {
+                self.refactor()?;
+                self.recompute_basics();
+            }
+
+            // Leaving: the basic variable with the largest bound violation.
+            let ft = self.cfg.feas_tol;
+            let mut leave: Option<(usize, f64, f64)> = None; // (pos, viol, target)
+            for i in 0..self.m {
+                let j = self.basis[i];
+                let xj = self.x[j];
+                if xj < self.lo[j] - ft {
+                    let v = self.lo[j] - xj;
+                    if leave.as_ref().map_or(true, |&(_, bv, _)| v > bv) {
+                        leave = Some((i, v, self.lo[j]));
+                    }
+                } else if xj > self.hi[j] + ft {
+                    let v = xj - self.hi[j];
+                    if leave.as_ref().map_or(true, |&(_, bv, _)| v > bv) {
+                        leave = Some((i, v, self.hi[j]));
+                    }
+                }
+            }
+            let (pos, _, target) = match leave {
+                None => return Ok(Some(SolveStatus::Optimal)),
+                Some(l) => l,
+            };
+            let leaving = self.basis[pos];
+            let delta = self.x[leaving] - target; // >0 if above upper, <0 if below lower
+
+            // Pivot row ρ = e_posᵀ B⁻¹ (a row of the dense inverse).
+            let rho = self.binv[pos * self.m..(pos + 1) * self.m].to_vec();
+            let y = self.btran_duals();
+
+            // Entering: among nonbasic j whose movement can pull the leaving
+            // variable onto `target`, pick the one preserving dual
+            // feasibility (min |d_j / α_j|).
+            //
+            // ∂x_B[pos]/∂x_j = −α_j with α_j = ρᵀ a_j. If delta > 0 we must
+            // decrease x_B[pos]: j at lower (Δx_j ≥ 0) requires α_j > 0,
+            // j at upper requires α_j < 0. If delta < 0, signs flip.
+            let mut best: Option<(usize, f64, f64)> = None; // (var, alpha, ratio)
+            for j in 0..self.total_vars() {
+                let at_lower = match self.state[j] {
+                    VarState::Basic(_) => continue,
+                    VarState::AtLower => true,
+                    VarState::AtUpper => false,
+                    VarState::FreeZero => {
+                        // Free nonbasic variables can move either way; they
+                        // are always eligible if α_j is significant.
+                        let alpha = self.row_dot(&rho, j);
+                        if alpha.abs() <= self.cfg.pivot_tol {
+                            continue;
+                        }
+                        // A free variable has reduced cost ~0; it is the
+                        // ideal entering candidate.
+                        best = Some((j, alpha, 0.0));
+                        break;
+                    }
+                };
+                if self.lo[j] >= self.hi[j] {
+                    continue; // fixed variables cannot move
+                }
+                let alpha = self.row_dot(&rho, j);
+                if alpha.abs() <= self.cfg.pivot_tol {
+                    continue;
+                }
+                let eligible = if delta > 0.0 {
+                    (at_lower && alpha > 0.0) || (!at_lower && alpha < 0.0)
+                } else {
+                    (at_lower && alpha < 0.0) || (!at_lower && alpha > 0.0)
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y);
+                let ratio = (d / alpha).abs();
+                if best.as_ref().map_or(true, |&(_, ba, br)| {
+                    ratio < br - 1e-12 || (ratio <= br + 1e-12 && alpha.abs() > ba.abs())
+                }) {
+                    best = Some((j, alpha, ratio));
+                }
+            }
+
+            let (q, alpha_q, _) = match best {
+                None => return Ok(Some(SolveStatus::Infeasible)),
+                Some(b) => b,
+            };
+
+            // Entering step: x_B[pos] moves from its current value to target
+            // as x_q changes by Δ = delta / α_q.
+            let step = delta / alpha_q;
+            let d_q = self.reduced_cost(q, &y);
+            if d_q.abs() <= self.cfg.opt_tol {
+                degen_streak += 1;
+                if degen_streak > self.cfg.degen_threshold {
+                    return Ok(None); // cold-start with Bland protection
+                }
+            } else {
+                degen_streak = 0;
+            }
+            self.ftran(q, &mut w);
+            for i in 0..self.m {
+                let j = self.basis[i];
+                self.x[j] -= w[i] * step;
+            }
+            self.x[leaving] = target;
+            self.state[leaving] = if (target - self.lo[leaving]).abs() <= ft {
+                VarState::AtLower
+            } else {
+                VarState::AtUpper
+            };
+            self.x[q] += step;
+            self.update_basis(pos, q, &w);
+            self.iterations += 1;
+        }
+    }
+
+    /// `ρᵀ a_j` for a dense row vector `ρ`.
+    fn row_dot(&self, rho: &[f64], j: usize) -> f64 {
+        self.cols.col_dot(j, rho)
+    }
+
+    /// Flips nonbasic variables whose reduced-cost sign disagrees with the
+    /// bound they sit at (possible after bound relaxation). Returns false if
+    /// dual feasibility cannot be restored by flips alone.
+    fn restore_dual_feasibility(&mut self) -> bool {
+        let y = self.btran_duals();
+        let tol = self.cfg.opt_tol.max(1e-6);
+        let mut flipped = false;
+        for j in 0..self.total_vars() {
+            match self.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::FreeZero => {
+                    let d = self.reduced_cost(j, &y);
+                    if d.abs() > tol {
+                        return false; // free var with nonzero reduced cost
+                    }
+                }
+                VarState::AtLower => {
+                    let d = self.reduced_cost(j, &y);
+                    if d < -tol {
+                        if self.hi[j].is_finite() {
+                            self.state[j] = VarState::AtUpper;
+                            self.x[j] = self.hi[j];
+                            flipped = true;
+                        } else {
+                            return false;
+                        }
+                    }
+                }
+                VarState::AtUpper => {
+                    let d = self.reduced_cost(j, &y);
+                    if d > tol {
+                        if self.lo[j].is_finite() {
+                            self.state[j] = VarState::AtLower;
+                            self.x[j] = self.lo[j];
+                            flipped = true;
+                        } else {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        if flipped {
+            self.recompute_basics();
+        }
+        true
+    }
+}

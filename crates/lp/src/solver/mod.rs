@@ -1,0 +1,641 @@
+//! Bounded-variable revised simplex with a dense basis inverse.
+//!
+//! Layout: the problem's `n` structural variables are followed by `m`
+//! *logical* variables (one per row, holding the row activity) and, during
+//! phase I only, up to `m` *artificial* variables. The internal system is
+//!
+//! ```text
+//!   A x_struct − s + G t = 0,     lo <= x <= hi  (per-variable boxes)
+//! ```
+//!
+//! where each logical `s_i` is boxed by its row's activity range. All right
+//! hand sides are zero, so every basic solution is `x_B = −B⁻¹ A_N x_N`.
+//!
+//! * Phase I starts from the all-logical basis and drives artificial
+//!   infeasibility to zero (see [`Simplex::solve`]).
+//! * Phase II is a textbook bounded-variable primal simplex with Dantzig
+//!   pricing and a Bland-rule fallback after long degenerate runs.
+//! * [`Simplex::resolve`] re-optimizes after variable-bound changes with the
+//!   dual simplex — the hot operation of branch-and-bound — and falls back
+//!   to a cold primal solve when the warm basis is not dual feasible.
+
+mod dual;
+mod primal;
+
+use crate::problem::{LpProblem, VarId};
+use crate::solution::{Solution, SolveStatus};
+use crate::sparse::SparseMat;
+use crate::{LpError, LpResult};
+
+/// Tunable solver parameters.
+#[derive(Debug, Clone)]
+pub struct SimplexConfig {
+    /// Primal feasibility tolerance on variable bounds.
+    pub feas_tol: f64,
+    /// Dual feasibility (reduced-cost) tolerance.
+    pub opt_tol: f64,
+    /// Smallest acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Hard cap on total pivots per solve.
+    pub max_iters: usize,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+    /// Switch to Bland's rule after this many consecutive degenerate pivots.
+    pub degen_threshold: usize,
+}
+
+
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        SimplexConfig {
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            pivot_tol: 1e-9,
+            max_iters: 0, // 0 = auto (scaled by problem size)
+            refactor_every: 512,
+            degen_threshold: 400,
+        }
+    }
+}
+
+/// Where a variable currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Free variable held nonbasic at value zero.
+    FreeZero,
+}
+
+/// Bounded-variable revised simplex solver.
+///
+/// Owns mutable copies of the problem data so callers (branch-and-bound) can
+/// tighten/relax variable bounds between warm-started re-solves.
+///
+/// ```
+/// use metaopt_lp::{LpProblem, RowSense, Simplex, SolveStatus};
+///
+/// // max x + y  s.t.  x + 2y <= 4,  0 <= x,y <= 3  (minimize the negation)
+/// let mut p = LpProblem::new();
+/// let x = p.add_var(0.0, 3.0, -1.0)?;
+/// let y = p.add_var(0.0, 3.0, -1.0)?;
+/// p.add_row(RowSense::Le, 4.0, [(x, 1.0), (y, 2.0)])?;
+/// let sol = Simplex::new(&p).solve()?;
+/// assert_eq!(sol.status, SolveStatus::Optimal);
+/// assert!((sol.objective + 3.5).abs() < 1e-8); // x = 3, y = 0.5
+/// # Ok::<(), metaopt_lp::LpError>(())
+/// ```
+pub struct Simplex {
+    cfg: SimplexConfig,
+    /// Structural count.
+    n: usize,
+    /// Row count.
+    m: usize,
+    /// Columns for all vars: `n` structural then `m` logical then artificials.
+    cols: SparseMat,
+    /// Phase-II costs (structural from problem; logical/artificial zero).
+    cost: Vec<f64>,
+    /// Current working costs (phase I uses artificial costs).
+    work_cost: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    obj_offset: f64,
+
+    state: Vec<VarState>,
+    /// Variable index occupying each basis position.
+    basis: Vec<usize>,
+    /// Dense row-major `m × m` basis inverse.
+    binv: Vec<f64>,
+    /// Current values of *all* variables (basic ones solved, nonbasic at bound).
+    x: Vec<f64>,
+
+    pivots_since_refactor: usize,
+    degen_run: usize,
+    iterations: usize,
+    /// Artificial variables exist (phase-I leftovers are pinned to zero).
+    n_artificials: usize,
+    /// Optional wall-clock deadline checked periodically inside the
+    /// iteration loops (set by budgeted callers such as branch-and-bound).
+    deadline: Option<std::time::Instant>,
+}
+
+impl Simplex {
+    /// Builds a solver for `p` with default configuration.
+    pub fn new(p: &LpProblem) -> Self {
+        Self::with_config(p, SimplexConfig::default())
+    }
+
+    /// Builds a solver for `p` with the given configuration.
+    pub fn with_config(p: &LpProblem, cfg: SimplexConfig) -> Self {
+        let n = p.n_vars();
+        let m = p.n_rows();
+        let mut cols = p.build_matrix();
+        // Logical columns: −e_i.
+        for i in 0..m {
+            cols.push_col([(i, -1.0)]);
+        }
+        let mut cost = p.obj.clone();
+        cost.extend(std::iter::repeat(0.0).take(m));
+        let mut lo = p.lo.clone();
+        let mut hi = p.hi.clone();
+        lo.extend_from_slice(&p.row_lo);
+        hi.extend_from_slice(&p.row_hi);
+        let total = n + m;
+        Simplex {
+            cfg,
+            n,
+            m,
+            cols,
+            work_cost: cost.clone(),
+            cost,
+            lo,
+            hi,
+            obj_offset: p.obj_offset,
+            state: vec![VarState::AtLower; total],
+            basis: Vec::new(),
+            binv: Vec::new(),
+            x: vec![0.0; total],
+            pivots_since_refactor: 0,
+            degen_run: 0,
+            iterations: 0,
+            n_artificials: 0,
+            deadline: None,
+        }
+    }
+
+    /// Structural variable count.
+    pub fn n_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Row count.
+    pub fn n_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Total pivots performed so far (across all solves).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Sets (or clears) a wall-clock deadline; iteration loops abort with
+    /// [`crate::LpError::IterationLimit`] shortly after it passes.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    pub(crate) fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// Overwrites the bounds of structural variable `v` (for warm re-solves).
+    pub fn set_var_bounds(&mut self, v: VarId, lo: f64, hi: f64) -> LpResult<()> {
+        if v.0 >= self.n {
+            return Err(LpError::BadIndex(format!("var {}", v.0)));
+        }
+        if lo.is_nan() || hi.is_nan() {
+            return Err(LpError::NotFinite(format!("bounds [{lo}, {hi}]")));
+        }
+        if lo > hi {
+            return Err(LpError::EmptyBounds { var: v.0, lo, hi });
+        }
+        self.lo[v.0] = lo;
+        self.hi[v.0] = hi;
+        // Keep nonbasic variables glued to an existing bound.
+        match self.state[v.0] {
+            VarState::AtLower => {
+                if lo.is_finite() {
+                    self.x[v.0] = lo;
+                } else if hi.is_finite() {
+                    self.state[v.0] = VarState::AtUpper;
+                    self.x[v.0] = hi;
+                } else {
+                    self.state[v.0] = VarState::FreeZero;
+                    self.x[v.0] = 0.0;
+                }
+            }
+            VarState::AtUpper => {
+                if hi.is_finite() {
+                    self.x[v.0] = hi;
+                } else if lo.is_finite() {
+                    self.state[v.0] = VarState::AtLower;
+                    self.x[v.0] = lo;
+                } else {
+                    self.state[v.0] = VarState::FreeZero;
+                    self.x[v.0] = 0.0;
+                }
+            }
+            VarState::FreeZero => {
+                if lo > 0.0 || hi < 0.0 {
+                    // Zero no longer inside the box; snap to nearest bound.
+                    if lo > 0.0 {
+                        self.state[v.0] = VarState::AtLower;
+                        self.x[v.0] = lo;
+                    } else {
+                        self.state[v.0] = VarState::AtUpper;
+                        self.x[v.0] = hi;
+                    }
+                }
+            }
+            VarState::Basic(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Current bounds of structural variable `v`.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        (self.lo[v.0], self.hi[v.0])
+    }
+
+    fn auto_iter_limit(&self) -> usize {
+        if self.cfg.max_iters > 0 {
+            self.cfg.max_iters
+        } else {
+            50 * (self.m + self.n) + 20_000
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Basis-inverse maintenance
+    // ------------------------------------------------------------------
+
+    /// Rebuilds `binv` from scratch by Gauss–Jordan elimination with partial
+    /// pivoting on the current basis columns.
+    pub(crate) fn refactor(&mut self) -> LpResult<()> {
+        let m = self.m;
+        // Dense basis matrix, row-major.
+        let mut b = vec![0.0; m * m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            for (r, v) in self.cols.col(j) {
+                b[r * m + pos] = v;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut piv_row = col;
+            let mut piv_val = b[col * m + col].abs();
+            for r in (col + 1)..m {
+                let v = b[r * m + col].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = r;
+                }
+            }
+            if piv_val < 1e-12 {
+                return Err(LpError::Numerical(format!(
+                    "singular basis during refactorization (column {col})"
+                )));
+            }
+            if piv_row != col {
+                for k in 0..m {
+                    b.swap(col * m + k, piv_row * m + k);
+                    inv.swap(col * m + k, piv_row * m + k);
+                }
+            }
+            let d = b[col * m + col];
+            let dinv = 1.0 / d;
+            for k in 0..m {
+                b[col * m + k] *= dinv;
+                inv[col * m + k] *= dinv;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = b[r * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        b[r * m + k] -= f * b[col * m + k];
+                        inv[r * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.pivots_since_refactor = 0;
+        Ok(())
+    }
+
+    /// `w = B⁻¹ a_j` for variable `j`'s column.
+    pub(crate) fn ftran(&self, j: usize, out: &mut [f64]) {
+        let m = self.m;
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for (r, v) in self.cols.col(j) {
+            // Add v * column r of binv.
+            for i in 0..m {
+                out[i] += v * self.binv[i * m + r];
+            }
+        }
+    }
+
+    /// `y = c_Bᵀ B⁻¹` using the current working costs.
+    pub(crate) fn btran_duals(&self) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            let c = self.work_cost[j];
+            if c != 0.0 {
+                let row = &self.binv[pos * m..(pos + 1) * m];
+                for k in 0..m {
+                    y[k] += c * row[k];
+                }
+            }
+        }
+        y
+    }
+
+    /// Recomputes every basic variable's value from the nonbasic point.
+    pub(crate) fn recompute_basics(&mut self) {
+        let m = self.m;
+        // rhs = −Σ_{nonbasic} a_j x_j
+        let mut rhs = vec![0.0; m];
+        let total = self.total_vars();
+        for j in 0..total {
+            if let VarState::Basic(_) = self.state[j] {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj != 0.0 {
+                self.cols.col_axpy(j, -xj, &mut rhs);
+            }
+        }
+        // x_B = B⁻¹ rhs
+        for pos in 0..m {
+            let row = &self.binv[pos * m..(pos + 1) * m];
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += row[k] * rhs[k];
+            }
+            let j = self.basis[pos];
+            self.x[j] = acc;
+        }
+    }
+
+    /// Replaces basis position `pos` with variable `entering`; `w` must be
+    /// `B⁻¹ a_entering`. Updates the dense inverse by an elementary row op.
+    pub(crate) fn update_basis(&mut self, pos: usize, entering: usize, w: &[f64]) {
+        let m = self.m;
+        let piv = w[pos];
+        debug_assert!(piv.abs() > 1e-13);
+        let inv_piv = 1.0 / piv;
+        // Scale pivot row.
+        {
+            let row = &mut self.binv[pos * m..(pos + 1) * m];
+            for v in row.iter_mut() {
+                *v *= inv_piv;
+            }
+        }
+        // Eliminate the entering column from every other row.
+        for i in 0..m {
+            if i == pos {
+                continue;
+            }
+            let f = w[i];
+            if f != 0.0 {
+                let (head, tail) = self.binv.split_at_mut(pos.max(i) * m);
+                let (src, dst) = if pos < i {
+                    (
+                        &head[pos * m..(pos + 1) * m],
+                        &mut tail[0..m],
+                    )
+                } else {
+                    let dst = &mut head[i * m..(i + 1) * m];
+                    // SAFETY-free approach: recompute via indexing below.
+                    (&tail[0..m], dst)
+                };
+                for k in 0..m {
+                    dst[k] -= f * src[k];
+                }
+            }
+        }
+        self.basis[pos] = entering;
+        self.state[entering] = VarState::Basic(pos);
+        self.pivots_since_refactor += 1;
+    }
+
+    pub(crate) fn total_vars(&self) -> usize {
+        self.n + self.m + self.n_artificials
+    }
+
+    /// Reduced cost of variable `j` under duals `y`.
+    pub(crate) fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        self.work_cost[j] - self.cols.col_dot(j, y)
+    }
+
+    /// Removes artificial columns bookkeeping after phase I (they stay in
+    /// `cols` but are pinned to `[0, 0]` so they can never re-enter with a
+    /// nonzero value).
+    fn pin_artificials(&mut self) {
+        let start = self.n + self.m;
+        let end = self.total_vars();
+        for j in start..end {
+            self.lo[j] = 0.0;
+            self.hi[j] = 0.0;
+            if !matches!(self.state[j], VarState::Basic(_)) {
+                self.state[j] = VarState::AtLower;
+                self.x[j] = 0.0;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public solve entry points
+    // ------------------------------------------------------------------
+
+    /// Cold solve: phase-I artificial feasibility search followed by the
+    /// phase-II primal simplex.
+    pub fn solve(&mut self) -> LpResult<Solution> {
+        self.start_basis()?;
+        // Phase I only if artificials carry weight.
+        let infeas: f64 = (self.n + self.m..self.total_vars())
+            .map(|j| self.x[j])
+            .sum();
+        if infeas > self.cfg.feas_tol {
+            // Minimize the sum of artificials.
+            let total = self.total_vars();
+            self.work_cost = vec![0.0; total];
+            for j in self.n + self.m..total {
+                self.work_cost[j] = 1.0;
+            }
+            let st = self.primal_loop()?;
+            if st == SolveStatus::Unbounded {
+                return Err(LpError::Numerical(
+                    "phase-I objective unbounded (internal bug)".into(),
+                ));
+            }
+            let resid: f64 = (self.n + self.m..self.total_vars())
+                .map(|j| self.x[j].max(0.0))
+                .sum();
+            if resid > self.cfg.feas_tol.max(1e-6) {
+                return Ok(self.extract(SolveStatus::Infeasible));
+            }
+        }
+        self.pin_artificials();
+        // Phase II.
+        self.work_cost = self.cost.clone();
+        // Pad working costs for artificial columns.
+        self.work_cost.resize(self.total_vars(), 0.0);
+        let st = self.primal_loop()?;
+        Ok(self.extract(st))
+    }
+
+    /// Warm re-solve after bound changes: runs the dual simplex from the
+    /// current basis; falls back to a cold [`Simplex::solve`] if the basis
+    /// is not dual feasible (or was never initialized).
+    pub fn resolve(&mut self) -> LpResult<Solution> {
+        if self.basis.len() != self.m {
+            return self.solve();
+        }
+        self.work_cost = self.cost.clone();
+        self.work_cost.resize(self.total_vars(), 0.0);
+        // Snap nonbasic variables to bounds that may have moved, then refresh
+        // basic values.
+        self.recompute_basics();
+        match self.dual_loop()? {
+            Some(st) => Ok(self.extract(st)),
+            None => self.solve(), // not dual feasible — cold start
+        }
+    }
+
+    /// Initializes the all-logical basis plus artificials for violated rows.
+    fn start_basis(&mut self) -> LpResult<()> {
+        let n = self.n;
+        let m = self.m;
+        // Reset: drop artificial columns from previous solves by truncating.
+        // (SparseMat cannot pop columns; rebuild bookkeeping instead.)
+        if self.n_artificials > 0 {
+            // Rebuild the column store without artificials.
+            let mut cols = SparseMat::new(m);
+            for j in 0..n + m {
+                cols.push_col(self.cols.col(j));
+            }
+            self.cols = cols;
+            self.lo.truncate(n + m);
+            self.hi.truncate(n + m);
+            self.cost.truncate(n + m);
+            self.state.truncate(n + m);
+            self.x.truncate(n + m);
+            self.n_artificials = 0;
+        }
+
+        // Nonbasic structurals at their preferred bound.
+        for j in 0..n {
+            let (l, h) = (self.lo[j], self.hi[j]);
+            if l.is_finite() {
+                self.state[j] = VarState::AtLower;
+                self.x[j] = l;
+            } else if h.is_finite() {
+                self.state[j] = VarState::AtUpper;
+                self.x[j] = h;
+            } else {
+                self.state[j] = VarState::FreeZero;
+                self.x[j] = 0.0;
+            }
+        }
+        // Row activities at that point.
+        let mut act = vec![0.0; m];
+        for j in 0..n {
+            if self.x[j] != 0.0 {
+                self.cols.col_axpy(j, self.x[j], &mut act);
+            }
+        }
+        self.basis.clear();
+        let mut artificial_cols: Vec<(usize, f64, f64)> = Vec::new(); // (row, sign, value)
+        for i in 0..m {
+            let s = n + i;
+            let (rl, rh) = (self.lo[s], self.hi[s]);
+            if act[i] < rl - self.cfg.feas_tol {
+                // Clamp logical at lower bound; artificial covers the gap.
+                self.state[s] = VarState::AtLower;
+                self.x[s] = rl;
+                artificial_cols.push((i, 1.0, rl - act[i]));
+            } else if act[i] > rh + self.cfg.feas_tol {
+                self.state[s] = VarState::AtUpper;
+                self.x[s] = rh;
+                artificial_cols.push((i, -1.0, act[i] - rh));
+            } else {
+                // Logical basic carrying the activity.
+                self.state[s] = VarState::Basic(self.basis.len());
+                self.x[s] = act[i];
+                self.basis.push(s);
+            }
+        }
+        for (i, sign, value) in artificial_cols {
+            let col = self.cols.push_col([(i, sign)]);
+            debug_assert_eq!(col, self.lo.len());
+            self.lo.push(0.0);
+            self.hi.push(crate::problem::INF);
+            self.cost.push(0.0);
+            self.state.push(VarState::Basic(self.basis.len()));
+            self.x.push(value);
+            self.basis.push(col);
+            self.n_artificials += 1;
+        }
+        // Order basis by row for a clean initial inverse, then factorize.
+        // (basis currently holds one var per row already, but positions are
+        // interleaved; fix the recorded positions.)
+        let order: Vec<usize> = {
+            let mut per_row: Vec<Option<usize>> = vec![None; m];
+            for &j in &self.basis {
+                // Each initial basis column has exactly one nonzero row.
+                let (r, _) = self.cols.col(j).next().expect("nonempty basis col");
+                per_row[r] = Some(j);
+            }
+            per_row
+                .into_iter()
+                .map(|o| o.expect("one basis var per row"))
+                .collect()
+        };
+        self.basis = order;
+        for (pos, &j) in self.basis.iter().enumerate() {
+            self.state[j] = VarState::Basic(pos);
+        }
+        self.refactor()?;
+        self.recompute_basics();
+        self.degen_run = 0;
+        Ok(())
+    }
+
+    /// Packages the current point into a [`Solution`] for the caller.
+    fn extract(&mut self, status: SolveStatus) -> Solution {
+        let y = {
+            // Duals under the *original* costs.
+            let saved = std::mem::replace(&mut self.work_cost, self.cost.clone());
+            self.work_cost.resize(self.total_vars(), 0.0);
+            let y = self.btran_duals();
+            self.work_cost = saved;
+            y
+        };
+        let mut reduced = vec![0.0; self.n];
+        for j in 0..self.n {
+            reduced[j] = self.cost[j] - self.cols.col_dot(j, &y);
+        }
+        // Row dual y_i is the multiplier of row i: reduced cost of the
+        // logical variable is `0 − yᵀ(−e_i) = y_i`.
+        let x = self.x[..self.n].to_vec();
+        let objective = if status == SolveStatus::Optimal {
+            self.cost[..self.n]
+                .iter()
+                .zip(x.iter())
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+                + self.obj_offset
+        } else {
+            f64::NAN
+        };
+        Solution {
+            status,
+            x,
+            objective,
+            duals: y,
+            reduced_costs: reduced,
+            iterations: self.iterations,
+        }
+    }
+}

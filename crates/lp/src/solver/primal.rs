@@ -1,0 +1,279 @@
+//! Phase-I/II bounded-variable primal simplex iterations.
+
+use super::{Simplex, VarState};
+use crate::solution::SolveStatus;
+use crate::{LpError, LpResult};
+
+/// Outcome of one pricing pass.
+enum Entering {
+    /// Variable index and movement direction (+1 increase, −1 decrease).
+    Var(usize, f64),
+    OptimalReached,
+}
+
+impl Simplex {
+    /// Runs primal iterations until optimality/unboundedness.
+    ///
+    /// Returns `Optimal` when no eligible entering variable remains, or
+    /// `Unbounded` when an improving ray exists.
+    pub(crate) fn primal_loop(&mut self) -> LpResult<SolveStatus> {
+        let limit = self.auto_iter_limit();
+        let mut w = vec![0.0; self.m];
+        // Columns rejected this round for tiny pivots; cleared on refactor.
+        let mut rejected: Vec<bool> = vec![false; self.total_vars()];
+        // Devex reference weights (approximate steepest edge): reset to the
+        // unit framework at loop entry and whenever they overflow.
+        let mut devex: Vec<f64> = vec![1.0; self.total_vars()];
+        // Duals maintained incrementally (y += θ·ρ per pivot); recomputed
+        // from scratch at every refactorization.
+        let mut y = self.btran_duals();
+        let mut local_iters = 0usize;
+        loop {
+            if local_iters > limit {
+                return Err(LpError::IterationLimit);
+            }
+            local_iters += 1;
+            if local_iters % 64 == 0 && self.deadline_passed() {
+                return Err(LpError::IterationLimit);
+            }
+
+            if self.pivots_since_refactor >= self.cfg.refactor_every {
+                self.refactor()?;
+                self.recompute_basics();
+                y = self.btran_duals();
+                rejected.iter_mut().for_each(|r| *r = false);
+            }
+
+            let bland = self.degen_run >= self.cfg.degen_threshold;
+            let entering = self.price(&y, bland, &rejected, &devex);
+            let (q, dir) = match entering {
+                Entering::OptimalReached => return Ok(SolveStatus::Optimal),
+                Entering::Var(q, dir) => (q, dir),
+            };
+
+            self.ftran(q, &mut w);
+
+            // Ratio test: entering moves by t·dir; basic j at position i
+            // changes by −dir·w[i]·t. Start from the bound-flip distance.
+            let mut t_max = self.hi[q] - self.lo[q];
+            let mut leave: Option<(usize, bool, f64)> = None; // (pos, to_upper, |pivot|)
+            let ft = self.cfg.feas_tol;
+            let tie = 1e-9;
+            for i in 0..self.m {
+                let wi = w[i] * dir;
+                if wi.abs() <= self.cfg.pivot_tol {
+                    continue;
+                }
+                let j = self.basis[i];
+                let xj = self.x[j];
+                // x_j(t) = xj − wi·t; it hits `limit_val` at t below.
+                let (limit_val, to_upper) = if wi > 0.0 {
+                    (self.lo[j], false)
+                } else {
+                    (self.hi[j], true)
+                };
+                if !limit_val.is_finite() {
+                    continue;
+                }
+                // Slightly negative ratios (bound drift) clamp to zero.
+                let t = ((xj - limit_val) / wi).max(0.0);
+                let take = if t < t_max - tie {
+                    true
+                } else if t <= t_max + tie {
+                    // Tie: Bland picks the smallest leaving index (anti-
+                    // cycling); otherwise prefer the numerically largest
+                    // pivot for stability.
+                    match leave {
+                        None => t <= t_max,
+                        Some((p, _, piv)) => {
+                            if bland {
+                                self.basis[i] < self.basis[p]
+                            } else {
+                                wi.abs() > piv
+                            }
+                        }
+                    }
+                } else {
+                    false
+                };
+                if take {
+                    t_max = t.min(t_max);
+                    leave = Some((i, to_upper, wi.abs()));
+                }
+            }
+
+            if !t_max.is_finite() {
+                return Ok(SolveStatus::Unbounded);
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: entering jumps to its opposite bound.
+                    let t = t_max;
+                    debug_assert!(t.is_finite());
+                    for i in 0..self.m {
+                        let j = self.basis[i];
+                        self.x[j] -= dir * w[i] * t;
+                    }
+                    self.x[q] += dir * t;
+                    self.state[q] = if dir > 0.0 {
+                        VarState::AtUpper
+                    } else {
+                        VarState::AtLower
+                    };
+                    self.iterations += 1;
+                    self.degen_run = if t <= ft { self.degen_run + 1 } else { 0 };
+                }
+                Some((pos, to_upper, _)) => {
+                    let t = t_max;
+                    let piv = w[pos];
+                    if piv.abs() <= self.cfg.pivot_tol {
+                        // Numerically unusable pivot; reject this column once.
+                        rejected[q] = true;
+                        continue;
+                    }
+                    // Update values.
+                    for i in 0..self.m {
+                        let j = self.basis[i];
+                        self.x[j] -= dir * w[i] * t;
+                    }
+                    let leaving = self.basis[pos];
+                    // Clamp the leaving variable exactly onto its bound.
+                    self.x[leaving] = if to_upper {
+                        self.hi[leaving]
+                    } else {
+                        self.lo[leaving]
+                    };
+                    self.state[leaving] = if to_upper {
+                        VarState::AtUpper
+                    } else {
+                        VarState::AtLower
+                    };
+                    self.x[q] += dir * t;
+                    // Shared pivot row ρ = e_posᵀB⁻¹ drives both the dual
+                    // update (y += θ·ρ) and the Devex weight update.
+                    let d_q = self.reduced_cost(q, &y);
+                    let theta = d_q / piv;
+                    let rho: Vec<f64> =
+                        self.binv[pos * self.m..(pos + 1) * self.m].to_vec();
+                    for (yi, ri) in y.iter_mut().zip(&rho) {
+                        *yi += theta * ri;
+                    }
+                    self.update_devex(&mut devex, &rho, q, piv, leaving);
+                    self.update_basis(pos, q, &w);
+                    self.iterations += 1;
+                    self.degen_run = if t <= ft { self.degen_run + 1 } else { 0 };
+                    rejected.iter_mut().for_each(|r| *r = false);
+                }
+            }
+        }
+    }
+
+    /// Devex (or Bland, when `bland`) pricing over nonbasic variables.
+    fn price(&self, y: &[f64], bland: bool, rejected: &[bool], devex: &[f64]) -> Entering {
+        let tol = self.cfg.opt_tol;
+        let mut best: Option<(usize, f64, f64)> = None; // (var, dir, score)
+        for j in 0..self.total_vars() {
+            if rejected[j] {
+                continue;
+            }
+            let dir = match self.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower => {
+                    if self.lo[j] >= self.hi[j] {
+                        continue; // fixed
+                    }
+                    1.0
+                }
+                VarState::AtUpper => {
+                    if self.lo[j] >= self.hi[j] {
+                        continue;
+                    }
+                    -1.0
+                }
+                VarState::FreeZero => 0.0,
+            };
+            let d = self.reduced_cost(j, y);
+            let (dir, score) = if dir == 0.0 {
+                // Free variable: move against the gradient.
+                if d < -tol {
+                    (1.0, -d)
+                } else if d > tol {
+                    (-1.0, d)
+                } else {
+                    continue;
+                }
+            } else if dir > 0.0 {
+                if d < -tol {
+                    (1.0, -d)
+                } else {
+                    continue;
+                }
+            } else if d > tol {
+                (-1.0, d)
+            } else {
+                continue;
+            };
+            if bland {
+                return Entering::Var(j, dir);
+            }
+            // Devex: rank by d² / reference weight.
+            let score = score * score / devex[j];
+            match best {
+                Some((_, _, s)) if s >= score => {}
+                _ => best = Some((j, dir, score)),
+            }
+        }
+        match best {
+            Some((j, dir, _)) => Entering::Var(j, dir),
+            None => Entering::OptimalReached,
+        }
+    }
+}
+
+impl Simplex {
+    /// Devex weight update (Forrest–Goldfarb) after a basis change: with
+    /// pivot row α (row `pos` of `B⁻¹A`) and pivot element `alpha_q`,
+    ///
+    /// ```text
+    ///   w_j       := max(w_j, (α_j/α_q)² · w_q)   for nonbasic j
+    ///   w_leaving := max(w_q / α_q², 1)
+    /// ```
+    ///
+    /// Weights overflowing the framework trigger a reset to 1.
+    fn update_devex(
+        &self,
+        devex: &mut [f64],
+        rho: &[f64],
+        q: usize,
+        alpha_q: f64,
+        leaving: usize,
+    ) {
+        let wq = devex[q].max(1.0);
+        let ratio = wq / (alpha_q * alpha_q);
+        let total = self.total_vars();
+        let mut overflow = false;
+        for j in 0..total {
+            if j == q {
+                continue;
+            }
+            if let super::VarState::Basic(_) = self.state[j] {
+                continue;
+            }
+            let alpha_j = self.cols.col_dot(j, rho);
+            if alpha_j != 0.0 {
+                let cand = alpha_j * alpha_j * ratio;
+                if cand > devex[j] {
+                    devex[j] = cand;
+                    if cand > 1e8 {
+                        overflow = true;
+                    }
+                }
+            }
+        }
+        devex[leaving] = ratio.max(1.0);
+        if overflow {
+            devex.iter_mut().for_each(|v| *v = 1.0);
+        }
+    }
+}

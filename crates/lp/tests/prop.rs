@@ -1,0 +1,194 @@
+//! Property tests: random feasible-by-construction LPs must solve to
+//! optimality, and the returned point must carry a valid optimality
+//! certificate (primal feasibility + dual sign conditions + complementary
+//! slackness), which by LP duality proves the answer is truly optimal —
+//! no reference solver needed.
+
+use metaopt_lp::{LpProblem, RowSense, Simplex, SolveStatus};
+use proptest::prelude::*;
+
+/// A randomly generated LP that is feasible by construction (rows are
+/// anchored around the activity of an interior point) and bounded (every
+/// variable is boxed).
+#[derive(Debug, Clone)]
+struct RandomLp {
+    problem: LpProblem,
+    n: usize,
+}
+
+fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
+    // (n, m, seed-ish data)
+    (2usize..7, 1usize..9).prop_flat_map(|(n, m)| {
+        let var_data = proptest::collection::vec((-5.0f64..5.0, 0.1f64..8.0, -4.0f64..4.0), n);
+        let row_data = proptest::collection::vec(
+            (
+                proptest::collection::vec(proptest::option::weighted(0.6, -3.0f64..3.0), n),
+                0usize..3, // sense selector
+                0.5f64..6.0,
+            ),
+            m,
+        );
+        let anchor = proptest::collection::vec(0.0f64..1.0, n);
+        (Just(n), var_data, row_data, anchor).prop_map(|(n, vars, rows, anchor)| {
+            let mut p = LpProblem::new();
+            let mut ids = Vec::new();
+            let mut point = Vec::new();
+            for (i, (lo_off, width, obj)) in vars.iter().enumerate() {
+                let lo = *lo_off;
+                let hi = lo + width;
+                ids.push(p.add_var(lo, hi, *obj).unwrap());
+                // Interior anchor point inside the box.
+                point.push(lo + anchor[i] * width);
+            }
+            for (coeffs, sense_sel, margin) in rows {
+                let entries: Vec<(usize, f64)> = coeffs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, c)| c.map(|v| (j, v)))
+                    .collect();
+                if entries.is_empty() {
+                    continue;
+                }
+                let act: f64 = entries.iter().map(|(j, c)| c * point[*j]).sum();
+                match sense_sel {
+                    0 => {
+                        p.add_row(
+                            RowSense::Le,
+                            act + margin,
+                            entries.iter().map(|(j, c)| (ids[*j], *c)),
+                        )
+                        .unwrap();
+                    }
+                    1 => {
+                        p.add_row(
+                            RowSense::Ge,
+                            act - margin,
+                            entries.iter().map(|(j, c)| (ids[*j], *c)),
+                        )
+                        .unwrap();
+                    }
+                    _ => {
+                        p.add_row(
+                            RowSense::Eq,
+                            act,
+                            entries.iter().map(|(j, c)| (ids[*j], *c)),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            RandomLp { problem: p, n }
+        })
+    })
+}
+
+/// Verifies the KKT certificate of optimality for a boxed, ranged LP.
+fn check_certificate(p: &LpProblem, sol: &metaopt_lp::Solution) {
+    const TOL: f64 = 1e-5;
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    // Primal feasibility.
+    assert!(
+        p.max_violation(&sol.x) <= TOL,
+        "primal violation {}",
+        p.max_violation(&sol.x)
+    );
+    let act = p.row_activity(&sol.x);
+    // Row duals: complementary slackness + signs.
+    for i in 0..p.n_rows() {
+        let y = sol.duals[i];
+        let (rlo, rhi) = row_range(p, i);
+        let at_lo = rlo.is_finite() && (act[i] - rlo).abs() <= TOL;
+        let at_hi = rhi.is_finite() && (act[i] - rhi).abs() <= TOL;
+        if !at_lo && !at_hi {
+            assert!(y.abs() <= TOL, "interior row {i} has dual {y}");
+        }
+        if rlo != rhi {
+            // Inequality-style row: sign condition. For the minimization
+            // form: active at upper → y <= 0 would… the convention is pinned
+            // by the logical variable's reduced cost equaling y_i; at upper
+            // it must be <= tol, at lower >= -tol.
+            if at_hi && !at_lo {
+                assert!(y <= TOL, "row {i} active at upper but dual {y} > 0");
+            }
+            if at_lo && !at_hi {
+                assert!(y >= -TOL, "row {i} active at lower but dual {y} < 0");
+            }
+        }
+    }
+    // Variable reduced costs: sign + complementary slackness.
+    for j in 0..p.n_vars() {
+        let d = sol.reduced_costs[j];
+        let (lo, hi) = var_bounds(p, j);
+        let at_lo = lo.is_finite() && (sol.x[j] - lo).abs() <= TOL;
+        let at_hi = hi.is_finite() && (sol.x[j] - hi).abs() <= TOL;
+        if !at_lo && !at_hi {
+            assert!(d.abs() <= 1e-4, "interior var {j} has reduced cost {d}");
+        } else {
+            if at_lo && !at_hi {
+                assert!(d >= -TOL, "var {j} at lower with reduced cost {d}");
+            }
+            if at_hi && !at_lo {
+                assert!(d <= TOL, "var {j} at upper with reduced cost {d}");
+            }
+        }
+    }
+}
+
+fn row_range(p: &LpProblem, _i: usize) -> (f64, f64) {
+    // LpProblem does not expose row ranges publicly; recover them through a
+    // probing clone is overkill — instead re-derive from activity bounds via
+    // the public API added for this purpose.
+    p.row_bounds(_i)
+}
+
+fn var_bounds(p: &LpProblem, j: usize) -> (f64, f64) {
+    p.bounds(metaopt_lp::VarId(j))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Feasible-by-construction LPs must come back Optimal with a valid
+    /// optimality certificate.
+    #[test]
+    fn random_lps_solve_with_certificate(rlp in random_lp_strategy()) {
+        let sol = Simplex::new(&rlp.problem).solve().unwrap();
+        prop_assert_eq!(sol.status, SolveStatus::Optimal);
+        check_certificate(&rlp.problem, &sol);
+        prop_assert_eq!(sol.x.len(), rlp.n);
+    }
+
+    /// Warm dual-simplex re-solve after a bound tightening must agree with a
+    /// cold solve of the modified problem (both in status and objective).
+    #[test]
+    fn warm_resolve_agrees_with_cold(
+        rlp in random_lp_strategy(),
+        which in 0usize..6,
+        shrink in 0.0f64..1.0,
+    ) {
+        let mut warm = Simplex::new(&rlp.problem);
+        let first = warm.solve().unwrap();
+        prop_assert_eq!(first.status, SolveStatus::Optimal);
+
+        let j = which % rlp.n;
+        let v = metaopt_lp::VarId(j);
+        let (lo, hi) = rlp.problem.bounds(v);
+        // Tighten the box around a point biased toward the current optimum.
+        let mid = lo + (hi - lo) * shrink;
+        let (nlo, nhi) = (lo, mid.max(lo));
+
+        warm.set_var_bounds(v, nlo, nhi).unwrap();
+        let resolved = warm.resolve().unwrap();
+
+        let mut p2 = rlp.problem.clone();
+        p2.set_bounds(v, nlo, nhi).unwrap();
+        let cold = Simplex::new(&p2).solve().unwrap();
+
+        prop_assert_eq!(resolved.status, cold.status);
+        if resolved.status == SolveStatus::Optimal {
+            prop_assert!((resolved.objective - cold.objective).abs() <= 1e-5 * (1.0 + cold.objective.abs()),
+                "warm {} vs cold {}", resolved.objective, cold.objective);
+            check_certificate(&p2, &resolved);
+        }
+    }
+}

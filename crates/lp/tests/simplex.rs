@@ -1,0 +1,243 @@
+//! Unit tests for the bounded-variable simplex on hand-checked LPs.
+
+use metaopt_lp::{LpProblem, RowSense, Simplex, SolveStatus, INF, NEG_INF};
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!(
+        (a - b).abs() <= tol,
+        "expected {b}, got {a} (diff {})",
+        (a - b).abs()
+    );
+}
+
+#[test]
+fn tiny_maximization() {
+    // max x + y  s.t. x + 2y <= 4, x <= 3, y <= 3, x,y >= 0
+    // optimum: x = 3, y = 0.5, value 3.5.
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, 3.0, -1.0).unwrap();
+    let y = p.add_var(0.0, 3.0, -1.0).unwrap();
+    p.add_row(RowSense::Le, 4.0, [(x, 1.0), (y, 2.0)]).unwrap();
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_close(sol.objective, -3.5, 1e-8);
+    assert_close(sol.x[0], 3.0, 1e-8);
+    assert_close(sol.x[1], 0.5, 1e-8);
+}
+
+#[test]
+fn infeasible_box_vs_row() {
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, 2.0, 1.0).unwrap();
+    p.add_row(RowSense::Ge, 5.0, [(x, 1.0)]).unwrap();
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Infeasible);
+}
+
+#[test]
+fn infeasible_conflicting_rows() {
+    let mut p = LpProblem::new();
+    let x = p.add_var(NEG_INF, INF, 0.0).unwrap();
+    let y = p.add_var(NEG_INF, INF, 1.0).unwrap();
+    p.add_row(RowSense::Eq, 1.0, [(x, 1.0), (y, 1.0)]).unwrap();
+    p.add_row(RowSense::Eq, 3.0, [(x, 1.0), (y, 1.0)]).unwrap();
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Infeasible);
+}
+
+#[test]
+fn unbounded_ray() {
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, INF, -1.0).unwrap();
+    let y = p.add_var(0.0, INF, 0.0).unwrap();
+    p.add_row(RowSense::Le, 10.0, [(y, 1.0)]).unwrap();
+    let _ = x;
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Unbounded);
+}
+
+#[test]
+fn equality_rows_and_free_vars() {
+    // min x + y  s.t. x + y = 2, x − y = 0, both free → x = y = 1.
+    let mut p = LpProblem::new();
+    let x = p.add_var(NEG_INF, INF, 1.0).unwrap();
+    let y = p.add_var(NEG_INF, INF, 1.0).unwrap();
+    p.add_row(RowSense::Eq, 2.0, [(x, 1.0), (y, 1.0)]).unwrap();
+    p.add_row(RowSense::Eq, 0.0, [(x, 1.0), (y, -1.0)]).unwrap();
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_close(sol.x[0], 1.0, 1e-8);
+    assert_close(sol.x[1], 1.0, 1e-8);
+    assert_close(sol.objective, 2.0, 1e-8);
+}
+
+#[test]
+fn negative_lower_bounds() {
+    // min x subject to x >= -5 (box), x + y >= -3, y in [0, 1].
+    let mut p = LpProblem::new();
+    let x = p.add_var(-5.0, INF, 1.0).unwrap();
+    let y = p.add_var(0.0, 1.0, 0.0).unwrap();
+    p.add_row(RowSense::Ge, -3.0, [(x, 1.0), (y, 1.0)]).unwrap();
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_close(sol.x[0], -4.0, 1e-8);
+    assert_close(sol.x[1], 1.0, 1e-8);
+}
+
+#[test]
+fn range_rows() {
+    // max x with 1 <= x + y <= 3, y fixed at 0.5 → x = 2.5.
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, INF, -1.0).unwrap();
+    let y = p.add_var(0.5, 0.5, 0.0).unwrap();
+    p.add_range_row(1.0, 3.0, [(x, 1.0), (y, 1.0)]).unwrap();
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_close(sol.x[0], 2.5, 1e-8);
+}
+
+#[test]
+fn degenerate_transportation() {
+    // Classic degenerate LP: multiple tied vertices.
+    // min Σ c_ij x_ij with balanced supply/demand of equal sizes.
+    let mut p = LpProblem::new();
+    let c = [[4.0, 1.0, 3.0], [2.0, 5.0, 2.0], [3.0, 2.0, 1.0]];
+    let mut xs = Vec::new();
+    for i in 0..3 {
+        for j in 0..3 {
+            xs.push(p.add_var(0.0, INF, c[i][j]).unwrap());
+        }
+    }
+    let supply = [10.0, 10.0, 10.0];
+    let demand = [10.0, 10.0, 10.0];
+    for i in 0..3 {
+        p.add_row(
+            RowSense::Eq,
+            supply[i],
+            (0..3).map(|j| (xs[i * 3 + j], 1.0)),
+        )
+        .unwrap();
+    }
+    for j in 0..3 {
+        p.add_row(
+            RowSense::Eq,
+            demand[j],
+            (0..3).map(|i| (xs[i * 3 + j], 1.0)),
+        )
+        .unwrap();
+    }
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    // Optimal assignment: x_01 = 10 (cost 1), x_10/x_12 split cost 2,
+    // x_22 = 10 (cost 1) → min cost 10·1 + 10·2 + 10·1 = 40.
+    assert_close(sol.objective, 40.0, 1e-6);
+}
+
+#[test]
+fn warm_restart_matches_cold() {
+    // Solve, tighten a bound, resolve via dual simplex; compare with a cold
+    // solve of the modified problem.
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, 10.0, -2.0).unwrap();
+    let y = p.add_var(0.0, 10.0, -3.0).unwrap();
+    let z = p.add_var(0.0, 10.0, -1.0).unwrap();
+    p.add_row(RowSense::Le, 12.0, [(x, 1.0), (y, 2.0), (z, 1.0)])
+        .unwrap();
+    p.add_row(RowSense::Le, 8.0, [(x, 1.0), (y, 1.0)]).unwrap();
+
+    let mut warm = Simplex::new(&p);
+    let first = warm.solve().unwrap();
+    assert_eq!(first.status, SolveStatus::Optimal);
+
+    warm.set_var_bounds(y, 0.0, 2.0).unwrap();
+    let resolved = warm.resolve().unwrap();
+
+    let mut p2 = p.clone();
+    p2.set_bounds(y, 0.0, 2.0).unwrap();
+    let cold = Simplex::new(&p2).solve().unwrap();
+
+    assert_eq!(resolved.status, SolveStatus::Optimal);
+    assert_close(resolved.objective, cold.objective, 1e-7);
+}
+
+#[test]
+fn warm_restart_detects_infeasible() {
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, 10.0, -1.0).unwrap();
+    let y = p.add_var(0.0, 10.0, -1.0).unwrap();
+    p.add_row(RowSense::Ge, 5.0, [(x, 1.0), (y, 1.0)]).unwrap();
+    let mut sx = Simplex::new(&p);
+    assert_eq!(sx.solve().unwrap().status, SolveStatus::Optimal);
+    sx.set_var_bounds(x, 0.0, 1.0).unwrap();
+    sx.set_var_bounds(y, 0.0, 1.0).unwrap();
+    assert_eq!(sx.resolve().unwrap().status, SolveStatus::Infeasible);
+}
+
+#[test]
+fn warm_restart_after_relaxation() {
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, 1.0, -1.0).unwrap();
+    p.add_row(RowSense::Le, 100.0, [(x, 1.0)]).unwrap();
+    let mut sx = Simplex::new(&p);
+    assert_close(sx.solve().unwrap().objective, -1.0, 1e-9);
+    // Relax the box: optimum should chase the new bound.
+    sx.set_var_bounds(x, 0.0, 50.0).unwrap();
+    let sol = sx.resolve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    assert_close(sol.objective, -50.0, 1e-7);
+}
+
+#[test]
+fn duals_satisfy_complementary_slackness() {
+    // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0
+    // optimum x = 4, y = 0 (value 12); first row binding.
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, INF, -3.0).unwrap();
+    let y = p.add_var(0.0, INF, -2.0).unwrap();
+    let r1 = p.add_row(RowSense::Le, 4.0, [(x, 1.0), (y, 1.0)]).unwrap();
+    let r2 = p.add_row(RowSense::Le, 6.0, [(x, 1.0), (y, 3.0)]).unwrap();
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_close(sol.objective, -12.0, 1e-8);
+    // Slack row ⇒ zero dual.
+    assert_close(sol.duals[r2.0], 0.0, 1e-8);
+    // Binding row dual carries the full objective: yᵀb = obj.
+    assert_close(sol.duals[r1.0] * 4.0 + sol.duals[r2.0] * 6.0, -12.0, 1e-7);
+}
+
+#[test]
+fn fixed_variables_are_respected() {
+    let mut p = LpProblem::new();
+    let x = p.add_var(2.0, 2.0, -1.0).unwrap();
+    let y = p.add_var(0.0, 10.0, -1.0).unwrap();
+    p.add_row(RowSense::Le, 5.0, [(x, 1.0), (y, 1.0)]).unwrap();
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_close(sol.x[0], 2.0, 1e-9);
+    assert_close(sol.x[1], 3.0, 1e-8);
+}
+
+#[test]
+fn objective_offset_reported() {
+    let mut p = LpProblem::new();
+    let x = p.add_var(0.0, 1.0, -1.0).unwrap();
+    let _ = x;
+    p.add_obj_offset(10.0);
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_close(sol.objective, 9.0, 1e-9);
+}
+
+#[test]
+fn larger_random_but_fixed_lp_is_stable() {
+    // A moderately sized LP with a known construction: maximize total flow
+    // through a 20-link chain; the bottleneck (capacity 7) caps the flow.
+    let mut p = LpProblem::new();
+    let n = 20;
+    let mut caps = vec![50.0; n];
+    caps[13] = 7.0;
+    let f = p.add_var(0.0, INF, -1.0).unwrap();
+    for (i, c) in caps.iter().enumerate() {
+        p.add_row(RowSense::Le, *c, [(f, 1.0)]).unwrap();
+        let _ = i;
+    }
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_close(sol.objective, -7.0, 1e-8);
+}

@@ -1,0 +1,197 @@
+//! Stress tests: branch-and-bound-like bound-change sequences, deadline
+//! behaviour, and degenerate/structured LP families.
+
+use metaopt_lp::{LpProblem, RowSense, Simplex, SimplexConfig, SolveStatus, VarId, INF};
+use proptest::prelude::*;
+
+/// Builds a transportation-style LP (m sources × n sinks) — heavily
+/// degenerate, a classic simplex stressor.
+fn transportation(m: usize, n: usize, seed: u64) -> LpProblem {
+    let mut p = LpProblem::new();
+    let mut cost = seed;
+    let mut next = move || {
+        cost ^= cost << 13;
+        cost ^= cost >> 7;
+        cost ^= cost << 17;
+        (cost % 97) as f64 / 10.0 + 0.1
+    };
+    let xs: Vec<Vec<VarId>> = (0..m)
+        .map(|_| {
+            (0..n)
+                .map(|_| p.add_var(0.0, INF, next()).unwrap())
+                .collect()
+        })
+        .collect();
+    let supply = 10.0 * n as f64 / m as f64;
+    for row in &xs {
+        p.add_row(RowSense::Le, supply, row.iter().map(|&v| (v, 1.0)))
+            .unwrap();
+    }
+    for j in 0..n {
+        p.add_row(RowSense::Ge, 8.0, (0..m).map(|i| (xs[i][j], 1.0)))
+            .unwrap();
+    }
+    p
+}
+
+#[test]
+fn transportation_families_solve() {
+    for (m, n, seed) in [(3, 4, 1), (5, 5, 2), (6, 8, 3), (10, 10, 4)] {
+        let p = transportation(m, n, seed);
+        let sol = Simplex::new(&p).solve().unwrap();
+        assert_eq!(
+            sol.status,
+            SolveStatus::Optimal,
+            "transportation({m},{n},{seed})"
+        );
+        assert!(p.max_violation(&sol.x) < 1e-6);
+    }
+}
+
+/// Simulates a branch-and-bound dive: repeatedly fix variables to zero and
+/// warm re-solve, then backtrack (relax) in reverse order. Every warm
+/// answer must match a cold solve of the same bound set.
+#[test]
+fn bnb_like_bound_sequences_stay_consistent() {
+    let p = transportation(4, 5, 9);
+    let mut warm = Simplex::new(&p);
+    let first = warm.solve().unwrap();
+    assert_eq!(first.status, SolveStatus::Optimal);
+
+    let fix_order = [0usize, 7, 3, 11, 5];
+    let mut fixed: Vec<usize> = Vec::new();
+    // Dive.
+    for &j in &fix_order {
+        warm.set_var_bounds(VarId(j), 0.0, 0.0).unwrap();
+        fixed.push(j);
+        let w = warm.resolve().unwrap();
+        let mut cold_p = p.clone();
+        for &k in &fixed {
+            cold_p.set_bounds(VarId(k), 0.0, 0.0).unwrap();
+        }
+        let c = Simplex::new(&cold_p).solve().unwrap();
+        assert_eq!(w.status, c.status, "dive at {fixed:?}");
+        if w.status == SolveStatus::Optimal {
+            assert!(
+                (w.objective - c.objective).abs() <= 1e-6 * (1.0 + c.objective.abs()),
+                "dive {fixed:?}: warm {} cold {}",
+                w.objective,
+                c.objective
+            );
+        }
+    }
+    // Backtrack.
+    while let Some(j) = fixed.pop() {
+        warm.set_var_bounds(VarId(j), 0.0, INF).unwrap();
+        let w = warm.resolve().unwrap();
+        let mut cold_p = p.clone();
+        for &k in &fixed {
+            cold_p.set_bounds(VarId(k), 0.0, 0.0).unwrap();
+        }
+        let c = Simplex::new(&cold_p).solve().unwrap();
+        assert_eq!(w.status, c.status, "backtrack at {fixed:?}");
+        if w.status == SolveStatus::Optimal {
+            assert!(
+                (w.objective - c.objective).abs() <= 1e-6 * (1.0 + c.objective.abs()),
+                "backtrack {fixed:?}: warm {} cold {}",
+                w.objective,
+                c.objective
+            );
+        }
+    }
+}
+
+/// A deadline in the past aborts promptly with IterationLimit instead of
+/// hanging; clearing it restores normal solves.
+#[test]
+fn deadline_aborts_and_clears() {
+    let p = transportation(12, 12, 5);
+    let mut sx = Simplex::new(&p);
+    sx.set_deadline(Some(std::time::Instant::now()));
+    match sx.solve() {
+        Err(metaopt_lp::LpError::IterationLimit) => {}
+        Ok(sol) => {
+            // Tiny problems may finish before the first deadline check —
+            // acceptable, but the answer must then be optimal.
+            assert_eq!(sol.status, SolveStatus::Optimal);
+        }
+        Err(e) => panic!("unexpected error {e}"),
+    }
+    sx.set_deadline(None);
+    let sol = sx.solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Optimal);
+}
+
+/// Tight custom configs (frequent refactor, low degen threshold) must not
+/// change answers.
+#[test]
+fn config_variations_agree() {
+    let p = transportation(5, 6, 11);
+    let baseline = Simplex::new(&p).solve().unwrap().objective;
+    for cfg in [
+        SimplexConfig {
+            refactor_every: 8,
+            ..Default::default()
+        },
+        SimplexConfig {
+            degen_threshold: 1,
+            ..Default::default()
+        },
+        SimplexConfig {
+            refactor_every: 4,
+            degen_threshold: 2,
+            ..Default::default()
+        },
+    ] {
+        let sol = Simplex::with_config(&p, cfg).solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(
+            (sol.objective - baseline).abs() <= 1e-6 * (1.0 + baseline.abs()),
+            "config changed objective: {} vs {baseline}",
+            sol.objective
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random multi-step bound tightening on random transportation LPs:
+    /// warm always agrees with cold.
+    #[test]
+    fn random_bound_walks_agree(
+        m in 2usize..5,
+        n in 2usize..5,
+        seed in 1u64..500,
+        steps in proptest::collection::vec((0usize..25, 0usize..3), 1..6),
+    ) {
+        let p = transportation(m, n, seed);
+        let nvars = m * n;
+        let mut warm = Simplex::new(&p);
+        if warm.solve().unwrap().status != SolveStatus::Optimal {
+            return Ok(());
+        }
+        let mut bounds: Vec<(f64, f64)> = (0..nvars).map(|_| (0.0, INF)).collect();
+        for (raw_j, action) in steps {
+            let j = raw_j % nvars;
+            let nb = match action {
+                0 => (0.0, 0.0),          // fix to zero
+                1 => (0.0, 4.0),          // cap
+                _ => (0.0, INF),          // relax
+            };
+            bounds[j] = nb;
+            warm.set_var_bounds(VarId(j), nb.0, nb.1).unwrap();
+            let w = warm.resolve().unwrap();
+            let mut cold_p = p.clone();
+            for (k, &(lo, hi)) in bounds.iter().enumerate() {
+                cold_p.set_bounds(VarId(k), lo, hi).unwrap();
+            }
+            let c = Simplex::new(&cold_p).solve().unwrap();
+            prop_assert_eq!(w.status, c.status);
+            if w.status == SolveStatus::Optimal {
+                prop_assert!((w.objective - c.objective).abs() <= 1e-5 * (1.0 + c.objective.abs()),
+                    "warm {} cold {}", w.objective, c.objective);
+            }
+        }
+    }
+}

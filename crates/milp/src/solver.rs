@@ -1,0 +1,585 @@
+//! The branch-and-bound search.
+
+use crate::{MilpError, MilpResult};
+use metaopt_lp::{Simplex, SolveStatus, VarId};
+use metaopt_model::{compile::compile, CompiledModel, Model};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+/// Tunable branch-and-bound parameters (defaults follow the paper's §3.3
+/// methodology where applicable).
+#[derive(Debug, Clone)]
+pub struct MilpConfig {
+    /// Hard wall-clock budget.
+    pub time_limit: Option<Duration>,
+    /// Stop when `(incumbent − bound) / max(1, |incumbent|) <= rel_gap`.
+    pub rel_gap: f64,
+    /// §3.3 stall rule: stop when no relative improvement of at least
+    /// [`MilpConfig::stall_improvement`] happened within this window.
+    pub stall_window: Option<Duration>,
+    /// Relative improvement threshold for the stall rule (paper: 0.5%).
+    pub stall_improvement: f64,
+    /// Node budget.
+    pub max_nodes: usize,
+    /// Integrality tolerance on binaries.
+    pub int_tol: f64,
+    /// Complementarity tolerance: a pair `(λ, s)` is violated when
+    /// `min(λ, s) > compl_tol · (1 + max(λ, s))`.
+    pub compl_tol: f64,
+    /// Invoke the incumbent callback every this many nodes (0 = never).
+    pub callback_every: usize,
+    /// Stop as soon as an incumbent at least this good exists (model space:
+    /// `>=` for Max objectives, `<=` for Min). Used by feasibility probes
+    /// such as the §3.3 binary sweep ("any input with a gap at least g").
+    pub target_objective: Option<f64>,
+}
+
+impl Default for MilpConfig {
+    fn default() -> Self {
+        MilpConfig {
+            time_limit: None,
+            rel_gap: 1e-6,
+            stall_window: None,
+            stall_improvement: 0.005,
+            max_nodes: usize::MAX,
+            int_tol: 1e-6,
+            compl_tol: 1e-6,
+            callback_every: 1,
+            target_objective: None,
+        }
+    }
+}
+
+impl MilpConfig {
+    /// Convenience: a configuration with only a time budget set.
+    pub fn with_time_limit(seconds: f64) -> Self {
+        MilpConfig {
+            time_limit: Some(Duration::from_secs_f64(seconds)),
+            ..Default::default()
+        }
+    }
+}
+
+/// Terminal status of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// Proven optimal (within the configured relative gap).
+    Optimal,
+    /// A feasible incumbent exists but budgets expired before proving
+    /// optimality.
+    Feasible,
+    /// Proven infeasible.
+    Infeasible,
+    /// The relaxation is unbounded.
+    Unbounded,
+    /// Budgets expired with no feasible point found (inconclusive).
+    NoSolution,
+}
+
+/// Outcome of a branch-and-bound run, in *model* space (a `Max` objective is
+/// reported as a maximum, etc.).
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Terminal status.
+    pub status: MilpStatus,
+    /// Values per model variable (meaningful for `Optimal`/`Feasible`).
+    pub values: Vec<f64>,
+    /// Incumbent objective.
+    pub objective: f64,
+    /// Best dual bound on the objective (for `Max`: an upper bound).
+    pub best_bound: f64,
+    /// `(incumbent − bound)` relative gap at termination.
+    pub rel_gap: f64,
+    /// Nodes processed.
+    pub nodes: usize,
+    /// Total LP simplex pivots.
+    pub lp_iterations: usize,
+    /// Nodes pruned due to LP numerical failures (soundness caveat if > 0).
+    pub numerical_prunes: usize,
+    /// Wall-clock time of the search.
+    pub solve_time: Duration,
+    /// `(seconds_since_start, incumbent_objective)` at every improvement.
+    pub trajectory: Vec<(f64, f64)>,
+}
+
+/// Domain hook that turns a relaxation point into a true feasible solution.
+///
+/// `relaxation` holds model-variable values of the current LP relaxation.
+/// Implementations return a *feasible* assignment of all model variables
+/// together with its (model-space) objective value. The solver trusts the
+/// reported objective for pruning — implementations must only return values
+/// realized by a genuinely feasible point (e.g. obtained by running the
+/// actual heuristic on candidate inputs).
+pub trait IncumbentCallback {
+    /// Proposes a feasible solution, or `None`.
+    fn propose(&mut self, relaxation: &[f64]) -> Option<(Vec<f64>, f64)>;
+}
+
+/// No-op callback.
+struct NoCallback;
+
+impl IncumbentCallback for NoCallback {
+    fn propose(&mut self, _relaxation: &[f64]) -> Option<(Vec<f64>, f64)> {
+        None
+    }
+}
+
+/// Solves `model` by branch-and-bound with default behaviour.
+pub fn solve(model: &Model, cfg: &MilpConfig) -> MilpResult<MilpSolution> {
+    solve_with_callback(model, cfg, &mut NoCallback)
+}
+
+#[derive(Debug)]
+struct Node {
+    /// Cumulative bound changes from the root: `(var, lo, hi)`.
+    changes: Vec<(VarId, f64, f64)>,
+    /// Parent relaxation objective (min-space): a valid bound for this node.
+    bound: f64,
+    depth: usize,
+}
+
+/// Heap wrapper ordered so the smallest `bound` pops first.
+struct ByBound(Node);
+
+impl PartialEq for ByBound {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for ByBound {}
+impl PartialOrd for ByBound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByBound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the min bound on top.
+        other
+            .0
+            .bound
+            .partial_cmp(&self.0.bound)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Solves `model` by branch-and-bound, consulting `callback` for incumbents.
+pub fn solve_with_callback(
+    model: &Model,
+    cfg: &MilpConfig,
+    callback: &mut dyn IncumbentCallback,
+) -> MilpResult<MilpSolution> {
+    let start = Instant::now();
+    let cm = compile(model)?;
+    let mut search = Search::new(&cm, cfg, callback);
+    search.run(start)?;
+    Ok(search.finish(start))
+}
+
+struct Search<'a> {
+    cm: &'a CompiledModel,
+    cfg: &'a MilpConfig,
+    callback: &'a mut dyn IncumbentCallback,
+    simplex: Simplex,
+    root_bounds: Vec<(f64, f64)>,
+    /// Vars currently deviating from root bounds.
+    applied: HashMap<usize, ()>,
+    heap: BinaryHeap<ByBound>,
+    dive: Option<Node>,
+    /// Incumbent in min-space.
+    incumbent: Option<(Vec<f64>, f64)>,
+    /// Bound of the node currently being processed (min-space).
+    nodes: usize,
+    numerical_prunes: usize,
+    trajectory: Vec<(f64, f64)>,
+    last_improvement: Instant,
+    last_stall_value: f64,
+    stopped_early: bool,
+    proven_bound: f64,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        cm: &'a CompiledModel,
+        cfg: &'a MilpConfig,
+        callback: &'a mut dyn IncumbentCallback,
+    ) -> Self {
+        let mut simplex = Simplex::new(&cm.lp);
+        if let Some(tl) = cfg.time_limit {
+            simplex.set_deadline(Some(Instant::now() + tl));
+        }
+        let root_bounds = (0..cm.lp.n_vars())
+            .map(|j| cm.lp.bounds(VarId(j)))
+            .collect();
+        Search {
+            cm,
+            cfg,
+            callback,
+            simplex,
+            root_bounds,
+            applied: HashMap::new(),
+            heap: BinaryHeap::new(),
+            dive: None,
+            incumbent: None,
+            nodes: 0,
+            numerical_prunes: 0,
+            trajectory: Vec::new(),
+            last_improvement: Instant::now(),
+            last_stall_value: f64::INFINITY,
+            stopped_early: false,
+            proven_bound: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Applies a node's bound set (restoring root bounds first).
+    fn apply_bounds(&mut self, node: &Node) -> MilpResult<()> {
+        let mut target: HashMap<usize, (f64, f64)> = HashMap::new();
+        for &(v, lo, hi) in &node.changes {
+            target.insert(v.0, (lo, hi));
+        }
+        // Restore vars no longer constrained.
+        let stale: Vec<usize> = self
+            .applied
+            .keys()
+            .filter(|k| !target.contains_key(k))
+            .copied()
+            .collect();
+        for j in stale {
+            let (lo, hi) = self.root_bounds[j];
+            self.simplex.set_var_bounds(VarId(j), lo, hi)?;
+            self.applied.remove(&j);
+        }
+        for (j, (lo, hi)) in target {
+            self.simplex.set_var_bounds(VarId(j), lo, hi)?;
+            self.applied.insert(j, ());
+        }
+        Ok(())
+    }
+
+    /// Min-space incumbent objective (∞ if none).
+    fn incumbent_obj(&self) -> f64 {
+        self.incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o)
+    }
+
+    fn record_incumbent(&mut self, values: Vec<f64>, min_obj: f64, start: Instant) {
+        if min_obj < self.incumbent_obj() - 1e-12 {
+            let improvement = if self.last_stall_value.is_finite() {
+                (self.last_stall_value - min_obj).abs() / self.last_stall_value.abs().max(1.0)
+            } else {
+                f64::INFINITY
+            };
+            if improvement >= self.cfg.stall_improvement {
+                self.last_improvement = Instant::now();
+                self.last_stall_value = min_obj;
+            }
+            self.incumbent = Some((values, min_obj));
+            self.trajectory
+                .push((start.elapsed().as_secs_f64(), self.cm.restore_objective(min_obj)));
+        }
+    }
+
+    /// Checks global stop conditions. Returns true when the search should
+    /// halt.
+    fn budgets_exhausted(&mut self, start: Instant, in_hand: f64) -> bool {
+        if let Some(tl) = self.cfg.time_limit {
+            if start.elapsed() >= tl {
+                self.stopped_early = true;
+                return true;
+            }
+        }
+        if let Some(w) = self.cfg.stall_window {
+            if self.incumbent.is_some() && self.last_improvement.elapsed() >= w {
+                self.stopped_early = true;
+                return true;
+            }
+        }
+        if self.nodes >= self.cfg.max_nodes {
+            self.stopped_early = true;
+            return true;
+        }
+        if let Some(target) = self.cfg.target_objective {
+            // Convert once to min-space (restore_objective is an involution).
+            let target_min = self.cm.restore_objective(target);
+            if self.incumbent_obj() <= target_min + 1e-9 {
+                self.stopped_early = true;
+                return true;
+            }
+        }
+        // Gap-based stop (the bound of the node currently in hand counts
+        // as open: it has not been explored yet).
+        if let Some((_, inc)) = &self.incumbent {
+            let bound = self.open_bound().min(in_hand);
+            let gap = (inc - bound) / inc.abs().max(1.0);
+            if gap <= self.cfg.rel_gap {
+                self.proven_bound = bound;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Best (lowest) bound among open nodes.
+    fn open_bound(&self) -> f64 {
+        let mut b = f64::INFINITY;
+        if let Some(top) = self.heap.peek() {
+            b = b.min(top.0.bound);
+        }
+        if let Some(d) = &self.dive {
+            b = b.min(d.bound);
+        }
+        b.min(self.incumbent_obj())
+    }
+
+    fn next_node(&mut self) -> Option<Node> {
+        if let Some(n) = self.dive.take() {
+            return Some(n);
+        }
+        while let Some(ByBound(n)) = self.heap.pop() {
+            if n.bound < self.incumbent_obj() - 1e-9 {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    fn run(&mut self, start: Instant) -> MilpResult<()> {
+        // Seed the incumbent before the (potentially expensive) root
+        // relaxation: domain callbacks can produce certified solutions from
+        // structural knowledge alone, keeping the search anytime even when
+        // the root LP consumes most of a tight budget.
+        if self.cfg.callback_every > 0 {
+            let origin = vec![0.0; self.cm.var_map.len()];
+            if let Some((vals, model_obj)) = self.callback.propose(&origin) {
+                let min_obj = to_min_space(self.cm, model_obj);
+                self.record_incumbent(vals, min_obj, start);
+            }
+        }
+        // Root node.
+        let root = Node {
+            changes: Vec::new(),
+            bound: f64::NEG_INFINITY,
+            depth: 0,
+        };
+        self.dive = Some(root);
+
+        while let Some(node) = self.next_node() {
+            if self.budgets_exhausted(start, node.bound) {
+                // Keep the node's bound visible to the final gap report.
+                self.heap.push(ByBound(node));
+                return Ok(());
+            }
+            self.nodes += 1;
+            self.process(node, start)?;
+        }
+        // Tree exhausted: the incumbent (if any) is optimal.
+        self.proven_bound = self.incumbent_obj();
+        Ok(())
+    }
+
+    fn process(&mut self, node: Node, start: Instant) -> MilpResult<()> {
+        self.apply_bounds(&node)?;
+        let deadline_hit = |cfg: &MilpConfig| {
+            cfg.time_limit
+                .is_some_and(|tl| start.elapsed() >= tl)
+        };
+        let sol = match self.simplex.resolve() {
+            Ok(s) => s,
+            Err(metaopt_lp::LpError::IterationLimit) if deadline_hit(self.cfg) => {
+                // The wall-clock budget interrupted the LP mid-solve; keep
+                // the node open so the final bound stays honest.
+                self.stopped_early = true;
+                self.heap.push(ByBound(node));
+                return Ok(());
+            }
+            Err(metaopt_lp::LpError::IterationLimit) | Err(metaopt_lp::LpError::Numerical(_)) => {
+                // One cold retry, then prune conservatively.
+                match self.simplex.solve() {
+                    Ok(s) => s,
+                    Err(metaopt_lp::LpError::IterationLimit) if deadline_hit(self.cfg) => {
+                        self.stopped_early = true;
+                        self.heap.push(ByBound(node));
+                        return Ok(());
+                    }
+                    Err(_) => {
+                        self.numerical_prunes += 1;
+                        return Ok(());
+                    }
+                }
+            }
+            Err(e) => return Err(MilpError::Lp(e)),
+        };
+        match sol.status {
+            SolveStatus::Infeasible => return Ok(()),
+            SolveStatus::Unbounded => {
+                // Only possible at the root of a bounded search; treated by
+                // the caller via proven_bound = −∞ and no incumbent.
+                self.proven_bound = f64::NEG_INFINITY;
+                return Err(MilpError::Model(
+                    "relaxation is unbounded; bound the outer variables".into(),
+                ));
+            }
+            SolveStatus::Optimal => {}
+        }
+        let obj = sol.objective;
+        if obj >= self.incumbent_obj() - 1e-9 {
+            return Ok(()); // pruned by bound
+        }
+
+        // Incumbent callback on the relaxation point.
+        if self.cfg.callback_every > 0 && (self.nodes - 1) % self.cfg.callback_every == 0 {
+            let relax_vals = self.cm.extract_values(&sol.x);
+            if let Some((vals, model_obj)) = self.callback.propose(&relax_vals) {
+                let min_obj = to_min_space(self.cm, model_obj);
+                self.record_incumbent(vals, min_obj, start);
+            }
+        }
+
+        // Find a violated branching object. Binary branching is preferred:
+        // indicator structure usually dominates the conditional heuristics'
+        // search space.
+        let lp_x = &sol.x;
+        match (
+            self.most_fractional_binary(lp_x),
+            self.most_violated_compl(lp_x),
+        ) {
+            (None, None) => {
+                // Integer & complementary feasible: true solution.
+                let vals = self.cm.extract_values(lp_x);
+                self.record_incumbent(vals, obj, start);
+            }
+            (Some((v, value, _frac)), _) => {
+                self.branch_binary(node, v, value, obj);
+            }
+            (None, Some((mult, slack, mval, sval))) => {
+                self.branch_compl(node, mult, slack, mval, sval, obj);
+            }
+        }
+        Ok(())
+    }
+
+    fn most_fractional_binary(&self, lp_x: &[f64]) -> Option<(VarId, f64, f64)> {
+        let mut best: Option<(VarId, f64, f64)> = None;
+        for b in &self.cm.binaries {
+            let id = self.cm.lp_var(*b);
+            let x = lp_x[id.0];
+            let frac = (x - x.round()).abs();
+            if frac > self.cfg.int_tol {
+                match best {
+                    Some((_, _, bf)) if bf >= frac => {}
+                    _ => best = Some((id, x, frac)),
+                }
+            }
+        }
+        best
+    }
+
+    fn most_violated_compl(&self, lp_x: &[f64]) -> Option<(VarId, VarId, f64, f64)> {
+        let mut best: Option<(VarId, VarId, f64, f64, f64)> = None;
+        for &(m, s) in &self.cm.compl_pairs {
+            let mv = lp_x[m.0];
+            let sv = lp_x[s.0];
+            let viol = mv.min(sv);
+            if viol > self.cfg.compl_tol * (1.0 + mv.max(sv)) {
+                match best {
+                    Some((.., bviol)) if bviol >= viol => {}
+                    _ => best = Some((m, s, mv, sv, viol)),
+                }
+            }
+        }
+        best.map(|(m, s, mv, sv, _)| (m, s, mv, sv))
+    }
+
+    fn branch_binary(&mut self, node: Node, v: VarId, value: f64, obj: f64) {
+        let rounded = value.round().clamp(0.0, 1.0);
+        let mut dive_changes = node.changes.clone();
+        dive_changes.push((v, rounded, rounded));
+        let other = 1.0 - rounded;
+        let mut alt_changes = node.changes;
+        alt_changes.push((v, other, other));
+        self.dive = Some(Node {
+            changes: dive_changes,
+            bound: obj,
+            depth: node.depth + 1,
+        });
+        self.heap.push(ByBound(Node {
+            changes: alt_changes,
+            bound: obj,
+            depth: node.depth + 1,
+        }));
+    }
+
+    fn branch_compl(
+        &mut self,
+        node: Node,
+        mult: VarId,
+        slack: VarId,
+        mval: f64,
+        sval: f64,
+        obj: f64,
+    ) {
+        // Dive on the side closer to zero (least disruptive fix).
+        let (fix_first, fix_second) = if mval <= sval {
+            (mult, slack)
+        } else {
+            (slack, mult)
+        };
+        let mut dive_changes = node.changes.clone();
+        dive_changes.push((fix_first, 0.0, 0.0));
+        let mut alt_changes = node.changes;
+        alt_changes.push((fix_second, 0.0, 0.0));
+        self.dive = Some(Node {
+            changes: dive_changes,
+            bound: obj,
+            depth: node.depth + 1,
+        });
+        self.heap.push(ByBound(Node {
+            changes: alt_changes,
+            bound: obj,
+            depth: node.depth + 1,
+        }));
+    }
+
+    fn finish(mut self, start: Instant) -> MilpSolution {
+        let bound_min = if self.stopped_early {
+            self.open_bound()
+        } else {
+            self.proven_bound
+        };
+        let (status, values, objective) = match (&self.incumbent, self.stopped_early) {
+            (Some((vals, obj)), early) => {
+                let gap = (obj - bound_min) / obj.abs().max(1.0);
+                let st = if !early || gap <= self.cfg.rel_gap {
+                    MilpStatus::Optimal
+                } else {
+                    MilpStatus::Feasible
+                };
+                (st, vals.clone(), *obj)
+            }
+            (None, true) => (MilpStatus::NoSolution, Vec::new(), f64::NAN),
+            (None, false) => (MilpStatus::Infeasible, Vec::new(), f64::NAN),
+        };
+        let rel_gap = if objective.is_nan() {
+            f64::INFINITY
+        } else {
+            ((objective - bound_min) / objective.abs().max(1.0)).max(0.0)
+        };
+        MilpSolution {
+            status,
+            values,
+            objective: self.cm.restore_objective(objective),
+            best_bound: self.cm.restore_objective(bound_min),
+            rel_gap,
+            nodes: self.nodes,
+            lp_iterations: self.simplex.iterations(),
+            numerical_prunes: self.numerical_prunes,
+            solve_time: start.elapsed(),
+            trajectory: std::mem::take(&mut self.trajectory),
+        }
+    }
+}
+
+fn to_min_space(cm: &CompiledModel, model_obj: f64) -> f64 {
+    // restore_objective is an involution (negate or identity).
+    cm.restore_objective(model_obj)
+}

@@ -1,0 +1,115 @@
+//! Binary-sweep feasibility driver (§3.3 of the paper).
+//!
+//! For solvers that expose no incremental progress (the paper's Z3 path),
+//! the method "iteratively asks for any input with a gap that is at least as
+//! large as a specified value and binary-sweeps the value with a fixed
+//! timeout". This module implements that strategy generically: the caller
+//! supplies a predicate that tries to find a witness with value ≥ g (e.g. by
+//! adding `gap >= g` to the model and running a budgeted feasibility solve).
+
+use crate::MilpResult;
+
+/// Result of a [`binary_sweep`].
+#[derive(Debug, Clone)]
+pub enum SweepOutcome<W> {
+    /// The largest threshold for which a witness was found, the witness, and
+    /// the number of probes spent.
+    Found {
+        /// Highest threshold with a witness.
+        threshold: f64,
+        /// The witness returned by the probe at `threshold`.
+        witness: W,
+        /// Number of probe invocations.
+        probes: usize,
+    },
+    /// No threshold in `[lo, hi]` produced a witness.
+    NotFound {
+        /// Number of probe invocations.
+        probes: usize,
+    },
+}
+
+/// Binary-searches the largest `g ∈ [lo, hi]` for which `probe(g)` returns a
+/// witness, to within absolute resolution `resolution`.
+///
+/// `probe` is typically "solve the feasibility problem `gap >= g` under a
+/// fixed time budget"; a `None` result is treated as *no witness at this
+/// threshold* (which, under a timeout, is a heuristic answer — the sweep is
+/// a search strategy, not a proof, exactly as in the paper).
+pub fn binary_sweep<W>(
+    lo: f64,
+    hi: f64,
+    resolution: f64,
+    mut probe: impl FnMut(f64) -> MilpResult<Option<W>>,
+) -> MilpResult<SweepOutcome<W>> {
+    assert!(lo <= hi && resolution > 0.0);
+    let mut probes = 0usize;
+    let mut best: Option<(f64, W)>;
+
+    // Establish feasibility at the bottom of the range first.
+    let mut lo_bound = lo;
+    let mut hi_bound = hi;
+    probes += 1;
+    match probe(lo)? {
+        Some(w) => best = Some((lo, w)),
+        None => return Ok(SweepOutcome::NotFound { probes }),
+    }
+
+    while hi_bound - lo_bound > resolution {
+        let mid = 0.5 * (lo_bound + hi_bound);
+        probes += 1;
+        match probe(mid)? {
+            Some(w) => {
+                best = Some((mid, w));
+                lo_bound = mid;
+            }
+            None => {
+                hi_bound = mid;
+            }
+        }
+    }
+
+    let (threshold, witness) = best.expect("seeded above");
+    Ok(SweepOutcome::Found {
+        threshold,
+        witness,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_converges_to_boundary() {
+        // Witness exists iff g <= 7.3.
+        let out = binary_sweep(0.0, 10.0, 1e-3, |g| {
+            Ok(if g <= 7.3 { Some(g) } else { None })
+        })
+        .unwrap();
+        match out {
+            SweepOutcome::Found { threshold, .. } => {
+                assert!((threshold - 7.3).abs() < 1e-2, "threshold {threshold}");
+            }
+            SweepOutcome::NotFound { .. } => panic!("should find"),
+        }
+    }
+
+    #[test]
+    fn sweep_reports_not_found() {
+        let out = binary_sweep(1.0, 2.0, 1e-3, |_g| Ok(None::<f64>)).unwrap();
+        assert!(matches!(out, SweepOutcome::NotFound { probes: 1 }));
+    }
+
+    #[test]
+    fn sweep_handles_everywhere_feasible() {
+        let out = binary_sweep(0.0, 4.0, 1e-3, |g| Ok(Some(g))).unwrap();
+        match out {
+            SweepOutcome::Found { threshold, .. } => {
+                assert!((threshold - 4.0).abs() < 1e-2);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Branch-and-bound integration tests: binaries, complementarity pairs,
+//! KKT systems, sorting networks, and callbacks.
+
+use metaopt_milp::{solve, solve_with_callback, IncumbentCallback, MilpConfig, MilpStatus};
+use metaopt_model::{bigm, kkt, sortnet, InnerProblem, LinExpr, Model, ObjSense, Sense};
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+}
+
+#[test]
+fn pure_lp_model() {
+    let mut m = Model::new();
+    let x = m.add_var("x", 0.0, 3.0).unwrap();
+    let y = m.add_var("y", 0.0, 3.0).unwrap();
+    m.constrain(x + y, Sense::Le, 4.0).unwrap();
+    m.set_objective(ObjSense::Max, LinExpr::from(x) + 2.0 * y)
+        .unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert_close(sol.objective, 7.0, 1e-7);
+    assert_eq!(sol.nodes, 1);
+}
+
+#[test]
+fn knapsack_exact() {
+    // Items (value, weight): optimum picks {0, 2, 3} → value 11, weight 9.
+    let values = [6.0, 5.0, 3.0, 2.0];
+    let weights = [4.0, 4.0, 3.0, 2.0];
+    let cap = 9.0;
+    let mut m = Model::new();
+    let zs: Vec<_> = (0..4)
+        .map(|i| m.add_binary(format!("z{i}")).unwrap())
+        .collect();
+    let mut wsum = LinExpr::zero();
+    let mut vsum = LinExpr::zero();
+    for i in 0..4 {
+        wsum.add_term(zs[i], weights[i]);
+        vsum.add_term(zs[i], values[i]);
+    }
+    m.constrain(wsum, Sense::Le, cap).unwrap();
+    m.set_objective(ObjSense::Max, vsum).unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    // Two optima tie at 11 ({0,1} and {0,2,3}); check value + feasibility.
+    assert_close(sol.objective, 11.0, 1e-7);
+    let wt: f64 = (0..4).map(|i| weights[i] * sol.values[zs[i].0]).sum();
+    assert!(wt <= cap + 1e-6, "weight {wt} exceeds capacity");
+    for i in 0..4 {
+        let z = sol.values[zs[i].0];
+        assert!((z - z.round()).abs() < 1e-6, "z{i}={z} not integral");
+    }
+}
+
+#[test]
+fn infeasible_binaries() {
+    let mut m = Model::new();
+    let a = m.add_binary("a").unwrap();
+    let b = m.add_binary("b").unwrap();
+    m.constrain(LinExpr::from(a) + b, Sense::Ge, 1.5).unwrap();
+    m.constrain(LinExpr::from(a) + b, Sense::Le, 1.4).unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Infeasible);
+}
+
+/// The Figure-2 rectangle KKT system solved end-to-end: for P = 8 the
+/// solver must produce w = ℓ = 2 and λ = 2 out of pure feasibility.
+#[test]
+fn figure2_rectangle_via_bnb() {
+    let mut m = Model::new();
+    let p = m.add_var("P", 8.0, 8.0).unwrap();
+    let mut inner = InnerProblem::new("rect");
+    let w = inner
+        .add_var(&mut m, "w", f64::NEG_INFINITY, f64::INFINITY)
+        .unwrap();
+    let l = inner
+        .add_var(&mut m, "l", f64::NEG_INFINITY, f64::INFINITY)
+        .unwrap();
+    inner
+        .constrain(LinExpr::from(p) - 2.0 * w - 2.0 * l, Sense::Le)
+        .unwrap();
+    inner.set_objective(ObjSense::Min, LinExpr::zero());
+    inner.add_quadratic(w, 1.0);
+    inner.add_quadratic(l, 1.0);
+    let art = kkt::append_kkt(&mut m, &inner, 1e3).unwrap();
+    // Pure feasibility: no objective.
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert_close(sol.values[w.0], 2.0, 1e-6);
+    assert_close(sol.values[l.0], 2.0, 1e-6);
+    assert_close(sol.values[art.multipliers[0].0], 2.0, 1e-6);
+}
+
+/// Inner-optimality certification: minimize x subject to "x solves
+/// max x s.t. x <= θ, x <= 5" with θ fixed to 3. Without KKT the minimum
+/// would be 0; with KKT the only feasible x is 3.
+#[test]
+fn kkt_certifies_inner_optimality() {
+    let mut m = Model::new();
+    let theta = m.add_var("theta", 3.0, 3.0).unwrap();
+    let mut inner = InnerProblem::new("follow");
+    let x = inner.add_var(&mut m, "x", 0.0, f64::INFINITY).unwrap();
+    inner
+        .constrain(LinExpr::from(x) - theta, Sense::Le)
+        .unwrap();
+    inner.constrain_pair(x, Sense::Le, 5.0).unwrap();
+    inner.set_objective(ObjSense::Max, x);
+    kkt::append_kkt(&mut m, &inner, 1e3).unwrap();
+    m.set_objective(ObjSense::Min, x).unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert_close(sol.objective, 3.0, 1e-6);
+    assert_close(sol.values[x.0], 3.0, 1e-6);
+}
+
+/// A two-follower gap problem in miniature: the leader picks θ ∈ [0, 4] to
+/// maximize OPT(θ) − HEU(θ) where OPT(θ) = max {x : x ≤ θ, x ≤ 3} and
+/// HEU(θ) = max {x : x ≤ θ/2, x ≤ 3}. The gap is min(θ,3) − min(θ/2,3),
+/// maximized at θ = 3 with value 1.5.
+#[test]
+fn toy_adversarial_gap() {
+    let mut m = Model::new();
+    let theta = m.add_var("theta", 0.0, 4.0).unwrap();
+
+    let mut opt = InnerProblem::new("opt");
+    let xo = opt.add_var(&mut m, "xo", 0.0, f64::INFINITY).unwrap();
+    opt.constrain(LinExpr::from(xo) - theta, Sense::Le).unwrap();
+    opt.constrain_pair(xo, Sense::Le, 3.0).unwrap();
+    opt.set_objective(ObjSense::Max, xo);
+    kkt::append_kkt(&mut m, &opt, 1e3).unwrap();
+
+    let mut heu = InnerProblem::new("heu");
+    let xh = heu.add_var(&mut m, "xh", 0.0, f64::INFINITY).unwrap();
+    heu.constrain(LinExpr::from(xh) - LinExpr::term(theta, 0.5), Sense::Le)
+        .unwrap();
+    heu.constrain_pair(xh, Sense::Le, 3.0).unwrap();
+    heu.set_objective(ObjSense::Max, xh);
+    kkt::append_kkt(&mut m, &heu, 1e3).unwrap();
+
+    m.set_objective(ObjSense::Max, LinExpr::from(xo) - xh).unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert_close(sol.objective, 1.5, 1e-6);
+    assert_close(sol.values[theta.0], 3.0, 1e-5);
+}
+
+/// Sorting network under the solver: fixed inputs come out sorted.
+#[test]
+fn sorting_network_solved() {
+    let mut m = Model::new();
+    let inputs = [5.0, 1.0, 4.0, 2.0, 3.0];
+    let vars: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| m.add_var(format!("x{i}"), v, v).unwrap())
+        .collect();
+    let outs = sortnet::sort_ascending(
+        &mut m,
+        "net",
+        vars.iter().map(|&v| LinExpr::from(v)).collect(),
+        0.0,
+        10.0,
+    )
+    .unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    let got: Vec<f64> = outs.iter().map(|e| e.eval(&sol.values)).collect();
+    for (i, expect) in [1.0, 2.0, 3.0, 4.0, 5.0].iter().enumerate() {
+        assert_close(got[i], *expect, 1e-6);
+    }
+}
+
+/// max(expr, 0) gadget under the solver: minimize y = max(x − 2, 0) with
+/// x >= 3.5 forces y = 1.5.
+#[test]
+fn max_of_zero_solved() {
+    let mut m = Model::new();
+    let x = m.add_var("x", 3.5, 10.0).unwrap();
+    let (y, _z) = bigm::max_of_zero(&mut m, "g", LinExpr::from(x) - 2.0, -2.0, 8.0).unwrap();
+    m.set_objective(ObjSense::Min, LinExpr::from(y) + LinExpr::term(x, 1e-3))
+        .unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    assert_close(sol.values[y.0], 1.5, 1e-5);
+}
+
+struct OracleCallback {
+    proposal: Option<(Vec<f64>, f64)>,
+}
+
+impl IncumbentCallback for OracleCallback {
+    fn propose(&mut self, _relaxation: &[f64]) -> Option<(Vec<f64>, f64)> {
+        self.proposal.take()
+    }
+}
+
+/// The incumbent callback's solution is adopted and appears in the
+/// trajectory.
+#[test]
+fn callback_incumbent_adopted() {
+    let mut m = Model::new();
+    let zs: Vec<_> = (0..6)
+        .map(|i| m.add_binary(format!("z{i}")).unwrap())
+        .collect();
+    let mut w = LinExpr::zero();
+    let mut v = LinExpr::zero();
+    let weights = [3.0, 5.0, 7.0, 4.0, 2.0, 6.0];
+    let values = [4.0, 6.0, 9.0, 5.0, 2.0, 7.0];
+    for i in 0..6 {
+        w.add_term(zs[i], weights[i]);
+        v.add_term(zs[i], values[i]);
+    }
+    m.constrain(w, Sense::Le, 12.0).unwrap();
+    m.set_objective(ObjSense::Max, v).unwrap();
+
+    // Propose the (feasible, not necessarily optimal) set {0, 1, 4}.
+    let mut vals = vec![0.0; m.n_vars()];
+    vals[zs[0].0] = 1.0;
+    vals[zs[1].0] = 1.0;
+    vals[zs[4].0] = 1.0;
+    let mut cb = OracleCallback {
+        proposal: Some((vals, 12.0)),
+    };
+    let sol = solve_with_callback(&m, &MilpConfig::default(), &mut cb).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    // Trajectory must contain the callback value 12 before the optimum.
+    assert!(
+        sol.trajectory.iter().any(|&(_, o)| (o - 12.0).abs() < 1e-9)
+            || (sol.objective - 12.0).abs() < 1e-9,
+        "trajectory {:?}",
+        sol.trajectory
+    );
+    // And the final answer is the true optimum (16: items 2 & 0/... check).
+    assert!(sol.objective >= 12.0);
+}
+
+/// Node budget produces a Feasible/NoSolution status instead of hanging.
+#[test]
+fn node_budget_respected() {
+    let mut m = Model::new();
+    let zs: Vec<_> = (0..12)
+        .map(|i| m.add_binary(format!("z{i}")).unwrap())
+        .collect();
+    let mut w = LinExpr::zero();
+    let mut v = LinExpr::zero();
+    for (i, z) in zs.iter().enumerate() {
+        w.add_term(*z, 2.0 + (i as f64 % 5.0));
+        v.add_term(*z, 1.0 + (i as f64 * 7.0) % 11.0);
+    }
+    m.constrain(w, Sense::Le, 17.0).unwrap();
+    m.set_objective(ObjSense::Max, v).unwrap();
+    let cfg = MilpConfig {
+        max_nodes: 3,
+        ..Default::default()
+    };
+    let sol = solve(&m, &cfg).unwrap();
+    assert!(sol.nodes <= 3 + 1);
+    assert!(matches!(
+        sol.status,
+        MilpStatus::Feasible | MilpStatus::Optimal | MilpStatus::NoSolution
+    ));
+}
+
+/// Complementarity pairs alone (no objective): the solver must find a point
+/// with λ·s = 0 even though the relaxation prefers both positive.
+#[test]
+fn complementarity_feasibility() {
+    let mut m = Model::new();
+    let a = m.add_var("a", 0.0, 5.0).unwrap();
+    let b = m.add_var("b", 0.0, 5.0).unwrap();
+    // a + b >= 4, a ⟂ b: either a = 0 (b >= 4) or b = 0 (a >= 4).
+    m.constrain(LinExpr::from(a) + b, Sense::Ge, 4.0).unwrap();
+    m.add_complementarity(a, LinExpr::from(b)).unwrap();
+    m.set_objective(ObjSense::Min, LinExpr::from(a) + b).unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+    let (av, bv) = (sol.values[a.0], sol.values[b.0]);
+    assert!(av.min(bv) <= 1e-6, "a={av} b={bv}");
+    assert_close(av + bv, 4.0, 1e-6);
+}

@@ -1,0 +1,106 @@
+//! The strongest correctness property of the whole pipeline: the KKT
+//! rewrite of a random inner LP, solved as a feasibility problem by
+//! branch-and-bound, recovers exactly the optimum that the simplex finds
+//! on the LP directly (§3.1's "any feasible solution is also optimal").
+
+use metaopt_lp::{LpProblem, RowSense, Simplex, SolveStatus};
+use metaopt_milp::{solve, MilpConfig, MilpStatus};
+use metaopt_model::{kkt, InnerProblem, LinExpr, Model, ObjSense, Sense};
+use proptest::prelude::*;
+
+/// A random feasible, bounded inner maximization:
+///   max c·x  s.t. A x <= b (rows anchored at a feasible point), 0 <= x <= u.
+#[derive(Debug, Clone)]
+struct RandomInnerLp {
+    n: usize,
+    c: Vec<f64>,
+    u: Vec<f64>,
+    rows: Vec<(Vec<Option<f64>>, f64)>,
+}
+
+fn strategy() -> impl Strategy<Value = RandomInnerLp> {
+    (2usize..5, 1usize..5).prop_flat_map(|(n, m)| {
+        let c = proptest::collection::vec(0.0f64..3.0, n);
+        let u = proptest::collection::vec(0.5f64..6.0, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(proptest::option::weighted(0.7, 0.1f64..2.0), n),
+                0.5f64..8.0,
+            ),
+            m,
+        );
+        (Just(n), c, u, rows).prop_map(|(n, c, u, rows)| RandomInnerLp { n, c, u, rows })
+    })
+}
+
+fn lp_optimum(r: &RandomInnerLp) -> f64 {
+    let mut p = LpProblem::new();
+    let xs: Vec<_> = (0..r.n)
+        .map(|j| p.add_var(0.0, r.u[j], -r.c[j]).unwrap())
+        .collect();
+    for (coeffs, rhs) in &r.rows {
+        let entries: Vec<_> = coeffs
+            .iter()
+            .enumerate()
+            .filter_map(|(j, c)| c.map(|v| (xs[j], v)))
+            .collect();
+        if !entries.is_empty() {
+            p.add_row(RowSense::Le, *rhs, entries).unwrap();
+        }
+    }
+    let sol = Simplex::new(&p).solve().unwrap();
+    assert_eq!(sol.status, SolveStatus::Optimal);
+    -sol.objective
+}
+
+fn kkt_solution_value(r: &RandomInnerLp) -> f64 {
+    let mut model = Model::new();
+    let mut inner = InnerProblem::new("rand");
+    let xs: Vec<_> = (0..r.n)
+        .map(|j| inner.add_var(&mut model, format!("x{j}"), 0.0, f64::INFINITY).unwrap())
+        .collect();
+    // Upper bounds as explicit rows (exercising the boxed path too).
+    for (j, &uj) in r.u.iter().enumerate() {
+        inner
+            .constrain(LinExpr::from(xs[j]) - uj, Sense::Le)
+            .unwrap();
+    }
+    for (coeffs, rhs) in &r.rows {
+        let mut e = LinExpr::constant(-rhs);
+        let mut any = false;
+        for (j, c) in coeffs.iter().enumerate() {
+            if let Some(v) = c {
+                e.add_term(xs[j], *v);
+                any = true;
+            }
+        }
+        if any {
+            inner.constrain(e, Sense::Le).unwrap();
+        }
+    }
+    let mut obj = LinExpr::zero();
+    for (j, &cj) in r.c.iter().enumerate() {
+        obj.add_term(xs[j], cj);
+    }
+    inner.set_objective(ObjSense::Max, obj.clone());
+    kkt::append_kkt(&mut model, &inner, f64::INFINITY).unwrap();
+    // Pure feasibility solve: any point satisfying KKT is optimal.
+    let sol = solve(&model, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal, "KKT system must be feasible");
+    obj.eval(&sol.values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any KKT-feasible point attains the LP optimum exactly.
+    #[test]
+    fn kkt_feasibility_equals_lp_optimum(r in strategy()) {
+        let direct = lp_optimum(&r);
+        let via_kkt = kkt_solution_value(&r);
+        prop_assert!(
+            (direct - via_kkt).abs() <= 1e-5 * (1.0 + direct.abs()),
+            "simplex {direct} vs KKT/B&B {via_kkt}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: branch-and-bound vs exhaustive enumeration on random
+//! small instances.
+
+use metaopt_milp::{solve, MilpConfig, MilpStatus};
+use metaopt_model::{LinExpr, Model, ObjSense, Sense};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random knapsacks: B&B must match brute force exactly.
+    #[test]
+    fn knapsack_matches_bruteforce(
+        vw in proptest::collection::vec((0.5f64..10.0, 0.5f64..10.0), 1..9),
+        cap_frac in 0.1f64..0.9,
+    ) {
+        let n = vw.len();
+        let total_w: f64 = vw.iter().map(|(_, w)| w).sum();
+        let cap = total_w * cap_frac;
+
+        let mut m = Model::new();
+        let zs: Vec<_> = (0..n).map(|i| m.add_binary(format!("z{i}")).unwrap()).collect();
+        let mut wsum = LinExpr::zero();
+        let mut vsum = LinExpr::zero();
+        for (i, (v, w)) in vw.iter().enumerate() {
+            wsum.add_term(zs[i], *w);
+            vsum.add_term(zs[i], *v);
+        }
+        m.constrain(wsum, Sense::Le, cap).unwrap();
+        m.set_objective(ObjSense::Max, vsum).unwrap();
+        let sol = solve(&m, &MilpConfig::default()).unwrap();
+        prop_assert_eq!(sol.status, MilpStatus::Optimal);
+
+        // Brute force.
+        let mut best = 0.0f64;
+        for mask in 0..(1u32 << n) {
+            let (mut wv, mut vv) = (0.0, 0.0);
+            for (i, (v, w)) in vw.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    wv += w;
+                    vv += v;
+                }
+            }
+            if wv <= cap + 1e-9 {
+                best = best.max(vv);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() <= 1e-6 * (1.0 + best),
+            "bnb {} vs brute {}", sol.objective, best);
+    }
+
+    /// Random complementarity selection problems: minimize cᵀx subject to
+    /// pairwise complementarities x_{2i} ⟂ x_{2i+1} and a coupling row
+    /// forcing each pair to carry mass; brute force enumerates which side of
+    /// each pair is zeroed.
+    #[test]
+    fn complementarity_matches_bruteforce(
+        costs in proptest::collection::vec((0.1f64..5.0, 0.1f64..5.0), 1..6),
+        need in 1.0f64..4.0,
+    ) {
+        let k = costs.len();
+        let mut m = Model::new();
+        let mut pairs = Vec::new();
+        for (i, (ca, cb)) in costs.iter().enumerate() {
+            let a = m.add_var(format!("a{i}"), 0.0, 10.0).unwrap();
+            let b = m.add_var(format!("b{i}"), 0.0, 10.0).unwrap();
+            // a + b >= need for each pair.
+            m.constrain(LinExpr::from(a) + b, Sense::Ge, need).unwrap();
+            m.add_complementarity(a, LinExpr::from(b)).unwrap();
+            pairs.push((a, b, *ca, *cb));
+        }
+        let mut obj = LinExpr::zero();
+        for (a, b, ca, cb) in &pairs {
+            obj.add_term(*a, *ca);
+            obj.add_term(*b, *cb);
+        }
+        m.set_objective(ObjSense::Min, obj).unwrap();
+        let sol = solve(&m, &MilpConfig::default()).unwrap();
+        prop_assert_eq!(sol.status, MilpStatus::Optimal);
+
+        // Brute force: per pair, zero one side; the other carries `need` at
+        // the cheaper cost.
+        let expect: f64 = costs.iter().map(|(ca, cb)| need * ca.min(*cb)).sum();
+        prop_assert!((sol.objective - expect).abs() <= 1e-6 * (1.0 + expect),
+            "bnb {} vs brute {}", sol.objective, expect);
+        let _ = k;
+    }
+
+    /// Mixed binaries + complementarity: facility-style toggle. For each
+    /// site, a binary gate z (cost f) enables capacity C; coverage must meet
+    /// demand D; complementarity couples a helper pair. B&B objective must
+    /// match brute force over gate patterns.
+    #[test]
+    fn gated_coverage_matches_bruteforce(
+        sites in proptest::collection::vec((1.0f64..6.0, 2.0f64..8.0), 1..5),
+        dfrac in 0.2f64..0.95,
+    ) {
+        let n = sites.len();
+        let total_cap: f64 = sites.iter().map(|(_, c)| c).sum();
+        let demand = total_cap * dfrac * 0.8;
+
+        let mut m = Model::new();
+        let mut cover = LinExpr::zero();
+        let mut cost = LinExpr::zero();
+        let mut gates = Vec::new();
+        for (i, (f, c)) in sites.iter().enumerate() {
+            let z = m.add_binary(format!("z{i}")).unwrap();
+            let x = m.add_var(format!("x{i}"), 0.0, *c).unwrap();
+            // x <= c·z
+            m.constrain(LinExpr::from(x) - LinExpr::term(z, *c), Sense::Le, 0.0).unwrap();
+            cover.add_term(x, 1.0);
+            cost.add_term(z, *f);
+            cost.add_term(x, 0.01);
+            gates.push((z, x, *f, *c));
+        }
+        m.constrain(cover, Sense::Ge, demand).unwrap();
+        m.set_objective(ObjSense::Min, cost).unwrap();
+        let sol = solve(&m, &MilpConfig::default()).unwrap();
+        prop_assert_eq!(sol.status, MilpStatus::Optimal);
+
+        // Brute force over gate patterns.
+        let mut best = f64::INFINITY;
+        for mask in 0..(1u32 << n) {
+            let cap: f64 = sites.iter().enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, (_, c))| c)
+                .sum();
+            if cap + 1e-9 >= demand {
+                let fixed: f64 = sites.iter().enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, (f, _))| f)
+                    .sum();
+                best = best.min(fixed + 0.01 * demand);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() <= 1e-5 * (1.0 + best.abs()),
+            "bnb {} vs brute {}", sol.objective, best);
+    }
+}

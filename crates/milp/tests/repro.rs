@@ -1,0 +1,54 @@
+//! Focused regression for a knapsack instance where B&B once returned a
+//! suboptimal incumbent (warm-start / pruning interplay).
+
+use metaopt_milp::{solve, MilpConfig, MilpStatus};
+use metaopt_model::{LinExpr, Model, ObjSense, Sense};
+
+#[test]
+fn knapsack_regression_three_items() {
+    let vw = [
+        (7.285389842171149, 5.923197672253469),
+        (7.355751409052462, 8.589582874134125),
+        (0.5, 4.156345345380891),
+    ];
+    let cap_frac = 0.739425013809368;
+    let total_w: f64 = vw.iter().map(|(_, w)| w).sum();
+    let cap = total_w * cap_frac;
+
+    let mut m = Model::new();
+    let zs: Vec<_> = (0..3)
+        .map(|i| m.add_binary(format!("z{i}")).unwrap())
+        .collect();
+    let mut wsum = LinExpr::zero();
+    let mut vsum = LinExpr::zero();
+    for (i, (v, w)) in vw.iter().enumerate() {
+        wsum.add_term(zs[i], *w);
+        vsum.add_term(zs[i], *v);
+    }
+    m.constrain(wsum, Sense::Le, cap).unwrap();
+    m.set_objective(ObjSense::Max, vsum).unwrap();
+    let sol = solve(&m, &MilpConfig::default()).unwrap();
+    assert_eq!(sol.status, MilpStatus::Optimal);
+
+    let mut best = 0.0f64;
+    for mask in 0..8u32 {
+        let (mut wv, mut vv) = (0.0, 0.0);
+        for (i, (v, w)) in vw.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                wv += w;
+                vv += v;
+            }
+        }
+        if wv <= cap + 1e-9 {
+            best = best.max(vv);
+        }
+    }
+    assert!(
+        (sol.objective - best).abs() <= 1e-6,
+        "bnb {} vs brute {} (nodes {}, bound {})",
+        sol.objective,
+        best,
+        sol.nodes,
+        sol.best_bound
+    );
+}

@@ -1,0 +1,235 @@
+//! Exact big-M gadgets (§3.2 of the paper).
+//!
+//! The paper encodes Demand Pinning's *or*-constraint and POP client
+//! splitting with `max(M(d_k − T_d), 0)`-style right-hand sides. This module
+//! provides the standard exact mixed-integer encodings for those constructs:
+//! [`max_of_zero`], [`indicator_le`], and the McCormick [`product_binary`].
+//!
+//! All gadgets need finite ranges for the participating expressions; tight
+//! ranges keep relaxations strong and numerics healthy (we never use the
+//! astronomically large "big M" of folklore — callers pass the actual data
+//! range, e.g. the maximum demand volume).
+
+use crate::expr::LinExpr;
+use crate::model::{Model, Sense, VarRef};
+use crate::{ModelError, ModelResult};
+
+/// Creates `y = max(expr, 0)` exactly, given finite bounds
+/// `lo <= expr <= hi` valid at every feasible point.
+///
+/// Introduces one continuous variable `y`, one binary `z` (`z = 1` on the
+/// `expr >= 0` branch), and four rows:
+///
+/// ```text
+///   y >= expr        y >= 0
+///   y <= hi·z        y <= expr − lo·(1 − z)
+/// ```
+///
+/// `expr > 0` forces `z = 1` (else `y <= 0 < expr <= y`), `expr < 0` forces
+/// `z = 0` (else `y <= expr < 0 <= y`); both branches then pin `y` exactly.
+pub fn max_of_zero(
+    model: &mut Model,
+    name: &str,
+    expr: impl Into<LinExpr>,
+    lo: f64,
+    hi: f64,
+) -> ModelResult<(VarRef, VarRef)> {
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(ModelError::MissingBound(format!(
+            "max_of_zero({name}) needs finite expression bounds, got [{lo}, {hi}]"
+        )));
+    }
+    let expr = expr.into();
+    let y = model.add_var(format!("{name}::max0"), 0.0, hi.max(0.0))?;
+    let z = model.add_binary(format!("{name}::max0_ind"))?;
+    // y >= expr
+    model.constrain_named(
+        format!("{name}::max0_ge"),
+        LinExpr::from(y) - expr.clone(),
+        Sense::Ge,
+        0.0,
+    )?;
+    // y <= hi·z
+    model.constrain_named(
+        format!("{name}::max0_cap"),
+        LinExpr::from(y) - LinExpr::term(z, hi.max(0.0)),
+        Sense::Le,
+        0.0,
+    )?;
+    // With L = max(−lo, 0):  y <= expr + L·(1−z)  ⇔  y − expr + L·z <= L
+    let l_neg = (-lo).max(0.0);
+    model.constrain_named(
+        format!("{name}::max0_tight"),
+        LinExpr::from(y) - expr + LinExpr::term(z, l_neg),
+        Sense::Le,
+        LinExpr::constant(l_neg),
+    )?;
+    Ok((y, z))
+}
+
+/// Adds the indicator `z = 1 ⇒ expr <= 0`, given a finite upper bound
+/// `expr <= hi` valid at every feasible point: `expr <= hi·(1 − z)`.
+pub fn indicator_le(
+    model: &mut Model,
+    name: &str,
+    z: VarRef,
+    expr: impl Into<LinExpr>,
+    hi: f64,
+) -> ModelResult<()> {
+    if !hi.is_finite() {
+        return Err(ModelError::MissingBound(format!(
+            "indicator_le({name}) needs a finite expression bound"
+        )));
+    }
+    let expr = expr.into();
+    // expr + hi·z <= hi
+    model.constrain_named(
+        format!("{name}::ind_le"),
+        expr + LinExpr::term(z, hi),
+        Sense::Le,
+        hi,
+    )?;
+    Ok(())
+}
+
+/// Creates `w = z · x` exactly for binary `z` and `x ∈ [0, x_hi]`
+/// (the McCormick envelope, exact when one factor is binary):
+///
+/// ```text
+///   0 <= w <= x_hi·z,     x − x_hi·(1−z) <= w <= x.
+/// ```
+pub fn product_binary(
+    model: &mut Model,
+    name: &str,
+    z: VarRef,
+    x: impl Into<LinExpr>,
+    x_hi: f64,
+) -> ModelResult<VarRef> {
+    if !x_hi.is_finite() || x_hi < 0.0 {
+        return Err(ModelError::MissingBound(format!(
+            "product_binary({name}) needs a finite nonnegative bound, got {x_hi}"
+        )));
+    }
+    let x = x.into();
+    let w = model.add_var(format!("{name}::prod"), 0.0, x_hi)?;
+    // w <= x_hi · z
+    model.constrain_named(
+        format!("{name}::prod_cap"),
+        LinExpr::from(w) - LinExpr::term(z, x_hi),
+        Sense::Le,
+        0.0,
+    )?;
+    // w <= x
+    model.constrain_named(
+        format!("{name}::prod_le_x"),
+        LinExpr::from(w) - x.clone(),
+        Sense::Le,
+        0.0,
+    )?;
+    // w >= x − x_hi·(1 − z)
+    model.constrain_named(
+        format!("{name}::prod_ge"),
+        LinExpr::from(w) - x + LinExpr::term(z, -x_hi),
+        Sense::Ge,
+        -x_hi,
+    )?;
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    /// Enumerates the gadget's truth table by direct assignment checks.
+    #[test]
+    fn max_of_zero_truth_table() {
+        for &(e_val, expect) in &[(-3.0, 0.0), (-0.0, 0.0), (2.5, 2.5), (5.0, 5.0)] {
+            let mut m = Model::new();
+            let e = m.add_var("e", -5.0, 5.0).unwrap();
+            let (y, z) = max_of_zero(&mut m, "t", LinExpr::from(e), -5.0, 5.0).unwrap();
+            let mut vals = vec![0.0; m.n_vars()];
+            vals[e.0] = e_val;
+            vals[y.0] = expect;
+            vals[z.0] = if e_val > 0.0 { 1.0 } else { 0.0 };
+            assert!(
+                m.violation(&vals, 1e-9) <= 1e-9,
+                "expr={e_val}: correct assignment rejected ({})",
+                m.violation(&vals, 1e-9)
+            );
+            // A wrong y must violate something for both z values.
+            for z_val in [0.0, 1.0] {
+                vals[y.0] = expect + 1.0;
+                vals[z.0] = z_val;
+                assert!(
+                    m.violation(&vals, 1e-9) > 1e-6,
+                    "expr={e_val}: wrong y accepted with z={z_val}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_of_zero_forces_indicator() {
+        // expr strictly positive makes z=0 infeasible; strictly negative
+        // makes z=1 infeasible.
+        let mut m = Model::new();
+        let e = m.add_var("e", -4.0, 4.0).unwrap();
+        let (y, z) = max_of_zero(&mut m, "t", LinExpr::from(e), -4.0, 4.0).unwrap();
+        let mut vals = vec![0.0; m.n_vars()];
+        vals[e.0] = 3.0;
+        vals[y.0] = 3.0;
+        vals[z.0] = 0.0;
+        assert!(m.violation(&vals, 1e-9) > 1e-6);
+        vals[e.0] = -3.0;
+        vals[y.0] = 0.0;
+        vals[z.0] = 1.0;
+        assert!(m.violation(&vals, 1e-9) > 1e-6);
+    }
+
+    #[test]
+    fn indicator_le_gates_constraint() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0).unwrap();
+        let z = m.add_binary("z").unwrap();
+        // z = 1 ⇒ x <= 2  (expr = x − 2, hi = 8)
+        indicator_le(&mut m, "t", z, LinExpr::from(x) - 2.0, 8.0).unwrap();
+        // z=1, x=5 must violate; z=0, x=5 must pass.
+        assert!(m.violation(&[5.0, 1.0], 1e-9) > 1e-6);
+        assert!(m.violation(&[5.0, 0.0], 1e-9) <= 1e-9);
+        assert!(m.violation(&[2.0, 1.0], 1e-9) <= 1e-9);
+    }
+
+    #[test]
+    fn product_binary_is_exact() {
+        for &(z_val, x_val) in &[(0.0, 0.0), (0.0, 7.0), (1.0, 0.0), (1.0, 7.0), (1.0, 3.5)] {
+            let mut m = Model::new();
+            let x = m.add_var("x", 0.0, 10.0).unwrap();
+            let z = m.add_binary("z").unwrap();
+            let w = product_binary(&mut m, "t", z, LinExpr::from(x), 10.0).unwrap();
+            let mut vals = vec![0.0; m.n_vars()];
+            vals[x.0] = x_val;
+            vals[z.0] = z_val;
+            vals[w.0] = z_val * x_val;
+            assert!(
+                m.violation(&vals, 1e-9) <= 1e-9,
+                "({z_val},{x_val}): exact product rejected"
+            );
+            vals[w.0] = z_val * x_val + 0.5;
+            assert!(
+                m.violation(&vals, 1e-9) > 1e-6,
+                "({z_val},{x_val}): wrong product accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_bounds_rejected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, f64::INFINITY).unwrap();
+        assert!(max_of_zero(&mut m, "t", LinExpr::from(x), 0.0, f64::INFINITY).is_err());
+        let z = m.add_binary("z").unwrap();
+        assert!(indicator_le(&mut m, "t", z, LinExpr::from(x), f64::INFINITY).is_err());
+        assert!(product_binary(&mut m, "t", z, LinExpr::from(x), f64::NEG_INFINITY).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Lowering a [`Model`] to the `metaopt-lp` problem form.
+//!
+//! The compiled artifact keeps the mapping back to model variables plus the
+//! two pieces of combinatorial structure the MILP layer branches on:
+//! binary variables and complementarity pairs. Each complementarity's slack
+//! expression is materialized as a dedicated nonnegative LP variable tied to
+//! the expression by an equality row, so branching "slack = 0" is a simple
+//! bound change (the operation the dual simplex warm-starts on).
+
+use crate::model::{Model, ObjSense, Sense, VarKind, VarRef};
+use crate::{ModelError, ModelResult};
+use metaopt_lp::{LpProblem, RowSense, VarId, INF};
+
+/// Size statistics of a compiled model — the quantities Figure 6 of the
+/// paper reports (#variables, #linear constraints, #SOS constraints).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ModelStats {
+    /// Total LP variables (model variables + complementarity slacks).
+    pub n_vars: usize,
+    /// Linear rows (model constraints + slack-definition rows).
+    pub n_linear: usize,
+    /// Complementarity (SOS1-style) pairs.
+    pub n_sos: usize,
+    /// Binary variables.
+    pub n_binary: usize,
+}
+
+impl std::fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} vars, {} linear rows, {} SOS pairs, {} binaries",
+            self.n_vars, self.n_linear, self.n_sos, self.n_binary
+        )
+    }
+}
+
+/// A model lowered to LP form plus combinatorial metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    /// The relaxed LP (binaries boxed to `[0,1]`, complementarity products
+    /// dropped).
+    pub lp: LpProblem,
+    /// `var_map[i]` is the LP variable of model variable `i`.
+    pub var_map: Vec<VarId>,
+    /// Model variables that must be integral.
+    pub binaries: Vec<VarRef>,
+    /// `(multiplier_lp_var, slack_lp_var)` pairs that must satisfy
+    /// `multiplier · slack = 0`.
+    pub compl_pairs: Vec<(VarId, VarId)>,
+    /// Original objective sense (the LP always minimizes; for `Max` the
+    /// coefficients were negated and reported objectives must be re-negated).
+    pub sense: ObjSense,
+    /// Size statistics.
+    pub stats: ModelStats,
+}
+
+impl CompiledModel {
+    /// Maps a model variable to its LP variable.
+    pub fn lp_var(&self, v: VarRef) -> VarId {
+        self.var_map[v.0]
+    }
+
+    /// Restores a model-space objective value from an LP-space one.
+    pub fn restore_objective(&self, lp_obj: f64) -> f64 {
+        match self.sense {
+            ObjSense::Max => -lp_obj,
+            ObjSense::Min => lp_obj,
+        }
+    }
+
+    /// Extracts model-variable values from a full LP solution vector.
+    pub fn extract_values(&self, lp_x: &[f64]) -> Vec<f64> {
+        self.var_map.iter().map(|id| lp_x[id.0]).collect()
+    }
+}
+
+/// Compiles `model` into LP form. Fails if the model carries diagonal
+/// quadratic objective terms (those exist only for inner problems consumed
+/// by the KKT rewriter).
+pub fn compile(model: &Model) -> ModelResult<CompiledModel> {
+    if !model.obj_quad.is_empty() {
+        return Err(ModelError::MissingBound(
+            "quadratic objectives cannot be lowered to LP; KKT-rewrite the inner problem instead"
+                .into(),
+        ));
+    }
+    let mut lp = LpProblem::new();
+    let mut var_map = Vec::with_capacity(model.n_vars());
+    let mut binaries = Vec::new();
+
+    // Objective: minimize; negate for Max.
+    let sense = model.objective_sense().unwrap_or(ObjSense::Min);
+    let flip = match sense {
+        ObjSense::Max => -1.0,
+        ObjSense::Min => 1.0,
+    };
+
+    for (i, vd) in model.vars.iter().enumerate() {
+        let obj = flip * model.obj.coef(VarRef(i));
+        let id = lp.add_var(vd.lo, vd.hi, obj)?;
+        var_map.push(id);
+        if vd.kind == VarKind::Binary {
+            binaries.push(VarRef(i));
+        }
+    }
+    lp.add_obj_offset(flip * model.obj.constant_part());
+
+    for c in &model.constraints {
+        let sense = match c.sense {
+            Sense::Le => RowSense::Le,
+            Sense::Eq => RowSense::Eq,
+            Sense::Ge => RowSense::Ge,
+        };
+        let rhs = -c.expr.constant_part();
+        lp.add_row(
+            sense,
+            rhs,
+            c.expr.terms().map(|(v, coef)| (var_map[v.0], coef)),
+        )?;
+    }
+
+    // Materialize complementarity slacks.
+    let mut compl_pairs = Vec::with_capacity(model.compls.len());
+    for compl in &model.compls {
+        let s = lp.add_var(0.0, INF, 0.0)?;
+        // slack_expr − s == 0
+        let rhs = -compl.slack.constant_part();
+        let coeffs = compl
+            .slack
+            .terms()
+            .map(|(v, coef)| (var_map[v.0], coef))
+            .chain(std::iter::once((s, -1.0)));
+        lp.add_row(RowSense::Eq, rhs, coeffs)?;
+        compl_pairs.push((var_map[compl.multiplier.0], s));
+    }
+
+    let stats = ModelStats {
+        n_vars: lp.n_vars(),
+        n_linear: lp.n_rows(),
+        n_sos: compl_pairs.len(),
+        n_binary: binaries.len(),
+    };
+
+    Ok(CompiledModel {
+        lp,
+        var_map,
+        binaries,
+        compl_pairs,
+        sense,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use metaopt_lp::{Simplex, SolveStatus};
+
+    #[test]
+    fn lp_only_model_roundtrips() {
+        // max x + 2y, x + y <= 4, boxes [0,3].
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 3.0).unwrap();
+        let y = m.add_var("y", 0.0, 3.0).unwrap();
+        m.constrain(x + y, Sense::Le, 4.0).unwrap();
+        m.set_objective(ObjSense::Max, LinExpr::from(x) + 2.0 * y)
+            .unwrap();
+        let cm = compile(&m).unwrap();
+        assert_eq!(cm.stats.n_vars, 2);
+        assert_eq!(cm.stats.n_linear, 1);
+        assert_eq!(cm.stats.n_sos, 0);
+        let sol = Simplex::new(&cm.lp).solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        // Optimum: y = 3, x = 1 → 7 (maximization).
+        assert!((cm.restore_objective(sol.objective) - 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn complementarity_slack_materialized() {
+        let mut m = Model::new();
+        let lam = m.add_var("lam", 0.0, 10.0).unwrap();
+        let x = m.add_var("x", 0.0, 5.0).unwrap();
+        // lam ⟂ (5 − x)
+        m.add_complementarity(lam, LinExpr::constant(5.0) - x)
+            .unwrap();
+        let cm = compile(&m).unwrap();
+        assert_eq!(cm.stats.n_sos, 1);
+        assert_eq!(cm.stats.n_vars, 3); // lam, x, slack
+        assert_eq!(cm.stats.n_linear, 1); // slack definition row
+        // In the relaxation both sides may be positive simultaneously.
+        let sol = Simplex::new(&cm.lp).solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+    }
+
+    #[test]
+    fn quadratic_objective_rejected() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0).unwrap();
+        m.add_quadratic_objective_term(x, 1.0).unwrap();
+        assert!(compile(&m).is_err());
+    }
+
+    #[test]
+    fn objective_constant_is_preserved() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 2.0).unwrap();
+        m.set_objective(ObjSense::Max, LinExpr::from(x) + 10.0)
+            .unwrap();
+        let cm = compile(&m).unwrap();
+        let sol = Simplex::new(&cm.lp).solve().unwrap();
+        assert!((cm.restore_objective(sol.objective) - 12.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,215 @@
+//! Human-readable export of models in (CPLEX-style) LP format.
+//!
+//! Indispensable when debugging KKT rewrites: the emitted text shows every
+//! stationarity row, complementarity pair, and big-M gadget with its
+//! diagnostic name, and can be fed to external solvers for cross-checking.
+
+use crate::model::{Model, ObjSense, Sense, VarKind, VarRef};
+use std::fmt::Write as _;
+
+/// Renders `model` in LP format. Complementarity pairs — which the format
+/// has no native syntax for — are listed in a trailing comment block.
+pub fn to_lp_format(model: &Model) -> String {
+    let mut out = String::new();
+    let name = |v: VarRef| -> String {
+        let n = model.var_name(v);
+        if n.is_empty() {
+            format!("x{}", v.0)
+        } else {
+            sanitize(n)
+        }
+    };
+
+    // Objective.
+    match model.objective_sense() {
+        Some(ObjSense::Max) => out.push_str("Maximize\n obj: "),
+        Some(ObjSense::Min) | None => out.push_str("Minimize\n obj: "),
+    }
+    if model.objective().n_terms() == 0 {
+        out.push('0');
+    } else {
+        let mut first = true;
+        for (v, c) in model.objective().terms() {
+            push_term(&mut out, c, &name(v), &mut first);
+        }
+    }
+    let oc = model.objective().constant_part();
+    if oc != 0.0 {
+        let _ = write!(out, " {} {}", if oc >= 0.0 { "+" } else { "-" }, oc.abs());
+    }
+    out.push('\n');
+
+    // Constraints.
+    out.push_str("Subject To\n");
+    for (i, c) in model.constraints().iter().enumerate() {
+        let label = c
+            .name
+            .as_deref()
+            .map(sanitize)
+            .unwrap_or_else(|| format!("c{i}"));
+        let _ = write!(out, " {label}: ");
+        let mut first = true;
+        for (v, coef) in c.expr.terms() {
+            push_term(&mut out, coef, &name(v), &mut first);
+        }
+        if first {
+            out.push('0');
+        }
+        let rhs = -c.expr.constant_part();
+        let op = match c.sense {
+            Sense::Le => "<=",
+            Sense::Eq => "=",
+            Sense::Ge => ">=",
+        };
+        let _ = writeln!(out, " {op} {rhs}");
+    }
+
+    // Bounds.
+    out.push_str("Bounds\n");
+    for i in 0..model.n_vars() {
+        let v = VarRef(i);
+        let (lo, hi) = model.var_bounds(v);
+        if model.var_kind(v) == VarKind::Binary && lo == 0.0 && hi == 1.0 {
+            continue; // covered by the Binary section
+        }
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) if lo == hi => {
+                let _ = writeln!(out, " {} = {lo}", name(v));
+            }
+            (true, true) => {
+                let _ = writeln!(out, " {lo} <= {} <= {hi}", name(v));
+            }
+            (true, false) => {
+                if lo != 0.0 {
+                    let _ = writeln!(out, " {} >= {lo}", name(v));
+                }
+                // lo == 0, hi == inf is LP-format's default: omit.
+            }
+            (false, true) => {
+                let _ = writeln!(out, " -inf <= {} <= {hi}", name(v));
+            }
+            (false, false) => {
+                let _ = writeln!(out, " {} free", name(v));
+            }
+        }
+    }
+
+    // Binaries.
+    let binaries: Vec<String> = (0..model.n_vars())
+        .filter(|&i| model.var_kind(VarRef(i)) == VarKind::Binary)
+        .map(|i| name(VarRef(i)))
+        .collect();
+    if !binaries.is_empty() {
+        out.push_str("Binary\n ");
+        out.push_str(&binaries.join(" "));
+        out.push('\n');
+    }
+
+    out.push_str("End\n");
+
+    // Complementarities as comments (no LP-format syntax exists).
+    if model.n_complementarities() > 0 {
+        out.push_str("\\ Complementarity pairs (multiplier _|_ slack):\n");
+        for (i, c) in model.complementarities().iter().enumerate() {
+            let mut slack = String::new();
+            let mut first = true;
+            for (v, coef) in c.slack.terms() {
+                push_term(&mut slack, coef, &name(v), &mut first);
+            }
+            let sc = c.slack.constant_part();
+            if sc != 0.0 || first {
+                let _ = write!(slack, " {} {}", if sc >= 0.0 { "+" } else { "-" }, sc.abs());
+            }
+            let _ = writeln!(out, "\\  compl{}: {} _|_ {}", i, name(c.multiplier), slack.trim());
+        }
+    }
+    out
+}
+
+fn push_term(out: &mut String, coef: f64, name: &str, first: &mut bool) {
+    if coef == 0.0 {
+        return;
+    }
+    if *first {
+        if coef < 0.0 {
+            out.push_str("- ");
+        }
+        *first = false;
+    } else if coef < 0.0 {
+        out.push_str(" - ");
+    } else {
+        out.push_str(" + ");
+    }
+    let a = coef.abs();
+    if (a - 1.0).abs() < 1e-15 {
+        out.push_str(name);
+    } else {
+        let _ = write!(out, "{a} {name}");
+    }
+}
+
+/// LP format forbids several characters in names; map them to underscores
+/// and bracket-ish digests.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|ch| match ch {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '.' => ch,
+            '[' | ']' | ':' | ',' => '_',
+            _ => '_',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::model::Model;
+
+    #[test]
+    fn small_model_export() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0).unwrap();
+        let z = m.add_binary("z").unwrap();
+        m.constrain_named("capacity", LinExpr::from(x) + LinExpr::term(z, 5.0), Sense::Le, 8.0)
+            .unwrap();
+        m.set_objective(ObjSense::Max, LinExpr::from(x) + 2.0 * z)
+            .unwrap();
+        let text = to_lp_format(&m);
+        assert!(text.contains("Maximize"), "{text}");
+        assert!(text.contains("capacity: x + 5 z <= 8"), "{text}");
+        assert!(text.contains("0 <= x <= 10"), "{text}");
+        assert!(text.contains("Binary\n z"), "{text}");
+        assert!(text.ends_with("End\n"), "{text}");
+    }
+
+    #[test]
+    fn complementarities_listed_as_comments() {
+        let mut m = Model::new();
+        let lam = m.add_var("lam", 0.0, f64::INFINITY).unwrap();
+        let s = m.add_var("s", 0.0, f64::INFINITY).unwrap();
+        m.add_complementarity(lam, LinExpr::from(s) + 1.0).unwrap();
+        let text = to_lp_format(&m);
+        assert!(text.contains("compl0: lam _|_ s + 1"), "{text}");
+    }
+
+    #[test]
+    fn name_sanitization() {
+        let mut m = Model::new();
+        let v = m.add_var("dp::f[3][1]", 0.0, 1.0).unwrap();
+        m.set_objective(ObjSense::Min, LinExpr::from(v)).unwrap();
+        let text = to_lp_format(&m);
+        assert!(!text.contains('['), "{text}");
+        assert!(!text.contains(':') || text.contains("obj:"), "{text}");
+    }
+
+    #[test]
+    fn fixed_and_free_bounds() {
+        let mut m = Model::new();
+        m.add_var("fx", 3.0, 3.0).unwrap();
+        m.add_var("fr", f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        let text = to_lp_format(&m);
+        assert!(text.contains("fx = 3"), "{text}");
+        assert!(text.contains("fr free"), "{text}");
+    }
+}

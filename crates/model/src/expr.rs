@@ -1,0 +1,311 @@
+//! Linear expressions with operator overloading.
+//!
+//! A [`LinExpr`] is `Σ coef_j · x_j + constant`. Terms are kept sorted by
+//! variable index with duplicates merged, so expressions stay canonical and
+//! cheap to compare/evaluate.
+
+use crate::model::VarRef;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A linear expression over model variables.
+///
+/// ```
+/// use metaopt_model::{LinExpr, VarRef};
+///
+/// let x = VarRef(0);
+/// let y = VarRef(1);
+/// let e = 2.0 * x + (y - 1.0) * 3.0; // 2x + 3y − 3
+/// assert_eq!(e.coef(x), 2.0);
+/// assert_eq!(e.coef(y), 3.0);
+/// assert_eq!(e.constant_part(), -3.0);
+/// assert_eq!(e.eval(&[5.0, 1.0]), 10.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` pairs, sorted by variable index, deduped.
+    terms: Vec<(VarRef, f64)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: f64) -> Self {
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
+    }
+
+    /// A single-term expression `coef · v`.
+    pub fn term(v: VarRef, coef: f64) -> Self {
+        if coef == 0.0 {
+            LinExpr::zero()
+        } else {
+            LinExpr {
+                terms: vec![(v, coef)],
+                constant: 0.0,
+            }
+        }
+    }
+
+    /// Sum of unit-coefficient terms.
+    pub fn sum<I: IntoIterator<Item = VarRef>>(vars: I) -> Self {
+        let mut e = LinExpr::zero();
+        for v in vars {
+            e.add_term(v, 1.0);
+        }
+        e
+    }
+
+    /// Adds `coef · v` in place.
+    pub fn add_term(&mut self, v: VarRef, coef: f64) {
+        if coef == 0.0 {
+            return;
+        }
+        match self.terms.binary_search_by_key(&v.0, |(t, _)| t.0) {
+            Ok(i) => {
+                self.terms[i].1 += coef;
+                if self.terms[i].1 == 0.0 {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (v, coef)),
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, c: f64) {
+        self.constant += c;
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates `(variable, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (VarRef, f64)> + '_ {
+        self.terms.iter().copied()
+    }
+
+    /// Number of variable terms.
+    pub fn n_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Coefficient of `v` (zero if absent).
+    pub fn coef(&self, v: VarRef) -> f64 {
+        self.terms
+            .binary_search_by_key(&v.0, |(t, _)| t.0)
+            .map(|i| self.terms[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression on a dense assignment (indexed by variable).
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(v, c)| c * values[v.0])
+            .sum::<f64>()
+            + self.constant
+    }
+
+    /// Largest absolute coefficient (0 for constants); useful for scaling
+    /// diagnostics.
+    pub fn max_abs_coef(&self) -> f64 {
+        self.terms
+            .iter()
+            .map(|(_, c)| c.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// `self * k` without consuming.
+    pub fn scaled(&self, k: f64) -> LinExpr {
+        if k == 0.0 {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|&(v, c)| (v, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+}
+
+impl From<VarRef> for LinExpr {
+    fn from(v: VarRef) -> Self {
+        LinExpr::term(v, 1.0)
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+// --- operator impls -------------------------------------------------------
+
+impl AddAssign<LinExpr> for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl AddAssign<VarRef> for LinExpr {
+    fn add_assign(&mut self, rhs: VarRef) {
+        self.add_term(rhs, 1.0);
+    }
+}
+
+impl AddAssign<f64> for LinExpr {
+    fn add_assign(&mut self, rhs: f64) {
+        self.constant += rhs;
+    }
+}
+
+impl SubAssign<LinExpr> for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        for (v, c) in rhs.terms {
+            self.add_term(v, -c);
+        }
+        self.constant -= rhs.constant;
+    }
+}
+
+macro_rules! impl_binop {
+    ($lhs:ty, $rhs:ty) => {
+        impl Add<$rhs> for $lhs {
+            type Output = LinExpr;
+            fn add(self, rhs: $rhs) -> LinExpr {
+                let mut e: LinExpr = self.into();
+                let r: LinExpr = rhs.into();
+                e += r;
+                e
+            }
+        }
+        impl Sub<$rhs> for $lhs {
+            type Output = LinExpr;
+            fn sub(self, rhs: $rhs) -> LinExpr {
+                let mut e: LinExpr = self.into();
+                let r: LinExpr = rhs.into();
+                e -= r;
+                e
+            }
+        }
+    };
+}
+
+impl_binop!(LinExpr, LinExpr);
+impl_binop!(LinExpr, VarRef);
+impl_binop!(LinExpr, f64);
+impl_binop!(VarRef, LinExpr);
+impl_binop!(VarRef, VarRef);
+impl_binop!(VarRef, f64);
+impl_binop!(f64, LinExpr);
+impl_binop!(f64, VarRef);
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scaled(-1.0)
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        self.scaled(k)
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, e: LinExpr) -> LinExpr {
+        e.scaled(self)
+    }
+}
+
+impl Mul<f64> for VarRef {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        LinExpr::term(self, k)
+    }
+}
+
+impl Mul<VarRef> for f64 {
+    type Output = LinExpr;
+    fn mul(self, v: VarRef) -> LinExpr {
+        LinExpr::term(v, self)
+    }
+}
+
+impl std::iter::Sum<LinExpr> for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        let mut acc = LinExpr::zero();
+        for e in iter {
+            acc += e;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarRef {
+        VarRef(i)
+    }
+
+    #[test]
+    fn canonical_merge() {
+        let e = v(1) + v(0) + v(1) * 2.0 - 3.0;
+        assert_eq!(e.coef(v(0)), 1.0);
+        assert_eq!(e.coef(v(1)), 3.0);
+        assert_eq!(e.constant_part(), -3.0);
+        assert_eq!(e.n_terms(), 2);
+    }
+
+    #[test]
+    fn cancellation_drops_terms() {
+        let e = v(0) * 2.0 - v(0) * 2.0 + 1.0;
+        assert!(e.is_constant());
+        assert_eq!(e.constant_part(), 1.0);
+    }
+
+    #[test]
+    fn eval_and_scale() {
+        let e = v(0) * 2.0 + v(2) * -1.0 + 5.0;
+        assert_eq!(e.eval(&[1.0, 99.0, 3.0]), 4.0);
+        let s = e.scaled(-2.0);
+        assert_eq!(s.eval(&[1.0, 99.0, 3.0]), -8.0);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let e: LinExpr = [v(0), v(1), v(0)].into_iter().map(LinExpr::from).sum();
+        assert_eq!(e.coef(v(0)), 2.0);
+        assert_eq!(e.coef(v(1)), 1.0);
+    }
+
+    #[test]
+    fn mixed_arithmetic() {
+        let e = 2.0 * v(0) + (v(1) - 1.0) * 3.0;
+        assert_eq!(e.coef(v(0)), 2.0);
+        assert_eq!(e.coef(v(1)), 3.0);
+        assert_eq!(e.constant_part(), -3.0);
+    }
+}

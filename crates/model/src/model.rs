@@ -1,0 +1,388 @@
+//! The [`Model`] container: variables, constraints, objective, and symbolic
+//! complementarity pairs.
+
+use crate::expr::LinExpr;
+use crate::{ModelError, ModelResult};
+
+/// Handle to a model variable. The `usize` is the dense index used by
+/// [`LinExpr::eval`] and solver value vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarRef(pub usize);
+
+/// Continuous or binary variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Ordinary continuous variable.
+    Continuous,
+    /// Binary `{0, 1}` variable, branched on by `metaopt-milp`.
+    Binary,
+}
+
+/// Constraint sense, applied as `expr SENSE 0` after normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr <= 0`
+    Le,
+    /// `expr == 0`
+    Eq,
+    /// `expr >= 0`
+    Ge,
+}
+
+/// Objective direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjSense {
+    /// Minimize.
+    Min,
+    /// Maximize.
+    Max,
+}
+
+/// A normalized constraint `expr SENSE 0`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand side (right-hand side folded into the constant).
+    pub expr: LinExpr,
+    /// Relational sense versus zero.
+    pub sense: Sense,
+    /// Optional diagnostic label.
+    pub name: Option<String>,
+}
+
+/// A symbolic complementary-slackness pair: `multiplier ⟂ slack`, i.e.
+/// `multiplier · slack == 0` with both sides nonnegative (the model must
+/// separately guarantee `multiplier >= 0` and `slack >= 0`; the KKT rewriter
+/// does).
+///
+/// These are the "SOS constraints" of the paper's Figure 6: the only
+/// non-convex artifacts of the KKT rewrite, branched on disjunctively by the
+/// MILP solver.
+#[derive(Debug, Clone)]
+pub struct Complementarity {
+    /// The dual multiplier variable (nonnegative).
+    pub multiplier: VarRef,
+    /// The primal slack expression (nonnegative at any feasible point).
+    pub slack: LinExpr,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarData {
+    pub lo: f64,
+    pub hi: f64,
+    pub kind: VarKind,
+    pub name: Option<String>,
+}
+
+/// An optimization model: boxed variables, linear constraints, an optional
+/// diagonal-quadratic objective, and complementarity pairs.
+///
+/// ```
+/// use metaopt_model::{Model, ObjSense, Sense, LinExpr};
+///
+/// let mut m = Model::new();
+/// let x = m.add_var("x", 0.0, 10.0)?;
+/// let y = m.add_binary("y")?;
+/// m.constrain(x + 4.0 * y, Sense::Le, 8.0)?;
+/// m.set_objective(ObjSense::Max, LinExpr::from(x) + 3.0 * y)?;
+/// assert_eq!(m.n_vars(), 2);
+/// assert_eq!(m.n_constraints(), 1);
+/// # Ok::<(), metaopt_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<VarData>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) compls: Vec<Complementarity>,
+    pub(crate) obj_sense: Option<ObjSense>,
+    pub(crate) obj: LinExpr,
+    /// Diagonal quadratic objective terms `q_j · x_j²` (only consumed by the
+    /// KKT rewriter; the LP compiler rejects models that still carry them).
+    pub(crate) obj_quad: Vec<(VarRef, f64)>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a continuous variable boxed to `[lo, hi]`.
+    pub fn add_var(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> ModelResult<VarRef> {
+        self.add_var_kind(name, lo, hi, VarKind::Continuous)
+    }
+
+    /// Adds a binary `{0,1}` variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> ModelResult<VarRef> {
+        self.add_var_kind(name, 0.0, 1.0, VarKind::Binary)
+    }
+
+    /// Adds a variable of the given kind.
+    pub fn add_var_kind(
+        &mut self,
+        name: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        kind: VarKind,
+    ) -> ModelResult<VarRef> {
+        if lo.is_nan() || hi.is_nan() {
+            return Err(ModelError::NotFinite(format!("bounds [{lo}, {hi}]")));
+        }
+        if lo > hi {
+            return Err(ModelError::EmptyBounds {
+                var: self.vars.len(),
+                lo,
+                hi,
+            });
+        }
+        self.vars.push(VarData {
+            lo,
+            hi,
+            kind,
+            name: Some(name.into()),
+        });
+        Ok(VarRef(self.vars.len() - 1))
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of linear constraints.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Number of complementarity (SOS) pairs.
+    pub fn n_complementarities(&self) -> usize {
+        self.compls.len()
+    }
+
+    /// Bounds of a variable.
+    pub fn var_bounds(&self, v: VarRef) -> (f64, f64) {
+        (self.vars[v.0].lo, self.vars[v.0].hi)
+    }
+
+    /// Kind of a variable.
+    pub fn var_kind(&self, v: VarRef) -> VarKind {
+        self.vars[v.0].kind
+    }
+
+    /// Diagnostic name of a variable.
+    pub fn var_name(&self, v: VarRef) -> &str {
+        self.vars[v.0].name.as_deref().unwrap_or("")
+    }
+
+    /// Tightens (replaces) a variable's bounds.
+    pub fn set_var_bounds(&mut self, v: VarRef, lo: f64, hi: f64) -> ModelResult<()> {
+        if v.0 >= self.vars.len() {
+            return Err(ModelError::ForeignVar(v.0));
+        }
+        if lo.is_nan() || hi.is_nan() {
+            return Err(ModelError::NotFinite(format!("bounds [{lo}, {hi}]")));
+        }
+        if lo > hi {
+            return Err(ModelError::EmptyBounds { var: v.0, lo, hi });
+        }
+        self.vars[v.0].lo = lo;
+        self.vars[v.0].hi = hi;
+        Ok(())
+    }
+
+    /// Adds the constraint `lhs SENSE rhs` (both sides arbitrary linear
+    /// expressions or values convertible into them).
+    pub fn constrain(
+        &mut self,
+        lhs: impl Into<LinExpr>,
+        sense: Sense,
+        rhs: impl Into<LinExpr>,
+    ) -> ModelResult<()> {
+        self.constrain_named("", lhs, sense, rhs)
+    }
+
+    /// [`Model::constrain`] with a diagnostic name.
+    pub fn constrain_named(
+        &mut self,
+        name: impl Into<String>,
+        lhs: impl Into<LinExpr>,
+        sense: Sense,
+        rhs: impl Into<LinExpr>,
+    ) -> ModelResult<()> {
+        let mut expr = lhs.into();
+        expr -= rhs.into();
+        self.check_expr(&expr)?;
+        let name = name.into();
+        self.constraints.push(Constraint {
+            expr,
+            sense,
+            name: if name.is_empty() { None } else { Some(name) },
+        });
+        Ok(())
+    }
+
+    /// Registers a complementarity pair `multiplier ⟂ slack`.
+    ///
+    /// Callers must guarantee both sides are nonnegative at every feasible
+    /// point (the KKT rewriter constructs pairs that satisfy this).
+    pub fn add_complementarity(
+        &mut self,
+        multiplier: VarRef,
+        slack: impl Into<LinExpr>,
+    ) -> ModelResult<()> {
+        if multiplier.0 >= self.vars.len() {
+            return Err(ModelError::ForeignVar(multiplier.0));
+        }
+        let slack = slack.into();
+        self.check_expr(&slack)?;
+        self.compls.push(Complementarity { multiplier, slack });
+        Ok(())
+    }
+
+    /// Sets a linear objective.
+    pub fn set_objective(&mut self, sense: ObjSense, expr: impl Into<LinExpr>) -> ModelResult<()> {
+        let expr = expr.into();
+        self.check_expr(&expr)?;
+        self.obj_sense = Some(sense);
+        self.obj = expr;
+        self.obj_quad.clear();
+        Ok(())
+    }
+
+    /// Adds a diagonal quadratic term `q · v²` to the objective. Only the
+    /// KKT rewriter understands these; the LP compiler rejects them.
+    pub fn add_quadratic_objective_term(&mut self, v: VarRef, q: f64) -> ModelResult<()> {
+        if v.0 >= self.vars.len() {
+            return Err(ModelError::ForeignVar(v.0));
+        }
+        if !q.is_finite() {
+            return Err(ModelError::NotFinite(format!("quad coef {q}")));
+        }
+        self.obj_quad.push((v, q));
+        Ok(())
+    }
+
+    /// The current objective sense (None for pure feasibility problems).
+    pub fn objective_sense(&self) -> Option<ObjSense> {
+        self.obj_sense
+    }
+
+    /// The linear part of the objective.
+    pub fn objective(&self) -> &LinExpr {
+        &self.obj
+    }
+
+    /// Read-only view of the constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Read-only view of the complementarity pairs.
+    pub fn complementarities(&self) -> &[Complementarity] {
+        &self.compls
+    }
+
+    /// Checks that an assignment satisfies every constraint, bound, binary
+    /// restriction, and complementarity pair to within `tol`. Returns the
+    /// maximum violation found.
+    pub fn violation(&self, values: &[f64], tol: f64) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (j, vd) in self.vars.iter().enumerate() {
+            let x = values[j];
+            worst = worst.max(vd.lo - x).max(x - vd.hi);
+            if vd.kind == VarKind::Binary {
+                let frac = (x - x.round()).abs();
+                worst = worst.max(frac);
+            }
+        }
+        for c in &self.constraints {
+            let v = c.expr.eval(values);
+            let viol = match c.sense {
+                Sense::Le => v,
+                Sense::Ge => -v,
+                Sense::Eq => v.abs(),
+            };
+            worst = worst.max(viol);
+        }
+        for c in &self.compls {
+            let m = values[c.multiplier.0];
+            let s = c.slack.eval(values);
+            // Both sides must be nonnegative (dual/primal feasibility)…
+            worst = worst.max(-m).max(-s);
+            // …and their product zero.
+            let prod = m * s;
+            if prod.abs() > tol * (1.0 + m.abs().max(s.abs())) {
+                worst = worst.max(prod.abs());
+            }
+        }
+        worst.max(0.0)
+    }
+
+    fn check_expr(&self, e: &LinExpr) -> ModelResult<()> {
+        for (v, c) in e.terms() {
+            if v.0 >= self.vars.len() {
+                return Err(ModelError::ForeignVar(v.0));
+            }
+            if !c.is_finite() {
+                return Err(ModelError::NotFinite(format!("coefficient {c}")));
+            }
+        }
+        if !e.constant_part().is_finite() {
+            return Err(ModelError::NotFinite(format!(
+                "constant {}",
+                e.constant_part()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_model() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 5.0).unwrap();
+        let y = m.add_binary("y").unwrap();
+        m.constrain(x + y, Sense::Le, 4.0).unwrap();
+        m.set_objective(ObjSense::Max, x + 2.0 * y).unwrap();
+        assert_eq!(m.n_vars(), 2);
+        assert_eq!(m.n_constraints(), 1);
+        assert_eq!(m.var_kind(y), VarKind::Binary);
+        assert_eq!(m.var_name(x), "x");
+    }
+
+    #[test]
+    fn foreign_var_rejected() {
+        let mut m = Model::new();
+        let _x = m.add_var("x", 0.0, 1.0).unwrap();
+        let bad = VarRef(7);
+        assert!(m.constrain(bad, Sense::Le, 1.0).is_err());
+        assert!(m.add_complementarity(bad, 0.0).is_err());
+    }
+
+    #[test]
+    fn violation_checks_everything() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0).unwrap();
+        let lam = m.add_var("lam", 0.0, 10.0).unwrap();
+        m.constrain(x, Sense::Le, 0.5).unwrap();
+        m.add_complementarity(lam, LinExpr::from(x)).unwrap();
+        // Feasible, complementary point.
+        assert!(m.violation(&[0.0, 3.0], 1e-9) <= 1e-9);
+        // Constraint violated.
+        assert!(m.violation(&[0.9, 0.0], 1e-9) > 0.3);
+        // Complementarity violated.
+        assert!(m.violation(&[0.4, 2.0], 1e-9) > 0.5);
+    }
+
+    #[test]
+    fn binary_fractional_flagged() {
+        let mut m = Model::new();
+        let z = m.add_binary("z").unwrap();
+        let _ = z;
+        assert!(m.violation(&[0.5], 1e-9) >= 0.5 - 1e-9);
+        assert!(m.violation(&[1.0], 1e-9) <= 1e-9);
+    }
+}

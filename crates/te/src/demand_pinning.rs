@@ -1,0 +1,269 @@
+//! Demand Pinning (Eqs. 4–5) — the production heuristic of the paper's
+//! reference \[21\] (BLASTSHIELD) used as its running example.
+//!
+//! "First, it routes all demands with value at or below a threshold through
+//! their shortest path. It then jointly routes the remaining demands over
+//! multiple paths."
+//!
+//! Two realizations are provided:
+//!
+//! * [`demand_pinning`] — the *combinatorial* evaluator: pin, subtract
+//!   capacity, then solve the residual LP for unpinned demands. It also
+//!   detects the infeasible inputs of §5 ("a set of demands below the
+//!   threshold sharing a link whose total exceeds the link's capacity").
+//! * [`dem_pin_max_flow_lp`] — `DemPinMaxFlow` (Eq. 5) as a single
+//!   optimization with the big-M pinning rows of §3.2 instantiated for
+//!   *concrete* demands. Tests cross-validate both forms; the adversarial
+//!   encoding with symbolic demands lives in `metaopt-core`.
+
+use crate::flow::opt_max_flow_lp;
+use crate::instance::TeInstance;
+use crate::{TeError, TeResult};
+use metaopt_lp::{Simplex, SolveStatus};
+
+/// Which pairs does DP pin at threshold `t_d`? (`d_k <= t_d`, "at or below
+/// the threshold"; zero-volume demands are trivially pinned.)
+pub fn pin_set(demands: &[f64], t_d: f64) -> Vec<bool> {
+    demands.iter().map(|&d| d <= t_d).collect()
+}
+
+/// Result of running Demand Pinning on concrete demands.
+#[derive(Debug, Clone)]
+pub struct DpOutcome {
+    /// Whether the pinned flows fit (see §5 "identifying infeasibility").
+    pub feasible: bool,
+    /// Total carried flow (0 when infeasible).
+    pub total_flow: f64,
+    /// `flows[k][p]` per (pair, path); pinned pairs carry their full volume
+    /// on path 0 (their shortest).
+    pub flows: Vec<Vec<f64>>,
+    /// Pin mask actually applied.
+    pub pinned: Vec<bool>,
+}
+
+/// Runs the DP heuristic: pin every demand `<= t_d` onto its shortest path,
+/// then route the remaining demands optimally over the residual capacity.
+pub fn demand_pinning(inst: &TeInstance, demands: &[f64], t_d: f64) -> TeResult<DpOutcome> {
+    inst.check_demands(demands)?;
+    let pinned = pin_set(demands, t_d);
+    let mut flows: Vec<Vec<f64>> = inst
+        .paths
+        .iter()
+        .map(|ps| vec![0.0; ps.len()])
+        .collect();
+
+    // Pin phase: consume capacity along shortest paths.
+    let mut residual: Vec<f64> = inst.topo.edges().map(|e| inst.topo.capacity(e)).collect();
+    let mut pinned_total = 0.0;
+    for k in 0..inst.n_pairs() {
+        if !pinned[k] || demands[k] <= 0.0 {
+            continue;
+        }
+        let sp = &inst.paths[k][0];
+        for &e in &sp.edges {
+            residual[e.0] -= demands[k];
+        }
+        flows[k][0] = demands[k];
+        pinned_total += demands[k];
+    }
+    if residual.iter().any(|&r| r < -1e-9) {
+        return Ok(DpOutcome {
+            feasible: false,
+            total_flow: 0.0,
+            flows: inst.paths.iter().map(|ps| vec![0.0; ps.len()]).collect(),
+            pinned,
+        });
+    }
+
+    // Residual phase: optimize the unpinned demands over leftover capacity.
+    let keep: Vec<usize> = (0..inst.n_pairs()).filter(|&k| !pinned[k]).collect();
+    if keep.is_empty() {
+        return Ok(DpOutcome {
+            feasible: true,
+            total_flow: pinned_total,
+            flows,
+            pinned,
+        });
+    }
+    let mut sub = inst.restrict(&keep, 1.0);
+    for (e, &r) in residual.iter().enumerate() {
+        // Zero residual must still be a valid capacity; clamp tiny negatives.
+        sub.topo
+            .set_capacity(metaopt_topology::EdgeId(e), r.max(1e-12))
+            .map_err(TeError::Topology)?;
+    }
+    let sub_dem: Vec<f64> = keep.iter().map(|&k| demands[k]).collect();
+    let (lp, grid) = opt_max_flow_lp(&sub, &sub_dem)?;
+    let sol = Simplex::new(&lp).solve()?;
+    if sol.status != SolveStatus::Optimal {
+        return Err(TeError::Model(format!(
+            "DP residual LP ended {:?}",
+            sol.status
+        )));
+    }
+    for (i, &k) in keep.iter().enumerate() {
+        for (p, v) in grid[i].iter().enumerate() {
+            flows[k][p] = sol.x[v.0];
+        }
+    }
+    Ok(DpOutcome {
+        feasible: true,
+        total_flow: pinned_total - sol.objective,
+        flows,
+        pinned,
+    })
+}
+
+/// `DemPinMaxFlow` (Eq. 5) for concrete demands, as a plain LP: the big-M
+/// rows degenerate to hard pin constraints because the pin set is known.
+/// Used to cross-validate the combinatorial evaluator.
+pub fn dem_pin_max_flow_lp(
+    inst: &TeInstance,
+    demands: &[f64],
+    t_d: f64,
+) -> TeResult<Option<f64>> {
+    inst.check_demands(demands)?;
+    let pinned = pin_set(demands, t_d);
+    let (mut lp, grid) = opt_max_flow_lp(inst, demands)?;
+    for k in 0..inst.n_pairs() {
+        if !pinned[k] {
+            continue;
+        }
+        // f_k^{p̂} = d_k and f_k^p = 0 for p ≠ p̂.
+        for (p, &v) in grid[k].iter().enumerate() {
+            if p == 0 {
+                lp.set_bounds(v, demands[k].max(0.0), demands[k].max(0.0))?;
+            } else {
+                lp.set_bounds(v, 0.0, 0.0)?;
+            }
+        }
+    }
+    let sol = Simplex::new(&lp).solve()?;
+    Ok(match sol.status {
+        SolveStatus::Optimal => Some(-sol.objective),
+        SolveStatus::Infeasible => None,
+        other => {
+            return Err(TeError::Model(format!(
+                "DemPinMaxFlow LP ended {other:?}"
+            )))
+        }
+    })
+}
+
+/// The load each pinned demand set imposes per edge — used by tests and by
+/// infeasibility diagnostics.
+pub fn pinned_load(inst: &TeInstance, demands: &[f64], t_d: f64) -> Vec<f64> {
+    let pinned = pin_set(demands, t_d);
+    let mut load = vec![0.0; inst.topo.n_edges()];
+    for k in 0..inst.n_pairs() {
+        if pinned[k] && demands[k] > 0.0 {
+            for &e in &inst.paths[k][0].edges {
+                load[e.0] += demands[k];
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_topology::synth::{figure1_triangle, line};
+    use metaopt_topology::NodeId;
+
+    fn fig1_instance() -> (TeInstance, [usize; 3]) {
+        let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+        let pairs = vec![(n1, n3), (n1, n2), (n2, n3)];
+        let inst = TeInstance::with_pairs(t, pairs, 2).unwrap();
+        (inst, [0, 1, 2])
+    }
+
+    /// The Figure-1 phenomenon: pinning the 1→3 demand at the threshold
+    /// wastes capacity on both hops.
+    #[test]
+    fn figure1_gap() {
+        let (inst, [k13, k12, k23]) = fig1_instance();
+        let mut demands = vec![0.0; 3];
+        demands[k13] = 50.0;
+        demands[k12] = 100.0;
+        demands[k23] = 100.0;
+        let dp = demand_pinning(&inst, &demands, 50.0).unwrap();
+        assert!(dp.feasible);
+        // DP: 50 pinned over both edges + 50 + 50 residual = 150.
+        assert!((dp.total_flow - 150.0).abs() < 1e-6, "{}", dp.total_flow);
+        let opt = crate::opt::opt_max_flow(&inst, &demands).unwrap();
+        // OPT: drop 1→3 entirely → 200.
+        assert!((opt.total_flow - 200.0).abs() < 1e-6, "{}", opt.total_flow);
+    }
+
+    #[test]
+    fn no_pinning_above_threshold() {
+        let (inst, _) = fig1_instance();
+        let demands = vec![60.0, 100.0, 100.0];
+        let dp = demand_pinning(&inst, &demands, 50.0).unwrap();
+        let opt = crate::opt::opt_max_flow(&inst, &demands).unwrap();
+        assert!((dp.total_flow - opt.total_flow).abs() < 1e-6);
+        assert!(dp.pinned.iter().all(|&p| !p));
+    }
+
+    /// §5: pinned demands can oversubscribe a link → infeasible.
+    #[test]
+    fn infeasible_pinning_detected() {
+        let t = line(2, 10.0);
+        let inst = TeInstance::with_pairs(
+            t,
+            vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(1))],
+            1,
+        )
+        .unwrap();
+        // Two parallel demands of 8 on the same 10-capacity link, both
+        // pinned (threshold 8): total pinned 16 > 10.
+        let dp = demand_pinning(&inst, &[8.0, 8.0], 8.0).unwrap();
+        assert!(!dp.feasible);
+        // The optimization form agrees (LP infeasible → None).
+        let lp = dem_pin_max_flow_lp(&inst, &[8.0, 8.0], 8.0).unwrap();
+        assert!(lp.is_none());
+    }
+
+    /// Combinatorial evaluator and Eq.-5 LP agree on feasible inputs.
+    #[test]
+    fn evaluator_matches_lp_form() {
+        let (inst, _) = fig1_instance();
+        for t_d in [0.0, 25.0, 50.0, 80.0] {
+            for demands in [
+                vec![50.0, 100.0, 100.0],
+                vec![10.0, 90.0, 30.0],
+                vec![0.0, 0.0, 0.0],
+                vec![70.0, 20.0, 20.0],
+            ] {
+                let dp = demand_pinning(&inst, &demands, t_d).unwrap();
+                let lp = dem_pin_max_flow_lp(&inst, &demands, t_d).unwrap();
+                match lp {
+                    Some(v) => {
+                        assert!(dp.feasible);
+                        assert!(
+                            (v - dp.total_flow).abs() < 1e-6,
+                            "t_d={t_d} demands={demands:?}: lp {v} vs eval {}",
+                            dp.total_flow
+                        );
+                    }
+                    None => assert!(!dp.feasible),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_load_accounts_hops() {
+        let (inst, _) = fig1_instance();
+        let load = pinned_load(&inst, &[50.0, 100.0, 100.0], 50.0);
+        // Demand 1→3 (50) pinned on the 2-hop path: both edges loaded 50.
+        assert_eq!(load, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn zero_threshold_pins_only_zero_demands() {
+        let pins = pin_set(&[0.0, 1.0, 0.5], 0.0);
+        assert_eq!(pins, vec![true, false, false]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Max-min fair flow allocation — the alternative TE objective the paper's
+//! §2 cites ("max-min fairness [15, 16]").
+//!
+//! Progressive filling over the `FeasibleFlow` polytope: raise every
+//! unfrozen demand's allocation uniformly until some can no longer grow;
+//! freeze those at their level; repeat. Saturation is detected exactly by
+//! re-solving a per-demand "can it exceed the level?" LP, which is robust
+//! (if slow for huge instances — ours are workshop-scale).
+
+use crate::flow::edge_incidence;
+use crate::instance::TeInstance;
+use crate::{TeError, TeResult};
+use metaopt_lp::{LpProblem, RowSense, Simplex, SolveStatus, VarId, INF};
+
+/// Result of the max-min fair allocation.
+#[derive(Debug, Clone)]
+pub struct MaxMinOutcome {
+    /// Final allocation per pair (`f_k`).
+    pub rates: Vec<f64>,
+    /// Total carried flow (for comparison with `OptMaxFlow`; max-min
+    /// typically carries less total than the total-flow optimum).
+    pub total_flow: f64,
+    /// Progressive-filling rounds executed.
+    pub rounds: usize,
+}
+
+/// Builds the base LP: flow variables per (pair, path) with demand and
+/// capacity rows; returns (lp, grid, demand_row_ids).
+fn base_lp(inst: &TeInstance, demands: &[f64]) -> TeResult<(LpProblem, Vec<Vec<VarId>>)> {
+    let mut lp = LpProblem::new();
+    let mut grid = Vec::with_capacity(inst.n_pairs());
+    for paths in inst.paths.iter() {
+        let vars: Vec<VarId> = (0..paths.len())
+            .map(|_| lp.add_var(0.0, INF, 0.0))
+            .collect::<Result<_, _>>()?;
+        grid.push(vars);
+    }
+    for (k, vars) in grid.iter().enumerate() {
+        lp.add_row(
+            RowSense::Le,
+            demands[k].max(0.0),
+            vars.iter().map(|&v| (v, 1.0)),
+        )?;
+    }
+    for (e, users) in edge_incidence(inst).into_iter().enumerate() {
+        if users.is_empty() {
+            continue;
+        }
+        lp.add_row(
+            RowSense::Le,
+            inst.topo.capacity(metaopt_topology::EdgeId(e)),
+            users.into_iter().map(|(k, p)| (grid[k][p], 1.0)),
+        )?;
+    }
+    Ok((lp, grid))
+}
+
+/// Computes the max-min fair allocation for concrete demands.
+pub fn max_min_fair(inst: &TeInstance, demands: &[f64]) -> TeResult<MaxMinOutcome> {
+    inst.check_demands(demands)?;
+    let n = inst.n_pairs();
+    let mut frozen: Vec<Option<f64>> = demands
+        .iter()
+        .map(|&d| if d <= 0.0 { Some(0.0) } else { None })
+        .collect();
+    let mut rounds = 0usize;
+
+    while frozen.iter().any(|f| f.is_none()) {
+        rounds += 1;
+        if rounds > n + 1 {
+            return Err(TeError::Model(
+                "progressive filling failed to converge".into(),
+            ));
+        }
+        // Phase A: maximize the common level t for unfrozen demands.
+        // Variables: flows + t. Constraints: f_k >= t (unfrozen, t <= d_k
+        // enforced via t <= min d over unfrozen? No — t is common; each
+        // unfrozen k needs f_k >= min(t, d_k). To stay linear we cap t by
+        // the smallest unfrozen demand and freeze any demand reaching its
+        // volume at the end of the round.)
+        let (mut lp, grid) = base_lp(inst, demands)?;
+        let t_cap = frozen
+            .iter()
+            .zip(demands)
+            .filter(|(f, _)| f.is_none())
+            .map(|(_, &d)| d)
+            .fold(INF, f64::min);
+        let t = lp.add_var(0.0, t_cap, -1.0)?; // maximize t
+        for k in 0..n {
+            match frozen[k] {
+                Some(level) => {
+                    // Frozen: allocation pinned to its level.
+                    lp.add_row(
+                        RowSense::Eq,
+                        level,
+                        grid[k].iter().map(|&v| (v, 1.0)),
+                    )?;
+                }
+                None => {
+                    // Unfrozen: f_k − t >= 0.
+                    lp.add_row(
+                        RowSense::Ge,
+                        0.0,
+                        grid[k]
+                            .iter()
+                            .map(|&v| (v, 1.0))
+                            .chain(std::iter::once((t, -1.0))),
+                    )?;
+                }
+            }
+        }
+        let sol = Simplex::new(&lp).solve()?;
+        if sol.status != SolveStatus::Optimal {
+            return Err(TeError::Model(format!(
+                "max-min level LP ended {:?}",
+                sol.status
+            )));
+        }
+        let level = sol.x[t.0];
+
+        // Demands whose volume equals the level are trivially frozen.
+        let mut froze_any = false;
+        for k in 0..n {
+            if frozen[k].is_none() && demands[k] <= level + 1e-9 {
+                frozen[k] = Some(demands[k]);
+                froze_any = true;
+            }
+        }
+
+        // Phase B: find bottlenecked demands — those that cannot exceed
+        // the level even when maximized individually.
+        let unfrozen: Vec<usize> = (0..n).filter(|&k| frozen[k].is_none()).collect();
+        for &k in &unfrozen {
+            let (mut lp, grid) = base_lp(inst, demands)?;
+            // Others at >= level (unfrozen) / == frozen level.
+            for j in 0..n {
+                if j == k {
+                    continue;
+                }
+                match frozen[j] {
+                    Some(l) => {
+                        lp.add_row(RowSense::Eq, l, grid[j].iter().map(|&v| (v, 1.0)))?;
+                    }
+                    None => {
+                        lp.add_row(
+                            RowSense::Ge,
+                            level,
+                            grid[j].iter().map(|&v| (v, 1.0)),
+                        )?;
+                    }
+                }
+            }
+            // Maximize f_k.
+            for &v in &grid[k] {
+                lp.set_obj(v, -1.0)?;
+            }
+            let sol = Simplex::new(&lp).solve()?;
+            if sol.status != SolveStatus::Optimal {
+                return Err(TeError::Model(format!(
+                    "max-min probe LP ended {:?}",
+                    sol.status
+                )));
+            }
+            let best_k = -sol.objective;
+            if best_k <= level + 1e-7 {
+                frozen[k] = Some(level.min(demands[k]));
+                froze_any = true;
+            }
+        }
+        if !froze_any {
+            // No demand is bottlenecked at this level: freeze the minimum
+            // guaranteed level for all remaining at next iteration — this
+            // only happens with numerically flat levels; freeze everything
+            // at the achieved level to terminate.
+            for k in 0..n {
+                if frozen[k].is_none() {
+                    frozen[k] = Some(level.min(demands[k]));
+                }
+            }
+        }
+    }
+
+    let rates: Vec<f64> = frozen.into_iter().map(|f| f.unwrap_or(0.0)).collect();
+    let total_flow = rates.iter().sum();
+    Ok(MaxMinOutcome {
+        rates,
+        total_flow,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_topology::synth::{figure1_triangle, line, star};
+
+    /// Single bottleneck link shared by two demands: each gets half.
+    #[test]
+    fn equal_split_on_shared_link() {
+        let t = line(2, 10.0);
+        let inst = TeInstance::with_pairs(
+            t,
+            vec![
+                (metaopt_topology::NodeId(0), metaopt_topology::NodeId(1)),
+                (metaopt_topology::NodeId(0), metaopt_topology::NodeId(1)),
+            ],
+            1,
+        )
+        .unwrap();
+        let out = max_min_fair(&inst, &[100.0, 100.0]).unwrap();
+        assert!((out.rates[0] - 5.0).abs() < 1e-6, "{:?}", out.rates);
+        assert!((out.rates[1] - 5.0).abs() < 1e-6);
+        assert!((out.total_flow - 10.0).abs() < 1e-6);
+    }
+
+    /// A small demand is satisfied fully; the big one takes the rest.
+    #[test]
+    fn small_demand_fully_served() {
+        let t = line(2, 10.0);
+        let inst = TeInstance::with_pairs(
+            t,
+            vec![
+                (metaopt_topology::NodeId(0), metaopt_topology::NodeId(1)),
+                (metaopt_topology::NodeId(0), metaopt_topology::NodeId(1)),
+            ],
+            1,
+        )
+        .unwrap();
+        let out = max_min_fair(&inst, &[2.0, 100.0]).unwrap();
+        assert!((out.rates[0] - 2.0).abs() < 1e-6, "{:?}", out.rates);
+        assert!((out.rates[1] - 8.0).abs() < 1e-6, "{:?}", out.rates);
+    }
+
+    /// On the Figure-1 triangle, max-min keeps the two-hop demand alive
+    /// (fairness) at the cost of total flow versus OptMaxFlow.
+    #[test]
+    fn fairness_sacrifices_total_flow() {
+        let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+        let inst =
+            TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+        let demands = vec![50.0, 100.0, 100.0];
+        let mm = max_min_fair(&inst, &demands).unwrap();
+        let opt = crate::opt::opt_max_flow(&inst, &demands).unwrap();
+        // Max-min gives the 1→3 demand its fair share (50 at level 50):
+        // levels: t up to 50 → edges carry t(1→3) + t(1→2) <= 100 → t = 50.
+        assert!(mm.rates[0] > 1e-6, "two-hop demand starved: {:?}", mm.rates);
+        assert!(mm.total_flow <= opt.total_flow + 1e-6);
+        // All rates ≤ demands.
+        for (r, d) in mm.rates.iter().zip(&demands) {
+            assert!(*r <= d + 1e-9);
+        }
+    }
+
+    /// Star: leaves share the hub independently → everyone gets their
+    /// demand when capacity suffices.
+    #[test]
+    fn no_contention_serves_everything() {
+        let inst = TeInstance::all_pairs(star(3, 100.0), 1).unwrap();
+        let demands = vec![10.0; inst.n_pairs()];
+        let out = max_min_fair(&inst, &demands).unwrap();
+        for r in &out.rates {
+            assert!((r - 10.0).abs() < 1e-6, "{:?}", out.rates);
+        }
+    }
+
+    /// Zero demands are frozen at zero immediately.
+    #[test]
+    fn zero_demands_ignored() {
+        let inst = TeInstance::all_pairs(line(3, 10.0), 1).unwrap();
+        let out = max_min_fair(&inst, &vec![0.0; inst.n_pairs()]).unwrap();
+        assert_eq!(out.total_flow, 0.0);
+    }
+
+    /// Max-min dominance: the minimum allocation is as large as any other
+    /// feasible allocation's minimum (spot-check vs the total-flow OPT).
+    #[test]
+    fn maxmin_minimum_dominates_opt_minimum() {
+        let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+        let inst =
+            TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+        let demands = vec![50.0, 100.0, 100.0];
+        let mm = max_min_fair(&inst, &demands).unwrap();
+        let opt = crate::opt::opt_max_flow(&inst, &demands).unwrap();
+        let mm_min = mm
+            .rates
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let opt_min = opt
+            .flows
+            .iter()
+            .map(|fs| fs.iter().sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        assert!(mm_min >= opt_min - 1e-6, "mm {mm_min} vs opt {opt_min}");
+    }
+}

@@ -1,0 +1,106 @@
+//! TE problem instances: topology + demand pairs + pre-chosen paths.
+
+use crate::TeResult;
+use metaopt_topology::{all_pairs, paths::path_set, DemandPair, PathSet, Topology};
+
+/// A traffic-engineering instance — Table 1's `(V, E, D, P)` with demand
+/// *volumes* left open (they are the adversary's variables in Eq. 1).
+#[derive(Debug, Clone)]
+pub struct TeInstance {
+    /// The capacitated network.
+    pub topo: Topology,
+    /// Ordered demand pairs (`k` indexes this list everywhere).
+    pub pairs: Vec<DemandPair>,
+    /// `paths[k]`: the pre-chosen paths of pair `k`, shortest first (the
+    /// first entry is Demand Pinning's `p̂_k`).
+    pub paths: PathSet,
+}
+
+impl TeInstance {
+    /// Builds an instance over *all* ordered node pairs with the `k_paths`
+    /// shortest paths each (the paper's default is 2).
+    pub fn all_pairs(topo: Topology, k_paths: usize) -> TeResult<Self> {
+        let pairs = all_pairs(&topo);
+        Self::with_pairs(topo, pairs, k_paths)
+    }
+
+    /// Builds an instance over an explicit pair list.
+    pub fn with_pairs(
+        topo: Topology,
+        pairs: Vec<DemandPair>,
+        k_paths: usize,
+    ) -> TeResult<Self> {
+        let paths = path_set(&topo, &pairs, k_paths)?;
+        Ok(TeInstance { topo, pairs, paths })
+    }
+
+    /// Number of demand pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Total path count across pairs.
+    pub fn n_paths(&self) -> usize {
+        self.paths.iter().map(|p| p.len()).sum()
+    }
+
+    /// The maximum sensible demand volume for adversarial search: one
+    /// pair can never usefully exceed the largest edge capacity.
+    pub fn demand_cap(&self) -> f64 {
+        self.topo.max_capacity()
+    }
+
+    /// Validates a demand-volume vector's length.
+    pub fn check_demands(&self, demands: &[f64]) -> TeResult<()> {
+        if demands.len() != self.n_pairs() {
+            return Err(crate::TeError::DemandMismatch {
+                expected: self.n_pairs(),
+                got: demands.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// A sub-instance restricted to the pairs selected by `keep` (indexes
+    /// into `pairs`), preserving path sets; capacities scaled by
+    /// `capacity_factor` (POP's resource splitting).
+    pub fn restrict(&self, keep: &[usize], capacity_factor: f64) -> TeInstance {
+        TeInstance {
+            topo: self.topo.scale_capacities(capacity_factor),
+            pairs: keep.iter().map(|&k| self.pairs[k]).collect(),
+            paths: keep.iter().map(|&k| self.paths[k].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_topology::synth::line;
+
+    #[test]
+    fn all_pairs_instance() {
+        let inst = TeInstance::all_pairs(line(4, 10.0), 2).unwrap();
+        assert_eq!(inst.n_pairs(), 12);
+        // A line has exactly one simple path per pair.
+        assert_eq!(inst.n_paths(), 12);
+        assert_eq!(inst.demand_cap(), 10.0);
+    }
+
+    #[test]
+    fn restrict_scales_capacity() {
+        let inst = TeInstance::all_pairs(line(3, 8.0), 1).unwrap();
+        let sub = inst.restrict(&[0, 2], 0.5);
+        assert_eq!(sub.n_pairs(), 2);
+        assert_eq!(sub.topo.max_capacity(), 4.0);
+        assert_eq!(sub.pairs[0], inst.pairs[0]);
+        assert_eq!(sub.pairs[1], inst.pairs[2]);
+    }
+
+    #[test]
+    fn demand_length_checked() {
+        let inst = TeInstance::all_pairs(line(3, 1.0), 1).unwrap();
+        assert!(inst.check_demands(&[0.0; 6]).is_ok());
+        assert!(inst.check_demands(&[0.0; 5]).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! POP — Partitioned Optimization Problems (Eq. 6, Narayanan et al. 2021).
+//!
+//! POP "divides node pairs (and their demands) uniformly at random into a
+//! number of partitions and solves the original problem in parallel, once
+//! per partition, with edge capacities also uniformly divided across the
+//! problems". The heuristic value is the vector-union of the per-partition
+//! optima; its total flow is the sum of per-partition totals.
+//!
+//! Appendix A adds *client splitting*: demands at or above a threshold are
+//! recursively halved (up to a per-client split budget) before
+//! partitioning, letting a big demand straddle partitions.
+
+use crate::instance::TeInstance;
+use crate::opt::opt_max_flow;
+use crate::TeResult;
+use metaopt_topology::Demand;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A partition of pair indices into `n_parts` groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `assignment[k]` = partition index of pair `k`.
+    pub assignment: Vec<usize>,
+    /// Number of partitions.
+    pub n_parts: usize,
+}
+
+impl Partition {
+    /// The pair indices of partition `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        (0..self.assignment.len())
+            .filter(|&k| self.assignment[k] == c)
+            .collect()
+    }
+}
+
+/// Draws a uniformly random balanced partition of `n_pairs` into `n_parts`
+/// (the paper's "uniformly at random"; balanced assignment is the standard
+/// POP implementation choice).
+pub fn random_partition(n_pairs: usize, n_parts: usize, rng: &mut impl Rng) -> Partition {
+    assert!(n_parts >= 1);
+    let mut slots: Vec<usize> = (0..n_pairs).map(|i| i % n_parts).collect();
+    slots.shuffle(rng);
+    Partition {
+        assignment: slots,
+        n_parts,
+    }
+}
+
+/// Draws `count` independent random partitions (the multi-instantiation
+/// averaging of §3.2 / Figure 5a).
+pub fn random_partitions(
+    n_pairs: usize,
+    n_parts: usize,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<Partition> {
+    (0..count)
+        .map(|_| random_partition(n_pairs, n_parts, rng))
+        .collect()
+}
+
+/// Result of one POP run.
+#[derive(Debug, Clone)]
+pub struct PopOutcome {
+    /// Total carried flow summed over partitions.
+    pub total_flow: f64,
+    /// Per-partition totals.
+    pub per_partition: Vec<f64>,
+}
+
+/// Runs POP for a fixed partition: solve `OptMaxFlow` per partition on a
+/// copy of the network with capacities divided by `n_parts`.
+pub fn pop_max_flow(
+    inst: &TeInstance,
+    demands: &[f64],
+    partition: &Partition,
+) -> TeResult<PopOutcome> {
+    inst.check_demands(demands)?;
+    assert_eq!(partition.assignment.len(), inst.n_pairs());
+    let factor = 1.0 / partition.n_parts as f64;
+    let mut per_partition = Vec::with_capacity(partition.n_parts);
+    for c in 0..partition.n_parts {
+        let members = partition.members(c);
+        if members.is_empty() {
+            per_partition.push(0.0);
+            continue;
+        }
+        let sub = inst.restrict(&members, factor);
+        let sub_dem: Vec<f64> = members.iter().map(|&k| demands[k]).collect();
+        let out = opt_max_flow(&sub, &sub_dem)?;
+        per_partition.push(out.total_flow);
+    }
+    Ok(PopOutcome {
+        total_flow: per_partition.iter().sum(),
+        per_partition,
+    })
+}
+
+/// Average POP value over several partition instantiations — the
+/// deterministic descriptor `E(Heuristic(I))` of §3.2.
+pub fn pop_average(
+    inst: &TeInstance,
+    demands: &[f64],
+    partitions: &[Partition],
+) -> TeResult<f64> {
+    let mut total = 0.0;
+    for p in partitions {
+        total += pop_max_flow(inst, demands, p)?.total_flow;
+    }
+    Ok(total / partitions.len().max(1) as f64)
+}
+
+/// Appendix-A client splitting: recursively halve any demand `>= d_th`, up
+/// to `max_splits` splits per original client. Returns the virtual demand
+/// list and, for bookkeeping, the original index of each virtual demand.
+pub fn client_split(demands: &[Demand], d_th: f64, max_splits: usize) -> (Vec<Demand>, Vec<usize>) {
+    let mut out = Vec::new();
+    let mut origin = Vec::new();
+    for (k, d) in demands.iter().enumerate() {
+        let mut level = 0usize;
+        let mut volume = d.volume;
+        while level < max_splits && volume >= d_th {
+            volume /= 2.0;
+            level += 1;
+        }
+        let copies = 1usize << level;
+        for _ in 0..copies {
+            out.push(Demand::new(d.src, d.dst, volume));
+            origin.push(k);
+        }
+    }
+    (out, origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_topology::synth::line;
+    use metaopt_topology::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partition_is_balanced_and_complete() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = random_partition(10, 3, &mut rng);
+        let sizes: Vec<usize> = (0..3).map(|c| p.members(c).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+        // Every pair appears exactly once.
+        let mut all: Vec<usize> = (0..3).flat_map(|c| p.members(c)).collect();
+        all.sort();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_partition_equals_opt() {
+        let inst = TeInstance::all_pairs(line(4, 10.0), 2).unwrap();
+        let demands: Vec<f64> = (0..inst.n_pairs()).map(|k| (k % 4) as f64).collect();
+        let part = Partition {
+            assignment: vec![0; inst.n_pairs()],
+            n_parts: 1,
+        };
+        let pop = pop_max_flow(&inst, &demands, &part).unwrap();
+        let opt = crate::opt::opt_max_flow(&inst, &demands).unwrap();
+        assert!((pop.total_flow - opt.total_flow).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pop_never_beats_opt() {
+        let inst = TeInstance::all_pairs(line(4, 10.0), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let demands: Vec<f64> = (0..inst.n_pairs())
+            .map(|_| rng.gen_range(0.0..12.0))
+            .collect();
+        let opt = crate::opt::opt_max_flow(&inst, &demands).unwrap();
+        for n_parts in [2, 3] {
+            for seed in 0..5 {
+                let mut prng = StdRng::seed_from_u64(seed);
+                let p = random_partition(inst.n_pairs(), n_parts, &mut prng);
+                let pop = pop_max_flow(&inst, &demands, &p).unwrap();
+                assert!(
+                    pop.total_flow <= opt.total_flow + 1e-6,
+                    "POP {} beat OPT {}",
+                    pop.total_flow,
+                    opt.total_flow
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn average_over_instances() {
+        let inst = TeInstance::all_pairs(line(3, 10.0), 1).unwrap();
+        let demands = vec![5.0; inst.n_pairs()];
+        let mut rng = StdRng::seed_from_u64(11);
+        let parts = random_partitions(inst.n_pairs(), 2, 4, &mut rng);
+        let avg = pop_average(&inst, &demands, &parts).unwrap();
+        let each: Vec<f64> = parts
+            .iter()
+            .map(|p| pop_max_flow(&inst, &demands, p).unwrap().total_flow)
+            .collect();
+        let expect = each.iter().sum::<f64>() / 4.0;
+        assert!((avg - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn client_split_halves_until_below() {
+        let d = vec![Demand::new(NodeId(0), NodeId(1), 100.0)];
+        // Threshold 30, up to 2 splits: 100 → 50 → 25 (< 30, stop): 4 copies.
+        let (split, origin) = client_split(&d, 30.0, 2);
+        assert_eq!(split.len(), 4);
+        assert!(split.iter().all(|s| (s.volume - 25.0).abs() < 1e-12));
+        assert_eq!(origin, vec![0; 4]);
+        // Volume conserved.
+        let total: f64 = split.iter().map(|s| s.volume).sum();
+        assert!((total - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn client_split_leaves_small_demands() {
+        let d = vec![
+            Demand::new(NodeId(0), NodeId(1), 10.0),
+            Demand::new(NodeId(1), NodeId(0), 64.0),
+        ];
+        let (split, origin) = client_split(&d, 16.0, 3);
+        // 10 untouched; 64 → 32 → 16 → 8 (3 splits) → 8 copies.
+        assert_eq!(split.len(), 1 + 8);
+        assert_eq!(origin.iter().filter(|&&o| o == 1).count(), 8);
+        let total: f64 = split.iter().map(|s| s.volume).sum();
+        assert!((total - 74.0).abs() < 1e-12);
+    }
+
+    /// Appendix A's motivation: splitting lets a large demand straddle
+    /// partitions. One 10-unit demand on a 10-capacity link, 2 partitions:
+    /// unsplit POP carries only 5 (one partition's half capacity); split
+    /// into two 5-unit virtual clients, the balanced partition puts one in
+    /// each half and POP carries the full 10.
+    #[test]
+    fn client_splitting_rescues_fragmented_capacity() {
+        use metaopt_topology::synth::line;
+        let topo = line(2, 10.0);
+        let pair = (NodeId(0), NodeId(1));
+
+        // Unsplit: one demand of 10.
+        let inst = TeInstance::with_pairs(topo.clone(), vec![pair], 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let part = random_partition(1, 2, &mut rng);
+        let unsplit = pop_max_flow(&inst, &[10.0], &part).unwrap();
+        assert!((unsplit.total_flow - 5.0).abs() < 1e-9, "{}", unsplit.total_flow);
+
+        // Split once: two 5-unit virtual clients.
+        let demands = vec![Demand::new(pair.0, pair.1, 10.0)];
+        let (split, _) = client_split(&demands, 8.0, 1);
+        assert_eq!(split.len(), 2);
+        let pairs: Vec<_> = split.iter().map(|d| (d.src, d.dst)).collect();
+        let sub = TeInstance::with_pairs(topo, pairs, 1).unwrap();
+        let vols: Vec<f64> = split.iter().map(|d| d.volume).collect();
+        // A balanced partition of 2 items into 2 parts always separates
+        // them regardless of the shuffle.
+        let mut rng = StdRng::seed_from_u64(2);
+        let part = random_partition(2, 2, &mut rng);
+        let with_split = pop_max_flow(&sub, &vols, &part).unwrap();
+        assert!(
+            (with_split.total_flow - 10.0).abs() < 1e-9,
+            "{}",
+            with_split.total_flow
+        );
+    }
+
+    #[test]
+    fn split_then_pop_conserves_feasibility() {
+        // Splitting a demand lets POP carry it across partitions.
+        let inst = TeInstance::all_pairs(line(3, 10.0), 1).unwrap();
+        let demands: Vec<Demand> = inst
+            .pairs
+            .iter()
+            .map(|&(s, t)| Demand::new(s, t, 8.0))
+            .collect();
+        let (split, origin) = client_split(&demands, 4.0, 1);
+        assert_eq!(split.len(), 2 * demands.len());
+        // Rebuild an instance over the split pairs.
+        let pairs: Vec<_> = split.iter().map(|d| (d.src, d.dst)).collect();
+        let sub = TeInstance::with_pairs(inst.topo.clone(), pairs, 1).unwrap();
+        let vols: Vec<f64> = split.iter().map(|d| d.volume).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = random_partition(sub.n_pairs(), 2, &mut rng);
+        let pop = pop_max_flow(&sub, &vols, &p).unwrap();
+        assert!(pop.total_flow > 0.0);
+        let _ = origin;
+    }
+}

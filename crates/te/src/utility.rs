@@ -1,0 +1,253 @@
+//! Utility-curve flow allocation — the third TE objective family §2 cites
+//! ("utility curves \[22\]", BwE-style bandwidth functions).
+//!
+//! Each demand carries a concave piecewise-linear utility `U_k(f_k)`
+//! (decreasing marginal value); the allocator maximizes `Σ_k U_k(f_k)`
+//! over `FeasibleFlow`. Concavity makes the LP encoding exact: the flow is
+//! split into segments, each with its slope as objective coefficient — the
+//! solver fills high-slope segments first automatically.
+
+use crate::flow::edge_incidence;
+use crate::instance::TeInstance;
+use crate::{TeError, TeResult};
+use metaopt_lp::{LpProblem, RowSense, Simplex, SolveStatus, INF};
+
+/// A concave piecewise-linear utility: segments of `(width, slope)` with
+/// strictly non-increasing slopes. Utility at `x` is the integral of the
+/// slopes over `[0, x]` (beyond the last breakpoint the utility is flat).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityCurve {
+    segments: Vec<(f64, f64)>,
+}
+
+impl UtilityCurve {
+    /// Builds a curve from `(width, slope)` segments.
+    ///
+    /// Returns an error unless widths are positive and slopes nonnegative
+    /// and non-increasing (concavity — required for the LP encoding to be
+    /// exact).
+    pub fn new(segments: Vec<(f64, f64)>) -> TeResult<Self> {
+        let mut last = f64::INFINITY;
+        for (i, &(w, s)) in segments.iter().enumerate() {
+            if !(w > 0.0) || !w.is_finite() {
+                return Err(TeError::Model(format!("segment {i}: bad width {w}")));
+            }
+            if !(s >= 0.0) || !s.is_finite() {
+                return Err(TeError::Model(format!("segment {i}: bad slope {s}")));
+            }
+            if s > last + 1e-12 {
+                return Err(TeError::Model(format!(
+                    "segment {i}: slope {s} increases (curve must be concave)"
+                )));
+            }
+            last = s;
+        }
+        Ok(UtilityCurve { segments })
+    }
+
+    /// A linear utility `slope · min(x, cap)`.
+    pub fn linear(cap: f64, slope: f64) -> TeResult<Self> {
+        Self::new(vec![(cap, slope)])
+    }
+
+    /// Evaluates the utility at `x`.
+    pub fn value(&self, x: f64) -> f64 {
+        let mut remaining = x.max(0.0);
+        let mut total = 0.0;
+        for &(w, s) in &self.segments {
+            let take = remaining.min(w);
+            total += take * s;
+            remaining -= take;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Total width (the saturation point).
+    pub fn saturation(&self) -> f64 {
+        self.segments.iter().map(|(w, _)| w).sum()
+    }
+
+    /// Segment view.
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+}
+
+/// Result of the utility-maximizing allocation.
+#[derive(Debug, Clone)]
+pub struct UtilityOutcome {
+    /// Allocation per pair.
+    pub rates: Vec<f64>,
+    /// Total utility achieved.
+    pub total_utility: f64,
+    /// Total carried flow.
+    pub total_flow: f64,
+}
+
+/// Maximizes `Σ_k U_k(f_k)` over `FeasibleFlow` with per-pair curves.
+/// Demands are implicit in the curves' saturation points (a pair's flow
+/// beyond saturation earns nothing and is never routed).
+pub fn max_utility(inst: &TeInstance, curves: &[UtilityCurve]) -> TeResult<UtilityOutcome> {
+    if curves.len() != inst.n_pairs() {
+        return Err(TeError::DemandMismatch {
+            expected: inst.n_pairs(),
+            got: curves.len(),
+        });
+    }
+    let mut lp = LpProblem::new();
+    // Per (pair, path) flow variables.
+    let grid: Vec<Vec<metaopt_lp::VarId>> = inst
+        .paths
+        .iter()
+        .map(|paths| {
+            (0..paths.len())
+                .map(|_| lp.add_var(0.0, INF, 0.0))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<_, _>>()?;
+    // Per (pair, segment) utility variables: seg <= width, objective −slope
+    // (minimization form), and Σ segs == Σ path flows.
+    let mut seg_vars = Vec::with_capacity(inst.n_pairs());
+    for (k, curve) in curves.iter().enumerate() {
+        let mut segs = Vec::with_capacity(curve.segments.len());
+        for &(w, s) in &curve.segments {
+            segs.push(lp.add_var(0.0, w, -s)?);
+        }
+        // Σ_p f_k^p − Σ_seg = 0, plus cap at saturation via segment widths.
+        lp.add_row(
+            RowSense::Eq,
+            0.0,
+            grid[k]
+                .iter()
+                .map(|&v| (v, 1.0))
+                .chain(segs.iter().map(|&v| (v, -1.0))),
+        )?;
+        seg_vars.push(segs);
+    }
+    for (e, users) in edge_incidence(inst).into_iter().enumerate() {
+        if users.is_empty() {
+            continue;
+        }
+        lp.add_row(
+            RowSense::Le,
+            inst.topo.capacity(metaopt_topology::EdgeId(e)),
+            users.into_iter().map(|(k, p)| (grid[k][p], 1.0)),
+        )?;
+    }
+    let sol = Simplex::new(&lp).solve()?;
+    if sol.status != SolveStatus::Optimal {
+        return Err(TeError::Model(format!(
+            "utility LP ended {:?}",
+            sol.status
+        )));
+    }
+    let rates: Vec<f64> = grid
+        .iter()
+        .map(|vars| vars.iter().map(|v| sol.x[v.0]).sum())
+        .collect();
+    let total_utility = -sol.objective;
+    let total_flow = rates.iter().sum();
+    Ok(UtilityOutcome {
+        rates,
+        total_utility,
+        total_flow,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_topology::synth::{figure1_triangle, line};
+    use metaopt_topology::NodeId;
+
+    #[test]
+    fn curve_validation() {
+        assert!(UtilityCurve::new(vec![(10.0, 2.0), (10.0, 1.0)]).is_ok());
+        assert!(UtilityCurve::new(vec![(10.0, 1.0), (10.0, 2.0)]).is_err()); // convex
+        assert!(UtilityCurve::new(vec![(0.0, 1.0)]).is_err());
+        assert!(UtilityCurve::new(vec![(5.0, -1.0)]).is_err());
+    }
+
+    #[test]
+    fn curve_evaluation() {
+        let c = UtilityCurve::new(vec![(10.0, 2.0), (10.0, 1.0)]).unwrap();
+        assert_eq!(c.value(0.0), 0.0);
+        assert_eq!(c.value(5.0), 10.0);
+        assert_eq!(c.value(10.0), 20.0);
+        assert_eq!(c.value(15.0), 25.0);
+        assert_eq!(c.value(100.0), 30.0); // flat beyond saturation
+        assert_eq!(c.saturation(), 20.0);
+    }
+
+    /// High-priority (steep) demand wins the bottleneck.
+    #[test]
+    fn priority_wins_bottleneck() {
+        let t = line(2, 10.0);
+        let inst = TeInstance::with_pairs(
+            t,
+            vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(1))],
+            1,
+        )
+        .unwrap();
+        let curves = vec![
+            UtilityCurve::linear(10.0, 5.0).unwrap(), // steep
+            UtilityCurve::linear(10.0, 1.0).unwrap(), // shallow
+        ];
+        let out = max_utility(&inst, &curves).unwrap();
+        assert!((out.rates[0] - 10.0).abs() < 1e-6, "{:?}", out.rates);
+        assert!(out.rates[1].abs() < 1e-6);
+        assert!((out.total_utility - 50.0).abs() < 1e-6);
+    }
+
+    /// Diminishing returns split the bottleneck: with curves 2-then-1 vs a
+    /// flat 1.5, the first demand's first segment and then the second
+    /// demand fill up.
+    #[test]
+    fn concavity_shares_capacity() {
+        let t = line(2, 10.0);
+        let inst = TeInstance::with_pairs(
+            t,
+            vec![(NodeId(0), NodeId(1)), (NodeId(0), NodeId(1))],
+            1,
+        )
+        .unwrap();
+        let curves = vec![
+            UtilityCurve::new(vec![(4.0, 2.0), (6.0, 1.0)]).unwrap(),
+            UtilityCurve::linear(10.0, 1.5).unwrap(),
+        ];
+        let out = max_utility(&inst, &curves).unwrap();
+        // Fill order by slope: d0 seg1 (4 @2), then d1 (up to 10 @1.5, but
+        // only 6 left), then d0 seg2 (@1). Expect rates (4, 6).
+        assert!((out.rates[0] - 4.0).abs() < 1e-6, "{:?}", out.rates);
+        assert!((out.rates[1] - 6.0).abs() < 1e-6, "{:?}", out.rates);
+        let expect = 4.0 * 2.0 + 6.0 * 1.5;
+        assert!((out.total_utility - expect).abs() < 1e-6);
+    }
+
+    /// With identical linear curves, utility maximization reduces to
+    /// OptMaxFlow (same totals).
+    #[test]
+    fn linear_curves_reduce_to_max_flow() {
+        let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+        let inst =
+            TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+        let demands = vec![50.0, 100.0, 100.0];
+        let curves: Vec<UtilityCurve> = demands
+            .iter()
+            .map(|&d: &f64| UtilityCurve::linear(d.max(1e-9), 1.0).unwrap())
+            .collect();
+        let ut = max_utility(&inst, &curves).unwrap();
+        let opt = crate::opt::opt_max_flow(&inst, &demands).unwrap();
+        assert!(
+            (ut.total_flow - opt.total_flow).abs() < 1e-6,
+            "utility {} vs maxflow {}",
+            ut.total_flow,
+            opt.total_flow
+        );
+        // Utility value equals carried flow for unit slopes.
+        assert!((ut.total_utility - ut.total_flow).abs() < 1e-6);
+    }
+}

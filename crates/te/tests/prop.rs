@@ -1,0 +1,156 @@
+//! Property tests for the TE layer: evaluator/optimization-form agreement,
+//! flow-physics invariants, and heuristic dominance, on randomized
+//! instances.
+
+use metaopt_te::{
+    demand_pinning::{dem_pin_max_flow_lp, demand_pinning},
+    flow::edge_incidence,
+    opt::opt_max_flow,
+    pop::{pop_max_flow, random_partition},
+    TeInstance,
+};
+use metaopt_topology::synth::{circulant, grid, line, star};
+use metaopt_topology::Topology;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn topo(idx: usize) -> Topology {
+    match idx % 6 {
+        0 => line(3, 40.0),
+        1 => line(4, 40.0),
+        2 => star(3, 40.0),
+        3 => circulant(4, 1, 40.0),
+        4 => circulant(6, 2, 40.0),
+        _ => grid(2, 3, 40.0),
+    }
+}
+
+fn random_demands(n: usize, seed: u64, hi: f64) -> Vec<f64> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.0..hi)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The combinatorial DP evaluator and the Eq.-5 optimization form agree
+    /// on every feasible input, and agree about infeasibility.
+    #[test]
+    fn dp_evaluator_matches_optimization_form(
+        t_idx in 0usize..6,
+        seed in 0u64..10_000,
+        threshold in 0.0f64..45.0,
+    ) {
+        let inst = TeInstance::all_pairs(topo(t_idx), 2).unwrap();
+        let demands = random_demands(inst.n_pairs(), seed, 50.0);
+        let eval = demand_pinning(&inst, &demands, threshold).unwrap();
+        let lp = dem_pin_max_flow_lp(&inst, &demands, threshold).unwrap();
+        match lp {
+            Some(v) => {
+                prop_assert!(eval.feasible);
+                prop_assert!((v - eval.total_flow).abs() <= 1e-5 * (1.0 + v.abs()),
+                    "lp {v} vs evaluator {}", eval.total_flow);
+            }
+            None => prop_assert!(!eval.feasible),
+        }
+    }
+
+    /// OPT's flow assignment respects demands, capacities, and
+    /// nonnegativity — the FeasibleFlow invariants of Eq. 2.
+    #[test]
+    fn opt_flows_satisfy_feasible_flow(
+        t_idx in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let inst = TeInstance::all_pairs(topo(t_idx), 2).unwrap();
+        let demands = random_demands(inst.n_pairs(), seed, 60.0);
+        let out = opt_max_flow(&inst, &demands).unwrap();
+        // Demand rows.
+        for (k, flows) in out.flows.iter().enumerate() {
+            let fk: f64 = flows.iter().sum();
+            prop_assert!(fk <= demands[k] + 1e-6, "pair {k}: {fk} > {}", demands[k]);
+            prop_assert!(flows.iter().all(|&f| f >= -1e-9));
+        }
+        // Capacity rows.
+        for (e, users) in edge_incidence(&inst).into_iter().enumerate() {
+            let load: f64 = users.iter().map(|&(k, p)| out.flows[k][p]).sum();
+            let cap = inst.topo.capacity(metaopt_topology::EdgeId(e));
+            prop_assert!(load <= cap + 1e-6, "edge {e}: {load} > {cap}");
+        }
+        // Objective consistency.
+        let total: f64 = out.flows.iter().flatten().sum();
+        prop_assert!((total - out.total_flow).abs() <= 1e-6 * (1.0 + total));
+    }
+
+    /// DP's flow assignment also satisfies FeasibleFlow, pins correctly,
+    /// and never beats OPT.
+    #[test]
+    fn dp_flows_feasible_and_dominated(
+        t_idx in 0usize..6,
+        seed in 0u64..10_000,
+        threshold in 0.0f64..30.0,
+    ) {
+        let inst = TeInstance::all_pairs(topo(t_idx), 2).unwrap();
+        let demands = random_demands(inst.n_pairs(), seed, 35.0);
+        let dp = demand_pinning(&inst, &demands, threshold).unwrap();
+        if !dp.feasible {
+            return Ok(());
+        }
+        for (e, users) in edge_incidence(&inst).into_iter().enumerate() {
+            let load: f64 = users.iter().map(|&(k, p)| dp.flows[k][p]).sum();
+            let cap = inst.topo.capacity(metaopt_topology::EdgeId(e));
+            prop_assert!(load <= cap + 1e-6, "edge {e}: {load} > {cap}");
+        }
+        for k in 0..inst.n_pairs() {
+            if dp.pinned[k] {
+                // Pinned: everything on the shortest path, exactly d_k.
+                prop_assert!((dp.flows[k][0] - demands[k]).abs() <= 1e-6);
+                for p in 1..dp.flows[k].len() {
+                    prop_assert!(dp.flows[k][p].abs() <= 1e-9);
+                }
+            }
+        }
+        let opt = opt_max_flow(&inst, &demands).unwrap();
+        prop_assert!(dp.total_flow <= opt.total_flow + 1e-6,
+            "DP {} beats OPT {}", dp.total_flow, opt.total_flow);
+    }
+
+    /// POP per-partition totals sum to the whole, and POP never beats OPT.
+    #[test]
+    fn pop_partition_accounting(
+        t_idx in 0usize..6,
+        seed in 0u64..10_000,
+        n_parts in 1usize..4,
+    ) {
+        let inst = TeInstance::all_pairs(topo(t_idx), 2).unwrap();
+        let demands = random_demands(inst.n_pairs(), seed, 60.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let part = random_partition(inst.n_pairs(), n_parts, &mut rng);
+        let pop = pop_max_flow(&inst, &demands, &part).unwrap();
+        let sum: f64 = pop.per_partition.iter().sum();
+        prop_assert!((sum - pop.total_flow).abs() <= 1e-9);
+        prop_assert_eq!(pop.per_partition.len(), n_parts);
+        let opt = opt_max_flow(&inst, &demands).unwrap();
+        prop_assert!(pop.total_flow <= opt.total_flow + 1e-6);
+    }
+
+    /// Monotonicity: raising one demand never decreases OPT's total flow.
+    #[test]
+    fn opt_monotone_in_demand(
+        t_idx in 0usize..6,
+        seed in 0u64..10_000,
+        which in 0usize..40,
+        bump in 0.1f64..20.0,
+    ) {
+        let inst = TeInstance::all_pairs(topo(t_idx), 2).unwrap();
+        let demands = random_demands(inst.n_pairs(), seed, 40.0);
+        let base = opt_max_flow(&inst, &demands).unwrap().total_flow;
+        let mut more = demands.clone();
+        let k = which % inst.n_pairs();
+        more[k] += bump;
+        let bigger = opt_max_flow(&inst, &more).unwrap().total_flow;
+        prop_assert!(bigger >= base - 1e-6, "OPT dropped {base} → {bigger}");
+    }
+}

@@ -1,0 +1,265 @@
+//! The production topologies of the paper's evaluation (§4): B4, Abilene,
+//! and SWAN.
+//!
+//! * **Abilene** is the public Internet2 backbone: 11 PoPs, 14 physical
+//!   links (28 directed edges). The node/link list below is the canonical
+//!   one used throughout the TE literature.
+//! * **B4** is Google's inter-datacenter WAN as published in Jain et al.,
+//!   SIGCOMM 2013: 12 sites, 19 physical links. The exact adjacency is
+//!   reconstructed from the paper's map figure (the list used by public TE
+//!   repositories).
+//! * **SWAN** (Hong et al., SIGCOMM 2013) is Microsoft's production WAN and
+//!   is *not* public. We ship a like-for-like reconstruction at the scale
+//!   the paper reports ("all three topologies have roughly the same number
+//!   of nodes and edges"): 10 sites, 17 links spanning two continents. See
+//!   DESIGN.md for the substitution rationale.
+//!
+//! All links are bidirectional with uniform capacity (default 1000 units
+//! per direction), matching the paper's normalization where thresholds and
+//! perturbations are expressed as percentages of link capacity.
+
+use crate::graph::Topology;
+
+/// Default per-direction link capacity.
+pub const DEFAULT_CAPACITY: f64 = 1000.0;
+
+/// The Abilene backbone: 11 nodes, 14 links (28 directed edges).
+pub fn abilene(capacity: f64) -> Topology {
+    let mut t = Topology::new("Abilene");
+    let names = [
+        "Seattle",
+        "Sunnyvale",
+        "LosAngeles",
+        "Denver",
+        "KansasCity",
+        "Houston",
+        "Chicago",
+        "Indianapolis",
+        "Atlanta",
+        "Washington",
+        "NewYork",
+    ];
+    let ids: Vec<_> = names.iter().map(|n| t.add_node(*n)).collect();
+    let links = [
+        (0, 1),  // Seattle–Sunnyvale
+        (0, 3),  // Seattle–Denver
+        (1, 2),  // Sunnyvale–LosAngeles
+        (1, 3),  // Sunnyvale–Denver
+        (2, 5),  // LosAngeles–Houston
+        (3, 4),  // Denver–KansasCity
+        (4, 5),  // KansasCity–Houston
+        (4, 7),  // KansasCity–Indianapolis
+        (5, 8),  // Houston–Atlanta
+        (6, 7),  // Chicago–Indianapolis
+        (6, 10), // Chicago–NewYork
+        (7, 8),  // Indianapolis–Atlanta
+        (8, 9),  // Atlanta–Washington
+        (9, 10), // Washington–NewYork
+    ];
+    for (a, b) in links {
+        t.add_link(ids[a], ids[b], capacity).expect("valid link");
+    }
+    t
+}
+
+/// Google's B4 inter-datacenter WAN: 12 nodes, 19 links (38 directed
+/// edges), reconstructed from the SIGCOMM 2013 paper's map.
+pub fn b4(capacity: f64) -> Topology {
+    let mut t = Topology::new("B4");
+    let ids = t.add_nodes("dc", 12);
+    let links = [
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (1, 4),
+        (2, 3),
+        (2, 4),
+        (3, 5),
+        (4, 5),
+        (4, 6),
+        (5, 7),
+        (6, 7),
+        (6, 8),
+        (7, 9),
+        (8, 9),
+        (8, 10),
+        (9, 11),
+        (10, 11),
+        (3, 8),
+        (5, 10),
+    ];
+    for (a, b) in links {
+        t.add_link(ids[a], ids[b], capacity).expect("valid link");
+    }
+    t
+}
+
+/// SWAN-like reconstruction: 10 sites, 17 links across two regional
+/// clusters bridged by long-haul links (the public SWAN paper's production
+/// topology is confidential; see module docs).
+pub fn swan(capacity: f64) -> Topology {
+    let mut t = Topology::new("SWAN");
+    let ids = t.add_nodes("s", 10);
+    let links = [
+        // Region A mesh (0-4).
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (1, 3),
+        (2, 4),
+        (3, 4),
+        (0, 3),
+        // Region B mesh (5-9).
+        (5, 6),
+        (5, 7),
+        (6, 8),
+        (7, 8),
+        (7, 9),
+        (8, 9),
+        (5, 9),
+        // Inter-region long hauls.
+        (3, 5),
+        (4, 6),
+        (2, 7),
+    ];
+    for (a, b) in links {
+        t.add_link(ids[a], ids[b], capacity).expect("valid link");
+    }
+    t
+}
+
+/// A GEANT-like pan-European research topology reconstruction: 22 PoPs,
+/// 36 links. Larger than the paper's three evaluation topologies; used by
+/// the scaling experiments (§5 "scaling to larger problem sizes"). The
+/// adjacency is an approximation of the published GEANT2 map (dense
+/// western-European core, sparser periphery), not a licensed dataset.
+pub fn geant(capacity: f64) -> Topology {
+    let mut t = Topology::new("GEANT");
+    let ids = t.add_nodes("pop", 22);
+    let links = [
+        // Western core mesh.
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (1, 3),
+        (2, 4),
+        (3, 4),
+        (3, 5),
+        (4, 6),
+        (5, 6),
+        (5, 7),
+        (6, 8),
+        (7, 8),
+        // Northern arc.
+        (0, 9),
+        (9, 10),
+        (10, 11),
+        (11, 3),
+        (9, 12),
+        (12, 13),
+        (13, 11),
+        // Southern arc.
+        (2, 14),
+        (14, 15),
+        (15, 16),
+        (16, 6),
+        (14, 17),
+        (17, 18),
+        (18, 16),
+        // Eastern extension.
+        (8, 19),
+        (19, 20),
+        (20, 21),
+        (21, 13),
+        (19, 21),
+        (18, 20),
+        // Long-haul chords.
+        (0, 14),
+        (1, 9),
+        (7, 19),
+        (12, 21),
+    ];
+    for (a, b) in links {
+        t.add_link(ids[a], ids[b], capacity).expect("valid link");
+    }
+    t
+}
+
+/// The three production topologies at their default capacity, keyed for
+/// iteration in experiment harnesses.
+pub fn production_suite() -> Vec<Topology> {
+    vec![
+        swan(DEFAULT_CAPACITY),
+        b4(DEFAULT_CAPACITY),
+        abilene(DEFAULT_CAPACITY),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::shortest_path;
+
+    #[test]
+    fn abilene_shape() {
+        let t = abilene(1000.0);
+        assert_eq!(t.n_nodes(), 11);
+        assert_eq!(t.n_edges(), 28);
+        assert_eq!(t.total_capacity(), 28_000.0);
+    }
+
+    #[test]
+    fn b4_shape() {
+        let t = b4(1000.0);
+        assert_eq!(t.n_nodes(), 12);
+        assert_eq!(t.n_edges(), 38);
+    }
+
+    #[test]
+    fn swan_shape() {
+        let t = swan(1000.0);
+        assert_eq!(t.n_nodes(), 10);
+        assert_eq!(t.n_edges(), 34);
+    }
+
+    #[test]
+    fn all_strongly_connected() {
+        for t in production_suite() {
+            for s in t.nodes() {
+                for d in t.nodes() {
+                    if s != d {
+                        assert!(
+                            shortest_path(&t, s, d).is_ok(),
+                            "{}: {} → {} disconnected",
+                            t.name(),
+                            s.0,
+                            d.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geant_shape_and_connectivity() {
+        let t = geant(1000.0);
+        assert_eq!(t.n_nodes(), 22);
+        assert_eq!(t.n_edges(), 72); // 36 links × 2 directions
+        for s in t.nodes() {
+            for d in t.nodes() {
+                if s != d {
+                    assert!(shortest_path(&t, s, d).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coast_to_coast_hop_count() {
+        let t = abilene(1000.0);
+        // Seattle → NewYork must take at least 3 hops on Abilene.
+        let p = shortest_path(&t, crate::NodeId(0), crate::NodeId(10)).unwrap();
+        assert!(p.len() >= 3, "suspicious path length {}", p.len());
+    }
+}

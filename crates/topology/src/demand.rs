@@ -1,0 +1,89 @@
+//! Demand pairs and demand matrices.
+//!
+//! In the adversarial-gap problem (Eq. 1 of the paper) the demand *volumes*
+//! are the leader's variables; only the set of `(src, dst)` pairs is fixed.
+//! For black-box baselines and goalpost constraints, concrete volumes are
+//! needed — [`gravity_demands`] produces the standard synthetic traffic
+//! matrix used as a "historically observed" goalpost.
+
+use crate::graph::{NodeId, Topology};
+
+/// An ordered node pair that may carry traffic.
+pub type DemandPair = (NodeId, NodeId);
+
+/// A concrete demand: pair plus volume (`(s_k, t_k, d_k)` of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demand {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Traffic volume (nonnegative).
+    pub volume: f64,
+}
+
+impl Demand {
+    /// Creates a demand.
+    pub fn new(src: NodeId, dst: NodeId, volume: f64) -> Self {
+        Demand { src, dst, volume }
+    }
+}
+
+/// Every ordered pair of distinct nodes — the paper's "|D| is typically
+/// quadratic in |V|" demand set.
+pub fn all_pairs(topo: &Topology) -> Vec<DemandPair> {
+    let mut pairs = Vec::with_capacity(topo.n_nodes() * (topo.n_nodes() - 1));
+    for s in topo.nodes() {
+        for d in topo.nodes() {
+            if s != d {
+                pairs.push((s, d));
+            }
+        }
+    }
+    pairs
+}
+
+/// Deterministic gravity-model volumes for a pair list: node masses follow
+/// a mild power law, volume `∝ mass(src) · mass(dst)`, normalized so the
+/// *largest* volume equals `peak`.
+pub fn gravity_demands(topo: &Topology, pairs: &[DemandPair], peak: f64) -> Vec<Demand> {
+    assert!(peak > 0.0);
+    let n = topo.n_nodes().max(1);
+    let mass = |i: usize| 1.0 + (i % 5) as f64 + ((i * 7) % n) as f64 / n as f64;
+    let raw: Vec<f64> = pairs
+        .iter()
+        .map(|&(s, d)| mass(s.0) * mass(d.0))
+        .collect();
+    let m = raw.iter().copied().fold(0.0, f64::max).max(1e-12);
+    pairs
+        .iter()
+        .zip(raw)
+        .map(|(&(s, d), r)| Demand::new(s, d, peak * r / m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::line;
+
+    #[test]
+    fn all_pairs_count() {
+        let t = line(4, 1.0);
+        let pairs = all_pairs(&t);
+        assert_eq!(pairs.len(), 12);
+        assert!(pairs.iter().all(|(s, d)| s != d));
+    }
+
+    #[test]
+    fn gravity_is_deterministic_and_bounded() {
+        let t = line(5, 1.0);
+        let pairs = all_pairs(&t);
+        let a = gravity_demands(&t, &pairs, 100.0);
+        let b = gravity_demands(&t, &pairs, 100.0);
+        assert_eq!(a, b);
+        let max = a.iter().map(|d| d.volume).fold(0.0, f64::max);
+        assert!((max - 100.0).abs() < 1e-9);
+        assert!(a.iter().all(|d| d.volume > 0.0 && d.volume <= 100.0));
+    }
+}

@@ -1,0 +1,242 @@
+//! Directed capacitated graphs.
+
+use crate::{TopoResult, TopologyError};
+
+/// Handle to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Handle to a directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    src: usize,
+    dst: usize,
+    capacity: f64,
+    weight: f64,
+}
+
+/// A directed capacitated graph with named nodes.
+///
+/// Edge *weights* drive shortest-path computations (default 1.0 = hop
+/// count); *capacities* bound flow in the TE formulations.
+///
+/// ```
+/// use metaopt_topology::Topology;
+///
+/// let mut t = Topology::new("demo");
+/// let a = t.add_node("a");
+/// let b = t.add_node("b");
+/// t.add_link(a, b, 100.0)?; // both directions
+/// assert_eq!(t.n_edges(), 2);
+/// assert_eq!(t.total_capacity(), 200.0);
+/// # Ok::<(), metaopt_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    name: String,
+    node_names: Vec<String>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per node.
+    out_edges: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Creates an empty topology with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topology {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.node_names.push(name.into());
+        self.out_edges.push(Vec::new());
+        NodeId(self.node_names.len() - 1)
+    }
+
+    /// Adds `n` nodes named `prefix0..prefix(n-1)`, returning their ids.
+    pub fn add_nodes(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
+        (0..n).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Adds a directed edge with unit weight.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, capacity: f64) -> TopoResult<EdgeId> {
+        self.add_weighted_edge(src, dst, capacity, 1.0)
+    }
+
+    /// Adds a directed edge with an explicit shortest-path weight.
+    pub fn add_weighted_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: f64,
+        weight: f64,
+    ) -> TopoResult<EdgeId> {
+        if src.0 >= self.n_nodes() {
+            return Err(TopologyError::BadNode(src.0));
+        }
+        if dst.0 >= self.n_nodes() {
+            return Err(TopologyError::BadNode(dst.0));
+        }
+        if src == dst {
+            return Err(TopologyError::SelfLoop(src.0));
+        }
+        if !capacity.is_finite() || capacity <= 0.0 {
+            return Err(TopologyError::BadCapacity(capacity));
+        }
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(TopologyError::BadCapacity(weight));
+        }
+        self.edges.push(Edge {
+            src: src.0,
+            dst: dst.0,
+            capacity,
+            weight,
+        });
+        let id = self.edges.len() - 1;
+        self.out_edges[src.0].push(id);
+        Ok(EdgeId(id))
+    }
+
+    /// Adds both directions of a physical link with equal capacity.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: f64,
+    ) -> TopoResult<(EdgeId, EdgeId)> {
+        Ok((self.add_edge(a, b, capacity)?, self.add_edge(b, a, capacity)?))
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_nodes()).map(NodeId)
+    }
+
+    /// All edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.n_edges()).map(EdgeId)
+    }
+
+    /// Endpoints `(src, dst)` of an edge.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let ed = &self.edges[e.0];
+        (NodeId(ed.src), NodeId(ed.dst))
+    }
+
+    /// Capacity of an edge.
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        self.edges[e.0].capacity
+    }
+
+    /// Overwrites the capacity of an edge.
+    pub fn set_capacity(&mut self, e: EdgeId, capacity: f64) -> TopoResult<()> {
+        if !capacity.is_finite() || capacity <= 0.0 {
+            return Err(TopologyError::BadCapacity(capacity));
+        }
+        self.edges[e.0].capacity = capacity;
+        Ok(())
+    }
+
+    /// Shortest-path weight of an edge.
+    pub fn weight(&self, e: EdgeId) -> f64 {
+        self.edges[e.0].weight
+    }
+
+    /// Node name.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.node_names[n.0]
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, n: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.out_edges[n.0].iter().map(|&e| EdgeId(e))
+    }
+
+    /// Sum of all edge capacities (the normalizer of Figure 3's gap metric:
+    /// "difference in carried demand divided by the sum of edge
+    /// capacities").
+    pub fn total_capacity(&self) -> f64 {
+        self.edges.iter().map(|e| e.capacity).sum()
+    }
+
+    /// Largest single edge capacity.
+    pub fn max_capacity(&self) -> f64 {
+        self.edges.iter().map(|e| e.capacity).fold(0.0, f64::max)
+    }
+
+    /// A copy of this topology with every capacity multiplied by `factor`
+    /// (how POP splits capacity across partitions).
+    pub fn scale_capacities(&self, factor: f64) -> Topology {
+        let mut t = self.clone();
+        for e in &mut t.edges {
+            e.capacity *= factor;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new("t");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        let e1 = t.add_edge(a, b, 10.0).unwrap();
+        let (e2, e3) = t.add_link(b, c, 5.0).unwrap();
+        assert_eq!(t.n_nodes(), 3);
+        assert_eq!(t.n_edges(), 3);
+        assert_eq!(t.endpoints(e1), (a, b));
+        assert_eq!(t.capacity(e2), 5.0);
+        assert_eq!(t.endpoints(e3), (c, b));
+        assert_eq!(t.total_capacity(), 20.0);
+        assert_eq!(t.max_capacity(), 10.0);
+        assert_eq!(t.out_edges(b).count(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut t = Topology::new("t");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        assert!(t.add_edge(a, a, 1.0).is_err());
+        assert!(t.add_edge(a, b, -1.0).is_err());
+        assert!(t.add_edge(a, b, f64::NAN).is_err());
+        assert!(t.add_edge(a, NodeId(9), 1.0).is_err());
+    }
+
+    #[test]
+    fn capacity_scaling() {
+        let mut t = Topology::new("t");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_edge(a, b, 8.0).unwrap();
+        let half = t.scale_capacities(0.5);
+        assert_eq!(half.capacity(EdgeId(0)), 4.0);
+        assert_eq!(t.capacity(EdgeId(0)), 8.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Plain-text topology serialization.
+//!
+//! A minimal, diff-friendly format so users can version their own
+//! topologies without pulling in a serialization framework:
+//!
+//! ```text
+//! # comment
+//! topology MyWan
+//! node Seattle
+//! node Denver
+//! link Seattle Denver 1000          # bidirectional, capacity per direction
+//! edge Denver Seattle 500 2.5       # directed, capacity [weight]
+//! ```
+//!
+//! Node order is preserved; names must be unique and whitespace-free.
+
+use crate::graph::Topology;
+use crate::TopologyError;
+use std::collections::HashMap;
+
+/// Errors specific to parsing (wrapped into [`TopologyError`] variants
+/// where possible; syntax errors carry line numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Malformed line with its 1-based number and message.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A link/edge referenced an undeclared node.
+    UnknownNode {
+        /// 1-based line number.
+        line: usize,
+        /// The missing name.
+        name: String,
+    },
+    /// Graph-construction error (bad capacity, self loop, …).
+    Graph(TopologyError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::UnknownNode { line, name } => {
+                write!(f, "line {line}: unknown node '{name}'")
+            }
+            ParseError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<TopologyError> for ParseError {
+    fn from(e: TopologyError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+/// Parses a topology from the text format described in the module docs.
+pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
+    let mut topo = Topology::new("unnamed");
+    let mut nodes: HashMap<String, crate::NodeId> = HashMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap_or("");
+        let rest: Vec<&str> = parts.collect();
+        match keyword {
+            "topology" => {
+                let [name] = rest.as_slice() else {
+                    return Err(ParseError::Syntax {
+                        line: line_no,
+                        message: "expected: topology <name>".into(),
+                    });
+                };
+                topo = rename(topo, name);
+            }
+            "node" => {
+                let [name] = rest.as_slice() else {
+                    return Err(ParseError::Syntax {
+                        line: line_no,
+                        message: "expected: node <name>".into(),
+                    });
+                };
+                if nodes.contains_key(*name) {
+                    return Err(ParseError::Syntax {
+                        line: line_no,
+                        message: format!("duplicate node '{name}'"),
+                    });
+                }
+                let id = topo.add_node(*name);
+                nodes.insert((*name).to_string(), id);
+            }
+            "link" | "edge" => {
+                if rest.len() < 3 || rest.len() > 4 {
+                    return Err(ParseError::Syntax {
+                        line: line_no,
+                        message: format!("expected: {keyword} <a> <b> <capacity> [weight]"),
+                    });
+                }
+                let a = *nodes.get(rest[0]).ok_or_else(|| ParseError::UnknownNode {
+                    line: line_no,
+                    name: rest[0].into(),
+                })?;
+                let b = *nodes.get(rest[1]).ok_or_else(|| ParseError::UnknownNode {
+                    line: line_no,
+                    name: rest[1].into(),
+                })?;
+                let cap: f64 = rest[2].parse().map_err(|_| ParseError::Syntax {
+                    line: line_no,
+                    message: format!("bad capacity '{}'", rest[2]),
+                })?;
+                let weight: f64 = match rest.get(3) {
+                    Some(w) => w.parse().map_err(|_| ParseError::Syntax {
+                        line: line_no,
+                        message: format!("bad weight '{w}'"),
+                    })?,
+                    None => 1.0,
+                };
+                if keyword == "link" {
+                    topo.add_weighted_edge(a, b, cap, weight)?;
+                    topo.add_weighted_edge(b, a, cap, weight)?;
+                } else {
+                    topo.add_weighted_edge(a, b, cap, weight)?;
+                }
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line: line_no,
+                    message: format!("unknown keyword '{other}'"),
+                });
+            }
+        }
+    }
+    Ok(topo)
+}
+
+/// Serializes a topology to the text format (directed `edge` lines; a
+/// round-trip through [`parse_topology`] reproduces the same graph).
+pub fn write_topology(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("topology {}\n", sanitize(topo.name())));
+    for n in topo.nodes() {
+        out.push_str(&format!("node {}\n", sanitize(topo.node_name(n))));
+    }
+    for e in topo.edges() {
+        let (a, b) = topo.endpoints(e);
+        let w = topo.weight(e);
+        if (w - 1.0).abs() < 1e-15 {
+            out.push_str(&format!(
+                "edge {} {} {}\n",
+                sanitize(topo.node_name(a)),
+                sanitize(topo.node_name(b)),
+                topo.capacity(e)
+            ));
+        } else {
+            out.push_str(&format!(
+                "edge {} {} {} {}\n",
+                sanitize(topo.node_name(a)),
+                sanitize(topo.node_name(b)),
+                topo.capacity(e),
+                w
+            ));
+        }
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_whitespace() || c == '#' { '_' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "_".into()
+    } else {
+        cleaned
+    }
+}
+
+fn rename(t: Topology, name: &str) -> Topology {
+    // Topology has no rename setter by design (names are immutable after
+    // construction elsewhere); rebuild with the new name.
+    let mut out = Topology::new(name);
+    for n in t.nodes() {
+        out.add_node(t.node_name(n));
+    }
+    for e in t.edges() {
+        let (a, b) = t.endpoints(e);
+        out.add_weighted_edge(a, b, t.capacity(e), t.weight(e))
+            .expect("copying a valid edge");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::abilene;
+    use crate::paths::shortest_path;
+    use crate::NodeId;
+
+    #[test]
+    fn parse_minimal() {
+        let t = parse_topology(
+            "# demo\ntopology T\nnode a\nnode b\nnode c\nlink a b 100\nedge b c 50 2.5\n",
+        )
+        .unwrap();
+        assert_eq!(t.name(), "T");
+        assert_eq!(t.n_nodes(), 3);
+        assert_eq!(t.n_edges(), 3); // link = 2 directed + 1 edge
+        assert_eq!(t.capacity(crate::EdgeId(2)), 50.0);
+        assert_eq!(t.weight(crate::EdgeId(2)), 2.5);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_topology("node a\nfrobnicate x\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }), "{err}");
+        let err = parse_topology("node a\nnode a\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+        let err = parse_topology("node a\nlink a ghost 5\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownNode { line: 2, .. }));
+        let err = parse_topology("node a\nnode b\nlink a b nocap\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 3, .. }));
+    }
+
+    #[test]
+    fn graph_errors_propagate() {
+        let err = parse_topology("node a\nedge a a 5\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(TopologyError::SelfLoop(_))));
+        let err = parse_topology("node a\nnode b\nedge a b -3\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(TopologyError::BadCapacity(_))));
+    }
+
+    #[test]
+    fn roundtrip_builtin() {
+        let orig = abilene(1000.0);
+        let text = write_topology(&orig);
+        let back = parse_topology(&text).unwrap();
+        assert_eq!(back.name(), orig.name());
+        assert_eq!(back.n_nodes(), orig.n_nodes());
+        assert_eq!(back.n_edges(), orig.n_edges());
+        for e in orig.edges() {
+            assert_eq!(back.endpoints(e), orig.endpoints(e));
+            assert_eq!(back.capacity(e), orig.capacity(e));
+            assert_eq!(back.weight(e), orig.weight(e));
+        }
+        // Behaviourally identical too.
+        let p1 = shortest_path(&orig, NodeId(0), NodeId(10)).unwrap();
+        let p2 = shortest_path(&back, NodeId(0), NodeId(10)).unwrap();
+        assert_eq!(p1.edges, p2.edges);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let t = parse_topology("\n  # full comment\nnode a # trailing\nnode b\nlink a b 7 # x\n")
+            .unwrap();
+        assert_eq!(t.n_nodes(), 2);
+        assert_eq!(t.n_edges(), 2);
+    }
+}

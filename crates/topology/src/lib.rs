@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! # metaopt-topology
+//!
+//! WAN topology substrate for the `metaopt` workspace: directed capacitated
+//! graphs, shortest-path and k-shortest-path computation (Yen's algorithm),
+//! the production topologies the paper evaluates on (B4, Abilene, and a
+//! SWAN-like reconstruction), the synthetic families of Figure 4b
+//! (circulant "circle" graphs), and demand-pair/gravity-demand utilities.
+//!
+//! All graphs are *directed*; the convenience builders add both directions
+//! of a physical link with equal capacity, matching the multi-commodity
+//! flow formulations of §2 of the paper (Table 1: capacitated edge set
+//! `E`, paths as edge sequences).
+
+pub mod builtin;
+pub mod demand;
+pub mod graph;
+pub mod io;
+pub mod paths;
+pub mod synth;
+
+pub use demand::{all_pairs, gravity_demands, Demand, DemandPair};
+pub use graph::{EdgeId, NodeId, Topology};
+pub use io::{parse_topology, write_topology};
+pub use paths::{k_shortest_paths, shortest_path, Path, PathSet};
+
+/// Errors raised by topology construction and path computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// Node index out of range.
+    BadNode(usize),
+    /// Capacity must be positive and finite.
+    BadCapacity(f64),
+    /// Self-loops are not allowed.
+    SelfLoop(usize),
+    /// No path exists between the requested endpoints.
+    Disconnected {
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::BadNode(n) => write!(f, "node {n} out of range"),
+            TopologyError::BadCapacity(c) => write!(f, "bad capacity {c}"),
+            TopologyError::SelfLoop(n) => write!(f, "self loop at node {n}"),
+            TopologyError::Disconnected { src, dst } => {
+                write!(f, "no path from node {src} to node {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Result alias for this crate.
+pub type TopoResult<T> = Result<T, TopologyError>;

@@ -1,0 +1,264 @@
+//! Synthetic topology families.
+//!
+//! Figure 4b of the paper studies Demand Pinning on "circles with n nodes
+//! where each node connects to a varying number of its nearest neighbors" —
+//! circulant graphs `C(n, k)` — because the DP optimality gap tracks the
+//! average shortest-path length. This module provides that family plus the
+//! standard small families (line, star, grid) used in unit tests and
+//! examples.
+
+use crate::graph::{NodeId, Topology};
+
+/// Circulant graph `C(n, k)`: `n` nodes on a circle, each linked to its `k`
+/// nearest neighbors on each side (so degree `2k`). `k = 1` is a plain
+/// ring. All links bidirectional with the given capacity.
+///
+/// # Panics
+/// Panics if `n < 3` or `k == 0` or `k >= n / 2 + 1`.
+pub fn circulant(n: usize, k: usize, capacity: f64) -> Topology {
+    assert!(n >= 3, "need at least 3 nodes");
+    assert!(k >= 1 && 2 * k < n, "need 1 <= k < n/2");
+    let mut t = Topology::new(format!("C({n},{k})"));
+    let ids = t.add_nodes("v", n);
+    for i in 0..n {
+        for d in 1..=k {
+            let j = (i + d) % n;
+            t.add_link(ids[i], ids[j], capacity).expect("valid link");
+        }
+    }
+    t
+}
+
+/// Simple path graph (a chain) of `n` nodes with bidirectional links.
+pub fn line(n: usize, capacity: f64) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("Line({n})"));
+    let ids = t.add_nodes("v", n);
+    for i in 0..n - 1 {
+        t.add_link(ids[i], ids[i + 1], capacity).expect("valid link");
+    }
+    t
+}
+
+/// Unidirectional chain of `n` nodes (edges only point "rightward"), used
+/// by the Figure-1 style examples with unidirectional links.
+pub fn directed_line(n: usize, capacity: f64) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("DirLine({n})"));
+    let ids = t.add_nodes("v", n);
+    for i in 0..n - 1 {
+        t.add_edge(ids[i], ids[i + 1], capacity).expect("valid edge");
+    }
+    t
+}
+
+/// Star with `n` leaves around a hub (node 0).
+pub fn star(n_leaves: usize, capacity: f64) -> Topology {
+    assert!(n_leaves >= 1);
+    let mut t = Topology::new(format!("Star({n_leaves})"));
+    let hub = t.add_node("hub");
+    for i in 0..n_leaves {
+        let leaf = t.add_node(format!("leaf{i}"));
+        t.add_link(hub, leaf, capacity).expect("valid link");
+    }
+    t
+}
+
+/// `rows × cols` grid with bidirectional links.
+pub fn grid(rows: usize, cols: usize, capacity: f64) -> Topology {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let mut t = Topology::new(format!("Grid({rows}x{cols})"));
+    let ids = t.add_nodes("v", rows * cols);
+    let at = |r: usize, c: usize| ids[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                t.add_link(at(r, c), at(r, c + 1), capacity).expect("valid");
+            }
+            if r + 1 < rows {
+                t.add_link(at(r, c), at(r + 1, c), capacity).expect("valid");
+            }
+        }
+    }
+    t
+}
+
+/// A deterministic pseudo-random connected topology: a spanning random
+/// tree plus `extra_links` random chords, seeded by `seed` (internal
+/// xorshift — no external RNG dependency). Every link is bidirectional
+/// with the given capacity. Useful for fuzz/stress tests that need many
+/// distinct connected graphs.
+pub fn random_connected(n: usize, extra_links: usize, capacity: f64, seed: u64) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("Rand({n},{extra_links},{seed})"));
+    let ids = t.add_nodes("v", n);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D).max(1);
+        state
+    };
+    // Random spanning tree: attach node i to a random earlier node.
+    for i in 1..n {
+        let j = (next() as usize) % i;
+        t.add_link(ids[i], ids[j], capacity).expect("valid link");
+    }
+    // Random chords (skip duplicates/self-loops best-effort).
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < extra_links && attempts < extra_links * 20 + 20 {
+        attempts += 1;
+        let a = (next() as usize) % n;
+        let b = (next() as usize) % n;
+        if a == b {
+            continue;
+        }
+        // Tolerate parallel links rarely; keep graphs simple by checking
+        // existing out-edges.
+        let dup = t
+            .out_edges(ids[a])
+            .any(|e| t.endpoints(e).1 == ids[b]);
+        if dup {
+            continue;
+        }
+        t.add_link(ids[a], ids[b], capacity).expect("valid link");
+        added += 1;
+    }
+    t
+}
+
+/// Average shortest-path length (in hops) over all ordered node pairs —
+/// the x-axis of Figure 4b.
+pub fn average_shortest_path_length(t: &Topology) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for s in t.nodes() {
+        // BFS by hops.
+        let mut dist = vec![usize::MAX; t.n_nodes()];
+        dist[s.0] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for e in t.out_edges(u) {
+                let (_, v) = t.endpoints(e);
+                if dist[v.0] == usize::MAX {
+                    dist[v.0] = dist[u.0] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for d in t.nodes() {
+            if d != s && dist[d.0] != usize::MAX {
+                total += dist[d.0] as f64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// The hub-and-spoke triangle of the paper's Figure 1: three nodes with
+/// *unidirectional* links `1→2` and `2→3` (so the only route `1→3` is the
+/// two-hop path through node 2).
+pub fn figure1_triangle(capacity: f64) -> (Topology, [NodeId; 3]) {
+    let mut t = Topology::new("Figure1");
+    let n1 = t.add_node("1");
+    let n2 = t.add_node("2");
+    let n3 = t.add_node("3");
+    t.add_edge(n1, n2, capacity).expect("valid");
+    t.add_edge(n2, n3, capacity).expect("valid");
+    (t, [n1, n2, n3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::shortest_path;
+
+    #[test]
+    fn circulant_shapes() {
+        let ring = circulant(8, 1, 100.0);
+        assert_eq!(ring.n_nodes(), 8);
+        assert_eq!(ring.n_edges(), 16); // 8 links × 2 directions
+        let c2 = circulant(8, 2, 100.0);
+        assert_eq!(c2.n_edges(), 32);
+    }
+
+    #[test]
+    fn circulant_path_lengths_shrink_with_degree() {
+        let l1 = average_shortest_path_length(&circulant(12, 1, 1.0));
+        let l2 = average_shortest_path_length(&circulant(12, 2, 1.0));
+        let l3 = average_shortest_path_length(&circulant(12, 3, 1.0));
+        assert!(l1 > l2 && l2 > l3, "{l1} {l2} {l3}");
+        assert!((l1 - 3.2727).abs() < 1e-3); // ring of 12: avg = 36/11
+    }
+
+    #[test]
+    fn line_and_star_and_grid() {
+        assert_eq!(line(5, 1.0).n_edges(), 8);
+        assert_eq!(star(4, 1.0).n_edges(), 8);
+        assert_eq!(grid(2, 3, 1.0).n_edges(), 14);
+        let g = grid(3, 3, 1.0);
+        let p = shortest_path(&g, NodeId(0), NodeId(8)).unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn directed_line_is_one_way() {
+        let t = directed_line(3, 1.0);
+        assert!(shortest_path(&t, NodeId(0), NodeId(2)).is_ok());
+        assert!(shortest_path(&t, NodeId(2), NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let (t, [n1, _, n3]) = figure1_triangle(100.0);
+        assert_eq!(t.n_edges(), 2);
+        let p = shortest_path(&t, n1, n3).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn circulant_rejects_overconnection() {
+        circulant(6, 3, 1.0);
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        for seed in [1u64, 7, 42, 1234] {
+            let t = random_connected(9, 4, 10.0, seed);
+            for s in t.nodes() {
+                for d in t.nodes() {
+                    if s != d {
+                        assert!(
+                            shortest_path(&t, s, d).is_ok(),
+                            "seed {seed}: {} → {} disconnected",
+                            s.0,
+                            d.0
+                        );
+                    }
+                }
+            }
+            // Determinism: same seed, same graph.
+            let t2 = random_connected(9, 4, 10.0, seed);
+            assert_eq!(t.n_edges(), t2.n_edges());
+            for e in t.edges() {
+                assert_eq!(t.endpoints(e), t2.endpoints(e));
+            }
+        }
+        // Different seeds give different graphs (overwhelmingly likely).
+        let a = random_connected(9, 4, 10.0, 1);
+        let b = random_connected(9, 4, 10.0, 2);
+        let same = a.n_edges() == b.n_edges()
+            && a.edges().all(|e| a.endpoints(e) == b.endpoints(e));
+        assert!(!same, "seeds 1 and 2 produced identical graphs");
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration tests of the ConstrainedSet machinery (§3.3) through the
+//! public facade: goalposts, intra-input constraints, exclusion balls, and
+//! their interaction with the finder's certificates.
+
+use metaopt::core::{
+    find_adversarial_gap, find_diverse_inputs, ConstrainedSet, Distance, FinderConfig,
+    HeuristicSpec,
+};
+use metaopt::milp::MilpStatus;
+use metaopt::te::TeInstance;
+use metaopt::topology::gravity_demands;
+use metaopt::topology::synth::figure1_triangle;
+
+fn fig1() -> TeInstance {
+    let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+    TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap()
+}
+
+#[test]
+fn absolute_goalpost_is_respected() {
+    let inst = fig1();
+    let reference = vec![40.0, 80.0, 80.0];
+    let cs = ConstrainedSet::unconstrained().near(&reference, Distance::Absolute(10.0));
+    let r = find_adversarial_gap(
+        &inst,
+        &HeuristicSpec::DemandPinning { threshold: 50.0 },
+        &cs,
+        &FinderConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(r.status, MilpStatus::Optimal);
+    for (k, (&d, &g)) in r.demands.iter().zip(&reference).enumerate() {
+        assert!(
+            (d - g).abs() <= 10.0 + 1e-6,
+            "pair {k}: demand {d} strays from goalpost {g}"
+        );
+    }
+    // Best achievable: d13 = 50 (within [30,50]), d12 = d23 = 90. OPT
+    // carries 90 + 90 plus 10 units of 1→3 in leftover capacity = 190;
+    // DP pins 50 over both hops → 50 + 50 + 50 = 150 → gap 40.
+    assert!((r.model_gap - 40.0).abs() < 1e-4, "{r}");
+}
+
+#[test]
+fn relative_goalpost_from_gravity_matrix() {
+    let inst = fig1();
+    let goal: Vec<f64> = gravity_demands(&inst.topo, &inst.pairs, 60.0)
+        .iter()
+        .map(|d| d.volume)
+        .collect();
+    let cs = ConstrainedSet::unconstrained().near(&goal, Distance::RelativeFraction(0.25));
+    let r = find_adversarial_gap(
+        &inst,
+        &HeuristicSpec::DemandPinning { threshold: 50.0 },
+        &cs,
+        &FinderConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(r.status, MilpStatus::Optimal);
+    for (k, (&d, &g)) in r.demands.iter().zip(&goal).enumerate() {
+        assert!(
+            (d - g).abs() <= 0.25 * g + 1e-6,
+            "pair {k}: {d} outside ±25% of {g}"
+        );
+    }
+    assert!(r.certification_error() < 1e-6);
+}
+
+#[test]
+fn intra_constraint_total_volume_cap() {
+    use metaopt::core::LinearDemandConstraint;
+    use metaopt::model::Sense;
+    let inst = fig1();
+    // Total demand at most 120 units.
+    let cs = ConstrainedSet::unconstrained().with_linear(LinearDemandConstraint {
+        coeffs: (0..3).map(|k| (k, 1.0)).collect(),
+        sense: Sense::Le,
+        rhs: 120.0,
+    });
+    let r = find_adversarial_gap(
+        &inst,
+        &HeuristicSpec::DemandPinning { threshold: 50.0 },
+        &cs,
+        &FinderConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(r.status, MilpStatus::Optimal);
+    let total: f64 = r.demands.iter().sum();
+    assert!(total <= 120.0 + 1e-6, "total {total}");
+    // A "sufficient condition" finding (§5): with at most 120 total units
+    // on this topology the network never congests enough for pinning to
+    // displace anything — the solver PROVES the worst-case gap is zero,
+    // i.e. DP is safe on this constrained input space.
+    assert!(r.model_gap.abs() <= 1e-5, "{r}");
+}
+
+#[test]
+fn diverse_inputs_respect_exclusions_and_order() {
+    let inst = fig1();
+    let rs = find_diverse_inputs(
+        &inst,
+        &HeuristicSpec::DemandPinning { threshold: 50.0 },
+        &ConstrainedSet::unconstrained(),
+        &FinderConfig::default(),
+        3,
+        15.0,
+    )
+    .unwrap();
+    assert!(rs.len() >= 2);
+    // Gaps are non-increasing (each exclusion can only shrink the optimum).
+    for w in rs.windows(2) {
+        assert!(
+            w[0].verified_gap >= w[1].verified_gap - 1e-6,
+            "{} then {}",
+            w[0].verified_gap,
+            w[1].verified_gap
+        );
+    }
+    // Pairwise separation.
+    for i in 0..rs.len() {
+        for j in i + 1..rs.len() {
+            let linf: f64 = rs[i]
+                .demands
+                .iter()
+                .zip(&rs[j].demands)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(linf >= 15.0 - 1e-4, "inputs {i},{j} only {linf} apart");
+        }
+    }
+}
+
+#[test]
+fn infeasible_constraint_combination_reported() {
+    let inst = fig1();
+    // Exclusion ball covering the entire box: no feasible input remains.
+    let cs = ConstrainedSet::unconstrained()
+        .with_d_max(10.0)
+        .exclude(vec![5.0, 5.0, 5.0], 1000.0);
+    let err = find_adversarial_gap(
+        &inst,
+        &HeuristicSpec::DemandPinning { threshold: 5.0 },
+        &cs,
+        &FinderConfig::default(),
+    );
+    // Either a config error (unreachable deviation) or an Infeasible status
+    // is acceptable; silently returning a "solution" is not.
+    match err {
+        Err(_) => {}
+        Ok(r) => assert_eq!(r.status, MilpStatus::Infeasible, "{r}"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Integration test reproducing the paper's Figure-1 narrative end to end
+//! through the public facade: the DP/OPT allocation table, the gap, and the
+//! white-box finder's certified worst case on the same topology.
+
+use metaopt::core::{find_adversarial_gap, ConstrainedSet, FinderConfig, HeuristicSpec};
+use metaopt::milp::MilpStatus;
+use metaopt::te::{demand_pinning::demand_pinning, opt::opt_max_flow, TeInstance};
+use metaopt::topology::synth::figure1_triangle;
+
+#[test]
+fn figure1_narrative() {
+    let (topo, [n1, n2, n3]) = figure1_triangle(100.0);
+    let inst = TeInstance::with_pairs(topo, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+    let demands = vec![50.0, 100.0, 100.0];
+
+    // DP pins the at-threshold 1→3 demand over both hops.
+    let dp = demand_pinning(&inst, &demands, 50.0).unwrap();
+    assert!(dp.feasible);
+    assert_eq!(dp.pinned, vec![true, false, false]);
+    assert!((dp.flows[0][0] - 50.0).abs() < 1e-9); // pinned on shortest path
+    assert!((dp.total_flow - 150.0).abs() < 1e-6);
+
+    // OPT sacrifices the long demand entirely.
+    let opt = opt_max_flow(&inst, &demands).unwrap();
+    assert!((opt.total_flow - 200.0).abs() < 1e-6);
+    let f13: f64 = opt.flows[0].iter().sum();
+    assert!(f13 < 1e-6, "OPT should drop the two-hop demand, got {f13}");
+
+    // The finder proves this demand set is the worst case for the topology.
+    let r = find_adversarial_gap(
+        &inst,
+        &HeuristicSpec::DemandPinning { threshold: 50.0 },
+        &ConstrainedSet::unconstrained(),
+        &FinderConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(r.status, MilpStatus::Optimal);
+    assert!((r.model_gap - 50.0).abs() < 1e-4);
+    assert!((r.verified_gap - (opt.total_flow - dp.total_flow)).abs() < 1e-4);
+}
+
+/// The gap of Figure 1 vanishes when the threshold cannot capture the
+/// two-hop demand — a sanity boundary for the reconstruction.
+#[test]
+fn figure1_gap_vanishes_below_threshold() {
+    let (topo, [n1, n2, n3]) = figure1_triangle(100.0);
+    let inst = TeInstance::with_pairs(topo, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+    let r = find_adversarial_gap(
+        &inst,
+        &HeuristicSpec::DemandPinning { threshold: 0.0 },
+        &ConstrainedSet::unconstrained(),
+        &FinderConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(r.status, MilpStatus::Optimal);
+    assert!(
+        r.model_gap.abs() < 1e-5,
+        "threshold 0 pins nothing but zero-volume demands; gap {}",
+        r.model_gap
+    );
+}

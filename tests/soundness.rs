@@ -1,0 +1,137 @@
+//! Cross-crate soundness properties on randomized small instances:
+//!
+//! * a heuristic never beats OPT (`gap >= 0` pointwise),
+//! * the white-box finder's reported gap is *certified*: re-running the
+//!   real OPT and the real heuristic on the discovered demands reproduces
+//!   the model's objective,
+//! * the white-box optimum dominates black-box search and exhaustive grid
+//!   probing on the same instance.
+
+use metaopt::blackbox::{hill_climb, SearchConfig};
+use metaopt::core::{find_adversarial_gap, ConstrainedSet, FinderConfig, HeuristicSpec};
+use metaopt::te::{eval::gap, Heuristic, TeInstance};
+use metaopt::topology::synth::{circulant, line, star};
+use metaopt::topology::Topology;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn small_topologies() -> Vec<Topology> {
+    vec![
+        line(3, 50.0),
+        line(4, 50.0),
+        star(3, 50.0),
+        circulant(4, 1, 50.0),
+        circulant(5, 1, 50.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pointwise: OPT(d) >= DP(d) and OPT(d) >= POP(d) on random demands.
+    #[test]
+    fn heuristics_never_beat_opt(
+        topo_idx in 0usize..5,
+        seed in 0u64..1000,
+        threshold_frac in 0.0f64..0.5,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let topo = small_topologies().swap_remove(topo_idx);
+        let inst = TeInstance::all_pairs(topo, 2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let demands: Vec<f64> = (0..inst.n_pairs()).map(|_| rng.gen_range(0.0..50.0)).collect();
+
+        let dp = Heuristic::DemandPinning { threshold: threshold_frac * 50.0 };
+        let g = gap(&inst, &dp, &demands).unwrap();
+        prop_assert!(g >= -1e-7, "DP gap {g} < 0");
+
+        let parts = metaopt::te::pop::random_partitions(inst.n_pairs(), 2, 2, &mut rng);
+        let pop = Heuristic::Pop { partitions: parts };
+        let g = gap(&inst, &pop, &demands).unwrap();
+        prop_assert!(g >= -1e-7, "POP gap {g} < 0");
+    }
+}
+
+/// The finder's model gap equals the independently re-measured gap on every
+/// small topology (full certification).
+#[test]
+fn whitebox_gap_is_certified_everywhere() {
+    for topo in small_topologies() {
+        let name = topo.name().to_string();
+        let inst = TeInstance::all_pairs(topo, 2).unwrap();
+        let spec = HeuristicSpec::DemandPinning { threshold: 10.0 };
+        let r = find_adversarial_gap(
+            &inst,
+            &spec,
+            &ConstrainedSet::unconstrained(),
+            &FinderConfig::budgeted(20.0),
+        )
+        .unwrap();
+        assert!(
+            r.certification_error() < 1e-5,
+            "{name}: model gap {} vs verified {}",
+            r.model_gap,
+            r.verified_gap
+        );
+        assert!(r.verified_gap >= -1e-7, "{name}: negative gap");
+    }
+}
+
+/// White-box dominates a budget-matched hill climb on the 4-ring.
+#[test]
+fn whitebox_dominates_blackbox() {
+    let inst = TeInstance::all_pairs(circulant(4, 1, 50.0), 2).unwrap();
+    let spec = HeuristicSpec::DemandPinning { threshold: 10.0 };
+    let wb = find_adversarial_gap(
+        &inst,
+        &spec,
+        &ConstrainedSet::unconstrained(),
+        &FinderConfig::budgeted(10.0),
+    )
+    .unwrap();
+
+    let h = Heuristic::DemandPinning { threshold: 10.0 };
+    let bb = hill_climb(
+        &inst,
+        &h,
+        &SearchConfig {
+            time_budget: Duration::from_secs(10),
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    assert!(
+        wb.verified_gap >= bb.best_gap - 1e-6,
+        "whitebox {} < blackbox {}",
+        wb.verified_gap,
+        bb.best_gap
+    );
+}
+
+/// The finder respects exclusion of DP-infeasible inputs: every reported
+/// demand vector keeps the pinned load within capacity (§5).
+#[test]
+fn reported_inputs_are_dp_feasible() {
+    for topo in small_topologies() {
+        let inst = TeInstance::all_pairs(topo, 2).unwrap();
+        let threshold = 20.0;
+        let r = find_adversarial_gap(
+            &inst,
+            &HeuristicSpec::DemandPinning { threshold },
+            &ConstrainedSet::unconstrained(),
+            &FinderConfig::budgeted(10.0),
+        )
+        .unwrap();
+        let load = metaopt::te::demand_pinning::pinned_load(&inst, &r.demands, threshold);
+        for (e, l) in load.iter().enumerate() {
+            let cap = inst.topo.capacity(metaopt::topology::EdgeId(e));
+            assert!(
+                *l <= cap + 1e-6,
+                "{}: pinned load {l} exceeds capacity {cap} on edge {e}",
+                inst.topo.name()
+            );
+        }
+    }
+}
