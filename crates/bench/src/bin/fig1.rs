@@ -28,10 +28,10 @@ fn main() {
 
     let mut table = CsvOut::new("fig1_allocations", &["demand", "DP flow", "OPT flow"]);
     let names = ["1→3", "1→2", "2→3"];
-    for k in 0..3 {
+    for (k, name) in names.iter().enumerate() {
         let dpf: f64 = dp.flows[k].iter().sum();
         let optf: f64 = opt.flows[k].iter().sum();
-        table.row([names[k].to_string(), f(dpf), f(optf)]);
+        table.row([name.to_string(), f(dpf), f(optf)]);
     }
     table.row([
         "TOTAL".to_string(),

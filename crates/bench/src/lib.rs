@@ -23,7 +23,7 @@ pub fn budget_secs() -> f64 {
 
 /// Whether to run reduced-size "quick" sweeps (`METAOPT_QUICK=1`).
 pub fn quick_mode() -> bool {
-    std::env::var("METAOPT_QUICK").map_or(false, |v| v == "1" || v == "true")
+    std::env::var("METAOPT_QUICK").is_ok_and(|v| v == "1" || v == "true")
 }
 
 /// A simple CSV writer for experiment series.

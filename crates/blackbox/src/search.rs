@@ -83,7 +83,7 @@ impl Tracker {
 
     fn observe(&mut self, demands: &[f64], g: f64) {
         self.evaluations += 1;
-        let improved = self.best.as_ref().map_or(true, |(_, bg)| g > *bg);
+        let improved = self.best.as_ref().is_none_or(|(_, bg)| g > *bg);
         if improved {
             self.best = Some((demands.to_vec(), g));
             self.trajectory

@@ -61,19 +61,19 @@ pub fn encode_dp(
 
     // Pin indicators with threshold linking.
     let mut pins = Vec::with_capacity(inst.n_pairs());
-    for k in 0..inst.n_pairs() {
+    for (k, &dk) in d.iter().enumerate().take(inst.n_pairs()) {
         let u = model.add_binary(format!("dp::pin[{k}]"))?;
         // d_k − T − (D − T)(1 − u) <= 0  ⇔  d_k + (D − T)·u <= D
         model.constrain_named(
             format!("dp::pin_hi[{k}]"),
-            LinExpr::from(d[k]) + LinExpr::term(u, d_hi - t),
+            LinExpr::from(dk) + LinExpr::term(u, d_hi - t),
             Sense::Le,
             d_hi,
         )?;
         // d_k >= (T + ε)(1 − u)  ⇔  d_k + (T + ε)·u >= T + ε
         model.constrain_named(
             format!("dp::pin_lo[{k}]"),
-            LinExpr::from(d[k]) + LinExpr::term(u, t + epsilon),
+            LinExpr::from(dk) + LinExpr::term(u, t + epsilon),
             Sense::Ge,
             t + epsilon,
         )?;

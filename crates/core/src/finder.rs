@@ -6,11 +6,17 @@ use crate::encode_opt::encode_opt;
 use crate::encode_pop::{encode_pop, PopMode};
 use crate::result::GapResult;
 use crate::{CoreError, CoreResult};
-use metaopt_milp::{solve, solve_with_callback, IncumbentCallback, MilpConfig};
+use metaopt_blackbox::GaussianSampler;
+use metaopt_milp::{
+    solve, solve_with_callback, IncumbentCallback, MilpConfig, MilpError, MilpStatus,
+};
 use metaopt_model::{LinExpr, Model, ModelStats, ObjSense, VarRef};
+use metaopt_resilience::{Budget, DegradationLevel, SolverFault};
 use metaopt_te::pop::Partition;
 use metaopt_te::{opt::opt_max_flow, TeInstance};
-use std::time::Instant;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// How the inner OPT problem is encoded (see [`crate::encode_opt`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +105,14 @@ pub struct FinderConfig {
     /// Budget (true-gap evaluations) of the callback's coordinate-
     /// improvement sweep at each consulted node.
     pub callback_evals_per_node: usize,
+    /// End-to-end anytime budget for the whole run (white-box search plus
+    /// any degraded fallbacks). Composed with `milp.time_limit` /
+    /// `milp.max_nodes` — the tightest limit wins. Budgets hold *absolute*
+    /// deadlines: the clock starts when the budget is created, not when
+    /// the finder is called.
+    pub budget: Budget,
+    /// Seed for the black-box fallback rung (deterministic fallbacks).
+    pub fallback_seed: u64,
 }
 
 impl Default for FinderConfig {
@@ -110,13 +124,17 @@ impl Default for FinderConfig {
             epsilon: 1e-3,
             dual_bound: f64::INFINITY,
             callback_evals_per_node: 16,
+            budget: Budget::unlimited(),
+            fallback_seed: 0,
         }
     }
 }
 
 impl FinderConfig {
     /// Convenience: paper-faithful encoding with a wall-clock budget and
-    /// the §3.3 stall rule.
+    /// the §3.3 stall rule. The budget is *anytime*: it covers model
+    /// build, the MILP search, and any degraded fallback rungs, and the
+    /// clock starts now.
     pub fn budgeted(seconds: f64) -> Self {
         FinderConfig {
             milp: MilpConfig {
@@ -126,6 +144,7 @@ impl FinderConfig {
                 )),
                 ..MilpConfig::default()
             },
+            budget: Budget::from_secs_f64(seconds),
             ..Default::default()
         }
     }
@@ -169,7 +188,7 @@ pub fn build_adversarial_model(
     cfg: &FinderConfig,
 ) -> CoreResult<AdversarialModel> {
     let d_hi = constraints.d_max.unwrap_or_else(|| inst.demand_cap());
-    if !(d_hi > 0.0) {
+    if d_hi.is_nan() || d_hi <= 0.0 {
         return Err(CoreError::Config(format!("bad demand bound {d_hi}")));
     }
     let mut model = Model::new();
@@ -299,11 +318,72 @@ impl CandidateEvaluator<'_> {
     fn consider(&mut self, demands: Vec<f64>, evals: &mut usize) {
         *evals += 1;
         if let Some(g) = self.certify(&demands) {
-            let better = self.best.as_ref().map_or(true, |(_, bg)| g > *bg);
+            let better = self.best.as_ref().is_none_or(|(_, bg)| g > *bg);
             if better {
                 self.best = Some((demands, g));
             }
         }
+    }
+
+    /// Last-rung black-box fallback: Gaussian hill climbing with random
+    /// restarts over the demand box, every candidate snapped onto the
+    /// constrained set's grid and vetted through [`Self::certify`] (unlike
+    /// the raw `metaopt-blackbox` searches, which know nothing about
+    /// [`ConstrainedSet`]). Improvements accumulate in `self.best`.
+    /// Returns the number of gap evaluations performed.
+    pub(crate) fn blackbox_fallback(&mut self, budget: Budget, seed: u64) -> usize {
+        let n = self.d_indices.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = GaussianSampler::new((0.10 * self.d_hi).max(f64::MIN_POSITIVE));
+        let mut evals = 0usize;
+        // Deterministic corner seeds first — on tiny budgets these may be
+        // the only candidates that get certified.
+        for cand in [
+            vec![0.0; n],
+            vec![self.d_hi; n],
+            vec![0.5 * self.d_hi; n],
+        ] {
+            let mut c = cand;
+            self.snap_window(&mut c);
+            self.snap_grid(&mut c);
+            self.consider(c, &mut evals);
+            if budget.expired() {
+                return evals;
+            }
+        }
+        // Hill climb from the incumbent; restart from a uniform draw after
+        // a patience window without improvement. A hard evaluation cap
+        // guards against an unlimited budget ever reaching this rung.
+        const PATIENCE: usize = 64;
+        const MAX_EVALS: usize = 20_000;
+        let mut stale = 0usize;
+        while !budget.expired() && evals < MAX_EVALS {
+            let base: Vec<f64> = match &self.best {
+                Some((b, _)) if stale < PATIENCE => b.clone(),
+                _ => {
+                    stale = 0;
+                    (0..n).map(|_| rng.gen_range(0.0..=self.d_hi)).collect()
+                }
+            };
+            let mut cand: Vec<f64> = base
+                .iter()
+                .map(|&x| (x + gauss.sample(&mut rng)).clamp(0.0, self.d_hi))
+                .collect();
+            self.snap_window(&mut cand);
+            self.snap_grid(&mut cand);
+            let before = self.best.as_ref().map(|(_, g)| *g);
+            self.consider(cand, &mut evals);
+            let after = self.best.as_ref().map(|(_, g)| *g);
+            if after > before {
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+        evals
     }
 }
 
@@ -458,7 +538,39 @@ pub(crate) fn new_candidate_evaluator<'a>(
     }
 }
 
+/// The fault behind a failed MILP solve, for [`GapResult::faults`].
+fn fault_of_lp_failure(e: &MilpError) -> SolverFault {
+    match e {
+        MilpError::Lp(lp) => lp
+            .fault()
+            .cloned()
+            .unwrap_or_else(|| SolverFault::NumericalBreakdown(lp.to_string())),
+        MilpError::Model(s) => SolverFault::NumericalBreakdown(s.clone()),
+    }
+}
+
 /// Solves Eq. 1 for the given instance, heuristic, and constrained set.
+///
+/// This entry point is *anytime and panic-free with respect to solver
+/// faults*: if the white-box MILP search dies mid-run (numerical
+/// breakdown, singular basis, expired budget deep inside a re-solve), the
+/// finder degrades instead of erroring —
+///
+/// 1. **White-box** (the normal path): branch-and-bound ran to its
+///    configured stop rule ([`DegradationLevel::None`]).
+/// 2. **Certified incumbent**: the MILP failed, but the domain callback
+///    had already certified a candidate against the *real* OPT and
+///    heuristic; that candidate is returned with no dual bound
+///    ([`DegradationLevel::CertifiedIncumbentOnly`]).
+/// 3. **Black-box fallback**: no certified incumbent exists; a
+///    constraint-respecting hill climb spends a slice of the remaining
+///    [`FinderConfig::budget`] ([`DegradationLevel::BlackboxFallback`]).
+/// 4. **No solution**: every rung failed; the result is empty with
+///    [`MilpStatus::NoSolution`] ([`DegradationLevel::NoSolution`]).
+///
+/// Only model-construction errors (bad configuration, inconsistent
+/// encodings) still return `Err` — those are caller bugs, not solver
+/// faults.
 pub fn find_adversarial_gap(
     inst: &TeInstance,
     spec: &HeuristicSpec,
@@ -470,40 +582,113 @@ pub fn find_adversarial_gap(
     let build_time = t0.elapsed();
     let stats = am.stats();
 
-    let sol = if cfg.use_incumbent_callback {
-        let mut cb = new_candidate_evaluator(inst, spec, constraints, &am, cfg);
-        solve_with_callback(&am.model, &cfg.milp, &mut cb)?
+    let mut milp_cfg = cfg.milp.clone();
+    milp_cfg.budget = milp_cfg.budget.min_with(cfg.budget);
+
+    let solve_t = Instant::now();
+    let mut cb = new_candidate_evaluator(inst, spec, constraints, &am, cfg);
+    let attempt = if cfg.use_incumbent_callback {
+        solve_with_callback(&am.model, &milp_cfg, &mut cb)
     } else {
-        solve(&am.model, &cfg.milp)?
+        solve(&am.model, &milp_cfg)
     };
 
-    let demands: Vec<f64> = if sol.values.is_empty() {
-        vec![0.0; inst.n_pairs()]
-    } else {
-        am.d
-            .iter()
-            .map(|v| sol.values[v.0].clamp(0.0, am.d_hi))
-            .collect()
+    let (sol, degradation, faults) = match attempt {
+        Ok(sol) => {
+            let faults = sol.faults.clone();
+            (Some(sol), DegradationLevel::None, faults)
+        }
+        Err(e @ MilpError::Lp(_)) => {
+            let faults = vec![fault_of_lp_failure(&e)];
+            // Rung 2: a candidate the callback already certified against
+            // the real OPT/heuristic survives the MILP's death.
+            let had_incumbent = cb.best.is_some();
+            if !had_incumbent {
+                // Rung 3: nothing certified yet — spend half the remaining
+                // budget (or a short fixed slice when unlimited) on the
+                // constraint-respecting black-box climb.
+                let bb = cfg
+                    .budget
+                    .fraction_of_remaining(0.5, Duration::from_millis(250));
+                cb.blackbox_fallback(bb, cfg.fallback_seed);
+            }
+            let degradation = if had_incumbent {
+                DegradationLevel::CertifiedIncumbentOnly
+            } else if cb.best.is_some() {
+                DegradationLevel::BlackboxFallback
+            } else {
+                DegradationLevel::NoSolution
+            };
+            (None, degradation, faults)
+        }
+        Err(e) => return Err(e.into()), // model compilation failure
     };
 
-    // Re-measure the gap with the real algorithms (soundness check).
-    let verified_gap = match spec.evaluate(inst, &demands)? {
-        Some(heu) => opt_max_flow(inst, &demands)?.total_flow - heu,
-        None => f64::NAN, // DP-infeasible demands should never be reported
+    let (demands, model_gap, upper_bound, status, nodes, solve_time, trajectory) = match &sol {
+        Some(s) => (
+            if s.values.is_empty() {
+                vec![0.0; inst.n_pairs()]
+            } else {
+                am.d
+                    .iter()
+                    .map(|v| s.values[v.0].clamp(0.0, am.d_hi))
+                    .collect()
+            },
+            s.objective,
+            s.best_bound,
+            s.status,
+            s.nodes,
+            s.solve_time,
+            s.trajectory.clone(),
+        ),
+        None => match &cb.best {
+            Some((d, g)) => (
+                d.clone(),
+                *g,
+                f64::INFINITY,
+                MilpStatus::Feasible,
+                0,
+                solve_t.elapsed(),
+                Vec::new(),
+            ),
+            None => (
+                vec![0.0; inst.n_pairs()],
+                f64::NAN,
+                f64::INFINITY,
+                MilpStatus::NoSolution,
+                0,
+                solve_t.elapsed(),
+                Vec::new(),
+            ),
+        },
+    };
+
+    // Re-measure the gap with the real algorithms (soundness check). A
+    // degraded-to-empty result skips the evaluation: NaN marks "nothing
+    // was found", not "the heuristic rejected the input".
+    let verified_gap = if degradation == DegradationLevel::NoSolution {
+        f64::NAN
+    } else {
+        match spec.evaluate(inst, &demands)? {
+            Some(heu) => opt_max_flow(inst, &demands)?.total_flow - heu,
+            None => f64::NAN, // DP-infeasible demands should never be reported
+        }
     };
 
     Ok(GapResult {
         demands,
-        model_gap: sol.objective,
+        model_gap,
         verified_gap,
         normalized_gap: verified_gap / inst.topo.total_capacity(),
-        upper_bound: sol.best_bound,
-        status: sol.status,
+        upper_bound,
+        status,
         stats,
-        nodes: sol.nodes,
+        nodes,
         build_time,
-        solve_time: sol.solve_time,
-        trajectory: sol.trajectory,
+        solve_time,
+        trajectory,
+        degradation,
+        faults,
     })
 }
 

@@ -2,6 +2,7 @@
 
 use metaopt_milp::MilpStatus;
 use metaopt_model::ModelStats;
+use metaopt_resilience::{DegradationLevel, SolverFault};
 use std::time::Duration;
 
 /// Outcome of one adversarial-gap search (Eq. 1 solved once).
@@ -32,6 +33,14 @@ pub struct GapResult {
     pub solve_time: Duration,
     /// `(seconds, incumbent gap)` trajectory of the search (for Figure 3).
     pub trajectory: Vec<(f64, f64)>,
+    /// How far down the white-box → certified-incumbent → black-box
+    /// ladder the finder had to fall to produce this result.
+    /// [`DegradationLevel::None`] means the MILP search ran to its
+    /// configured stop rule.
+    pub degradation: DegradationLevel,
+    /// Faults contained along the way (callback panics, LP breakdowns,
+    /// deadline interruptions). Empty on a clean run.
+    pub faults: Vec<SolverFault>,
 }
 
 impl GapResult {
@@ -40,6 +49,13 @@ impl GapResult {
     /// unverified callback-era incumbent).
     pub fn certification_error(&self) -> f64 {
         (self.model_gap - self.verified_gap).abs() / self.verified_gap.abs().max(1.0)
+    }
+
+    /// Whether the result came from anywhere below the top rung of the
+    /// degradation ladder (in which case [`GapResult::upper_bound`] is not
+    /// a valid dual bound).
+    pub fn is_degraded(&self) -> bool {
+        self.degradation > DegradationLevel::None
     }
 }
 
@@ -56,6 +72,10 @@ impl std::fmt::Display for GapResult {
             self.nodes,
             self.solve_time.as_secs_f64(),
             self.stats,
-        )
+        )?;
+        if self.is_degraded() {
+            write!(f, " degraded={}", self.degradation)?;
+        }
+        Ok(())
     }
 }

@@ -102,7 +102,7 @@ pub fn sweep_max_gap(
     hi: f64,
     resolution: f64,
 ) -> CoreResult<SweepResult> {
-    if !(lo <= hi) || !(resolution > 0.0) {
+    if lo.is_nan() || hi.is_nan() || lo > hi || resolution.is_nan() || resolution <= 0.0 {
         return Err(CoreError::Config(format!(
             "bad sweep range [{lo}, {hi}] / resolution {resolution}"
         )));

@@ -96,7 +96,7 @@ impl CapacityEvaluator<'_> {
     fn consider(&mut self, caps: Vec<f64>, evals: &mut usize) {
         *evals += 1;
         if let Some(g) = self.certify(&caps) {
-            if self.best.as_ref().map_or(true, |(_, bg)| g > *bg) {
+            if self.best.as_ref().is_none_or(|(_, bg)| g > *bg) {
                 self.best = Some((caps, g));
             }
         }
@@ -225,7 +225,7 @@ pub fn find_adversarial_topology(
     let heu_value = match spec {
         HeuristicSpec::DemandPinning { threshold } => {
             let d_hi = demands.iter().copied().fold(0.0, f64::max).max(1.0);
-            let enc = encode_dp_with_caps(
+            encode_dp_with_caps(
                 &mut model,
                 inst,
                 &d_fixed,
@@ -234,12 +234,11 @@ pub fn find_adversarial_topology(
                 d_hi,
                 cfg.epsilon,
                 cfg.dual_bound,
-            )?;
-            enc
+            )?
         }
         HeuristicSpec::Pop { partitions, mode } => {
             // POP's per-partition capacity is c_e / n_parts — still linear.
-            let enc = encode_pop_with_caps(
+            encode_pop_with_caps(
                 &mut model,
                 inst,
                 &d_fixed,
@@ -247,8 +246,7 @@ pub fn find_adversarial_topology(
                 partitions,
                 *mode,
                 cfg.dual_bound,
-            )?;
-            enc
+            )?
         }
     };
 
@@ -310,6 +308,8 @@ pub fn find_adversarial_topology(
             build_time,
             solve_time: sol.solve_time,
             trajectory: sol.trajectory,
+            degradation: metaopt_resilience::DegradationLevel::None,
+            faults: sol.faults,
         },
     })
 }
@@ -337,8 +337,8 @@ fn encode_dp_with_caps(
         feasible_flow_inner_caps(model, "dp", inst, &d_exprs, cap_exprs)?;
     // Demands are fixed, so the pin set is known at build time — no
     // binaries needed: emit hard pinning rows for pinned pairs only.
-    for k in 0..inst.n_pairs() {
-        let (lo, hi) = model.var_bounds(d[k]);
+    for (k, &dk) in d.iter().enumerate().take(inst.n_pairs()) {
+        let (lo, hi) = model.var_bounds(dk);
         debug_assert!((lo - hi).abs() < 1e-12, "demands must be fixed");
         let pinned = lo <= t;
         if !pinned {
@@ -352,7 +352,7 @@ fn encode_dp_with_caps(
             inner.constrain_named(format!("dp::off_sp[{k}]"), off_sp, Sense::Le)?;
         }
         // d_k − f_k^{p̂} <= 0
-        let mut on_sp = LinExpr::from(d[k]);
+        let mut on_sp = LinExpr::from(dk);
         on_sp.add_term(flows.per_pair[k][0], -1.0);
         inner.constrain_named(format!("dp::on_sp[{k}]"), on_sp, Sense::Le)?;
     }
@@ -455,7 +455,7 @@ mod tests {
         )
         .unwrap();
         assert!(r.gap.verified_gap >= 50.0 - 1e-6, "{}", r.gap.verified_gap);
-        assert!(r.capacities.iter().all(|&c| c >= 70.0 - 1e-9 && c <= 100.0 + 1e-9));
+        assert!(r.capacities.iter().all(|&c| (70.0 - 1e-9..=100.0 + 1e-9).contains(&c)));
         assert!(r.gap.certification_error() < 1e-5);
     }
 

@@ -33,6 +33,8 @@ pub use solution::{Solution, SolveStatus};
 pub use solver::{Simplex, SimplexConfig};
 pub use sparse::SparseMat;
 
+pub use metaopt_resilience::{Budget, FaultPlan, FaultSite, SolverFault};
+
 /// Errors surfaced by the LP layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpError {
@@ -54,6 +56,37 @@ pub enum LpError {
     IterationLimit,
     /// Internal numerical failure that survived refactorization retries.
     Numerical(String),
+    /// A structured solver fault (see [`SolverFault`]): numerical
+    /// breakdown, singular basis, expired deadline, contained callback
+    /// panic, or stall. Recoverable faults are retried by the simplex
+    /// recovery ladder before surfacing here.
+    Fault(SolverFault),
+}
+
+impl LpError {
+    /// Whether the in-solver recovery ladder (cold restart, row rescale,
+    /// bound perturbation) may clear this error on a retry.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            LpError::Numerical(_) => true,
+            LpError::Fault(f) => f.is_recoverable(),
+            _ => false,
+        }
+    }
+
+    /// The structured fault, if this error carries one.
+    pub fn fault(&self) -> Option<&SolverFault> {
+        match self {
+            LpError::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolverFault> for LpError {
+    fn from(f: SolverFault) -> Self {
+        LpError::Fault(f)
+    }
 }
 
 impl std::fmt::Display for LpError {
@@ -66,6 +99,7 @@ impl std::fmt::Display for LpError {
             LpError::NotFinite(s) => write!(f, "non-finite data: {s}"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             LpError::Numerical(s) => write!(f, "numerical failure: {s}"),
+            LpError::Fault(fault) => write!(f, "solver fault: {fault}"),
         }
     }
 }

@@ -226,12 +226,12 @@ impl LpProblem {
     /// Maximum violation of variable bounds and row ranges at point `x`.
     pub fn max_violation(&self, x: &[f64]) -> f64 {
         let mut viol: f64 = 0.0;
-        for j in 0..self.n_vars() {
-            viol = viol.max(self.lo[j] - x[j]).max(x[j] - self.hi[j]);
+        for (j, &xj) in x.iter().enumerate().take(self.n_vars()) {
+            viol = viol.max(self.lo[j] - xj).max(xj - self.hi[j]);
         }
         let act = self.row_activity(x);
-        for i in 0..self.n_rows() {
-            viol = viol.max(self.row_lo[i] - act[i]).max(act[i] - self.row_hi[i]);
+        for (i, &ai) in act.iter().enumerate() {
+            viol = viol.max(self.row_lo[i] - ai).max(ai - self.row_hi[i]);
         }
         viol.max(0.0)
     }

@@ -29,6 +29,11 @@ pub struct Solution {
     pub reduced_costs: Vec<f64>,
     /// Total simplex pivots across phases.
     pub iterations: usize,
+    /// True when the point came out of the recovery ladder's degraded
+    /// rungs (perturbed bounds or a cached earlier feasible point) rather
+    /// than a clean optimal basis. Degraded objectives are valid values of
+    /// feasible points but must not be used as relaxation bounds.
+    pub degraded: bool,
 }
 
 impl Solution {

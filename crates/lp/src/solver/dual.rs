@@ -8,6 +8,7 @@
 use super::{Simplex, VarState};
 use crate::solution::SolveStatus;
 use crate::{LpError, LpResult};
+use metaopt_resilience::SolverFault;
 
 impl Simplex {
     /// Runs dual-simplex iterations from the current basis.
@@ -30,12 +31,11 @@ impl Simplex {
                 return Err(LpError::IterationLimit);
             }
             local_iters += 1;
-            if local_iters % 64 == 0 && self.deadline_passed() {
-                return Err(LpError::IterationLimit);
+            if local_iters.is_multiple_of(64) && self.deadline_passed() {
+                return Err(LpError::Fault(SolverFault::DeadlineExceeded));
             }
             if self.pivots_since_refactor >= self.cfg.refactor_every {
-                self.refactor()?;
-                self.recompute_basics();
+                self.refactor_and_check()?;
             }
 
             // Leaving: the basic variable with the largest bound violation.
@@ -46,12 +46,12 @@ impl Simplex {
                 let xj = self.x[j];
                 if xj < self.lo[j] - ft {
                     let v = self.lo[j] - xj;
-                    if leave.as_ref().map_or(true, |&(_, bv, _)| v > bv) {
+                    if leave.as_ref().is_none_or(|&(_, bv, _)| v > bv) {
                         leave = Some((i, v, self.lo[j]));
                     }
                 } else if xj > self.hi[j] + ft {
                     let v = xj - self.hi[j];
-                    if leave.as_ref().map_or(true, |&(_, bv, _)| v > bv) {
+                    if leave.as_ref().is_none_or(|&(_, bv, _)| v > bv) {
                         leave = Some((i, v, self.hi[j]));
                     }
                 }
@@ -110,7 +110,7 @@ impl Simplex {
                 }
                 let d = self.reduced_cost(j, &y);
                 let ratio = (d / alpha).abs();
-                if best.as_ref().map_or(true, |&(_, ba, br)| {
+                if best.as_ref().is_none_or(|&(_, ba, br)| {
                     ratio < br - 1e-12 || (ratio <= br + 1e-12 && alpha.abs() > ba.abs())
                 }) {
                     best = Some((j, alpha, ratio));
@@ -135,9 +135,14 @@ impl Simplex {
                 degen_streak = 0;
             }
             self.ftran(q, &mut w);
-            for i in 0..self.m {
+            if w.iter().any(|v| !v.is_finite()) || !step.is_finite() {
+                return Err(LpError::Fault(SolverFault::NumericalBreakdown(format!(
+                    "non-finite dual pivot data for entering column {q}"
+                ))));
+            }
+            for (i, &wi) in w.iter().enumerate().take(self.m) {
                 let j = self.basis[i];
-                self.x[j] -= w[i] * step;
+                self.x[j] -= wi * step;
             }
             self.x[leaving] = target;
             self.state[leaving] = if (target - self.lo[leaving]).abs() <= ft {

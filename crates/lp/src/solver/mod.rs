@@ -26,6 +26,7 @@ use crate::problem::{LpProblem, VarId};
 use crate::solution::{Solution, SolveStatus};
 use crate::sparse::SparseMat;
 use crate::{LpError, LpResult};
+use metaopt_resilience::{FaultPlan, FaultSite, SolverFault};
 
 /// Tunable solver parameters.
 #[derive(Debug, Clone)]
@@ -119,6 +120,16 @@ pub struct Simplex {
     /// Optional wall-clock deadline checked periodically inside the
     /// iteration loops (set by budgeted callers such as branch-and-bound).
     deadline: Option<std::time::Instant>,
+    /// Deterministic fault-injection plan (chaos tests only; `None` in
+    /// production).
+    fault_plan: Option<FaultPlan>,
+    /// Row equilibration factors once the recovery ladder rescaled the
+    /// constraint rows (`None` until then). Output duals are unscaled by
+    /// these factors.
+    row_scale: Option<Vec<f64>>,
+    /// Last clean optimal point, kept as the recovery ladder's final rung.
+    /// Invalidated whenever a bound change makes it infeasible.
+    best_feasible: Option<Solution>,
 }
 
 impl Simplex {
@@ -137,7 +148,7 @@ impl Simplex {
             cols.push_col([(i, -1.0)]);
         }
         let mut cost = p.obj.clone();
-        cost.extend(std::iter::repeat(0.0).take(m));
+        cost.extend(std::iter::repeat_n(0.0, m));
         let mut lo = p.lo.clone();
         let mut hi = p.hi.clone();
         lo.extend_from_slice(&p.row_lo);
@@ -162,6 +173,9 @@ impl Simplex {
             iterations: 0,
             n_artificials: 0,
             deadline: None,
+            fault_plan: None,
+            row_scale: None,
+            best_feasible: None,
         }
     }
 
@@ -181,12 +195,25 @@ impl Simplex {
     }
 
     /// Sets (or clears) a wall-clock deadline; iteration loops abort with
-    /// [`crate::LpError::IterationLimit`] shortly after it passes.
+    /// [`SolverFault::DeadlineExceeded`] shortly after it passes.
     pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
         self.deadline = deadline;
     }
 
+    /// Installs (or clears) a deterministic fault-injection plan. Used by
+    /// the chaos suite; production callers leave this `None`.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    fn fire_fault(&self, site: FaultSite) -> bool {
+        self.fault_plan.as_ref().is_some_and(|p| p.fire(site))
+    }
+
     pub(crate) fn deadline_passed(&self) -> bool {
+        if self.fire_fault(FaultSite::DeadlineNow) {
+            return true;
+        }
         self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
     }
 
@@ -203,6 +230,14 @@ impl Simplex {
         }
         self.lo[v.0] = lo;
         self.hi[v.0] = hi;
+        // The cached fallback point is only useful while it stays inside
+        // the current box.
+        if let Some(best) = &self.best_feasible {
+            let bx = best.x[v.0];
+            if bx < lo - self.cfg.feas_tol || bx > hi + self.cfg.feas_tol {
+                self.best_feasible = None;
+            }
+        }
         // Keep nonbasic variables glued to an existing bound.
         match self.state[v.0] {
             VarState::AtLower => {
@@ -264,6 +299,11 @@ impl Simplex {
     /// Rebuilds `binv` from scratch by Gauss–Jordan elimination with partial
     /// pivoting on the current basis columns.
     pub(crate) fn refactor(&mut self) -> LpResult<()> {
+        if self.fire_fault(FaultSite::SingularRefactor) {
+            return Err(LpError::Fault(SolverFault::BasisSingular(
+                "injected singular refactorization".into(),
+            )));
+        }
         let m = self.m;
         // Dense basis matrix, row-major.
         let mut b = vec![0.0; m * m];
@@ -288,9 +328,9 @@ impl Simplex {
                 }
             }
             if piv_val < 1e-12 {
-                return Err(LpError::Numerical(format!(
+                return Err(LpError::Fault(SolverFault::BasisSingular(format!(
                     "singular basis during refactorization (column {col})"
-                )));
+                ))));
             }
             if piv_row != col {
                 for k in 0..m {
@@ -322,14 +362,50 @@ impl Simplex {
         Ok(())
     }
 
+    /// Periodic refactorization plus numerical-health monitoring: after
+    /// the fresh factorization the basic values are recomputed and the
+    /// primal residual `‖Σ_j a_j x_j‖∞` (every internal right-hand side
+    /// is zero) is compared against a scale-aware drift tolerance.
+    /// Excessive drift is a numerical breakdown for the recovery ladder.
+    pub(crate) fn refactor_and_check(&mut self) -> LpResult<()> {
+        self.refactor()?;
+        self.recompute_basics();
+        let scale = self.x.iter().fold(1.0_f64, |a, v| a.max(v.abs()));
+        if !scale.is_finite() {
+            return Err(LpError::Fault(SolverFault::NumericalBreakdown(
+                "non-finite variable value after refactorization".into(),
+            )));
+        }
+        let drift = self.primal_residual_inf();
+        let tol = 1e-6 * scale;
+        // An explicit NaN check: a NaN residual must trip the ladder too.
+        if drift.is_nan() || drift > tol {
+            return Err(LpError::Fault(SolverFault::NumericalBreakdown(format!(
+                "primal residual drift {drift:.3e} exceeds {tol:.3e} after refactorization"
+            ))));
+        }
+        Ok(())
+    }
+
+    /// `‖Σ_j a_j x_j‖∞` over all columns — zero for an exact basic point.
+    pub(crate) fn primal_residual_inf(&self) -> f64 {
+        let mut r = vec![0.0; self.m];
+        for j in 0..self.total_vars() {
+            if self.x[j] != 0.0 {
+                self.cols.col_axpy(j, self.x[j], &mut r);
+            }
+        }
+        r.iter().fold(0.0_f64, |a, v| a.max(v.abs()))
+    }
+
     /// `w = B⁻¹ a_j` for variable `j`'s column.
     pub(crate) fn ftran(&self, j: usize, out: &mut [f64]) {
         let m = self.m;
         out.iter_mut().for_each(|v| *v = 0.0);
         for (r, v) in self.cols.col(j) {
             // Add v * column r of binv.
-            for i in 0..m {
-                out[i] += v * self.binv[i * m + r];
+            for (i, o) in out.iter_mut().enumerate().take(m) {
+                *o += v * self.binv[i * m + r];
             }
         }
     }
@@ -449,8 +525,149 @@ impl Simplex {
     // ------------------------------------------------------------------
 
     /// Cold solve: phase-I artificial feasibility search followed by the
-    /// phase-II primal simplex.
+    /// phase-II primal simplex, wrapped in the recovery ladder (see
+    /// [`Simplex::resolve`] for the ladder description).
     pub fn solve(&mut self) -> LpResult<Solution> {
+        self.run_with_recovery(false)
+    }
+
+    /// Warm re-solve after bound changes, wrapped in the recovery ladder.
+    ///
+    /// Recoverable faults (numerical breakdown, singular basis) escalate
+    /// through: cold restart → row equilibration → bound perturbation
+    /// (bounded retries, results marked degraded) → cached best feasible
+    /// point (degraded). Verdict faults (deadline, stall) and genuine
+    /// iteration limits propagate immediately — retrying cannot help.
+    pub fn resolve(&mut self) -> LpResult<Solution> {
+        self.run_with_recovery(true)
+    }
+
+    fn run_with_recovery(&mut self, warm: bool) -> LpResult<Solution> {
+        // An already-expired deadline aborts before any pivoting — the
+        // in-loop checks only run every 64 iterations, which tiny problems
+        // never reach.
+        if self.deadline_passed() {
+            return Err(LpError::Fault(SolverFault::DeadlineExceeded));
+        }
+        let first = if warm {
+            self.resolve_raw()
+        } else {
+            self.solve_raw()
+        };
+        // The first fault is the most informative one; later rung errors
+        // are usually echoes of the same breakdown.
+        let first_err = match first {
+            Ok(sol) => return Ok(sol),
+            Err(e) if e.is_recoverable() => e,
+            Err(e) => return Err(e),
+        };
+        // Rung 1: cold restart — fresh start basis and factorization.
+        match self.solve_raw() {
+            Ok(sol) => return Ok(sol),
+            Err(e) if e.is_recoverable() => {}
+            Err(e) => return Err(e),
+        }
+        // Rung 2: row equilibration, then another cold start.
+        self.equilibrate_rows();
+        match self.solve_raw() {
+            Ok(sol) => return Ok(sol),
+            Err(e) if e.is_recoverable() => {}
+            Err(e) => return Err(e),
+        }
+        // Rung 3: bounded bound-perturbation retries. Boxes are expanded
+        // by deterministic tiny amounts (never shrunk), so every
+        // originally feasible point stays feasible; the optimum may sit
+        // ε outside the true box, hence the result is marked degraded.
+        let saved_lo = self.lo[..self.n].to_vec();
+        let saved_hi = self.hi[..self.n].to_vec();
+        for attempt in 1..=2u64 {
+            self.perturb_bounds(attempt);
+            let outcome = self.solve_raw();
+            self.lo[..self.n].copy_from_slice(&saved_lo);
+            self.hi[..self.n].copy_from_slice(&saved_hi);
+            self.snap_nonbasic_structurals();
+            match outcome {
+                Ok(mut sol) => {
+                    sol.degraded = true;
+                    // ε-outside the true box — never cache as feasible.
+                    self.best_feasible = None;
+                    return Ok(sol);
+                }
+                Err(e) if e.is_recoverable() => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Rung 4: the best cached feasible point, degraded (a valid
+        // feasible value, not a relaxation optimum).
+        if let Some(mut best) = self.best_feasible.clone() {
+            best.degraded = true;
+            return Ok(best);
+        }
+        Err(first_err)
+    }
+
+    /// Rung-2 recovery: power-of-two row equilibration. Each constraint
+    /// row is scaled so its largest structural coefficient lands near 1;
+    /// power-of-two factors keep the rescaling exact in floating point.
+    /// The scaled system is equivalent (logical variables still carry the
+    /// original-unit row activity because their columns scale too);
+    /// output duals are mapped back via `y_orig[i] = s_i · y_scaled[i]`
+    /// in [`Simplex::extract`].
+    fn equilibrate_rows(&mut self) {
+        let m = self.m;
+        let mut maxabs = vec![0.0_f64; m];
+        for j in 0..self.n {
+            for (r, v) in self.cols.col(j) {
+                maxabs[r] = maxabs[r].max(v.abs());
+            }
+        }
+        let mut scale = vec![1.0_f64; m];
+        for (s, &mx) in scale.iter_mut().zip(&maxabs) {
+            if mx > 0.0 && mx.is_finite() {
+                *s = (-mx.log2()).round().exp2().clamp(1e-8, 1e8);
+            }
+        }
+        self.cols.scale_rows(&scale);
+        match &mut self.row_scale {
+            Some(prev) => prev.iter_mut().zip(&scale).for_each(|(p, s)| *p *= s),
+            None => self.row_scale = Some(scale),
+        }
+    }
+
+    /// Rung-3 recovery: expands every finite structural bound by a tiny
+    /// deterministic amount (variable- and attempt-dependent) to break
+    /// the degenerate/singular geometry that defeated the clean solves.
+    fn perturb_bounds(&mut self, attempt: u64) {
+        for j in 0..self.n {
+            let h = (j as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(attempt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+            let u = 1.0 + (h >> 54) as f64 / 1024.0; // deterministic in [1, 2)
+            if self.lo[j].is_finite() {
+                let eps = 1e-9 * (1.0 + self.lo[j].abs()) * u;
+                self.lo[j] -= eps;
+            }
+            if self.hi[j].is_finite() {
+                let eps = 1e-9 * (1.0 + self.hi[j].abs()) * u;
+                self.hi[j] += eps;
+            }
+        }
+    }
+
+    /// Re-glues nonbasic structural variables onto their (restored)
+    /// bounds after a perturbation attempt.
+    fn snap_nonbasic_structurals(&mut self) {
+        for j in 0..self.n {
+            match self.state[j] {
+                VarState::AtLower if self.lo[j].is_finite() => self.x[j] = self.lo[j],
+                VarState::AtUpper if self.hi[j].is_finite() => self.x[j] = self.hi[j],
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw cold solve (no recovery).
+    fn solve_raw(&mut self) -> LpResult<Solution> {
         self.start_basis()?;
         // Phase I only if artificials carry weight.
         let infeas: f64 = (self.n + self.m..self.total_vars())
@@ -485,12 +702,12 @@ impl Simplex {
         Ok(self.extract(st))
     }
 
-    /// Warm re-solve after bound changes: runs the dual simplex from the
-    /// current basis; falls back to a cold [`Simplex::solve`] if the basis
-    /// is not dual feasible (or was never initialized).
-    pub fn resolve(&mut self) -> LpResult<Solution> {
+    /// Raw warm re-solve after bound changes (no recovery): runs the dual
+    /// simplex from the current basis; falls back to a raw cold solve if
+    /// the basis is not dual feasible (or was never initialized).
+    fn resolve_raw(&mut self) -> LpResult<Solution> {
         if self.basis.len() != self.m {
-            return self.solve();
+            return self.solve_raw();
         }
         self.work_cost = self.cost.clone();
         self.work_cost.resize(self.total_vars(), 0.0);
@@ -499,7 +716,7 @@ impl Simplex {
         self.recompute_basics();
         match self.dual_loop()? {
             Some(st) => Ok(self.extract(st)),
-            None => self.solve(), // not dual feasible — cold start
+            None => self.solve_raw(), // not dual feasible — cold start
         }
     }
 
@@ -547,22 +764,22 @@ impl Simplex {
         }
         self.basis.clear();
         let mut artificial_cols: Vec<(usize, f64, f64)> = Vec::new(); // (row, sign, value)
-        for i in 0..m {
+        for (i, &ai) in act.iter().enumerate().take(m) {
             let s = n + i;
             let (rl, rh) = (self.lo[s], self.hi[s]);
-            if act[i] < rl - self.cfg.feas_tol {
+            if ai < rl - self.cfg.feas_tol {
                 // Clamp logical at lower bound; artificial covers the gap.
                 self.state[s] = VarState::AtLower;
                 self.x[s] = rl;
-                artificial_cols.push((i, 1.0, rl - act[i]));
-            } else if act[i] > rh + self.cfg.feas_tol {
+                artificial_cols.push((i, 1.0, rl - ai));
+            } else if ai > rh + self.cfg.feas_tol {
                 self.state[s] = VarState::AtUpper;
                 self.x[s] = rh;
-                artificial_cols.push((i, -1.0, act[i] - rh));
+                artificial_cols.push((i, -1.0, ai - rh));
             } else {
                 // Logical basic carrying the activity.
                 self.state[s] = VarState::Basic(self.basis.len());
-                self.x[s] = act[i];
+                self.x[s] = ai;
                 self.basis.push(s);
             }
         }
@@ -583,14 +800,28 @@ impl Simplex {
         let order: Vec<usize> = {
             let mut per_row: Vec<Option<usize>> = vec![None; m];
             for &j in &self.basis {
-                // Each initial basis column has exactly one nonzero row.
-                let (r, _) = self.cols.col(j).next().expect("nonempty basis col");
+                // Each initial basis column has exactly one nonzero row; a
+                // violation means the column store is corrupt — surface it
+                // as a recoverable singular-basis fault, never a panic.
+                let Some((r, _)) = self.cols.col(j).next() else {
+                    return Err(LpError::Fault(SolverFault::BasisSingular(format!(
+                        "initial basis column {j} is empty"
+                    ))));
+                };
                 per_row[r] = Some(j);
             }
-            per_row
-                .into_iter()
-                .map(|o| o.expect("one basis var per row"))
-                .collect()
+            let mut order = Vec::with_capacity(m);
+            for (i, o) in per_row.into_iter().enumerate() {
+                match o {
+                    Some(j) => order.push(j),
+                    None => {
+                        return Err(LpError::Fault(SolverFault::BasisSingular(format!(
+                            "no basis variable covers row {i} in the start basis"
+                        ))))
+                    }
+                }
+            }
+            order
         };
         self.basis = order;
         for (pos, &j) in self.basis.iter().enumerate() {
@@ -604,7 +835,7 @@ impl Simplex {
 
     /// Packages the current point into a [`Solution`] for the caller.
     fn extract(&mut self, status: SolveStatus) -> Solution {
-        let y = {
+        let mut y = {
             // Duals under the *original* costs.
             let saved = std::mem::replace(&mut self.work_cost, self.cost.clone());
             self.work_cost.resize(self.total_vars(), 0.0);
@@ -612,12 +843,20 @@ impl Simplex {
             self.work_cost = saved;
             y
         };
+        // Reduced costs use the (possibly row-scaled) columns with the
+        // matching scaled duals — the products are scale-invariant.
         let mut reduced = vec![0.0; self.n];
-        for j in 0..self.n {
-            reduced[j] = self.cost[j] - self.cols.col_dot(j, &y);
+        for (j, rj) in reduced.iter_mut().enumerate() {
+            *rj = self.cost[j] - self.cols.col_dot(j, &y);
         }
         // Row dual y_i is the multiplier of row i: reduced cost of the
-        // logical variable is `0 − yᵀ(−e_i) = y_i`.
+        // logical variable is `0 − yᵀ(−e_i) = y_i`. When the recovery
+        // ladder rescaled the rows, map duals back to original units.
+        if let Some(s) = &self.row_scale {
+            for (yi, si) in y.iter_mut().zip(s) {
+                *yi *= si;
+            }
+        }
         let x = self.x[..self.n].to_vec();
         let objective = if status == SolveStatus::Optimal {
             self.cost[..self.n]
@@ -629,13 +868,19 @@ impl Simplex {
         } else {
             f64::NAN
         };
-        Solution {
+        let solution = Solution {
             status,
             x,
             objective,
             duals: y,
             reduced_costs: reduced,
             iterations: self.iterations,
+            degraded: false,
+        };
+        if status == SolveStatus::Optimal {
+            // Last rung of the recovery ladder: remember the point.
+            self.best_feasible = Some(solution.clone());
         }
+        solution
     }
 }

@@ -3,6 +3,7 @@
 use super::{Simplex, VarState};
 use crate::solution::SolveStatus;
 use crate::{LpError, LpResult};
+use metaopt_resilience::{FaultSite, SolverFault};
 
 /// Outcome of one pricing pass.
 enum Entering {
@@ -33,13 +34,12 @@ impl Simplex {
                 return Err(LpError::IterationLimit);
             }
             local_iters += 1;
-            if local_iters % 64 == 0 && self.deadline_passed() {
-                return Err(LpError::IterationLimit);
+            if local_iters.is_multiple_of(64) && self.deadline_passed() {
+                return Err(LpError::Fault(SolverFault::DeadlineExceeded));
             }
 
             if self.pivots_since_refactor >= self.cfg.refactor_every {
-                self.refactor()?;
-                self.recompute_basics();
+                self.refactor_and_check()?;
                 y = self.btran_duals();
                 rejected.iter_mut().for_each(|r| *r = false);
             }
@@ -52,6 +52,16 @@ impl Simplex {
             };
 
             self.ftran(q, &mut w);
+            if self.fire_fault(FaultSite::NanPivot) {
+                if let Some(w0) = w.first_mut() {
+                    *w0 = f64::NAN;
+                }
+            }
+            if w.iter().any(|v| !v.is_finite()) {
+                return Err(LpError::Fault(SolverFault::NumericalBreakdown(format!(
+                    "non-finite entering column {q} after FTRAN"
+                ))));
+            }
 
             // Ratio test: entering moves by t·dir; basic j at position i
             // changes by −dir·w[i]·t. Start from the bound-flip distance.
@@ -59,8 +69,8 @@ impl Simplex {
             let mut leave: Option<(usize, bool, f64)> = None; // (pos, to_upper, |pivot|)
             let ft = self.cfg.feas_tol;
             let tie = 1e-9;
-            for i in 0..self.m {
-                let wi = w[i] * dir;
+            for (i, &w_raw) in w.iter().enumerate().take(self.m) {
+                let wi = w_raw * dir;
                 if wi.abs() <= self.cfg.pivot_tol {
                     continue;
                 }
@@ -111,9 +121,9 @@ impl Simplex {
                     // Bound flip: entering jumps to its opposite bound.
                     let t = t_max;
                     debug_assert!(t.is_finite());
-                    for i in 0..self.m {
+                    for (i, &wi) in w.iter().enumerate().take(self.m) {
                         let j = self.basis[i];
-                        self.x[j] -= dir * w[i] * t;
+                        self.x[j] -= dir * wi * t;
                     }
                     self.x[q] += dir * t;
                     self.state[q] = if dir > 0.0 {
@@ -133,9 +143,9 @@ impl Simplex {
                         continue;
                     }
                     // Update values.
-                    for i in 0..self.m {
+                    for (i, &wi) in w.iter().enumerate().take(self.m) {
                         let j = self.basis[i];
-                        self.x[j] -= dir * w[i] * t;
+                        self.x[j] -= dir * wi * t;
                     }
                     let leaving = self.basis[pos];
                     // Clamp the leaving variable exactly onto its bound.
@@ -253,7 +263,7 @@ impl Simplex {
         let ratio = wq / (alpha_q * alpha_q);
         let total = self.total_vars();
         let mut overflow = false;
-        for j in 0..total {
+        for (j, dj) in devex.iter_mut().enumerate().take(total) {
             if j == q {
                 continue;
             }
@@ -263,8 +273,8 @@ impl Simplex {
             let alpha_j = self.cols.col_dot(j, rho);
             if alpha_j != 0.0 {
                 let cand = alpha_j * alpha_j * ratio;
-                if cand > devex[j] {
-                    devex[j] = cand;
+                if cand > *dj {
+                    *dj = cand;
                     if cand > 1e8 {
                         overflow = true;
                     }

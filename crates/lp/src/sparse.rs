@@ -117,6 +117,16 @@ impl SparseMat {
             out[r] += scale * v;
         }
     }
+
+    /// Scales every stored entry of row `r` by `scales[r]`, across all
+    /// columns (one pass over the nonzeros). Used by the simplex recovery
+    /// ladder's row equilibration.
+    pub fn scale_rows(&mut self, scales: &[f64]) {
+        assert_eq!(scales.len(), self.n_rows, "one scale factor per row");
+        for (r, v) in self.idx.iter().zip(self.val.iter_mut()) {
+            *v *= scales[*r];
+        }
+    }
 }
 
 #[cfg(test)]

@@ -94,11 +94,11 @@ fn check_certificate(p: &LpProblem, sol: &metaopt_lp::Solution) {
     );
     let act = p.row_activity(&sol.x);
     // Row duals: complementary slackness + signs.
-    for i in 0..p.n_rows() {
+    for (i, &ai) in act.iter().enumerate().take(p.n_rows()) {
         let y = sol.duals[i];
         let (rlo, rhi) = row_range(p, i);
-        let at_lo = rlo.is_finite() && (act[i] - rlo).abs() <= TOL;
-        let at_hi = rhi.is_finite() && (act[i] - rhi).abs() <= TOL;
+        let at_lo = rlo.is_finite() && (ai - rlo).abs() <= TOL;
+        let at_hi = rhi.is_finite() && (ai - rhi).abs() <= TOL;
         if !at_lo && !at_hi {
             assert!(y.abs() <= TOL, "interior row {i} has dual {y}");
         }

@@ -103,9 +103,9 @@ fn degenerate_transportation() {
     let mut p = LpProblem::new();
     let c = [[4.0, 1.0, 3.0], [2.0, 5.0, 2.0], [3.0, 2.0, 1.0]];
     let mut xs = Vec::new();
-    for i in 0..3 {
-        for j in 0..3 {
-            xs.push(p.add_var(0.0, INF, c[i][j]).unwrap());
+    for row in &c {
+        for &cij in row {
+            xs.push(p.add_var(0.0, INF, cij).unwrap());
         }
     }
     let supply = [10.0, 10.0, 10.0];

@@ -28,7 +28,7 @@ fn transportation(m: usize, n: usize, seed: u64) -> LpProblem {
             .unwrap();
     }
     for j in 0..n {
-        p.add_row(RowSense::Ge, 8.0, (0..m).map(|i| (xs[i][j], 1.0)))
+        p.add_row(RowSense::Ge, 8.0, xs.iter().map(|row| (row[j], 1.0)))
             .unwrap();
     }
     p
@@ -101,15 +101,15 @@ fn bnb_like_bound_sequences_stay_consistent() {
     }
 }
 
-/// A deadline in the past aborts promptly with IterationLimit instead of
-/// hanging; clearing it restores normal solves.
+/// A deadline in the past aborts promptly with a `DeadlineExceeded` fault
+/// instead of hanging; clearing it restores normal solves.
 #[test]
 fn deadline_aborts_and_clears() {
     let p = transportation(12, 12, 5);
     let mut sx = Simplex::new(&p);
     sx.set_deadline(Some(std::time::Instant::now()));
     match sx.solve() {
-        Err(metaopt_lp::LpError::IterationLimit) => {}
+        Err(metaopt_lp::LpError::Fault(metaopt_lp::SolverFault::DeadlineExceeded)) => {}
         Ok(sol) => {
             // Tiny problems may finish before the first deadline check —
             // acceptable, but the answer must then be optimal.

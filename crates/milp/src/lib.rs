@@ -28,9 +28,12 @@ mod solver;
 mod sweep;
 
 pub use solver::{
-    solve, solve_with_callback, IncumbentCallback, MilpConfig, MilpSolution, MilpStatus,
+    solve, solve_resumable, solve_with_callback, Checkpoint, IncumbentCallback, MilpConfig,
+    MilpSolution, MilpStatus,
 };
 pub use sweep::{binary_sweep, SweepOutcome};
+
+pub use metaopt_resilience::{Budget, FaultPlan, FaultSite, SolverFault};
 
 /// Errors raised by the branch-and-bound layer.
 #[derive(Debug, Clone, PartialEq)]

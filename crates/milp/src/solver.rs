@@ -3,9 +3,15 @@
 use crate::{MilpError, MilpResult};
 use metaopt_lp::{Simplex, SolveStatus, VarId};
 use metaopt_model::{compile::compile, CompiledModel, Model};
+use metaopt_resilience::{Budget, FaultPlan, FaultSite, SolverFault};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// Contain at most this many incumbent-callback panics before disabling
+/// the callback for the rest of the search.
+const MAX_CALLBACK_PANICS: usize = 3;
 
 /// Tunable branch-and-bound parameters (defaults follow the paper's §3.3
 /// methodology where applicable).
@@ -33,6 +39,14 @@ pub struct MilpConfig {
     /// `>=` for Max objectives, `<=` for Min). Used by feasibility probes
     /// such as the §3.3 binary sweep ("any input with a gap at least g").
     pub target_objective: Option<f64>,
+    /// First-class budget threaded from the caller (the finder layer).
+    /// Composed with [`MilpConfig::time_limit`] / [`MilpConfig::max_nodes`]
+    /// limit-by-limit; because a [`Budget`] holds an *absolute* deadline,
+    /// passing one down never resets the clock.
+    pub budget: Budget,
+    /// Deterministic fault-injection plan (chaos tests only). Shared with
+    /// the underlying simplex; clones share counters.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for MilpConfig {
@@ -47,6 +61,8 @@ impl Default for MilpConfig {
             compl_tol: 1e-6,
             callback_every: 1,
             target_objective: None,
+            budget: Budget::unlimited(),
+            fault_plan: None,
         }
     }
 }
@@ -58,6 +74,27 @@ impl MilpConfig {
             time_limit: Some(Duration::from_secs_f64(seconds)),
             ..Default::default()
         }
+    }
+
+    /// Convenience: a configuration governed by `budget` alone.
+    pub fn with_budget(budget: Budget) -> Self {
+        MilpConfig {
+            budget,
+            ..Default::default()
+        }
+    }
+
+    /// The budget the search actually runs under: [`MilpConfig::budget`]
+    /// tightened by the legacy `time_limit` / `max_nodes` knobs.
+    pub fn effective_budget(&self) -> Budget {
+        let mut b = self.budget;
+        if let Some(tl) = self.time_limit {
+            b = b.min_with(Budget::from_duration(tl));
+        }
+        if self.max_nodes != usize::MAX {
+            b = b.with_max_nodes(self.max_nodes);
+        }
+        b
     }
 }
 
@@ -101,6 +138,12 @@ pub struct MilpSolution {
     pub solve_time: Duration,
     /// `(seconds_since_start, incumbent_objective)` at every improvement.
     pub trajectory: Vec<(f64, f64)>,
+    /// Faults contained during the search (callback panics, LP breakdowns
+    /// pruned, deadline interruptions). Empty on a clean run.
+    pub faults: Vec<SolverFault>,
+    /// Nodes whose relaxation came back degraded from the LP recovery
+    /// ladder (their objectives were not used for pruning).
+    pub degraded_nodes: usize,
 }
 
 /// Domain hook that turns a relaxation point into a true feasible solution.
@@ -128,6 +171,47 @@ impl IncumbentCallback for NoCallback {
 /// Solves `model` by branch-and-bound with default behaviour.
 pub fn solve(model: &Model, cfg: &MilpConfig) -> MilpResult<MilpSolution> {
     solve_with_callback(model, cfg, &mut NoCallback)
+}
+
+/// An open node in checkpoint form: bound changes from root, parent
+/// bound in min-space, and depth.
+type FrontierNode = (Vec<(VarId, f64, f64)>, f64, usize);
+
+/// Opaque resumable state of an interrupted branch-and-bound search:
+/// the open frontier, the incumbent, and the bookkeeping counters.
+/// Produced by [`solve_resumable`] when a budget interrupts the search;
+/// feeding it back continues from exactly where the search stopped
+/// instead of re-exploring the tree.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Open nodes: (bound changes from root, parent bound in min-space,
+    /// depth).
+    frontier: Vec<FrontierNode>,
+    /// Incumbent in min-space.
+    incumbent: Option<(Vec<f64>, f64)>,
+    nodes: usize,
+    numerical_prunes: usize,
+    degraded_nodes: usize,
+    trajectory: Vec<(f64, f64)>,
+    last_stall_value: f64,
+    faults: Vec<SolverFault>,
+}
+
+impl Checkpoint {
+    /// Number of open nodes in the stored frontier.
+    pub fn open_nodes(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Nodes processed before the interruption.
+    pub fn nodes_processed(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether an incumbent was in hand at the interruption.
+    pub fn has_incumbent(&self) -> bool {
+        self.incumbent.is_some()
+    }
 }
 
 #[derive(Debug)]
@@ -170,9 +254,22 @@ pub fn solve_with_callback(
     cfg: &MilpConfig,
     callback: &mut dyn IncumbentCallback,
 ) -> MilpResult<MilpSolution> {
+    solve_resumable(model, cfg, callback, None).map(|(sol, _)| sol)
+}
+
+/// Like [`solve_with_callback`], but the search can be interrupted and
+/// continued: when a budget stops the search with open nodes, the second
+/// return value carries a [`Checkpoint`]; passing it back (with a fresh
+/// budget) resumes from the stored frontier instead of restarting.
+pub fn solve_resumable(
+    model: &Model,
+    cfg: &MilpConfig,
+    callback: &mut dyn IncumbentCallback,
+    resume: Option<Checkpoint>,
+) -> MilpResult<(MilpSolution, Option<Checkpoint>)> {
     let start = Instant::now();
     let cm = compile(model)?;
-    let mut search = Search::new(&cm, cfg, callback);
+    let mut search = Search::new(&cm, cfg, callback, resume);
     search.run(start)?;
     Ok(search.finish(start))
 }
@@ -192,11 +289,24 @@ struct Search<'a> {
     /// Bound of the node currently being processed (min-space).
     nodes: usize,
     numerical_prunes: usize,
+    degraded_nodes: usize,
     trajectory: Vec<(f64, f64)>,
     last_improvement: Instant,
     last_stall_value: f64,
     stopped_early: bool,
     proven_bound: f64,
+    /// The budget this run operates under (cfg budget ∧ legacy knobs).
+    budget: Budget,
+    /// Shared-counter clone of the config's fault plan.
+    fault_plan: Option<FaultPlan>,
+    /// Faults contained so far.
+    faults: Vec<SolverFault>,
+    /// Callback panics contained; at [`MAX_CALLBACK_PANICS`] the callback
+    /// is disabled for the rest of the search.
+    callback_panics: usize,
+    /// True when this run continues a [`Checkpoint`] (changes how the
+    /// root node is seeded).
+    resumed: bool,
 }
 
 impl<'a> Search<'a> {
@@ -204,15 +314,16 @@ impl<'a> Search<'a> {
         cm: &'a CompiledModel,
         cfg: &'a MilpConfig,
         callback: &'a mut dyn IncumbentCallback,
+        resume: Option<Checkpoint>,
     ) -> Self {
+        let budget = cfg.effective_budget();
         let mut simplex = Simplex::new(&cm.lp);
-        if let Some(tl) = cfg.time_limit {
-            simplex.set_deadline(Some(Instant::now() + tl));
-        }
+        simplex.set_deadline(budget.deadline());
+        simplex.set_fault_plan(cfg.fault_plan.clone());
         let root_bounds = (0..cm.lp.n_vars())
             .map(|j| cm.lp.bounds(VarId(j)))
             .collect();
-        Search {
+        let mut search = Search {
             cm,
             cfg,
             callback,
@@ -224,12 +335,40 @@ impl<'a> Search<'a> {
             incumbent: None,
             nodes: 0,
             numerical_prunes: 0,
+            degraded_nodes: 0,
             trajectory: Vec::new(),
             last_improvement: Instant::now(),
             last_stall_value: f64::INFINITY,
             stopped_early: false,
             proven_bound: f64::NEG_INFINITY,
+            budget,
+            fault_plan: cfg.fault_plan.clone(),
+            faults: Vec::new(),
+            callback_panics: 0,
+            resumed: false,
+        };
+        if let Some(cp) = resume {
+            search.resumed = true;
+            search.incumbent = cp.incumbent;
+            search.nodes = cp.nodes;
+            search.numerical_prunes = cp.numerical_prunes;
+            search.degraded_nodes = cp.degraded_nodes;
+            search.trajectory = cp.trajectory;
+            search.last_stall_value = cp.last_stall_value;
+            search.faults = cp.faults;
+            for (changes, bound, depth) in cp.frontier {
+                search.heap.push(ByBound(Node {
+                    changes,
+                    bound,
+                    depth,
+                }));
+            }
         }
+        search
+    }
+
+    fn fire_fault(&self, site: FaultSite) -> bool {
+        self.fault_plan.as_ref().is_some_and(|p| p.fire(site))
     }
 
     /// Applies a node's bound set (restoring root bounds first).
@@ -282,19 +421,24 @@ impl<'a> Search<'a> {
     /// Checks global stop conditions. Returns true when the search should
     /// halt.
     fn budgets_exhausted(&mut self, start: Instant, in_hand: f64) -> bool {
-        if let Some(tl) = self.cfg.time_limit {
-            if start.elapsed() >= tl {
-                self.stopped_early = true;
-                return true;
-            }
+        let _ = start;
+        if self.budget.expired() {
+            self.stopped_early = true;
+            return true;
         }
-        if let Some(w) = self.cfg.stall_window {
-            if self.incumbent.is_some() && self.last_improvement.elapsed() >= w {
-                self.stopped_early = true;
-                return true;
+        let stall_injected = self.fire_fault(FaultSite::StallNow);
+        if stall_injected
+            || self.cfg.stall_window.is_some_and(|w| {
+                self.incumbent.is_some() && self.last_improvement.elapsed() >= w
+            })
+        {
+            if stall_injected {
+                self.faults.push(SolverFault::StallDetected);
             }
+            self.stopped_early = true;
+            return true;
         }
-        if self.nodes >= self.cfg.max_nodes {
+        if self.nodes >= self.budget.max_nodes().unwrap_or(usize::MAX) {
             self.stopped_early = true;
             return true;
         }
@@ -331,6 +475,37 @@ impl<'a> Search<'a> {
         b.min(self.incumbent_obj())
     }
 
+    /// Runs the incumbent callback with panic containment: a panicking
+    /// callback loses its proposal for this node (downgraded to "no
+    /// incumbent"), and the panic is recorded as a [`SolverFault`];
+    /// repeated panics disable the callback for the rest of the search.
+    fn propose_guarded(&mut self, relaxation: &[f64]) -> Option<(Vec<f64>, f64)> {
+        if self.cfg.callback_every == 0 || self.callback_panics >= MAX_CALLBACK_PANICS {
+            return None;
+        }
+        let inject = self.fire_fault(FaultSite::CallbackPanic);
+        let cb = &mut self.callback;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected incumbent-callback panic");
+            }
+            cb.propose(relaxation)
+        }));
+        match outcome {
+            Ok(proposal) => proposal,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                self.callback_panics += 1;
+                self.faults.push(SolverFault::CallbackPanic(msg));
+                None
+            }
+        }
+    }
+
     fn next_node(&mut self) -> Option<Node> {
         if let Some(n) = self.dive.take() {
             return Some(n);
@@ -348,20 +523,21 @@ impl<'a> Search<'a> {
         // relaxation: domain callbacks can produce certified solutions from
         // structural knowledge alone, keeping the search anytime even when
         // the root LP consumes most of a tight budget.
-        if self.cfg.callback_every > 0 {
-            let origin = vec![0.0; self.cm.var_map.len()];
-            if let Some((vals, model_obj)) = self.callback.propose(&origin) {
-                let min_obj = to_min_space(self.cm, model_obj);
-                self.record_incumbent(vals, min_obj, start);
-            }
+        let origin = vec![0.0; self.cm.var_map.len()];
+        if let Some((vals, model_obj)) = self.propose_guarded(&origin) {
+            let min_obj = to_min_space(self.cm, model_obj);
+            self.record_incumbent(vals, min_obj, start);
         }
-        // Root node.
-        let root = Node {
-            changes: Vec::new(),
-            bound: f64::NEG_INFINITY,
-            depth: 0,
-        };
-        self.dive = Some(root);
+        // Root node — unless this run resumes a checkpointed frontier, in
+        // which case the stored open nodes already cover the tree.
+        if !self.resumed {
+            let root = Node {
+                changes: Vec::new(),
+                bound: f64::NEG_INFINITY,
+                depth: 0,
+            };
+            self.dive = Some(root);
+        }
 
         while let Some(node) = self.next_node() {
             if self.budgets_exhausted(start, node.bound) {
@@ -379,33 +555,29 @@ impl<'a> Search<'a> {
 
     fn process(&mut self, node: Node, start: Instant) -> MilpResult<()> {
         self.apply_bounds(&node)?;
-        let deadline_hit = |cfg: &MilpConfig| {
-            cfg.time_limit
-                .is_some_and(|tl| start.elapsed() >= tl)
-        };
+        // The simplex runs its own recovery ladder; what surfaces here is
+        // either terminal or a verdict.
         let sol = match self.simplex.resolve() {
             Ok(s) => s,
-            Err(metaopt_lp::LpError::IterationLimit) if deadline_hit(self.cfg) => {
+            Err(metaopt_lp::LpError::Fault(SolverFault::DeadlineExceeded)) => {
                 // The wall-clock budget interrupted the LP mid-solve; keep
                 // the node open so the final bound stays honest.
+                self.faults.push(SolverFault::DeadlineExceeded);
                 self.stopped_early = true;
                 self.heap.push(ByBound(node));
                 return Ok(());
             }
-            Err(metaopt_lp::LpError::IterationLimit) | Err(metaopt_lp::LpError::Numerical(_)) => {
-                // One cold retry, then prune conservatively.
-                match self.simplex.solve() {
-                    Ok(s) => s,
-                    Err(metaopt_lp::LpError::IterationLimit) if deadline_hit(self.cfg) => {
-                        self.stopped_early = true;
-                        self.heap.push(ByBound(node));
-                        return Ok(());
-                    }
-                    Err(_) => {
-                        self.numerical_prunes += 1;
-                        return Ok(());
-                    }
+            Err(e)
+                if e.is_recoverable() || matches!(e, metaopt_lp::LpError::IterationLimit) =>
+            {
+                // The LP exhausted its recovery ladder (or its pivot
+                // budget) on this node: prune conservatively, record the
+                // fault, keep searching.
+                if let Some(f) = e.fault() {
+                    self.faults.push(f.clone());
                 }
+                self.numerical_prunes += 1;
+                return Ok(());
             }
             Err(e) => return Err(MilpError::Lp(e)),
         };
@@ -421,15 +593,23 @@ impl<'a> Search<'a> {
             }
             SolveStatus::Optimal => {}
         }
-        let obj = sol.objective;
-        if obj >= self.incumbent_obj() - 1e-9 {
+        // A degraded relaxation point is feasible-ish but *not* a valid
+        // relaxation optimum: its objective must not prune the node or
+        // tighten child bounds. Inherit the parent bound instead.
+        let obj = if sol.degraded {
+            self.degraded_nodes += 1;
+            node.bound
+        } else {
+            sol.objective
+        };
+        if !sol.degraded && obj >= self.incumbent_obj() - 1e-9 {
             return Ok(()); // pruned by bound
         }
 
-        // Incumbent callback on the relaxation point.
-        if self.cfg.callback_every > 0 && (self.nodes - 1) % self.cfg.callback_every == 0 {
+        // Incumbent callback on the relaxation point (panic-contained).
+        if self.cfg.callback_every > 0 && (self.nodes - 1).is_multiple_of(self.cfg.callback_every) {
             let relax_vals = self.cm.extract_values(&sol.x);
-            if let Some((vals, model_obj)) = self.callback.propose(&relax_vals) {
+            if let Some((vals, model_obj)) = self.propose_guarded(&relax_vals) {
                 let min_obj = to_min_space(self.cm, model_obj);
                 self.record_incumbent(vals, min_obj, start);
             }
@@ -444,9 +624,16 @@ impl<'a> Search<'a> {
             self.most_violated_compl(lp_x),
         ) {
             (None, None) => {
-                // Integer & complementary feasible: true solution.
-                let vals = self.cm.extract_values(lp_x);
-                self.record_incumbent(vals, obj, start);
+                if sol.degraded {
+                    // An ε-perturbed point is not trustworthy as an
+                    // incumbent and offers nothing to branch on: prune
+                    // conservatively (recorded in the degraded counters).
+                    self.numerical_prunes += 1;
+                } else {
+                    // Integer & complementary feasible: true solution.
+                    let vals = self.cm.extract_values(lp_x);
+                    self.record_incumbent(vals, obj, start);
+                }
             }
             (Some((v, value, _frac)), _) => {
                 self.branch_binary(node, v, value, obj);
@@ -540,11 +727,38 @@ impl<'a> Search<'a> {
         }));
     }
 
-    fn finish(mut self, start: Instant) -> MilpSolution {
+    fn finish(mut self, start: Instant) -> (MilpSolution, Option<Checkpoint>) {
         let bound_min = if self.stopped_early {
             self.open_bound()
         } else {
             self.proven_bound
+        };
+        // Snapshot the open frontier before it is consumed below: resuming
+        // only makes sense for an interrupted search with open work left.
+        let checkpoint = if self.stopped_early {
+            let mut frontier: Vec<FrontierNode> = Vec::new();
+            if let Some(d) = self.dive.take() {
+                frontier.push((d.changes, d.bound, d.depth));
+            }
+            for ByBound(n) in self.heap.drain() {
+                frontier.push((n.changes, n.bound, n.depth));
+            }
+            if frontier.is_empty() {
+                None
+            } else {
+                Some(Checkpoint {
+                    frontier,
+                    incumbent: self.incumbent.clone(),
+                    nodes: self.nodes,
+                    numerical_prunes: self.numerical_prunes,
+                    degraded_nodes: self.degraded_nodes,
+                    trajectory: self.trajectory.clone(),
+                    last_stall_value: self.last_stall_value,
+                    faults: self.faults.clone(),
+                })
+            }
+        } else {
+            None
         };
         let (status, values, objective) = match (&self.incumbent, self.stopped_early) {
             (Some((vals, obj)), early) => {
@@ -564,7 +778,7 @@ impl<'a> Search<'a> {
         } else {
             ((objective - bound_min) / objective.abs().max(1.0)).max(0.0)
         };
-        MilpSolution {
+        let solution = MilpSolution {
             status,
             values,
             objective: self.cm.restore_objective(objective),
@@ -575,7 +789,10 @@ impl<'a> Search<'a> {
             numerical_prunes: self.numerical_prunes,
             solve_time: start.elapsed(),
             trajectory: std::mem::take(&mut self.trajectory),
-        }
+            faults: std::mem::take(&mut self.faults),
+            degraded_nodes: self.degraded_nodes,
+        };
+        (solution, checkpoint)
     }
 }
 

@@ -46,8 +46,8 @@ fn knapsack_exact() {
     assert_close(sol.objective, 11.0, 1e-7);
     let wt: f64 = (0..4).map(|i| weights[i] * sol.values[zs[i].0]).sum();
     assert!(wt <= cap + 1e-6, "weight {wt} exceeds capacity");
-    for i in 0..4 {
-        let z = sol.values[zs[i].0];
+    for (i, zv) in zs.iter().enumerate() {
+        let z = sol.values[zv.0];
         assert!((z - z.round()).abs() < 1e-6, "z{i}={z} not integral");
     }
 }

@@ -1,0 +1,451 @@
+#![warn(missing_docs)]
+//! # metaopt-resilience
+//!
+//! The resilience substrate of the metaopt workspace: a structured fault
+//! taxonomy, first-class solve budgets, graceful-degradation levels, and a
+//! deterministic fault-injection plan.
+//!
+//! The paper's method (§3.3 stop rules, anytime incumbent semantics) only
+//! works in production if the solver stack *always* returns a certified
+//! result instead of crashing or hanging. The reference implementation
+//! leans on Gurobi's battle-tested recovery from degenerate and
+//! ill-conditioned bases; the from-scratch simplex / branch-and-bound in
+//! this workspace gets the equivalent from this crate:
+//!
+//! * [`SolverFault`] — the error taxonomy every layer maps its failures
+//!   into (replacing ad-hoc panics),
+//! * [`Budget`] — a wall-clock/node budget threaded from the finder
+//!   configuration through branch-and-bound down to the simplex deadline,
+//! * [`DegradationLevel`] — how far the finder had to fall down its
+//!   white-box → certified-incumbent → black-box ladder,
+//! * [`FaultPlan`] / [`FaultSite`] — deterministic, seedable fault
+//!   injection used by the chaos test suite to exercise every recovery
+//!   path (NaN pivots, singular refactorizations, expired deadlines,
+//!   panicking callbacks, forced stalls).
+//!
+//! This crate is a dependency leaf: `lp`, `milp`, `core`, and `blackbox`
+//! all depend on it, never the reverse.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Fault taxonomy
+// ---------------------------------------------------------------------
+
+/// Structured classification of every failure the solver stack can
+/// experience. Layers map their internal errors into this taxonomy so
+/// callers can react uniformly (retry, degrade, or surface).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverFault {
+    /// Floating-point breakdown: NaN/∞ appeared in a pivot, ratio test, or
+    /// residual where a finite value is required.
+    NumericalBreakdown(String),
+    /// The basis matrix was (numerically) singular during factorization.
+    BasisSingular(String),
+    /// A wall-clock deadline or budget expired before a conclusion.
+    DeadlineExceeded,
+    /// A domain callback panicked; the panic was contained and the
+    /// callback's contribution for that node dropped.
+    CallbackPanic(String),
+    /// The §3.3 stall rule fired: no sufficient relative improvement
+    /// within the configured window.
+    StallDetected,
+}
+
+impl SolverFault {
+    /// Short stable identifier (used by logs and the chaos suite).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolverFault::NumericalBreakdown(_) => "numerical_breakdown",
+            SolverFault::BasisSingular(_) => "basis_singular",
+            SolverFault::DeadlineExceeded => "deadline_exceeded",
+            SolverFault::CallbackPanic(_) => "callback_panic",
+            SolverFault::StallDetected => "stall_detected",
+        }
+    }
+
+    /// Whether a bounded retry (refactorize / rescale / perturb) can
+    /// plausibly clear the fault. Deadline and stall faults are *verdicts*,
+    /// not transient conditions — retrying cannot help.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            SolverFault::NumericalBreakdown(_)
+                | SolverFault::BasisSingular(_)
+                | SolverFault::CallbackPanic(_)
+        )
+    }
+}
+
+impl std::fmt::Display for SolverFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverFault::NumericalBreakdown(s) => write!(f, "numerical breakdown: {s}"),
+            SolverFault::BasisSingular(s) => write!(f, "singular basis: {s}"),
+            SolverFault::DeadlineExceeded => write!(f, "deadline exceeded"),
+            SolverFault::CallbackPanic(s) => write!(f, "callback panicked: {s}"),
+            SolverFault::StallDetected => write!(f, "stalled (no sufficient improvement)"),
+        }
+    }
+}
+
+impl std::error::Error for SolverFault {}
+
+// ---------------------------------------------------------------------
+// Budgets
+// ---------------------------------------------------------------------
+
+/// A first-class solve budget: an optional wall-clock deadline plus an
+/// optional node allowance. Budgets are *absolute* (they hold a deadline,
+/// not a duration), so passing one down a call chain never resets the
+/// clock — the property that makes end-to-end anytime guarantees
+/// composable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_nodes: Option<usize>,
+}
+
+impl Budget {
+    /// A budget with no limits.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget expiring `d` from now.
+    pub fn from_duration(d: Duration) -> Self {
+        Budget {
+            deadline: Some(Instant::now() + d),
+            max_nodes: None,
+        }
+    }
+
+    /// A budget expiring `seconds` (fractional) from now.
+    pub fn from_secs_f64(seconds: f64) -> Self {
+        Self::from_duration(Duration::from_secs_f64(seconds.max(0.0)))
+    }
+
+    /// A budget ending at an absolute instant.
+    pub fn until(deadline: Instant) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            max_nodes: None,
+        }
+    }
+
+    /// Adds (or tightens) a node allowance.
+    pub fn with_max_nodes(mut self, nodes: usize) -> Self {
+        self.max_nodes = Some(self.max_nodes.map_or(nodes, |n| n.min(nodes)));
+        self
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The node allowance, if any.
+    pub fn max_nodes(&self) -> Option<usize> {
+        self.max_nodes
+    }
+
+    /// Whether the wall-clock deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left until the deadline (`None` = unlimited; zero when
+    /// already expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// The tighter of two budgets, limit by limit.
+    pub fn min_with(self, other: Budget) -> Budget {
+        let deadline = match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let max_nodes = match (self.max_nodes, other.max_nodes) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Budget {
+            deadline,
+            max_nodes,
+        }
+    }
+
+    /// Splits off a fraction of the remaining wall-clock time as a new
+    /// budget (used by the degradation ladder to reserve time for
+    /// fallbacks). An unlimited budget yields `fallback` instead.
+    pub fn fraction_of_remaining(&self, frac: f64, fallback: Duration) -> Budget {
+        match self.remaining() {
+            Some(rem) => Budget::from_duration(rem.mul_f64(frac.clamp(0.0, 1.0))),
+            None => Budget::from_duration(fallback),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degradation ladder
+// ---------------------------------------------------------------------
+
+/// How far the adversarial-gap finder had to degrade to return a result.
+/// Ordered from best to worst; `GapResult::degradation` reports the level
+/// actually achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationLevel {
+    /// The white-box MILP search ran to its configured stop rule; the
+    /// result carries both an incumbent and a dual bound.
+    None,
+    /// The MILP search died mid-run (fault), but a certified incumbent
+    /// from the domain callback survives; no useful dual bound.
+    CertifiedIncumbentOnly,
+    /// The whole white-box path failed; the result comes from the
+    /// black-box hill-climbing fallback (certified by re-evaluation, no
+    /// bound).
+    BlackboxFallback,
+    /// Every rung failed; no feasible point is known.
+    NoSolution,
+}
+
+impl std::fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DegradationLevel::None => "none",
+            DegradationLevel::CertifiedIncumbentOnly => "certified-incumbent-only",
+            DegradationLevel::BlackboxFallback => "blackbox-fallback",
+            DegradationLevel::NoSolution => "no-solution",
+        };
+        f.write_str(s)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// Instrumented locations in the solver stack where the chaos suite can
+/// inject faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Corrupt an entering column with NaN before the ratio test
+    /// (simplex pivot loop).
+    NanPivot,
+    /// Force the next basis refactorization to report a singular matrix.
+    SingularRefactor,
+    /// Force the next deadline check to report expiry.
+    DeadlineNow,
+    /// Force the incumbent-callback wrapper to panic.
+    CallbackPanic,
+    /// Force the §3.3 stall rule to fire.
+    StallNow,
+}
+
+impl FaultSite {
+    /// All instrumented sites (the chaos matrix iterates this).
+    pub const ALL: [FaultSite; 5] = [
+        FaultSite::NanPivot,
+        FaultSite::SingularRefactor,
+        FaultSite::DeadlineNow,
+        FaultSite::CallbackPanic,
+        FaultSite::StallNow,
+    ];
+}
+
+#[derive(Debug)]
+struct SiteState {
+    site: FaultSite,
+    /// Fire on these 1-based hit numbers.
+    at_hits: Vec<usize>,
+    hits: AtomicUsize,
+    fired: AtomicUsize,
+}
+
+/// A deterministic fault-injection schedule.
+///
+/// A plan is a set of `(site, occurrence)` triggers: the `k`-th time an
+/// instrumented site is hit, the fault fires. Clones share their counters
+/// (via `Arc`), so a single plan can be handed to the LP layer, the MILP
+/// layer, and the test that asserts on [`FaultPlan::fired`] counts.
+///
+/// Plans are inert by default — production code paths carry `None` and
+/// pay one branch per site.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    sites: Vec<Arc<SiteState>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (never fires).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a trigger: fire at the `occurrence`-th hit (1-based) of
+    /// `site`.
+    pub fn inject_at(mut self, site: FaultSite, occurrence: usize) -> Self {
+        assert!(occurrence >= 1, "occurrences are 1-based");
+        if let Some(st) = self.sites.iter().find(|s| s.site == site) {
+            // Merge into the existing trigger list. Arc has no mutable
+            // access once shared; rebuild the state.
+            let mut at = st.at_hits.clone();
+            at.push(occurrence);
+            at.sort_unstable();
+            at.dedup();
+            let hits = st.hits.load(Ordering::Relaxed);
+            let fired = st.fired.load(Ordering::Relaxed);
+            self.sites.retain(|s| s.site != site);
+            self.sites.push(Arc::new(SiteState {
+                site,
+                at_hits: at,
+                hits: AtomicUsize::new(hits),
+                fired: AtomicUsize::new(fired),
+            }));
+        } else {
+            self.sites.push(Arc::new(SiteState {
+                site,
+                at_hits: vec![occurrence],
+                hits: AtomicUsize::new(0),
+                fired: AtomicUsize::new(0),
+            }));
+        }
+        self
+    }
+
+    /// Convenience: fire on the first hit of `site`.
+    pub fn inject(self, site: FaultSite) -> Self {
+        self.inject_at(site, 1)
+    }
+
+    /// A pseudorandom plan derived from `seed`: 1–3 triggers across the
+    /// instrumented sites, each within the first few occurrences. Used by
+    /// the chaos suite's seed matrix.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n_triggers = 1 + (next() % 3) as usize;
+        let mut plan = FaultPlan::new();
+        for _ in 0..n_triggers {
+            let site = FaultSite::ALL[(next() % FaultSite::ALL.len() as u64) as usize];
+            let occurrence = 1 + (next() % 4) as usize;
+            plan = plan.inject_at(site, occurrence);
+        }
+        plan
+    }
+
+    /// Called by instrumented code: records a hit of `site` and returns
+    /// whether a fault fires at this hit.
+    pub fn fire(&self, site: FaultSite) -> bool {
+        for st in &self.sites {
+            if st.site == site {
+                let hit = st.hits.fetch_add(1, Ordering::Relaxed) + 1;
+                if st.at_hits.contains(&hit) {
+                    st.fired.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                return false;
+            }
+        }
+        false
+    }
+
+    /// How many times `site` actually fired.
+    pub fn fired(&self, site: FaultSite) -> usize {
+        self.sites
+            .iter()
+            .find(|s| s.site == site)
+            .map_or(0, |s| s.fired.load(Ordering::Relaxed))
+    }
+
+    /// How many times `site` was hit (fired or not) — a coverage probe:
+    /// zero hits means the instrumented path never executed.
+    pub fn hits(&self, site: FaultSite) -> usize {
+        self.sites
+            .iter()
+            .find(|s| s.site == site)
+            .map_or(0, |s| s.hits.load(Ordering::Relaxed))
+    }
+
+    /// Total faults fired across all sites.
+    pub fn total_fired(&self) -> usize {
+        self.sites
+            .iter()
+            .map(|s| s.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The sites this plan targets.
+    pub fn targeted_sites(&self) -> Vec<FaultSite> {
+        self.sites.iter().map(|s| s.site).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_expiry_and_min() {
+        let unlimited = Budget::unlimited();
+        assert!(!unlimited.expired());
+        assert_eq!(unlimited.remaining(), None);
+
+        let tight = Budget::from_secs_f64(0.0);
+        assert!(tight.expired());
+
+        let merged = unlimited.min_with(tight).with_max_nodes(5);
+        assert!(merged.expired());
+        assert_eq!(merged.max_nodes(), Some(5));
+        assert_eq!(
+            merged.min_with(Budget::unlimited().with_max_nodes(3)).max_nodes(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn fault_plan_fires_at_requested_occurrence() {
+        let plan = FaultPlan::new().inject_at(FaultSite::NanPivot, 3);
+        let clone = plan.clone(); // shares counters
+        assert!(!clone.fire(FaultSite::NanPivot));
+        assert!(!clone.fire(FaultSite::NanPivot));
+        assert!(plan.fire(FaultSite::NanPivot));
+        assert!(!plan.fire(FaultSite::NanPivot));
+        assert_eq!(plan.fired(FaultSite::NanPivot), 1);
+        assert_eq!(plan.hits(FaultSite::NanPivot), 4);
+        // Untargeted sites never fire but cost nothing.
+        assert!(!plan.fire(FaultSite::DeadlineNow));
+        assert_eq!(plan.fired(FaultSite::DeadlineNow), 0);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..50 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a.targeted_sites(), b.targeted_sites());
+            assert!(!a.targeted_sites().is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_display_and_recoverability() {
+        assert!(SolverFault::BasisSingular("x".into()).is_recoverable());
+        assert!(!SolverFault::DeadlineExceeded.is_recoverable());
+        assert!(!SolverFault::StallDetected.is_recoverable());
+        for site in FaultSite::ALL {
+            let _ = format!("{site:?}");
+        }
+        assert_eq!(SolverFault::DeadlineExceeded.kind(), "deadline_exceeded");
+        assert!(DegradationLevel::None < DegradationLevel::NoSolution);
+    }
+}

@@ -71,10 +71,10 @@ pub fn feasible_flow_inner_caps(
     let flows = FlowVars { per_pair };
 
     // Demand rows: Σ_p f_k^p <= d_k.
-    for k in 0..inst.n_pairs() {
+    for (k, dk) in demand_exprs.iter().enumerate().take(inst.n_pairs()) {
         inner.constrain_named(
             format!("{name}::dem[{k}]"),
-            flows.pair_flow(k) - demand_exprs[k].clone(),
+            flows.pair_flow(k) - dk.clone(),
             Sense::Le,
         )?;
     }
@@ -184,7 +184,7 @@ mod tests {
         kkt::append_kkt(&mut m, &inner, 1e4).unwrap();
         // Solve the KKT system by branch-and-bound in the milp crate's
         // tests; here just sanity-check sizes.
-        assert_eq!(m.n_complementarities(), inst.n_paths() * 2 + inst.topo.n_edges() - 0);
+        assert_eq!(m.n_complementarities(), inst.n_paths() * 2 + inst.topo.n_edges());
         let _ = flows;
     }
 }

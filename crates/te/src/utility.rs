@@ -29,10 +29,10 @@ impl UtilityCurve {
     pub fn new(segments: Vec<(f64, f64)>) -> TeResult<Self> {
         let mut last = f64::INFINITY;
         for (i, &(w, s)) in segments.iter().enumerate() {
-            if !(w > 0.0) || !w.is_finite() {
+            if !w.is_finite() || w <= 0.0 {
                 return Err(TeError::Model(format!("segment {i}: bad width {w}")));
             }
-            if !(s >= 0.0) || !s.is_finite() {
+            if !s.is_finite() || s < 0.0 {
                 return Err(TeError::Model(format!("segment {i}: bad slope {s}")));
             }
             if s > last + 1e-12 {

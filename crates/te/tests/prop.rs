@@ -103,10 +103,10 @@ proptest! {
             let cap = inst.topo.capacity(metaopt_topology::EdgeId(e));
             prop_assert!(load <= cap + 1e-6, "edge {e}: {load} > {cap}");
         }
-        for k in 0..inst.n_pairs() {
+        for (k, &dk) in demands.iter().enumerate().take(inst.n_pairs()) {
             if dp.pinned[k] {
                 // Pinned: everything on the shortest path, exactly d_k.
-                prop_assert!((dp.flows[k][0] - demands[k]).abs() <= 1e-6);
+                prop_assert!((dp.flows[k][0] - dk).abs() <= 1e-6);
                 for p in 1..dp.flows[k].len() {
                     prop_assert!(dp.flows[k][p].abs() <= 1e-9);
                 }

@@ -14,7 +14,9 @@
 //!   reference evaluators,
 //! * [`core`] — the paper's contribution: the single-shot adversarial gap
 //!   finder,
-//! * [`blackbox`] — hill-climbing / simulated-annealing baselines.
+//! * [`blackbox`] — hill-climbing / simulated-annealing baselines,
+//! * [`resilience`] — fault taxonomy, budgets, degradation levels, and the
+//!   deterministic fault-injection harness behind the chaos test suite.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
@@ -50,5 +52,6 @@ pub use metaopt_core as core;
 pub use metaopt_lp as lp;
 pub use metaopt_milp as milp;
 pub use metaopt_model as model;
+pub use metaopt_resilience as resilience;
 pub use metaopt_te as te;
 pub use metaopt_topology as topology;

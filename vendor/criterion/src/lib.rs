@@ -1,0 +1,118 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion its benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] (both forms) and
+//! [`criterion_main!`]. Timing is a simple median-of-samples wall-clock
+//! measurement — adequate for the relative comparisons the benches exist
+//! for, with none of criterion's statistics.
+
+use std::time::Instant;
+
+/// Re-export for parity with `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Passed to the closure of [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting one wall-clock sample per configured
+    /// iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside the timed region.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name}: no samples recorded");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "{name}: median {:.3} ms (min {:.3} ms, max {:.3} ms, {} samples)",
+            median * 1e3,
+            min * 1e3,
+            max * 1e3,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group (both the struct-field and positional forms
+/// of the real macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
