@@ -35,7 +35,7 @@ fn bench_fig1(c: &mut Criterion) {
             let dp = demand_pinning(&inst, &demands, 50.0).unwrap();
             let opt = opt_max_flow(&inst, &demands).unwrap();
             std::hint::black_box(opt.total_flow - dp.total_flow)
-        })
+        });
     });
 }
 
@@ -62,7 +62,7 @@ fn bench_fig2(c: &mut Criterion) {
             kkt::append_kkt(&mut m, &inner, 1e3).unwrap();
             let sol = metaopt_milp::solve(&m, &MilpConfig::default()).unwrap();
             std::hint::black_box(sol.values)
-        })
+        });
     });
 }
 
@@ -80,7 +80,7 @@ fn bench_fig3(c: &mut Criterion) {
             )
             .unwrap();
             std::hint::black_box(r.verified_gap)
-        })
+        });
     });
 }
 
@@ -98,7 +98,7 @@ fn bench_fig4(c: &mut Criterion) {
             )
             .unwrap();
             std::hint::black_box(r.verified_gap)
-        })
+        });
     });
 }
 
@@ -121,7 +121,7 @@ fn bench_fig5(c: &mut Criterion) {
             )
             .unwrap();
             std::hint::black_box(r.verified_gap)
-        })
+        });
     });
 }
 
@@ -140,7 +140,7 @@ fn bench_fig6(c: &mut Criterion) {
             )
             .unwrap();
             std::hint::black_box(am.stats())
-        })
+        });
     });
 }
 

@@ -25,7 +25,7 @@ fn bench_simplex_cold(c: &mut Criterion) {
         b.iter(|| {
             let sol = Simplex::new(&lp).solve().unwrap();
             std::hint::black_box(sol.objective)
-        })
+        });
     });
 }
 
@@ -44,7 +44,7 @@ fn bench_simplex_warm(c: &mut Criterion) {
             sx.set_var_bounds(VarId(0), 0.0, hi).unwrap();
             let sol = sx.resolve().unwrap();
             std::hint::black_box(sol.status)
-        })
+        });
     });
 }
 
@@ -58,7 +58,7 @@ fn bench_kkt_build(c: &mut Criterion) {
                 build_adversarial_model(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg)
                     .unwrap();
             std::hint::black_box(am.model.n_constraints())
-        })
+        });
     });
     c.bench_function("compile_adversarial_model_b4_dp", |b| {
         let am = build_adversarial_model(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg)
@@ -66,7 +66,7 @@ fn bench_kkt_build(c: &mut Criterion) {
         b.iter(|| {
             let cm = compile(&am.model).unwrap();
             std::hint::black_box(cm.stats.n_sos)
-        })
+        });
     });
 }
 
@@ -92,7 +92,7 @@ fn bench_bnb_complementarity(c: &mut Criterion) {
             m.set_objective(ObjSense::Max, LinExpr::from(xo) - xh).unwrap();
             let sol = solve(&m, &MilpConfig::default()).unwrap();
             std::hint::black_box(sol.objective)
-        })
+        });
     });
 }
 

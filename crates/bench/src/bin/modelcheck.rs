@@ -1,0 +1,78 @@
+//! Static-analysis audit of every encoding family the finder produces.
+//!
+//! Builds the fig-1 DP, POP, and primal-only OPT single-shot models plus a
+//! B4-scale DP model, runs the `metaopt-modelcheck` pass over each (model
+//! IR + lowered LP), and prints the diagnostic reports. Exits nonzero if
+//! any encoding draws an error-severity diagnostic — suitable as a CI
+//! gate.
+
+use metaopt_core::finder::build_adversarial_model;
+use metaopt_core::{check_adversarial_model, ConstrainedSet, FinderConfig, HeuristicSpec, PopMode};
+use metaopt_model::compile::compile;
+use metaopt_modelcheck::{check_lp, NumericThresholds, Report};
+use metaopt_te::{pop::random_partitions, TeInstance};
+use metaopt_topology::{builtin, synth};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn audit(label: &str, inst: &TeInstance, spec: &HeuristicSpec, cfg: &FinderConfig) -> Report {
+    let am = build_adversarial_model(inst, spec, &ConstrainedSet::unconstrained(), cfg)
+        .unwrap_or_else(|e| panic!("{label}: model build failed: {e}"));
+    let mut report = check_adversarial_model(inst, &am);
+    match compile(&am.model) {
+        Ok(c) => report.merge(check_lp(&c.lp, &NumericThresholds::default())),
+        Err(e) => panic!("{label}: LP lowering failed: {e}"),
+    }
+    let stats = am.stats();
+    println!(
+        "== {label}: {} vars, {} rows, {} sos — {}",
+        stats.n_vars,
+        stats.n_linear,
+        stats.n_sos,
+        report.summary()
+    );
+    for d in report.diagnostics() {
+        println!("   {d}");
+    }
+    report
+}
+
+fn main() {
+    let (t, [n1, n2, n3]) = synth::figure1_triangle(100.0);
+    let fig1 = TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+    let line = TeInstance::all_pairs(synth::line(3, 10.0), 1).unwrap();
+    let b4 = TeInstance::all_pairs(builtin::b4(1000.0), 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let dp = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let pop = HeuristicSpec::Pop {
+        partitions: random_partitions(line.n_pairs(), 2, 2, &mut rng),
+        mode: PopMode::Average,
+    };
+    let primal_cfg = FinderConfig {
+        opt_encoding: metaopt_core::OptEncoding::PrimalOnly,
+        ..FinderConfig::default()
+    };
+
+    let reports = [
+        audit("fig1 DP + KKT OPT", &fig1, &dp, &FinderConfig::default()),
+        audit("line POP + KKT OPT", &line, &pop, &FinderConfig::default()),
+        audit("fig1 DP + primal-only OPT", &fig1, &dp, &primal_cfg),
+        audit(
+            "B4 DP + KKT OPT",
+            &b4,
+            &HeuristicSpec::DemandPinning { threshold: 500.0 },
+            &FinderConfig::default(),
+        ),
+    ];
+
+    let errors: usize = reports.iter().map(|r| r.errors().count()).sum();
+    let warnings: usize = reports
+        .iter()
+        .map(|r| r.diagnostics().len() - r.errors().count())
+        .sum();
+    println!("== total: {errors} errors, {warnings} warnings");
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Shared helpers for the figure-regeneration harnesses (`src/bin/fig*.rs`)
 //! and the criterion benches.
@@ -36,7 +37,7 @@ impl CsvOut {
     /// Creates a CSV that will be written to `target/figures/<name>.csv`.
     pub fn new(name: &str, header: &[&str]) -> Self {
         let mut rows = Vec::new();
-        rows.push(header.iter().map(|s| s.to_string()).collect());
+        rows.push(header.iter().map(ToString::to_string).collect());
         CsvOut {
             rows,
             path: PathBuf::from("target/figures").join(format!("{name}.csv")),
@@ -65,7 +66,7 @@ impl CsvOut {
         if self.rows.is_empty() {
             return;
         }
-        let cols = self.rows.iter().map(|r| r.len()).max().unwrap_or(0);
+        let cols = self.rows.iter().map(Vec::len).max().unwrap_or(0);
         let mut widths = vec![0usize; cols];
         for r in &self.rows {
             for (i, c) in r.iter().enumerate() {

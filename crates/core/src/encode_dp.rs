@@ -130,7 +130,7 @@ mod tests {
         assert_eq!(enc.pin_indicators.len(), 3);
         // Flow vars: pair (1,3) has only the 2-hop path, pairs (1,2),(2,3)
         // one path each → 3 flow vars.
-        assert_eq!(enc.flows.per_pair.iter().map(|p| p.len()).sum::<usize>(), 3);
+        assert_eq!(enc.flows.per_pair.iter().map(Vec::len).sum::<usize>(), 3);
         assert!(m.n_complementarities() > 0);
         // Binary pin indicators present.
         let binaries = (0..m.n_vars())

@@ -1,5 +1,6 @@
 //! The single-shot adversarial gap finder (Eq. 1, §3.1).
 
+use crate::check::{check_adversarial_model, gate, ModelCheckMode};
 use crate::constraints::ConstrainedSet;
 use crate::encode_dp::encode_dp;
 use crate::encode_opt::encode_opt;
@@ -113,6 +114,10 @@ pub struct FinderConfig {
     pub budget: Budget,
     /// Seed for the black-box fallback rung (deterministic fallbacks).
     pub fallback_seed: u64,
+    /// Static model-checker gate run on every assembled program before the
+    /// solve (deny-by-default: error diagnostics abort in debug builds and
+    /// are recorded as [`SolverFault::EncodingSuspect`] faults in release).
+    pub modelcheck: ModelCheckMode,
 }
 
 impl Default for FinderConfig {
@@ -126,6 +131,7 @@ impl Default for FinderConfig {
             callback_evals_per_node: 16,
             budget: Budget::unlimited(),
             fallback_seed: 0,
+            modelcheck: ModelCheckMode::default(),
         }
     }
 }
@@ -579,6 +585,17 @@ pub fn find_adversarial_gap(
 ) -> CoreResult<GapResult> {
     let t0 = Instant::now();
     let am = build_adversarial_model(inst, spec, constraints, cfg)?;
+
+    // Pre-solve static-analysis gate: refuse (debug) or record (release)
+    // when the assembled encoding carries error-severity diagnostics.
+    let mut pre_faults: Vec<SolverFault> = Vec::new();
+    if cfg.modelcheck != ModelCheckMode::Off {
+        let report = check_adversarial_model(inst, &am);
+        if let Some(fault) = gate(&report, cfg.modelcheck)? {
+            pre_faults.push(fault);
+        }
+    }
+
     let build_time = t0.elapsed();
     let stats = am.stats();
 
@@ -593,7 +610,7 @@ pub fn find_adversarial_gap(
         solve(&am.model, &milp_cfg)
     };
 
-    let (sol, degradation, faults) = match attempt {
+    let (sol, degradation, mut faults) = match attempt {
         Ok(sol) => {
             let faults = sol.faults.clone();
             (Some(sol), DegradationLevel::None, faults)
@@ -623,6 +640,12 @@ pub fn find_adversarial_gap(
         }
         Err(e) => return Err(e.into()), // model compilation failure
     };
+    // Encoding-suspect faults recorded by the pre-solve gate come first:
+    // they taint everything computed afterwards.
+    if !pre_faults.is_empty() {
+        pre_faults.append(&mut faults);
+        faults = pre_faults;
+    }
 
     let (demands, model_gap, upper_bound, status, nodes, solve_time, trajectory) = match &sol {
         Some(s) => (

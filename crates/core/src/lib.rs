@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # metaopt-core
 //!
@@ -33,6 +34,7 @@
 //! heuristic* on the discovered demands ([`GapResult::verified_gap`]), and
 //! reports the problem-size statistics of the paper's Figure 6.
 
+pub mod check;
 pub mod constraints;
 pub mod encode_dp;
 pub mod encode_opt;
@@ -42,6 +44,7 @@ pub mod result;
 pub mod sweep;
 pub mod topology_attack;
 
+pub use check::{check_adversarial_model, topology_context, ModelCheckMode};
 pub use constraints::{ConstrainedSet, Distance, Goalpost, LinearDemandConstraint};
 pub use encode_pop::PopMode;
 pub use finder::{find_adversarial_gap, find_diverse_inputs, FinderConfig, HeuristicSpec, OptEncoding};
@@ -61,6 +64,10 @@ pub enum CoreError {
     Te(String),
     /// Invalid configuration.
     Config(String),
+    /// The static model checker found error-severity diagnostics and the
+    /// gate is in deny mode (debug builds). The payload is the checker's
+    /// summary plus the first few diagnostics.
+    ModelCheck(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -70,6 +77,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Milp(e) => write!(f, "milp error: {e}"),
             CoreError::Te(s) => write!(f, "te error: {s}"),
             CoreError::Config(s) => write!(f, "config error: {s}"),
+            CoreError::ModelCheck(s) => write!(f, "model check failed: {s}"),
         }
     }
 }

@@ -54,6 +54,15 @@ pub fn find_gap_at_least(
     am.model
         .constrain_named("sweep::gap_floor", gap_expr, Sense::Ge, g)?;
 
+    // Pre-solve static-analysis gate (debug Deny aborts here). A recorded
+    // release-mode fault is dropped: every sweep witness is re-certified
+    // against the real algorithms below, so a suspect encoding can only
+    // cost probes, never produce a false witness.
+    if cfg.modelcheck != crate::check::ModelCheckMode::Off {
+        let report = crate::check::check_adversarial_model(inst, &am);
+        let _ = crate::check::gate(&report, cfg.modelcheck)?;
+    }
+
     let milp_cfg = MilpConfig {
         target_objective: Some(g),
         ..cfg.milp.clone()

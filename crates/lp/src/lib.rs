@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # metaopt-lp
 //!
@@ -49,6 +50,15 @@ pub enum LpError {
         /// Offending upper bound.
         hi: f64,
     },
+    /// Row activity range with `rlo > rhi`, an unsatisfiable row.
+    EmptyRowRange {
+        /// Row index.
+        row: usize,
+        /// Offending range lower bound.
+        lo: f64,
+        /// Offending range upper bound.
+        hi: f64,
+    },
     /// A coefficient, bound, or right-hand side was NaN or infinite where a
     /// finite value is required.
     NotFinite(String),
@@ -95,6 +105,9 @@ impl std::fmt::Display for LpError {
             LpError::BadIndex(s) => write!(f, "bad index: {s}"),
             LpError::EmptyBounds { var, lo, hi } => {
                 write!(f, "variable {var} has empty bounds [{lo}, {hi}]")
+            }
+            LpError::EmptyRowRange { row, lo, hi } => {
+                write!(f, "row {row} has empty activity range [{lo}, {hi}]")
             }
             LpError::NotFinite(s) => write!(f, "non-finite data: {s}"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),

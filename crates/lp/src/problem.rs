@@ -136,9 +136,14 @@ impl LpProblem {
     }
 
     /// Adds a constant to the reported objective value (useful when a model
-    /// layer eliminates fixed variables).
-    pub fn add_obj_offset(&mut self, c: f64) {
+    /// layer eliminates fixed variables). Rejects NaN/infinite offsets, which
+    /// would silently poison every reported objective downstream.
+    pub fn add_obj_offset(&mut self, c: f64) -> LpResult<()> {
+        if !c.is_finite() {
+            return Err(LpError::NotFinite(format!("objective offset {c}")));
+        }
         self.obj_offset += c;
+        Ok(())
     }
 
     /// Adds a row `sense`-related to `rhs` with the given coefficients.
@@ -163,8 +168,8 @@ impl LpProblem {
             return Err(LpError::NotFinite(format!("row range [{rlo}, {rhi}]")));
         }
         if rlo > rhi {
-            return Err(LpError::EmptyBounds {
-                var: usize::MAX,
+            return Err(LpError::EmptyRowRange {
+                row: self.row_lo.len(),
                 lo: rlo,
                 hi: rhi,
             });
@@ -184,6 +189,62 @@ impl LpProblem {
         self.row_lo.push(rlo);
         self.row_hi.push(rhi);
         Ok(RowId(r))
+    }
+
+    /// Read-only view of the constraint matrix as `(row, col, value)`
+    /// triplets, in insertion order.
+    pub fn triplets(&self) -> &[(usize, usize, f64)] {
+        &self.triplets
+    }
+
+    /// Objective coefficient of a variable.
+    pub fn obj_coef(&self, v: VarId) -> f64 {
+        self.obj[v.0]
+    }
+
+    /// Constant offset added to reported objective values.
+    pub fn obj_offset(&self) -> f64 {
+        self.obj_offset
+    }
+
+    /// Re-checks every invariant the incremental builder enforces, in one
+    /// sweep. The builder API cannot produce a problem that fails this, but
+    /// problems deserialized or assembled by other layers can; call this
+    /// before handing such a problem to the solver.
+    pub fn validate(&self) -> LpResult<()> {
+        for (j, ((&lo, &hi), &c)) in self.lo.iter().zip(&self.hi).zip(&self.obj).enumerate() {
+            if lo.is_nan() || hi.is_nan() || !c.is_finite() {
+                return Err(LpError::NotFinite(format!(
+                    "var {j}: lo={lo}, hi={hi}, obj={c}"
+                )));
+            }
+            if lo > hi {
+                return Err(LpError::EmptyBounds { var: j, lo, hi });
+            }
+        }
+        for (i, (&lo, &hi)) in self.row_lo.iter().zip(&self.row_hi).enumerate() {
+            if lo.is_nan() || hi.is_nan() {
+                return Err(LpError::NotFinite(format!("row {i} range [{lo}, {hi}]")));
+            }
+            if lo > hi {
+                return Err(LpError::EmptyRowRange { row: i, lo, hi });
+            }
+        }
+        for &(r, c, v) in &self.triplets {
+            if r >= self.n_rows() || c >= self.n_vars() {
+                return Err(LpError::BadIndex(format!("triplet ({r}, {c})")));
+            }
+            if !v.is_finite() {
+                return Err(LpError::NotFinite(format!("coef {v} at ({r}, {c})")));
+            }
+        }
+        if !self.obj_offset.is_finite() {
+            return Err(LpError::NotFinite(format!(
+                "objective offset {}",
+                self.obj_offset
+            )));
+        }
+        Ok(())
     }
 
     /// Builds the column-wise constraint matrix (variables only; the solver
@@ -269,6 +330,29 @@ mod tests {
         assert!(p.add_var(f64::NAN, 1.0, 0.0).is_err());
         let x = p.add_var(0.0, 1.0, 0.0).unwrap();
         assert!(p.add_row(RowSense::Le, f64::NAN, [(x, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn empty_row_range_and_offset_rejected() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0, 0.0).unwrap();
+        assert!(matches!(
+            p.add_range_row(2.0, 1.0, [(x, 1.0)]),
+            Err(LpError::EmptyRowRange { row: 0, .. })
+        ));
+        assert!(p.add_obj_offset(f64::NAN).is_err());
+        p.add_obj_offset(1.5).unwrap();
+        assert_eq!(p.obj_offset(), 1.5);
+    }
+
+    #[test]
+    fn validate_catches_post_hoc_corruption() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0, 1.0).unwrap();
+        p.add_row(RowSense::Le, 5.0, [(x, 2.0)]).unwrap();
+        assert!(p.validate().is_ok());
+        p.triplets.push((7, 0, 1.0)); // out-of-range row index
+        assert!(matches!(p.validate(), Err(LpError::BadIndex(_))));
     }
 
     #[test]

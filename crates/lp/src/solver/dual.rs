@@ -170,7 +170,7 @@ impl Simplex {
         let mut flipped = false;
         for j in 0..self.total_vars() {
             match self.state[j] {
-                VarState::Basic(_) => continue,
+                VarState::Basic(_) => {}
                 VarState::FreeZero => {
                     let d = self.reduced_cost(j, &y);
                     if d.abs() > tol {

@@ -220,7 +220,7 @@ fn objective_offset_reported() {
     let mut p = LpProblem::new();
     let x = p.add_var(0.0, 1.0, -1.0).unwrap();
     let _ = x;
-    p.add_obj_offset(10.0);
+    p.add_obj_offset(10.0).unwrap();
     let sol = Simplex::new(&p).solve().unwrap();
     assert_close(sol.objective, 9.0, 1e-9);
 }

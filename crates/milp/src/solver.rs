@@ -496,7 +496,7 @@ impl<'a> Search<'a> {
             Err(payload) => {
                 let msg = payload
                     .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
+                    .map(std::string::ToString::to_string)
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "opaque panic payload".into());
                 self.callback_panics += 1;

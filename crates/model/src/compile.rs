@@ -104,7 +104,7 @@ pub fn compile(model: &Model) -> ModelResult<CompiledModel> {
             binaries.push(VarRef(i));
         }
     }
-    lp.add_obj_offset(flip * model.obj.constant_part());
+    lp.add_obj_offset(flip * model.obj.constant_part())?;
 
     for c in &model.constraints {
         let sense = match c.sense {

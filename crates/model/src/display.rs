@@ -8,7 +8,7 @@ use crate::model::{Model, ObjSense, Sense, VarKind, VarRef};
 use std::fmt::Write as _;
 
 /// Renders `model` in LP format. Complementarity pairs — which the format
-/// has no native syntax for — are listed in a trailing comment block.
+/// has no native syntax for — are listed in a comment block before `End`.
 pub fn to_lp_format(model: &Model) -> String {
     let mut out = String::new();
     let name = |v: VarRef| -> String {
@@ -45,8 +45,7 @@ pub fn to_lp_format(model: &Model) -> String {
         let label = c
             .name
             .as_deref()
-            .map(sanitize)
-            .unwrap_or_else(|| format!("c{i}"));
+            .map_or_else(|| format!("c{i}"), sanitize);
         let _ = write!(out, " {label}: ");
         let mut first = true;
         for (v, coef) in c.expr.terms() {
@@ -105,25 +104,95 @@ pub fn to_lp_format(model: &Model) -> String {
         out.push('\n');
     }
 
-    out.push_str("End\n");
-
-    // Complementarities as comments (no LP-format syntax exists).
+    // Complementarities as comments (no LP-format syntax exists). Emitted
+    // *before* `End` — parsers ignore everything after `End`, which made
+    // the pairs invisible to anyone cross-checking the export.
     if model.n_complementarities() > 0 {
         out.push_str("\\ Complementarity pairs (multiplier _|_ slack):\n");
-        for (i, c) in model.complementarities().iter().enumerate() {
-            let mut slack = String::new();
-            let mut first = true;
-            for (v, coef) in c.slack.terms() {
-                push_term(&mut slack, coef, &name(v), &mut first);
-            }
-            let sc = c.slack.constant_part();
-            if sc != 0.0 || first {
-                let _ = write!(slack, " {} {}", if sc >= 0.0 { "+" } else { "-" }, sc.abs());
-            }
-            let _ = writeln!(out, "\\  compl{}: {} _|_ {}", i, name(c.multiplier), slack.trim());
+        for i in 0..model.n_complementarities() {
+            let _ = writeln!(out, "\\  compl{}: {}", i, describe_complementarity(model, i));
         }
     }
+
+    out.push_str("End\n");
     out
+}
+
+/// Renders a linear expression with diagnostic variable names (constant
+/// included when nonzero).
+fn render_expr(model: &Model, e: &crate::expr::LinExpr) -> String {
+    let mut s = String::new();
+    let mut first = true;
+    for (v, coef) in e.terms() {
+        push_term(&mut s, coef, &display_name(model, v), &mut first);
+    }
+    let c = e.constant_part();
+    if c != 0.0 || first {
+        if first {
+            let _ = write!(s, "{c}");
+        } else {
+            let _ = write!(s, " {} {}", if c >= 0.0 { "+" } else { "-" }, c.abs());
+        }
+    }
+    s
+}
+
+fn display_name(model: &Model, v: VarRef) -> String {
+    let n = model.var_name(v);
+    if n.is_empty() {
+        format!("x{}", v.0)
+    } else {
+        sanitize(n)
+    }
+}
+
+/// One-line description of a variable: name, bounds, and kind. The
+/// rendering a diagnostic `Span::Var` points at.
+pub fn describe_var(model: &Model, index: usize) -> String {
+    let v = VarRef(index);
+    let (lo, hi) = model.var_bounds(v);
+    let kind = match model.var_kind(v) {
+        VarKind::Binary => " (binary)",
+        VarKind::Continuous => "",
+    };
+    format!("{} in [{lo}, {hi}]{kind}", display_name(model, v))
+}
+
+/// One-line description of a constraint: `name: expr SENSE rhs`. The
+/// rendering a diagnostic `Span::Constraint` points at.
+pub fn describe_constraint(model: &Model, index: usize) -> String {
+    let c = &model.constraints()[index];
+    let label = c
+        .name
+        .as_deref()
+        .map_or_else(|| format!("c{index}"), sanitize);
+    let op = match c.sense {
+        Sense::Le => "<=",
+        Sense::Eq => "=",
+        Sense::Ge => ">=",
+    };
+    // Render with the constant folded back onto the right-hand side, the
+    // way the constraint was written.
+    let mut lhs = String::new();
+    let mut first = true;
+    for (v, coef) in c.expr.terms() {
+        push_term(&mut lhs, coef, &display_name(model, v), &mut first);
+    }
+    if first {
+        lhs.push('0');
+    }
+    format!("{label}: {lhs} {op} {}", -c.expr.constant_part())
+}
+
+/// One-line description of a complementarity pair: `mult _|_ slack`. The
+/// rendering a diagnostic `Span::Complementarity` points at.
+pub fn describe_complementarity(model: &Model, index: usize) -> String {
+    let c = &model.complementarities()[index];
+    format!(
+        "{} _|_ {}",
+        display_name(model, c.multiplier),
+        render_expr(model, &c.slack).trim()
+    )
 }
 
 fn push_term(out: &mut String, coef: f64, name: &str, first: &mut bool) {
@@ -191,6 +260,24 @@ mod tests {
         m.add_complementarity(lam, LinExpr::from(s) + 1.0).unwrap();
         let text = to_lp_format(&m);
         assert!(text.contains("compl0: lam _|_ s + 1"), "{text}");
+        // The comment block must precede End, or parsers (and humans
+        // skimming to End) never see it.
+        let compl_at = text.find("compl0").unwrap();
+        let end_at = text.rfind("End\n").unwrap();
+        assert!(compl_at < end_at, "{text}");
+        assert_eq!(describe_complementarity(&m, 0), "lam _|_ s + 1");
+    }
+
+    #[test]
+    fn describe_helpers_render_spans() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 10.0).unwrap();
+        let z = m.add_binary("z").unwrap();
+        m.constrain_named("cap", LinExpr::from(x) + LinExpr::term(z, 5.0), Sense::Le, 8.0)
+            .unwrap();
+        assert_eq!(describe_var(&m, x.0), "x in [0, 10]");
+        assert_eq!(describe_var(&m, z.0), "z in [0, 1] (binary)");
+        assert_eq!(describe_constraint(&m, 0), "cap: x + 5 z <= 8");
     }
 
     #[test]

@@ -102,8 +102,7 @@ impl LinExpr {
     pub fn coef(&self, v: VarRef) -> f64 {
         self.terms
             .binary_search_by_key(&v.0, |(t, _)| t.0)
-            .map(|i| self.terms[i].1)
-            .unwrap_or(0.0)
+            .map_or(0.0, |i| self.terms[i].1)
     }
 
     /// Whether the expression has no variable terms.

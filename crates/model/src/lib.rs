@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # metaopt-model
 //!
@@ -29,6 +30,7 @@ pub mod display;
 pub mod expr;
 pub mod kkt;
 pub mod model;
+pub mod mutate;
 pub mod sortnet;
 
 pub use compile::{CompiledModel, ModelStats};

@@ -1,0 +1,80 @@
+//! Mutation hooks that bypass the builder's validation.
+//!
+//! The modelcheck golden tests need to manufacture *broken* encodings —
+//! flipped dual signs, dropped complementarity pairs, shrunken big-M rows —
+//! that the normal [`Model`] API refuses to build. These hooks edit the
+//! model in place without re-validating, so a static checker downstream has
+//! something real to catch. They are not for encoder use: encoders go
+//! through the checked API.
+
+use crate::expr::LinExpr;
+use crate::model::{Complementarity, Constraint, Model, VarRef};
+
+impl Model {
+    /// Edits constraint `i` in place. Panics if `i` is out of range.
+    pub fn mutate_constraint(&mut self, i: usize, f: impl FnOnce(&mut Constraint)) {
+        f(&mut self.constraints[i]);
+    }
+
+    /// Removes and returns constraint `i`. Panics if `i` is out of range.
+    pub fn remove_constraint(&mut self, i: usize) -> Constraint {
+        self.constraints.remove(i)
+    }
+
+    /// Edits complementarity pair `i` in place. Panics if out of range.
+    pub fn mutate_complementarity(&mut self, i: usize, f: impl FnOnce(&mut Complementarity)) {
+        f(&mut self.compls[i]);
+    }
+
+    /// Removes and returns complementarity pair `i`. Panics if out of range.
+    pub fn remove_complementarity(&mut self, i: usize) -> Complementarity {
+        self.compls.remove(i)
+    }
+
+    /// Appends a complementarity pair without the foreign-variable and
+    /// finiteness checks of [`Model::add_complementarity`].
+    pub fn push_complementarity_unchecked(&mut self, multiplier: VarRef, slack: LinExpr) {
+        self.compls.push(Complementarity { multiplier, slack });
+    }
+
+    /// Overwrites a variable's bounds without the `lo <= hi` / NaN checks of
+    /// [`Model::set_var_bounds`]. Panics if the variable is out of range.
+    pub fn set_var_bounds_unchecked(&mut self, v: VarRef, lo: f64, hi: f64) {
+        self.vars[v.0].lo = lo;
+        self.vars[v.0].hi = hi;
+    }
+
+    /// Renames a variable. Panics if the variable is out of range.
+    pub fn rename_var(&mut self, v: VarRef, name: impl Into<String>) {
+        self.vars[v.0].name = Some(name.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinExpr, Model, Sense, VarRef};
+
+    #[test]
+    fn hooks_bypass_validation() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0).unwrap();
+        m.constrain_named("c", x, Sense::Le, 1.0).unwrap();
+
+        m.set_var_bounds_unchecked(x, 2.0, 1.0); // inverted, checked API refuses
+        assert_eq!(m.var_bounds(x), (2.0, 1.0));
+
+        m.rename_var(x, "y");
+        assert_eq!(m.var_name(x), "y");
+
+        m.push_complementarity_unchecked(VarRef(99), LinExpr::from(x));
+        assert_eq!(m.n_complementarities(), 1);
+        m.mutate_complementarity(0, |c| c.slack += 1.0);
+        m.remove_complementarity(0);
+        assert_eq!(m.n_complementarities(), 0);
+
+        m.mutate_constraint(0, |c| c.sense = Sense::Ge);
+        let c = m.remove_constraint(0);
+        assert_eq!(c.sense, Sense::Ge);
+        assert_eq!(m.n_constraints(), 0);
+    }
+}

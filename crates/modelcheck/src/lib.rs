@@ -1,0 +1,345 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # metaopt-modelcheck
+//!
+//! A static analyzer for the metaopt optimization stack. The soundness of
+//! every reported adversarial gap rests on the KKT rewrite being *encoded*
+//! correctly: a silently flipped dual sign, a stationarity row that does not
+//! balance the objective gradient, or a dangling complementarity pair
+//! produces a "gap" that is an encoding bug, not a heuristic failure. This
+//! crate walks a [`Model`] (and, separately, a lowered
+//! [`LpProblem`](metaopt_lp::LpProblem)) *before any solver runs* and emits
+//! structured [`Diagnostic`]s with stable codes, severities, and source
+//! spans pointing back to the originating constraint/variable names.
+//!
+//! Four check families (see DESIGN.md §10 for the full catalogue):
+//!
+//! * **MC0xx structural** ([`structural`]) — empty/infeasible rows,
+//!   inverted bounds, unreferenced or duplicate variables, complementarity
+//!   pairs referencing fixed or missing variables,
+//! * **MC1xx KKT** ([`kkt`]) — every primal row has a matching dual
+//!   multiplier with the right sign convention, stationarity coefficients
+//!   balance the primal gradients, every inequality appears in exactly one
+//!   complementarity pair, big-M constants dominate variable bounds,
+//! * **MC2xx numerical** ([`numerical`]) — coefficient dynamic range,
+//!   mixed magnitudes in one row, near-zero entries that should be dropped,
+//! * **MC3xx TE-semantic** ([`semantic`]) — demand rows touch only their
+//!   own commodity's path variables, capacity rows cover every used edge
+//!   with the exact path incidence.
+//!
+//! The KKT checks need no side channel from the rewriter: they reconstruct
+//! the KKT system from the stable naming convention
+//! `{inner}::pf[{c}]` / `{inner}::lam[{c}]` / `{inner}::mu[{c}]` /
+//! `{inner}::stat[{var}]` that [`metaopt_model::kkt::append_kkt`] emits.
+//! Inner problems encoded primal-only (no multipliers at all for a prefix)
+//! are recognized as intentional and skipped.
+//!
+//! `metaopt-core` runs [`check_model`] as a deny-by-default gate before
+//! every solve: error-severity diagnostics abort in debug builds and are
+//! downgraded to recorded `SolverFault::EncodingSuspect` warnings in
+//! release builds.
+
+pub mod kkt;
+pub mod numerical;
+pub mod semantic;
+pub mod structural;
+
+mod lp_checks;
+mod names;
+
+pub use lp_checks::check_lp;
+pub use semantic::TopologyContext;
+
+use metaopt_model::Model;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth a look, never blocks a solve.
+    Info,
+    /// Suspicious but possibly intentional; never blocks a solve.
+    Warning,
+    /// An encoding bug: any result computed from this model is untrusted.
+    /// The `core::finder` gate refuses to solve (debug) or records a
+    /// solver fault (release).
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where in the model a diagnostic points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Span {
+    /// A model variable, by dense index and diagnostic name.
+    Var {
+        /// Dense variable index.
+        index: usize,
+        /// Diagnostic name (may be empty).
+        name: String,
+    },
+    /// A model constraint, by insertion index and diagnostic name.
+    Constraint {
+        /// Constraint index.
+        index: usize,
+        /// Diagnostic name (may be empty).
+        name: String,
+    },
+    /// A complementarity pair, by insertion index and multiplier name.
+    Complementarity {
+        /// Pair index.
+        index: usize,
+        /// Diagnostic name of the multiplier variable.
+        multiplier: String,
+    },
+    /// The objective function.
+    Objective,
+    /// A row of a lowered `LpProblem`.
+    LpRow {
+        /// Row index.
+        index: usize,
+    },
+    /// A column of a lowered `LpProblem`.
+    LpVar {
+        /// Column index.
+        index: usize,
+    },
+    /// The model as a whole.
+    Model,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Span::Var { index, name } if name.is_empty() => write!(f, "var #{index}"),
+            Span::Var { index, name } => write!(f, "var #{index} `{name}`"),
+            Span::Constraint { index, name } if name.is_empty() => write!(f, "row #{index}"),
+            Span::Constraint { index, name } => write!(f, "row #{index} `{name}`"),
+            Span::Complementarity { index, multiplier } => {
+                write!(f, "compl #{index} (mult `{multiplier}`)")
+            }
+            Span::Objective => write!(f, "objective"),
+            Span::LpRow { index } => write!(f, "lp row #{index}"),
+            Span::LpVar { index } => write!(f, "lp col #{index}"),
+            Span::Model => write!(f, "model"),
+        }
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`MC0xx` structural, `MC1xx` KKT, `MC2xx` numerical,
+    /// `MC3xx` TE-semantic). Codes never change meaning across versions.
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Human-readable description with concrete values.
+    pub message: String,
+    /// Source span back to the originating name.
+    pub span: Span,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+/// The outcome of an analysis pass: an ordered list of diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, code: &'static str, severity: Severity, span: Span, message: String) {
+        self.diags.push(Diagnostic {
+            code,
+            severity,
+            message,
+            span,
+        });
+    }
+
+    /// Absorbs another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Error-severity diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any error-severity diagnostic was emitted.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether the report is completely empty.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Whether a diagnostic with the given code was emitted.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// One-line summary: `"2 errors, 1 warning (MC102, MC104, MC201)"`.
+    pub fn summary(&self) -> String {
+        let errors = self.errors().count();
+        let warnings = self
+            .diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        let mut codes: Vec<&str> = self.diags.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        format!(
+            "{errors} error(s), {warnings} warning(s) ({})",
+            codes.join(", ")
+        )
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diags {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Numeric thresholds used by the MC2xx checks.
+#[derive(Debug, Clone, Copy)]
+pub struct NumericThresholds {
+    /// Max tolerated `max|coef| / min|coef|` within one row before a
+    /// mixed-magnitude warning (MC201).
+    pub row_range_ratio: f64,
+    /// Coefficients below this magnitude (but nonzero) should have been
+    /// dropped (MC202).
+    pub tiny: f64,
+    /// Coefficients above this magnitude risk conditioning trouble (MC203).
+    pub huge: f64,
+    /// Max tolerated model-wide coefficient range (MC204).
+    pub model_range_ratio: f64,
+}
+
+impl Default for NumericThresholds {
+    fn default() -> Self {
+        NumericThresholds {
+            row_range_ratio: 1e8,
+            tiny: 1e-10,
+            huge: 1e10,
+            model_range_ratio: 1e12,
+        }
+    }
+}
+
+/// Configuration of an analysis pass.
+#[derive(Debug, Clone, Default)]
+pub struct CheckConfig {
+    /// Numeric thresholds for the MC2xx family.
+    pub numeric: NumericThresholds,
+    /// TE-semantic contexts: `(inner-problem prefix, topology shape)`. Only
+    /// prefixes registered here get the MC3xx checks (POP sub-instances,
+    /// whose partitions are internal to the encoder, are typically not
+    /// registered and are skipped).
+    pub semantic: Vec<(String, TopologyContext)>,
+}
+
+impl CheckConfig {
+    /// Registers a TE-semantic context for an inner-problem prefix.
+    pub fn with_semantic(mut self, prefix: impl Into<String>, ctx: TopologyContext) -> Self {
+        self.semantic.push((prefix.into(), ctx));
+        self
+    }
+}
+
+/// Runs every model-level check family over `model`.
+///
+/// The returned [`Report`] lists findings in family order (structural,
+/// KKT, numerical, semantic). A clean KKT encoding produced by
+/// [`metaopt_model::kkt::append_kkt`] yields zero error-severity
+/// diagnostics.
+pub fn check_model(model: &Model, cfg: &CheckConfig) -> Report {
+    let mut report = Report::new();
+    report.merge(structural::check(model));
+    report.merge(kkt::check(model));
+    report.merge(numerical::check(model, &cfg.numeric));
+    for (prefix, ctx) in &cfg.semantic {
+        report.merge(semantic::check(model, prefix, ctx));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_model::{LinExpr, Model, ObjSense, Sense};
+
+    #[test]
+    fn clean_tiny_model_is_clean() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 5.0).unwrap();
+        m.constrain_named("cap", x, Sense::Le, 4.0).unwrap();
+        m.set_objective(ObjSense::Max, LinExpr::from(x)).unwrap();
+        let r = check_model(&m, &CheckConfig::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn report_summary_counts() {
+        let mut r = Report::new();
+        r.push("MC001", Severity::Error, Span::Model, "boom".into());
+        r.push("MC201", Severity::Warning, Span::Objective, "meh".into());
+        assert!(r.has_errors());
+        assert!(r.has_code("MC201"));
+        assert!(r.summary().starts_with("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn diagnostic_display_is_stable() {
+        let d = Diagnostic {
+            code: "MC104",
+            severity: Severity::Error,
+            message: "dangling".into(),
+            span: Span::Constraint {
+                index: 3,
+                name: "opt::pf[c0]".into(),
+            },
+        };
+        assert_eq!(
+            d.to_string(),
+            "error [MC104] row #3 `opt::pf[c0]`: dangling"
+        );
+    }
+}

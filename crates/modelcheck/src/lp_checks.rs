@@ -1,0 +1,194 @@
+//! Checks on a lowered [`LpProblem`] — the last stop before the simplex
+//! solver sees the instance.
+//!
+//! Reuses the MC0xx/MC2xx codes at the LP layer (spans are `LpVar`/`LpRow`):
+//!
+//! * MC001 — row whose activity range excludes the only achievable activity
+//!   (no nonzeros and `0 ∉ [rlo, rhi]`),
+//! * MC002 — row with no nonzeros that is trivially satisfied,
+//! * MC004 — empty variable box (`lo > hi`) or NaN data,
+//! * MC005 — column that appears in no row and has zero objective weight,
+//! * MC010 — duplicate `(row, col)` triplet entries (double-added
+//!   coefficients silently sum),
+//! * MC201/MC202/MC203/MC204 — same numeric-hygiene thresholds as the IR
+//!   pass, applied to the triplet matrix.
+
+use crate::{NumericThresholds, Report, Severity, Span};
+use metaopt_lp::{LpProblem, VarId};
+use std::collections::HashMap;
+
+/// Runs the LP-layer families over `problem`.
+pub fn check_lp(problem: &LpProblem, th: &NumericThresholds) -> Report {
+    let mut report = Report::new();
+    let n = problem.n_vars();
+    let m = problem.n_rows();
+
+    for j in 0..n {
+        let (lo, hi) = problem.bounds(VarId(j));
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            report.push(
+                "MC004",
+                Severity::Error,
+                Span::LpVar { index: j },
+                format!("empty or non-finite bounds [{lo}, {hi}]"),
+            );
+        }
+    }
+
+    // Per-row and per-column tallies from the triplets.
+    let mut row_nnz = vec![0usize; m];
+    let mut col_used = vec![false; n];
+    let mut row_min = vec![f64::INFINITY; m];
+    let mut row_max = vec![0.0f64; m];
+    let mut row_tiny = vec![0usize; m];
+    let mut seen: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut global_min = f64::INFINITY;
+    let mut global_max: f64 = 0.0;
+
+    for (t, &(r, c, v)) in problem.triplets().iter().enumerate() {
+        if r >= m || c >= n {
+            report.push(
+                "MC009",
+                Severity::Error,
+                Span::LpRow { index: r },
+                format!("triplet #{t} references ({r}, {c}) outside the {m}x{n} matrix"),
+            );
+            continue;
+        }
+        if let Some(first) = seen.insert((r, c), t) {
+            report.push(
+                "MC010",
+                Severity::Warning,
+                Span::LpRow { index: r },
+                format!(
+                    "duplicate entry for column {c} (triplets #{first} and #{t} sum silently)"
+                ),
+            );
+        }
+        row_nnz[r] += 1;
+        col_used[c] = true;
+        let a = v.abs();
+        row_min[r] = row_min[r].min(a);
+        row_max[r] = row_max[r].max(a);
+        global_min = global_min.min(a);
+        global_max = global_max.max(a);
+        if a < th.tiny {
+            row_tiny[r] += 1;
+        }
+        if a > th.huge {
+            report.push(
+                "MC203",
+                Severity::Warning,
+                Span::LpRow { index: r },
+                format!("coefficient {v:.3e} on column {c} risks conditioning trouble"),
+            );
+        }
+    }
+
+    for i in 0..m {
+        let (rlo, rhi) = problem.row_bounds(i);
+        if row_nnz[i] == 0 {
+            if rlo > 0.0 || rhi < 0.0 {
+                report.push(
+                    "MC001",
+                    Severity::Error,
+                    Span::LpRow { index: i },
+                    format!("row has no nonzeros but requires activity in [{rlo}, {rhi}]"),
+                );
+            } else {
+                report.push(
+                    "MC002",
+                    Severity::Warning,
+                    Span::LpRow { index: i },
+                    "row has no nonzeros and is vacuous".to_string(),
+                );
+            }
+            continue;
+        }
+        if row_tiny[i] > 0 {
+            report.push(
+                "MC202",
+                Severity::Warning,
+                Span::LpRow { index: i },
+                format!(
+                    "{} coefficient(s) below {:.0e} in magnitude",
+                    row_tiny[i], th.tiny
+                ),
+            );
+        }
+        if row_nnz[i] >= 2 && row_max[i] / row_min[i] > th.row_range_ratio {
+            report.push(
+                "MC201",
+                Severity::Warning,
+                Span::LpRow { index: i },
+                format!(
+                    "mixed magnitudes in one row: |coef| spans [{:.3e}, {:.3e}]",
+                    row_min[i], row_max[i]
+                ),
+            );
+        }
+    }
+
+    for (j, used) in col_used.iter().enumerate() {
+        if !used && problem.obj_coef(VarId(j)) == 0.0 {
+            report.push(
+                "MC005",
+                Severity::Warning,
+                Span::LpVar { index: j },
+                "column appears in no row and has zero objective weight".to_string(),
+            );
+        }
+    }
+
+    if global_max > 0.0 && global_min.is_finite() && global_max / global_min > th.model_range_ratio
+    {
+        report.push(
+            "MC204",
+            Severity::Warning,
+            Span::Model,
+            format!(
+                "matrix-wide coefficient range [{global_min:.3e}, {global_max:.3e}] is a \
+                 conditioning hazard"
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_lp::RowSense;
+
+    #[test]
+    fn clean_lp_is_clean() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, 1.0).unwrap();
+        let y = p.add_var(0.0, 10.0, 2.0).unwrap();
+        p.add_row(RowSense::Le, 5.0, [(x, 1.0), (y, 2.0)]).unwrap();
+        let r = check_lp(&p, &NumericThresholds::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn empty_infeasible_row_and_orphan_column() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0, 1.0).unwrap();
+        let _orphan = p.add_var(0.0, 1.0, 0.0).unwrap();
+        // Coefficient 0.0 is dropped by the builder, leaving an empty row
+        // that demands activity >= 3.
+        p.add_row(RowSense::Ge, 3.0, [(x, 0.0)]).unwrap();
+        let r = check_lp(&p, &NumericThresholds::default());
+        assert!(r.has_code("MC001"), "{r}");
+        assert!(r.has_code("MC005"), "{r}");
+    }
+
+    #[test]
+    fn duplicate_triplets_flagged() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0, 1.0).unwrap();
+        p.add_row(RowSense::Le, 1.0, [(x, 0.5), (x, 0.5)]).unwrap();
+        let r = check_lp(&p, &NumericThresholds::default());
+        assert!(r.has_code("MC010"), "{r}");
+    }
+}

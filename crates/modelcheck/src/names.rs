@@ -1,0 +1,65 @@
+//! Parsing of the stable naming convention the KKT rewriter and the TE
+//! encoders emit.
+//!
+//! * variables: `{prefix}::lam[{c}]` (inequality multiplier),
+//!   `{prefix}::mu[{c}]` (equality multiplier), `{prefix}::f[{k}][{p}]`
+//!   (flow variable), anything else with a `{prefix}::` head is an inner
+//!   decision variable of `prefix`,
+//! * constraints: `{prefix}::pf[{c}]` (primal feasibility),
+//!   `{prefix}::stat[{var}]` (stationarity), `{prefix}::dem[{k}]` /
+//!   `{prefix}::cap[{e}]` (TE demand/capacity rows, usually nested inside a
+//!   `pf[..]` wrapper).
+//!
+//! Keys may themselves contain `::` and brackets (constraint names nest:
+//! `opt::pf[opt::dem[3]]`), so bracketed keys are always taken up to the
+//! *last* closing bracket.
+
+/// Splits `name` at its first `::`, returning the inner-problem prefix.
+pub(crate) fn prefix(name: &str) -> Option<&str> {
+    name.split_once("::").map(|(p, _)| p)
+}
+
+/// If `name` is `{prefix}::{tag}[{key}]`, returns the bracketed key.
+pub(crate) fn tagged_key<'a>(name: &'a str, pfx: &str, tag: &str) -> Option<&'a str> {
+    let rest = name.strip_prefix(pfx)?.strip_prefix("::")?;
+    let inner = rest.strip_prefix(tag)?.strip_prefix('[')?;
+    inner.strip_suffix(']')
+}
+
+/// If `name` is `{anything}::{tag}[{key}]`, returns `(prefix, key)`.
+pub(crate) fn any_tagged_key<'a>(name: &'a str, tag: &str) -> Option<(&'a str, &'a str)> {
+    let pfx = prefix(name)?;
+    Some((pfx, tagged_key(name, pfx, tag)?))
+}
+
+/// Parses a flow-variable name `{prefix}::f[{k}][{p}]` into `(k, p)`.
+pub(crate) fn flow_indices(name: &str, pfx: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix(pfx)?.strip_prefix("::f[")?;
+    let (k, rest) = rest.split_once(']')?;
+    let p = rest.strip_prefix('[')?.strip_suffix(']')?;
+    Some((k.parse().ok()?, p.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_keys_take_last_bracket() {
+        assert_eq!(
+            tagged_key("opt::pf[opt::dem[3]]", "opt", "pf"),
+            Some("opt::dem[3]")
+        );
+        assert_eq!(
+            any_tagged_key("pop[0][1]::lam[pop[0][1]::cap[7]]", "lam"),
+            Some(("pop[0][1]", "pop[0][1]::cap[7]"))
+        );
+    }
+
+    #[test]
+    fn flow_names_parse() {
+        assert_eq!(flow_indices("opt::f[12][3]", "opt"), Some((12, 3)));
+        assert_eq!(flow_indices("opt::lam[c0]", "opt"), None);
+        assert_eq!(flow_indices("dp::f[2][0]", "opt"), None);
+    }
+}

@@ -1,0 +1,163 @@
+//! MC2xx — numerical-hygiene checks.
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | MC201 | warning  | mixed magnitudes in one row (`max/min > threshold`) |
+//! | MC202 | warning  | near-zero coefficient that should have been dropped |
+//! | MC203 | warning  | huge coefficient or constant (conditioning risk)    |
+//! | MC204 | warning  | model-wide coefficient dynamic range too large      |
+//!
+//! These are advisory: ill-scaled rows make the simplex recovery ladder
+//! (refactorize → rescale → perturb) work much harder and are the usual
+//! precursor of `SolverFault::NumericalBreakdown`.
+
+use crate::{NumericThresholds, Report, Severity, Span};
+use metaopt_model::{LinExpr, Model};
+
+struct RowStats {
+    min_abs: f64,
+    max_abs: f64,
+    tiny: usize,
+}
+
+fn stats(e: &LinExpr, th: &NumericThresholds) -> RowStats {
+    let mut s = RowStats {
+        min_abs: f64::INFINITY,
+        max_abs: 0.0,
+        tiny: 0,
+    };
+    for (_, c) in e.terms() {
+        let a = c.abs();
+        s.min_abs = s.min_abs.min(a);
+        s.max_abs = s.max_abs.max(a);
+        if a < th.tiny {
+            s.tiny += 1;
+        }
+    }
+    s
+}
+
+fn check_expr(report: &mut Report, e: &LinExpr, th: &NumericThresholds, span: &Span) {
+    let s = stats(e, th);
+    if s.tiny > 0 {
+        report.push(
+            "MC202",
+            Severity::Warning,
+            span.clone(),
+            format!(
+                "{} coefficient(s) below {:.0e} in magnitude; drop them or rescale",
+                s.tiny, th.tiny
+            ),
+        );
+    }
+    if s.max_abs > th.huge || e.constant_part().abs() > th.huge {
+        report.push(
+            "MC203",
+            Severity::Warning,
+            span.clone(),
+            format!(
+                "coefficient magnitude up to {:.3e} (constant {:.3e}) risks conditioning trouble",
+                s.max_abs,
+                e.constant_part()
+            ),
+        );
+    }
+    if e.n_terms() >= 2 && s.max_abs / s.min_abs > th.row_range_ratio {
+        report.push(
+            "MC201",
+            Severity::Warning,
+            span.clone(),
+            format!(
+                "mixed magnitudes in one row: |coef| spans [{:.3e}, {:.3e}] \
+                 (ratio {:.1e} > {:.0e})",
+                s.min_abs,
+                s.max_abs,
+                s.max_abs / s.min_abs,
+                th.row_range_ratio
+            ),
+        );
+    }
+}
+
+/// Runs the numerical family over `model`.
+pub fn check(model: &Model, th: &NumericThresholds) -> Report {
+    let mut report = Report::new();
+    let mut global_min = f64::INFINITY;
+    let mut global_max: f64 = 0.0;
+
+    for (i, c) in model.constraints().iter().enumerate() {
+        let span = Span::Constraint {
+            index: i,
+            name: c.name.clone().unwrap_or_default(),
+        };
+        check_expr(&mut report, &c.expr, th, &span);
+        let s = stats(&c.expr, th);
+        global_min = global_min.min(s.min_abs);
+        global_max = global_max.max(s.max_abs);
+    }
+    check_expr(&mut report, model.objective(), th, &Span::Objective);
+    for (i, compl) in model.complementarities().iter().enumerate() {
+        let span = Span::Complementarity {
+            index: i,
+            multiplier: model.var_name(compl.multiplier).to_string(),
+        };
+        check_expr(&mut report, &compl.slack, th, &span);
+    }
+
+    if global_max > 0.0 && global_min.is_finite() && global_max / global_min > th.model_range_ratio
+    {
+        report.push(
+            "MC204",
+            Severity::Warning,
+            Span::Model,
+            format!(
+                "model-wide coefficient range [{global_min:.3e}, {global_max:.3e}] \
+                 (ratio {:.1e}) is a conditioning hazard; rescale the formulation",
+                global_max / global_min
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_model::{LinExpr, Model, ObjSense, Sense};
+
+    #[test]
+    fn mixed_magnitudes_and_tiny_coefs() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0).unwrap();
+        let y = m.add_var("y", 0.0, 1.0).unwrap();
+        m.constrain(1e9 * x + 1e-1 * y, Sense::Le, 1.0).unwrap();
+        m.constrain(LinExpr::term(x, 1e-12) + y, Sense::Le, 1.0)
+            .unwrap();
+        m.set_objective(ObjSense::Max, x + y).unwrap();
+        let r = check(&m, &NumericThresholds::default());
+        assert!(r.has_code("MC201"), "{r}");
+        assert!(r.has_code("MC202"), "{r}");
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn huge_and_model_wide_range() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0).unwrap();
+        let y = m.add_var("y", 0.0, 1.0).unwrap();
+        m.constrain(LinExpr::term(x, 1e11), Sense::Le, 1.0).unwrap();
+        m.constrain(LinExpr::term(y, 1e-4), Sense::Ge, 0.0).unwrap();
+        let r = check(&m, &NumericThresholds::default());
+        assert!(r.has_code("MC203"), "{r}");
+        assert!(r.has_code("MC204"), "{r}");
+    }
+
+    #[test]
+    fn well_scaled_model_is_silent() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 100.0).unwrap();
+        m.constrain(2.5 * x, Sense::Le, 100.0).unwrap();
+        m.set_objective(ObjSense::Max, x).unwrap();
+        assert!(check(&m, &NumericThresholds::default()).is_clean());
+    }
+}

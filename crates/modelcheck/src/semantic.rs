@@ -1,0 +1,278 @@
+//! MC3xx — TE-domain semantic checks.
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | MC301 | error    | demand row touches foreign-commodity flow variables, or misses one of its own paths |
+//! | MC302 | error    | an edge with path users has no capacity row |
+//! | MC303 | error    | capacity row incidence mismatch (flow variable off the edge, or a user missing) |
+//! | MC304 | error    | flow variable indexes outside the topology shape |
+//!
+//! The checks are keyed by the encoder naming convention
+//! `{prefix}::f[{k}][{p}]` / `{prefix}::dem[{k}]` / `{prefix}::cap[{e}]`
+//! (demand/capacity rows may be nested inside a KKT `pf[..]` wrapper). Only
+//! prefixes registered in [`crate::CheckConfig::semantic`] are examined, so
+//! inner problems over private sub-topologies (POP partitions) are skipped
+//! rather than misjudged.
+
+use crate::names;
+use crate::{Report, Severity, Span};
+use metaopt_model::{Model, VarRef};
+use std::collections::{HashMap, HashSet};
+
+/// The topology shape a TE encoding must respect: how many commodities and
+/// edges exist, and which edges each path traverses. Built by callers from
+/// their `TeInstance` (this crate stays independent of `metaopt-te`).
+#[derive(Debug, Clone, Default)]
+pub struct TopologyContext {
+    /// Number of source–destination pairs (commodities).
+    pub n_pairs: usize,
+    /// Number of directed edges.
+    pub n_edges: usize,
+    /// `paths[k][p]` lists the edge ids path `p` of commodity `k` uses.
+    pub paths: Vec<Vec<Vec<usize>>>,
+}
+
+impl TopologyContext {
+    /// Per-edge users: which `(pair, path)` combinations cross each edge.
+    fn edge_users(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut users = vec![Vec::new(); self.n_edges];
+        for (k, paths) in self.paths.iter().enumerate() {
+            for (p, edges) in paths.iter().enumerate() {
+                for &e in edges {
+                    if e < self.n_edges {
+                        users[e].push((k, p));
+                    }
+                }
+            }
+        }
+        users
+    }
+}
+
+/// If `name` is `{prefix}::{tag}[{idx}]` — directly or nested inside a KKT
+/// `pf[..]` wrapper — returns the parsed index.
+fn te_row_index(name: &str, prefix: &str, tag: &str) -> Option<usize> {
+    let key = names::tagged_key(name, prefix, tag).or_else(|| {
+        let (_, pf_key) = names::any_tagged_key(name, "pf")?;
+        names::tagged_key(pf_key, prefix, tag)
+    })?;
+    key.parse().ok()
+}
+
+/// Runs the TE-semantic family for one encoder `prefix` against `ctx`.
+pub fn check(model: &Model, prefix: &str, ctx: &TopologyContext) -> Report {
+    let mut report = Report::new();
+
+    // Flow-variable grid of this prefix.
+    let mut flow_of_var: HashMap<usize, (usize, usize)> = HashMap::new();
+    for i in 0..model.n_vars() {
+        let name = model.var_name(VarRef(i));
+        let Some((k, p)) = names::flow_indices(name, prefix) else {
+            continue;
+        };
+        if k >= ctx.n_pairs || ctx.paths.get(k).is_none_or(|ps| p >= ps.len()) {
+            report.push(
+                "MC304",
+                Severity::Error,
+                Span::Var {
+                    index: i,
+                    name: name.to_string(),
+                },
+                format!(
+                    "flow variable indexes commodity {k} path {p}, outside the topology \
+                     shape ({} pairs)",
+                    ctx.n_pairs
+                ),
+            );
+            continue;
+        }
+        flow_of_var.insert(i, (k, p));
+    }
+    if flow_of_var.is_empty() {
+        return report; // prefix not present in this model
+    }
+
+    let mut cap_rows: HashMap<usize, usize> = HashMap::new();
+    for (i, c) in model.constraints().iter().enumerate() {
+        let Some(name) = c.name.as_deref() else {
+            continue;
+        };
+        let span = || Span::Constraint {
+            index: i,
+            name: name.to_string(),
+        };
+
+        if let Some(k) = te_row_index(name, prefix, "dem") {
+            // Demand row: Σ_p f[k][p] − d_k ≤ 0. Every flow term must be
+            // commodity k with unit coefficient, and every path must appear.
+            let mut seen_paths: HashSet<usize> = HashSet::new();
+            for (v, coef) in c.expr.terms() {
+                if let Some(&(vk, vp)) = flow_of_var.get(&v.0) {
+                    if vk != k {
+                        report.push(
+                            "MC301",
+                            Severity::Error,
+                            span(),
+                            format!(
+                                "demand row of commodity {k} touches `{}` of commodity {vk}",
+                                model.var_name(v)
+                            ),
+                        );
+                    } else if (coef - 1.0).abs() > 1e-9 {
+                        report.push(
+                            "MC301",
+                            Severity::Error,
+                            span(),
+                            format!(
+                                "demand row of commodity {k} carries `{}` with \
+                                 coefficient {coef} (expected 1)",
+                                model.var_name(v)
+                            ),
+                        );
+                    } else {
+                        seen_paths.insert(vp);
+                    }
+                }
+            }
+            let want = ctx.paths.get(k).map_or(0, Vec::len);
+            if seen_paths.len() != want {
+                report.push(
+                    "MC301",
+                    Severity::Error,
+                    span(),
+                    format!(
+                        "demand row of commodity {k} covers {} of its {want} paths",
+                        seen_paths.len()
+                    ),
+                );
+            }
+        } else if let Some(e) = te_row_index(name, prefix, "cap") {
+            cap_rows.insert(e, i);
+            let users: HashSet<(usize, usize)> = ctx
+                .edge_users()
+                .get(e)
+                .map(|u| u.iter().copied().collect())
+                .unwrap_or_default();
+            let mut seen: HashSet<(usize, usize)> = HashSet::new();
+            for (v, _) in c.expr.terms() {
+                if let Some(&(vk, vp)) = flow_of_var.get(&v.0) {
+                    if !users.contains(&(vk, vp)) {
+                        report.push(
+                            "MC303",
+                            Severity::Error,
+                            span(),
+                            format!(
+                                "capacity row of edge {e} includes `{}` whose path does \
+                                 not traverse the edge",
+                                model.var_name(v)
+                            ),
+                        );
+                    } else {
+                        seen.insert((vk, vp));
+                    }
+                }
+            }
+            for &(k, p) in users.iter() {
+                if !seen.contains(&(k, p)) {
+                    report.push(
+                        "MC303",
+                        Severity::Error,
+                        span(),
+                        format!(
+                            "capacity row of edge {e} misses flow variable \
+                             `{prefix}::f[{k}][{p}]` which traverses the edge"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Capacity coverage: every used edge needs a row.
+    for (e, users) in ctx.edge_users().iter().enumerate() {
+        if !users.is_empty() && !cap_rows.contains_key(&e) {
+            report.push(
+                "MC302",
+                Severity::Error,
+                Span::Model,
+                format!(
+                    "edge {e} is traversed by {} path(s) but `{prefix}` has no capacity \
+                     row `{prefix}::cap[{e}]`",
+                    users.len()
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_model::{LinExpr, Model, ObjSense, Sense};
+
+    /// Two commodities over two edges: k0 uses path [0], k1 uses path [0, 1].
+    fn ctx() -> TopologyContext {
+        TopologyContext {
+            n_pairs: 2,
+            n_edges: 2,
+            paths: vec![vec![vec![0]], vec![vec![0, 1]]],
+        }
+    }
+
+    fn build(skip_cap1: bool, cross_commodity: bool) -> Model {
+        let mut m = Model::new();
+        let f00 = m.add_var("x::f[0][0]", 0.0, f64::INFINITY).unwrap();
+        let f10 = m.add_var("x::f[1][0]", 0.0, f64::INFINITY).unwrap();
+        let d0 = m.add_var("d[0]", 0.0, 10.0).unwrap();
+        let d1 = m.add_var("d[1]", 0.0, 10.0).unwrap();
+        let extra = if cross_commodity { Some(f10) } else { None };
+        let mut dem0 = LinExpr::from(f00) - d0;
+        if let Some(v) = extra {
+            dem0.add_term(v, 1.0);
+        }
+        m.constrain_named("x::dem[0]", dem0, Sense::Le, 0.0).unwrap();
+        m.constrain_named("x::dem[1]", LinExpr::from(f10) - d1, Sense::Le, 0.0)
+            .unwrap();
+        m.constrain_named("x::cap[0]", f00 + f10, Sense::Le, 10.0)
+            .unwrap();
+        if !skip_cap1 {
+            m.constrain_named("x::cap[1]", LinExpr::from(f10), Sense::Le, 10.0)
+                .unwrap();
+        }
+        m.set_objective(ObjSense::Max, f00 + f10).unwrap();
+        m
+    }
+
+    #[test]
+    fn clean_te_encoding_passes() {
+        let r = check(&build(false, false), "x", &ctx());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn missing_capacity_row_is_mc302() {
+        let r = check(&build(true, false), "x", &ctx());
+        assert!(r.has_code("MC302"), "{r}");
+    }
+
+    #[test]
+    fn cross_commodity_demand_row_is_mc301() {
+        let r = check(&build(false, true), "x", &ctx());
+        assert!(r.has_code("MC301"), "{r}");
+    }
+
+    #[test]
+    fn incidence_mismatch_is_mc303() {
+        let mut m = build(false, false);
+        // Tack the k0 flow onto edge 1's capacity row: its path stops at 0.
+        let cap1 = m
+            .constraints()
+            .iter()
+            .position(|c| c.name.as_deref() == Some("x::cap[1]"))
+            .unwrap();
+        m.mutate_constraint(cap1, |c| c.expr.add_term(VarRef(0), 1.0));
+        let r = check(&m, "x", &ctx());
+        assert!(r.has_code("MC303"), "{r}");
+    }
+}

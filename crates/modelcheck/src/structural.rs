@@ -1,0 +1,276 @@
+//! MC0xx — structural checks on the model IR.
+//!
+//! | code  | severity | meaning |
+//! |-------|----------|---------|
+//! | MC001 | error    | constant row is infeasible (`c SENSE 0` fails)   |
+//! | MC002 | warning  | constant row is vacuous (no variable terms)      |
+//! | MC003 | error    | binary variable with bounds outside `[0, 1]`     |
+//! | MC004 | error    | empty or non-finite variable box (`lo > hi`)     |
+//! | MC005 | warning  | variable referenced by nothing                   |
+//! | MC006 | warning  | duplicate variable name                          |
+//! | MC007 | warning  | duplicate constraint name                        |
+//! | MC008 | warning/error | complementarity multiplier fixed by bounds |
+//! | MC009 | error    | expression references an out-of-range variable   |
+
+use crate::{Report, Severity, Span};
+use metaopt_model::{LinExpr, Model, Sense, VarKind, VarRef};
+use std::collections::HashMap;
+
+fn cname(model: &Model, i: usize) -> String {
+    model.constraints()[i]
+        .name
+        .clone()
+        .unwrap_or_default()
+}
+
+/// Runs the structural family over `model`.
+pub fn check(model: &Model) -> Report {
+    let mut report = Report::new();
+    let n = model.n_vars();
+
+    // --- variable boxes -------------------------------------------------
+    let mut names: HashMap<&str, usize> = HashMap::new();
+    for i in 0..n {
+        let v = VarRef(i);
+        let (lo, hi) = model.var_bounds(v);
+        let span = || Span::Var {
+            index: i,
+            name: model.var_name(v).to_string(),
+        };
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            report.push(
+                "MC004",
+                Severity::Error,
+                span(),
+                format!("empty or non-finite bounds [{lo}, {hi}]"),
+            );
+        }
+        if model.var_kind(v) == VarKind::Binary && (lo < 0.0 || hi > 1.0) {
+            report.push(
+                "MC003",
+                Severity::Error,
+                span(),
+                format!("binary variable with bounds [{lo}, {hi}] outside [0, 1]"),
+            );
+        }
+        let name = model.var_name(v);
+        if !name.is_empty() {
+            if let Some(&first) = names.get(name) {
+                report.push(
+                    "MC006",
+                    Severity::Warning,
+                    span(),
+                    format!("duplicate variable name (first used by var #{first})"),
+                );
+            } else {
+                names.insert(name, i);
+            }
+        }
+    }
+
+    // --- reference tracking + expression hygiene ------------------------
+    let mut referenced = vec![false; n];
+    let mark = |e: &LinExpr, referenced: &mut Vec<bool>, report: &mut Report, span: Span| {
+        for (v, _) in e.terms() {
+            if v.0 >= n {
+                report.push(
+                    "MC009",
+                    Severity::Error,
+                    span.clone(),
+                    format!("references variable #{} but the model has {n} variables", v.0),
+                );
+            } else {
+                referenced[v.0] = true;
+            }
+        }
+    };
+    for (i, c) in model.constraints().iter().enumerate() {
+        let span = Span::Constraint {
+            index: i,
+            name: cname(model, i),
+        };
+        mark(&c.expr, &mut referenced, &mut report, span.clone());
+        if c.expr.n_terms() == 0 {
+            let k = c.expr.constant_part();
+            let feasible = match c.sense {
+                Sense::Le => k <= 0.0,
+                Sense::Ge => k >= 0.0,
+                Sense::Eq => k == 0.0,
+            };
+            if feasible {
+                report.push(
+                    "MC002",
+                    Severity::Warning,
+                    span,
+                    format!("constant row `{k} {:?} 0` is vacuous", c.sense),
+                );
+            } else {
+                report.push(
+                    "MC001",
+                    Severity::Error,
+                    span,
+                    format!("constant row `{k} {:?} 0` is infeasible", c.sense),
+                );
+            }
+        }
+    }
+    mark(
+        model.objective(),
+        &mut referenced,
+        &mut report,
+        Span::Objective,
+    );
+    for (i, compl) in model.complementarities().iter().enumerate() {
+        let mult_name = if compl.multiplier.0 < n {
+            model.var_name(compl.multiplier).to_string()
+        } else {
+            format!("#{}", compl.multiplier.0)
+        };
+        let span = Span::Complementarity {
+            index: i,
+            multiplier: mult_name.clone(),
+        };
+        mark(&compl.slack, &mut referenced, &mut report, span.clone());
+        if compl.multiplier.0 >= n {
+            report.push(
+                "MC009",
+                Severity::Error,
+                span,
+                format!(
+                    "multiplier is variable #{} but the model has {n} variables",
+                    compl.multiplier.0
+                ),
+            );
+            continue;
+        }
+        referenced[compl.multiplier.0] = true;
+        let (lo, hi) = model.var_bounds(compl.multiplier);
+        if lo == hi {
+            let (sev, what) = if lo == 0.0 {
+                (
+                    Severity::Warning,
+                    "pair is vacuous (was a multiplier dropped?)".to_string(),
+                )
+            } else {
+                (
+                    Severity::Error,
+                    format!("slack is statically forced to zero (multiplier fixed at {lo})"),
+                )
+            };
+            report.push(
+                "MC008",
+                sev,
+                span,
+                format!("multiplier `{mult_name}` is fixed by its bounds: {what}"),
+            );
+        }
+    }
+
+    // --- unreferenced variables -----------------------------------------
+    for (i, referenced) in referenced.iter().enumerate() {
+        if !referenced {
+            report.push(
+                "MC005",
+                Severity::Warning,
+                Span::Var {
+                    index: i,
+                    name: model.var_name(VarRef(i)).to_string(),
+                },
+                "variable appears in no constraint, objective, or complementarity".to_string(),
+            );
+        }
+    }
+
+    // --- duplicate constraint names --------------------------------------
+    let mut cnames: HashMap<&str, usize> = HashMap::new();
+    for (i, c) in model.constraints().iter().enumerate() {
+        if let Some(name) = c.name.as_deref() {
+            if let Some(&first) = cnames.get(name) {
+                report.push(
+                    "MC007",
+                    Severity::Warning,
+                    Span::Constraint {
+                        index: i,
+                        name: name.to_string(),
+                    },
+                    format!("duplicate constraint name (first used by row #{first})"),
+                );
+            } else {
+                cnames.insert(name, i);
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaopt_model::{LinExpr, Model, ObjSense};
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn infeasible_and_vacuous_constant_rows() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0).unwrap();
+        m.set_objective(ObjSense::Max, LinExpr::from(x)).unwrap();
+        // x − x cancels to the constant row `1 <= 0`.
+        m.constrain(LinExpr::from(x) - x + 1.0, Sense::Le, 0.0)
+            .unwrap();
+        m.constrain(LinExpr::from(x) - x, Sense::Le, 2.0).unwrap();
+        let r = check(&m);
+        assert!(codes(&r).contains(&"MC001"), "{r}");
+        assert!(codes(&r).contains(&"MC002"), "{r}");
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn unreferenced_and_duplicate_names() {
+        let mut m = Model::new();
+        let x = m.add_var("x", 0.0, 1.0).unwrap();
+        let _orphan = m.add_var("orphan", 0.0, 1.0).unwrap();
+        let _dup = m.add_var("x", 0.0, 1.0).unwrap();
+        m.constrain_named("c", x, Sense::Le, 1.0).unwrap();
+        m.constrain_named("c", x, Sense::Ge, 0.0).unwrap();
+        let r = check(&m);
+        assert!(codes(&r).contains(&"MC005"), "{r}");
+        assert!(codes(&r).contains(&"MC006"), "{r}");
+        assert!(codes(&r).contains(&"MC007"), "{r}");
+        assert!(!r.has_errors(), "{r}");
+    }
+
+    #[test]
+    fn fixed_multiplier_flagged() {
+        let mut m = Model::new();
+        let lam0 = m.add_var("lam0", 0.0, 0.0).unwrap();
+        let lam1 = m.add_var("lam1", 2.0, 2.0).unwrap();
+        let s = m.add_var("s", 0.0, 10.0).unwrap();
+        m.add_complementarity(lam0, LinExpr::from(s)).unwrap();
+        m.add_complementarity(lam1, LinExpr::from(s)).unwrap();
+        m.constrain(s, Sense::Le, 10.0).unwrap();
+        let r = check(&m);
+        let mc008: Vec<_> = r
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "MC008")
+            .collect();
+        assert_eq!(mc008.len(), 2, "{r}");
+        assert_eq!(mc008[0].severity, Severity::Warning);
+        assert_eq!(mc008[1].severity, Severity::Error);
+    }
+
+    #[test]
+    fn binary_bad_bounds() {
+        let mut m = Model::new();
+        let z = m
+            .add_var_kind("z", 0.0, 3.0, VarKind::Binary)
+            .unwrap();
+        m.constrain(z, Sense::Le, 1.0).unwrap();
+        let r = check(&m);
+        assert!(codes(&r).contains(&"MC003"), "{r}");
+    }
+}

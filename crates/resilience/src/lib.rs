@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # metaopt-resilience
 //!
@@ -52,6 +53,10 @@ pub enum SolverFault {
     /// The §3.3 stall rule fired: no sufficient relative improvement
     /// within the configured window.
     StallDetected,
+    /// The static model checker found error-severity diagnostics in the
+    /// encoding before the solve (release builds record this and continue;
+    /// debug builds abort instead). The payload is the checker's summary.
+    EncodingSuspect(String),
 }
 
 impl SolverFault {
@@ -63,6 +68,7 @@ impl SolverFault {
             SolverFault::DeadlineExceeded => "deadline_exceeded",
             SolverFault::CallbackPanic(_) => "callback_panic",
             SolverFault::StallDetected => "stall_detected",
+            SolverFault::EncodingSuspect(_) => "encoding_suspect",
         }
     }
 
@@ -87,6 +93,7 @@ impl std::fmt::Display for SolverFault {
             SolverFault::DeadlineExceeded => write!(f, "deadline exceeded"),
             SolverFault::CallbackPanic(s) => write!(f, "callback panicked: {s}"),
             SolverFault::StallDetected => write!(f, "stalled (no sufficient improvement)"),
+            SolverFault::EncodingSuspect(s) => write!(f, "suspect encoding: {s}"),
         }
     }
 }
@@ -446,6 +453,9 @@ mod tests {
             let _ = format!("{site:?}");
         }
         assert_eq!(SolverFault::DeadlineExceeded.kind(), "deadline_exceeded");
+        let suspect = SolverFault::EncodingSuspect("2 error(s)".into());
+        assert!(!suspect.is_recoverable());
+        assert_eq!(suspect.kind(), "encoding_suspect");
         assert!(DegradationLevel::None < DegradationLevel::NoSolution);
     }
 }

@@ -65,7 +65,7 @@ pub fn max_min_fair(inst: &TeInstance, demands: &[f64]) -> TeResult<MaxMinOutcom
         .collect();
     let mut rounds = 0usize;
 
-    while frozen.iter().any(|f| f.is_none()) {
+    while frozen.iter().any(Option::is_none) {
         rounds += 1;
         if rounds > n + 1 {
             return Err(TeError::Model(
@@ -284,7 +284,7 @@ mod tests {
         let mm_min = mm
             .rates
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::INFINITY, f64::min);
         let opt_min = opt
             .flows

@@ -139,12 +139,12 @@ mod tests {
     fn incidence_covers_paths() {
         let inst = TeInstance::all_pairs(line(3, 10.0), 1).unwrap();
         let inc = edge_incidence(&inst);
-        let total: usize = inc.iter().map(|v| v.len()).sum();
+        let total: usize = inc.iter().map(Vec::len).sum();
         // Each path contributes one incidence entry per hop.
         let hops: usize = inst
             .paths
             .iter()
-            .flat_map(|ps| ps.iter().map(|p| p.len()))
+            .flat_map(|ps| ps.iter().map(metaopt_topology::Path::len))
             .sum();
         assert_eq!(total, hops);
     }

@@ -41,7 +41,7 @@ impl TeInstance {
 
     /// Total path count across pairs.
     pub fn n_paths(&self) -> usize {
-        self.paths.iter().map(|p| p.len()).sum()
+        self.paths.iter().map(Vec::len).sum()
     }
 
     /// The maximum sensible demand volume for adversarial search: one

@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)] // vendored offline subset: exempt from the repo lint bar
 //! Offline, API-compatible subset of the `criterion` benchmark harness.
 //!
 //! The build environment has no registry access, so the workspace vendors

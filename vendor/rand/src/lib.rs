@@ -1,3 +1,4 @@
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)] // vendored offline subset: exempt from the repo lint bar
 //! Offline, API-compatible subset of the `rand` crate.
 //!
 //! The build environment has no registry access, so the workspace vendors
