@@ -1,0 +1,125 @@
+//! Crash-recovery drill binary.
+//!
+//! A tiny, deterministic campaign (Figure-1 demand-pinning cells) exposed
+//! as `run` / `resume` / `status` subcommands so the crash-recovery
+//! integration test — and the CI job — can start it as a child process,
+//! `kill -9` it mid-run, resume from the journal, and compare the result
+//! set against an uninterrupted run.
+//!
+//! Output contract (what the test greps): one `RESULT` line per terminal
+//! cell, with floats as exact bit patterns, sorted by cell index.
+
+use metaopt_campaign::{
+    resume, run, status, CampaignConfig, CampaignState, CellHeuristic, CellSpec, CellStatus,
+    RunEnd, ShutdownFlag, TopologySpec,
+};
+use metaopt_resilience::RetryPolicy;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn drill_cells(slice_nodes: usize) -> Vec<CellSpec> {
+    // Three DP thresholds on the Figure-1 triangle: cheap enough for CI,
+    // deep enough that a sweep takes many ticks at small slice sizes.
+    [30.0, 50.0, 70.0]
+        .into_iter()
+        .map(|threshold| CellSpec {
+            label: format!("fig1-dp-{threshold}"),
+            topology: TopologySpec::Fig1 { cap: 100.0 },
+            paths_per_pair: 2,
+            heuristic: CellHeuristic::Dp { threshold },
+            lo: 0.0,
+            hi: 100.0,
+            resolution: 4.0,
+            probe_cap_nodes: 4_000,
+            slice_nodes,
+            timeout_secs: None,
+            fault_seed: None,
+            quantized: None,
+        })
+        .collect()
+}
+
+fn print_state(state: &CampaignState) {
+    for (i, (cell, st)) in state.cells.iter().zip(&state.status).enumerate() {
+        match st {
+            CellStatus::Done(o) => {
+                let bits = |v: Option<f64>| v.map_or("none".to_string(), |x| format!("{:016x}", x.to_bits()));
+                println!(
+                    "RESULT {i} {} threshold={} gap={} probes={} nodes={}",
+                    cell.label,
+                    bits(o.threshold),
+                    bits(o.verified_gap),
+                    o.probes,
+                    o.nodes
+                );
+            }
+            CellStatus::Quarantined { reason, attempts } => {
+                println!("QUARANTINED {i} {} {reason} attempts={attempts}", cell.label);
+            }
+            CellStatus::Pending { attempt, resume } => {
+                println!(
+                    "PENDING {i} {} attempt={attempt} checkpointed={}",
+                    cell.label,
+                    resume.is_some()
+                );
+            }
+        }
+    }
+    let (done, quarantined, pending) = state.counts();
+    println!("SUMMARY done={done} quarantined={quarantined} pending={pending}");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: campaign_drill <run|resume|status> <dir> [slice_nodes]";
+    let (cmd, dir) = match (args.get(1), args.get(2)) {
+        (Some(c), Some(d)) => (c.as_str(), Path::new(d)),
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    let slice_nodes = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9usize);
+    let cfg = CampaignConfig {
+        workers: 2,
+        retry: RetryPolicy::default(),
+        deadline: None,
+    };
+    let shutdown = ShutdownFlag::new();
+    let outcome = match cmd {
+        "run" => run(dir, "drill", drill_cells(slice_nodes), &cfg, &shutdown),
+        "resume" => resume(dir, &cfg, &shutdown),
+        "status" => {
+            return match status(dir) {
+                Ok(st) => {
+                    print_state(&st);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("status failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(report) => {
+            print_state(&report.state);
+            match report.end {
+                RunEnd::Complete => ExitCode::SUCCESS,
+                RunEnd::Drained => ExitCode::from(3),
+            }
+        }
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

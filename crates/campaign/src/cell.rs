@@ -1,0 +1,646 @@
+//! Campaign cells: one cell = one (instance × heuristic × sweep range ×
+//! budget) experiment, self-describing enough that a *different process*
+//! can rebuild the exact same problem from its journal record.
+//!
+//! Rebuilding works because everything downstream is deterministic: the
+//! builtin topologies are constants, path enumeration and model
+//! compilation are pure functions of the instance, and POP partitions are
+//! regenerated from a recorded RNG seed. The journal therefore stores
+//! *specs*, never compiled models.
+
+use crate::{wire, CampaignError};
+use metaopt_core::{
+    ConstrainedSet, FinderConfig, HeuristicSpec, PopMode, SweepState, SweepWitness,
+};
+use metaopt_milp::{Checkpoint, SweepMachine};
+use metaopt_resilience::FaultPlan;
+use metaopt_te::{pop::random_partitions, TeInstance};
+use metaopt_topology::{builtin, synth::figure1_triangle, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which network a cell runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's Figure-1 triangle with uniform capacity.
+    Fig1 {
+        /// Uniform link capacity.
+        cap: f64,
+    },
+    /// A named builtin WAN (`swan`, `b4`, `abilene`, `geant`).
+    Builtin {
+        /// Builtin topology name.
+        name: String,
+        /// Uniform link capacity.
+        cap: f64,
+    },
+}
+
+/// An explicit demand-pair list (by node index); `None` = all pairs.
+type ExplicitPairs = Option<Vec<(usize, usize)>>;
+
+impl TopologySpec {
+    fn build_topology(&self) -> Result<(Topology, ExplicitPairs), CampaignError> {
+        match self {
+            TopologySpec::Fig1 { cap } => {
+                let (t, [n1, n2, n3]) = figure1_triangle(*cap);
+                Ok((t, Some(vec![(n1.0, n3.0), (n1.0, n2.0), (n2.0, n3.0)])))
+            }
+            TopologySpec::Builtin { name, cap } => {
+                let t = match name.as_str() {
+                    "swan" => builtin::swan(*cap),
+                    "b4" => builtin::b4(*cap),
+                    "abilene" => builtin::abilene(*cap),
+                    "geant" => builtin::geant(*cap),
+                    other => {
+                        return Err(CampaignError::Config(format!(
+                            "unknown builtin topology `{other}`"
+                        )))
+                    }
+                };
+                Ok((t, None))
+            }
+        }
+    }
+}
+
+/// Which heuristic a cell attacks. POP partitions are *not* stored; they
+/// are redrawn from `seed`, which keeps the journal small and the rebuild
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellHeuristic {
+    /// Demand Pinning with the given pin threshold.
+    Dp {
+        /// Pin threshold (absolute volume units).
+        threshold: f64,
+    },
+    /// POP with `n_insts` random `n_parts`-way partitions drawn from
+    /// `seed`, summarized by `tail_rank` (None = average).
+    Pop {
+        /// Partitions per instantiation.
+        n_parts: usize,
+        /// Number of random instantiations.
+        n_insts: usize,
+        /// RNG seed the partitions are redrawn from.
+        seed: u64,
+        /// `Some(k)` = k-th worst instantiation; `None` = average.
+        tail_rank: Option<usize>,
+    },
+}
+
+/// A fully serializable description of one campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Human-readable label (appears in reports and CSV output).
+    pub label: String,
+    /// The network.
+    pub topology: TopologySpec,
+    /// Paths enumerated per demand pair.
+    pub paths_per_pair: usize,
+    /// The heuristic under attack.
+    pub heuristic: CellHeuristic,
+    /// Sweep range lower bound.
+    pub lo: f64,
+    /// Sweep range upper bound.
+    pub hi: f64,
+    /// Sweep resolution.
+    pub resolution: f64,
+    /// Per-probe branch-and-bound node cap (a probe still inconclusive at
+    /// the cap is recorded as "no witness at this threshold").
+    pub probe_cap_nodes: usize,
+    /// Nodes per scheduler tick. Every cell *always* runs in ticks of this
+    /// size with a checkpoint journaled at each boundary — interrupted and
+    /// uninterrupted runs execute the identical tick sequence, which is
+    /// what makes crash recovery bit-exact.
+    pub slice_nodes: usize,
+    /// Optional per-cell wall-clock timeout (seconds). Trades determinism
+    /// for liveness; the crash-recovery CI job leaves it `None`.
+    pub timeout_secs: Option<f64>,
+    /// Optional deterministic fault-injection seed
+    /// ([`FaultPlan::from_seed`]) so a quarantined cell's failure can be
+    /// replayed exactly.
+    pub fault_seed: Option<u64>,
+    /// Optional quantization grid for the constrained demand set
+    /// (`None` = continuous demands).
+    pub quantized: Option<Vec<f64>>,
+}
+
+impl CellSpec {
+    /// Encodes the spec as whitespace-separated journal tokens.
+    pub fn encode(&self) -> String {
+        let mut out = vec![wire::escape(&self.label)];
+        match &self.topology {
+            TopologySpec::Fig1 { cap } => {
+                out.push("fig1".into());
+                out.push(wire::fhex(*cap));
+            }
+            TopologySpec::Builtin { name, cap } => {
+                out.push("builtin".into());
+                out.push(wire::escape(name));
+                out.push(wire::fhex(*cap));
+            }
+        }
+        out.push(self.paths_per_pair.to_string());
+        match &self.heuristic {
+            CellHeuristic::Dp { threshold } => {
+                out.push("dp".into());
+                out.push(wire::fhex(*threshold));
+            }
+            CellHeuristic::Pop {
+                n_parts,
+                n_insts,
+                seed,
+                tail_rank,
+            } => {
+                out.push("pop".into());
+                out.push(n_parts.to_string());
+                out.push(n_insts.to_string());
+                out.push(seed.to_string());
+                out.push(tail_rank.map_or("avg".into(), |k| format!("tail:{k}")));
+            }
+        }
+        out.push(wire::fhex(self.lo));
+        out.push(wire::fhex(self.hi));
+        out.push(wire::fhex(self.resolution));
+        out.push(self.probe_cap_nodes.to_string());
+        out.push(self.slice_nodes.to_string());
+        out.push(self.timeout_secs.map_or("none".into(), wire::fhex));
+        out.push(self.fault_seed.map_or("none".into(), |s| s.to_string()));
+        match &self.quantized {
+            None => out.push("none".into()),
+            Some(levels) => {
+                out.push(levels.len().to_string());
+                out.extend(levels.iter().map(|&l| wire::fhex(l)));
+            }
+        }
+        out.join(" ")
+    }
+
+    /// Decodes a spec from its journal tokens.
+    pub fn decode(s: &str) -> Result<CellSpec, String> {
+        let mut tok = s.split_whitespace();
+        let mut next = |what: &str| {
+            tok.next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("cell spec missing {what}"))
+        };
+        let label = wire::unescape(&next("label")?)?;
+        let topology = match next("topology kind")?.as_str() {
+            "fig1" => TopologySpec::Fig1 {
+                cap: wire::parse_fhex(&next("fig1 cap")?)?,
+            },
+            "builtin" => TopologySpec::Builtin {
+                name: wire::unescape(&next("builtin name")?)?,
+                cap: wire::parse_fhex(&next("builtin cap")?)?,
+            },
+            other => return Err(format!("unknown topology kind `{other}`")),
+        };
+        let paths_per_pair = wire::parse_usize(&next("paths_per_pair")?, "paths_per_pair")?;
+        let heuristic = match next("heuristic kind")?.as_str() {
+            "dp" => CellHeuristic::Dp {
+                threshold: wire::parse_fhex(&next("dp threshold")?)?,
+            },
+            "pop" => {
+                let n_parts = wire::parse_usize(&next("pop n_parts")?, "pop n_parts")?;
+                let n_insts = wire::parse_usize(&next("pop n_insts")?, "pop n_insts")?;
+                let seed = wire::parse_u64(&next("pop seed")?, "pop seed")?;
+                let mode = next("pop mode")?;
+                let tail_rank = if mode == "avg" {
+                    None
+                } else if let Some(k) = mode.strip_prefix("tail:") {
+                    Some(wire::parse_usize(k, "pop tail rank")?)
+                } else {
+                    return Err(format!("unknown pop mode `{mode}`"));
+                };
+                CellHeuristic::Pop {
+                    n_parts,
+                    n_insts,
+                    seed,
+                    tail_rank,
+                }
+            }
+            other => return Err(format!("unknown heuristic kind `{other}`")),
+        };
+        let lo = wire::parse_fhex(&next("lo")?)?;
+        let hi = wire::parse_fhex(&next("hi")?)?;
+        let resolution = wire::parse_fhex(&next("resolution")?)?;
+        let probe_cap_nodes = wire::parse_usize(&next("probe_cap_nodes")?, "probe_cap_nodes")?;
+        let slice_nodes = wire::parse_usize(&next("slice_nodes")?, "slice_nodes")?;
+        let timeout = next("timeout")?;
+        let timeout_secs = if timeout == "none" {
+            None
+        } else {
+            Some(wire::parse_fhex(&timeout)?)
+        };
+        let fault = next("fault seed")?;
+        let fault_seed = if fault == "none" {
+            None
+        } else {
+            Some(wire::parse_u64(&fault, "fault seed")?)
+        };
+        let quant = next("quantization")?;
+        let quantized = if quant == "none" {
+            None
+        } else {
+            let n = wire::parse_usize(&quant, "quantization level count")?;
+            let mut levels = Vec::with_capacity(n);
+            for i in 0..n {
+                levels.push(wire::parse_fhex(&next(&format!("quantization level {i}"))?)?);
+            }
+            Some(levels)
+        };
+        if tok.next().is_some() {
+            return Err("trailing tokens after cell spec".into());
+        }
+        Ok(CellSpec {
+            label,
+            topology,
+            paths_per_pair,
+            heuristic,
+            lo,
+            hi,
+            resolution,
+            probe_cap_nodes,
+            slice_nodes,
+            timeout_secs,
+            fault_seed,
+            quantized,
+        })
+    }
+
+    /// Rebuilds the runnable problem: instance, heuristic, constraint set,
+    /// and finder config. Deterministic — two processes building the same
+    /// spec get bit-identical models.
+    pub fn build(
+        &self,
+    ) -> Result<(TeInstance, HeuristicSpec, ConstrainedSet, FinderConfig), CampaignError> {
+        let (topo, pairs) = self.topology.build_topology()?;
+        let inst = match pairs {
+            Some(p) => {
+                let p = p
+                    .into_iter()
+                    .map(|(s, t)| (metaopt_topology::NodeId(s), metaopt_topology::NodeId(t)))
+                    .collect();
+                TeInstance::with_pairs(topo, p, self.paths_per_pair)
+            }
+            None => TeInstance::all_pairs(topo, self.paths_per_pair),
+        }
+        .map_err(|e| CampaignError::Config(format!("cell `{}`: {e}", self.label)))?;
+
+        let spec = match &self.heuristic {
+            CellHeuristic::Dp { threshold } => HeuristicSpec::DemandPinning {
+                threshold: *threshold,
+            },
+            CellHeuristic::Pop {
+                n_parts,
+                n_insts,
+                seed,
+                tail_rank,
+            } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let partitions = random_partitions(inst.n_pairs(), *n_parts, *n_insts, &mut rng);
+                HeuristicSpec::Pop {
+                    partitions,
+                    mode: tail_rank.map_or(PopMode::Average, |rank| PopMode::TailWorst { rank }),
+                }
+            }
+        };
+
+        let mut cfg = FinderConfig::default();
+        cfg.milp.max_nodes = self.probe_cap_nodes;
+        // Node-budgeted: no wall-clock stop inside the solver, so resumed
+        // ticks replay identically. Cell timeouts act at the slice layer.
+        cfg.milp.time_limit = None;
+        cfg.milp.stall_window = None;
+        cfg.milp.fault_plan = self.fault_seed.map(FaultPlan::from_seed);
+        let cs = match &self.quantized {
+            None => ConstrainedSet::unconstrained(),
+            Some(levels) => ConstrainedSet::unconstrained().quantized(levels.clone()),
+        };
+        Ok((inst, spec, cs, cfg))
+    }
+
+    /// A fresh resumable sweep state for this cell.
+    pub fn fresh_state(&self) -> Result<SweepState, CampaignError> {
+        SweepState::new(self.lo, self.hi, self.resolution).map_err(CampaignError::Core)
+    }
+}
+
+/// The certified outcome of a completed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Highest certified threshold (None: the range was infeasible).
+    pub threshold: Option<f64>,
+    /// The witness's re-certified gap.
+    pub verified_gap: Option<f64>,
+    /// The witness demands (empty when no witness).
+    pub demands: Vec<f64>,
+    /// Probe invocations spent.
+    pub probes: usize,
+    /// Branch-and-bound nodes spent across all probes and ticks.
+    pub nodes: usize,
+}
+
+impl CellOutcome {
+    /// Encodes the outcome as journal tokens.
+    pub fn encode(&self) -> String {
+        let mut out = vec![
+            self.probes.to_string(),
+            self.nodes.to_string(),
+            self.threshold.map_or("none".into(), wire::fhex),
+            self.verified_gap.map_or("none".into(), wire::fhex),
+            self.demands.len().to_string(),
+        ];
+        out.extend(self.demands.iter().map(|&d| wire::fhex(d)));
+        out.join(" ")
+    }
+
+    /// Decodes an outcome from its journal tokens.
+    pub fn decode(s: &str) -> Result<CellOutcome, String> {
+        let mut tok = s.split_whitespace();
+        let mut next = |what: &str| {
+            tok.next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("cell outcome missing {what}"))
+        };
+        let probes = wire::parse_usize(&next("probes")?, "probes")?;
+        let nodes = wire::parse_usize(&next("nodes")?, "nodes")?;
+        let t = next("threshold")?;
+        let threshold = if t == "none" {
+            None
+        } else {
+            Some(wire::parse_fhex(&t)?)
+        };
+        let g = next("verified gap")?;
+        let verified_gap = if g == "none" {
+            None
+        } else {
+            Some(wire::parse_fhex(&g)?)
+        };
+        let n = wire::parse_usize(&next("demand count")?, "demand count")?;
+        let mut demands = Vec::with_capacity(n);
+        for i in 0..n {
+            demands.push(wire::parse_fhex(&next(&format!("demand {i}"))?)?);
+        }
+        if tok.next().is_some() {
+            return Err("trailing tokens after cell outcome".into());
+        }
+        Ok(CellOutcome {
+            threshold,
+            verified_gap,
+            demands,
+            probes,
+            nodes,
+        })
+    }
+}
+
+/// Serializes a resumable [`SweepState`] (bisection machine, best witness,
+/// node counter, and the in-flight probe's checkpointed frontier) into one
+/// journal token stream.
+pub fn encode_sweep_state(state: &SweepState) -> String {
+    let m = &state.machine;
+    let mut out = vec![
+        wire::fhex(m.lo_bound),
+        wire::fhex(m.hi_bound),
+        wire::fhex(m.resolution),
+        if m.seeded { "1" } else { "0" }.to_string(),
+        if m.failed_at_lo { "1" } else { "0" }.to_string(),
+        m.best.map_or("none".into(), wire::fhex),
+        m.probes.to_string(),
+        state.nodes.to_string(),
+    ];
+    match &state.best_witness {
+        None => out.push("none".into()),
+        Some(w) => {
+            out.push(wire::fhex(w.verified_gap));
+            out.push(w.demands.len().to_string());
+            out.extend(w.demands.iter().map(|&d| wire::fhex(d)));
+        }
+    }
+    match &state.pending {
+        None => out.push("none".into()),
+        Some(p) => {
+            out.push(wire::fhex(p.g));
+            out.push(wire::escape(&p.checkpoint.to_text()));
+        }
+    }
+    out.join(" ")
+}
+
+/// Inverse of [`encode_sweep_state`]. Rejects malformed input with a
+/// message (never panics — journal bytes are untrusted after a crash).
+pub fn decode_sweep_state(s: &str) -> Result<SweepState, String> {
+    let mut tok = s.split_whitespace();
+    let mut next = |what: &str| {
+        tok.next()
+            .map(str::to_string)
+            .ok_or_else(|| format!("sweep state missing {what}"))
+    };
+    let lo_bound = wire::parse_fhex(&next("lo_bound")?)?;
+    let hi_bound = wire::parse_fhex(&next("hi_bound")?)?;
+    let resolution = wire::parse_fhex(&next("resolution")?)?;
+    let seeded = parse_flag(&next("seeded")?, "seeded")?;
+    let failed_at_lo = parse_flag(&next("failed_at_lo")?, "failed_at_lo")?;
+    let best_tok = next("best")?;
+    let best = if best_tok == "none" {
+        None
+    } else {
+        Some(wire::parse_fhex(&best_tok)?)
+    };
+    let probes = wire::parse_usize(&next("probes")?, "probes")?;
+    let nodes = wire::parse_usize(&next("nodes")?, "nodes")?;
+    // NaNs must fail these checks too — the journal bytes are untrusted.
+    if lo_bound.is_nan() || hi_bound.is_nan() || lo_bound > hi_bound || resolution.is_nan() || resolution <= 0.0 {
+        return Err(format!(
+            "inconsistent sweep bounds [{lo_bound}, {hi_bound}] / resolution {resolution}"
+        ));
+    }
+    let machine = SweepMachine {
+        lo_bound,
+        hi_bound,
+        resolution,
+        seeded,
+        failed_at_lo,
+        best,
+        probes,
+    };
+    let w_tok = next("witness")?;
+    let best_witness = if w_tok == "none" {
+        None
+    } else {
+        let verified_gap = wire::parse_fhex(&w_tok)?;
+        let n = wire::parse_usize(&next("witness demand count")?, "witness demand count")?;
+        let mut demands = Vec::with_capacity(n);
+        for i in 0..n {
+            demands.push(wire::parse_fhex(&next(&format!("witness demand {i}"))?)?);
+        }
+        Some(SweepWitness {
+            demands,
+            verified_gap,
+        })
+    };
+    let p_tok = next("pending")?;
+    let pending = if p_tok == "none" {
+        None
+    } else {
+        let g = wire::parse_fhex(&p_tok)?;
+        let blob = wire::unescape(&next("pending checkpoint")?)?;
+        let checkpoint = Checkpoint::from_text(&blob).map_err(|e| e.to_string())?;
+        Some(metaopt_core::PendingProbe { g, checkpoint })
+    };
+    if tok.next().is_some() {
+        return Err("trailing tokens after sweep state".into());
+    }
+    Ok(SweepState {
+        machine,
+        best_witness,
+        nodes,
+        pending,
+    })
+}
+
+fn parse_flag(s: &str, what: &str) -> Result<bool, String> {
+    match s {
+        "1" => Ok(true),
+        "0" => Ok(false),
+        other => Err(format!("bad {what} flag `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dp_cell() -> CellSpec {
+        CellSpec {
+            label: "fig1 dp T=50".into(),
+            topology: TopologySpec::Fig1 { cap: 100.0 },
+            paths_per_pair: 2,
+            heuristic: CellHeuristic::Dp { threshold: 50.0 },
+            lo: 0.0,
+            hi: 100.0,
+            resolution: 2.0,
+            probe_cap_nodes: 4_000,
+            slice_nodes: 16,
+            timeout_secs: None,
+            fault_seed: None,
+            quantized: None,
+        }
+    }
+
+    #[test]
+    fn cell_spec_round_trips() {
+        let cells = [
+            dp_cell(),
+            CellSpec {
+                label: "abilene pop 2x3 ~weird label\\".into(),
+                topology: TopologySpec::Builtin {
+                    name: "abilene".into(),
+                    cap: 1000.0,
+                },
+                paths_per_pair: 3,
+                heuristic: CellHeuristic::Pop {
+                    n_parts: 2,
+                    n_insts: 3,
+                    seed: 42,
+                    tail_rank: Some(1),
+                },
+                lo: 0.0,
+                hi: 500.0,
+                resolution: 10.0,
+                probe_cap_nodes: 100,
+                slice_nodes: 5,
+                timeout_secs: Some(12.5),
+                fault_seed: Some(7),
+                quantized: Some(vec![0.0, 50.0, 1000.0]),
+            },
+        ];
+        for c in cells {
+            let enc = c.encode();
+            assert_eq!(CellSpec::decode(&enc).unwrap(), c, "{enc}");
+        }
+    }
+
+    #[test]
+    fn cell_spec_decode_rejects_garbage() {
+        for bad in [
+            "",
+            "label fig1",
+            "label fig1 notahexfloat 2 dp 0000000000000000",
+            "label tokamak 0000000000000000 2 dp 0 0 0 0 1 1 none none",
+            &format!("{} trailing", dp_cell().encode()),
+        ] {
+            assert!(CellSpec::decode(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn cell_outcome_round_trips() {
+        let outs = [
+            CellOutcome {
+                threshold: Some(50.0),
+                verified_gap: Some(50.0),
+                demands: vec![50.0, 100.0, 100.0],
+                probes: 7,
+                nodes: 123,
+            },
+            CellOutcome {
+                threshold: None,
+                verified_gap: None,
+                demands: vec![],
+                probes: 1,
+                nodes: 9,
+            },
+        ];
+        for o in outs {
+            assert_eq!(CellOutcome::decode(&o.encode()).unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn fresh_sweep_state_round_trips() {
+        let st = dp_cell().fresh_state().unwrap();
+        let enc = encode_sweep_state(&st);
+        let back = decode_sweep_state(&enc).unwrap();
+        assert_eq!(back.machine, st.machine);
+        assert_eq!(back.nodes, st.nodes);
+        assert!(back.best_witness.is_none() && back.pending.is_none());
+    }
+
+    #[test]
+    fn builds_fig1_and_pop_cells() {
+        let (inst, spec, _cs, cfg) = dp_cell().build().unwrap();
+        assert_eq!(inst.n_pairs(), 3);
+        assert!(matches!(spec, HeuristicSpec::DemandPinning { .. }));
+        assert_eq!(cfg.milp.max_nodes, 4_000);
+        assert!(cfg.milp.time_limit.is_none());
+
+        let pop = CellSpec {
+            label: "pop".into(),
+            topology: TopologySpec::Fig1 { cap: 100.0 },
+            heuristic: CellHeuristic::Pop {
+                n_parts: 2,
+                n_insts: 2,
+                seed: 3,
+                tail_rank: None,
+            },
+            ..dp_cell()
+        };
+        let (_, spec_a, _, _) = pop.build().unwrap();
+        let (_, spec_b, _, _) = pop.build().unwrap();
+        // Partition regeneration is deterministic across builds.
+        match (spec_a, spec_b) {
+            (
+                HeuristicSpec::Pop { partitions: a, .. },
+                HeuristicSpec::Pop { partitions: b, .. },
+            ) => {
+                assert_eq!(a.len(), 2);
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.assignment, y.assignment);
+                }
+            }
+            _ => panic!("expected POP specs"),
+        }
+    }
+}

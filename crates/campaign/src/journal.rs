@@ -1,0 +1,230 @@
+//! The write-ahead journal: every campaign state transition is one
+//! checksummed, length-prefixed line, appended and synced before the
+//! transition takes effect anywhere else.
+//!
+//! Line format (version 1):
+//!
+//! ```text
+//! J1 <len> <crc32-hex8> <payload>\n
+//! ```
+//!
+//! * `len` — payload length in bytes (decimal). Catches truncation
+//!   deterministically (a shorter payload cannot fake its length).
+//! * `crc32` — CRC-32 of the payload bytes. Catches corruption (any burst
+//!   of ≤ 32 bits, i.e. every single-byte error).
+//! * `payload` — a `kind field...` record; fields are whitespace-free
+//!   tokens ([`crate::wire::escape`]).
+//!
+//! A hard kill (SIGKILL, OOM, power loss) can tear at most the *final*
+//! line: [`read_journal`] drops a torn tail (missing newline, short
+//! payload, or failed checksum on the last line) and reports it, while the
+//! same damage anywhere *before* the tail is refused as corruption — a
+//! mid-file tear cannot happen under append-only writes, so it means the
+//! file was edited or the disk is lying, and resuming from it would be
+//! unsound.
+
+use crate::{wire, CampaignError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal file name inside a campaign directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Append-only journal writer. Every [`Journal::append`] flushes and
+/// fsyncs before returning: when the call returns, the record survives the
+/// process.
+#[derive(Debug)]
+pub struct Journal {
+    file: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates a fresh journal (refuses to overwrite an existing one — an
+    /// existing journal means "resume", never "restart").
+    pub fn create(dir: &Path) -> Result<Journal, CampaignError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CampaignError::Io(format!("create {}: {e}", dir.display())))?;
+        let path = dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| CampaignError::Io(format!("create {}: {e}", path.display())))?;
+        Ok(Journal {
+            file: BufWriter::new(file),
+            path,
+        })
+    }
+
+    /// Opens an existing journal for appending (resume path).
+    pub fn open_append(dir: &Path) -> Result<Journal, CampaignError> {
+        let path = dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| CampaignError::Io(format!("open {}: {e}", path.display())))?;
+        Ok(Journal {
+            file: BufWriter::new(file),
+            path,
+        })
+    }
+
+    /// Appends one record payload (without the `J1 len crc` envelope —
+    /// this method adds it), then flushes and syncs.
+    pub fn append(&mut self, payload: &str) -> Result<(), CampaignError> {
+        debug_assert!(!payload.contains('\n'), "payloads are single-line");
+        let line = encode_line(payload);
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.get_ref().sync_data())
+            .map_err(|e| CampaignError::Io(format!("append {}: {e}", self.path.display())))
+    }
+}
+
+/// Wraps a payload in the `J1 <len> <crc> <payload>\n` envelope.
+pub fn encode_line(payload: &str) -> String {
+    format!(
+        "J1 {} {:08x} {payload}\n",
+        payload.len(),
+        wire::crc32(payload.as_bytes())
+    )
+}
+
+/// Outcome of replaying a journal file from disk.
+#[derive(Debug)]
+pub struct JournalContents {
+    /// The verified record payloads, in append order.
+    pub records: Vec<String>,
+    /// Whether a torn final line was detected and dropped (evidence of a
+    /// hard kill mid-append; harmless — the write-ahead discipline means
+    /// the lost record's transition never took effect).
+    pub torn_tail: bool,
+}
+
+/// Reads and verifies a journal. Corruption anywhere except the final
+/// line is an error; a torn final line is dropped and flagged.
+pub fn read_journal(dir: &Path) -> Result<JournalContents, CampaignError> {
+    let path = dir.join(JOURNAL_FILE);
+    let mut raw = Vec::new();
+    File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| CampaignError::Io(format!("read {}: {e}", path.display())))?;
+    parse_journal_bytes(&raw)
+}
+
+/// Parses raw journal bytes (separated from I/O for the corruption
+/// property tests).
+pub fn parse_journal_bytes(raw: &[u8]) -> Result<JournalContents, CampaignError> {
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    let mut offset = 0usize;
+    while offset < raw.len() {
+        let (line, next, complete) = match raw[offset..].iter().position(|&b| b == b'\n') {
+            Some(rel) => (&raw[offset..offset + rel], offset + rel + 1, true),
+            None => (&raw[offset..], raw.len(), false),
+        };
+        let at_tail = next >= raw.len();
+        match verify_line(line, complete) {
+            Ok(payload) => records.push(payload),
+            Err(why) => {
+                if at_tail {
+                    // A hard kill tears at most the final append.
+                    torn_tail = true;
+                } else {
+                    return Err(CampaignError::Corrupt(format!(
+                        "journal record {} (byte offset {offset}): {why}",
+                        records.len()
+                    )));
+                }
+            }
+        }
+        offset = next;
+    }
+    Ok(JournalContents { records, torn_tail })
+}
+
+/// Verifies one journal line's envelope, returning the payload.
+fn verify_line(line: &[u8], newline_terminated: bool) -> Result<String, String> {
+    if !newline_terminated {
+        return Err("missing newline terminator".into());
+    }
+    let text = std::str::from_utf8(line).map_err(|_| "not valid UTF-8".to_string())?;
+    let rest = text
+        .strip_prefix("J1 ")
+        .ok_or_else(|| "missing `J1` envelope".to_string())?;
+    let (len_s, rest) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing length field".to_string())?;
+    let (crc_s, payload) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing checksum field".to_string())?;
+    let len: usize = len_s.parse().map_err(|_| format!("bad length `{len_s}`"))?;
+    if payload.len() != len {
+        return Err(format!("length mismatch: header {len}, got {}", payload.len()));
+    }
+    let crc = u32::from_str_radix(crc_s, 16).map_err(|_| format!("bad checksum `{crc_s}`"))?;
+    let actual = wire::crc32(payload.as_bytes());
+    if crc != actual {
+        return Err(format!("checksum mismatch: header {crc:08x}, got {actual:08x}"));
+    }
+    Ok(payload.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_then_parse_round_trips() {
+        let mut bytes = Vec::new();
+        let payloads = ["campaign v1 demo", "cell 0 spec", "done 0 3 120"];
+        for p in payloads {
+            bytes.extend_from_slice(encode_line(p).as_bytes());
+        }
+        let out = parse_journal_bytes(&bytes).unwrap();
+        assert!(!out.torn_tail);
+        assert_eq!(out.records, payloads);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(encode_line("cell 0 spec").as_bytes());
+        let full = encode_line("ckpt 0 blob");
+        // Simulate a SIGKILL mid-append: half the final line, no newline.
+        bytes.extend_from_slice(&full.as_bytes()[..full.len() / 2]);
+        let out = parse_journal_bytes(&bytes).unwrap();
+        assert!(out.torn_tail);
+        assert_eq!(out.records, vec!["cell 0 spec".to_string()]);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_fatal() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(encode_line("cell 0 spec").as_bytes());
+        bytes.extend_from_slice(encode_line("ckpt 0 blob").as_bytes());
+        // Flip a payload byte in the *first* record.
+        let flip = 12;
+        bytes[flip] ^= 0x01;
+        let err = parse_journal_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CampaignError::Corrupt(_)), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_tail_with_newline_is_torn() {
+        // A record whose payload was cut short but whose newline made it
+        // to disk: caught by the length field.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(encode_line("cell 0 spec").as_bytes());
+        let full = encode_line("ckpt 0 some-longer-blob");
+        let cut = &full.as_bytes()[..full.len() - 6];
+        bytes.extend_from_slice(cut);
+        bytes.push(b'\n');
+        let out = parse_journal_bytes(&bytes).unwrap();
+        assert!(out.torn_tail);
+        assert_eq!(out.records.len(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # metaopt-campaign
+//!
+//! Crash-safe campaign runner for long adversarial-gap studies: a grid of
+//! cells (instance × heuristic × sweep range × budget) executed on a
+//! supervised pool of panic-contained workers, with every state
+//! transition — including the in-flight branch-and-bound frontier of each
+//! cell's sweep — appended to a checksummed write-ahead journal.
+//!
+//! The design goal is a precise recovery contract:
+//!
+//! * **`kill -9` loses at most one tick.** Cells always execute in fixed
+//!   node-budget slices with a checkpoint journaled at every boundary, so
+//!   a resumed campaign re-executes only the interrupted tick — and,
+//!   because slices are node-based (never wall-clock) and floats are
+//!   journaled as exact bit patterns, it produces the *same* certified
+//!   `(cell, verified_gap)` results as an uninterrupted run.
+//! * **Completed work never repeats.** `done` cells replay as terminal;
+//!   resume schedules only pending cells, from their last checkpoint.
+//! * **Failures are bounded.** Worker panics are contained, failures retry
+//!   with exponential backoff and deterministic jitter
+//!   ([`metaopt_resilience::RetryPolicy`]), and cells that keep failing
+//!   are quarantined with their full fault history instead of wedging the
+//!   run.
+//!
+//! See `DESIGN.md` §11 for the journal format and resume semantics.
+
+pub mod cell;
+pub mod journal;
+pub mod runner;
+pub mod state;
+pub mod wire;
+
+pub use cell::{
+    decode_sweep_state, encode_sweep_state, CellHeuristic, CellOutcome, CellSpec, TopologySpec,
+};
+pub use journal::{
+    encode_line, parse_journal_bytes, read_journal, Journal, JournalContents, JOURNAL_FILE,
+};
+pub use runner::{
+    resume, run, status, CampaignConfig, CampaignReport, RunEnd, ShutdownFlag, MANIFEST_FILE,
+};
+pub use state::{CampaignState, CellStatus, FailureRecord, CAMPAIGN_MAGIC};
+
+use metaopt_core::CoreError;
+
+/// Errors raised by the campaign layer.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem / journal I/O failed.
+    Io(String),
+    /// The journal (or a record inside it) failed verification. Resuming
+    /// from corrupt state would be unsound, so this is always fatal.
+    Corrupt(String),
+    /// The underlying gap-finding machinery failed.
+    Core(CoreError),
+    /// Invalid campaign configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io(s) => write!(f, "campaign io error: {s}"),
+            CampaignError::Corrupt(s) => write!(f, "corrupt journal: {s}"),
+            CampaignError::Core(e) => write!(f, "campaign core error: {e}"),
+            CampaignError::Config(s) => write!(f, "campaign config error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<CoreError> for CampaignError {
+    fn from(e: CoreError) -> Self {
+        CampaignError::Core(e)
+    }
+}
+
+impl From<String> for CampaignError {
+    fn from(s: String) -> Self {
+        CampaignError::Corrupt(s)
+    }
+}

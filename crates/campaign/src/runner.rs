@@ -1,0 +1,562 @@
+//! The supervised campaign runner.
+//!
+//! A campaign executes its grid of cells on a pool of panic-contained
+//! worker threads. Each worker owns one cell at a time and advances it in
+//! fixed node-budget *ticks* ([`metaopt_core::sweep_tick`]); after every
+//! tick the resulting state is appended to the write-ahead journal, so a
+//! hard kill loses at most the (re-executable) tick in flight. Failures go
+//! through the [`RetryPolicy`] with exponential backoff and deterministic
+//! jitter; cells that keep failing are quarantined with their full fault
+//! history instead of wedging the campaign.
+//!
+//! Shutdown is cooperative: a polled [`ShutdownFlag`] (the process's
+//! SIGINT handler or a supervisor sets it) or the campaign deadline makes
+//! every worker finish its current tick — whose checkpoint is then
+//! durable — and exit; the runner then writes a `shutdown` record and the
+//! resumable manifest.
+
+use crate::cell::{encode_sweep_state, CellOutcome, CellSpec};
+use crate::journal::Journal;
+use crate::state::{CampaignState, CellStatus};
+use crate::{wire, CampaignError};
+use metaopt_core::{CoreError, SliceBudget, SweepState, SweepTick};
+use metaopt_resilience::{QuarantineReason, RetryDecision, RetryPolicy};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cooperative shutdown flag. The campaign has no signal handler of its
+/// own (no libc dependency); the embedding binary polls or traps SIGINT
+/// and calls [`ShutdownFlag::request`].
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag(Arc<AtomicBool>);
+
+impl ShutdownFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        ShutdownFlag::default()
+    }
+
+    /// Requests a graceful drain.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Retry/backoff/quarantine policy for failed cell attempts.
+    pub retry: RetryPolicy,
+    /// Optional campaign-wide wall-clock deadline (graceful drain when it
+    /// passes).
+    pub deadline: Option<Instant>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            workers: 2,
+            retry: RetryPolicy::default(),
+            deadline: None,
+        }
+    }
+}
+
+/// How a campaign run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunEnd {
+    /// Every cell reached a terminal state (done or quarantined).
+    Complete,
+    /// A graceful drain (shutdown flag or deadline) stopped the run with
+    /// pending cells; resume later with [`resume`].
+    Drained,
+}
+
+/// What [`run`] / [`resume`] return: the replayed end-of-run state plus
+/// how the run ended.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The campaign state replayed from the journal after the run.
+    pub state: CampaignState,
+    /// Whether the run completed or drained.
+    pub end: RunEnd,
+}
+
+/// Starts a fresh campaign in `dir` (which must not already contain a
+/// journal) and runs it to completion or drain.
+pub fn run(
+    dir: &Path,
+    name: &str,
+    cells: Vec<CellSpec>,
+    cfg: &CampaignConfig,
+    shutdown: &ShutdownFlag,
+) -> Result<CampaignReport, CampaignError> {
+    if cells.is_empty() {
+        return Err(CampaignError::Config("campaign has no cells".into()));
+    }
+    let mut journal = Journal::create(dir)?;
+    journal.append(&format!(
+        "{} {} {}",
+        crate::state::CAMPAIGN_MAGIC,
+        wire::escape(name),
+        cells.len()
+    ))?;
+    for (i, c) in cells.iter().enumerate() {
+        journal.append(&format!("cell {i} {}", c.encode()))?;
+    }
+    let work: Vec<WorkItem> = cells
+        .iter()
+        .enumerate()
+        .map(|(idx, spec)| WorkItem {
+            idx,
+            attempt: 1,
+            state: None,
+            spec: spec.clone(),
+        })
+        .collect();
+    execute(dir, journal, work, cfg, shutdown)
+}
+
+/// Resumes the campaign journaled in `dir`: replays the journal,
+/// reconstructs every pending cell's frontier from its last checkpoint,
+/// and continues. Completed and quarantined cells are never re-run.
+pub fn resume(
+    dir: &Path,
+    cfg: &CampaignConfig,
+    shutdown: &ShutdownFlag,
+) -> Result<CampaignReport, CampaignError> {
+    let prior = CampaignState::from_dir(dir)?;
+    let mut work = Vec::new();
+    for idx in prior.pending_indices() {
+        let (attempt, resume_state) = match &prior.status[idx] {
+            CellStatus::Pending { attempt, resume } => (*attempt + 1, resume.clone()),
+            _ => unreachable!("pending_indices returned a terminal cell"),
+        };
+        work.push(WorkItem {
+            idx,
+            attempt,
+            state: resume_state,
+            spec: prior.cells[idx].clone(),
+        });
+    }
+    let journal = Journal::open_append(dir)?;
+    execute(dir, journal, work, cfg, shutdown)
+}
+
+/// Replays the journal in `dir` without running anything.
+pub fn status(dir: &Path) -> Result<CampaignState, CampaignError> {
+    CampaignState::from_dir(dir)
+}
+
+/// Resumable manifest file name inside a campaign directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.txt";
+
+// ---------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------
+
+/// A unit of schedulable work: one cell attempt, possibly mid-sweep.
+#[derive(Debug, Clone)]
+struct WorkItem {
+    idx: usize,
+    /// 1-based attempt number this pickup runs as.
+    attempt: usize,
+    /// Resume point (None = fresh sweep).
+    state: Option<SweepState>,
+    spec: CellSpec,
+}
+
+struct Queue {
+    ready: VecDeque<WorkItem>,
+    /// Backoff-delayed retries, with their not-before instants.
+    delayed: Vec<(Instant, WorkItem)>,
+    /// Items currently held by workers.
+    outstanding: usize,
+    /// Set to stop workers (drain or completion).
+    stop: bool,
+}
+
+impl Queue {
+    fn work_remains(&self) -> bool {
+        !self.ready.is_empty() || !self.delayed.is_empty() || self.outstanding > 0
+    }
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    cv: Condvar,
+    journal: Mutex<Journal>,
+    shutdown: ShutdownFlag,
+    deadline: Option<Instant>,
+    retry: RetryPolicy,
+    /// First unrecoverable runner error (journal I/O); stops the run.
+    fatal: Mutex<Option<CampaignError>>,
+}
+
+impl Shared {
+    fn append(&self, payload: &str) -> Result<(), CampaignError> {
+        self.journal
+            .lock()
+            .expect("journal lock poisoned")
+            .append(payload)
+    }
+
+    fn drain_requested(&self) -> bool {
+        self.shutdown.is_requested() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    fn abort(&self, err: CampaignError) {
+        let mut slot = self.fatal.lock().expect("fatal lock poisoned");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        drop(slot);
+        let mut q = self.queue.lock().expect("queue lock poisoned");
+        q.stop = true;
+        drop(q);
+        self.cv.notify_all();
+    }
+}
+
+fn execute(
+    dir: &Path,
+    journal: Journal,
+    work: Vec<WorkItem>,
+    cfg: &CampaignConfig,
+    shutdown: &ShutdownFlag,
+) -> Result<CampaignReport, CampaignError> {
+    let had_work = !work.is_empty();
+    let shared = Shared {
+        queue: Mutex::new(Queue {
+            ready: work.into(),
+            delayed: Vec::new(),
+            outstanding: 0,
+            stop: !had_work,
+        }),
+        cv: Condvar::new(),
+        journal: Mutex::new(journal),
+        shutdown: shutdown.clone(),
+        deadline: cfg.deadline,
+        retry: cfg.retry,
+        fatal: Mutex::new(None),
+    };
+
+    let n_workers = cfg.workers.max(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            handles.push(scope.spawn(|| worker_loop(&shared)));
+        }
+        // Supervisor: watch for drain requests while workers run.
+        loop {
+            if shared.drain_requested() {
+                let mut q = shared.queue.lock().expect("queue lock poisoned");
+                q.stop = true;
+                drop(q);
+                shared.cv.notify_all();
+                break;
+            }
+            let q = shared.queue.lock().expect("queue lock poisoned");
+            if q.stop && q.outstanding == 0 {
+                break;
+            }
+            drop(q);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for h in handles {
+            // Workers contain cell panics themselves; a panic escaping the
+            // worker loop is a runner bug worth propagating.
+            h.join().expect("worker thread panicked outside containment");
+        }
+    });
+
+    if let Some(err) = shared.fatal.lock().expect("fatal lock poisoned").take() {
+        return Err(err);
+    }
+
+    let drained = {
+        let q = shared.queue.lock().expect("queue lock poisoned");
+        q.work_remains()
+    };
+    let end = if drained { RunEnd::Drained } else { RunEnd::Complete };
+    let reason = match end {
+        RunEnd::Complete => "complete",
+        RunEnd::Drained => "drained",
+    };
+    shared.append(&format!("shutdown {}", wire::escape(reason)))?;
+    drop(shared);
+
+    let state = CampaignState::from_dir(dir)?;
+    std::fs::write(dir.join(MANIFEST_FILE), state.manifest())
+        .map_err(|e| CampaignError::Io(format!("write manifest: {e}")))?;
+    Ok(CampaignReport { state, end })
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let item = {
+            let mut q = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if q.stop {
+                    return;
+                }
+                let now = Instant::now();
+                // Promote due retries.
+                let mut i = 0;
+                while i < q.delayed.len() {
+                    if q.delayed[i].0 <= now {
+                        let (_, item) = q.delayed.swap_remove(i);
+                        q.ready.push_back(item);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if let Some(item) = q.ready.pop_front() {
+                    q.outstanding += 1;
+                    break item;
+                }
+                if !q.work_remains() {
+                    // Nothing left anywhere: the campaign is complete.
+                    q.stop = true;
+                    shared.cv.notify_all();
+                    return;
+                }
+                // Wait for a retry to come due or for new signals.
+                let wait = q
+                    .delayed
+                    .iter()
+                    .map(|(t, _)| t.saturating_duration_since(now))
+                    .min()
+                    .unwrap_or(Duration::from_millis(50))
+                    .min(Duration::from_millis(50));
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(q, wait.max(Duration::from_millis(1)))
+                    .expect("queue lock poisoned");
+                q = guard;
+            }
+        };
+        run_item(shared, item);
+        let mut q = shared.queue.lock().expect("queue lock poisoned");
+        q.outstanding -= 1;
+        if !q.work_remains() {
+            q.stop = true;
+        }
+        drop(q);
+        shared.cv.notify_all();
+    }
+}
+
+/// What one cell attempt ended as.
+enum AttemptEnd {
+    Finished,
+    Failed { kind: String, detail: String },
+    DrainedMidCell,
+}
+
+fn run_item(shared: &Shared, item: WorkItem) {
+    let WorkItem {
+        idx,
+        attempt,
+        state,
+        spec,
+    } = item;
+    if let Err(e) = shared.append(&format!("run {idx} {attempt}")) {
+        shared.abort(e);
+        return;
+    }
+    // The last journaled (durable) state: retries restart from here, not
+    // from whatever a failing tick left behind.
+    let mut last_good = state;
+    let started = Instant::now();
+    let cell_deadline = spec.timeout_secs.map(|s| started + Duration::from_secs_f64(s));
+
+    let end = attempt_cell(shared, idx, &spec, &mut last_good, cell_deadline);
+    match end {
+        Ok(AttemptEnd::Finished) => {}
+        Ok(AttemptEnd::DrainedMidCell) => {
+            // Hand the cell back so the queue still counts it as pending
+            // (stop is set, so nobody picks it up; `resume` will).
+            let mut q = shared.queue.lock().expect("queue lock poisoned");
+            q.ready.push_back(WorkItem {
+                idx,
+                attempt,
+                state: last_good,
+                spec,
+            });
+        }
+        Ok(AttemptEnd::Failed { kind, detail }) => {
+            if let Err(e) = shared.append(&format!(
+                "fail {idx} {attempt} {} {}",
+                wire::escape(&kind),
+                wire::escape(&detail)
+            )) {
+                shared.abort(e);
+                return;
+            }
+            let fatal = kind == "fatal";
+            let seed = (idx as u64).wrapping_mul(0x9E37_79B9).wrapping_add(attempt as u64);
+            let decision = if fatal {
+                RetryDecision::Quarantine
+            } else {
+                shared.retry.on_failure(attempt, seed)
+            };
+            match decision {
+                RetryDecision::RetryAfter(delay) => {
+                    let retry = WorkItem {
+                        idx,
+                        attempt: attempt + 1,
+                        state: last_good,
+                        spec,
+                    };
+                    let mut q = shared.queue.lock().expect("queue lock poisoned");
+                    q.delayed.push((Instant::now() + delay, retry));
+                    drop(q);
+                    shared.cv.notify_all();
+                }
+                RetryDecision::Quarantine => {
+                    let reason = quarantine_reason(&kind, fatal);
+                    if let Err(e) = shared
+                        .append(&format!("quarantine {idx} {} {attempt}", reason.kind()))
+                    {
+                        shared.abort(e);
+                    }
+                }
+            }
+        }
+        Err(e) => shared.abort(e),
+    }
+}
+
+fn quarantine_reason(failure_kind: &str, fatal: bool) -> QuarantineReason {
+    if fatal {
+        QuarantineReason::FatalError
+    } else if failure_kind == "timeout" {
+        QuarantineReason::RepeatedTimeout
+    } else if failure_kind == "panic" {
+        QuarantineReason::WorkerPanic
+    } else {
+        QuarantineReason::ExhaustedRetries
+    }
+}
+
+/// Ticks one cell until it finishes, fails, times out, or the campaign
+/// drains. `last_good` tracks the latest *journaled* state.
+fn attempt_cell(
+    shared: &Shared,
+    idx: usize,
+    spec: &CellSpec,
+    last_good: &mut Option<SweepState>,
+    cell_deadline: Option<Instant>,
+) -> Result<AttemptEnd, CampaignError> {
+    // Rebuild the problem from the spec. Build errors are never transient.
+    let built = catch_unwind(AssertUnwindSafe(|| spec.build()));
+    let (inst, heu, cs, cfg) = match built {
+        Ok(Ok(parts)) => parts,
+        Ok(Err(e)) => {
+            return Ok(AttemptEnd::Failed {
+                kind: "fatal".into(),
+                detail: format!("build failed: {e}"),
+            })
+        }
+        Err(p) => {
+            return Ok(AttemptEnd::Failed {
+                kind: "panic".into(),
+                detail: format!("build panicked: {}", panic_message(&p)),
+            })
+        }
+    };
+    let mut current = match last_good.clone() {
+        Some(s) => s,
+        None => spec.fresh_state()?,
+    };
+
+    loop {
+        // Only the *cell* timeout may cut a tick short mid-slice (that is
+        // its documented determinism-for-liveness tradeoff). The campaign
+        // deadline is checked between ticks instead: every journaled
+        // checkpoint then sits on a node-count boundary, so a
+        // deadline-drained campaign resumes to the same node totals as an
+        // uninterrupted one.
+        let slice = SliceBudget {
+            max_nodes: spec.slice_nodes.max(1),
+            deadline: cell_deadline,
+        };
+        let ticked = catch_unwind(AssertUnwindSafe(|| {
+            metaopt_core::sweep_tick(&inst, &heu, &cs, &cfg, current.clone(), &slice)
+        }));
+        match ticked {
+            Ok(Ok(SweepTick::Done(final_state))) => {
+                let result = final_state.result();
+                let outcome = CellOutcome {
+                    threshold: result.threshold,
+                    verified_gap: result.witness.as_ref().map(|w| w.verified_gap),
+                    demands: result.witness.map(|w| w.demands).unwrap_or_default(),
+                    probes: result.probes,
+                    nodes: final_state.nodes,
+                };
+                shared.append(&format!("done {idx} {}", outcome.encode()))?;
+                return Ok(AttemptEnd::Finished);
+            }
+            Ok(Ok(SweepTick::Paused(next))) => {
+                shared.append(&format!("ckpt {idx} {}", encode_sweep_state(&next)))?;
+                *last_good = Some(next.clone());
+                current = next;
+                if cell_deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Ok(AttemptEnd::Failed {
+                        kind: "timeout".into(),
+                        detail: format!("cell exceeded {:?}s", spec.timeout_secs),
+                    });
+                }
+                if shared.drain_requested() {
+                    // The checkpoint above is durable; resume continues
+                    // exactly here.
+                    return Ok(AttemptEnd::DrainedMidCell);
+                }
+            }
+            Ok(Err(err)) => {
+                let (kind, detail) = classify_core_error(&err);
+                return Ok(AttemptEnd::Failed { kind, detail });
+            }
+            Err(p) => {
+                return Ok(AttemptEnd::Failed {
+                    kind: "panic".into(),
+                    detail: format!("tick panicked: {}", panic_message(&p)),
+                })
+            }
+        }
+    }
+}
+
+/// Maps a core error onto the journal's failure taxonomy. Configuration,
+/// model-construction, and model-check failures are deterministic —
+/// retrying cannot change them — so they quarantine immediately.
+fn classify_core_error(err: &CoreError) -> (String, String) {
+    match err {
+        CoreError::Config(_) | CoreError::Model(_) | CoreError::ModelCheck(_) => {
+            ("fatal".into(), err.to_string())
+        }
+        CoreError::Milp(_) | CoreError::Te(_) => ("solver".into(), err.to_string()),
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}

@@ -1,0 +1,385 @@
+//! Journal replay: folding the verified record stream back into per-cell
+//! state. This is the *only* source of truth on resume — nothing about a
+//! campaign lives outside its journal.
+//!
+//! Record vocabulary (the payload inside each `J1` envelope):
+//!
+//! ```text
+//! campaign v1 <name> <n_cells>        header, always first
+//! cell <idx> <spec…>                  cell declaration (idx < n_cells)
+//! sched <idx> <attempt>               scheduler queued the cell
+//! run <idx> <attempt>                 a worker picked it up
+//! ckpt <idx> <sweep-state…>           durable tick boundary
+//! done <idx> <outcome…>               cell completed (terminal)
+//! fail <idx> <attempt> <kind> <detail> attempt failed; retry may follow
+//! quarantine <idx> <reason> <attempts> gave up on the cell (terminal)
+//! shutdown <reason>                   graceful drain finished
+//! ```
+//!
+//! Replay is strict: unknown record kinds, out-of-range indices, records
+//! for undeclared cells, and transitions on terminal cells are all
+//! [`CampaignError::Corrupt`] — a journal that replays is a journal whose
+//! every transition made sense in order.
+
+use crate::cell::{decode_sweep_state, CellOutcome, CellSpec};
+use crate::journal::read_journal;
+use crate::{wire, CampaignError};
+use metaopt_core::SweepState;
+use metaopt_resilience::QuarantineReason;
+use std::path::Path;
+
+/// Journal format/version header tag.
+pub const CAMPAIGN_MAGIC: &str = "campaign v1";
+
+/// One recorded failure of a cell attempt (the fault history quarantined
+/// cells carry for post-mortems and deterministic replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// Which attempt failed (1-based).
+    pub attempt: usize,
+    /// Fault kind (a [`metaopt_resilience::SolverFault`] kind, `panic`, or
+    /// `timeout`).
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Replayed status of one cell.
+#[derive(Debug, Clone)]
+pub enum CellStatus {
+    /// Not finished: run (or re-run) it, continuing from `resume` if set.
+    Pending {
+        /// Attempts already burnt (failed runs).
+        attempt: usize,
+        /// Last durable tick boundary, if any.
+        resume: Option<SweepState>,
+    },
+    /// Completed with a certified outcome. Terminal: replayed `done` cells
+    /// are never re-run (the zero-duplicated-work guarantee).
+    Done(CellOutcome),
+    /// Given up after repeated failures. Terminal.
+    Quarantined {
+        /// Why the supervisor gave up.
+        reason: QuarantineReason,
+        /// Attempts burnt before giving up.
+        attempts: usize,
+    },
+}
+
+impl CellStatus {
+    /// Whether the cell needs no further work.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, CellStatus::Pending { .. })
+    }
+}
+
+/// A campaign reconstructed from its journal.
+#[derive(Debug)]
+pub struct CampaignState {
+    /// Campaign name (from the header record).
+    pub name: String,
+    /// Declared cells, by index.
+    pub cells: Vec<CellSpec>,
+    /// Replayed status per cell (same indexing).
+    pub status: Vec<CellStatus>,
+    /// Failure history per cell (survives retries and quarantine).
+    pub failures: Vec<Vec<FailureRecord>>,
+    /// Whether the journal ended in a torn record (hard-kill evidence).
+    pub torn_tail: bool,
+    /// `Some(reason)` when the last run drained gracefully.
+    pub clean_shutdown: Option<String>,
+}
+
+impl CampaignState {
+    /// Reads and replays a campaign directory's journal.
+    pub fn from_dir(dir: &Path) -> Result<CampaignState, CampaignError> {
+        let contents = read_journal(dir)?;
+        CampaignState::replay(&contents.records, contents.torn_tail)
+    }
+
+    /// Folds verified journal records into campaign state.
+    pub fn replay(records: &[String], torn_tail: bool) -> Result<CampaignState, CampaignError> {
+        let corrupt = |msg: String| CampaignError::Corrupt(msg);
+        let mut it = records.iter();
+        let header = it
+            .next()
+            .ok_or_else(|| corrupt("empty journal (no campaign header)".into()))?;
+        let header_rest = header
+            .strip_prefix(CAMPAIGN_MAGIC)
+            .and_then(|r| r.strip_prefix(' '))
+            .ok_or_else(|| corrupt(format!("bad campaign header `{header}`")))?;
+        let (name_tok, n_tok) = header_rest
+            .split_once(' ')
+            .ok_or_else(|| corrupt(format!("bad campaign header `{header}`")))?;
+        let name = wire::unescape(name_tok).map_err(&corrupt)?;
+        let n_cells: usize = wire::parse_usize(n_tok, "cell count").map_err(&corrupt)?;
+
+        let mut cells: Vec<Option<CellSpec>> = vec![None; n_cells];
+        let mut status: Vec<CellStatus> = (0..n_cells)
+            .map(|_| CellStatus::Pending {
+                attempt: 0,
+                resume: None,
+            })
+            .collect();
+        let mut failures: Vec<Vec<FailureRecord>> = vec![Vec::new(); n_cells];
+        let mut clean_shutdown = None;
+
+        for (rec_no, rec) in it.enumerate() {
+            let (kind, rest) = rec.split_once(' ').unwrap_or((rec.as_str(), ""));
+            let ctx = |why: String| corrupt(format!("record {} (`{kind}`): {why}", rec_no + 1));
+            if kind == "shutdown" {
+                clean_shutdown = Some(wire::unescape(rest).map_err(&ctx)?);
+                continue;
+            }
+            // All other records start with a cell index.
+            let (idx_tok, body) = rest.split_once(' ').unwrap_or((rest, ""));
+            let idx = wire::parse_usize(idx_tok, "cell index").map_err(&ctx)?;
+            if idx >= n_cells {
+                return Err(ctx(format!("cell index {idx} out of range (n={n_cells})")));
+            }
+            if kind != "cell" && cells[idx].is_none() {
+                return Err(ctx(format!("cell {idx} used before declaration")));
+            }
+            if kind != "cell" && status[idx].is_terminal() {
+                return Err(ctx(format!("transition on terminal cell {idx}")));
+            }
+            match kind {
+                "cell" => {
+                    if cells[idx].is_some() {
+                        return Err(ctx(format!("cell {idx} declared twice")));
+                    }
+                    cells[idx] = Some(CellSpec::decode(body).map_err(&ctx)?);
+                }
+                "sched" | "run" => {
+                    // Informational; attempt bookkeeping rides on `fail`.
+                    wire::parse_usize(body, "attempt").map_err(&ctx)?;
+                }
+                "ckpt" => {
+                    let st = decode_sweep_state(body).map_err(&ctx)?;
+                    if let CellStatus::Pending { resume, .. } = &mut status[idx] {
+                        *resume = Some(st);
+                    }
+                }
+                "done" => {
+                    status[idx] = CellStatus::Done(CellOutcome::decode(body).map_err(&ctx)?);
+                }
+                "fail" => {
+                    let mut tok = body.splitn(3, ' ');
+                    let attempt = wire::parse_usize(tok.next().unwrap_or(""), "attempt")
+                        .map_err(&ctx)?;
+                    let fkind = tok
+                        .next()
+                        .ok_or_else(|| ctx("missing fault kind".into()))?
+                        .to_string();
+                    let detail =
+                        wire::unescape(tok.next().unwrap_or("~")).map_err(&ctx)?;
+                    failures[idx].push(FailureRecord {
+                        attempt,
+                        kind: fkind,
+                        detail,
+                    });
+                    if let CellStatus::Pending { attempt: a, .. } = &mut status[idx] {
+                        *a = attempt;
+                    }
+                }
+                "quarantine" => {
+                    let (reason_tok, attempts_tok) = body
+                        .split_once(' ')
+                        .ok_or_else(|| ctx("missing attempts".into()))?;
+                    let reason = QuarantineReason::from_kind(reason_tok)
+                        .ok_or_else(|| ctx(format!("unknown quarantine reason `{reason_tok}`")))?;
+                    let attempts =
+                        wire::parse_usize(attempts_tok, "attempts").map_err(&ctx)?;
+                    status[idx] = CellStatus::Quarantined { reason, attempts };
+                }
+                other => return Err(ctx(format!("unknown record kind `{other}`"))),
+            }
+        }
+
+        let cells = cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| c.ok_or_else(|| corrupt(format!("cell {i} never declared"))))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignState {
+            name,
+            cells,
+            status,
+            failures,
+            torn_tail,
+            clean_shutdown,
+        })
+    }
+
+    /// `(done, quarantined, pending)` cell counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut done = 0;
+        let mut quarantined = 0;
+        let mut pending = 0;
+        for s in &self.status {
+            match s {
+                CellStatus::Done(_) => done += 1,
+                CellStatus::Quarantined { .. } => quarantined += 1,
+                CellStatus::Pending { .. } => pending += 1,
+            }
+        }
+        (done, quarantined, pending)
+    }
+
+    /// Indices of cells that still need work.
+    pub fn pending_indices(&self) -> Vec<usize> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_terminal())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders the human-readable resumable manifest.
+    pub fn manifest(&self) -> String {
+        let (done, quarantined, pending) = self.counts();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign {}\ncells {} done {done} quarantined {quarantined} pending {pending}\n",
+            self.name,
+            self.cells.len(),
+        ));
+        if let Some(reason) = &self.clean_shutdown {
+            out.push_str(&format!("shutdown {reason}\n"));
+        }
+        if self.torn_tail {
+            out.push_str("note journal ended in a torn record (hard kill); dropped\n");
+        }
+        for (i, (cell, st)) in self.cells.iter().zip(&self.status).enumerate() {
+            match st {
+                CellStatus::Done(o) => out.push_str(&format!(
+                    "[{i}] {} done threshold={} gap={} probes={} nodes={}\n",
+                    cell.label,
+                    o.threshold.map_or("-".into(), |v| format!("{v}")),
+                    o.verified_gap.map_or("-".into(), |v| format!("{v}")),
+                    o.probes,
+                    o.nodes,
+                )),
+                CellStatus::Quarantined { reason, attempts } => {
+                    out.push_str(&format!(
+                        "[{i}] {} QUARANTINED {reason} after {attempts} attempts\n",
+                        cell.label
+                    ));
+                    for f in &self.failures[i] {
+                        out.push_str(&format!(
+                            "      attempt {} failed: {} {}\n",
+                            f.attempt, f.kind, f.detail
+                        ));
+                    }
+                }
+                CellStatus::Pending { attempt, resume } => out.push_str(&format!(
+                    "[{i}] {} pending attempt={attempt} checkpointed={}\n",
+                    cell.label,
+                    resume.is_some(),
+                )),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{encode_sweep_state, CellHeuristic, TopologySpec};
+
+    fn spec(label: &str) -> CellSpec {
+        CellSpec {
+            label: label.into(),
+            topology: TopologySpec::Fig1 { cap: 100.0 },
+            paths_per_pair: 2,
+            heuristic: CellHeuristic::Dp { threshold: 50.0 },
+            lo: 0.0,
+            hi: 100.0,
+            resolution: 2.0,
+            probe_cap_nodes: 4_000,
+            slice_nodes: 16,
+            timeout_secs: None,
+            fault_seed: None,
+            quantized: None,
+        }
+    }
+
+    fn header(n: usize) -> String {
+        format!("{CAMPAIGN_MAGIC} demo {n}")
+    }
+
+    #[test]
+    fn replay_reconstructs_statuses() {
+        let outcome = CellOutcome {
+            threshold: Some(48.0),
+            verified_gap: Some(50.0),
+            demands: vec![50.0, 100.0, 100.0],
+            probes: 6,
+            nodes: 500,
+        };
+        let ckpt = encode_sweep_state(&spec("b").fresh_state().unwrap());
+        let records = vec![
+            header(3),
+            format!("cell 0 {}", spec("a").encode()),
+            format!("cell 1 {}", spec("b").encode()),
+            format!("cell 2 {}", spec("c").encode()),
+            "run 0 1".to_string(),
+            format!("done 0 {}", outcome.encode()),
+            "run 1 1".to_string(),
+            format!("ckpt 1 {ckpt}"),
+            "run 2 1".to_string(),
+            format!("fail 2 1 callback_panic {}", wire::escape("boom at node 7")),
+            "fail 2 2 timeout ~".to_string(),
+            "quarantine 2 exhausted_retries 3".to_string(),
+        ];
+        let st = CampaignState::replay(&records, false).unwrap();
+        assert_eq!(st.name, "demo");
+        assert_eq!(st.counts(), (1, 1, 1));
+        assert_eq!(st.pending_indices(), vec![1]);
+        match &st.status[0] {
+            CellStatus::Done(o) => assert_eq!(*o, outcome),
+            other => panic!("{other:?}"),
+        }
+        match &st.status[1] {
+            CellStatus::Pending { resume, .. } => assert!(resume.is_some()),
+            other => panic!("{other:?}"),
+        }
+        match &st.status[2] {
+            CellStatus::Quarantined { reason, attempts } => {
+                assert_eq!(*reason, QuarantineReason::ExhaustedRetries);
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(st.failures[2].len(), 2);
+        assert_eq!(st.failures[2][0].detail, "boom at node 7");
+        let manifest = st.manifest();
+        assert!(manifest.contains("QUARANTINED"), "{manifest}");
+    }
+
+    #[test]
+    fn replay_rejects_inconsistent_journals() {
+        let cases: Vec<Vec<String>> = vec![
+            vec![],                                                  // empty
+            vec!["not a header".into()],                             // bad magic
+            vec![header(1)],                                         // cell never declared
+            vec![header(1), "run 0 1".into()],                       // used before declared
+            vec![header(1), format!("cell 0 {}", spec("a").encode()), "warp 0 1".into()],
+            vec![header(1), format!("cell 0 {}", spec("a").encode()), "run 7 1".into()],
+            vec![
+                header(1),
+                format!("cell 0 {}", spec("a").encode()),
+                "quarantine 0 exhausted_retries 3".into(),
+                "run 0 4".into(), // transition on terminal cell
+            ],
+        ];
+        for records in cases {
+            assert!(
+                CampaignState::replay(&records, false).is_err(),
+                "accepted {records:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! The journal's wire vocabulary: whitespace-free token escaping, exact
+//! `f64` bit encoding, and a CRC-32 used as the per-record checksum.
+//!
+//! Everything is hand-rolled text — the build environment has no registry
+//! access, so there is no serde; a versioned line format with explicit
+//! checksums is also easier to eyeball in a post-mortem than any binary
+//! encoding.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+///
+/// Bitwise implementation — journal records are written per state
+/// transition, not per node, so throughput is irrelevant; detection
+/// strength is what matters (any burst error of ≤ 32 bits is caught,
+/// which covers every single-byte corruption).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Escapes `s` into a single token containing no whitespace. The empty
+/// string maps to `~` so field positions never collapse.
+pub fn escape(s: &str) -> String {
+    if s.is_empty() {
+        return "~".into();
+    }
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\_"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '~' => out.push_str("\\-"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]. Fails on dangling or unknown escapes.
+pub fn unescape(s: &str) -> Result<String, String> {
+    if s == "~" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('_') => out.push(' '),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('-') => out.push('~'),
+            other => {
+                return Err(format!(
+                    "bad escape `\\{}`",
+                    other.map_or(String::from("<eof>"), String::from)
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Exact text form of an `f64`: 16 hex digits of its bit pattern. Chosen
+/// so that a resumed campaign compares and reports *bit-identical* values
+/// to the uninterrupted run (decimal shortest-round-trip would also work,
+/// but bit patterns make the exactness contract self-evident).
+pub fn fhex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Inverse of [`fhex`].
+pub fn parse_fhex(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("float field `{s}` is not 16 hex digits"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad float bits `{s}`"))
+}
+
+/// Parses a `usize` field with context in the error.
+pub fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad {what} `{s}`"))
+}
+
+/// Parses a `u64` field with context in the error.
+pub fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad {what} `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in [
+            "",
+            "plain",
+            "with space",
+            "multi\nline\ttabs\r",
+            "back\\slash",
+            "~tilde~",
+            "mix \\ of ~ every\nthing",
+        ] {
+            let e = escape(s);
+            assert!(
+                !e.contains(' ') && !e.contains('\n') && !e.is_empty(),
+                "escaped `{e}` not a clean token"
+            );
+            assert_eq!(unescape(&e).unwrap(), s);
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn fhex_round_trips_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -273.125,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            1e300,
+        ] {
+            assert_eq!(parse_fhex(&fhex(v)).unwrap().to_bits(), v.to_bits());
+        }
+        let nan = parse_fhex(&fhex(f64::NAN)).unwrap();
+        assert!(nan.is_nan());
+        assert!(parse_fhex("123").is_err());
+        assert!(parse_fhex("zzzzzzzzzzzzzzzz").is_err());
+    }
+}

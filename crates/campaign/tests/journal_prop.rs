@@ -1,0 +1,128 @@
+//! Property tests for the journal and record codecs: corrupted or
+//! truncated bytes are rejected (or dropped, when torn at the tail) —
+//! never a panic, never a silently different replay.
+
+use metaopt_campaign::{encode_line, parse_journal_bytes, CellSpec};
+use proptest::prelude::*;
+
+fn sample_payloads() -> Vec<String> {
+    let spec = CellSpec {
+        label: "prop cell ~ with \\ escapes".into(),
+        topology: metaopt_campaign::TopologySpec::Fig1 { cap: 100.0 },
+        paths_per_pair: 2,
+        heuristic: metaopt_campaign::CellHeuristic::Dp { threshold: 50.0 },
+        lo: 0.0,
+        hi: 100.0,
+        resolution: 4.0,
+        probe_cap_nodes: 4_000,
+        slice_nodes: 9,
+        timeout_secs: None,
+        fault_seed: Some(7),
+        quantized: Some(vec![0.0, 50.0]),
+    };
+    vec![
+        "campaign v1 prop 2".into(),
+        format!("cell 0 {}", spec.encode()),
+        "run 0 1".into(),
+        "fail 0 1 timeout ~".into(),
+        "quarantine 0 repeated_timeout 3".into(),
+        "shutdown drained".into(),
+    ]
+}
+
+fn journal_bytes() -> Vec<u8> {
+    sample_payloads()
+        .iter()
+        .flat_map(|p| encode_line(p).into_bytes())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Truncating a journal anywhere yields a verified prefix of the
+    /// original records (the cut record is dropped as a torn tail), and
+    /// never panics.
+    #[test]
+    fn truncation_yields_a_clean_prefix(cut in 0usize..2048) {
+        let bytes = journal_bytes();
+        let cut = cut.min(bytes.len());
+        let out = parse_journal_bytes(&bytes[..cut]).unwrap();
+        let originals = sample_payloads();
+        prop_assert!(out.records.len() <= originals.len());
+        for (got, want) in out.records.iter().zip(&originals) {
+            prop_assert_eq!(got, want);
+        }
+        // Anything but a clean record boundary must be flagged as torn.
+        let clean: Vec<usize> = std::iter::once(0)
+            .chain(originals.iter().scan(0usize, |acc, p| {
+                *acc += encode_line(p).len();
+                Some(*acc)
+            }))
+            .collect();
+        prop_assert_eq!(out.torn_tail, !clean.contains(&cut));
+    }
+
+    /// A single flipped byte is always caught: replay errors out
+    /// (mid-file) or drops exactly the damaged record (at the tail).
+    #[test]
+    fn single_byte_flip_never_passes_silently(pos in 0usize..2048, bit in 0u8..8) {
+        let mut bytes = journal_bytes();
+        let len = bytes.len();
+        let pos = pos.min(len - 1);
+        bytes[pos] ^= 1 << bit;
+        if bytes == journal_bytes() {
+            return Ok(()); // no-op flip (can't happen with xor, but be safe)
+        }
+        match parse_journal_bytes(&bytes) {
+            Err(_) => {}
+            Ok(out) => {
+                // Every surviving record must be one of the originals,
+                // in order — corruption may only *drop* tail records,
+                // never alter one.
+                let originals = sample_payloads();
+                prop_assert!(out.records.len() <= originals.len());
+                for (got, want) in out.records.iter().zip(&originals) {
+                    prop_assert_eq!(got, want);
+                }
+                prop_assert!(
+                    out.torn_tail || out.records.len() == originals.len(),
+                    "silent record loss without a torn-tail flag"
+                );
+            }
+        }
+    }
+
+    /// Cell-spec decoding never panics on mutated token streams.
+    #[test]
+    fn cell_spec_decode_never_panics(
+        drop_tok in 0usize..20,
+        garbage_chars in proptest::collection::vec('!'..'\u{7f}', 0..12),
+        insert_at in 0usize..20,
+    ) {
+        let spec_line = sample_payloads()[1].clone();
+        let body = spec_line.strip_prefix("cell 0 ").unwrap();
+        let mut toks: Vec<String> = body.split(' ').map(str::to_string).collect();
+        if drop_tok < toks.len() {
+            toks.remove(drop_tok);
+        }
+        let garbage: String = garbage_chars.into_iter().collect();
+        if !garbage.is_empty() {
+            toks.insert(insert_at.min(toks.len()), garbage);
+        }
+        let mutated = toks.join(" ");
+        if let Ok(spec) = CellSpec::decode(&mutated) {
+            // Anything that decodes must re-encode to a decodable spec.
+            prop_assert!(CellSpec::decode(&spec.encode()).is_ok());
+        }
+    }
+
+    /// Sweep-state decoding never panics on arbitrary text.
+    #[test]
+    fn sweep_state_decode_never_panics(
+        chars in proptest::collection::vec(' '..'\u{7f}', 0..200),
+    ) {
+        let s: String = chars.into_iter().collect();
+        let _ = metaopt_campaign::decode_sweep_state(&s);
+    }
+}

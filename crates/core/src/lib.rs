@@ -50,7 +50,10 @@ pub use encode_pop::PopMode;
 pub use finder::{find_adversarial_gap, find_diverse_inputs, FinderConfig, HeuristicSpec, OptEncoding};
 pub use result::GapResult;
 pub use metaopt_resilience::{Budget, DegradationLevel, FaultPlan, FaultSite, SolverFault};
-pub use sweep::{find_gap_at_least, sweep_max_gap, SweepResult, SweepWitness};
+pub use sweep::{
+    find_gap_at_least, sweep_max_gap, sweep_tick, PendingProbe, SliceBudget, SweepResult,
+    SweepState, SweepTick, SweepWitness,
+};
 pub use topology_attack::{find_adversarial_topology, TopologyAttack, TopologyAttackResult};
 
 /// Errors raised by the adversarial-gap layer.

@@ -29,10 +29,18 @@ mod solver;
 mod sweep;
 
 pub use solver::{
-    solve, solve_resumable, solve_with_callback, Checkpoint, IncumbentCallback, MilpConfig,
-    MilpSolution, MilpStatus,
+    solve, solve_resumable, solve_with_callback, Checkpoint, CheckpointParseError,
+    IncumbentCallback, MilpConfig, MilpSolution, MilpStatus,
 };
-pub use sweep::{binary_sweep, SweepOutcome};
+pub use sweep::{binary_sweep, SweepMachine, SweepOutcome};
+
+/// The workspace-wide certification tolerance: a witness counts for a
+/// threshold `g` when its re-measured value reaches `g − CERT_TOL`, and
+/// the branch-and-bound target-objective stop rule accepts an incumbent
+/// within `CERT_TOL` of the requested target. One named constant so the
+/// sweep's acceptance test, the finder's witness vetting, and the solver's
+/// early-stop rule can never drift apart.
+pub const CERT_TOL: f64 = 1e-6;
 
 pub use metaopt_resilience::{Budget, FaultPlan, FaultSite, SolverFault};
 

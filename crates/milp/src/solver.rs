@@ -212,6 +212,299 @@ impl Checkpoint {
     pub fn has_incumbent(&self) -> bool {
         self.incumbent.is_some()
     }
+
+    /// The incumbent objective in *min-space*, if one was in hand.
+    pub fn incumbent_objective_min(&self) -> Option<f64> {
+        self.incumbent.as_ref().map(|(_, o)| *o)
+    }
+}
+
+/// A malformed [`Checkpoint`] text representation (see
+/// [`Checkpoint::from_text`]). Carries a human-readable diagnostic; parsing
+/// never panics and never constructs a partially-populated checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointParseError(pub String);
+
+impl std::fmt::Display for CheckpointParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointParseError {}
+
+/// Exact text encoding of an `f64`: the 16 hex digits of its bit pattern.
+/// Chosen over decimal so that round-tripping a frontier's bound values is
+/// *bit-exact* — a resumed search must make the same pruning decisions the
+/// interrupted one would have made.
+fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn f64_from_hex(s: &str) -> Result<f64, CheckpointParseError> {
+    if s.len() != 16 {
+        return Err(CheckpointParseError(format!(
+            "float field `{s}` is not 16 hex digits"
+        )));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointParseError(format!("bad float bits `{s}`")))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, CheckpointParseError> {
+    s.parse()
+        .map_err(|_| CheckpointParseError(format!("bad {what} `{s}`")))
+}
+
+/// Escapes a fault detail string into a single whitespace-free token.
+fn escape_detail(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 1);
+    if s.is_empty() {
+        return "~".into();
+    }
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\_"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '~' => out.push_str("\\-"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_detail(s: &str) -> Result<String, CheckpointParseError> {
+    if s == "~" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('_') => out.push(' '),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('-') => out.push('~'),
+            other => {
+                return Err(CheckpointParseError(format!(
+                    "bad escape `\\{}` in detail",
+                    other.map_or(String::from("<eof>"), String::from)
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+const CHECKPOINT_MAGIC: &str = "milp-checkpoint v1";
+
+impl Checkpoint {
+    /// Serializes this checkpoint into a versioned, line-oriented text
+    /// form. The format is hand-rolled (the build environment has no
+    /// registry access, hence no serde): one `field value...` line per
+    /// record, floats encoded as exact bit patterns, terminated by an
+    /// explicit `end` line so truncation is always detectable.
+    ///
+    /// The encoding is *relative to a compiled model*: frontier nodes
+    /// store `(VarId, lo, hi)` bound changes against the root relaxation.
+    /// Resuming therefore requires rebuilding the **same** model the
+    /// checkpoint was taken from (model compilation is deterministic), as
+    /// the campaign journal does from its serialized cell specs.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CHECKPOINT_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("nodes {}\n", self.nodes));
+        out.push_str(&format!("prunes {}\n", self.numerical_prunes));
+        out.push_str(&format!("degraded {}\n", self.degraded_nodes));
+        out.push_str(&format!("stall {}\n", f64_to_hex(self.last_stall_value)));
+        for f in &self.faults {
+            out.push_str(&format!(
+                "fault {} {}\n",
+                f.kind(),
+                escape_detail(f.detail())
+            ));
+        }
+        for (t, v) in &self.trajectory {
+            out.push_str(&format!("traj {} {}\n", f64_to_hex(*t), f64_to_hex(*v)));
+        }
+        if let Some((vals, obj)) = &self.incumbent {
+            out.push_str(&format!("incumbent {} {}", f64_to_hex(*obj), vals.len()));
+            for v in vals {
+                out.push(' ');
+                out.push_str(&f64_to_hex(*v));
+            }
+            out.push('\n');
+        }
+        for (changes, bound, depth) in &self.frontier {
+            out.push_str(&format!(
+                "open {} {} {}",
+                f64_to_hex(*bound),
+                depth,
+                changes.len()
+            ));
+            for (v, lo, hi) in changes {
+                out.push_str(&format!(" {}:{}:{}", v.0, f64_to_hex(*lo), f64_to_hex(*hi)));
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a checkpoint previously produced by [`Checkpoint::to_text`].
+    ///
+    /// Rejects (never panics on) unknown versions, missing or duplicated
+    /// fields, malformed numbers, truncation (missing `end`), and trailing
+    /// garbage — a corrupted journal entry must surface as an error, not a
+    /// silently wrong resume.
+    pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointParseError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(CHECKPOINT_MAGIC) {
+            return Err(CheckpointParseError(format!(
+                "missing `{CHECKPOINT_MAGIC}` header"
+            )));
+        }
+        let mut nodes: Option<usize> = None;
+        let mut prunes: Option<usize> = None;
+        let mut degraded: Option<usize> = None;
+        let mut stall: Option<f64> = None;
+        let mut faults: Vec<SolverFault> = Vec::new();
+        let mut trajectory: Vec<(f64, f64)> = Vec::new();
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        let mut frontier: Vec<FrontierNode> = Vec::new();
+        let mut ended = false;
+        for line in lines.by_ref() {
+            let mut tok = line.split(' ');
+            let key = tok.next().unwrap_or("");
+            match key {
+                "nodes" | "prunes" | "degraded" => {
+                    let slot = match key {
+                        "nodes" => &mut nodes,
+                        "prunes" => &mut prunes,
+                        _ => &mut degraded,
+                    };
+                    let v = parse_usize(tok.next().unwrap_or(""), key)?;
+                    if slot.replace(v).is_some() {
+                        return Err(CheckpointParseError(format!("duplicate `{key}`")));
+                    }
+                }
+                "stall" => {
+                    let v = f64_from_hex(tok.next().unwrap_or(""))?;
+                    if stall.replace(v).is_some() {
+                        return Err(CheckpointParseError("duplicate `stall`".into()));
+                    }
+                }
+                "fault" => {
+                    let kind = tok.next().unwrap_or("");
+                    let detail = unescape_detail(tok.next().unwrap_or(""))?;
+                    let f = SolverFault::from_kind(kind, &detail).ok_or_else(|| {
+                        CheckpointParseError(format!("unknown fault kind `{kind}`"))
+                    })?;
+                    faults.push(f);
+                }
+                "traj" => {
+                    let t = f64_from_hex(tok.next().unwrap_or(""))?;
+                    let v = f64_from_hex(tok.next().unwrap_or(""))?;
+                    trajectory.push((t, v));
+                }
+                "incumbent" => {
+                    let obj = f64_from_hex(tok.next().unwrap_or(""))?;
+                    let n = parse_usize(tok.next().unwrap_or(""), "incumbent arity")?;
+                    let vals = tok
+                        .by_ref()
+                        .map(f64_from_hex)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if vals.len() != n {
+                        return Err(CheckpointParseError(format!(
+                            "incumbent arity {n} != {} values",
+                            vals.len()
+                        )));
+                    }
+                    if incumbent.replace((vals, obj)).is_some() {
+                        return Err(CheckpointParseError("duplicate `incumbent`".into()));
+                    }
+                }
+                "open" => {
+                    let bound = f64_from_hex(tok.next().unwrap_or(""))?;
+                    let depth = parse_usize(tok.next().unwrap_or(""), "depth")?;
+                    let n = parse_usize(tok.next().unwrap_or(""), "change count")?;
+                    let mut changes = Vec::with_capacity(n);
+                    for t in tok.by_ref() {
+                        let mut parts = t.split(':');
+                        let var = parse_usize(parts.next().unwrap_or(""), "var id")?;
+                        let lo = f64_from_hex(parts.next().unwrap_or(""))?;
+                        let hi = f64_from_hex(parts.next().unwrap_or(""))?;
+                        if parts.next().is_some() {
+                            return Err(CheckpointParseError(format!(
+                                "trailing fields in bound change `{t}`"
+                            )));
+                        }
+                        changes.push((VarId(var), lo, hi));
+                    }
+                    if changes.len() != n {
+                        return Err(CheckpointParseError(format!(
+                            "open-node arity {n} != {} changes",
+                            changes.len()
+                        )));
+                    }
+                    frontier.push((changes, bound, depth));
+                }
+                "end" => {
+                    if tok.next().is_some() {
+                        return Err(CheckpointParseError("trailing tokens on `end`".into()));
+                    }
+                    ended = true;
+                    break;
+                }
+                other => {
+                    return Err(CheckpointParseError(format!("unknown field `{other}`")));
+                }
+            }
+            if tok.next().is_some() && !matches!(key, "incumbent" | "open") {
+                return Err(CheckpointParseError(format!("trailing tokens on `{key}`")));
+            }
+        }
+        if !ended {
+            return Err(CheckpointParseError("truncated: missing `end`".into()));
+        }
+        if lines.next().is_some() {
+            return Err(CheckpointParseError("trailing garbage after `end`".into()));
+        }
+        let (nodes, prunes, degraded, stall) = match (nodes, prunes, degraded, stall) {
+            (Some(n), Some(p), Some(d), Some(s)) => (n, p, d, s),
+            _ => {
+                return Err(CheckpointParseError(
+                    "missing one of nodes/prunes/degraded/stall".into(),
+                ))
+            }
+        };
+        if frontier.is_empty() {
+            // An interrupted search always has open work; an empty frontier
+            // means resume would silently terminate immediately.
+            return Err(CheckpointParseError("empty frontier".into()));
+        }
+        Ok(Checkpoint {
+            frontier,
+            incumbent,
+            nodes,
+            numerical_prunes: prunes,
+            degraded_nodes: degraded,
+            trajectory,
+            last_stall_value: stall,
+            faults,
+        })
+    }
 }
 
 #[derive(Debug)]
@@ -445,7 +738,7 @@ impl<'a> Search<'a> {
         if let Some(target) = self.cfg.target_objective {
             // Convert once to min-space (restore_objective is an involution).
             let target_min = self.cm.restore_objective(target);
-            if self.incumbent_obj() <= target_min + 1e-9 {
+            if self.incumbent_obj() <= target_min + crate::CERT_TOL {
                 self.stopped_early = true;
                 return true;
             }

@@ -3,11 +3,14 @@
 //! For solvers that expose no incremental progress (the paper's Z3 path),
 //! the method "iteratively asks for any input with a gap that is at least as
 //! large as a specified value and binary-sweeps the value with a fixed
-//! timeout". This module implements that strategy generically: the caller
-//! supplies a predicate that tries to find a witness with value ≥ g (e.g. by
-//! adding `gap >= g` to the model and running a budgeted feasibility solve).
-
-use crate::MilpResult;
+//! timeout". This module implements that strategy generically, twice over:
+//!
+//! * [`binary_sweep`] — the closure-driven loop: the caller supplies a
+//!   probe that tries to find a witness with value ≥ g,
+//! * [`SweepMachine`] — the same bisection logic as an *explicit state
+//!   machine*, for callers that must suspend between probes (the campaign
+//!   runner checkpoints the machine into its journal and resumes it after
+//!   a crash).
 
 /// Result of a [`binary_sweep`].
 #[derive(Debug, Clone)]
@@ -29,6 +32,93 @@ pub enum SweepOutcome<W> {
     },
 }
 
+/// The §3.3 bisection as an explicit, suspendable state machine.
+///
+/// Drive it with [`SweepMachine::next_threshold`] / [`SweepMachine::record`]
+/// until `next_threshold` returns `None`. All fields are public and plain
+/// data so supervisors can serialize the machine mid-sweep (the campaign
+/// journal does) and reconstruct it verbatim; the only invariant is that
+/// `record(g, _)` is called with the `g` that `next_threshold` returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepMachine {
+    /// Highest threshold proven feasible so far (search lower bound).
+    pub lo_bound: f64,
+    /// Lowest threshold observed infeasible so far (search upper bound).
+    pub hi_bound: f64,
+    /// Terminate when `hi_bound − lo_bound <= resolution`.
+    pub resolution: f64,
+    /// Whether the seeding probe at the bottom of the range has reported.
+    pub seeded: bool,
+    /// Whether the seeding probe failed (the whole range is infeasible).
+    pub failed_at_lo: bool,
+    /// Highest threshold at which a probe found a witness.
+    pub best: Option<f64>,
+    /// Probe invocations recorded so far.
+    pub probes: usize,
+}
+
+impl SweepMachine {
+    /// A fresh machine over `[lo, hi]` with the given resolution.
+    ///
+    /// # Panics
+    /// If `lo > hi`, the bounds are NaN, or `resolution` is not positive
+    /// (callers validate ranges; see `core::sweep_max_gap`).
+    pub fn new(lo: f64, hi: f64, resolution: f64) -> Self {
+        assert!(lo <= hi && resolution > 0.0, "bad sweep range");
+        SweepMachine {
+            lo_bound: lo,
+            hi_bound: hi,
+            resolution,
+            seeded: false,
+            failed_at_lo: false,
+            best: None,
+            probes: 0,
+        }
+    }
+
+    /// The threshold to probe next, or `None` when the sweep has converged
+    /// (or the seeding probe failed).
+    pub fn next_threshold(&self) -> Option<f64> {
+        if self.failed_at_lo {
+            return None;
+        }
+        if !self.seeded {
+            return Some(self.lo_bound);
+        }
+        if self.hi_bound - self.lo_bound > self.resolution {
+            Some(0.5 * (self.lo_bound + self.hi_bound))
+        } else {
+            None
+        }
+    }
+
+    /// Records the outcome of the probe at `g` (the value the preceding
+    /// [`SweepMachine::next_threshold`] returned).
+    pub fn record(&mut self, g: f64, found: bool) {
+        self.probes += 1;
+        if !self.seeded {
+            self.seeded = true;
+            if found {
+                self.best = Some(g);
+            } else {
+                self.failed_at_lo = true;
+            }
+            return;
+        }
+        if found {
+            self.best = Some(g);
+            self.lo_bound = g;
+        } else {
+            self.hi_bound = g;
+        }
+    }
+
+    /// Whether the sweep has converged (no further probes needed).
+    pub fn is_done(&self) -> bool {
+        self.next_threshold().is_none()
+    }
+}
+
 /// Binary-searches the largest `g ∈ [lo, hi]` for which `probe(g)` returns a
 /// witness, to within absolute resolution `resolution`.
 ///
@@ -36,44 +126,38 @@ pub enum SweepOutcome<W> {
 /// fixed time budget"; a `None` result is treated as *no witness at this
 /// threshold* (which, under a timeout, is a heuristic answer — the sweep is
 /// a search strategy, not a proof, exactly as in the paper).
-pub fn binary_sweep<W>(
+///
+/// Generic over the probe's error type so domain layers keep their typed
+/// errors: a `core` probe failing its model-check gate surfaces as
+/// `CoreError::ModelCheck`, not a stringified wrapper.
+pub fn binary_sweep<W, E>(
     lo: f64,
     hi: f64,
     resolution: f64,
-    mut probe: impl FnMut(f64) -> MilpResult<Option<W>>,
-) -> MilpResult<SweepOutcome<W>> {
-    assert!(lo <= hi && resolution > 0.0);
-    let mut probes = 0usize;
-    let mut best: Option<(f64, W)>;
-
-    // Establish feasibility at the bottom of the range first.
-    let mut lo_bound = lo;
-    let mut hi_bound = hi;
-    probes += 1;
-    match probe(lo)? {
-        Some(w) => best = Some((lo, w)),
-        None => return Ok(SweepOutcome::NotFound { probes }),
-    }
-
-    while hi_bound - lo_bound > resolution {
-        let mid = 0.5 * (lo_bound + hi_bound);
-        probes += 1;
-        match probe(mid)? {
+    mut probe: impl FnMut(f64) -> Result<Option<W>, E>,
+) -> Result<SweepOutcome<W>, E> {
+    let mut machine = SweepMachine::new(lo, hi, resolution);
+    let mut witness: Option<W> = None;
+    while let Some(g) = machine.next_threshold() {
+        match probe(g)? {
             Some(w) => {
-                best = Some((mid, w));
-                lo_bound = mid;
+                witness = Some(w);
+                machine.record(g, true);
             }
-            None => {
-                hi_bound = mid;
-            }
+            None => machine.record(g, false),
         }
     }
-
-    let (threshold, witness) = best.expect("seeded above");
-    Ok(SweepOutcome::Found {
-        threshold,
-        witness,
-        probes,
+    // The last successful probe is always the one at `best` (successes only
+    // ever raise the search's lower bound).
+    Ok(match (machine.best, witness) {
+        (Some(threshold), Some(witness)) => SweepOutcome::Found {
+            threshold,
+            witness,
+            probes: machine.probes,
+        },
+        _ => SweepOutcome::NotFound {
+            probes: machine.probes,
+        },
     })
 }
 
@@ -85,7 +169,7 @@ mod tests {
     fn sweep_converges_to_boundary() {
         // Witness exists iff g <= 7.3.
         let out = binary_sweep(0.0, 10.0, 1e-3, |g| {
-            Ok(if g <= 7.3 { Some(g) } else { None })
+            Ok::<_, ()>(if g <= 7.3 { Some(g) } else { None })
         })
         .unwrap();
         match out {
@@ -98,18 +182,67 @@ mod tests {
 
     #[test]
     fn sweep_reports_not_found() {
-        let out = binary_sweep(1.0, 2.0, 1e-3, |_g| Ok(None::<f64>)).unwrap();
+        let out = binary_sweep(1.0, 2.0, 1e-3, |_g| Ok::<_, ()>(None::<f64>)).unwrap();
         assert!(matches!(out, SweepOutcome::NotFound { probes: 1 }));
     }
 
     #[test]
     fn sweep_handles_everywhere_feasible() {
-        let out = binary_sweep(0.0, 4.0, 1e-3, |g| Ok(Some(g))).unwrap();
+        let out = binary_sweep(0.0, 4.0, 1e-3, |g| Ok::<_, ()>(Some(g))).unwrap();
         match out {
             SweepOutcome::Found { threshold, .. } => {
                 assert!((threshold - 4.0).abs() < 1e-2);
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn sweep_propagates_typed_errors() {
+        #[derive(Debug, PartialEq)]
+        struct Boom(u32);
+        let err = binary_sweep(0.0, 1.0, 1e-3, |_g| Err::<Option<f64>, _>(Boom(7)));
+        assert_eq!(err.unwrap_err(), Boom(7));
+    }
+
+    #[test]
+    fn machine_matches_closure_driver() {
+        // Drive the machine by hand and check it visits exactly the same
+        // thresholds the closure-driven sweep does.
+        let mut visited_machine = Vec::new();
+        let mut m = SweepMachine::new(0.0, 10.0, 1e-2);
+        while let Some(g) = m.next_threshold() {
+            visited_machine.push(g);
+            m.record(g, g <= 7.3);
+        }
+        let mut visited_closure = Vec::new();
+        let _ = binary_sweep(0.0, 10.0, 1e-2, |g| {
+            visited_closure.push(g);
+            Ok::<_, ()>(if g <= 7.3 { Some(()) } else { None })
+        });
+        assert_eq!(visited_machine, visited_closure);
+        assert!(m.is_done());
+        assert_eq!(m.probes, visited_machine.len());
+        let best = m.best.unwrap();
+        assert!((best - 7.3).abs() < 1e-2, "best {best}");
+    }
+
+    #[test]
+    fn machine_suspends_and_resumes_verbatim() {
+        // Serialize-by-copy mid-sweep: a clone taken between probes must
+        // continue to the identical answer.
+        let mut m = SweepMachine::new(0.0, 10.0, 1e-3);
+        for _ in 0..3 {
+            let g = m.next_threshold().unwrap();
+            m.record(g, g <= 6.1);
+        }
+        let mut resumed = m.clone();
+        while let Some(g) = m.next_threshold() {
+            m.record(g, g <= 6.1);
+        }
+        while let Some(g) = resumed.next_threshold() {
+            resumed.record(g, g <= 6.1);
+        }
+        assert_eq!(m, resumed);
     }
 }

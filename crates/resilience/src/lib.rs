@@ -83,6 +83,33 @@ impl SolverFault {
                 | SolverFault::CallbackPanic(_)
         )
     }
+
+    /// Reconstructs a fault from its [`SolverFault::kind`] identifier and
+    /// detail payload — the inverse used by journal replay. Returns `None`
+    /// for unknown kinds (a journal written by a future version).
+    pub fn from_kind(kind: &str, detail: &str) -> Option<SolverFault> {
+        Some(match kind {
+            "numerical_breakdown" => SolverFault::NumericalBreakdown(detail.to_string()),
+            "basis_singular" => SolverFault::BasisSingular(detail.to_string()),
+            "deadline_exceeded" => SolverFault::DeadlineExceeded,
+            "callback_panic" => SolverFault::CallbackPanic(detail.to_string()),
+            "stall_detected" => SolverFault::StallDetected,
+            "encoding_suspect" => SolverFault::EncodingSuspect(detail.to_string()),
+            _ => return None,
+        })
+    }
+
+    /// The detail payload carried by this fault (empty for payload-free
+    /// kinds). `from_kind(kind(), detail())` round-trips every variant.
+    pub fn detail(&self) -> &str {
+        match self {
+            SolverFault::NumericalBreakdown(s)
+            | SolverFault::BasisSingular(s)
+            | SolverFault::CallbackPanic(s)
+            | SolverFault::EncodingSuspect(s) => s,
+            SolverFault::DeadlineExceeded | SolverFault::StallDetected => "",
+        }
+    }
 }
 
 impl std::fmt::Display for SolverFault {
@@ -397,6 +424,142 @@ impl FaultPlan {
     }
 }
 
+// ---------------------------------------------------------------------
+// Retry policy & quarantine taxonomy
+// ---------------------------------------------------------------------
+
+/// Bounded-retry policy with exponential backoff and deterministic jitter,
+/// used by supervisors (the campaign runner) to decide whether and when a
+/// failed unit of work runs again.
+///
+/// Delays are computed, never slept, by this type — the caller owns the
+/// clock. Jitter is derived from a caller-supplied seed (typically the
+/// cell id hashed with the attempt number) so a replayed campaign makes
+/// identical scheduling decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (first try included). `attempt >=
+    /// max_attempts` means quarantine, not retry.
+    pub max_attempts: usize,
+    /// Backoff before the second attempt.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff delay.
+    pub max_delay: Duration,
+    /// Multiplier applied per additional failed attempt (2.0 = doubling).
+    pub multiplier: f64,
+    /// Fraction of the computed delay used as the jitter window (0.0 =
+    /// deterministic spacing, 0.5 = up to ±25% around the nominal value).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(30),
+            multiplier: 2.0,
+            jitter: 0.5,
+        }
+    }
+}
+
+/// What a [`RetryPolicy`] decided about a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Run again after waiting this long.
+    RetryAfter(Duration),
+    /// Attempts exhausted: quarantine the unit of work.
+    Quarantine,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every failure quarantines).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Decides the fate of a unit of work whose `attempt`-th try (1-based)
+    /// just failed. `seed` feeds the deterministic jitter.
+    pub fn on_failure(&self, attempt: usize, seed: u64) -> RetryDecision {
+        if attempt >= self.max_attempts {
+            return RetryDecision::Quarantine;
+        }
+        RetryDecision::RetryAfter(self.delay_for(attempt, seed))
+    }
+
+    /// The backoff delay after the `attempt`-th failure (1-based):
+    /// `base · multiplier^(attempt-1)`, capped at `max_delay`, with a
+    /// deterministic jitter of ±`jitter/2` of the nominal value mixed in
+    /// from `seed`.
+    pub fn delay_for(&self, attempt: usize, seed: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(32) as i32;
+        let nominal = self
+            .base_delay
+            .as_secs_f64()
+            .mul_add(self.multiplier.max(1.0).powi(exp), 0.0)
+            .min(self.max_delay.as_secs_f64());
+        // splitmix64 over (seed, attempt): cheap, stable, dependency-free.
+        let mut z = seed
+            .wrapping_add(attempt as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let j = self.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 - j / 2.0 + unit * j;
+        Duration::from_secs_f64((nominal * scale).min(self.max_delay.as_secs_f64()))
+    }
+}
+
+/// Why a unit of work was quarantined instead of retried — the taxonomy
+/// campaign journals record alongside the [`SolverFault`] history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The retry policy's attempt allowance ran out on recoverable faults.
+    ExhaustedRetries,
+    /// The work exceeded its per-attempt wall-clock timeout repeatedly.
+    RepeatedTimeout,
+    /// The worker thread running it panicked (contained by the pool).
+    WorkerPanic,
+    /// The failure was classified non-transient (e.g. a model-construction
+    /// or configuration error) — retrying cannot help.
+    FatalError,
+}
+
+impl QuarantineReason {
+    /// Short stable identifier (journal wire format).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QuarantineReason::ExhaustedRetries => "exhausted_retries",
+            QuarantineReason::RepeatedTimeout => "repeated_timeout",
+            QuarantineReason::WorkerPanic => "worker_panic",
+            QuarantineReason::FatalError => "fatal_error",
+        }
+    }
+
+    /// Inverse of [`QuarantineReason::kind`] (journal replay).
+    pub fn from_kind(kind: &str) -> Option<QuarantineReason> {
+        Some(match kind {
+            "exhausted_retries" => QuarantineReason::ExhaustedRetries,
+            "repeated_timeout" => QuarantineReason::RepeatedTimeout,
+            "worker_panic" => QuarantineReason::WorkerPanic,
+            "fatal_error" => QuarantineReason::FatalError,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,5 +620,67 @@ mod tests {
         assert!(!suspect.is_recoverable());
         assert_eq!(suspect.kind(), "encoding_suspect");
         assert!(DegradationLevel::None < DegradationLevel::NoSolution);
+    }
+
+    #[test]
+    fn fault_kind_round_trips() {
+        let faults = [
+            SolverFault::NumericalBreakdown("nan in ratio test".into()),
+            SolverFault::BasisSingular("pivot 3".into()),
+            SolverFault::DeadlineExceeded,
+            SolverFault::CallbackPanic("boom".into()),
+            SolverFault::StallDetected,
+            SolverFault::EncodingSuspect("MC101".into()),
+        ];
+        for f in faults {
+            let back = SolverFault::from_kind(f.kind(), f.detail()).unwrap();
+            assert_eq!(back, f);
+        }
+        assert!(SolverFault::from_kind("martian_fault", "x").is_none());
+    }
+
+    #[test]
+    fn retry_policy_backs_off_then_quarantines() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(1),
+            multiplier: 2.0,
+            jitter: 0.0,
+        };
+        let d1 = match p.on_failure(1, 42) {
+            RetryDecision::RetryAfter(d) => d,
+            RetryDecision::Quarantine => panic!("first failure must retry"),
+        };
+        let d2 = match p.on_failure(2, 42) {
+            RetryDecision::RetryAfter(d) => d,
+            RetryDecision::Quarantine => panic!("second failure must retry"),
+        };
+        assert!(d2 > d1, "backoff must grow: {d1:?} -> {d2:?}");
+        assert_eq!(p.on_failure(3, 42), RetryDecision::Quarantine);
+        // Deterministic jitter: same (attempt, seed) -> same delay.
+        let q = RetryPolicy {
+            jitter: 0.5,
+            ..p
+        };
+        assert_eq!(q.delay_for(2, 7), q.delay_for(2, 7));
+        assert_ne!(q.delay_for(2, 7), q.delay_for(2, 8));
+        // Cap respected even with jitter.
+        let far = q.delay_for(30, 9);
+        assert!(far <= q.max_delay, "{far:?}");
+    }
+
+    #[test]
+    fn quarantine_reason_round_trips() {
+        for r in [
+            QuarantineReason::ExhaustedRetries,
+            QuarantineReason::RepeatedTimeout,
+            QuarantineReason::WorkerPanic,
+            QuarantineReason::FatalError,
+        ] {
+            assert_eq!(QuarantineReason::from_kind(r.kind()), Some(r));
+            assert_eq!(format!("{r}"), r.kind());
+        }
+        assert!(QuarantineReason::from_kind("nope").is_none());
     }
 }

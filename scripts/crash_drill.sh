@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Crash-recovery drill: SIGKILL a running campaign mid-flight, resume it
+# from the write-ahead journal in a fresh process, and assert the
+# completed (cell, threshold, gap) result set is byte-identical to an
+# uninterrupted run's. Exercises the same contract as
+# `cargo test -p metaopt-campaign --test crash_recovery`, but end-to-end
+# through the real binary and a real `kill -9`.
+#
+# usage: scripts/crash_drill.sh [path/to/campaign_drill]
+set -euo pipefail
+
+BIN="${1:-target/release/campaign_drill}"
+if [[ ! -x "$BIN" ]]; then
+    echo "drill binary not found: $BIN (build with \`cargo build --release -p metaopt-campaign\`)" >&2
+    exit 1
+fi
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Uninterrupted baseline. Slice size 1 keeps ticks (and journal writes)
+# frequent, which widens the useful kill window.
+SLICE=1
+"$BIN" run "$WORK/baseline" "$SLICE" | grep '^RESULT' | sort > "$WORK/want.txt"
+[[ -s "$WORK/want.txt" ]]
+
+delay_ms=80
+for attempt in $(seq 1 30); do
+    dir="$WORK/kill-$attempt"
+    "$BIN" run "$dir" "$SLICE" >/dev/null 2>&1 &
+    pid=$!
+    sleep "$(awk "BEGIN { print $delay_ms / 1000 }")"
+    if ! kill -0 "$pid" 2>/dev/null; then
+        # Finished before the kill landed: shorten the delay and retry.
+        wait "$pid" || true
+        delay_ms=$(( delay_ms * 2 / 3 ))
+        (( delay_ms >= 5 )) || delay_ms=5
+        continue
+    fi
+    kill -9 "$pid"
+    wait "$pid" 2>/dev/null || true
+    # A useful kill leaves pending work behind in a readable journal
+    # (killing before the header is journaled makes `status` fail: retry).
+    if "$BIN" status "$dir" 2>/dev/null | grep -q '^PENDING'; then
+        "$BIN" resume "$dir" | grep '^RESULT' | sort > "$WORK/got.txt"
+        diff -u "$WORK/want.txt" "$WORK/got.txt"
+        echo "crash drill OK: post-SIGKILL resume matches uninterrupted run (attempt $attempt)"
+        exit 0
+    fi
+    delay_ms=$(( delay_ms + 20 ))
+done
+
+echo "could not land a mid-run SIGKILL in 30 attempts" >&2
+exit 1

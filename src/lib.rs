@@ -17,7 +17,9 @@
 //!   finder,
 //! * [`blackbox`] — hill-climbing / simulated-annealing baselines,
 //! * [`resilience`] — fault taxonomy, budgets, degradation levels, and the
-//!   deterministic fault-injection harness behind the chaos test suite.
+//!   deterministic fault-injection harness behind the chaos test suite,
+//! * [`campaign`] — crash-safe campaign runner: journaled, supervised,
+//!   resumable grids of gap-finding cells.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
@@ -49,6 +51,7 @@
 //! ```
 
 pub use metaopt_blackbox as blackbox;
+pub use metaopt_campaign as campaign;
 pub use metaopt_core as core;
 pub use metaopt_lp as lp;
 pub use metaopt_milp as milp;

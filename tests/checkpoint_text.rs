@@ -1,0 +1,55 @@
+//! Checkpoint text round-trips on *real* adversarial-gap frontiers: the
+//! Figure-1 demand-pinning encoding, interrupted by a node budget, must
+//! serialize to text and come back bit-identical — and resuming through
+//! the text boundary must finish at the same certified answer.
+
+use metaopt::core::finder::build_adversarial_model;
+use metaopt::core::{ConstrainedSet, FinderConfig, HeuristicSpec};
+use metaopt::milp::{solve_resumable, Checkpoint, IncumbentCallback, MilpConfig, MilpStatus};
+use metaopt::te::TeInstance;
+use metaopt::topology::synth::figure1_triangle;
+
+struct NoCallback;
+impl IncumbentCallback for NoCallback {
+    fn propose(&mut self, _relaxation: &[f64]) -> Option<(Vec<f64>, f64)> {
+        None
+    }
+}
+
+fn fig1_model() -> metaopt::core::finder::AdversarialModel {
+    let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+    let inst = TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    build_adversarial_model(
+        &inst,
+        &spec,
+        &ConstrainedSet::unconstrained(),
+        &FinderConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn fig1_budget_expired_frontier_round_trips() {
+    let am = fig1_model();
+    for max_nodes in [2, 5, 17] {
+        let cfg = MilpConfig {
+            max_nodes,
+            ..MilpConfig::default()
+        };
+        let (sol, cp) = solve_resumable(&am.model, &cfg, &mut NoCallback, None).unwrap();
+        assert_ne!(sol.status, MilpStatus::Optimal, "budget of {max_nodes} must expire");
+        let cp = cp.expect("open frontier at the budget");
+        let text = cp.to_text();
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(back.to_text(), text, "bit-exact round-trip at {max_nodes} nodes");
+
+        // Resuming via text finds the same optimum as resuming in memory.
+        let full = MilpConfig::default();
+        let (a, _) = solve_resumable(&am.model, &full, &mut NoCallback, Some(cp)).unwrap();
+        let (b, _) = solve_resumable(&am.model, &full, &mut NoCallback, Some(back)).unwrap();
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.nodes, b.nodes);
+    }
+}

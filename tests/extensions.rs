@@ -90,13 +90,14 @@ fn sweep_matches_direct_optimization() {
     )
     .unwrap();
     let w = sweep.witness.expect("witness exists");
+    let threshold = sweep.threshold.expect("a certified threshold exists");
     assert!(
-        (sweep.threshold - direct.model_gap).abs() <= 2.5,
+        (threshold - direct.model_gap).abs() <= 2.5,
         "sweep {} vs direct {}",
-        sweep.threshold,
+        threshold,
         direct.model_gap
     );
-    assert!(w.verified_gap >= sweep.threshold - 1e-6);
+    assert!(w.verified_gap >= threshold - 1e-6);
 }
 
 /// Topology attack on the triangle: degrading the two links lowers OPT and
