@@ -1,0 +1,196 @@
+//! Branch-and-bound engine benchmark: serial vs deterministic-parallel vs
+//! work-stealing on the fig-1 scaling grid, plus warm-vs-cold LP
+//! iteration accounting from the basis-snapshot warm starts.
+//!
+//! Emits `target/figures/BENCH_bnb.json` (hand-rolled JSON, like every
+//! other emitter in this crate) with one record per (model, engine,
+//! threads) cell: wall-clock seconds, node throughput, certified
+//! objective, and the warm/cold solve split. The file also records the
+//! hardware thread count of the machine that produced it — speedup claims
+//! are only meaningful relative to that.
+
+use metaopt_bench::quick_mode;
+use metaopt_core::finder::build_adversarial_model;
+use metaopt_core::{ConstrainedSet, FinderConfig, HeuristicSpec, PopMode};
+use metaopt_milp::{solve, MilpConfig, MilpSolution, ParallelMode};
+use metaopt_model::Model;
+use metaopt_te::pop::Partition;
+use metaopt_te::TeInstance;
+use metaopt_topology::synth::{figure1_triangle, line};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn fig1() -> TeInstance {
+    let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+    TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap()
+}
+
+fn model_for(name: &str) -> Model {
+    let (inst, spec) = match name {
+        "fig1-dp" => (
+            fig1(),
+            HeuristicSpec::DemandPinning { threshold: 50.0 },
+        ),
+        "fig1-pop" => (
+            fig1(),
+            HeuristicSpec::Pop {
+                partitions: vec![
+                    Partition {
+                        assignment: vec![0, 1, 0],
+                        n_parts: 2,
+                    },
+                    Partition {
+                        assignment: vec![1, 0, 1],
+                        n_parts: 2,
+                    },
+                ],
+                mode: PopMode::Average,
+            },
+        ),
+        "line4-dp" => (
+            TeInstance::all_pairs(line(4, 10.0), 2).unwrap(),
+            HeuristicSpec::DemandPinning { threshold: 5.0 },
+        ),
+        other => panic!("unknown model {other}"),
+    };
+    build_adversarial_model(&inst, &spec, &ConstrainedSet::unconstrained(), &FinderConfig::default())
+        .unwrap()
+        .model
+}
+
+struct Cell {
+    model: String,
+    engine: &'static str,
+    threads: usize,
+    secs: f64,
+    sol: MilpSolution,
+}
+
+fn run_cell(model_name: &str, model: &Model, engine: &'static str, threads: usize, reps: usize) -> Cell {
+    let parallel = match engine {
+        "serial" => ParallelMode::Serial,
+        "deterministic" => ParallelMode::Deterministic,
+        "work-stealing" => ParallelMode::WorkStealing,
+        _ => unreachable!(),
+    };
+    let cfg = MilpConfig {
+        threads,
+        parallel,
+        ..MilpConfig::default()
+    };
+    // Best-of-N wall clock to damp scheduler noise; the certified result
+    // is identical across repetitions for the deterministic engines.
+    let mut best_secs = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let sol = solve(model, &cfg).expect("solve failed");
+        best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        last = Some(sol);
+    }
+    Cell {
+        model: model_name.to_string(),
+        engine,
+        threads,
+        secs: best_secs,
+        sol: last.unwrap(),
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Every string this emitter writes is a plain identifier.
+    s
+}
+
+fn main() {
+    let reps = if quick_mode() { 1 } else { 3 };
+    let hardware_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let models = ["fig1-dp", "fig1-pop", "line4-dp"];
+    let mut cells: Vec<Cell> = Vec::new();
+    for name in models {
+        let model = model_for(name);
+        cells.push(run_cell(name, &model, "serial", 1, reps));
+        for threads in [1usize, 2, 4, 8] {
+            cells.push(run_cell(name, &model, "deterministic", threads, reps));
+        }
+        cells.push(run_cell(name, &model, "work-stealing", 8, reps));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"bnb\",");
+    let _ = writeln!(out, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"speedups are wall-clock vs the serial engine on the same model; \
+         only meaningful when hardware_threads exceeds the thread count\","
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let serial_secs = cells
+            .iter()
+            .find(|s| s.model == c.model && s.engine == "serial")
+            .map_or(f64::NAN, |s| s.secs);
+        let stats = &c.sol.lp_stats;
+        let _ = write!(
+            out,
+            "    {{\"model\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
+             \"secs\": {:.6}, \"speedup_vs_serial\": {:.3}, \"nodes\": {}, \
+             \"objective\": {:.9}, \"best_bound\": {:.9}, \
+             \"warm_solves\": {}, \"cold_solves\": {}, \
+             \"mean_warm_iters\": {}, \"mean_cold_iters\": {}}}",
+            json_escape_free(&c.model),
+            c.engine,
+            c.threads,
+            c.secs,
+            serial_secs / c.secs,
+            c.sol.nodes,
+            c.sol.objective,
+            c.sol.best_bound,
+            stats.warm_solves,
+            stats.cold_solves,
+            stats
+                .mean_warm_iterations()
+                .map_or("null".to_string(), |v| format!("{v:.3}")),
+            stats
+                .mean_cold_iterations()
+                .map_or("null".to_string(), |v| format!("{v:.3}")),
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("target/figures").expect("mkdir target/figures");
+    let path = "target/figures/BENCH_bnb.json";
+    std::fs::write(path, &out).expect("write BENCH_bnb.json");
+
+    // Human-readable summary.
+    println!("branch-and-bound engine benchmark ({hardware_threads} hardware threads)\n");
+    println!(
+        "  {:<10} {:<15} {:>7} {:>9} {:>8} {:>7} {:>10} {:>10}",
+        "model", "engine", "threads", "secs", "speedup", "nodes", "warm-iters", "cold-iters"
+    );
+    for c in &cells {
+        let serial_secs = cells
+            .iter()
+            .find(|s| s.model == c.model && s.engine == "serial")
+            .map_or(f64::NAN, |s| s.secs);
+        let stats = &c.sol.lp_stats;
+        println!(
+            "  {:<10} {:<15} {:>7} {:>9.4} {:>8.2} {:>7} {:>10} {:>10}",
+            c.model,
+            c.engine,
+            c.threads,
+            c.secs,
+            serial_secs / c.secs,
+            c.sol.nodes,
+            stats
+                .mean_warm_iterations()
+                .map_or("-".to_string(), |v| format!("{v:.1}")),
+            stats
+                .mean_cold_iterations()
+                .map_or("-".to_string(), |v| format!("{v:.1}")),
+        );
+    }
+    println!("\nwrote {path}");
+}

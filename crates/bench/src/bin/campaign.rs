@@ -125,6 +125,7 @@ fn config() -> CampaignConfig {
         workers: env_usize("METAOPT_CAMPAIGN_WORKERS", 2),
         retry: RetryPolicy::default(),
         deadline,
+        threads_per_cell: env_usize("METAOPT_CAMPAIGN_THREADS_PER_CELL", 0),
     }
 }
 

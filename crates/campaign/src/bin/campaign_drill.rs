@@ -87,6 +87,7 @@ fn main() -> ExitCode {
         workers: 2,
         retry: RetryPolicy::default(),
         deadline: None,
+        threads_per_cell: 0,
     };
     let shutdown = ShutdownFlag::new();
     let outcome = match cmd {

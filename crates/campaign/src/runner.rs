@@ -61,6 +61,11 @@ pub struct CampaignConfig {
     /// Optional campaign-wide wall-clock deadline (graceful drain when it
     /// passes).
     pub deadline: Option<Instant>,
+    /// Branch-and-bound worker threads granted to each cell's solves
+    /// (`FinderConfig::threads` override). `0` (the default) leaves the
+    /// cell spec's own configuration — and hence `METAOPT_THREADS` — in
+    /// charge. Total CPU appetite is `workers x threads_per_cell`.
+    pub threads_per_cell: usize,
 }
 
 impl Default for CampaignConfig {
@@ -69,6 +74,7 @@ impl Default for CampaignConfig {
             workers: 2,
             retry: RetryPolicy::default(),
             deadline: None,
+            threads_per_cell: 0,
         }
     }
 }
@@ -200,6 +206,7 @@ struct Shared {
     shutdown: ShutdownFlag,
     deadline: Option<Instant>,
     retry: RetryPolicy,
+    threads_per_cell: usize,
     /// First unrecoverable runner error (journal I/O); stops the run.
     fatal: Mutex<Option<CampaignError>>,
 }
@@ -249,6 +256,7 @@ fn execute(
         shutdown: shutdown.clone(),
         deadline: cfg.deadline,
         retry: cfg.retry,
+        threads_per_cell: cfg.threads_per_cell,
         fatal: Mutex::new(None),
     };
 
@@ -462,7 +470,7 @@ fn attempt_cell(
 ) -> Result<AttemptEnd, CampaignError> {
     // Rebuild the problem from the spec. Build errors are never transient.
     let built = catch_unwind(AssertUnwindSafe(|| spec.build()));
-    let (inst, heu, cs, cfg) = match built {
+    let (inst, heu, cs, mut cfg) = match built {
         Ok(Ok(parts)) => parts,
         Ok(Err(e)) => {
             return Ok(AttemptEnd::Failed {
@@ -477,6 +485,9 @@ fn attempt_cell(
             })
         }
     };
+    if shared.threads_per_cell > 0 {
+        cfg.threads = shared.threads_per_cell;
+    }
     let mut current = match last_good.clone() {
         Some(s) => s,
         None => spec.fresh_state()?,

@@ -40,6 +40,7 @@ fn cfg() -> CampaignConfig {
         workers: 2,
         retry: RetryPolicy::default(),
         deadline: None,
+        threads_per_cell: 0,
     }
 }
 

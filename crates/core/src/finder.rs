@@ -118,6 +118,13 @@ pub struct FinderConfig {
     /// solve (deny-by-default: error diagnostics abort in debug builds and
     /// are recorded as [`SolverFault::EncodingSuspect`] faults in release).
     pub modelcheck: ModelCheckMode,
+    /// Worker threads for the branch-and-bound searches this finder runs.
+    /// `0` (the default) defers to `milp.threads`, which itself defers to
+    /// the `METAOPT_THREADS` environment variable; a nonzero value here
+    /// overrides both. The engine choice stays with `milp.parallel`
+    /// (default [`metaopt_milp::ParallelMode::Auto`]: serial at one
+    /// thread, deterministic-parallel above).
+    pub threads: usize,
 }
 
 impl Default for FinderConfig {
@@ -132,6 +139,7 @@ impl Default for FinderConfig {
             budget: Budget::unlimited(),
             fallback_seed: 0,
             modelcheck: ModelCheckMode::default(),
+            threads: 0,
         }
     }
 }
@@ -153,6 +161,16 @@ impl FinderConfig {
             budget: Budget::from_secs_f64(seconds),
             ..Default::default()
         }
+    }
+
+    /// The [`MilpConfig`] actually handed to branch-and-bound: `milp` with
+    /// the finder-level [`FinderConfig::threads`] override applied.
+    pub fn milp_config(&self) -> MilpConfig {
+        let mut m = self.milp.clone();
+        if self.threads > 0 {
+            m.threads = self.threads;
+        }
+        m
     }
 }
 
@@ -599,7 +617,7 @@ pub fn find_adversarial_gap(
     let build_time = t0.elapsed();
     let stats = am.stats();
 
-    let mut milp_cfg = cfg.milp.clone();
+    let mut milp_cfg = cfg.milp_config();
     milp_cfg.budget = milp_cfg.budget.min_with(cfg.budget);
 
     let solve_t = Instant::now();

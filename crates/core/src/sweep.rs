@@ -126,7 +126,7 @@ pub fn find_gap_at_least(
     let am = build_probe_model(inst, spec, constraints, cfg, g, true)?;
     let milp_cfg = MilpConfig {
         target_objective: Some(g),
-        ..cfg.milp.clone()
+        ..cfg.milp_config()
     };
     // Reuse the finder's callback machinery through find_adversarial_gap's
     // building blocks: a plain solve is enough here because the incumbent
@@ -324,7 +324,7 @@ pub fn sweep_tick(
     let mut milp_cfg = MilpConfig {
         target_objective: Some(g),
         max_nodes: window_end,
-        ..cfg.milp.clone()
+        ..cfg.milp_config()
     };
     if let Some(dl) = slice.deadline {
         milp_cfg.budget = milp_cfg.budget.min_with(metaopt_milp::Budget::until(dl));

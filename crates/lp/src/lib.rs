@@ -31,7 +31,7 @@ mod sparse;
 
 pub use problem::{LpProblem, RowId, RowSense, VarId, INF, NEG_INF};
 pub use solution::{Solution, SolveStatus};
-pub use solver::{Simplex, SimplexConfig};
+pub use solver::{Basis, Simplex, SimplexConfig};
 pub use sparse::SparseMat;
 
 pub use metaopt_resilience::{Budget, FaultPlan, FaultSite, SolverFault};

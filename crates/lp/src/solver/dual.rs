@@ -5,12 +5,27 @@
 //! depend only on the basis), so the dual simplex restores primal
 //! feasibility in a handful of pivots instead of re-solving from scratch.
 
-use super::{Simplex, VarState};
-use crate::solution::SolveStatus;
+use super::{Basis, Simplex, VarState};
+use crate::solution::{Solution, SolveStatus};
 use crate::{LpError, LpResult};
 use metaopt_resilience::SolverFault;
 
 impl Simplex {
+    /// Warm-start entry point for branch-and-bound: installs `basis`
+    /// (typically the parent node's optimal basis), then re-optimizes with
+    /// the dual simplex — bound changes never disturb dual feasibility, so
+    /// after a single-variable tightening this usually takes a handful of
+    /// pivots. Falls back to a cold two-phase solve when the snapshot is
+    /// singular for the current data or turns out not dual feasible; shape
+    /// mismatches (a basis from a differently-sized problem) are an error.
+    pub fn resolve_from(&mut self, basis: &Basis) -> LpResult<Solution> {
+        match self.install_basis(basis) {
+            Ok(()) => self.resolve(),
+            Err(e) if e.is_recoverable() => self.solve(),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Runs dual-simplex iterations from the current basis.
     ///
     /// Returns `Ok(Some(status))` on a conclusion, or `Ok(None)` if the

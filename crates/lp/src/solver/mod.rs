@@ -19,8 +19,11 @@
 //!   dual simplex — the hot operation of branch-and-bound — and falls back
 //!   to a cold primal solve when the warm basis is not dual feasible.
 
+mod basis;
 mod dual;
 mod primal;
+
+pub use basis::Basis;
 
 use crate::problem::{LpProblem, VarId};
 use crate::solution::{Solution, SolveStatus};
@@ -130,6 +133,9 @@ pub struct Simplex {
     /// Last clean optimal point, kept as the recovery ladder's final rung.
     /// Invalidated whenever a bound change makes it infeasible.
     best_feasible: Option<Solution>,
+    /// Whether the most recent successful solve finished inside the dual
+    /// simplex (a genuine warm re-solve) rather than a cold two-phase run.
+    last_warm: bool,
 }
 
 impl Simplex {
@@ -176,6 +182,7 @@ impl Simplex {
             fault_plan: None,
             row_scale: None,
             best_feasible: None,
+            last_warm: false,
         }
     }
 
@@ -192,6 +199,13 @@ impl Simplex {
     /// Total pivots performed so far (across all solves).
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Whether the most recent successful solve was a genuine warm dual
+    /// re-solve (as opposed to a cold two-phase primal run, which every
+    /// recovery-ladder rung and dual-infeasible fallback performs).
+    pub fn last_solve_warm(&self) -> bool {
+        self.last_warm
     }
 
     /// Sets (or clears) a wall-clock deadline; iteration loops abort with
@@ -668,6 +682,7 @@ impl Simplex {
 
     /// Raw cold solve (no recovery).
     fn solve_raw(&mut self) -> LpResult<Solution> {
+        self.last_warm = false;
         self.start_basis()?;
         // Phase I only if artificials carry weight.
         let infeas: f64 = (self.n + self.m..self.total_vars())
@@ -715,31 +730,39 @@ impl Simplex {
         // basic values.
         self.recompute_basics();
         match self.dual_loop()? {
-            Some(st) => Ok(self.extract(st)),
+            Some(st) => {
+                self.last_warm = true;
+                Ok(self.extract(st))
+            }
             None => self.solve_raw(), // not dual feasible — cold start
         }
+    }
+
+    /// Drops artificial columns left over from a previous phase-I run.
+    /// (`SparseMat` cannot pop columns; rebuild bookkeeping instead.)
+    pub(crate) fn drop_artificials(&mut self) {
+        if self.n_artificials == 0 {
+            return;
+        }
+        let (n, m) = (self.n, self.m);
+        let mut cols = SparseMat::new(m);
+        for j in 0..n + m {
+            cols.push_col(self.cols.col(j));
+        }
+        self.cols = cols;
+        self.lo.truncate(n + m);
+        self.hi.truncate(n + m);
+        self.cost.truncate(n + m);
+        self.state.truncate(n + m);
+        self.x.truncate(n + m);
+        self.n_artificials = 0;
     }
 
     /// Initializes the all-logical basis plus artificials for violated rows.
     fn start_basis(&mut self) -> LpResult<()> {
         let n = self.n;
         let m = self.m;
-        // Reset: drop artificial columns from previous solves by truncating.
-        // (SparseMat cannot pop columns; rebuild bookkeeping instead.)
-        if self.n_artificials > 0 {
-            // Rebuild the column store without artificials.
-            let mut cols = SparseMat::new(m);
-            for j in 0..n + m {
-                cols.push_col(self.cols.col(j));
-            }
-            self.cols = cols;
-            self.lo.truncate(n + m);
-            self.hi.truncate(n + m);
-            self.cost.truncate(n + m);
-            self.state.truncate(n + m);
-            self.x.truncate(n + m);
-            self.n_artificials = 0;
-        }
+        self.drop_artificials();
 
         // Nonbasic structurals at their preferred bound.
         for j in 0..n {

@@ -23,14 +23,21 @@
 //! * the paper's §3.3 **stop rules**: wall-clock budget, relative
 //!   primal-dual gap, and the stall rule ("incremental progress in a given
 //!   time window smaller than 0.5%"),
-//! * full trajectory recording (best objective vs. time) for Figure 3.
+//! * full trajectory recording (best objective vs. time) for Figure 3,
+//! * three interchangeable tree-search engines (see [`ParallelMode`]): the
+//!   serial search, a **deterministic parallel** engine whose certified
+//!   results and checkpoints are bit-identical at any thread count, and a
+//!   throughput-oriented **work-stealing** engine — both parallel engines
+//!   warm-start node LPs from parent [`metaopt_lp::Basis`] snapshots.
 
+mod parallel;
 mod solver;
 mod sweep;
 
+pub use parallel::{env_threads, ParallelMode};
 pub use solver::{
     solve, solve_resumable, solve_with_callback, Checkpoint, CheckpointParseError,
-    IncumbentCallback, MilpConfig, MilpSolution, MilpStatus,
+    IncumbentCallback, LpSolveStats, MilpConfig, MilpSolution, MilpStatus,
 };
 pub use sweep::{binary_sweep, SweepMachine, SweepOutcome};
 

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 /// Contain at most this many incumbent-callback panics before disabling
 /// the callback for the rest of the search.
-const MAX_CALLBACK_PANICS: usize = 3;
+pub(crate) const MAX_CALLBACK_PANICS: usize = 3;
 
 /// Tunable branch-and-bound parameters (defaults follow the paper's §3.3
 /// methodology where applicable).
@@ -47,6 +47,14 @@ pub struct MilpConfig {
     /// Deterministic fault-injection plan (chaos tests only). Shared with
     /// the underlying simplex; clones share counters.
     pub fault_plan: Option<FaultPlan>,
+    /// Worker-thread count for the parallel tree-search modes. `0` (the
+    /// default) resolves the `METAOPT_THREADS` environment variable,
+    /// falling back to `1`.
+    pub threads: usize,
+    /// Which tree-search engine runs the branch-and-bound (see
+    /// [`crate::ParallelMode`]). The default `Auto` picks the serial engine
+    /// at one resolved thread and the deterministic parallel engine above.
+    pub parallel: crate::ParallelMode,
 }
 
 impl Default for MilpConfig {
@@ -63,6 +71,8 @@ impl Default for MilpConfig {
             target_objective: None,
             budget: Budget::unlimited(),
             fault_plan: None,
+            threads: 0,
+            parallel: crate::ParallelMode::Auto,
         }
     }
 }
@@ -144,6 +154,49 @@ pub struct MilpSolution {
     /// Nodes whose relaxation came back degraded from the LP recovery
     /// ladder (their objectives were not used for pruning).
     pub degraded_nodes: usize,
+    /// Warm-vs-cold accounting of the node LP solves.
+    pub lp_stats: LpSolveStats,
+}
+
+/// Warm-vs-cold accounting of the node LP solves of one search: how many
+/// relaxations finished inside the dual simplex (warm) versus falling back
+/// to a cold two-phase run, and the pivots each kind consumed. The
+/// `BENCH_bnb.json` emitter derives its warm-start speedup ratios from
+/// these counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpSolveStats {
+    /// Node LPs that finished as genuine warm dual re-solves.
+    pub warm_solves: usize,
+    /// Total simplex pivots spent in warm solves.
+    pub warm_iterations: usize,
+    /// Node LPs that fell back to (or started as) cold two-phase runs.
+    pub cold_solves: usize,
+    /// Total simplex pivots spent in cold solves.
+    pub cold_iterations: usize,
+}
+
+impl LpSolveStats {
+    pub(crate) fn record(&mut self, warm: bool, iterations: usize) {
+        if warm {
+            self.warm_solves += 1;
+            self.warm_iterations += iterations;
+        } else {
+            self.cold_solves += 1;
+            self.cold_iterations += iterations;
+        }
+    }
+
+    /// Mean pivots per warm solve (`None` until a warm solve happened).
+    pub fn mean_warm_iterations(&self) -> Option<f64> {
+        (self.warm_solves > 0)
+            .then(|| self.warm_iterations as f64 / self.warm_solves as f64)
+    }
+
+    /// Mean pivots per cold solve (`None` until a cold solve happened).
+    pub fn mean_cold_iterations(&self) -> Option<f64> {
+        (self.cold_solves > 0)
+            .then(|| self.cold_iterations as f64 / self.cold_solves as f64)
+    }
 }
 
 /// Domain hook that turns a relaxation point into a true feasible solution.
@@ -175,7 +228,34 @@ pub fn solve(model: &Model, cfg: &MilpConfig) -> MilpResult<MilpSolution> {
 
 /// An open node in checkpoint form: bound changes from root, parent
 /// bound in min-space, and depth.
-type FrontierNode = (Vec<(VarId, f64, f64)>, f64, usize);
+pub(crate) type FrontierNode = (Vec<(VarId, f64, f64)>, f64, usize);
+
+/// Total order on frontier nodes by (bound, depth, change path): the
+/// canonical order the deterministic parallel engine certifies nodes in
+/// and serializes checkpoint frontiers in. Depending only on node
+/// *content* (never on creation sequence numbers) is what makes the
+/// engine's visit order — and hence its `Checkpoint::to_text` output —
+/// identical at any thread count and across resume boundaries. Two open
+/// nodes of one tree always differ in their change path, so the order is
+/// strict.
+pub(crate) fn canon_cmp(
+    a: (&[(VarId, f64, f64)], f64, usize),
+    b: (&[(VarId, f64, f64)], f64, usize),
+) -> Ordering {
+    a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)).then_with(|| {
+        for ((va, la, ha), (vb, lb, hb)) in a.0.iter().zip(b.0) {
+            let o = va
+                .0
+                .cmp(&vb.0)
+                .then(la.total_cmp(lb))
+                .then(ha.total_cmp(hb));
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        a.0.len().cmp(&b.0.len())
+    })
+}
 
 /// Opaque resumable state of an interrupted branch-and-bound search:
 /// the open frontier, the incumbent, and the bookkeeping counters.
@@ -186,15 +266,15 @@ type FrontierNode = (Vec<(VarId, f64, f64)>, f64, usize);
 pub struct Checkpoint {
     /// Open nodes: (bound changes from root, parent bound in min-space,
     /// depth).
-    frontier: Vec<FrontierNode>,
+    pub(crate) frontier: Vec<FrontierNode>,
     /// Incumbent in min-space.
-    incumbent: Option<(Vec<f64>, f64)>,
-    nodes: usize,
-    numerical_prunes: usize,
-    degraded_nodes: usize,
-    trajectory: Vec<(f64, f64)>,
-    last_stall_value: f64,
-    faults: Vec<SolverFault>,
+    pub(crate) incumbent: Option<(Vec<f64>, f64)>,
+    pub(crate) nodes: usize,
+    pub(crate) numerical_prunes: usize,
+    pub(crate) degraded_nodes: usize,
+    pub(crate) trajectory: Vec<(f64, f64)>,
+    pub(crate) last_stall_value: f64,
+    pub(crate) faults: Vec<SolverFault>,
 }
 
 impl Checkpoint {
@@ -562,9 +642,19 @@ pub fn solve_resumable(
 ) -> MilpResult<(MilpSolution, Option<Checkpoint>)> {
     let start = Instant::now();
     let cm = compile(model)?;
-    let mut search = Search::new(&cm, cfg, callback, resume);
-    search.run(start)?;
-    Ok(search.finish(start))
+    match cfg.resolved_engine() {
+        crate::parallel::Engine::Serial => {
+            let mut search = Search::new(&cm, cfg, callback, resume);
+            search.run(start)?;
+            Ok(search.finish(start))
+        }
+        crate::parallel::Engine::Deterministic(threads) => {
+            crate::parallel::solve_deterministic(&cm, cfg, callback, resume, threads, start)
+        }
+        crate::parallel::Engine::WorkStealing(threads) => {
+            crate::parallel::solve_work_stealing(&cm, cfg, callback, resume, threads, start)
+        }
+    }
 }
 
 struct Search<'a> {
@@ -600,6 +690,8 @@ struct Search<'a> {
     /// True when this run continues a [`Checkpoint`] (changes how the
     /// root node is seeded).
     resumed: bool,
+    /// Warm-vs-cold accounting of the node LP solves.
+    lp_stats: LpSolveStats,
 }
 
 impl<'a> Search<'a> {
@@ -639,6 +731,7 @@ impl<'a> Search<'a> {
             faults: Vec::new(),
             callback_panics: 0,
             resumed: false,
+            lp_stats: LpSolveStats::default(),
         };
         if let Some(cp) = resume {
             search.resumed = true;
@@ -777,23 +870,11 @@ impl<'a> Search<'a> {
             return None;
         }
         let inject = self.fire_fault(FaultSite::CallbackPanic);
-        let cb = &mut self.callback;
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if inject {
-                panic!("injected incumbent-callback panic");
-            }
-            cb.propose(relaxation)
-        }));
-        match outcome {
+        match propose_contained(self.callback, relaxation, inject) {
             Ok(proposal) => proposal,
-            Err(payload) => {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(std::string::ToString::to_string)
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "opaque panic payload".into());
+            Err(fault) => {
                 self.callback_panics += 1;
-                self.faults.push(SolverFault::CallbackPanic(msg));
+                self.faults.push(fault);
                 None
             }
         }
@@ -850,8 +931,15 @@ impl<'a> Search<'a> {
         self.apply_bounds(&node)?;
         // The simplex runs its own recovery ladder; what surfaces here is
         // either terminal or a verdict.
+        let iters_before = self.simplex.iterations();
         let sol = match self.simplex.resolve() {
-            Ok(s) => s,
+            Ok(s) => {
+                self.lp_stats.record(
+                    self.simplex.last_solve_warm(),
+                    self.simplex.iterations() - iters_before,
+                );
+                s
+            }
             Err(metaopt_lp::LpError::Fault(SolverFault::DeadlineExceeded)) => {
                 // The wall-clock budget interrupted the LP mid-solve; keep
                 // the node open so the final bound stays honest.
@@ -939,35 +1027,11 @@ impl<'a> Search<'a> {
     }
 
     fn most_fractional_binary(&self, lp_x: &[f64]) -> Option<(VarId, f64, f64)> {
-        let mut best: Option<(VarId, f64, f64)> = None;
-        for b in &self.cm.binaries {
-            let id = self.cm.lp_var(*b);
-            let x = lp_x[id.0];
-            let frac = (x - x.round()).abs();
-            if frac > self.cfg.int_tol {
-                match best {
-                    Some((_, _, bf)) if bf >= frac => {}
-                    _ => best = Some((id, x, frac)),
-                }
-            }
-        }
-        best
+        most_fractional_binary(self.cm, self.cfg.int_tol, lp_x)
     }
 
     fn most_violated_compl(&self, lp_x: &[f64]) -> Option<(VarId, VarId, f64, f64)> {
-        let mut best: Option<(VarId, VarId, f64, f64, f64)> = None;
-        for &(m, s) in &self.cm.compl_pairs {
-            let mv = lp_x[m.0];
-            let sv = lp_x[s.0];
-            let viol = mv.min(sv);
-            if viol > self.cfg.compl_tol * (1.0 + mv.max(sv)) {
-                match best {
-                    Some((.., bviol)) if bviol >= viol => {}
-                    _ => best = Some((m, s, mv, sv, viol)),
-                }
-            }
-        }
-        best.map(|(m, s, mv, sv, _)| (m, s, mv, sv))
+        most_violated_compl(self.cm, self.cfg.compl_tol, lp_x)
     }
 
     fn branch_binary(&mut self, node: Node, v: VarId, value: f64, obj: f64) {
@@ -1084,12 +1148,82 @@ impl<'a> Search<'a> {
             trajectory: std::mem::take(&mut self.trajectory),
             faults: std::mem::take(&mut self.faults),
             degraded_nodes: self.degraded_nodes,
+            lp_stats: self.lp_stats,
         };
         (solution, checkpoint)
     }
 }
 
-fn to_min_space(cm: &CompiledModel, model_obj: f64) -> f64 {
+pub(crate) fn to_min_space(cm: &CompiledModel, model_obj: f64) -> f64 {
     // restore_objective is an involution (negate or identity).
     cm.restore_objective(model_obj)
+}
+
+/// The binary branching rule, shared by every tree-search engine: the
+/// binary whose relaxation value is farthest from integral.
+pub(crate) fn most_fractional_binary(
+    cm: &CompiledModel,
+    int_tol: f64,
+    lp_x: &[f64],
+) -> Option<(VarId, f64, f64)> {
+    let mut best: Option<(VarId, f64, f64)> = None;
+    for b in &cm.binaries {
+        let id = cm.lp_var(*b);
+        let x = lp_x[id.0];
+        let frac = (x - x.round()).abs();
+        if frac > int_tol {
+            match best {
+                Some((_, _, bf)) if bf >= frac => {}
+                _ => best = Some((id, x, frac)),
+            }
+        }
+    }
+    best
+}
+
+/// The SOS1 branching rule, shared by every tree-search engine: the
+/// complementarity pair `(λ, s)` with the largest `min(λ, s)` violation.
+pub(crate) fn most_violated_compl(
+    cm: &CompiledModel,
+    compl_tol: f64,
+    lp_x: &[f64],
+) -> Option<(VarId, VarId, f64, f64)> {
+    let mut best: Option<(VarId, VarId, f64, f64, f64)> = None;
+    for &(m, s) in &cm.compl_pairs {
+        let mv = lp_x[m.0];
+        let sv = lp_x[s.0];
+        let viol = mv.min(sv);
+        if viol > compl_tol * (1.0 + mv.max(sv)) {
+            match best {
+                Some((.., bviol)) if bviol >= viol => {}
+                _ => best = Some((m, s, mv, sv, viol)),
+            }
+        }
+    }
+    best.map(|(m, s, mv, sv, _)| (m, s, mv, sv))
+}
+
+/// Runs an incumbent callback with panic containment (shared by every
+/// tree-search engine): a panicking callback loses its proposal and the
+/// panic surfaces as a structured [`SolverFault`] for the caller's
+/// bookkeeping.
+pub(crate) fn propose_contained(
+    callback: &mut dyn IncumbentCallback,
+    relaxation: &[f64],
+    inject: bool,
+) -> Result<Option<(Vec<f64>, f64)>, SolverFault> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            panic!("injected incumbent-callback panic");
+        }
+        callback.propose(relaxation)
+    }));
+    outcome.map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(std::string::ToString::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".into());
+        SolverFault::CallbackPanic(msg)
+    })
 }

@@ -1,0 +1,253 @@
+//! Differential equivalence harness for the parallel branch-and-bound
+//! engines, run on the real paper encodings (fig-1 triangle, Demand
+//! Pinning and POP adversarial-gap programs):
+//!
+//! * `ParallelMode::Deterministic` at 1, 2, and 8 threads must produce
+//!   **bit-identical** certified results — objective, dual bound, node
+//!   count, and the full `Checkpoint::to_text` serialization of an
+//!   interrupted search — and all of them must match the engine's
+//!   1-thread baseline.
+//! * `ParallelMode::WorkStealing` is timing-dependent by design, so it is
+//!   held to the certification bar instead: the same optimal objective
+//!   within `CERT_TOL` and a closed gap.
+//!
+//! The models are built through `metaopt-core`'s encoders (a dev-only
+//! dependency cycle, which cargo permits) so the harness exercises exactly
+//! the mixed binary/complementarity structures the engines exist for.
+
+use metaopt_core::finder::build_adversarial_model;
+use metaopt_core::{ConstrainedSet, FinderConfig, HeuristicSpec, PopMode};
+use metaopt_milp::{
+    solve, solve_resumable, Checkpoint, IncumbentCallback, MilpConfig, MilpSolution, MilpStatus,
+    ParallelMode, CERT_TOL,
+};
+use metaopt_model::Model;
+use metaopt_te::pop::Partition;
+use metaopt_te::TeInstance;
+use metaopt_topology::synth::figure1_triangle;
+
+fn fig1() -> TeInstance {
+    let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+    TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap()
+}
+
+/// The fig-1 Demand Pinning adversarial program (binary branching).
+fn dp_model() -> Model {
+    let inst = fig1();
+    let spec = HeuristicSpec::DemandPinning { threshold: 50.0 };
+    let cfg = FinderConfig::default();
+    build_adversarial_model(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg)
+        .unwrap()
+        .model
+}
+
+/// The fig-1 POP adversarial program (complementarity/SOS1 branching).
+fn pop_model() -> Model {
+    let inst = fig1();
+    // Two fixed 2-way partitions: deterministic, no RNG involved.
+    let spec = HeuristicSpec::Pop {
+        partitions: vec![
+            Partition {
+                assignment: vec![0, 1, 0],
+                n_parts: 2,
+            },
+            Partition {
+                assignment: vec![1, 0, 1],
+                n_parts: 2,
+            },
+        ],
+        mode: PopMode::Average,
+    };
+    let cfg = FinderConfig::default();
+    build_adversarial_model(&inst, &spec, &ConstrainedSet::unconstrained(), &cfg)
+        .unwrap()
+        .model
+}
+
+fn det_cfg(threads: usize) -> MilpConfig {
+    MilpConfig {
+        threads,
+        parallel: ParallelMode::Deterministic,
+        ..MilpConfig::default()
+    }
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Exact (bit-level) signature of a certified solve.
+fn signature(sol: &MilpSolution) -> (u64, u64, usize, usize) {
+    (
+        sol.objective.to_bits(),
+        sol.best_bound.to_bits(),
+        sol.nodes,
+        sol.numerical_prunes,
+    )
+}
+
+struct NoCb;
+impl IncumbentCallback for NoCb {
+    fn propose(&mut self, _relaxation: &[f64]) -> Option<(Vec<f64>, f64)> {
+        None
+    }
+}
+
+/// Deterministic engine, full solve: the signature is identical at every
+/// thread count, on both paper encodings.
+#[test]
+fn deterministic_solves_are_bit_identical_across_thread_counts() {
+    for (name, model) in [("dp", dp_model()), ("pop", pop_model())] {
+        let mut baseline = None;
+        for threads in THREAD_COUNTS {
+            let sol = solve(&model, &det_cfg(threads)).unwrap();
+            assert_eq!(
+                sol.status,
+                MilpStatus::Optimal,
+                "{name} at {threads} threads did not certify"
+            );
+            let sig = signature(&sol);
+            match &baseline {
+                None => baseline = Some(sig),
+                Some(b) => assert_eq!(
+                    &sig, b,
+                    "{name}: thread count {threads} changed the certified result"
+                ),
+            }
+        }
+    }
+}
+
+/// Deterministic engine, interrupted solve: a node budget stops every run
+/// on the same wave boundary, so the checkpoint — down to its exact
+/// `to_text` bytes — is identical at every thread count.
+#[test]
+fn deterministic_checkpoints_serialize_identically() {
+    for (name, model) in [("dp", dp_model()), ("pop", pop_model())] {
+        for budget_nodes in [1usize, 5, 9, 17] {
+            let mut texts: Vec<Option<String>> = Vec::new();
+            for threads in THREAD_COUNTS {
+                let cfg = MilpConfig {
+                    max_nodes: budget_nodes,
+                    ..det_cfg(threads)
+                };
+                let (_, cp) = solve_resumable(&model, &cfg, &mut NoCb, None).unwrap();
+                texts.push(cp.map(|c| c.to_text()));
+            }
+            for pair in texts.windows(2) {
+                assert_eq!(
+                    pair[0], pair[1],
+                    "{name}: checkpoint text diverged across thread counts at {budget_nodes} nodes"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic engine, interrupt + resume: stopping at a node budget and
+/// resuming yields the same certified signature as an uninterrupted run,
+/// at every thread count.
+#[test]
+fn deterministic_resume_matches_uninterrupted_run() {
+    for (name, model) in [("dp", dp_model()), ("pop", pop_model())] {
+        for threads in THREAD_COUNTS {
+            let full = solve(&model, &det_cfg(threads)).unwrap();
+            let cfg = MilpConfig {
+                max_nodes: 9,
+                ..det_cfg(threads)
+            };
+            let (first, cp) = solve_resumable(&model, &cfg, &mut NoCb, None).unwrap();
+            let resumed = match cp {
+                Some(cp) => {
+                    // Round-trip the checkpoint through its text form, as
+                    // the campaign journal does.
+                    let cp = Checkpoint::from_text(&cp.to_text()).unwrap();
+                    let relaxed = det_cfg(threads);
+                    let (sol, rest) = solve_resumable(&model, &relaxed, &mut NoCb, Some(cp)).unwrap();
+                    assert!(rest.is_none(), "{name}: resumed run still interrupted");
+                    sol
+                }
+                None => first,
+            };
+            assert_eq!(
+                signature(&resumed),
+                signature(&full),
+                "{name} at {threads} threads: resume diverged from uninterrupted run"
+            );
+        }
+    }
+}
+
+/// Work-stealing engine: nondeterministic visit order, but the certified
+/// objective must match the serial result within `CERT_TOL` and the gap
+/// must close, at every thread count.
+#[test]
+fn work_stealing_certifies_same_objective() {
+    for (name, model) in [("dp", dp_model()), ("pop", pop_model())] {
+        let serial = solve(
+            &model,
+            &MilpConfig {
+                parallel: ParallelMode::Serial,
+                ..MilpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.status, MilpStatus::Optimal);
+        for threads in THREAD_COUNTS {
+            let cfg = MilpConfig {
+                threads,
+                parallel: ParallelMode::WorkStealing,
+                ..MilpConfig::default()
+            };
+            let sol = solve(&model, &cfg).unwrap();
+            assert_eq!(
+                sol.status,
+                MilpStatus::Optimal,
+                "{name} work-stealing at {threads} threads did not certify"
+            );
+            assert!(
+                (sol.objective - serial.objective).abs()
+                    <= CERT_TOL * (1.0 + serial.objective.abs()),
+                "{name} at {threads} threads: work-stealing objective {} vs serial {}",
+                sol.objective,
+                serial.objective
+            );
+            assert!(
+                sol.rel_gap <= cfg.rel_gap + CERT_TOL,
+                "{name} at {threads} threads: gap {} not closed",
+                sol.rel_gap
+            );
+        }
+    }
+}
+
+/// `ParallelMode::Auto` picks the serial engine at one thread and the
+/// deterministic engine above one — and both agree with the explicit
+/// serial engine's certified objective within `CERT_TOL`.
+#[test]
+fn auto_mode_matches_serial_certification() {
+    let model = dp_model();
+    let serial = solve(
+        &model,
+        &MilpConfig {
+            parallel: ParallelMode::Serial,
+            ..MilpConfig::default()
+        },
+    )
+    .unwrap();
+    for threads in [1usize, 8] {
+        let sol = solve(
+            &model,
+            &MilpConfig {
+                threads,
+                ..MilpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!(
+            (sol.objective - serial.objective).abs() <= CERT_TOL * (1.0 + serial.objective.abs()),
+            "auto at {threads} threads: objective {} vs serial {}",
+            sol.objective,
+            serial.objective
+        );
+    }
+}
