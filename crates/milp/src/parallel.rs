@@ -20,13 +20,16 @@
 //!      numbers, so a frontier reloaded from a checkpoint orders exactly
 //!      like the live one.
 //!
-//!   Budget stops land on wave boundaries and trajectory timestamps count
-//!   *nodes* instead of seconds, so `Checkpoint`s, §3.3 stall accounting,
-//!   `resilience::Budget` node allowances, and campaign resume keep their
-//!   bit-for-bit replay guarantees at any thread count. (Wall-clock rules —
-//!   deadlines and stall windows — remain real time; they choose *which*
-//!   wave boundary the search pauses at, and replay from that checkpoint is
-//!   again exact.)
+//!   Budget stops land on wave boundaries and *checkpoint* trajectory
+//!   timestamps count nodes instead of seconds, so `Checkpoint`s, §3.3
+//!   stall accounting, `resilience::Budget` node allowances, and campaign
+//!   resume keep their bit-for-bit replay guarantees at any thread count.
+//!   The node-axis trajectory stays internal to the checkpoint: the
+//!   reported [`MilpSolution::trajectory`] is a separately-recorded
+//!   wall-clock one, in seconds like every other engine's. (Wall-clock
+//!   rules — deadlines and stall windows — remain real time; they choose
+//!   *which* wave boundary the search pauses at, and replay from that
+//!   checkpoint is again exact.)
 //!
 //! * **Work-stealing** (`ParallelMode::WorkStealing`) — the throughput
 //!   engine: a mutex-protected best-bound frontier with per-worker local
@@ -46,7 +49,7 @@
 use crate::solver::{
     canon_cmp, most_fractional_binary, most_violated_compl, propose_contained, to_min_space,
     Checkpoint, FrontierNode, IncumbentCallback, LpSolveStats, MilpConfig, MilpSolution,
-    MilpStatus, MAX_CALLBACK_PANICS,
+    MilpStatus, TrajAxis, MAX_CALLBACK_PANICS,
 };
 use crate::{MilpError, MilpResult};
 use metaopt_lp::{Basis, LpError, Simplex, SolveStatus, VarId};
@@ -275,7 +278,12 @@ struct Det<'a> {
     nodes: usize,
     numerical_prunes: usize,
     degraded_nodes: usize,
+    /// Node-axis incumbent trajectory — the deterministic replay clock,
+    /// stored in checkpoints (bit-identical at any thread count).
     trajectory: Vec<(f64, f64)>,
+    /// Wall-clock incumbent trajectory of *this run*, in seconds — what
+    /// [`MilpSolution::trajectory`] reports, like every other engine.
+    wall_trajectory: Vec<(f64, f64)>,
     last_improvement: Instant,
     last_stall_value: f64,
     stopped_early: bool,
@@ -286,6 +294,7 @@ struct Det<'a> {
     callback_panics: usize,
     resumed: bool,
     lp_stats: LpSolveStats,
+    start: Instant,
 }
 
 /// Entry point for the deterministic engine (dispatched from
@@ -310,6 +319,7 @@ pub(crate) fn solve_deterministic(
         numerical_prunes: 0,
         degraded_nodes: 0,
         trajectory: Vec::new(),
+        wall_trajectory: Vec::new(),
         last_improvement: Instant::now(),
         last_stall_value: f64::INFINITY,
         stopped_early: false,
@@ -320,6 +330,7 @@ pub(crate) fn solve_deterministic(
         callback_panics: 0,
         resumed: false,
         lp_stats: LpSolveStats::default(),
+        start,
     };
     if let Some(cp) = resume {
         det.resumed = true;
@@ -327,7 +338,14 @@ pub(crate) fn solve_deterministic(
         det.nodes = cp.nodes;
         det.numerical_prunes = cp.numerical_prunes;
         det.degraded_nodes = cp.degraded_nodes;
-        det.trajectory = cp.trajectory;
+        // Seed whichever trajectory matches the checkpoint's axis: the
+        // replay clock from a deterministic checkpoint, the reported
+        // wall-clock history from a serial/work-stealing one. Never both —
+        // the units must not mix in one vector.
+        match cp.traj_axis {
+            TrajAxis::Nodes => det.trajectory = cp.trajectory,
+            TrajAxis::Seconds => det.wall_trajectory = cp.trajectory,
+        }
         det.last_stall_value = cp.last_stall_value;
         det.faults = cp.faults;
         for (changes, bound, depth) in cp.frontier {
@@ -441,8 +459,9 @@ impl<'a> Det<'a> {
         b.min(self.incumbent_obj())
     }
 
-    /// Mirrors the serial `record_incumbent`, with the trajectory's time
-    /// axis measured in certified *nodes* — the deterministic clock.
+    /// Mirrors the serial `record_incumbent`, recording each improvement
+    /// twice: on the node axis (the deterministic replay clock, kept for
+    /// checkpoints) and on the wall clock (what the solution reports).
     fn record_incumbent(&mut self, values: Vec<f64>, min_obj: f64) {
         if min_obj < self.incumbent_obj() - 1e-12 {
             let improvement = if self.last_stall_value.is_finite() {
@@ -457,6 +476,8 @@ impl<'a> Det<'a> {
             self.incumbent = Some((values, min_obj));
             let obj = self.cm.restore_objective(min_obj);
             self.trajectory.push((self.nodes as f64, obj));
+            self.wall_trajectory
+                .push((self.start.elapsed().as_secs_f64(), obj));
         }
     }
 
@@ -745,6 +766,7 @@ impl<'a> Det<'a> {
                     numerical_prunes: self.numerical_prunes,
                     degraded_nodes: self.degraded_nodes,
                     trajectory: self.trajectory.clone(),
+                    traj_axis: TrajAxis::Nodes,
                     last_stall_value: self.last_stall_value,
                     faults: self.faults.clone(),
                 })
@@ -780,7 +802,7 @@ impl<'a> Det<'a> {
             lp_iterations: self.lp_stats.warm_iterations + self.lp_stats.cold_iterations,
             numerical_prunes: self.numerical_prunes,
             solve_time: start.elapsed(),
-            trajectory: std::mem::take(&mut self.trajectory),
+            trajectory: std::mem::take(&mut self.wall_trajectory),
             faults: std::mem::take(&mut self.faults),
             degraded_nodes: self.degraded_nodes,
             lp_stats: self.lp_stats,
@@ -886,7 +908,14 @@ impl<'a> WsShared<'a> {
         if early {
             self.stopped_early.store(true, AtOrd::Release);
         }
+        // The stop flag must be stored while holding the frontier lock:
+        // a worker in `steal` checks the flag and then parks on the
+        // condvar under that same lock, so storing + notifying without it
+        // could land entirely inside a waiter's check-to-wait window —
+        // the notification is lost and the worker parks forever.
+        let fr = self.frontier.lock().unwrap();
         self.stop.store(true, AtOrd::Release);
+        drop(fr);
         self.cv.notify_all();
     }
 
@@ -937,8 +966,12 @@ impl<'a> WsShared<'a> {
     /// stop was requested or every worker went idle with an empty heap
     /// (global exhaustion, detected by the idle count reaching the worker
     /// count).
-    fn steal(&self) -> Option<WsNode> {
+    fn steal(&self, id: usize) -> Option<WsNode> {
         let mut fr = self.frontier.lock().unwrap();
+        // The caller's local stack is dry, so it owns no subtree; clear
+        // its in-flight slot under the frontier lock, pairing with the
+        // publication below.
+        self.inflight[id].store(f64::INFINITY.to_bits(), AtOrd::Release);
         loop {
             if self.stop.load(AtOrd::Acquire) {
                 return None;
@@ -951,6 +984,13 @@ impl<'a> WsShared<'a> {
                 }
             }
             if let Some(n) = got {
+                // Publish the stolen subtree's bound while the frontier
+                // lock is still held: a node must never be invisible to
+                // `check_gap_stop` — at every instant it is either in the
+                // heap or in an inflight slot, otherwise a concurrent gap
+                // check could overestimate the dual bound and stop with a
+                // wrong optimality proof.
+                self.inflight[id].store(n.bound.to_bits(), AtOrd::Release);
                 return Some(n);
             }
             fr.idle += 1;
@@ -1029,19 +1069,23 @@ fn ws_worker(sh: &WsShared<'_>, id: usize, cb_tx: &mpsc::Sender<Vec<f64>>) {
             }
         }
         let node = match node {
-            Some(n) => n,
-            None => {
-                sh.inflight[id].store(f64::INFINITY.to_bits(), AtOrd::Release);
-                match sh.steal() {
-                    Some(n) => n,
-                    None => {
-                        park(&mut local);
-                        return;
-                    }
-                }
+            Some(n) => {
+                // Local pop: raise the slot from the parent's bound to this
+                // node's. Children bounds dominate their parent's, so the
+                // stale value in between only understates the dual bound —
+                // conservative for the gap rule. Steals publish their bound
+                // inside `steal` itself, under the frontier lock.
+                sh.inflight[id].store(n.bound.to_bits(), AtOrd::Release);
+                n
             }
+            None => match sh.steal(id) {
+                Some(n) => n,
+                None => {
+                    park(&mut local);
+                    return;
+                }
+            },
         };
-        sh.inflight[id].store(node.bound.to_bits(), AtOrd::Release);
         // Global node allowance.
         if sh.meter.exhausted(&sh.budget) {
             sh.stopped_early.store(true, AtOrd::Release);
@@ -1216,7 +1260,11 @@ pub(crate) fn solve_work_stealing(
     let resumed = resume.is_some();
     if let Some(cp) = resume {
         inc.best = cp.incumbent;
-        inc.trajectory = cp.trajectory;
+        // Only adopt a seconds-axis history; a deterministic checkpoint's
+        // node-count trajectory must not mix into this wall-clock one.
+        if cp.traj_axis == TrajAxis::Seconds {
+            inc.trajectory = cp.trajectory;
+        }
         inc.last_stall_value = cp.last_stall_value;
         meter.charge(cp.nodes);
         seed_prunes = cp.numerical_prunes;
@@ -1385,6 +1433,7 @@ fn ws_finish(sh: &WsShared<'_>, start: Instant) -> (MilpSolution, Option<Checkpo
             numerical_prunes,
             degraded_nodes,
             trajectory: trajectory.clone(),
+            traj_axis: TrajAxis::Seconds,
             last_stall_value,
             faults: faults.clone(),
         })

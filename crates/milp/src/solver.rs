@@ -146,7 +146,9 @@ pub struct MilpSolution {
     pub numerical_prunes: usize,
     /// Wall-clock time of the search.
     pub solve_time: Duration,
-    /// `(seconds_since_start, incumbent_objective)` at every improvement.
+    /// `(seconds_since_start, incumbent_objective)` at every improvement —
+    /// wall-clock seconds in *every* engine (the deterministic engine keeps
+    /// its node-axis replay trajectory internal to the [`Checkpoint`]).
     pub trajectory: Vec<(f64, f64)>,
     /// Faults contained during the search (callback panics, LP breakdowns
     /// pruned, deadline interruptions). Empty on a clean run.
@@ -257,6 +259,22 @@ pub(crate) fn canon_cmp(
     })
 }
 
+/// Unit of the time axis of a [`Checkpoint`]'s stored trajectory. The
+/// serial and work-stealing engines record incumbent improvements in
+/// wall-clock seconds; the deterministic engine's replay clock is
+/// certified *nodes* (seconds would differ run to run and break its
+/// bit-identical `to_text` guarantee). Resume paths only adopt a stored
+/// trajectory whose axis matches their own clock, so a checkpoint handed
+/// across engines never mixes units in one trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum TrajAxis {
+    /// Wall-clock seconds since the start of the run that recorded it.
+    #[default]
+    Seconds,
+    /// Certified node count at the improvement (deterministic engine).
+    Nodes,
+}
+
 /// Opaque resumable state of an interrupted branch-and-bound search:
 /// the open frontier, the incumbent, and the bookkeeping counters.
 /// Produced by [`solve_resumable`] when a budget interrupts the search;
@@ -273,6 +291,8 @@ pub struct Checkpoint {
     pub(crate) numerical_prunes: usize,
     pub(crate) degraded_nodes: usize,
     pub(crate) trajectory: Vec<(f64, f64)>,
+    /// Unit of `trajectory`'s time axis (see [`TrajAxis`]).
+    pub(crate) traj_axis: TrajAxis,
     pub(crate) last_stall_value: f64,
     pub(crate) faults: Vec<SolverFault>,
 }
@@ -408,6 +428,10 @@ impl Checkpoint {
         out.push_str(&format!("prunes {}\n", self.numerical_prunes));
         out.push_str(&format!("degraded {}\n", self.degraded_nodes));
         out.push_str(&format!("stall {}\n", f64_to_hex(self.last_stall_value)));
+        out.push_str(match self.traj_axis {
+            TrajAxis::Seconds => "traj_axis secs\n",
+            TrajAxis::Nodes => "traj_axis nodes\n",
+        });
         for f in &self.faults {
             out.push_str(&format!(
                 "fault {} {}\n",
@@ -461,6 +485,7 @@ impl Checkpoint {
         let mut stall: Option<f64> = None;
         let mut faults: Vec<SolverFault> = Vec::new();
         let mut trajectory: Vec<(f64, f64)> = Vec::new();
+        let mut traj_axis: Option<TrajAxis> = None;
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
         let mut frontier: Vec<FrontierNode> = Vec::new();
         let mut ended = false;
@@ -497,6 +522,20 @@ impl Checkpoint {
                     let t = f64_from_hex(tok.next().unwrap_or(""))?;
                     let v = f64_from_hex(tok.next().unwrap_or(""))?;
                     trajectory.push((t, v));
+                }
+                "traj_axis" => {
+                    let axis = match tok.next().unwrap_or("") {
+                        "secs" => TrajAxis::Seconds,
+                        "nodes" => TrajAxis::Nodes,
+                        other => {
+                            return Err(CheckpointParseError(format!(
+                                "unknown trajectory axis `{other}`"
+                            )))
+                        }
+                    };
+                    if traj_axis.replace(axis).is_some() {
+                        return Err(CheckpointParseError("duplicate `traj_axis`".into()));
+                    }
                 }
                 "incumbent" => {
                     let obj = f64_from_hex(tok.next().unwrap_or(""))?;
@@ -581,6 +620,9 @@ impl Checkpoint {
             numerical_prunes: prunes,
             degraded_nodes: degraded,
             trajectory,
+            // Pre-axis texts carry seconds: only the serial engine wrote
+            // checkpoints before the axis marker existed.
+            traj_axis: traj_axis.unwrap_or_default(),
             last_stall_value: stall,
             faults,
         })
@@ -739,7 +781,12 @@ impl<'a> Search<'a> {
             search.nodes = cp.nodes;
             search.numerical_prunes = cp.numerical_prunes;
             search.degraded_nodes = cp.degraded_nodes;
-            search.trajectory = cp.trajectory;
+            // Only adopt a seconds-axis history: a deterministic-engine
+            // checkpoint stores node counts, which must not be spliced
+            // into this engine's wall-clock trajectory.
+            if cp.traj_axis == TrajAxis::Seconds {
+                search.trajectory = cp.trajectory;
+            }
             search.last_stall_value = cp.last_stall_value;
             search.faults = cp.faults;
             for (changes, bound, depth) in cp.frontier {
@@ -1110,6 +1157,7 @@ impl<'a> Search<'a> {
                     numerical_prunes: self.numerical_prunes,
                     degraded_nodes: self.degraded_nodes,
                     trajectory: self.trajectory.clone(),
+                    traj_axis: TrajAxis::Seconds,
                     last_stall_value: self.last_stall_value,
                     faults: self.faults.clone(),
                 })

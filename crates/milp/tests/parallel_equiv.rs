@@ -176,6 +176,62 @@ fn deterministic_resume_matches_uninterrupted_run() {
     }
 }
 
+/// The reported `MilpSolution::trajectory` is wall-clock seconds in every
+/// engine — the deterministic engine's node-axis replay trajectory stays
+/// internal to its checkpoint. A node-count axis would exceed the
+/// (sub-second) fig-1 solve time, which is what this guards against.
+#[test]
+fn deterministic_trajectory_is_wall_clock() {
+    for (name, model) in [("dp", dp_model()), ("pop", pop_model())] {
+        for threads in THREAD_COUNTS {
+            let sol = solve(&model, &det_cfg(threads)).unwrap();
+            assert!(
+                !sol.trajectory.is_empty(),
+                "{name} at {threads} threads: no incumbent improvements recorded"
+            );
+            let secs = sol.solve_time.as_secs_f64();
+            for &(t, _) in &sol.trajectory {
+                assert!(
+                    (0.0..=secs).contains(&t),
+                    "{name} at {threads} threads: trajectory timestamp {t} outside \
+                     [0, {secs}]s — node counts leaked into the seconds axis"
+                );
+            }
+        }
+    }
+}
+
+/// Resuming a deterministic checkpoint on the *serial* engine must not
+/// splice the checkpoint's node-axis trajectory into the serial engine's
+/// wall-clock one: units never mix in a reported trajectory.
+#[test]
+fn cross_engine_resume_never_mixes_trajectory_units() {
+    for (name, model) in [("dp", dp_model()), ("pop", pop_model())] {
+        let cfg = MilpConfig {
+            max_nodes: 9,
+            ..det_cfg(8)
+        };
+        let (_, cp) = solve_resumable(&model, &cfg, &mut NoCb, None).unwrap();
+        let Some(cp) = cp else { continue };
+        let cp = Checkpoint::from_text(&cp.to_text()).unwrap();
+        let serial = MilpConfig {
+            parallel: ParallelMode::Serial,
+            ..MilpConfig::default()
+        };
+        let (sol, rest) = solve_resumable(&model, &serial, &mut NoCb, Some(cp)).unwrap();
+        assert!(rest.is_none(), "{name}: serial resume still interrupted");
+        assert_eq!(sol.status, MilpStatus::Optimal, "{name}: resume did not certify");
+        let secs = sol.solve_time.as_secs_f64();
+        for &(t, _) in &sol.trajectory {
+            assert!(
+                (0.0..=secs).contains(&t),
+                "{name}: serial resume reported timestamp {t} outside [0, {secs}]s — \
+                 node-axis checkpoint entries leaked into the wall-clock trajectory"
+            );
+        }
+    }
+}
+
 /// Work-stealing engine: nondeterministic visit order, but the certified
 /// objective must match the serial result within `CERT_TOL` and the gap
 /// must close, at every thread count.
