@@ -7,10 +7,16 @@
 //! completed cells or restarting in-flight branch-and-bound searches.
 //!
 //! ```text
-//! campaign run    <dir>   start a fresh campaign in <dir>
-//! campaign resume <dir>   continue after a crash or drain
-//! campaign status <dir>   replay the journal and report, without running
+//! campaign run    <dir>           start a fresh campaign in <dir>
+//! campaign resume <dir>           continue after a crash or drain
+//! campaign status <dir> [--json]  replay the journal and report, without
+//!                                 running; `--json` emits one machine-
+//!                                 readable JSON document on stdout
 //! ```
+//!
+//! `status` exit codes are scriptable: `0` all cells done, `3` cells still
+//! pending, `4` cells quarantined (quarantine wins when both apply) — so
+//! CI can gate on `campaign status "$dir" --json`.
 //!
 //! Environment:
 //! * `METAOPT_QUICK=1` — small Figure-1-only grid,
@@ -25,6 +31,7 @@ use metaopt_campaign::{
     RunEnd, ShutdownFlag, TopologySpec,
 };
 use metaopt_resilience::RetryPolicy;
+use metaopt_server::Json;
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -126,6 +133,7 @@ fn config() -> CampaignConfig {
         retry: RetryPolicy::default(),
         deadline,
         threads_per_cell: env_usize("METAOPT_CAMPAIGN_THREADS_PER_CELL", 0),
+        retry_salt: 0,
     }
 }
 
@@ -175,9 +183,65 @@ fn report(state: &CampaignState) {
     println!("done {done}, quarantined {quarantined}, pending {pending}");
 }
 
+/// Machine-readable status document: everything `report` prints, as JSON.
+fn status_json(state: &CampaignState) -> Json {
+    let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+    let cells: Vec<Json> = state
+        .cells
+        .iter()
+        .zip(&state.status)
+        .map(|(cell, st)| {
+            let mut pairs = vec![("label", Json::str(cell.label.clone()))];
+            match st {
+                CellStatus::Done(o) => {
+                    pairs.push(("status", Json::str("done")));
+                    pairs.push(("threshold", opt_num(o.threshold)));
+                    pairs.push(("verified_gap", opt_num(o.verified_gap)));
+                    pairs.push(("probes", Json::Num(o.probes as f64)));
+                    pairs.push(("nodes", Json::Num(o.nodes as f64)));
+                }
+                CellStatus::Quarantined { reason, attempts } => {
+                    pairs.push(("status", Json::str("quarantined")));
+                    pairs.push(("reason", Json::str(reason.kind())));
+                    pairs.push(("attempts", Json::Num(*attempts as f64)));
+                }
+                CellStatus::Pending { attempt, resume } => {
+                    pairs.push(("status", Json::str("pending")));
+                    pairs.push(("attempts_failed", Json::Num(*attempt as f64)));
+                    pairs.push(("checkpointed", Json::Bool(resume.is_some())));
+                    if let Some(r) = resume {
+                        pairs.push(("nodes", Json::Num(r.nodes as f64)));
+                    }
+                }
+            }
+            Json::obj(pairs)
+        })
+        .collect();
+    let (done, quarantined, pending) = state.counts();
+    Json::obj(vec![
+        ("name", Json::str(state.name.clone())),
+        ("cells", Json::Arr(cells)),
+        ("done", Json::Num(done as f64)),
+        ("quarantined", Json::Num(quarantined as f64)),
+        ("pending", Json::Num(pending as f64)),
+    ])
+}
+
+/// `0` all done, `4` anything quarantined, `3` anything still pending.
+fn status_exit(state: &CampaignState) -> ExitCode {
+    let (_, quarantined, pending) = state.counts();
+    if quarantined > 0 {
+        ExitCode::from(4)
+    } else if pending > 0 {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let usage = "usage: campaign <run|resume|status> <dir>";
+    let usage = "usage: campaign <run|resume|status> <dir> [--json]";
     let (cmd, dir) = match (args.get(1), args.get(2)) {
         (Some(c), Some(d)) => (c.as_str(), Path::new(d)),
         _ => {
@@ -185,6 +249,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let json_flag = args.iter().skip(3).any(|a| a == "--json");
     let outcome = match cmd {
         "run" => {
             let cells = grid();
@@ -200,8 +265,12 @@ fn main() -> ExitCode {
         "status" => {
             return match status(dir) {
                 Ok(st) => {
-                    report(&st);
-                    ExitCode::SUCCESS
+                    if json_flag {
+                        println!("{}", status_json(&st).render());
+                    } else {
+                        report(&st);
+                    }
+                    status_exit(&st)
                 }
                 Err(e) => {
                     eprintln!("status failed: {e}");

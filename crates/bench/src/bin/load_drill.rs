@@ -1,0 +1,181 @@
+//! `load_drill` — an in-process overload drill against the gap-finding
+//! job server: pins the worker pool, fires a burst of submissions at a
+//! deliberately small admission queue, and reports the shedding behaviour
+//! as one JSON document on stdout.
+//!
+//! ```text
+//! load_drill [burst] [max_queue]        (defaults: 120 8)
+//! ```
+//!
+//! Exit code 0 when the overload contract held: the queue never exceeded
+//! its bound, every rejection carried `429 Retry-After`, and every
+//! acknowledged job reached a certified terminal result. Nonzero
+//! otherwise — so CI can run this as a drill, not just a benchmark.
+
+use metaopt_server::client::request;
+use metaopt_server::{serve, GapServer, Json, ServerConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tiny_job(label: &str, client: &str) -> Vec<u8> {
+    format!(
+        concat!(
+            "{{\"client\":\"{}\",\"label\":\"{}\",",
+            "\"topology\":{{\"kind\":\"fig1\",\"cap\":100.0}},",
+            "\"heuristic\":{{\"kind\":\"dp\",\"threshold\":50.0}},",
+            "\"sweep\":{{\"lo\":45.0,\"hi\":55.0,\"resolution\":10.0}},",
+            "\"budget\":{{\"probe_cap_nodes\":4000,\"slice_nodes\":64}}}}"
+        ),
+        client, label
+    )
+    .into_bytes()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let burst: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let max_queue: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let dir = std::env::temp_dir().join(format!("metaopt-load-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = match GapServer::open(ServerConfig {
+        name: "load-drill".into(),
+        dir: dir.clone(),
+        workers: 1,
+        max_queue,
+        quota_burst: burst as f64 * 2.0,
+        quota_per_sec: burst as f64,
+        ..ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("load_drill: open: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    server.start_workers();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let serve_server = Arc::clone(&server);
+    let serve_thread = std::thread::spawn(move || serve(&serve_server, listener));
+
+    let call = |method: &str, path: &str, body: Option<&[u8]>| {
+        request(&addr, method, path, body, Duration::from_secs(120)).expect("drill request")
+    };
+
+    // Pin the single worker with a long job so the burst meets a queue
+    // that only fills, never drains.
+    let long = concat!(
+        "{\"client\":\"pin\",\"label\":\"pin\",",
+        "\"topology\":{\"kind\":\"builtin\",\"name\":\"abilene\",\"cap\":100.0},",
+        "\"heuristic\":{\"kind\":\"dp\",\"threshold\":50.0},",
+        "\"sweep\":{\"lo\":0.0,\"hi\":100.0,\"resolution\":0.25},",
+        "\"budget\":{\"probe_cap_nodes\":2000000,\"slice_nodes\":8}}"
+    );
+    let resp = call("POST", "/jobs", Some(long.as_bytes()));
+    assert_eq!(resp.status, 202, "pin job refused: {}", resp.text());
+    let pin_id = Json::parse(&resp.text())
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+
+    let burst_start = Instant::now();
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut shed = 0usize;
+    let mut shed_without_retry_after = 0usize;
+    let mut max_depth_seen = 0u64;
+    let mut ok = true;
+    for i in 0..burst {
+        let resp = call(
+            "POST",
+            "/jobs",
+            Some(&tiny_job(&format!("burst-{i}"), &format!("tenant-{}", i % 7))),
+        );
+        match resp.status {
+            202 => {
+                let id = Json::parse(&resp.text())
+                    .unwrap()
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .unwrap();
+                accepted.push(id);
+            }
+            429 => {
+                shed += 1;
+                if resp.header("retry-after").is_none() {
+                    shed_without_retry_after += 1;
+                    ok = false;
+                }
+            }
+            other => {
+                eprintln!("load_drill: unexpected status {other}: {}", resp.text());
+                ok = false;
+            }
+        }
+        let health = Json::parse(&call("GET", "/healthz", None).text()).unwrap();
+        let depth = health.get("queue_depth").and_then(Json::as_u64).unwrap_or(0);
+        max_depth_seen = max_depth_seen.max(depth);
+        if depth > max_queue as u64 {
+            ok = false;
+        }
+    }
+    let burst_secs = burst_start.elapsed().as_secs_f64();
+
+    // Release the worker and confirm no acknowledged job was dropped.
+    call("DELETE", &format!("/jobs/{pin_id}"), None);
+    let settle_start = Instant::now();
+    let deadline = settle_start + Duration::from_secs(300);
+    let mut completed = 0usize;
+    for id in &accepted {
+        loop {
+            let job = Json::parse(&call("GET", &format!("/jobs/{id}"), None).text()).unwrap();
+            match job.get("status").and_then(Json::as_str).unwrap_or("?") {
+                "done" => {
+                    completed += 1;
+                    break;
+                }
+                "quarantined" | "cancelled" => {
+                    ok = false;
+                    break;
+                }
+                _ if Instant::now() >= deadline => {
+                    ok = false;
+                    break;
+                }
+                _ => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+    let settle_secs = settle_start.elapsed().as_secs_f64();
+
+    call("POST", "/admin/drain", None);
+    let _ = serve_thread.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let contract_held =
+        ok && shed + accepted.len() == burst && completed == accepted.len() && shed > 0;
+    let summary = Json::obj(vec![
+        ("burst", Json::Num(burst as f64)),
+        ("max_queue", Json::Num(max_queue as f64)),
+        ("accepted", Json::Num(accepted.len() as f64)),
+        ("shed_429", Json::Num(shed as f64)),
+        (
+            "shed_missing_retry_after",
+            Json::Num(shed_without_retry_after as f64),
+        ),
+        ("max_queue_depth_seen", Json::Num(max_depth_seen as f64)),
+        ("accepted_completed", Json::Num(completed as f64)),
+        ("burst_secs", Json::Num(burst_secs)),
+        ("settle_secs", Json::Num(settle_secs)),
+        ("contract_held", Json::Bool(contract_held)),
+    ]);
+    println!("{}", summary.render());
+    if contract_held {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

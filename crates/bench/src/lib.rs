@@ -48,6 +48,7 @@ pub fn run_or_resume_campaign(
         retry: metaopt_resilience::RetryPolicy::default(),
         deadline: None,
         threads_per_cell: 0,
+        retry_salt: 0,
     };
     let shutdown = metaopt_campaign::ShutdownFlag::new();
     if dir.join(metaopt_campaign::JOURNAL_FILE).exists() {

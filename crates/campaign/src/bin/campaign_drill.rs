@@ -88,6 +88,7 @@ fn main() -> ExitCode {
         retry: RetryPolicy::default(),
         deadline: None,
         threads_per_cell: 0,
+        retry_salt: 0,
     };
     let shutdown = ShutdownFlag::new();
     let outcome = match cmd {

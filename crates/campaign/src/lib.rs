@@ -27,6 +27,7 @@
 //! See `DESIGN.md` §11 for the journal format and resume semantics.
 
 pub mod cell;
+pub mod jobs;
 pub mod journal;
 pub mod runner;
 pub mod state;
@@ -35,11 +36,13 @@ pub mod wire;
 pub use cell::{
     decode_sweep_state, encode_sweep_state, CellHeuristic, CellOutcome, CellSpec, TopologySpec,
 };
+pub use jobs::{JobBook, JobEntry, JobRecord, JobStatus, JOBS_MAGIC};
 pub use journal::{
     encode_line, parse_journal_bytes, read_journal, Journal, JournalContents, JOURNAL_FILE,
 };
 pub use runner::{
-    resume, run, status, CampaignConfig, CampaignReport, RunEnd, ShutdownFlag, MANIFEST_FILE,
+    drive_cell, quarantine_reason_for, resume, retry_jitter_seed, run, status, CampaignConfig,
+    CampaignReport, CellDriveEnd, RunEnd, ShutdownFlag, MANIFEST_FILE,
 };
 pub use state::{CampaignState, CellStatus, FailureRecord, CAMPAIGN_MAGIC};
 

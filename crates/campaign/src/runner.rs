@@ -66,6 +66,16 @@ pub struct CampaignConfig {
     /// cell spec's own configuration — and hence `METAOPT_THREADS` — in
     /// charge. Total CPU appetite is `workers x threads_per_cell`.
     pub threads_per_cell: usize,
+    /// Salt mixed into the retry-backoff jitter seed. Within one campaign
+    /// the seed already varies by (cell, attempt), but *across* campaigns
+    /// it did not: many queued jobs whose cell 0 fails at the same moment
+    /// would all draw the identical jitter and retry in lockstep — a
+    /// thundering herd against the shared worker pool. Give each
+    /// campaign/job a distinct salt (the job server mixes in the job id)
+    /// to decorrelate them. The seed stays fully deterministic for a
+    /// given salt, so replayed campaigns make identical scheduling
+    /// decisions.
+    pub retry_salt: u64,
 }
 
 impl Default for CampaignConfig {
@@ -75,8 +85,23 @@ impl Default for CampaignConfig {
             retry: RetryPolicy::default(),
             deadline: None,
             threads_per_cell: 0,
+            retry_salt: 0,
         }
     }
+}
+
+/// The deterministic jitter seed for the `attempt`-th retry of work unit
+/// `unit` under `salt`: a splitmix-style mix so that changing any one
+/// input decorrelates the whole seed. Campaigns use the cell index as the
+/// unit; the job server uses the job id and its own per-boot salt.
+pub fn retry_jitter_seed(salt: u64, unit: u64, attempt: usize) -> u64 {
+    let mut z = salt
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(unit)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(attempt as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
 }
 
 /// How a campaign run ended.
@@ -207,6 +232,7 @@ struct Shared {
     deadline: Option<Instant>,
     retry: RetryPolicy,
     threads_per_cell: usize,
+    retry_salt: u64,
     /// First unrecoverable runner error (journal I/O); stops the run.
     fatal: Mutex<Option<CampaignError>>,
 }
@@ -257,6 +283,7 @@ fn execute(
         deadline: cfg.deadline,
         retry: cfg.retry,
         threads_per_cell: cfg.threads_per_cell,
+        retry_salt: cfg.retry_salt,
         fatal: Mutex::new(None),
     };
 
@@ -414,7 +441,7 @@ fn run_item(shared: &Shared, item: WorkItem) {
                 return;
             }
             let fatal = kind == "fatal";
-            let seed = (idx as u64).wrapping_mul(0x9E37_79B9).wrapping_add(attempt as u64);
+            let seed = retry_jitter_seed(shared.retry_salt, idx as u64, attempt);
             let decision = if fatal {
                 RetryDecision::Quarantine
             } else {
@@ -434,7 +461,7 @@ fn run_item(shared: &Shared, item: WorkItem) {
                     shared.cv.notify_all();
                 }
                 RetryDecision::Quarantine => {
-                    let reason = quarantine_reason(&kind, fatal);
+                    let reason = quarantine_reason_for(&kind);
                     if let Err(e) = shared
                         .append(&format!("quarantine {idx} {} {attempt}", reason.kind()))
                     {
@@ -447,58 +474,89 @@ fn run_item(shared: &Shared, item: WorkItem) {
     }
 }
 
-fn quarantine_reason(failure_kind: &str, fatal: bool) -> QuarantineReason {
-    if fatal {
-        QuarantineReason::FatalError
-    } else if failure_kind == "timeout" {
-        QuarantineReason::RepeatedTimeout
-    } else if failure_kind == "panic" {
-        QuarantineReason::WorkerPanic
-    } else {
-        QuarantineReason::ExhaustedRetries
+/// Maps a [`CellDriveEnd::Failed`] kind string onto the quarantine
+/// taxonomy. Shared by the campaign runner and the job server so both
+/// journal the same reasons for the same failures.
+pub fn quarantine_reason_for(failure_kind: &str) -> QuarantineReason {
+    match failure_kind {
+        "fatal" => QuarantineReason::FatalError,
+        "timeout" => QuarantineReason::RepeatedTimeout,
+        "panic" => QuarantineReason::WorkerPanic,
+        _ => QuarantineReason::ExhaustedRetries,
     }
 }
 
-/// Ticks one cell until it finishes, fails, times out, or the campaign
-/// drains. `last_good` tracks the latest *journaled* state.
-fn attempt_cell(
-    shared: &Shared,
-    idx: usize,
+/// How one supervised [`drive_cell`] attempt ended.
+#[derive(Debug)]
+pub enum CellDriveEnd {
+    /// The sweep converged; the outcome is final and certified.
+    Finished(CellOutcome),
+    /// The attempt failed. `kind` is the journal failure taxonomy
+    /// (`fatal` / `panic` / `solver` / `timeout`); feed it to
+    /// [`quarantine_reason_for`] when retries are exhausted.
+    Failed {
+        /// Failure-taxonomy kind.
+        kind: String,
+        /// Free-form detail for the fault history.
+        detail: String,
+    },
+    /// `stop()` returned true at a tick boundary. The last state passed to
+    /// `on_checkpoint` is the exact resume point — nothing after it ran.
+    Stopped,
+}
+
+/// Drives one cell attempt tick by tick until it finishes, fails, times
+/// out, or `stop()` asks it to suspend. This is the supervised execution
+/// hook shared by the campaign runner and the job server:
+///
+/// * the spec is rebuilt (panic-contained) fresh for the attempt,
+/// * every completed tick's state goes to `on_checkpoint` *before* the
+///   next tick starts — the caller journals it, so a hard kill loses at
+///   most the tick in flight,
+/// * `stop()` is consulted at each tick boundary (cancel / drain), and
+/// * all cell panics are contained and reported as `Failed` ends.
+///
+/// `Err` is reserved for the caller's own `on_checkpoint` failures
+/// (journal I/O): those are supervisor-fatal, not cell failures.
+pub fn drive_cell(
     spec: &CellSpec,
-    last_good: &mut Option<SweepState>,
+    threads_override: usize,
+    resume: Option<SweepState>,
     cell_deadline: Option<Instant>,
-) -> Result<AttemptEnd, CampaignError> {
+    on_checkpoint: &mut dyn FnMut(&SweepState) -> Result<(), CampaignError>,
+    stop: &mut dyn FnMut() -> bool,
+) -> Result<CellDriveEnd, CampaignError> {
     // Rebuild the problem from the spec. Build errors are never transient.
     let built = catch_unwind(AssertUnwindSafe(|| spec.build()));
     let (inst, heu, cs, mut cfg) = match built {
         Ok(Ok(parts)) => parts,
         Ok(Err(e)) => {
-            return Ok(AttemptEnd::Failed {
+            return Ok(CellDriveEnd::Failed {
                 kind: "fatal".into(),
                 detail: format!("build failed: {e}"),
             })
         }
         Err(p) => {
-            return Ok(AttemptEnd::Failed {
+            return Ok(CellDriveEnd::Failed {
                 kind: "panic".into(),
                 detail: format!("build panicked: {}", panic_message(&p)),
             })
         }
     };
-    if shared.threads_per_cell > 0 {
-        cfg.threads = shared.threads_per_cell;
+    if threads_override > 0 {
+        cfg.threads = threads_override;
     }
-    let mut current = match last_good.clone() {
+    let mut current = match resume {
         Some(s) => s,
         None => spec.fresh_state()?,
     };
 
     loop {
         // Only the *cell* timeout may cut a tick short mid-slice (that is
-        // its documented determinism-for-liveness tradeoff). The campaign
-        // deadline is checked between ticks instead: every journaled
-        // checkpoint then sits on a node-count boundary, so a
-        // deadline-drained campaign resumes to the same node totals as an
+        // its documented determinism-for-liveness tradeoff). Drain/cancel
+        // stops are checked between ticks instead: every journaled
+        // checkpoint then sits on a node-count boundary, so an
+        // interrupted run resumes to the same node totals as an
         // uninterrupted one.
         let slice = SliceBudget {
             max_nodes: spec.slice_nodes.max(1),
@@ -517,37 +575,67 @@ fn attempt_cell(
                     probes: result.probes,
                     nodes: final_state.nodes,
                 };
-                shared.append(&format!("done {idx} {}", outcome.encode()))?;
-                return Ok(AttemptEnd::Finished);
+                return Ok(CellDriveEnd::Finished(outcome));
             }
             Ok(Ok(SweepTick::Paused(next))) => {
-                shared.append(&format!("ckpt {idx} {}", encode_sweep_state(&next)))?;
-                *last_good = Some(next.clone());
+                on_checkpoint(&next)?;
                 current = next;
                 if cell_deadline.is_some_and(|d| Instant::now() >= d) {
-                    return Ok(AttemptEnd::Failed {
+                    return Ok(CellDriveEnd::Failed {
                         kind: "timeout".into(),
                         detail: format!("cell exceeded {:?}s", spec.timeout_secs),
                     });
                 }
-                if shared.drain_requested() {
+                if stop() {
                     // The checkpoint above is durable; resume continues
                     // exactly here.
-                    return Ok(AttemptEnd::DrainedMidCell);
+                    return Ok(CellDriveEnd::Stopped);
                 }
             }
             Ok(Err(err)) => {
                 let (kind, detail) = classify_core_error(&err);
-                return Ok(AttemptEnd::Failed { kind, detail });
+                return Ok(CellDriveEnd::Failed { kind, detail });
             }
             Err(p) => {
-                return Ok(AttemptEnd::Failed {
+                return Ok(CellDriveEnd::Failed {
                     kind: "panic".into(),
                     detail: format!("tick panicked: {}", panic_message(&p)),
                 })
             }
         }
     }
+}
+
+/// Ticks one cell until it finishes, fails, times out, or the campaign
+/// drains. `last_good` tracks the latest *journaled* state.
+fn attempt_cell(
+    shared: &Shared,
+    idx: usize,
+    spec: &CellSpec,
+    last_good: &mut Option<SweepState>,
+    cell_deadline: Option<Instant>,
+) -> Result<AttemptEnd, CampaignError> {
+    let resume = last_good.clone();
+    let end = drive_cell(
+        spec,
+        shared.threads_per_cell,
+        resume,
+        cell_deadline,
+        &mut |next| {
+            shared.append(&format!("ckpt {idx} {}", encode_sweep_state(next)))?;
+            *last_good = Some(next.clone());
+            Ok(())
+        },
+        &mut || shared.drain_requested(),
+    )?;
+    Ok(match end {
+        CellDriveEnd::Finished(outcome) => {
+            shared.append(&format!("done {idx} {}", outcome.encode()))?;
+            AttemptEnd::Finished
+        }
+        CellDriveEnd::Failed { kind, detail } => AttemptEnd::Failed { kind, detail },
+        CellDriveEnd::Stopped => AttemptEnd::DrainedMidCell,
+    })
 }
 
 /// Maps a core error onto the journal's failure taxonomy. Configuration,

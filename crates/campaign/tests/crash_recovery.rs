@@ -41,6 +41,7 @@ fn cfg() -> CampaignConfig {
         retry: RetryPolicy::default(),
         deadline: None,
         threads_per_cell: 0,
+        retry_salt: 0,
     }
 }
 

@@ -1,0 +1,281 @@
+//! Property tests for the job-server journal vocabulary: any *valid*
+//! interleaving of enqueue / run / checkpoint / cancel / failure records
+//! across many concurrent jobs replays to exactly the state a simple
+//! reference model predicts, and the CRC framing's torn-tail detection
+//! holds for the server record types just as it does for campaign cells.
+
+use metaopt_campaign::jobs::{JobBook, JobRecord, JobStatus};
+use metaopt_campaign::{encode_line, parse_journal_bytes, CellHeuristic, CellSpec, TopologySpec};
+use metaopt_core::SweepState;
+use metaopt_resilience::QuarantineReason;
+use proptest::prelude::*;
+
+fn spec(label: &str) -> CellSpec {
+    CellSpec {
+        label: label.into(),
+        topology: TopologySpec::Fig1 { cap: 100.0 },
+        paths_per_pair: 2,
+        heuristic: CellHeuristic::Dp { threshold: 50.0 },
+        lo: 0.0,
+        hi: 100.0,
+        resolution: 4.0,
+        probe_cap_nodes: 4_000,
+        slice_nodes: 16,
+        timeout_secs: None,
+        fault_seed: None,
+        quantized: None,
+    }
+}
+
+fn ckpt_state(nodes: usize) -> SweepState {
+    let mut st = spec("ckpt").fresh_state().unwrap();
+    st.nodes = nodes;
+    st
+}
+
+/// What the reference model expects of one job after replay.
+#[derive(Debug, Clone, PartialEq)]
+struct Expect {
+    status: &'static str,
+    attempt: usize,
+    failures: usize,
+    has_resume: bool,
+    resume_nodes: Option<usize>,
+}
+
+/// A reference job-server: applies abstract ops in order, emitting only
+/// transitions a real server could journal, and tracks the state replay
+/// must reproduce.
+struct Model {
+    records: Vec<String>,
+    jobs: Vec<Expect>, // index = id - 1
+}
+
+impl Model {
+    fn new(name: &str) -> Model {
+        Model {
+            records: vec![JobBook::header(name)],
+            jobs: Vec::new(),
+        }
+    }
+
+    fn live(&self) -> Vec<usize> {
+        (0..self.jobs.len())
+            .filter(|&i| {
+                matches!(self.jobs[i].status, "pending" | "cancelling")
+            })
+            .collect()
+    }
+
+    /// Applies one abstract op, `pick` choosing among eligible jobs.
+    fn apply(&mut self, op: u8, pick: usize) {
+        let live = self.live();
+        match op % 7 {
+            // Admit a new job.
+            0 => {
+                let id = self.jobs.len() as u64 + 1;
+                self.records.push(
+                    JobRecord::Submit {
+                        id,
+                        client: format!("tenant-{}", pick % 3),
+                        priority: (pick % 10) as u8,
+                        threads: pick % 4,
+                        spec: Box::new(spec(&format!("job-{id}"))),
+                    }
+                    .encode(),
+                );
+                self.jobs.push(Expect {
+                    status: "pending",
+                    attempt: 0,
+                    failures: 0,
+                    has_resume: false,
+                    resume_nodes: None,
+                });
+            }
+            // Start (or restart) an attempt.
+            1 => {
+                if let Some(&i) = live.get(pick % live.len().max(1)) {
+                    self.records.push(
+                        JobRecord::Run {
+                            id: i as u64 + 1,
+                            attempt: self.jobs[i].attempt + 1,
+                        }
+                        .encode(),
+                    );
+                }
+            }
+            // Durable checkpoint mid-attempt.
+            2 => {
+                if let Some(&i) = live.get(pick % live.len().max(1)) {
+                    let nodes = pick * 16;
+                    self.records.push(
+                        JobRecord::Ckpt {
+                            id: i as u64 + 1,
+                            state: Box::new(ckpt_state(nodes)),
+                        }
+                        .encode(),
+                    );
+                    self.jobs[i].has_resume = true;
+                    self.jobs[i].resume_nodes = Some(nodes);
+                }
+            }
+            // Cancellation request (the drain-to-checkpoint phase).
+            3 => {
+                if let Some(&i) = live.get(pick % live.len().max(1)) {
+                    self.records.push(JobRecord::Cancel { id: i as u64 + 1 }.encode());
+                    self.jobs[i].status = "cancelling";
+                }
+            }
+            // Attempt failed (retryable until quarantined).
+            4 => {
+                if let Some(&i) = live.get(pick % live.len().max(1)) {
+                    let attempt = self.jobs[i].attempt + 1;
+                    self.records.push(
+                        JobRecord::Fail {
+                            id: i as u64 + 1,
+                            attempt,
+                            kind: "timeout".into(),
+                            detail: "cell deadline".into(),
+                        }
+                        .encode(),
+                    );
+                    self.jobs[i].attempt = attempt;
+                    self.jobs[i].failures += 1;
+                }
+            }
+            // Terminal: completed or quarantined.
+            5 => {
+                if let Some(&i) = live.get(pick % live.len().max(1)) {
+                    if pick.is_multiple_of(2) {
+                        self.records.push(
+                            JobRecord::Done {
+                                id: i as u64 + 1,
+                                outcome: fixed_outcome(),
+                            }
+                            .encode(),
+                        );
+                        self.jobs[i].status = "done";
+                    } else {
+                        self.records.push(
+                            JobRecord::Quarantine {
+                                id: i as u64 + 1,
+                                reason: QuarantineReason::RepeatedTimeout,
+                                attempts: self.jobs[i].attempt.max(1),
+                            }
+                            .encode(),
+                        );
+                        self.jobs[i].status = "quarantined";
+                    }
+                }
+            }
+            // Terminal: cancellation completed.
+            _ => {
+                if let Some(&i) = live.get(pick % live.len().max(1)) {
+                    self.records.push(JobRecord::Cancelled { id: i as u64 + 1 }.encode());
+                    self.jobs[i].status = "cancelled";
+                }
+            }
+        }
+    }
+}
+
+/// A fixed certified outcome (no solve needed to test the codec).
+fn fixed_outcome() -> metaopt_campaign::CellOutcome {
+    metaopt_campaign::CellOutcome {
+        threshold: Some(48.0),
+        verified_gap: Some(33.333_333_333_333_336),
+        demands: vec![100.0, 0.0, 66.666_666_666_666_67],
+        probes: 5,
+        nodes: 240,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any valid interleaving of server records across many jobs replays
+    /// to exactly the reference model's state.
+    #[test]
+    fn valid_interleavings_replay_to_the_model_state(
+        ops in proptest::collection::vec((0u8..14, 0usize..64), 1..80),
+    ) {
+        let mut model = Model::new("prop-server");
+        for (op, pick) in ops {
+            model.apply(op, pick);
+        }
+        let book = JobBook::replay(&model.records, false).expect("valid interleaving must replay");
+        prop_assert_eq!(book.name.as_str(), "prop-server");
+        prop_assert_eq!(book.jobs.len(), model.jobs.len());
+        prop_assert_eq!(book.next_id(), model.jobs.len() as u64 + 1);
+        for (i, want) in model.jobs.iter().enumerate() {
+            let got = &book.jobs[&(i as u64 + 1)];
+            prop_assert_eq!(got.status.name(), want.status, "job {}", i + 1);
+            prop_assert_eq!(got.failures.len(), want.failures);
+            match &got.status {
+                JobStatus::Pending { attempt, resume, .. } => {
+                    prop_assert_eq!(*attempt, want.attempt);
+                    prop_assert_eq!(resume.is_some(), want.has_resume);
+                    if let (Some(st), Some(nodes)) = (resume.as_ref(), want.resume_nodes) {
+                        prop_assert_eq!(st.nodes, nodes);
+                    }
+                }
+                _ => prop_assert!(
+                    matches!(want.status, "done" | "quarantined" | "cancelled")
+                ),
+            }
+        }
+    }
+
+    /// Round-tripping the full record stream through the CRC-framed
+    /// journal encoding and truncating at an arbitrary byte yields a
+    /// verified prefix that still replays — torn-tail tolerance holds for
+    /// the server vocabulary, and a cut inside a record is always flagged.
+    #[test]
+    fn truncated_server_journals_replay_to_a_clean_prefix(
+        ops in proptest::collection::vec((0u8..14, 0usize..64), 1..40),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut model = Model::new("prop-torn");
+        for (op, pick) in ops {
+            model.apply(op, pick);
+        }
+        let bytes: Vec<u8> = model
+            .records
+            .iter()
+            .flat_map(|p| encode_line(p).into_bytes())
+            .collect();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let out = parse_journal_bytes(&bytes[..cut.min(bytes.len())]).unwrap();
+        prop_assert!(out.records.len() <= model.records.len());
+        for (got, want) in out.records.iter().zip(&model.records) {
+            prop_assert_eq!(got, want);
+        }
+        // A surviving prefix of a valid stream is itself valid (prefix
+        // closure is what makes crash recovery sound at *any* cut).
+        if !out.records.is_empty() {
+            let book = JobBook::replay(&out.records, out.torn_tail)
+                .expect("verified prefix must replay");
+            prop_assert_eq!(book.torn_tail, out.torn_tail);
+            prop_assert!(book.jobs.len() <= model.jobs.len());
+        }
+    }
+
+    /// Arbitrary record streams — valid or not — never panic: replay
+    /// either reconstructs a book or reports corruption.
+    #[test]
+    fn replay_never_panics_on_arbitrary_records(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(' '..'\u{7f}', 0..60),
+            0..20,
+        ),
+        with_header in 0u8..2,
+    ) {
+        let mut records = Vec::new();
+        if with_header == 1 {
+            records.push(JobBook::header("fuzz"));
+        }
+        records.extend(lines.into_iter().map(|cs| cs.into_iter().collect::<String>()));
+        let _ = JobBook::replay(&records, false);
+    }
+}

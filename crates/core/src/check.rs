@@ -9,8 +9,10 @@
 //! [`SolverFault::EncodingSuspect`] in release builds so production runs
 //! stay anytime.
 
-use crate::finder::AdversarialModel;
+use crate::constraints::ConstrainedSet;
+use crate::finder::{build_adversarial_model, AdversarialModel, FinderConfig, HeuristicSpec};
 use crate::{CoreError, CoreResult};
+use metaopt_model::ModelStats;
 use metaopt_modelcheck::{check_model, CheckConfig, Report, TopologyContext};
 use metaopt_resilience::SolverFault;
 use metaopt_te::TeInstance;
@@ -60,6 +62,37 @@ pub fn check_adversarial_model(inst: &TeInstance, am: &AdversarialModel) -> Repo
         .with_semantic("opt", ctx.clone())
         .with_semantic("dp", ctx);
     check_model(&am.model, &cfg)
+}
+
+/// Admission-time validation for externally submitted job specs: builds
+/// the full adversarial model once and runs the complete static analyzer
+/// over it, erroring on *any* error-severity diagnostic — in every build
+/// profile, regardless of [`ModelCheckMode`].
+///
+/// This deliberately differs from the in-solve [`gate`]: mid-solve, a
+/// release build downgrades encoding suspicion to a recorded fault so
+/// long-running campaigns stay anytime; at a server's admission boundary
+/// there is nothing to stay anytime *for* — the right move is to reject
+/// the job with a diagnostic before it ever occupies a worker. Returns the
+/// single-shot program's size statistics (the paper's Figure 6 axes) so
+/// admission can also refuse jobs that are structurally too large.
+pub fn validate_adversarial_setup(
+    inst: &TeInstance,
+    spec: &HeuristicSpec,
+    constraints: &ConstrainedSet,
+    cfg: &FinderConfig,
+) -> CoreResult<ModelStats> {
+    let am = build_adversarial_model(inst, spec, constraints, cfg)?;
+    let report = check_adversarial_model(inst, &am);
+    if report.has_errors() {
+        let details: Vec<String> = report.errors().take(8).map(ToString::to_string).collect();
+        return Err(CoreError::ModelCheck(format!(
+            "{}\n{}",
+            report.summary(),
+            details.join("\n")
+        )));
+    }
+    Ok(am.stats())
 }
 
 /// Applies the gate policy to a report. Returns a fault to record in
@@ -118,5 +151,42 @@ mod tests {
         for mode in [ModelCheckMode::Deny, ModelCheckMode::Warn, ModelCheckMode::Off] {
             assert_eq!(gate(&Report::new(), mode).unwrap(), None);
         }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_setup_and_reports_stats() {
+        use metaopt_te::TeInstance;
+        use metaopt_topology::synth::figure1_triangle;
+        let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+        let inst = TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+        let stats = validate_adversarial_setup(
+            &inst,
+            &crate::HeuristicSpec::DemandPinning { threshold: 50.0 },
+            &crate::ConstrainedSet::unconstrained(),
+            &crate::FinderConfig::default(),
+        )
+        .unwrap();
+        assert!(stats.n_vars > 0 && stats.n_linear > 0);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_setup_in_every_profile() {
+        use metaopt_te::TeInstance;
+        use metaopt_topology::synth::figure1_triangle;
+        let (t, [n1, n2, n3]) = figure1_triangle(100.0);
+        let inst = TeInstance::with_pairs(t, vec![(n1, n3), (n1, n2), (n2, n3)], 2).unwrap();
+        let mut cs = crate::ConstrainedSet::unconstrained();
+        cs.d_max = Some(-1.0); // malformed: negative demand bound
+        let err = validate_adversarial_setup(
+            &inst,
+            &crate::HeuristicSpec::DemandPinning { threshold: 50.0 },
+            &cs,
+            &crate::FinderConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Config(_) | CoreError::ModelCheck(_)
+        ));
     }
 }

@@ -44,7 +44,9 @@ pub mod result;
 pub mod sweep;
 pub mod topology_attack;
 
-pub use check::{check_adversarial_model, topology_context, ModelCheckMode};
+pub use check::{
+    check_adversarial_model, topology_context, validate_adversarial_setup, ModelCheckMode,
+};
 pub use constraints::{ConstrainedSet, Distance, Goalpost, LinearDemandConstraint};
 pub use encode_pop::PopMode;
 pub use finder::{find_adversarial_gap, find_diverse_inputs, FinderConfig, HeuristicSpec, OptEncoding};

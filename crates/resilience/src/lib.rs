@@ -550,6 +550,100 @@ impl RetryPolicy {
     }
 }
 
+// ---------------------------------------------------------------------
+// Service faults (job-server admission / queue / drain taxonomy)
+// ---------------------------------------------------------------------
+
+/// Failures of the *service* layer wrapped around the solver stack — job
+/// admission, queueing, and graceful drain — as opposed to the
+/// [`SolverFault`]s of the solves themselves. The gap-finding job server
+/// surfaces these in job status responses and maps them onto HTTP
+/// semantics via [`ServiceFault::is_client_error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// The job spec failed validation at admission (malformed fields, an
+    /// unbuildable model, or error-severity model-check diagnostics). The
+    /// job was never enqueued.
+    AdmissionRejected(String),
+    /// The client's token quota was exhausted; the payload is the advised
+    /// retry delay context. The job was never enqueued.
+    QuotaExhausted(String),
+    /// The bounded admission queue was at capacity and shed the job
+    /// instead of growing without bound. The job was never enqueued.
+    QueueSaturated(String),
+    /// A graceful drain could not checkpoint an in-flight cell within its
+    /// allowance; the cell resumes from its previous durable checkpoint.
+    DrainTimeout(String),
+    /// The job was cancelled by a client after admission.
+    Cancelled(String),
+}
+
+impl ServiceFault {
+    /// Short stable identifier (job-status wire format and logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceFault::AdmissionRejected(_) => "admission_rejected",
+            ServiceFault::QuotaExhausted(_) => "quota_exhausted",
+            ServiceFault::QueueSaturated(_) => "queue_saturated",
+            ServiceFault::DrainTimeout(_) => "drain_timeout",
+            ServiceFault::Cancelled(_) => "cancelled",
+        }
+    }
+
+    /// The detail payload.
+    pub fn detail(&self) -> &str {
+        match self {
+            ServiceFault::AdmissionRejected(s)
+            | ServiceFault::QuotaExhausted(s)
+            | ServiceFault::QueueSaturated(s)
+            | ServiceFault::DrainTimeout(s)
+            | ServiceFault::Cancelled(s) => s,
+        }
+    }
+
+    /// Inverse of [`ServiceFault::kind`]. Returns `None` for unknown kinds
+    /// (a journal or status blob written by a future version).
+    pub fn from_kind(kind: &str, detail: &str) -> Option<ServiceFault> {
+        let d = detail.to_string();
+        Some(match kind {
+            "admission_rejected" => ServiceFault::AdmissionRejected(d),
+            "quota_exhausted" => ServiceFault::QuotaExhausted(d),
+            "queue_saturated" => ServiceFault::QueueSaturated(d),
+            "drain_timeout" => ServiceFault::DrainTimeout(d),
+            "cancelled" => ServiceFault::Cancelled(d),
+            _ => return None,
+        })
+    }
+
+    /// Whether the fault is the client's doing (HTTP 4xx) rather than a
+    /// server-side condition (5xx). Quota and queue shedding are 429-class
+    /// client errors: the request was well-formed but must be retried
+    /// later.
+    pub fn is_client_error(&self) -> bool {
+        matches!(
+            self,
+            ServiceFault::AdmissionRejected(_)
+                | ServiceFault::QuotaExhausted(_)
+                | ServiceFault::QueueSaturated(_)
+                | ServiceFault::Cancelled(_)
+        )
+    }
+}
+
+impl std::fmt::Display for ServiceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceFault::AdmissionRejected(s) => write!(f, "admission rejected: {s}"),
+            ServiceFault::QuotaExhausted(s) => write!(f, "quota exhausted: {s}"),
+            ServiceFault::QueueSaturated(s) => write!(f, "queue saturated: {s}"),
+            ServiceFault::DrainTimeout(s) => write!(f, "drain timeout: {s}"),
+            ServiceFault::Cancelled(s) => write!(f, "cancelled: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceFault {}
+
 /// Why a unit of work was quarantined instead of retried — the taxonomy
 /// campaign journals record alongside the [`SolverFault`] history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -702,6 +796,25 @@ mod tests {
         // Cap respected even with jitter.
         let far = q.delay_for(30, 9);
         assert!(far <= q.max_delay, "{far:?}");
+    }
+
+    #[test]
+    fn service_fault_round_trips_and_classifies() {
+        let faults = [
+            ServiceFault::AdmissionRejected("bad topology `tokamak`".into()),
+            ServiceFault::QuotaExhausted("client alice: retry in 2s".into()),
+            ServiceFault::QueueSaturated("depth 64/64".into()),
+            ServiceFault::DrainTimeout("cell fig1-dp-50".into()),
+            ServiceFault::Cancelled("by client".into()),
+        ];
+        for f in faults {
+            let back = ServiceFault::from_kind(f.kind(), f.detail()).unwrap();
+            assert_eq!(back, f);
+            let _ = format!("{f}");
+        }
+        assert!(ServiceFault::from_kind("martian", "x").is_none());
+        assert!(ServiceFault::QueueSaturated(String::new()).is_client_error());
+        assert!(!ServiceFault::DrainTimeout(String::new()).is_client_error());
     }
 
     #[test]

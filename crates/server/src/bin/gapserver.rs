@@ -1,0 +1,283 @@
+//! `gapserver` — the gap-finding job server and its companion CLI.
+//!
+//! ```text
+//! gapserver serve  --dir DIR --addr HOST:PORT [--workers N] [--max-queue N]
+//!                  [--quota-burst F] [--quota-per-sec F] [--aging-secs F]
+//!                  [--default-threads N] [--name NAME]
+//! gapserver submit --addr HOST:PORT (--file SPEC.json | reads stdin)
+//! gapserver status --addr HOST:PORT [ID]
+//! gapserver wait   --addr HOST:PORT ID [--timeout-secs N]
+//! gapserver events --addr HOST:PORT ID
+//! gapserver cancel --addr HOST:PORT ID
+//! gapserver drain  --addr HOST:PORT
+//! ```
+//!
+//! `serve` prints `LISTENING <addr>` once the socket is bound and also
+//! writes the bound address to `DIR/ADDR`, so drill scripts can target an
+//! OS-assigned port. Exit codes from `wait`: 0 done, 2 quarantined,
+//! 3 cancelled, 4 timeout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use metaopt_server::client;
+use metaopt_server::json::Json;
+use metaopt_server::{serve, GapServer, ServerConfig};
+use std::io::Read;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().unwrap_or("help");
+    let rest: Vec<&str> = it.collect();
+    let result = match cmd {
+        "serve" => cmd_serve(&rest),
+        "submit" => cmd_submit(&rest),
+        "status" => cmd_status(&rest),
+        "wait" => cmd_wait(&rest),
+        "events" => cmd_events(&rest),
+        "cancel" => cmd_cancel(&rest),
+        "drain" => cmd_drain(&rest),
+        "help" | "--help" | "-h" => {
+            eprintln!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("gapserver: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  gapserver serve  --dir DIR --addr HOST:PORT [--workers N] [--max-queue N]
+                   [--quota-burst F] [--quota-per-sec F] [--aging-secs F]
+                   [--default-threads N] [--name NAME]
+  gapserver submit --addr HOST:PORT [--file SPEC.json]   (stdin when no --file)
+  gapserver status --addr HOST:PORT [ID]
+  gapserver wait   --addr HOST:PORT ID [--timeout-secs N]
+  gapserver events --addr HOST:PORT ID
+  gapserver cancel --addr HOST:PORT ID
+  gapserver drain  --addr HOST:PORT";
+
+/// Pulls `--flag value` pairs and bare positionals out of an argv slice.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+    positional: Vec<&'a str>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &[&'a str]) -> Result<Flags<'a>, String> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                pairs.push((name, *value));
+                i += 2;
+            } else {
+                positional.push(args[i]);
+                i += 1;
+            }
+        }
+        Ok(Flags { pairs, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{name} `{v}`")),
+        }
+    }
+}
+
+fn cmd_serve(args: &[&str]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let dir = PathBuf::from(flags.require("dir")?);
+    let addr = flags.require("addr")?;
+    let cfg = ServerConfig {
+        name: flags.get("name").unwrap_or("gapserver").to_string(),
+        dir: dir.clone(),
+        workers: flags.num("workers", 2usize)?,
+        max_queue: flags.num("max-queue", 64usize)?,
+        quota_burst: flags.num("quota-burst", 16.0f64)?,
+        quota_per_sec: flags.num("quota-per-sec", 4.0f64)?,
+        aging_secs: flags.num("aging-secs", 30.0f64)?,
+        default_threads: flags.num("default-threads", 0usize)?,
+        ..ServerConfig::default()
+    };
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let server = GapServer::open(cfg).map_err(|e| format!("open {}: {e}", dir.display()))?;
+    // Drill scripts read the OS-assigned port from here.
+    std::fs::write(dir.join("ADDR"), bound.to_string())
+        .map_err(|e| format!("write ADDR: {e}"))?;
+    println!("LISTENING {bound}");
+    let workers = server.start_workers();
+    serve(&server, listener).map_err(|e| format!("serve: {e}"))?;
+    for handle in workers {
+        let _ = handle.join();
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<client::Response, String> {
+    client::request(addr, method, path, body, Duration::from_secs(120))
+        .map_err(|e| format!("{method} {path} on {addr}: {e}"))
+}
+
+fn cmd_submit(args: &[&str]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let body = match flags.get("file") {
+        Some(path) => std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?,
+        None => {
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("read stdin: {e}"))?;
+            buf
+        }
+    };
+    let resp = call(addr, "POST", "/jobs", Some(&body))?;
+    println!("{}", resp.text());
+    Ok(if resp.status == 202 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_status(args: &[&str]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let path = match flags.positional.first() {
+        Some(id) => format!("/jobs/{id}"),
+        None => "/jobs".to_string(),
+    };
+    let resp = call(addr, "GET", &path, None)?;
+    println!("{}", resp.text());
+    Ok(if resp.status == 200 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_wait(args: &[&str]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let id = flags
+        .positional
+        .first()
+        .ok_or_else(|| "wait needs a job id".to_string())?;
+    let timeout = flags.num("timeout-secs", 600u64)?;
+    let deadline = Instant::now() + Duration::from_secs(timeout);
+    loop {
+        let resp = call(addr, "GET", &format!("/jobs/{id}"), None)?;
+        if resp.status != 200 {
+            return Err(format!("job {id}: HTTP {} {}", resp.status, resp.text()));
+        }
+        let parsed =
+            Json::parse(&resp.text()).map_err(|e| format!("bad status body: {e}"))?;
+        let status = parsed
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        match status.as_str() {
+            "done" => {
+                println!("{}", resp.text());
+                return Ok(ExitCode::SUCCESS);
+            }
+            "quarantined" => {
+                println!("{}", resp.text());
+                return Ok(ExitCode::from(2));
+            }
+            "cancelled" => {
+                println!("{}", resp.text());
+                return Ok(ExitCode::from(3));
+            }
+            _ => {}
+        }
+        if Instant::now() >= deadline {
+            eprintln!("gapserver: timed out waiting for job {id} (last: {status})");
+            return Ok(ExitCode::from(4));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn cmd_events(args: &[&str]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let id = flags
+        .positional
+        .first()
+        .ok_or_else(|| "events needs a job id".to_string())?;
+    let resp = call(addr, "GET", &format!("/jobs/{id}/events"), None)?;
+    print!("{}", resp.text());
+    Ok(if resp.status == 200 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_cancel(args: &[&str]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let id = flags
+        .positional
+        .first()
+        .ok_or_else(|| "cancel needs a job id".to_string())?;
+    let resp = call(addr, "DELETE", &format!("/jobs/{id}"), None)?;
+    println!("{}", resp.text());
+    Ok(if resp.status == 200 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_drain(args: &[&str]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let resp = call(addr, "POST", "/admin/drain", None)?;
+    println!("{}", resp.text());
+    Ok(if resp.status == 202 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

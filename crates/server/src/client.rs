@@ -1,0 +1,175 @@
+//! A minimal std-only HTTP/1.1 client, enough to talk to the job server
+//! from the CLI, the drill scripts, and the test suites without shelling
+//! out to `curl`. The server always answers `Connection: close`, so the
+//! client reads to EOF and then decodes: a `Content-Length` body is taken
+//! verbatim, a chunked body is de-chunked.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A decoded response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lowercased header names with values.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a header (matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issues one request and reads the full response. `body` implies
+/// `Content-Type: application/json`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> io::Result<Response> {
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, format!("bad addr {addr}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    if let Some(b) = body {
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            b.len()
+        ));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if let Some(b) = body {
+        stream.write_all(b)?;
+    }
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<Response> {
+    let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let payload = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        dechunk(payload)?
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        payload.get(..len).ok_or_else(|| bad("truncated body"))?.to_vec()
+    } else {
+        payload.to_vec()
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Decodes a chunked transfer encoding. Tolerates a missing terminal
+/// chunk (the server was killed mid-stream) by returning what arrived.
+fn dechunk(mut payload: &[u8]) -> io::Result<Vec<u8>> {
+    let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
+    let mut out = Vec::new();
+    loop {
+        let Some(line_end) = payload.windows(2).position(|w| w == b"\r\n") else {
+            return Ok(out); // torn stream: size line never completed
+        };
+        let size_text = std::str::from_utf8(&payload[..line_end])
+            .map_err(|_| bad("non-UTF8 chunk size"))?
+            .trim();
+        let size =
+            usize::from_str_radix(size_text, 16).map_err(|_| bad("bad chunk size"))?;
+        payload = &payload[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if payload.len() < size {
+            out.extend_from_slice(payload); // torn stream: partial chunk
+            return Ok(out);
+        }
+        out.extend_from_slice(&payload[..size]);
+        payload = &payload[size..];
+        payload = payload.strip_prefix(b"\r\n").unwrap_or(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_content_length_response() {
+        let r = parse_response(
+            b"HTTP/1.1 202 Accepted\r\nContent-Type: application/json\r\nContent-Length: 8\r\n\r\n{\"id\":1}",
+        )
+        .unwrap();
+        assert_eq!(r.status, 202);
+        assert_eq!(r.header("content-type"), Some("application/json"));
+        assert_eq!(r.text(), "{\"id\":1}");
+    }
+
+    #[test]
+    fn dechunks_ndjson_streams() {
+        let r = parse_response(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nab\ncd\r\n3\r\nef\n\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.text(), "ab\ncdef\n");
+    }
+
+    #[test]
+    fn tolerates_torn_chunked_streams() {
+        // Killed mid-chunk: declared 10 bytes, only 4 arrived.
+        let r = parse_response(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\na\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(r.text(), "abcd");
+    }
+}

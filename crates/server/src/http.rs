@@ -1,0 +1,289 @@
+//! Hand-rolled HTTP/1.1, exactly as much as the job API needs: one
+//! request per connection (`Connection: close`), `Content-Length` bodies
+//! with a hard cap, and chunked transfer encoding for event streams. No
+//! keep-alive, no pipelining, no TLS — the server is an internal service
+//! behind a trusted listener, and every simplification here is one less
+//! state machine to get wrong.
+
+use crate::json::Json;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum request head (request line + headers) the server will read.
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Maximum request body the server will read.
+pub const MAX_BODY: usize = 256 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token.
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub path: String,
+    /// Lowercased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed before sending a full request head.
+    Eof,
+    /// Transport failure.
+    Io(io::Error),
+    /// The bytes were not a well-formed request; the payload is a
+    /// human-readable reason to send back with a `400`.
+    Malformed(String),
+    /// The declared body exceeded [`MAX_BODY`]; answer `413`.
+    TooLarge,
+}
+
+/// Reads one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let body_start;
+    loop {
+        let n = stream.read(&mut buf).map_err(ReadError::Io)?;
+        if n == 0 {
+            return Err(ReadError::Eof);
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            body_start = pos;
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(ReadError::Malformed("request head too large".into()));
+        }
+    }
+    let head_text = std::str::from_utf8(&head[..body_start])
+        .map_err(|_| ReadError::Malformed("non-UTF8 request head".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("bad header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let content_length = match req.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if content_length > MAX_BODY {
+        return Err(ReadError::TooLarge);
+    }
+    // Bytes already read past the head belong to the body.
+    req.body = head[body_start + 4..].to_vec();
+    while req.body.len() < content_length {
+        let n = stream.read(&mut buf).map_err(ReadError::Io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("body shorter than content-length".into()));
+        }
+        req.body.extend_from_slice(&buf[..n]);
+    }
+    req.body.truncate(content_length);
+    Ok(req)
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with a fixed body and closes the exchange.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn write_json(stream: &mut TcpStream, status: u16, value: &Json) -> io::Result<()> {
+    write_response(stream, status, &[], "application/json", value.render().as_bytes())
+}
+
+/// Writes a JSON error response of the server's uniform error shape.
+pub fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    kind: &str,
+    detail: &str,
+    retry_after_secs: Option<u64>,
+) -> io::Result<()> {
+    let body = Json::obj(vec![
+        ("error", Json::str(kind)),
+        ("detail", Json::str(detail)),
+    ]);
+    let extra: Vec<(&str, String)> = retry_after_secs
+        .map(|s| vec![("Retry-After", s.to_string())])
+        .unwrap_or_default();
+    write_response(
+        stream,
+        status,
+        &extra,
+        "application/json",
+        body.render().as_bytes(),
+    )
+}
+
+/// A chunked-transfer response writer for event streams: one `start`,
+/// any number of `chunk`s, one `finish`.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head announcing a chunked NDJSON stream.
+    pub fn start(stream: &'a mut TcpStream, status: u16) -> io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            reason(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk (the event line must already end with `\n`).
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the stream with the zero-length chunk.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.flush().unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\nX-Client: alice\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("x-client"), Some("alice"));
+        assert_eq!(req.header("X-CLIENT"), Some("alice"));
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(matches!(
+            roundtrip(b"GARBAGE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET /x HTTP/1.1 extra\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET /x SMTP/3\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let head = format!("POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(roundtrip(head.as_bytes()), Err(ReadError::TooLarge)));
+    }
+}

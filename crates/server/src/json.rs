@@ -1,0 +1,388 @@
+//! A minimal, dependency-free JSON value with a strict recursive-descent
+//! parser and a canonical renderer. The server's wire format needs exactly
+//! this much: objects, arrays, strings, finite numbers, booleans, null.
+//!
+//! Numbers are `f64` (JSON's own model). Non-finite floats render as
+//! `null` — the certified results that must survive bit-exactly travel as
+//! hex-float wire strings ([`metaopt_campaign::wire::fhex`]) inside JSON
+//! strings, never as JSON numbers.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved (stable output).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer (rejects fractional
+    /// and out-of-range values).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        // f64 represents integers exactly up to 2^53; beyond that a u64
+        // read from JSON was already lossy, so refuse it.
+        (n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64).then_some(n as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Ryu-free shortest-ish rendering: Rust's Display for
+                    // f64 round-trips.
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Nesting cap: deep enough for any legitimate job spec, shallow enough
+/// that hostile input cannot blow the stack.
+const MAX_DEPTH: usize = 32;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".into());
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match b.get(*pos) {
+                    Some(b'"') => parse_string(b, pos)?,
+                    _ => return Err(format!("expected object key at offset {pos}", pos = *pos)),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at offset {}", *pos));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos, depth + 1)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at offset {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-UTF8 number".to_string())?;
+    let n: f64 = text
+        .parse()
+        .map_err(|_| format!("bad number `{text}` at offset {start}"))?;
+    if !n.is_finite() {
+        return Err(format!("non-finite number `{text}`"));
+    }
+    Ok(Json::Num(n))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    let mut pending_high: Option<u16> = None;
+    loop {
+        let start = *pos;
+        while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' && b[*pos] >= 0x20 {
+            *pos += 1;
+        }
+        if *pos > start {
+            let chunk =
+                std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-UTF8 string".to_string())?;
+            if pending_high.is_some() {
+                return Err("unpaired surrogate escape".into());
+            }
+            out.push_str(chunk);
+        }
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                if pending_high.is_some() {
+                    return Err("unpaired surrogate escape".into());
+                }
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                let simple = match esc {
+                    b'"' => Some('"'),
+                    b'\\' => Some('\\'),
+                    b'/' => Some('/'),
+                    b'b' => Some('\u{8}'),
+                    b'f' => Some('\u{c}'),
+                    b'n' => Some('\n'),
+                    b'r' => Some('\r'),
+                    b't' => Some('\t'),
+                    b'u' => None,
+                    other => return Err(format!("bad escape `\\{}`", other as char)),
+                };
+                if let Some(c) = simple {
+                    if pending_high.is_some() {
+                        return Err("unpaired surrogate escape".into());
+                    }
+                    out.push(c);
+                    continue;
+                }
+                let hex = b
+                    .get(*pos..*pos + 4)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .ok_or("truncated \\u escape")?;
+                let code = u16::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                *pos += 4;
+                match (pending_high.take(), code) {
+                    (None, 0xD800..=0xDBFF) => pending_high = Some(code),
+                    (None, 0xDC00..=0xDFFF) => return Err("unpaired surrogate escape".into()),
+                    (None, c) => out.push(char::from_u32(c as u32).ok_or("bad codepoint")?),
+                    (Some(hi), 0xDC00..=0xDFFF) => {
+                        let c = 0x10000 + ((hi as u32 - 0xD800) << 10) + (code as u32 - 0xDC00);
+                        out.push(char::from_u32(c).ok_or("bad surrogate pair")?);
+                    }
+                    (Some(_), _) => return Err("unpaired surrogate escape".into()),
+                }
+            }
+            Some(_) => return Err("control byte in string".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_renders_round_trip() {
+        let text = r#"{"a":1,"b":[true,false,null,"x\n\"y\\z"],"c":{"d":-2.5e3},"u":"\u00e9\ud83d\ude00"}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("c").and_then(|c| c.get("d")).and_then(Json::as_f64), Some(-2500.0));
+        assert_eq!(v.get("u").and_then(Json::as_str), Some("é😀"));
+        let rendered = v.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "tru",
+            "1 2",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "nan",
+            "1e999",
+            &format!("{}1", "[".repeat(40)),
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn u64_accessor_is_strict() {
+        assert_eq!(Json::parse("3").unwrap().as_u64(), Some(3));
+        assert_eq!(Json::parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1e300").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn control_chars_escape_on_render() {
+        let s = Json::Str("a\u{1}b".into()).render();
+        assert_eq!(s, "\"a\\u0001b\"");
+        assert_eq!(Json::parse(&s).unwrap(), Json::Str("a\u{1}b".into()));
+    }
+}

@@ -1,0 +1,42 @@
+//! Gap-finding as a service: a supervised, multi-tenant HTTP job server
+//! over the crash-safe campaign journal.
+//!
+//! The server turns the deterministic sweep cells of the campaign layer
+//! into durable jobs behind a small HTTP/1.1 API. Every lifecycle
+//! transition — admission, each execution attempt, every incumbent
+//! checkpoint, retries, quarantine, cancellation, shutdown — is an
+//! fsynced record in the same CRC-framed write-ahead journal the batch
+//! campaign runner uses, appended *before* the transition is
+//! acknowledged. Kill the process at any instant and the next boot
+//! replays the journal back to the exact same state: acknowledged jobs
+//! run (or resume mid-sweep from their last checkpoint) and produce
+//! bit-identical certified results, because thresholds and demands are
+//! journaled as exact `f64` bit patterns and cells tick in fixed
+//! node-budget slices.
+//!
+//! Multi-tenancy and overload safety are first-class: per-client token
+//! buckets meter admission (`429 Retry-After`), a bounded queue sheds
+//! bursts instead of accepting work it cannot journal honestly, priority
+//! classes age so background work cannot starve, and drain stops the
+//! world at the next checkpoint boundary without losing a single
+//! acknowledged job.
+//!
+//! Everything is `std`-only — the HTTP layer, the JSON layer, the quota
+//! machinery — because this workspace builds with no registry access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod quota;
+pub mod server;
+pub mod spec;
+
+pub use api::{serve, MAX_CONNECTIONS};
+pub use json::Json;
+pub use quota::{AgingQueue, QueuedJob, QuotaBook, TokenBucket};
+pub use server::{CancelError, GapServer, ServerConfig, SubmitError};
+pub use spec::{parse_submit, validate_submit, AdmissionLimits, SubmitRequest};

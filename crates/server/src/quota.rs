@@ -1,0 +1,247 @@
+//! Multi-tenant admission machinery: per-client token buckets and the
+//! priority queue with aging that orders admitted jobs.
+//!
+//! Both structures compute with caller-supplied instants instead of
+//! reading the clock, which keeps them trivially testable and keeps all
+//! time policy in one place (the server core).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A classic token bucket: `capacity` tokens of burst, refilled at
+/// `refill_per_sec`. One token per job submission.
+#[derive(Debug)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A full bucket.
+    pub fn new(capacity: f64, refill_per_sec: f64, now: Instant) -> TokenBucket {
+        TokenBucket {
+            capacity: capacity.max(1.0),
+            refill_per_sec: refill_per_sec.max(0.0),
+            tokens: capacity.max(1.0),
+            last: now,
+        }
+    }
+
+    /// Takes one token, or reports how many seconds until one is
+    /// available.
+    pub fn try_take(&mut self, now: Instant) -> Result<(), f64> {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else if self.refill_per_sec > 0.0 {
+            Err(((1.0 - self.tokens) / self.refill_per_sec).max(0.001))
+        } else {
+            Err(f64::INFINITY)
+        }
+    }
+}
+
+/// Per-client token buckets, created lazily with a shared shape.
+#[derive(Debug)]
+pub struct QuotaBook {
+    burst: f64,
+    per_sec: f64,
+    buckets: HashMap<String, TokenBucket>,
+}
+
+impl QuotaBook {
+    /// A book whose every client gets `burst` tokens refilled at
+    /// `per_sec`.
+    pub fn new(burst: f64, per_sec: f64) -> QuotaBook {
+        QuotaBook {
+            burst,
+            per_sec,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Charges one submission to `client`; `Err(secs)` advises the retry
+    /// delay.
+    pub fn charge(&mut self, client: &str, now: Instant) -> Result<(), f64> {
+        self.buckets
+            .entry(client.to_string())
+            .or_insert_with(|| TokenBucket::new(self.burst, self.per_sec, now))
+            .try_take(now)
+    }
+}
+
+/// One queued, admitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// Job id.
+    pub id: u64,
+    /// Priority class (`0` = most urgent).
+    pub priority: u8,
+    /// When the job entered the queue (aging reference point).
+    pub enqueued: Instant,
+}
+
+/// A small priority queue with aging: the effective priority of a waiting
+/// job improves by one class per `aging` interval, so low-priority work
+/// cannot starve behind a steady stream of urgent jobs. The queue is
+/// bounded by its caller (bounded admission is enforced *before* pushing),
+/// so the O(n) scan in [`AgingQueue::pop_best`] runs over at most the
+/// admission cap.
+#[derive(Debug)]
+pub struct AgingQueue {
+    items: Vec<QueuedJob>,
+    aging: Duration,
+}
+
+impl AgingQueue {
+    /// A queue whose waiting jobs gain one priority class per `aging`.
+    pub fn new(aging: Duration) -> AgingQueue {
+        AgingQueue {
+            items: Vec::new(),
+            aging: aging.max(Duration::from_millis(1)),
+        }
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Enqueues a job.
+    pub fn push(&mut self, job: QueuedJob) {
+        self.items.push(job);
+    }
+
+    /// Removes a job by id (cancellation while still queued). Returns
+    /// whether it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let before = self.items.len();
+        self.items.retain(|j| j.id != id);
+        self.items.len() != before
+    }
+
+    /// Pops the job with the best effective priority at `now` (lowest
+    /// value wins; ties broken by id, i.e. admission order).
+    pub fn pop_best(&mut self, now: Instant) -> Option<QueuedJob> {
+        let aging = self.aging.as_secs_f64();
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let ea = effective(a, now, aging);
+                let eb = effective(b, now, aging);
+                ea.partial_cmp(&eb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)?;
+        Some(self.items.swap_remove(best))
+    }
+
+    /// Ids currently waiting, in no particular order.
+    pub fn ids(&self) -> Vec<u64> {
+        self.items.iter().map(|j| j.id).collect()
+    }
+}
+
+fn effective(job: &QueuedJob, now: Instant, aging_secs: f64) -> f64 {
+    let waited = now.saturating_duration_since(job.enqueued).as_secs_f64();
+    f64::from(job.priority) - waited / aging_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bursts_then_throttles_then_refills() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(2.0, 1.0, t0);
+        assert!(b.try_take(t0).is_ok());
+        assert!(b.try_take(t0).is_ok());
+        let wait = b.try_take(t0).unwrap_err();
+        assert!(wait > 0.0 && wait <= 1.1, "{wait}");
+        // One second later a token is back.
+        assert!(b.try_take(t0 + Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn zero_refill_bucket_never_recovers() {
+        let t0 = Instant::now();
+        let mut b = TokenBucket::new(1.0, 0.0, t0);
+        assert!(b.try_take(t0).is_ok());
+        assert_eq!(b.try_take(t0 + Duration::from_secs(3600)), Err(f64::INFINITY));
+    }
+
+    #[test]
+    fn quota_book_isolates_clients() {
+        let t0 = Instant::now();
+        let mut q = QuotaBook::new(1.0, 0.0);
+        assert!(q.charge("alice", t0).is_ok());
+        assert!(q.charge("alice", t0).is_err());
+        assert!(q.charge("bob", t0).is_ok());
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let t0 = Instant::now();
+        let mut q = AgingQueue::new(Duration::from_secs(60));
+        for (id, priority) in [(1, 5), (2, 1), (3, 1), (4, 9)] {
+            q.push(QueuedJob {
+                id,
+                priority,
+                enqueued: t0,
+            });
+        }
+        assert_eq!(q.pop_best(t0).unwrap().id, 2);
+        assert_eq!(q.pop_best(t0).unwrap().id, 3);
+        assert_eq!(q.pop_best(t0).unwrap().id, 1);
+        assert_eq!(q.pop_best(t0).unwrap().id, 4);
+        assert!(q.pop_best(t0).is_none());
+    }
+
+    #[test]
+    fn aging_prevents_starvation() {
+        let t0 = Instant::now();
+        let mut q = AgingQueue::new(Duration::from_secs(1));
+        // A background job enqueued long ago...
+        q.push(QueuedJob {
+            id: 1,
+            priority: 9,
+            enqueued: t0,
+        });
+        // ...beats a fresh urgent job once it has aged past the priority
+        // distance (9 classes x 1s/class).
+        q.push(QueuedJob {
+            id: 2,
+            priority: 0,
+            enqueued: t0 + Duration::from_secs(20),
+        });
+        assert_eq!(q.pop_best(t0 + Duration::from_secs(20)).unwrap().id, 1);
+    }
+
+    #[test]
+    fn remove_cancels_queued_jobs() {
+        let t0 = Instant::now();
+        let mut q = AgingQueue::new(Duration::from_secs(60));
+        q.push(QueuedJob {
+            id: 7,
+            priority: 3,
+            enqueued: t0,
+        });
+        assert!(q.remove(7));
+        assert!(!q.remove(7));
+        assert!(q.is_empty());
+    }
+}

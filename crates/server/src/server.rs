@@ -1,0 +1,897 @@
+//! The job server core: durable admission, the supervised worker pool,
+//! event fan-out, cancellation, drain, and crash recovery.
+//!
+//! ## Lock discipline
+//!
+//! One coarse mutex guards *all* mutable state — the job table, the
+//! admission queue, **and the journal writer**. Every lifecycle transition
+//! therefore appends its journal record and updates the in-memory mirror
+//! atomically, which makes the write-ahead invariant trivial to audit:
+//! there is no interleaving in which memory says something the journal
+//! does not. The expensive work (ticking a cell, building a model at
+//! admission) always happens *outside* the lock; only the bookkeeping and
+//! the (fsynced) append happen inside.
+//!
+//! ## Recovery contract
+//!
+//! `202 Accepted` is written to the socket only after the job's `job`
+//! record is fsynced. After any hard kill, [`GapServer::open`] replays the
+//! journal: terminal jobs stay terminal, pending jobs re-enter the queue
+//! at their last checkpoint, and — because cells tick in fixed node-budget
+//! slices and floats are journaled as exact bit patterns — the resumed
+//! jobs produce bit-identical certified results.
+
+use crate::quota::{AgingQueue, QueuedJob, QuotaBook};
+use crate::spec::{validate_submit, AdmissionLimits, SubmitRequest};
+use metaopt_campaign::jobs::{JobBook, JobEntry, JobRecord, JobStatus};
+use metaopt_campaign::{
+    drive_cell, quarantine_reason_for, retry_jitter_seed, wire, CampaignError, CellDriveEnd,
+    Journal, JOURNAL_FILE,
+};
+use metaopt_core::SweepState;
+use metaopt_model::ModelStats;
+use metaopt_resilience::{RetryDecision, RetryPolicy, ServiceFault};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Server name (journal header; appears in status responses).
+    pub name: String,
+    /// Durable state directory (holds `journal.wal`).
+    pub dir: PathBuf,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded admission queue depth; submissions beyond it shed with
+    /// `429`.
+    pub max_queue: usize,
+    /// Per-client token-bucket burst.
+    pub quota_burst: f64,
+    /// Per-client token refill rate (tokens/second).
+    pub quota_per_sec: f64,
+    /// Seconds a waiting job needs to gain one priority class.
+    pub aging_secs: f64,
+    /// Retry/backoff/quarantine policy for failed attempts.
+    pub retry: RetryPolicy,
+    /// Solver threads for jobs that do not request any (`0` = leave the
+    /// spec's default, i.e. `METAOPT_THREADS`).
+    pub default_threads: usize,
+    /// Admission shape limits.
+    pub limits: AdmissionLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            name: "gapserver".into(),
+            dir: PathBuf::from("gapserver-data"),
+            workers: 2,
+            max_queue: 64,
+            quota_burst: 16.0,
+            quota_per_sec: 4.0,
+            aging_secs: 30.0,
+            retry: RetryPolicy::default(),
+            default_threads: 0,
+            limits: AdmissionLimits::default(),
+        }
+    }
+}
+
+/// Why a submission was refused (maps onto HTTP in the API layer).
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The server is draining or stopped; nothing is admitted. (`503`)
+    Unavailable,
+    /// Client quota exhausted; retry after the advised seconds. (`429`)
+    Quota(f64),
+    /// The bounded admission queue is full. (`429`)
+    QueueFull(usize),
+    /// The spec failed validation / the modelcheck gate. (`422`)
+    Rejected(String),
+    /// Journal I/O failed; the server is now fatally stopped. (`500`)
+    Fatal(String),
+}
+
+impl SubmitError {
+    /// The service-fault taxonomy entry for this refusal.
+    pub fn to_fault(&self) -> ServiceFault {
+        match self {
+            SubmitError::Unavailable => {
+                ServiceFault::AdmissionRejected("server is draining or stopped".into())
+            }
+            SubmitError::Quota(secs) => {
+                ServiceFault::QuotaExhausted(format!("retry in {secs:.3}s"))
+            }
+            SubmitError::QueueFull(depth) => {
+                ServiceFault::QueueSaturated(format!("admission queue at capacity {depth}"))
+            }
+            SubmitError::Rejected(d) => ServiceFault::AdmissionRejected(d.clone()),
+            SubmitError::Fatal(d) => ServiceFault::DrainTimeout(format!("journal failure: {d}")),
+        }
+    }
+}
+
+/// Why a cancellation was refused.
+#[derive(Debug)]
+pub enum CancelError {
+    /// No such job.
+    NotFound,
+    /// The job is already terminal; there is nothing to cancel.
+    AlreadyTerminal(&'static str),
+    /// Journal I/O failed; the server is now fatally stopped.
+    Fatal(String),
+}
+
+/// One job's live state: the replay-shaped entry plus the event log the
+/// streaming endpoint serves.
+#[derive(Debug)]
+struct JobRuntime {
+    entry: JobEntry,
+    /// NDJSON event lines (without trailing newline), append-only.
+    events: Vec<String>,
+    /// No further events will ever be appended (terminal state reached).
+    events_done: bool,
+}
+
+struct Inner {
+    journal: Journal,
+    jobs: BTreeMap<u64, JobRuntime>,
+    queue: AgingQueue,
+    /// Backoff-delayed retries: `(due, id)`.
+    delayed: Vec<(Instant, u64)>,
+    running: BTreeSet<u64>,
+    next_id: u64,
+    draining: bool,
+    stopped: bool,
+    fatal: Option<String>,
+    quotas: QuotaBook,
+}
+
+/// The gap-finding job server. Construct with [`GapServer::open`], start
+/// the pool with [`GapServer::start_workers`], serve HTTP with
+/// [`crate::api::serve`].
+pub struct GapServer {
+    inner: Mutex<Inner>,
+    /// Wakes workers (new work, drain, stop).
+    work_cv: Condvar,
+    /// Wakes event streamers (new events, terminal transitions).
+    event_cv: Condvar,
+    cfg: ServerConfig,
+    /// Retry-jitter salt: stable per server name, so many servers (or many
+    /// jobs — the id is mixed in per job) never retry in lockstep.
+    salt: u64,
+}
+
+impl GapServer {
+    /// Opens (or creates) the server state in `cfg.dir`. An existing
+    /// journal is replayed: terminal jobs stay terminal, pending jobs
+    /// re-enter the queue at their last durable checkpoint, and
+    /// interrupted cancellations complete.
+    pub fn open(cfg: ServerConfig) -> Result<Arc<GapServer>, CampaignError> {
+        let now = Instant::now();
+        let mut queue = AgingQueue::new(Duration::from_secs_f64(cfg.aging_secs.max(0.001)));
+        let mut jobs = BTreeMap::new();
+        let mut next_id = 1u64;
+        let journal = if cfg.dir.join(JOURNAL_FILE).exists() {
+            let book = JobBook::from_dir(&cfg.dir)?;
+            let mut journal = Journal::open_append(&cfg.dir)?;
+            next_id = book.next_id();
+            for (id, mut entry) in book.jobs {
+                let mut events = vec![event_line(
+                    "recovered",
+                    id,
+                    vec![("status", Json::str(entry.status.name()))],
+                )];
+                let mut events_done = entry.status.is_terminal();
+                match &entry.status {
+                    JobStatus::Pending {
+                        cancel_requested: true,
+                        ..
+                    } => {
+                        // The kill interrupted a drain-to-checkpoint; the
+                        // cancellation wins at boot.
+                        journal.append(&JobRecord::Cancelled { id }.encode())?;
+                        entry.status = JobStatus::Cancelled;
+                        events.push(event_line("cancelled", id, vec![]));
+                        events_done = true;
+                    }
+                    JobStatus::Pending { .. } => {
+                        queue.push(QueuedJob {
+                            id,
+                            priority: entry.priority,
+                            enqueued: now,
+                        });
+                    }
+                    _ => {}
+                }
+                jobs.insert(
+                    id,
+                    JobRuntime {
+                        entry,
+                        events,
+                        events_done,
+                    },
+                );
+            }
+            journal
+        } else {
+            let mut journal = Journal::create(&cfg.dir)?;
+            journal.append(&JobBook::header(&cfg.name))?;
+            journal
+        };
+        let salt = u64::from(wire::crc32(cfg.name.as_bytes()));
+        Ok(Arc::new(GapServer {
+            inner: Mutex::new(Inner {
+                journal,
+                jobs,
+                queue,
+                delayed: Vec::new(),
+                running: BTreeSet::new(),
+                next_id,
+                draining: false,
+                stopped: false,
+                fatal: None,
+                quotas: QuotaBook::new(cfg.quota_burst, cfg.quota_per_sec),
+            }),
+            work_cv: Condvar::new(),
+            event_cv: Condvar::new(),
+            cfg,
+            salt,
+        }))
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Whether the server has fully stopped (drain complete or fatal).
+    pub fn is_stopped(&self) -> bool {
+        self.lock().stopped
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("server lock poisoned")
+    }
+
+    /// Journal append + fatal-stop on failure. Returns whether the append
+    /// succeeded; on failure the server refuses all further work.
+    fn append_or_die(&self, inner: &mut Inner, record: &JobRecord) -> Result<(), String> {
+        match inner.journal.append(&record.encode()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let msg = e.to_string();
+                inner.fatal = Some(msg.clone());
+                inner.stopped = true;
+                self.work_cv.notify_all();
+                self.event_cv.notify_all();
+                Err(msg)
+            }
+        }
+    }
+
+    /// Admits a job: validates (modelcheck gate — *outside* the lock),
+    /// charges quota, enforces the bounded queue, journals the `job`
+    /// record durably, and enqueues. Returns the id and the validated
+    /// model's size statistics. Only after this returns may the caller
+    /// acknowledge the job.
+    pub fn submit(&self, req: SubmitRequest) -> Result<(u64, ModelStats), SubmitError> {
+        // The expensive admission work happens before any lock.
+        let stats = validate_submit(&req, &self.cfg.limits)
+            .map_err(|f| SubmitError::Rejected(f.detail().to_string()))?;
+        let now = Instant::now();
+        let mut inner = self.lock();
+        if inner.stopped || inner.draining {
+            return Err(SubmitError::Unavailable);
+        }
+        if let Err(wait) = inner.quotas.charge(&req.client, now) {
+            return Err(SubmitError::Quota(wait));
+        }
+        if inner.queue.len() >= self.cfg.max_queue {
+            return Err(SubmitError::QueueFull(self.cfg.max_queue));
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let record = JobRecord::Submit {
+            id,
+            client: req.client.clone(),
+            priority: req.priority,
+            threads: req.threads,
+            spec: Box::new(req.spec.clone()),
+        };
+        // Durable before acknowledgment — the crash-safety contract.
+        self.append_or_die(&mut inner, &record)
+            .map_err(SubmitError::Fatal)?;
+        inner.jobs.insert(
+            id,
+            JobRuntime {
+                entry: JobEntry {
+                    id,
+                    client: req.client,
+                    priority: req.priority,
+                    threads: req.threads,
+                    spec: req.spec,
+                    status: JobStatus::Pending {
+                        attempt: 0,
+                        resume: None,
+                        cancel_requested: false,
+                    },
+                    failures: Vec::new(),
+                },
+                events: vec![event_line(
+                    "admitted",
+                    id,
+                    vec![
+                        ("priority", Json::Num(f64::from(req.priority))),
+                        ("model_vars", Json::Num(stats.n_vars as f64)),
+                    ],
+                )],
+                events_done: false,
+            },
+        );
+        inner.queue.push(QueuedJob {
+            id,
+            priority: req.priority,
+            enqueued: now,
+        });
+        drop(inner);
+        self.work_cv.notify_all();
+        self.event_cv.notify_all();
+        Ok((id, stats))
+    }
+
+    /// Requests cancellation. Queued jobs cancel immediately; running jobs
+    /// drain to their next checkpoint and then cancel.
+    pub fn cancel(&self, id: u64) -> Result<&'static str, CancelError> {
+        let mut inner = self.lock();
+        let job = inner.jobs.get(&id).ok_or(CancelError::NotFound)?;
+        match &job.entry.status {
+            JobStatus::Pending {
+                cancel_requested: true,
+                ..
+            } => return Ok("cancelling"),
+            JobStatus::Pending { .. } => {}
+            s => return Err(CancelError::AlreadyTerminal(s.name())),
+        }
+        self.append_or_die(&mut inner, &JobRecord::Cancel { id })
+            .map_err(CancelError::Fatal)?;
+        if let Some(rt) = inner.jobs.get_mut(&id) {
+            if let JobStatus::Pending {
+                cancel_requested, ..
+            } = &mut rt.entry.status
+            {
+                *cancel_requested = true;
+            }
+            rt.events.push(event_line("cancel_requested", id, vec![]));
+        }
+        // Not running: nothing to drain, finish the cancellation now.
+        let queued = inner.queue.remove(id);
+        inner.delayed.retain(|(_, d)| *d != id);
+        let state = if queued || !inner.running.contains(&id) {
+            self.append_or_die(&mut inner, &JobRecord::Cancelled { id })
+                .map_err(CancelError::Fatal)?;
+            if let Some(rt) = inner.jobs.get_mut(&id) {
+                rt.entry.status = JobStatus::Cancelled;
+                rt.events.push(event_line("cancelled", id, vec![]));
+                rt.events_done = true;
+            }
+            "cancelled"
+        } else {
+            "cancelling"
+        };
+        drop(inner);
+        self.work_cv.notify_all();
+        self.event_cv.notify_all();
+        Ok(state)
+    }
+
+    /// Drains the server: stops admitting, lets running cells reach their
+    /// next durable checkpoint, then writes the `shutdown` record and
+    /// stops. Queued jobs stay journaled-pending and resume at next boot.
+    pub fn drain(&self, reason: &str) {
+        let mut inner = self.lock();
+        if inner.stopped {
+            return;
+        }
+        inner.draining = true;
+        self.work_cv.notify_all();
+        while !inner.running.is_empty() {
+            let (guard, _) = self
+                .work_cv
+                .wait_timeout(inner, Duration::from_millis(20))
+                .expect("server lock poisoned");
+            inner = guard;
+            if inner.stopped {
+                return;
+            }
+        }
+        let _ = self.append_or_die(
+            &mut inner,
+            &JobRecord::Shutdown {
+                reason: reason.to_string(),
+            },
+        );
+        inner.stopped = true;
+        drop(inner);
+        self.work_cv.notify_all();
+        self.event_cv.notify_all();
+    }
+
+    /// Spawns the worker pool. Threads exit when the server drains or
+    /// stops; join the handles to wait for that.
+    pub fn start_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..self.cfg.workers.max(1))
+            .map(|_| {
+                let server = Arc::clone(self);
+                std::thread::spawn(move || worker_loop(&server))
+            })
+            .collect()
+    }
+
+    /// JSON summary of the whole server.
+    pub fn status_json(&self) -> Json {
+        let inner = self.lock();
+        let mut done = 0;
+        let mut quarantined = 0;
+        let mut cancelled = 0;
+        let mut pending = 0;
+        for rt in inner.jobs.values() {
+            match &rt.entry.status {
+                JobStatus::Done(_) => done += 1,
+                JobStatus::Quarantined { .. } => quarantined += 1,
+                JobStatus::Cancelled => cancelled += 1,
+                JobStatus::Pending { .. } => pending += 1,
+            }
+        }
+        Json::obj(vec![
+            ("name", Json::str(self.cfg.name.clone())),
+            ("jobs", Json::Num(inner.jobs.len() as f64)),
+            ("done", Json::Num(f64::from(done))),
+            ("quarantined", Json::Num(f64::from(quarantined))),
+            ("cancelled", Json::Num(f64::from(cancelled))),
+            ("pending", Json::Num(f64::from(pending))),
+            ("queue_depth", Json::Num(inner.queue.len() as f64)),
+            ("queue_capacity", Json::Num(self.cfg.max_queue as f64)),
+            ("running", Json::Num(inner.running.len() as f64)),
+            ("draining", Json::Bool(inner.draining)),
+            ("stopped", Json::Bool(inner.stopped)),
+            (
+                "fatal",
+                inner
+                    .fatal
+                    .clone()
+                    .map_or(Json::Null, Json::Str),
+            ),
+        ])
+    }
+
+    /// JSON view of one job (status + certified results when done).
+    pub fn job_json(&self, id: u64) -> Option<Json> {
+        let inner = self.lock();
+        let rt = inner.jobs.get(&id)?;
+        let e = &rt.entry;
+        let mut pairs = vec![
+            ("id", Json::Num(e.id as f64)),
+            ("label", Json::str(e.spec.label.clone())),
+            ("client", Json::str(e.client.clone())),
+            ("priority", Json::Num(f64::from(e.priority))),
+            ("threads", Json::Num(e.threads as f64)),
+            ("status", Json::str(e.status.name())),
+            ("running", Json::Bool(inner.running.contains(&id))),
+        ];
+        let failures: Vec<Json> = e
+            .failures
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("attempt", Json::Num(f.attempt as f64)),
+                    ("kind", Json::str(f.kind.clone())),
+                    ("detail", Json::str(f.detail.clone())),
+                ])
+            })
+            .collect();
+        pairs.push(("failures", Json::Arr(failures)));
+        match &e.status {
+            JobStatus::Done(o) => {
+                pairs.push((
+                    "result",
+                    Json::obj(vec![
+                        ("threshold", opt_num(o.threshold)),
+                        ("verified_gap", opt_num(o.verified_gap)),
+                        (
+                            "demands",
+                            Json::Arr(o.demands.iter().map(|&d| Json::Num(d)).collect()),
+                        ),
+                        ("probes", Json::Num(o.probes as f64)),
+                        ("nodes", Json::Num(o.nodes as f64)),
+                        // Exact f64 bit patterns: the bit-identical
+                        // recovery contract is checked against this.
+                        ("outcome_wire", Json::str(o.encode())),
+                    ]),
+                ));
+            }
+            JobStatus::Quarantined { reason, attempts } => {
+                pairs.push((
+                    "quarantine",
+                    Json::obj(vec![
+                        ("reason", Json::str(reason.kind())),
+                        ("attempts", Json::Num(*attempts as f64)),
+                    ]),
+                ));
+            }
+            JobStatus::Pending {
+                attempt, resume, ..
+            } => {
+                pairs.push(("attempts_failed", Json::Num(*attempt as f64)));
+                if let Some(st) = resume {
+                    pairs.push(("progress", progress_json(st)));
+                }
+            }
+            JobStatus::Cancelled => {}
+        }
+        Some(Json::Obj(
+            pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        ))
+    }
+
+    /// JSON array of all jobs (id, label, status).
+    pub fn jobs_json(&self) -> Json {
+        let inner = self.lock();
+        Json::Arr(
+            inner
+                .jobs
+                .values()
+                .map(|rt| {
+                    Json::obj(vec![
+                        ("id", Json::Num(rt.entry.id as f64)),
+                        ("label", Json::str(rt.entry.spec.label.clone())),
+                        ("client", Json::str(rt.entry.client.clone())),
+                        ("status", Json::str(rt.entry.status.name())),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Blocks up to `timeout` for events past `seq`. Returns `None` for
+    /// unknown jobs, otherwise `(new_events, next_seq, done)` — `done`
+    /// means the stream is complete and no further events will come.
+    pub fn wait_events(
+        &self,
+        id: u64,
+        seq: usize,
+        timeout: Duration,
+    ) -> Option<(Vec<String>, usize, bool)> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            let rt = inner.jobs.get(&id)?;
+            if rt.events.len() > seq || rt.events_done || inner.stopped {
+                let fresh = rt.events.get(seq..).unwrap_or_default().to_vec();
+                let next = rt.events.len().max(seq);
+                let done = rt.events_done || inner.stopped;
+                return Some((fresh, next, done));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some((Vec::new(), seq, false));
+            }
+            let (guard, _) = self
+                .event_cv
+                .wait_timeout(inner, deadline - now)
+                .expect("server lock poisoned");
+            inner = guard;
+        }
+    }
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Num)
+}
+
+fn progress_json(st: &SweepState) -> Json {
+    Json::obj(vec![
+        ("lo_bound", Json::Num(st.machine.lo_bound)),
+        ("hi_bound", Json::Num(st.machine.hi_bound)),
+        ("probes", Json::Num(st.machine.probes as f64)),
+        ("nodes", Json::Num(st.nodes as f64)),
+        (
+            "incumbent_gap",
+            opt_num(st.best_witness.as_ref().map(|w| w.verified_gap)),
+        ),
+    ])
+}
+
+fn event_line(event: &str, id: u64, extra: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![("event", Json::str(event)), ("job", Json::Num(id as f64))];
+    pairs.extend(extra);
+    Json::obj(pairs).render()
+}
+
+/// One worker: claim the best queued job, drive it tick by tick with
+/// durable checkpoints, and journal its terminal transition. Exits on
+/// drain/stop.
+fn worker_loop(server: &GapServer) {
+    loop {
+        // Claim.
+        let (id, attempt, spec, threads, resume) = {
+            let mut inner = server.lock();
+            let claimed = loop {
+                if inner.stopped || inner.draining {
+                    return;
+                }
+                let now = Instant::now();
+                let mut due = Vec::new();
+                let mut i = 0;
+                while i < inner.delayed.len() {
+                    if inner.delayed[i].0 <= now {
+                        due.push(inner.delayed.swap_remove(i).1);
+                    } else {
+                        i += 1;
+                    }
+                }
+                for id in due {
+                    if let Some(priority) = inner.jobs.get(&id).map(|rt| rt.entry.priority) {
+                        inner.queue.push(QueuedJob {
+                            id,
+                            priority,
+                            enqueued: now,
+                        });
+                    }
+                }
+                if let Some(job) = inner.queue.pop_best(now) {
+                    break job;
+                }
+                let (guard, _) = server
+                    .work_cv
+                    .wait_timeout(inner, Duration::from_millis(25))
+                    .expect("server lock poisoned");
+                inner = guard;
+            };
+            let id = claimed.id;
+            let rt = match inner.jobs.get(&id) {
+                Some(rt) => rt,
+                None => continue,
+            };
+            let (burnt, resume) = match &rt.entry.status {
+                JobStatus::Pending {
+                    attempt, resume, ..
+                } => (*attempt, resume.clone()),
+                // Terminal while queued (e.g. cancelled): nothing to run.
+                _ => continue,
+            };
+            let attempt = burnt + 1;
+            let spec = rt.entry.spec.clone();
+            let threads = if rt.entry.threads > 0 {
+                rt.entry.threads
+            } else {
+                server.cfg.default_threads
+            };
+            inner.running.insert(id);
+            if server
+                .append_or_die(&mut inner, &JobRecord::Run { id, attempt })
+                .is_err()
+            {
+                return;
+            }
+            if let Some(rt) = inner.jobs.get_mut(&id) {
+                rt.events.push(event_line(
+                    "run",
+                    id,
+                    vec![("attempt", Json::Num(attempt as f64))],
+                ));
+            }
+            drop(inner);
+            server.event_cv.notify_all();
+            (id, attempt, spec, threads, resume)
+        };
+
+        // Execute outside the lock.
+        let cell_deadline = spec
+            .timeout_secs
+            .map(|s| Instant::now() + Duration::from_secs_f64(s));
+        let end = drive_cell(
+            &spec,
+            threads,
+            resume,
+            cell_deadline,
+            &mut |st| {
+                let mut inner = server.lock();
+                server
+                    .append_or_die(
+                        &mut inner,
+                        &JobRecord::Ckpt {
+                            id,
+                            state: Box::new(st.clone()),
+                        },
+                    )
+                    .map_err(CampaignError::Io)?;
+                if let Some(rt) = inner.jobs.get_mut(&id) {
+                    if let JobStatus::Pending { resume, .. } = &mut rt.entry.status {
+                        *resume = Some(st.clone());
+                    }
+                    let mut extra = vec![
+                        ("lo_bound", Json::Num(st.machine.lo_bound)),
+                        ("hi_bound", Json::Num(st.machine.hi_bound)),
+                        ("probes", Json::Num(st.machine.probes as f64)),
+                        ("nodes", Json::Num(st.nodes as f64)),
+                    ];
+                    if let Some(w) = &st.best_witness {
+                        extra.push(("incumbent_gap", Json::Num(w.verified_gap)));
+                    }
+                    rt.events.push(event_line("checkpoint", id, extra));
+                }
+                drop(inner);
+                server.event_cv.notify_all();
+                Ok(())
+            },
+            &mut || {
+                let inner = server.lock();
+                inner.stopped
+                    || inner.draining
+                    || inner.jobs.get(&id).is_some_and(|rt| {
+                        matches!(
+                            rt.entry.status,
+                            JobStatus::Pending {
+                                cancel_requested: true,
+                                ..
+                            }
+                        )
+                    })
+            },
+        );
+
+        // Record the outcome.
+        let mut inner = server.lock();
+        inner.running.remove(&id);
+        match end {
+            Err(e) => {
+                // on_checkpoint journal failure: already fatally stopped.
+                inner.fatal.get_or_insert(e.to_string());
+                inner.stopped = true;
+                drop(inner);
+                server.work_cv.notify_all();
+                server.event_cv.notify_all();
+                return;
+            }
+            Ok(CellDriveEnd::Finished(outcome)) => {
+                if server
+                    .append_or_die(
+                        &mut inner,
+                        &JobRecord::Done {
+                            id,
+                            outcome: outcome.clone(),
+                        },
+                    )
+                    .is_err()
+                {
+                    return;
+                }
+                if let Some(rt) = inner.jobs.get_mut(&id) {
+                    rt.events.push(event_line(
+                        "done",
+                        id,
+                        vec![
+                            ("threshold", opt_num(outcome.threshold)),
+                            ("verified_gap", opt_num(outcome.verified_gap)),
+                            ("probes", Json::Num(outcome.probes as f64)),
+                            ("nodes", Json::Num(outcome.nodes as f64)),
+                        ],
+                    ));
+                    rt.entry.status = JobStatus::Done(outcome);
+                    rt.events_done = true;
+                }
+            }
+            Ok(CellDriveEnd::Stopped) => {
+                let cancel = inner.jobs.get(&id).is_some_and(|rt| {
+                    matches!(
+                        rt.entry.status,
+                        JobStatus::Pending {
+                            cancel_requested: true,
+                            ..
+                        }
+                    )
+                });
+                if cancel {
+                    if server
+                        .append_or_die(&mut inner, &JobRecord::Cancelled { id })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    if let Some(rt) = inner.jobs.get_mut(&id) {
+                        rt.entry.status = JobStatus::Cancelled;
+                        rt.events.push(event_line("cancelled", id, vec![]));
+                        rt.events_done = true;
+                    }
+                }
+                // Drain: the job stays journaled-pending at its last
+                // checkpoint and resumes at next boot.
+            }
+            Ok(CellDriveEnd::Failed { kind, detail }) => {
+                if server
+                    .append_or_die(
+                        &mut inner,
+                        &JobRecord::Fail {
+                            id,
+                            attempt,
+                            kind: kind.clone(),
+                            detail: detail.clone(),
+                        },
+                    )
+                    .is_err()
+                {
+                    return;
+                }
+                if let Some(rt) = inner.jobs.get_mut(&id) {
+                    rt.entry.failures.push(metaopt_campaign::FailureRecord {
+                        attempt,
+                        kind: kind.clone(),
+                        detail: detail.clone(),
+                    });
+                    if let JobStatus::Pending { attempt: a, .. } = &mut rt.entry.status {
+                        *a = attempt;
+                    }
+                    rt.events.push(event_line(
+                        "failed",
+                        id,
+                        vec![
+                            ("attempt", Json::Num(attempt as f64)),
+                            ("kind", Json::str(kind.clone())),
+                            ("detail", Json::str(detail)),
+                        ],
+                    ));
+                }
+                let decision = if kind == "fatal" {
+                    RetryDecision::Quarantine
+                } else {
+                    server
+                        .cfg
+                        .retry
+                        .on_failure(attempt, retry_jitter_seed(server.salt, id, attempt))
+                };
+                match decision {
+                    RetryDecision::RetryAfter(delay) => {
+                        inner.delayed.push((Instant::now() + delay, id));
+                    }
+                    RetryDecision::Quarantine => {
+                        let reason = quarantine_reason_for(&kind);
+                        if server
+                            .append_or_die(
+                                &mut inner,
+                                &JobRecord::Quarantine {
+                                    id,
+                                    reason,
+                                    attempts: attempt,
+                                },
+                            )
+                            .is_err()
+                        {
+                            return;
+                        }
+                        if let Some(rt) = inner.jobs.get_mut(&id) {
+                            rt.entry.status = JobStatus::Quarantined {
+                                reason,
+                                attempts: attempt,
+                            };
+                            rt.events.push(event_line(
+                                "quarantined",
+                                id,
+                                vec![("reason", Json::str(reason.kind()))],
+                            ));
+                            rt.events_done = true;
+                        }
+                    }
+                }
+            }
+        }
+        drop(inner);
+        server.work_cv.notify_all();
+        server.event_cv.notify_all();
+    }
+}

@@ -1,0 +1,165 @@
+//! The headline robustness contract, exercised against the real binary:
+//! `kill -9` the server after jobs are acknowledged, restart it on the
+//! same directory, and every acknowledged job reaches the *bit-identical*
+//! certified result an uninterrupted run produces.
+
+use metaopt_server::client::request;
+use metaopt_server::json::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metaopt-crashdrill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Starts the real `gapserver` binary and resolves the OS-assigned port
+/// from the `ADDR` file it writes once listening.
+fn spawn_server(dir: &Path) -> (Child, String) {
+    let _ = std::fs::remove_file(dir.join("ADDR"));
+    let child = Command::new(env!("CARGO_BIN_EXE_gapserver"))
+        .args([
+            "serve",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn gapserver");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("ADDR")) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never wrote ADDR");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // The listener is bound before ADDR is written; the API is live.
+    (child, addr)
+}
+
+fn job_body(label: &str, threshold: f64) -> Vec<u8> {
+    format!(
+        concat!(
+            "{{\"client\":\"drill\",\"label\":\"{}\",",
+            "\"topology\":{{\"kind\":\"fig1\",\"cap\":100.0}},",
+            "\"heuristic\":{{\"kind\":\"dp\",\"threshold\":{}}},",
+            "\"sweep\":{{\"lo\":0.0,\"hi\":100.0,\"resolution\":4.0}},",
+            "\"budget\":{{\"probe_cap_nodes\":4000,\"slice_nodes\":16}}}}"
+        ),
+        label, threshold
+    )
+    .into_bytes()
+}
+
+const THRESHOLDS: [f64; 3] = [30.0, 50.0, 70.0];
+
+fn submit_all(addr: &str) -> Vec<u64> {
+    THRESHOLDS
+        .iter()
+        .map(|t| {
+            let resp = request(
+                addr,
+                "POST",
+                "/jobs",
+                Some(&job_body(&format!("drill-{t}"), *t)),
+                Duration::from_secs(60),
+            )
+            .unwrap();
+            assert_eq!(resp.status, 202, "{}", resp.text());
+            Json::parse(&resp.text())
+                .unwrap()
+                .get("id")
+                .and_then(Json::as_u64)
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Polls until every job is terminal; returns `label → outcome_wire`
+/// (the exact f64-bit-pattern encoding of the certified result).
+fn collect_results(addr: &str, ids: &[u64]) -> BTreeMap<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut results = BTreeMap::new();
+    for id in ids {
+        loop {
+            let resp = request(addr, "GET", &format!("/jobs/{id}"), None, Duration::from_secs(60))
+                .unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            let job = Json::parse(&resp.text()).unwrap();
+            match job.get("status").and_then(Json::as_str).unwrap() {
+                "done" => {
+                    let label = job.get("label").and_then(Json::as_str).unwrap().to_string();
+                    let wire = job
+                        .get("result")
+                        .and_then(|r| r.get("outcome_wire"))
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string();
+                    results.insert(label, wire);
+                    break;
+                }
+                "quarantined" | "cancelled" => {
+                    panic!("job {id} ended {}", resp.text())
+                }
+                _ => {}
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    results
+}
+
+#[test]
+fn kill_dash_nine_after_ack_preserves_bit_identical_results() {
+    // Baseline: an uninterrupted run.
+    let base_dir = tmp_dir("baseline");
+    let (mut base, base_addr) = spawn_server(&base_dir);
+    let base_ids = submit_all(&base_addr);
+    let baseline = collect_results(&base_addr, &base_ids);
+    base.kill().unwrap();
+    let _ = base.wait();
+    assert_eq!(baseline.len(), THRESHOLDS.len());
+
+    // Crash run: same jobs acknowledged, then SIGKILL mid-execution —
+    // after the acks, before completion.
+    let crash_dir = tmp_dir("crash");
+    let (mut victim, addr1) = spawn_server(&crash_dir);
+    let ids = submit_all(&addr1);
+    victim.kill().unwrap(); // SIGKILL: no drain, no flush beyond the WAL
+    let _ = victim.wait();
+
+    // Restart on the same directory: journal replay must resurrect every
+    // acknowledged job and run it to the same certified result.
+    let (mut revived, addr2) = spawn_server(&crash_dir);
+    let recovered = collect_results(&addr2, &ids);
+    assert_eq!(
+        recovered, baseline,
+        "recovered results must be bit-identical to the uninterrupted run"
+    );
+
+    // The journal also shows the interrupted boot had no clean shutdown.
+    let resp = request(&addr2, "GET", "/healthz", None, Duration::from_secs(60)).unwrap();
+    assert_eq!(resp.status, 200);
+
+    // A second kill *after* completion must preserve terminal states.
+    revived.kill().unwrap();
+    let _ = revived.wait();
+    let (mut third, addr3) = spawn_server(&crash_dir);
+    let again = collect_results(&addr3, &ids);
+    assert_eq!(again, baseline, "terminal results must survive further crashes");
+    third.kill().unwrap();
+    let _ = third.wait();
+}

@@ -1,21 +1,42 @@
 #!/usr/bin/env bash
-# Crash-recovery drill: SIGKILL a running campaign mid-flight, resume it
-# from the write-ahead journal in a fresh process, and assert the
-# completed (cell, threshold, gap) result set is byte-identical to an
-# uninterrupted run's. Exercises the same contract as
-# `cargo test -p metaopt-campaign --test crash_recovery`, but end-to-end
-# through the real binary and a real `kill -9`.
+# Crash-recovery drills against the real release binaries and a real
+# `kill -9`, in two phases:
 #
-# usage: scripts/crash_drill.sh [path/to/campaign_drill]
+#   1. Campaign drill: SIGKILL a running campaign mid-flight, resume it
+#      from the write-ahead journal in a fresh process, and assert the
+#      completed (cell, threshold, gap) result set is byte-identical to
+#      an uninterrupted run's.
+#
+#   2. Server drill: start the gap-finding job server, submit jobs over
+#      HTTP, SIGKILL the server after the acks, restart it on the same
+#      directory, and assert every acknowledged job reaches the same
+#      certified result (exact f64 bit patterns, compared via the
+#      `outcome_wire` encoding) as an uninterrupted server run.
+#
+# usage: scripts/crash_drill.sh [path/to/campaign_drill] [path/to/gapserver]
 set -euo pipefail
 
 BIN="${1:-target/release/campaign_drill}"
+GAPSERVER="${2:-target/release/gapserver}"
 if [[ ! -x "$BIN" ]]; then
     echo "drill binary not found: $BIN (build with \`cargo build --release -p metaopt-campaign\`)" >&2
     exit 1
 fi
+if [[ ! -x "$GAPSERVER" ]]; then
+    echo "server binary not found: $GAPSERVER (build with \`cargo build --release -p metaopt-server\`)" >&2
+    exit 1
+fi
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+SERVER_PID=""
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# ----------------------------------------------------------------------
+# Phase 1: campaign drill (kill -9 mid-campaign, resume, compare).
+# ----------------------------------------------------------------------
 
 # Uninterrupted baseline. Slice size 1 keeps ticks (and journal writes)
 # frequent, which widens the useful kill window.
@@ -23,6 +44,7 @@ SLICE=1
 "$BIN" run "$WORK/baseline" "$SLICE" | grep '^RESULT' | sort > "$WORK/want.txt"
 [[ -s "$WORK/want.txt" ]]
 
+phase1_ok=0
 delay_ms=80
 for attempt in $(seq 1 30); do
     dir="$WORK/kill-$attempt"
@@ -43,11 +65,89 @@ for attempt in $(seq 1 30); do
     if "$BIN" status "$dir" 2>/dev/null | grep -q '^PENDING'; then
         "$BIN" resume "$dir" | grep '^RESULT' | sort > "$WORK/got.txt"
         diff -u "$WORK/want.txt" "$WORK/got.txt"
-        echo "crash drill OK: post-SIGKILL resume matches uninterrupted run (attempt $attempt)"
-        exit 0
+        echo "campaign crash drill OK: post-SIGKILL resume matches uninterrupted run (attempt $attempt)"
+        phase1_ok=1
+        break
     fi
     delay_ms=$(( delay_ms + 20 ))
 done
+if [[ "$phase1_ok" != 1 ]]; then
+    echo "could not land a mid-run SIGKILL in 30 attempts" >&2
+    exit 1
+fi
 
-echo "could not land a mid-run SIGKILL in 30 attempts" >&2
-exit 1
+# ----------------------------------------------------------------------
+# Phase 2: server drill (kill -9 after ack, restart, compare bit-exact).
+# ----------------------------------------------------------------------
+
+job_spec() { # job_spec <label> <threshold>
+    cat <<EOF
+{"client":"drill","label":"$1",
+ "topology":{"kind":"fig1","cap":100.0},
+ "heuristic":{"kind":"dp","threshold":$2},
+ "sweep":{"lo":0.0,"hi":100.0,"resolution":4.0},
+ "budget":{"probe_cap_nodes":4000,"slice_nodes":16}}
+EOF
+}
+
+start_server() { # start_server <dir>; sets SERVER_PID and ADDR
+    rm -f "$1/ADDR"
+    "$GAPSERVER" serve --dir "$1" --addr 127.0.0.1:0 --workers 2 >/dev/null &
+    SERVER_PID=$!
+    for _ in $(seq 1 300); do
+        if [[ -s "$1/ADDR" ]]; then
+            ADDR="$(cat "$1/ADDR")"
+            return 0
+        fi
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died during boot" >&2; exit 1; }
+        sleep 0.05
+    done
+    echo "server never wrote $1/ADDR" >&2
+    exit 1
+}
+
+submit_jobs() { # submit_jobs; uses ADDR
+    for t in 30 50 70; do
+        job_spec "drill-$t" "$t" | "$GAPSERVER" submit --addr "$ADDR" >/dev/null \
+            || { echo "submit drill-$t refused" >&2; exit 1; }
+    done
+}
+
+collect_results() { # collect_results <outfile>; waits for jobs 1..3
+    : > "$1"
+    for id in 1 2 3; do
+        "$GAPSERVER" wait --addr "$ADDR" "$id" --timeout-secs 300 > "$WORK/job-$id.json" \
+            || { echo "job $id did not complete cleanly" >&2; cat "$WORK/job-$id.json" >&2; exit 1; }
+        # label + exact-bit outcome encoding, independent of float printing.
+        sed -n 's/.*"label":"\([^"]*\)".*"outcome_wire":"\([^"]*\)".*/\1 \2/p' \
+            "$WORK/job-$id.json" >> "$1"
+    done
+    sort -o "$1" "$1"
+    [[ "$(wc -l < "$1")" == 3 ]] || { echo "expected 3 results in $1" >&2; exit 1; }
+}
+
+# Uninterrupted server baseline.
+start_server "$WORK/server-baseline"
+submit_jobs
+collect_results "$WORK/server-want.txt"
+"$GAPSERVER" drain --addr "$ADDR" >/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# Crash run: SIGKILL lands after the acks, before completion.
+start_server "$WORK/server-crash"
+submit_jobs
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# Restart on the same directory: journal replay must resurrect every
+# acknowledged job and run it to the identical certified result.
+start_server "$WORK/server-crash"
+collect_results "$WORK/server-got.txt"
+diff -u "$WORK/server-want.txt" "$WORK/server-got.txt"
+"$GAPSERVER" drain --addr "$ADDR" >/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "server crash drill OK: post-SIGKILL restart reproduced all acknowledged jobs bit-identically"
