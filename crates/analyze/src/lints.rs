@@ -1,0 +1,846 @@
+//! The ANxxx source lints.
+//!
+//! | Code  | Family       | What it denies                                         |
+//! |-------|--------------|--------------------------------------------------------|
+//! | AN001 | determinism  | `Instant::now`/`SystemTime::now` outside the clock module |
+//! | AN002 | determinism  | `HashMap`/`HashSet` in certified-path crates            |
+//! | AN003 | determinism  | float-literal `==`/`!=` in certification layers         |
+//! | AN101 | concurrency  | condvar `notify_*` with no lock acquired in scope       |
+//! | AN102 | concurrency  | a `Mutex` field without a `// lock-order:` annotation   |
+//! | AN103 | concurrency  | a cycle (or unknown node) in the declared lock order    |
+//! | AN104 | concurrency  | a spawn site with no `catch_unwind` containment         |
+//! | AN201 | panic-free   | `unwrap`/`expect` in hot paths (lock-poison idiom exempt) |
+//! | AN202 | panic-free   | `panic!`-family macros in hot paths                     |
+//! | AN203 | panic-free   | slice indexing in supervisory request paths             |
+//! | AN401 | hygiene      | a stale `an:allow` suppressing nothing                  |
+//! | AN402 | hygiene      | an `an:allow` without a justification                   |
+//!
+//! Scopes are deliberate, not uniform — see `DESIGN.md` §14 for each
+//! family's rationale and the per-crate scoping table.
+
+use crate::scan::SourceFile;
+use crate::{Diagnostic, Report, Severity, Span};
+
+/// The module whose raw `Instant::now()` reads are sanctioned: every
+/// other supervisory read must go through the injected `Clock`.
+pub const APPROVED_CLOCK_MODULE: &str = "crates/campaign/src/clock.rs";
+
+/// A parsed `// an:allow(ANxxx): why` suppression.
+#[derive(Debug)]
+struct Allow {
+    code: String,
+    /// 1-based line of the comment itself.
+    line: usize,
+    /// 1-based line the suppression covers.
+    target: usize,
+    used: bool,
+}
+
+/// A declared `// lock-order:` annotation (AN102/AN103).
+#[derive(Debug)]
+pub struct LockDecl {
+    /// Declared lock name (`ws.frontier`).
+    pub name: String,
+    /// Locks this one may be held while acquiring.
+    pub succs: Vec<String>,
+    /// Where declared.
+    pub span: Span,
+}
+
+/// Runs every per-file lint plus the cross-file lock-order cycle check.
+pub fn run(sources: &[SourceFile]) -> Report {
+    let mut report = Report::new();
+    let mut locks: Vec<LockDecl> = Vec::new();
+    for f in sources {
+        run_file(f, &mut report, &mut locks);
+    }
+    lock_cycles(&locks, &mut report);
+    report
+}
+
+fn diag(code: &'static str, f: &SourceFile, line: usize, col: usize, msg: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: Severity::Error,
+        span: Span {
+            file: f.rel.to_string(),
+            line,
+            col,
+        },
+        message: msg,
+    }
+}
+
+fn run_file(f: &SourceFile, report: &mut Report, locks: &mut Vec<LockDecl>) {
+    let mut allows = collect_allows(f, report);
+    let mut fired: Vec<Diagnostic> = Vec::new();
+
+    an001_time(f, &mut fired);
+    an002_hash_collections(f, &mut fired);
+    an003_float_eq(f, &mut fired);
+    an101_notify_without_lock(f, &mut fired);
+    an102_mutex_annotations(f, &mut fired, locks);
+    an104_spawn_containment(f, &mut fired);
+    an201_unwrap(f, &mut fired);
+    an202_panic_macros(f, &mut fired);
+    an203_indexing(f, &mut fired);
+
+    for d in fired {
+        let suppressed = allows
+            .iter_mut()
+            .find(|a| a.code == d.code && a.target == d.span.line);
+        match suppressed {
+            Some(a) => a.used = true,
+            None => report.push(d),
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            report.push(diag(
+                "AN401",
+                f,
+                a.line,
+                1,
+                format!(
+                    "stale suppression: `an:allow({})` masks no diagnostic on line {}; remove it",
+                    a.code, a.target
+                ),
+            ));
+        }
+    }
+}
+
+/// Parses every `an:allow(ANxxx): why` comment; malformed ones become
+/// AN402 diagnostics immediately.
+fn collect_allows(f: &SourceFile, report: &mut Report) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, line) in f.lines.iter().enumerate() {
+        let Some(comment) = &line.comment else {
+            continue;
+        };
+        let Some(pos) = comment.find("an:allow(") else {
+            continue;
+        };
+        let rest = &comment[pos + "an:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            report.push(diag(
+                "AN402",
+                f,
+                idx + 1,
+                1,
+                "malformed `an:allow` (missing closing parenthesis)".into(),
+            ));
+            continue;
+        };
+        let code = rest[..close].trim().to_string();
+        let well_formed = code.len() == 5
+            && code.starts_with("AN")
+            && code[2..].bytes().all(|b| b.is_ascii_digit());
+        if !well_formed {
+            report.push(diag(
+                "AN402",
+                f,
+                idx + 1,
+                1,
+                format!("malformed `an:allow` code `{code}` (expected ANxxx)"),
+            ));
+            continue;
+        }
+        let reason = rest[close + 1..].trim_start_matches(':').trim();
+        if reason.is_empty() {
+            report.push(diag(
+                "AN402",
+                f,
+                idx + 1,
+                1,
+                format!(
+                    "`an:allow({code})` carries no justification; write `an:allow({code}): why`"
+                ),
+            ));
+            continue;
+        }
+        // The suppression covers this line if it has code, otherwise the
+        // next line that does (skipping continuation comments).
+        let target = if !line.code.trim().is_empty() {
+            idx + 1
+        } else {
+            let mut t = idx + 1;
+            while t < f.lines.len() && f.lines[t].code.trim().is_empty() {
+                t += 1;
+            }
+            t + 1
+        };
+        out.push(Allow {
+            code,
+            line: idx + 1,
+            target,
+            used: false,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// AN0xx — determinism
+// ---------------------------------------------------------------------
+
+fn an001_time(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    if f.crate_name == "bench" || f.rel == APPROVED_CLOCK_MODULE {
+        // bench *measures* wall time; the clock module *is* the clock.
+        return;
+    }
+    for (line, code) in f.code_lines() {
+        for needle in ["Instant::now()", "SystemTime::now()"] {
+            for col in find_all(code, needle) {
+                fired.push(diag(
+                    "AN001",
+                    f,
+                    line,
+                    col + 1,
+                    format!(
+                        "raw `{needle}` outside `{APPROVED_CLOCK_MODULE}`: route supervisory \
+                         time through the injected `Clock`, or justify a deliberate wall-clock \
+                         read",
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+const CERTIFIED_CRATES: [&str; 8] = [
+    "lp", "milp", "model", "core", "te", "topology", "campaign", "server",
+];
+
+/// Crates where AN003 applies. `lp` and `model` are deliberately out of
+/// scope: exact-representation predicates (`x != 0.0` sparsity checks,
+/// `coef == 0.0` term elision) are the idiom of simplex kernels and
+/// expression rewriting, and are well-defined on IEEE-754 — the lint
+/// targets *decision* comparisons in the certification layers above.
+const FLOAT_EQ_CRATES: [&str; 6] = ["milp", "core", "te", "topology", "campaign", "server"];
+
+fn an002_hash_collections(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    if !CERTIFIED_CRATES.contains(&f.crate_name.as_str()) {
+        return;
+    }
+    for (line, code) in f.code_lines() {
+        if code.trim_start().starts_with("use ") {
+            continue;
+        }
+        for needle in ["HashMap", "HashSet"] {
+            for col in find_word(code, needle) {
+                fired.push(diag(
+                    "AN002",
+                    f,
+                    line,
+                    col + 1,
+                    format!(
+                        "`{needle}` in a certified-path crate: iteration order is \
+                         nondeterministic (and differs across processes), which breaks \
+                         bit-stable replay; use `BTreeMap`/`BTreeSet`, or justify that this \
+                         collection is never iterated",
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn an003_float_eq(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    if !FLOAT_EQ_CRATES.contains(&f.crate_name.as_str()) {
+        return;
+    }
+    for (line, code) in f.code_lines() {
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i + 1 < chars.len() {
+            let op = match (chars[i], chars[i + 1]) {
+                ('=', '=') if i == 0 || !matches!(chars[i - 1], '=' | '!' | '<' | '>') => "==",
+                ('!', '=') => "!=",
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            if float_literal_adjacent(&chars, i) {
+                fired.push(diag(
+                    "AN003",
+                    f,
+                    line,
+                    i + 1,
+                    format!(
+                        "float-literal `{op}` comparison in a certification layer: exact \
+                         equality on computed floats is almost always a tolerance bug; compare \
+                         against an epsilon, or justify the exactness",
+                    ),
+                ));
+            }
+            i += 2;
+        }
+    }
+}
+
+/// Whether the token just before or just after the 2-char operator at
+/// `i` is a float literal (digits containing a `.`).
+fn float_literal_adjacent(chars: &[char], i: usize) -> bool {
+    let is_float = |tok: &str| {
+        let t = tok.trim_end_matches("f64").trim_end_matches("f32");
+        !t.is_empty()
+            && t.contains('.')
+            && t.chars().all(|c| c.is_ascii_digit() || c == '.' || c == '_')
+            && t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
+    };
+    // Right operand.
+    let mut j = i + 2;
+    while j < chars.len() && chars[j] == ' ' {
+        j += 1;
+    }
+    let mut right = String::new();
+    if chars.get(j) == Some(&'-') {
+        right.push('-');
+        j += 1;
+    }
+    while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '.' || chars[j] == '_') {
+        right.push(chars[j]);
+        j += 1;
+    }
+    if is_float(right.trim_start_matches('-')) {
+        return true;
+    }
+    // Left operand.
+    let mut k = i;
+    while k > 0 && chars[k - 1] == ' ' {
+        k -= 1;
+    }
+    let mut left = String::new();
+    while k > 0 && (chars[k - 1].is_alphanumeric() || chars[k - 1] == '.' || chars[k - 1] == '_') {
+        left.insert(0, chars[k - 1]);
+        k -= 1;
+    }
+    is_float(&left)
+}
+
+// ---------------------------------------------------------------------
+// AN1xx — concurrency
+// ---------------------------------------------------------------------
+
+fn an101_notify_without_lock(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    for (line, code) in f.code_lines() {
+        for needle in [".notify_one(", ".notify_all("] {
+            for col in find_all(code, needle) {
+                let Some(func) = f.enclosing_fn(line) else {
+                    continue;
+                };
+                let locked_before = (func.start..=line).any(|l| {
+                    f.lines
+                        .get(l - 1)
+                        .is_some_and(|ln| ln.code.contains(".lock("))
+                });
+                if !locked_before {
+                    fired.push(diag(
+                        "AN101",
+                        f,
+                        line,
+                        col + 1,
+                        format!(
+                            "condvar notify in `{}` with no lock acquired in scope: a notify \
+                             that can run entirely inside a waiter's check-to-wait window is \
+                             the PR 5 lost-wakeup shape; store the predicate under the guarded \
+                             lock first (see DESIGN.md §14)",
+                            func.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn an102_mutex_annotations(
+    f: &SourceFile,
+    fired: &mut Vec<Diagnostic>,
+    locks: &mut Vec<LockDecl>,
+) {
+    for (line, code) in f.code_lines() {
+        let Some(col) = mutex_field_col(code) else {
+            continue;
+        };
+        // Look for `lock-order:` on this line or in the contiguous
+        // comment block directly above.
+        let mut ann: Option<String> = None;
+        if let Some(c) = &f.lines[line - 1].comment {
+            if c.contains("lock-order:") {
+                ann = Some(c.clone());
+            }
+        }
+        let mut up = line - 1;
+        while ann.is_none() && up > 0 {
+            let l = &f.lines[up - 1];
+            if !l.code.trim().is_empty() || l.comment.is_none() {
+                break;
+            }
+            if l.comment.as_deref().is_some_and(|c| c.contains("lock-order:")) {
+                ann = l.comment.clone();
+            }
+            up -= 1;
+        }
+        match ann {
+            None => fired.push(diag(
+                "AN102",
+                f,
+                line,
+                col + 1,
+                "`Mutex` field without a `// lock-order: <name> [-> <held-while-acquiring>…]` \
+                 annotation; declare its place in the global lock order"
+                    .into(),
+            )),
+            Some(text) => {
+                let payload = text
+                    .split("lock-order:")
+                    .nth(1)
+                    .unwrap_or("")
+                    .split('(')
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .to_string();
+                let (name, succs) = match payload.split_once("->") {
+                    None => (payload.clone(), Vec::new()),
+                    Some((n, s)) => (
+                        n.trim().to_string(),
+                        s.split(',').map(|x| x.trim().to_string()).collect(),
+                    ),
+                };
+                if name.is_empty() {
+                    fired.push(diag(
+                        "AN102",
+                        f,
+                        line,
+                        col + 1,
+                        "empty `lock-order:` annotation".into(),
+                    ));
+                } else {
+                    locks.push(LockDecl {
+                        name,
+                        succs,
+                        span: Span {
+                            file: f.rel.clone(),
+                            line,
+                            col: col + 1,
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Column of a struct-field `Mutex<…>` declaration on this line, if any.
+fn mutex_field_col(code: &str) -> Option<usize> {
+    let col = find_all(code, ": Mutex<")
+        .into_iter()
+        .next()
+        .or_else(|| find_all(code, ": std::sync::Mutex<").into_iter().next())?;
+    // `let x: Mutex<...>` locals and fn params are not fields.
+    let trimmed = code.trim_start();
+    if trimmed.starts_with("let ") || trimmed.starts_with("fn ") || code.contains("-> ") {
+        return None;
+    }
+    Some(col)
+}
+
+/// Cross-file cycle + unknown-node check over the declared lock order.
+/// Deliberately unsuppressable: a real cycle is a deadlock waiting for
+/// the right interleaving, and must be fixed, not allowed.
+fn lock_cycles(locks: &[LockDecl], report: &mut Report) {
+    use std::collections::BTreeMap;
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut where_decl: BTreeMap<&str, &Span> = BTreeMap::new();
+    for l in locks {
+        adj.entry(l.name.as_str()).or_default();
+        where_decl.entry(l.name.as_str()).or_insert(&l.span);
+        for s in &l.succs {
+            adj.entry(l.name.as_str()).or_default().push(s.as_str());
+        }
+    }
+    for l in locks {
+        for s in &l.succs {
+            if !where_decl.contains_key(s.as_str()) {
+                report.push(Diagnostic {
+                    code: "AN103",
+                    severity: Severity::Error,
+                    span: l.span.clone(),
+                    message: format!(
+                        "lock-order successor `{s}` of `{}` is not declared anywhere; \
+                         annotate that Mutex or fix the name",
+                        l.name
+                    ),
+                });
+            }
+        }
+    }
+    // DFS 3-color cycle detection, deterministic order.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color: BTreeMap<&str, Color> = adj.keys().map(|k| (*k, Color::White)).collect();
+    let names: Vec<&str> = adj.keys().copied().collect();
+    for root in names {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        // (node, next-succ-index) explicit DFS so we can report the path.
+        let mut stack: Vec<(&str, usize)> = vec![(root, 0)];
+        *color.get_mut(root).expect("known node") = Color::Grey;
+        path.push(root);
+        while let Some((node, next)) = stack.pop() {
+            let succs = &adj[node];
+            if next < succs.len() {
+                stack.push((node, next + 1));
+                let s = succs[next];
+                match color.get(s).copied() {
+                    Some(Color::White) => {
+                        *color.get_mut(s).expect("known node") = Color::Grey;
+                        path.push(s);
+                        stack.push((s, 0));
+                    }
+                    Some(Color::Grey) => {
+                        let start = path.iter().position(|n| n == &s).unwrap_or(0);
+                        let mut cycle: Vec<&str> = path[start..].to_vec();
+                        cycle.push(s);
+                        let span = where_decl.get(s).map_or_else(
+                            || Span {
+                                file: "<unknown>".into(),
+                                line: 1,
+                                col: 1,
+                            },
+                            |sp| (*sp).clone(),
+                        );
+                        report.push(Diagnostic {
+                            code: "AN103",
+                            severity: Severity::Error,
+                            span,
+                            message: format!(
+                                "declared lock order contains a cycle: {} — two threads \
+                                 taking these locks in opposite orders deadlock",
+                                cycle.join(" -> ")
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            } else {
+                *color.get_mut(node).expect("known node") = Color::Black;
+                path.pop();
+            }
+        }
+    }
+}
+
+fn an104_spawn_containment(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    for (line, code) in f.code_lines() {
+        let mut cols: Vec<usize> = find_all(code, "thread::spawn(");
+        cols.extend(find_all(code, ".spawn("));
+        cols.sort_unstable();
+        cols.dedup();
+        // `thread::spawn(` also contains no `.spawn(`; dedup by the `(`.
+        let mut seen_paren = std::collections::BTreeSet::new();
+        for col in cols {
+            let open = code[col..].find('(').map_or(col, |p| col + p);
+            if !seen_paren.insert(open) {
+                continue;
+            }
+            let region = paren_region(f, line, open);
+            if region.contains("catch_unwind") {
+                continue;
+            }
+            if called_fns(&region)
+                .iter()
+                .any(|name| fn_body_contains(f, name, "catch_unwind"))
+            {
+                continue;
+            }
+            fired.push(diag(
+                "AN104",
+                f,
+                line,
+                col + 1,
+                "spawned worker without `catch_unwind` containment: a panic here unwinds \
+                 the whole thread and can leak slots or wedge supervisors; contain it (or \
+                 justify where the containment actually lives)"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// The text of the parenthesized region opening at (1-based `line`,
+/// 0-based byte `open` pointing at `(`), joined across lines.
+fn paren_region(f: &SourceFile, line: usize, open: usize) -> String {
+    let mut out = String::new();
+    let mut depth = 0i64;
+    let mut l = line - 1;
+    let mut start = open;
+    while l < f.lines.len() {
+        let code = &f.lines[l].code;
+        for (i, c) in code.char_indices().skip(start) {
+            let _ = i;
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                _ => {}
+            }
+            out.push(c);
+        }
+        out.push('\n');
+        l += 1;
+        start = 0;
+    }
+    out
+}
+
+/// Identifiers called as `name(` within `region`.
+fn called_fns(region: &str) -> Vec<String> {
+    let chars: Vec<char> = region.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphabetic() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if chars.get(i) == Some(&'(') {
+                out.push(chars[start..i].iter().collect());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Whether a same-file `fn name` body mentions `needle` (one-level
+/// interprocedural check for AN104).
+fn fn_body_contains(f: &SourceFile, name: &str, needle: &str) -> bool {
+    f.functions.iter().any(|func| {
+        func.name == name
+            && (func.start..=func.end).any(|l| {
+                f.lines
+                    .get(l - 1)
+                    .is_some_and(|ln| ln.code.contains(needle))
+            })
+    })
+}
+
+// ---------------------------------------------------------------------
+// AN2xx — panic freedom in hot paths
+// ---------------------------------------------------------------------
+
+/// Files whose request/stream/solve paths must be panic-free.
+fn an2xx_hot(f: &SourceFile) -> bool {
+    match f.crate_name.as_str() {
+        "server" => f.rel.starts_with("crates/server/src/"),
+        "campaign" => {
+            let file = f.rel.rsplit('/').next().unwrap_or("");
+            matches!(
+                file,
+                "runner.rs"
+                    | "jobs.rs"
+                    | "journal.rs"
+                    | "state.rs"
+                    | "wire.rs"
+                    | "cell.rs"
+                    | "clock.rs"
+            )
+        }
+        "milp" => {
+            let file = f.rel.rsplit('/').next().unwrap_or("");
+            matches!(file, "parallel.rs" | "sweep.rs")
+        }
+        _ => false,
+    }
+}
+
+/// Supervisory request paths where indexing must be either absent or
+/// individually justified. The byte-parser files (`http.rs`, `json.rs`,
+/// `client.rs`) are out of scope: indexed scanning over length-checked
+/// buffers is their idiom, as it is in the numeric kernels.
+fn an203_scoped(f: &SourceFile) -> bool {
+    matches!(
+        f.rel.as_str(),
+        "crates/server/src/server.rs"
+            | "crates/server/src/api.rs"
+            | "crates/server/src/spec.rs"
+            | "crates/server/src/quota.rs"
+            | "crates/campaign/src/runner.rs"
+    )
+}
+
+fn an201_unwrap(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    if !an2xx_hot(f) {
+        return;
+    }
+    for (line, code) in f.code_lines() {
+        for needle in [".unwrap()", ".expect("] {
+            for col in find_all(code, needle) {
+                if lock_poison_idiom(f, line, col) {
+                    continue;
+                }
+                fired.push(diag(
+                    "AN201",
+                    f,
+                    line,
+                    col + 1,
+                    format!(
+                        "`{}` in a hot path: a panic here rides up through a worker or \
+                         request handler; return a typed error, or justify why this cannot \
+                         fire",
+                        needle.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The sanctioned `…lock().unwrap()` / `…wait_timeout(…).expect(…)`
+/// shape: propagating lock poisoning is this workspace's uniform policy
+/// (a poisoned lock means a worker already panicked through containment,
+/// and limping on would publish torn state).
+fn lock_poison_idiom(f: &SourceFile, line: usize, col: usize) -> bool {
+    // Join up to 3 previous lines of a method chain, collapse whitespace.
+    // A blank prefix means `.unwrap()`/`.expect(` opens its own
+    // continuation line, so the receiver chain is entirely above.
+    let mut text = f.lines[line - 1].code[..col].to_string();
+    let mut l = line - 1;
+    while l > 0 && (text.trim_start().starts_with('.') || text.trim().is_empty()) && line - l < 4 {
+        text = format!("{}{}", f.lines[l - 1].code.trim_end(), text.trim_start());
+        l -= 1;
+    }
+    let collapsed: String = text.split_whitespace().collect::<Vec<_>>().join("");
+    if collapsed.ends_with(".lock()") {
+        return true;
+    }
+    // `.wait(..)` / `.wait_timeout(..)` / `.wait_while(..)`: match the
+    // callee of the final balanced call.
+    if collapsed.ends_with(')') {
+        let chars: Vec<char> = collapsed.chars().collect();
+        let mut depth = 0i64;
+        for i in (0..chars.len()).rev() {
+            match chars[i] {
+                ')' => depth += 1,
+                '(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let mut s = i;
+                        while s > 0 && (chars[s - 1].is_alphanumeric() || chars[s - 1] == '_') {
+                            s -= 1;
+                        }
+                        let callee: String = chars[s..i].iter().collect();
+                        return matches!(callee.as_str(), "wait" | "wait_timeout" | "wait_while");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn an202_panic_macros(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    if !an2xx_hot(f) {
+        return;
+    }
+    for (line, code) in f.code_lines() {
+        for needle in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+            for col in find_word(code, needle.trim_end_matches('(')) {
+                if !code[col..].starts_with(needle) {
+                    continue;
+                }
+                fired.push(diag(
+                    "AN202",
+                    f,
+                    line,
+                    col + 1,
+                    format!(
+                        "`{}` in a hot path: an explicit panic in worker/request code \
+                         defeats the containment story; make the state unrepresentable, \
+                         return an error, or justify the unreachability",
+                        needle.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn an203_indexing(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    if !an203_scoped(f) {
+        return;
+    }
+    for (line, code) in f.code_lines() {
+        if code.trim_start().starts_with("#[") {
+            continue;
+        }
+        let chars: Vec<char> = code.chars().collect();
+        for (i, &c) in chars.iter().enumerate() {
+            if c != '[' || i == 0 {
+                continue;
+            }
+            let p = chars[i - 1];
+            if p.is_alphanumeric() || p == '_' || p == ')' || p == ']' {
+                fired.push(diag(
+                    "AN203",
+                    f,
+                    line,
+                    i + 1,
+                    "slice/array indexing in a supervisory request path: prefer `.get(…)` \
+                     with explicit handling, or justify the in-bounds invariant"
+                        .into(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Small text utilities
+// ---------------------------------------------------------------------
+
+/// Byte offsets of every occurrence of `needle` in `hay`.
+pub fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        out.push(from + p);
+        from += p + 1;
+    }
+    out
+}
+
+/// Like [`find_all`] but requiring word boundaries around the match.
+pub fn find_word(hay: &str, needle: &str) -> Vec<usize> {
+    find_all(hay, needle)
+        .into_iter()
+        .filter(|&p| {
+            let before_ok = p == 0
+                || !hay[..p]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let after = hay[p + needle.len()..].chars().next();
+            let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+            before_ok && after_ok
+        })
+        .collect()
+}

@@ -1,0 +1,919 @@
+//! The bounded exhaustive interleaving explorer — the analyzer's second
+//! half, aimed at the one part of the workspace a source lint cannot
+//! certify: the work-stealing engine's frontier/inflight-slot/stop
+//! protocol in `metaopt-milp`.
+//!
+//! [`explore`] runs a breadth-first search over *every* interleaving of a
+//! [`Model`]'s atomic actions (with full-state deduplication), checking a
+//! safety invariant at each state and flagging quiescent non-accepting
+//! states as deadlocks. Counterexamples come back as human-readable
+//! traces, shortest first (BFS).
+//!
+//! [`WsModel`] is the extracted model of the work-stealing protocol:
+//! workers steal nodes from a lock-protected best-bound heap, publish
+//! per-worker in-flight bounds for the gap-based optimality proof, park
+//! on a condvar when the heap runs dry, and stop on proof, exhaustion, or
+//! an external (watchdog) request. The model is parameterized by the two
+//! PR 5 fixes so the since-fixed races stay reproducible as regression
+//! counterexamples:
+//!
+//! * [`WsParams::stop_under_lock`] — off reproduces race A (lost
+//!   wakeup): storing the stop flag without the frontier lock can land,
+//!   together with its notification, entirely inside a waiter's
+//!   check-to-wait window; the waiter parks forever. Verdict:
+//!   [`Verdict::Deadlock`].
+//! * [`WsParams::publish_in_steal`] — off reproduces race B (bound
+//!   visibility): publishing a stolen node's bound into the in-flight
+//!   slot *after* releasing the frontier lock leaves a window where the
+//!   node is in neither the heap nor a slot, so a concurrent gap check
+//!   overestimates the dual bound and proves a wrong optimum. Verdict:
+//!   [`Verdict::Violation`].
+//!
+//! With both fixes on, the current protocol passes exhaustively at 2 and
+//! 3 workers — including the idle-count exhaustion stop and the subtle
+//! benign race between a parking worker's heap-push/slot-clear pair and
+//! a concurrent gap check's heap-read/slot-read pair.
+//!
+//! Condvars are modeled *without* spurious wakeups: a parked worker only
+//! moves when notified, so the protocol's liveness is proven to not
+//! depend on them.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Sentinel for "+infinity" bounds in the model (`f64::INFINITY` in the
+/// real engine).
+pub const INF: u8 = u8::MAX;
+
+/// A transition system the explorer can exhaust.
+pub trait Model {
+    /// Full system state. `Ord` keeps action generation deterministic.
+    type State: Clone + Eq + Hash + Ord + Debug;
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+    /// Every enabled atomic action: `(label, successor)`.
+    fn actions(&self, s: &Self::State) -> Vec<(String, Self::State)>;
+    /// Safety invariant, checked at every reachable state.
+    fn invariant(&self, s: &Self::State) -> Result<(), String>;
+    /// Whether a quiescent state (no enabled actions) is a legal end
+    /// state; quiescent non-accepting states are deadlocks.
+    fn accepting(&self, s: &Self::State) -> bool;
+}
+
+/// Outcome of one exhaustive exploration.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Every reachable state satisfied the invariant and every quiescent
+    /// state was accepting.
+    Pass {
+        /// Distinct states visited.
+        states: usize,
+    },
+    /// A reachable state violated the invariant.
+    Violation {
+        /// Shortest action trace from the initial state.
+        trace: Vec<String>,
+        /// What the invariant reported.
+        why: String,
+    },
+    /// A reachable quiescent state was not accepting.
+    Deadlock {
+        /// Shortest action trace from the initial state.
+        trace: Vec<String>,
+    },
+    /// The state cap was hit before exhaustion (model too big).
+    Overflow {
+        /// States visited before giving up.
+        states: usize,
+    },
+}
+
+impl Verdict {
+    /// Whether the exploration passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, Verdict::Pass { .. })
+    }
+}
+
+/// Exhaustively explores `model` breadth-first up to `cap` distinct
+/// states. BFS means reported counterexample traces are shortest.
+pub fn explore<M: Model>(model: &M, cap: usize) -> Verdict {
+    let init = model.initial();
+    // state -> (parent, action label); None for the root.
+    let mut parent: HashMap<M::State, Option<(M::State, String)>> = HashMap::new();
+    parent.insert(init.clone(), None);
+    let mut queue = VecDeque::new();
+    queue.push_back(init);
+    let trace_to = |parent: &HashMap<M::State, Option<(M::State, String)>>,
+                    mut s: M::State|
+     -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(Some((p, label))) = parent.get(&s) {
+            out.push(label.clone());
+            s = p.clone();
+        }
+        out.reverse();
+        out
+    };
+    while let Some(s) = queue.pop_front() {
+        if let Err(why) = model.invariant(&s) {
+            return Verdict::Violation {
+                trace: trace_to(&parent, s),
+                why,
+            };
+        }
+        let actions = model.actions(&s);
+        if actions.is_empty() && !model.accepting(&s) {
+            return Verdict::Deadlock {
+                trace: trace_to(&parent, s),
+            };
+        }
+        for (label, next) in actions {
+            if !parent.contains_key(&next) {
+                if parent.len() >= cap {
+                    return Verdict::Overflow {
+                        states: parent.len(),
+                    };
+                }
+                parent.insert(next.clone(), Some((s.clone(), label)));
+                queue.push_back(next);
+            }
+        }
+    }
+    Verdict::Pass {
+        states: parent.len(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The work-stealing protocol model
+// ---------------------------------------------------------------------
+
+/// An open node: its relaxation bound, plus the leaf values reachable
+/// beneath it. A leaf (`kids` empty) yields the value `bound` when
+/// processed; a branch shares `kids[0]` to the frontier and dives into
+/// `kids[1]` locally, exactly like the engine's dive/share split.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node {
+    /// Relaxation bound (a lower bound on every descendant leaf).
+    pub bound: u8,
+    /// Leaf values beneath a branch node (empty = this is a leaf).
+    pub kids: Vec<u8>,
+}
+
+impl Node {
+    /// A leaf whose value equals its bound.
+    pub fn leaf(v: u8) -> Node {
+        Node {
+            bound: v,
+            kids: Vec::new(),
+        }
+    }
+
+    /// A branch with bound `b` over two leaves (`b <= min(kids)`, the
+    /// bound-dominance every sound B&B maintains).
+    pub fn branch(b: u8, kids: [u8; 2]) -> Node {
+        assert!(b <= kids[0] && b <= kids[1], "child bounds dominate");
+        Node {
+            bound: b,
+            kids: kids.to_vec(),
+        }
+    }
+
+    /// The best (smallest) leaf value reachable under this node.
+    fn achievable(&self) -> u8 {
+        self.kids.iter().copied().min().unwrap_or(self.bound)
+    }
+}
+
+/// Per-worker program counter. Lock discipline is encoded in the states:
+/// `StealLocked`, `WaitPrep`, and `StopLocked` hold the frontier lock.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Wpc {
+    /// Loop top: check stop, pop local, or enter steal.
+    Ready,
+    /// Inside `steal` holding the frontier lock, slot cleared.
+    StealLocked,
+    /// Heap dry, `idle` bumped, about to wait — still holds the lock.
+    /// The next step (releasing + parking) is the lost-wakeup window.
+    WaitPrep,
+    /// Parked on the condvar; only a notification moves this worker.
+    Parked,
+    /// Notified; must reacquire the frontier lock to resume stealing.
+    Woken,
+    /// Stole a node but has NOT yet published its bound into the
+    /// in-flight slot (only reachable with `publish_in_steal` off).
+    HasNodeHidden(Node),
+    /// Owns a node, slot published.
+    HasNode(Node),
+    /// `check_gap_stop`: about to read the heap top under the lock.
+    GapRead,
+    /// Heap snapshot in hand (lock released); about to read the slots
+    /// and decide. The snapshot/slot-read split is what lets the checker
+    /// probe the park-vs-gap-check interleavings.
+    GapDecide(u8),
+    /// `request_stop` waiting to store the flag under the frontier lock
+    /// (the fixed protocol).
+    StopLocked,
+    /// Stop flag stored; `notify_all` still pending.
+    StopStored,
+    /// Saw stop with local nodes parked back; one step left (slot clear).
+    Exiting,
+    /// Worker returned.
+    Done,
+}
+
+/// Watchdog (external stop requester) program counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Wd {
+    Armed,
+    Stored,
+    Done,
+}
+
+/// Full system state of the protocol model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WsState {
+    /// Shared best-bound heap, kept sorted (front = best bound).
+    heap: Vec<Node>,
+    /// Whether the frontier mutex is held (holder encoded in the pcs).
+    locked: bool,
+    stop: bool,
+    /// Stop was an interruption (deadline/watchdog), not a proof.
+    early: bool,
+    /// Workers parked-or-preparing-to-park (`WsFrontier::idle`).
+    idle: u8,
+    /// Published incumbent objective (min-space; `INF` = none).
+    inc: u8,
+    /// The gap rule's proven dual bound, once claimed.
+    proven: Option<u8>,
+    /// Per-worker in-flight subtree bound (`INF` = none).
+    slots: Vec<u8>,
+    /// Per-worker local dive stacks.
+    locals: Vec<Vec<Node>>,
+    workers: Vec<Wpc>,
+    watchdog: Option<Wd>,
+}
+
+/// Which PR 5 fixes are applied. `fixed()` is the shipped protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct WsParams {
+    /// Store the stop flag while holding the frontier lock (fix for
+    /// race A, the lost wakeup).
+    pub stop_under_lock: bool,
+    /// Publish a stolen node's bound into the in-flight slot before
+    /// releasing the frontier lock (fix for race B, bound visibility).
+    pub publish_in_steal: bool,
+}
+
+impl WsParams {
+    /// The shipped protocol: both fixes on.
+    pub fn fixed() -> WsParams {
+        WsParams {
+            stop_under_lock: true,
+            publish_in_steal: true,
+        }
+    }
+}
+
+/// A concrete instance: worker count, initial frontier, optional
+/// external stop requester.
+#[derive(Debug, Clone)]
+pub struct WsScenario {
+    /// Worker threads.
+    pub workers: usize,
+    /// Initial shared frontier.
+    pub heap: Vec<Node>,
+    /// Whether an external watchdog may request a stop at any point.
+    pub watchdog: bool,
+}
+
+/// The work-stealing protocol as an explorable [`Model`].
+#[derive(Debug)]
+pub struct WsModel {
+    /// Fix configuration.
+    pub params: WsParams,
+    /// Instance under exploration.
+    pub scenario: WsScenario,
+}
+
+impl WsModel {
+    /// Best leaf value still reachable from unprocessed work (heap,
+    /// local stacks, and nodes held by workers), `INF` if none.
+    fn remaining_achievable(s: &WsState) -> u8 {
+        let mut best = INF;
+        for n in &s.heap {
+            best = best.min(n.achievable());
+        }
+        for local in &s.locals {
+            for n in local {
+                best = best.min(n.achievable());
+            }
+        }
+        for w in &s.workers {
+            if let Wpc::HasNode(n) | Wpc::HasNodeHidden(n) = w {
+                best = best.min(n.achievable());
+            }
+        }
+        best
+    }
+
+    fn push_heap(heap: &mut Vec<Node>, n: Node) {
+        let at = heap.partition_point(|h| h.bound <= n.bound);
+        heap.insert(at, n);
+    }
+
+    /// Pops the best node whose bound survives the incumbent prune,
+    /// discarding pruned ones — the steal loop's body, which runs
+    /// entirely under the frontier lock.
+    fn pop_surviving(heap: &mut Vec<Node>, inc: u8) -> Option<Node> {
+        while !heap.is_empty() {
+            let n = heap.remove(0);
+            if inc == INF || n.bound < inc {
+                return Some(n);
+            }
+        }
+        None
+    }
+
+    fn wake_all(s: &mut WsState) {
+        for w in s.workers.iter_mut() {
+            if *w == Wpc::Parked {
+                *w = Wpc::Woken;
+            }
+        }
+    }
+
+    /// The store half of `request_stop`: where the next pc goes after
+    /// the flag is durable (notify still pending).
+    fn after_store(s: &mut WsState, early: bool) {
+        s.stop = true;
+        if early {
+            s.early = true;
+        }
+    }
+}
+
+impl Model for WsModel {
+    type State = WsState;
+
+    fn initial(&self) -> WsState {
+        let n = self.scenario.workers;
+        let mut heap = Vec::new();
+        for node in &self.scenario.heap {
+            Self::push_heap(&mut heap, node.clone());
+        }
+        WsState {
+            heap,
+            locked: false,
+            stop: false,
+            early: false,
+            idle: 0,
+            inc: INF,
+            proven: None,
+            slots: vec![INF; n],
+            locals: vec![Vec::new(); n],
+            workers: vec![Wpc::Ready; n],
+            watchdog: self.scenario.watchdog.then_some(Wd::Armed),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn actions(&self, s: &WsState) -> Vec<(String, WsState)> {
+        let mut out = Vec::new();
+        let n = self.scenario.workers;
+        for i in 0..n {
+            let w = format!("w{}", i + 1);
+            match &s.workers[i] {
+                Wpc::Ready => {
+                    if s.stop {
+                        if s.locals[i].is_empty() {
+                            let mut t = s.clone();
+                            t.slots[i] = INF;
+                            t.workers[i] = Wpc::Done;
+                            out.push((format!("{w}: sees stop, clears slot, exits"), t));
+                        } else if !s.locked {
+                            // `park`: push local nodes back under the lock,
+                            // notify, then clear the slot in a later step.
+                            let mut t = s.clone();
+                            let local = std::mem::take(&mut t.locals[i]);
+                            for node in local {
+                                Self::push_heap(&mut t.heap, node);
+                            }
+                            Self::wake_all(&mut t);
+                            t.workers[i] = Wpc::Exiting;
+                            out.push((
+                                format!("{w}: sees stop, parks local nodes (lock+push+notify)"),
+                                t,
+                            ));
+                        }
+                    } else if let Some(node) = s.locals[i].last() {
+                        let mut t = s.clone();
+                        let node = node.clone();
+                        t.locals[i].pop();
+                        if t.inc != INF && node.bound >= t.inc {
+                            out.push((
+                                format!("{w}: prunes local node (bound {} >= inc)", node.bound),
+                                t,
+                            ));
+                        } else {
+                            t.slots[i] = node.bound;
+                            t.workers[i] = Wpc::HasNode(node.clone());
+                            out.push((
+                                format!("{w}: pops local node (bound {}), raises slot", node.bound),
+                                t,
+                            ));
+                        }
+                    } else if !s.locked {
+                        let mut t = s.clone();
+                        t.locked = true;
+                        t.slots[i] = INF;
+                        t.workers[i] = Wpc::StealLocked;
+                        out.push((format!("{w}: enters steal (locks frontier, clears slot)"), t));
+                    }
+                }
+                Wpc::StealLocked => {
+                    // One atomic critical section: stop check, prune-pop
+                    // loop, idle bookkeeping — all under the lock, as in
+                    // the real `steal`.
+                    let mut t = s.clone();
+                    if t.stop {
+                        t.locked = false;
+                        t.workers[i] = Wpc::Done;
+                        out.push((format!("{w}: steal sees stop, unlocks, exits"), t));
+                    } else if let Some(node) = Self::pop_surviving(&mut t.heap, t.inc) {
+                        if self.params.publish_in_steal {
+                            t.slots[i] = node.bound;
+                            t.locked = false;
+                            t.workers[i] = Wpc::HasNode(node.clone());
+                            out.push((
+                                format!(
+                                    "{w}: steals node (bound {}), publishes slot UNDER the lock",
+                                    node.bound
+                                ),
+                                t,
+                            ));
+                        } else {
+                            t.locked = false;
+                            t.workers[i] = Wpc::HasNodeHidden(node.clone());
+                            out.push((
+                                format!(
+                                    "{w}: steals node (bound {}), unlocks BEFORE publishing slot",
+                                    node.bound
+                                ),
+                                t,
+                            ));
+                        }
+                    } else {
+                        t.idle += 1;
+                        if usize::from(t.idle) == n {
+                            // Global exhaustion: this worker requests the
+                            // (non-early) stop on everyone's behalf.
+                            t.locked = false;
+                            if self.params.stop_under_lock {
+                                t.workers[i] = Wpc::StopLocked;
+                                out.push((
+                                    format!("{w}: all idle — exhaustion stop (will relock)"),
+                                    t,
+                                ));
+                            } else {
+                                Self::after_store(&mut t, false);
+                                t.workers[i] = Wpc::StopStored;
+                                out.push((
+                                    format!(
+                                        "{w}: all idle — stores stop WITHOUT the frontier lock"
+                                    ),
+                                    t,
+                                ));
+                            }
+                        } else {
+                            t.workers[i] = Wpc::WaitPrep;
+                            out.push((
+                                format!("{w}: heap dry, idle++ — prepares to wait (holds lock)"),
+                                t,
+                            ));
+                        }
+                    }
+                }
+                Wpc::WaitPrep => {
+                    let mut t = s.clone();
+                    t.locked = false;
+                    t.workers[i] = Wpc::Parked;
+                    out.push((format!("{w}: releases lock and parks on the condvar"), t));
+                }
+                Wpc::Parked => {} // only a notification moves this worker
+                Wpc::Woken => {
+                    if !s.locked {
+                        let mut t = s.clone();
+                        t.locked = true;
+                        t.idle -= 1;
+                        t.workers[i] = Wpc::StealLocked;
+                        out.push((format!("{w}: wakes, relocks frontier, idle--"), t));
+                    }
+                }
+                Wpc::HasNodeHidden(node) => {
+                    let mut t = s.clone();
+                    t.slots[i] = node.bound;
+                    t.workers[i] = Wpc::HasNode(node.clone());
+                    out.push((
+                        format!("{w}: publishes in-flight slot (bound {}) — late", node.bound),
+                        t,
+                    ));
+                }
+                Wpc::HasNode(node) => {
+                    if node.kids.is_empty() {
+                        // Leaf: first-improver incumbent publication.
+                        let mut t = s.clone();
+                        if node.bound < t.inc {
+                            t.inc = node.bound;
+                        }
+                        t.workers[i] = Wpc::GapRead;
+                        out.push((
+                            format!("{w}: processes leaf (value {}) — publishes incumbent", node.bound),
+                            t,
+                        ));
+                    } else if !s.locked {
+                        // Branch: share_node(alt) under the lock +
+                        // notify_one, dive child onto the local stack.
+                        let shared = Node::leaf(node.kids[0]);
+                        let dive = Node::leaf(node.kids[1]);
+                        let parked: Vec<usize> = (0..n)
+                            .filter(|&j| s.workers[j] == Wpc::Parked)
+                            .collect();
+                        let mut base = s.clone();
+                        Self::push_heap(&mut base.heap, shared);
+                        base.locals[i].push(dive);
+                        base.workers[i] = Wpc::GapRead;
+                        if parked.is_empty() {
+                            out.push((
+                                format!("{w}: branches — shares alt child, dives (no waiter)"),
+                                base,
+                            ));
+                        } else {
+                            for j in parked {
+                                let mut t = base.clone();
+                                t.workers[j] = Wpc::Woken;
+                                out.push((
+                                    format!(
+                                        "{w}: branches — shares alt child, notify_one wakes w{}",
+                                        j + 1
+                                    ),
+                                    t,
+                                ));
+                            }
+                        }
+                    }
+                }
+                Wpc::GapRead => {
+                    if !s.locked {
+                        // Heap top read under the lock; released before
+                        // the slot reads (the real code's structure).
+                        let mut t = s.clone();
+                        let hmin = t.heap.first().map_or(INF, |h| h.bound);
+                        t.workers[i] = Wpc::GapDecide(hmin);
+                        out.push((format!("{w}: gap check reads heap top ({hmin})"), t));
+                    }
+                }
+                Wpc::GapDecide(hmin) => {
+                    let mut t = s.clone();
+                    let mut bound = (*hmin).min(t.inc);
+                    for &slot in &t.slots {
+                        bound = bound.min(slot);
+                    }
+                    if t.inc != INF && bound >= t.inc {
+                        if t.proven.is_none() {
+                            t.proven = Some(bound);
+                        }
+                        if self.params.stop_under_lock {
+                            t.workers[i] = Wpc::StopLocked;
+                            out.push((
+                                format!("{w}: gap closed (proven {bound}) — stop via lock"),
+                                t,
+                            ));
+                        } else {
+                            Self::after_store(&mut t, false);
+                            t.workers[i] = Wpc::StopStored;
+                            out.push((
+                                format!(
+                                    "{w}: gap closed (proven {bound}) — stores stop WITHOUT \
+                                     the frontier lock"
+                                ),
+                                t,
+                            ));
+                        }
+                    } else {
+                        t.workers[i] = Wpc::Ready;
+                        out.push((format!("{w}: gap open (dual bound {bound}), continues"), t));
+                    }
+                }
+                Wpc::StopLocked => {
+                    if !s.locked {
+                        // The fixed `request_stop`: store under the lock,
+                        // release, then notify (a later step — safe, the
+                        // flag is already visible to every locked check).
+                        let mut t = s.clone();
+                        Self::after_store(&mut t, false);
+                        t.workers[i] = Wpc::StopStored;
+                        out.push((
+                            format!("{w}: locks frontier, stores stop, unlocks"),
+                            t,
+                        ));
+                    }
+                }
+                Wpc::StopStored => {
+                    let mut t = s.clone();
+                    Self::wake_all(&mut t);
+                    t.workers[i] = Wpc::Ready;
+                    out.push((format!("{w}: notify_all"), t));
+                }
+                Wpc::Exiting => {
+                    let mut t = s.clone();
+                    t.slots[i] = INF;
+                    t.workers[i] = Wpc::Done;
+                    out.push((format!("{w}: clears slot, exits"), t));
+                }
+                Wpc::Done => {}
+            }
+        }
+        match &s.watchdog {
+            Some(Wd::Armed) => {
+                if self.params.stop_under_lock {
+                    if !s.locked {
+                        let mut t = s.clone();
+                        Self::after_store(&mut t, true);
+                        t.watchdog = Some(Wd::Stored);
+                        out.push((
+                            "watchdog: locks frontier, stores stop, unlocks".into(),
+                            t,
+                        ));
+                    }
+                } else {
+                    let mut t = s.clone();
+                    Self::after_store(&mut t, true);
+                    t.watchdog = Some(Wd::Stored);
+                    out.push(("watchdog: stores stop WITHOUT the frontier lock".into(), t));
+                }
+            }
+            Some(Wd::Stored) => {
+                let mut t = s.clone();
+                Self::wake_all(&mut t);
+                t.watchdog = Some(Wd::Done);
+                out.push(("watchdog: notify_all".into(), t));
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn invariant(&self, s: &WsState) -> Result<(), String> {
+        // Bound-visibility soundness: once the gap rule claims a proof,
+        // no unprocessed node may still be able to beat the incumbent.
+        if s.proven.is_some() {
+            let best = Self::remaining_achievable(s);
+            if best < s.inc {
+                return Err(format!(
+                    "optimality proven with incumbent {} while an unprocessed node can still \
+                     reach {best} — a node was invisible to the gap check (in neither the \
+                     heap nor an in-flight slot)",
+                    s.inc
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn accepting(&self, s: &WsState) -> bool {
+        let all_done = s.workers.iter().all(|w| *w == Wpc::Done);
+        let wd_done = !matches!(s.watchdog, Some(Wd::Armed) | Some(Wd::Stored));
+        if !(all_done && wd_done) {
+            return false;
+        }
+        // Exhaustion-terminated searches (stop without `early` and
+        // without a gap proof) additionally claim the incumbent optimal.
+        if !s.early && s.proven.is_none() {
+            Self::remaining_achievable(s) >= s.inc
+        } else {
+            true
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The gate: what `xtask analyze` runs
+// ---------------------------------------------------------------------
+
+/// Default distinct-state cap for [`gate`] explorations.
+pub const GATE_CAP: usize = 500_000;
+
+/// The scenario reproducing race A's shape: one node of work plus an
+/// idle worker that must park and be woken.
+pub fn stop_race_scenario() -> WsScenario {
+    WsScenario {
+        workers: 2,
+        heap: vec![Node::leaf(3)],
+        watchdog: false,
+    }
+}
+
+/// The scenario reproducing race B's shape: two leaves whose optimum is
+/// only visible while one of them sits in an in-flight slot.
+pub fn bound_race_scenario() -> WsScenario {
+    WsScenario {
+        workers: 2,
+        heap: vec![Node::leaf(3), Node::leaf(5)],
+        watchdog: false,
+    }
+}
+
+/// The exhaustive suite the current protocol must pass.
+pub fn current_scenarios() -> Vec<(String, WsScenario)> {
+    vec![
+        ("two workers, two leaves".into(), bound_race_scenario()),
+        ("two workers, one leaf (park/wake)".into(), stop_race_scenario()),
+        (
+            "two workers, branch + leaf, watchdog".into(),
+            WsScenario {
+                workers: 2,
+                heap: vec![Node::branch(2, [4, 6]), Node::leaf(3)],
+                watchdog: true,
+            },
+        ),
+        (
+            "three workers, branch + two leaves".into(),
+            WsScenario {
+                workers: 3,
+                heap: vec![Node::branch(2, [4, 6]), Node::leaf(3), Node::leaf(5)],
+                watchdog: false,
+            },
+        ),
+        (
+            "three workers, one leaf, watchdog".into(),
+            WsScenario {
+                workers: 3,
+                heap: vec![Node::leaf(3)],
+                watchdog: true,
+            },
+        ),
+    ]
+}
+
+/// Per-scenario result of a gate run.
+#[derive(Debug)]
+pub struct GateLine {
+    /// Scenario label.
+    pub name: String,
+    /// Distinct states exhausted.
+    pub states: usize,
+}
+
+/// Runs the full protocol gate: the current (both-fixes) protocol must
+/// pass every scenario exhaustively, AND the two regression models must
+/// still produce their counterexamples — if they stop failing, the
+/// checker has lost the very races it exists to guard against.
+pub fn gate() -> Result<Vec<GateLine>, String> {
+    let mut lines = Vec::new();
+    for (name, scenario) in current_scenarios() {
+        let model = WsModel {
+            params: WsParams::fixed(),
+            scenario,
+        };
+        match explore(&model, GATE_CAP) {
+            Verdict::Pass { states } => lines.push(GateLine { name, states }),
+            Verdict::Violation { trace, why } => {
+                return Err(format!(
+                    "protocol violation in scenario `{name}`: {why}\n  trace:\n    {}",
+                    trace.join("\n    ")
+                ));
+            }
+            Verdict::Deadlock { trace } => {
+                return Err(format!(
+                    "protocol deadlock in scenario `{name}`:\n  trace:\n    {}",
+                    trace.join("\n    ")
+                ));
+            }
+            Verdict::Overflow { states } => {
+                return Err(format!(
+                    "scenario `{name}` overflowed the {GATE_CAP}-state cap at {states} states"
+                ));
+            }
+        }
+    }
+    let race_a = WsModel {
+        params: WsParams {
+            stop_under_lock: false,
+            publish_in_steal: true,
+        },
+        scenario: stop_race_scenario(),
+    };
+    if !matches!(explore(&race_a, GATE_CAP), Verdict::Deadlock { .. }) {
+        return Err(
+            "regression model A (stop stored without the lock) no longer deadlocks — the \
+             checker lost the lost-wakeup race"
+                .into(),
+        );
+    }
+    let race_b = WsModel {
+        params: WsParams {
+            stop_under_lock: true,
+            publish_in_steal: false,
+        },
+        scenario: bound_race_scenario(),
+    };
+    if !matches!(explore(&race_b, GATE_CAP), Verdict::Violation { .. }) {
+        return Err(
+            "regression model B (slot published outside the lock) no longer violates the \
+             bound-visibility invariant — the checker lost the wrong-proof race"
+                .into(),
+        );
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_protocol_passes_exhaustively() {
+        for (name, scenario) in current_scenarios() {
+            let model = WsModel {
+                params: WsParams::fixed(),
+                scenario,
+            };
+            let v = explore(&model, GATE_CAP);
+            match v {
+                Verdict::Pass { states } => {
+                    assert!(states > 50, "{name}: suspiciously few states ({states})");
+                }
+                other => panic!("{name}: expected exhaustive pass, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lost_wakeup_regression_a_deadlocks_with_trace() {
+        let model = WsModel {
+            params: WsParams {
+                stop_under_lock: false,
+                publish_in_steal: true,
+            },
+            scenario: stop_race_scenario(),
+        };
+        match explore(&model, GATE_CAP) {
+            Verdict::Deadlock { trace } => {
+                assert!(!trace.is_empty());
+                assert!(
+                    trace.iter().any(|l| l.contains("WITHOUT the frontier lock")),
+                    "counterexample must pass through the unlocked store:\n{trace:#?}"
+                );
+                assert!(
+                    trace.iter().any(|l| l.contains("parks on the condvar")),
+                    "counterexample must end with a worker parked:\n{trace:#?}"
+                );
+            }
+            other => panic!("expected the lost-wakeup deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_visibility_regression_b_violates_with_trace() {
+        let model = WsModel {
+            params: WsParams {
+                stop_under_lock: true,
+                publish_in_steal: false,
+            },
+            scenario: bound_race_scenario(),
+        };
+        match explore(&model, GATE_CAP) {
+            Verdict::Violation { trace, why } => {
+                assert!(why.contains("unprocessed node"), "{why}");
+                assert!(
+                    trace
+                        .iter()
+                        .any(|l| l.contains("BEFORE publishing slot")),
+                    "counterexample must pass through the unpublished window:\n{trace:#?}"
+                );
+            }
+            other => panic!("expected the bound-visibility violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_protocol_passes_the_regression_scenarios() {
+        for scenario in [stop_race_scenario(), bound_race_scenario()] {
+            let model = WsModel {
+                params: WsParams::fixed(),
+                scenario,
+            };
+            assert!(explore(&model, GATE_CAP).passed());
+        }
+    }
+
+    #[test]
+    fn gate_passes_and_reports_state_counts() {
+        let lines = gate().expect("gate must pass on the shipped protocol");
+        assert_eq!(lines.len(), current_scenarios().len());
+        assert!(lines.iter().all(|l| l.states > 0));
+    }
+}

@@ -1,0 +1,450 @@
+//! The token/AST-lite source scanner.
+//!
+//! No `syn`, no proc-macros — a single std-only pass that is exactly as
+//! smart as the lints need it to be:
+//!
+//! * string/char literal contents are blanked (columns preserved) so the
+//!   lints never match inside text,
+//! * comments are stripped from the code view but *captured*, because
+//!   two comment grammars are load-bearing: `an:allow(ANxxx): why`
+//!   suppressions and `lock-order:` annotations,
+//! * `#[cfg(test)]` items are marked so test code is exempt,
+//! * `fn` item spans are recovered by brace matching so function-scoped
+//!   checks (AN101, AN104) know their enclosing function.
+
+/// One scanned line, in three load-bearing views.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with string/char contents blanked and comments stripped;
+    /// columns line up with the original text.
+    pub code: String,
+    /// Code with comments stripped but string contents *kept* (the AN3xx
+    /// vocabulary checks match journal kind strings here).
+    pub text: String,
+    /// Trimmed body of the `//` comment on this line, if any.
+    pub comment: Option<String>,
+    /// Inside a `#[cfg(test)]` item (test module or test fn).
+    pub in_test: bool,
+}
+
+/// A `fn` item's extent, 1-based and inclusive.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub start: usize,
+    /// Line of the matching closing brace.
+    pub end: usize,
+}
+
+/// A fully scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Crate directory name under `crates/` (empty for the root package).
+    pub crate_name: String,
+    /// Scanned lines (index 0 = line 1).
+    pub lines: Vec<Line>,
+    /// Every `fn` item, outermost first.
+    pub functions: Vec<FnSpan>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    Str,
+    RawStr(usize),
+    BlockComment,
+}
+
+impl SourceFile {
+    /// Scans `text` (the contents of `rel`).
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        let lines = scan_lines(text);
+        let functions = find_functions(&lines);
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name,
+            lines,
+            functions,
+        }
+    }
+
+    /// The innermost function containing 1-based `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| f.start <= line && line <= f.end)
+            .min_by_key(|f| f.end - f.start)
+    }
+
+    /// 1-based numbers of non-test lines, paired with their code view.
+    pub fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.in_test)
+            .map(|(i, l)| (i + 1, l.code.as_str()))
+    }
+}
+
+/// Character-level scan: blanks literals, strips/captures comments.
+fn scan_lines(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in text.lines() {
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut kept = String::with_capacity(raw.len());
+        let mut comment: Option<String> = None;
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            match mode {
+                Mode::BlockComment => {
+                    if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                        mode = Mode::Code;
+                        code.push_str("  ");
+                        kept.push_str("  ");
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        kept.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    kept.push(c);
+                    if c == '\\' {
+                        code.push(' ');
+                        if let Some(&e) = bytes.get(i + 1) {
+                            code.push(' ');
+                            kept.push(e);
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    kept.push(c);
+                    if c == '"' && closes_raw(&bytes, i, hashes) {
+                        code.push('"');
+                        for k in 1..=hashes {
+                            code.push('#');
+                            kept.push(bytes[i + k]);
+                        }
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Doc comments (`///`, `//!`) are prose, not
+                        // directives: they may *mention* the `an:allow`
+                        // grammar without invoking it, so only plain `//`
+                        // comments are captured for the comment grammars.
+                        if bytes.get(i + 2) != Some(&'/') && bytes.get(i + 2) != Some(&'!') {
+                            let body: String = bytes[i + 2..].iter().collect();
+                            comment = Some(body.trim().to_string());
+                        }
+                        break;
+                    }
+                    if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        mode = Mode::BlockComment;
+                        code.push_str("  ");
+                        kept.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        // A `"` in code mode opens a (possibly prefixed)
+                        // plain string; `b"` was consumed as `b` + here.
+                        mode = Mode::Str;
+                        code.push('"');
+                        kept.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if (c == 'r' || c == 'b') && !prev_is_ident(&bytes, i) {
+                        if let Some(hashes) = raw_str_open(&bytes, i) {
+                            // Consume the prefix up to and including `"`.
+                            let mut j = i;
+                            while bytes[j] != '"' {
+                                code.push(bytes[j]);
+                                kept.push(bytes[j]);
+                                j += 1;
+                            }
+                            code.push('"');
+                            kept.push('"');
+                            mode = Mode::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        if let Some(len) = char_literal_len(&bytes, i) {
+                            code.push('\'');
+                            kept.push('\'');
+                            for _ in 0..len.saturating_sub(2) {
+                                code.push(' ');
+                                kept.push(' ');
+                            }
+                            code.push('\'');
+                            kept.push('\'');
+                            i += len;
+                            continue;
+                        }
+                    }
+                    code.push(c);
+                    kept.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(Line {
+            code,
+            text: kept,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// If position `i` (at `r` or `b`) opens a raw string (`r"`, `r#"`,
+/// `br##"`, …), returns the number of `#`s.
+fn raw_str_open(bytes: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether the `"` at `i` (inside a raw string with `hashes` `#`s) is
+/// followed by enough `#`s to close it.
+fn closes_raw(bytes: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Length (in chars, quotes included) of a char literal starting at the
+/// `'` at position `i`, or `None` if this is a lifetime.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // Escape: find the closing quote within a small window
+            // (handles \n, \u{1F600}, \x7f).
+            let window = &bytes[i + 3..(i + 12).min(bytes.len())];
+            for (k, &c) in window.iter().enumerate() {
+                if c == '\'' {
+                    return Some(k + 4);
+                }
+            }
+            None
+        }
+        _ => (bytes.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]` item. The attribute governs
+/// the next item; the item's body is found by brace matching.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut region_close: Option<i64> = None;
+    for line in lines.iter_mut() {
+        if region_close.is_some() {
+            line.in_test = true;
+        }
+        if line.code.contains("cfg(test") && line.code.trim_start().starts_with("#[") {
+            pending_attr = true;
+            line.in_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending_attr && region_close.is_none() {
+                        region_close = Some(depth);
+                        pending_attr = false;
+                        line.in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_close == Some(depth) {
+                        region_close = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Recovers `fn` item spans by brace matching over the code view.
+fn find_functions(lines: &[Line]) -> Vec<FnSpan> {
+    struct Open {
+        name: String,
+        start: usize,
+        depth: i64,
+    }
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    // A `fn name` seen but whose `{` has not yet opened (or that turns
+    // out to be a trait-method declaration ending in `;`).
+    let mut pending: Option<(String, usize)> = None;
+    let mut open: Vec<Open> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '{' => {
+                    if let Some((name, start)) = pending.take() {
+                        open.push(Open {
+                            name,
+                            start,
+                            depth,
+                        });
+                    }
+                    depth += 1;
+                    i += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if open.last().is_some_and(|o| o.depth == depth) {
+                        let o = open.pop().expect("checked non-empty");
+                        out.push(FnSpan {
+                            name: o.name,
+                            start: o.start,
+                            end: idx + 1,
+                        });
+                    }
+                    i += 1;
+                }
+                ';' => {
+                    // fn declaration without a body (trait method).
+                    pending = None;
+                    i += 1;
+                }
+                'f' if is_kw_fn(&chars, i) => {
+                    let mut j = i + 2;
+                    while j < chars.len() && chars[j].is_whitespace() {
+                        j += 1;
+                    }
+                    let mut name = String::new();
+                    while j < chars.len()
+                        && (chars[j].is_alphanumeric() || chars[j] == '_')
+                    {
+                        name.push(chars[j]);
+                        j += 1;
+                    }
+                    if !name.is_empty() {
+                        pending = Some((name, idx + 1));
+                    }
+                    i = j;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    out.sort_by_key(|f| (f.start, f.end));
+    out
+}
+
+/// Is `chars[i..]` the keyword `fn` (word-bounded)?
+fn is_kw_fn(chars: &[char], i: usize) -> bool {
+    chars.get(i) == Some(&'f')
+        && chars.get(i + 1) == Some(&'n')
+        && !prev_is_ident(chars, i)
+        && chars
+            .get(i + 2)
+            .is_none_or(|c| c.is_whitespace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked_but_kept_in_text_view() {
+        let f = SourceFile::parse("t.rs", "let x = \"Instant::now()\";\n");
+        assert!(!f.lines[0].code.contains("Instant::now"));
+        assert!(f.lines[0].text.contains("Instant::now"));
+        assert_eq!(f.lines[0].code.len(), f.lines[0].text.len());
+    }
+
+    #[test]
+    fn comments_are_captured_not_matched() {
+        let f = SourceFile::parse("t.rs", "let y = 1; // Instant::now() here\n");
+        assert!(!f.lines[0].code.contains("Instant"));
+        assert_eq!(
+            f.lines[0].comment.as_deref(),
+            Some("Instant::now() here")
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let src = "let s = r#\"no \"HashMap<\" here\"#; let c = '\\n'; fn f<'a>(x: &'a str) {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("'a"));
+    }
+
+    #[test]
+    fn test_modules_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn function_spans_nest() {
+        let src = "fn outer() {\n    fn inner() {\n    }\n}\n";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.functions.len(), 2);
+        let inner = f.enclosing_fn(3).unwrap();
+        assert_eq!(inner.name, "inner");
+        let outer = f.enclosing_fn(4).unwrap();
+        assert_eq!(outer.name, "outer");
+    }
+}

@@ -1,0 +1,368 @@
+//! AN3xx — journal/protocol vocabulary coverage.
+//!
+//! The job server and the campaign runner both speak append-only journal
+//! vocabularies whose writer, replayer, and test corpus live in different
+//! files. Nothing in the type system ties them together — a new record
+//! variant that the writer emits but replay rejects corrupts every
+//! journal written after the deploy, and a variant replay accepts but no
+//! test exercises is a codepath certified by nobody. These checks close
+//! that loop:
+//!
+//! | Code  | Contract                                                     |
+//! |-------|--------------------------------------------------------------|
+//! | AN301 | every `JobRecord` variant is matched in `JobBook::replay`    |
+//! | AN302 | every `JobRecord` variant appears in the proptest reference model (`tests/jobs_replay.rs`) |
+//! | AN303 | every WAL kind the campaign runner appends is accepted by `CampaignState::replay` |
+//! | AN304 | every WAL kind replay accepts is exercised by the `state.rs` test corpus |
+//!
+//! Unlike the ANxxx source lints these are coverage *contracts* between
+//! files, so they are deliberately not suppressable with `an:allow` —
+//! the fix is always to extend the lagging side, never to shrug.
+
+use crate::lints::find_all;
+use crate::scan::SourceFile;
+use crate::{Diagnostic, Report, Severity, Span};
+
+const JOBS_RS: &str = "crates/campaign/src/jobs.rs";
+const STATE_RS: &str = "crates/campaign/src/state.rs";
+const RUNNER_RS: &str = "crates/campaign/src/runner.rs";
+const JOBS_MODEL_RS: &str = "crates/campaign/tests/jobs_replay.rs";
+
+/// Runs the vocabulary checks. `sources` are the `src/` trees;
+/// `test_sources` are the `crates/*/tests/` files (needed because the
+/// jobs-journal reference model lives in an integration test).
+pub fn run(sources: &[SourceFile], test_sources: &[SourceFile]) -> Report {
+    let mut report = Report::new();
+    let find = |rel: &str| sources.iter().find(|f| f.rel == rel);
+    let find_test = |rel: &str| test_sources.iter().find(|f| f.rel == rel);
+
+    if let Some(jobs) = find(JOBS_RS) {
+        let (variants, enum_line) = enum_variants(jobs, "JobRecord");
+        an301_replay_coverage(jobs, &variants, enum_line, &mut report);
+        an302_model_coverage(find_test(JOBS_MODEL_RS), &variants, &mut report);
+    }
+    if let (Some(state), Some(runner)) = (find(STATE_RS), find(RUNNER_RS)) {
+        let (accepted, replay_line) = replay_kinds(state);
+        an303_writer_drift(runner, &accepted, &mut report);
+        an304_corpus_coverage(state, &accepted, replay_line, &mut report);
+    }
+    report
+}
+
+fn vdiag(file: &str, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        code: "AN300", // overwritten by callers
+        severity: Severity::Error,
+        span: Span {
+            file: file.to_string(),
+            line,
+            col: 1,
+        },
+        message,
+    }
+}
+
+/// Variant names of `pub enum <name>` in `f`, plus the enum's 1-based
+/// declaration line (0 if not found).
+pub fn enum_variants(f: &SourceFile, name: &str) -> (Vec<String>, usize) {
+    let needle = format!("enum {name}");
+    let Some(start) = f
+        .lines
+        .iter()
+        .position(|l| l.code.contains(&needle) && l.code.contains('{'))
+    else {
+        return (Vec::new(), 0);
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0i64;
+    for line in &f.lines[start..] {
+        let at_line_start = depth;
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if at_line_start == 1 {
+            let t = line.code.trim_start();
+            if t.starts_with(|c: char| c.is_ascii_uppercase()) {
+                let ident: String = t
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                let after = t[ident.len()..].trim_start();
+                if after.starts_with('{') || after.starts_with('(') || after.starts_with(',') {
+                    variants.push(ident);
+                }
+            }
+        }
+        if at_line_start >= 1 && depth == 0 {
+            break;
+        }
+    }
+    (variants, start + 1)
+}
+
+fn an301_replay_coverage(
+    jobs: &SourceFile,
+    variants: &[String],
+    enum_line: usize,
+    report: &mut Report,
+) {
+    let Some(replay) = jobs.functions.iter().find(|f| f.name == "replay") else {
+        report.push(Diagnostic {
+            code: "AN301",
+            ..vdiag(
+                JOBS_RS,
+                enum_line,
+                "no `fn replay` found in jobs.rs: the journal replay contract has moved; \
+                 update the AN301 vocabulary check"
+                    .into(),
+            )
+        });
+        return;
+    };
+    for v in variants {
+        let pat = format!("JobRecord::{v}");
+        let covered = (replay.start..=replay.end)
+            .any(|l| jobs.lines[l - 1].code.contains(&pat));
+        if !covered {
+            report.push(Diagnostic {
+                code: "AN301",
+                ..vdiag(
+                    JOBS_RS,
+                    enum_line,
+                    format!(
+                        "`JobRecord::{v}` is never matched in `JobBook::replay`: a journaled \
+                         `{v}` record would be decoded and then silently dropped (or hit a \
+                         catch-all); handle the variant explicitly"
+                    ),
+                )
+            });
+        }
+    }
+}
+
+fn an302_model_coverage(
+    model: Option<&SourceFile>,
+    variants: &[String],
+    report: &mut Report,
+) {
+    let Some(model) = model else {
+        report.push(Diagnostic {
+            code: "AN302",
+            ..vdiag(
+                JOBS_MODEL_RS,
+                1,
+                "the jobs-journal proptest reference model (tests/jobs_replay.rs) is missing; \
+                 the replay contract has no executable specification"
+                    .into(),
+            )
+        });
+        return;
+    };
+    for v in variants {
+        let pat = format!("JobRecord::{v}");
+        let covered = model.lines.iter().any(|l| l.code.contains(&pat));
+        if !covered {
+            report.push(Diagnostic {
+                code: "AN302",
+                ..vdiag(
+                    JOBS_MODEL_RS,
+                    1,
+                    format!(
+                        "`JobRecord::{v}` never appears in the proptest reference model: no \
+                         generated interleaving can contain it, so its replay semantics are \
+                         untested; add an op that emits it and model its effect"
+                    ),
+                )
+            });
+        }
+    }
+}
+
+/// The WAL kinds `CampaignState::replay` accepts, read out of its match
+/// arms and `kind == "…"` comparisons, plus the replay fn's start line.
+pub fn replay_kinds(state: &SourceFile) -> (Vec<String>, usize) {
+    let Some(replay) = state.functions.iter().find(|f| f.name == "replay") else {
+        return (Vec::new(), 0);
+    };
+    let mut kinds = Vec::new();
+    for l in replay.start..=replay.end {
+        let text = &state.lines[l - 1].text;
+        for (lit, after, before) in string_literals(text) {
+            let word = lit.chars().all(|c| c.is_ascii_lowercase() || c == '_');
+            if lit.is_empty() || !word {
+                continue;
+            }
+            let arm = after.trim_start().starts_with("=>") || after.trim_start().starts_with('|');
+            let cmp = before.trim_end().ends_with("==");
+            if (arm || cmp) && !kinds.contains(&lit) {
+                kinds.push(lit);
+            }
+        }
+    }
+    (kinds, replay.start)
+}
+
+/// `(literal, text-after, text-before)` for every `"…"` on the line.
+fn string_literals(text: &str) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != '"' {
+                j += 1;
+            }
+            if j < bytes.len() {
+                out.push((
+                    bytes[start..j].iter().collect(),
+                    bytes[j + 1..].iter().collect(),
+                    bytes[..i].iter().collect(),
+                ));
+                i = j + 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Every kind the campaign runner appends (`append(&format!("kind …`)
+/// must be in the replay-accepted set.
+fn an303_writer_drift(runner: &SourceFile, accepted: &[String], report: &mut Report) {
+    for (line, _) in runner.code_lines() {
+        let text = &runner.lines[line - 1].text;
+        for col in find_all(text, "append(&format!(") {
+            // The literal opens on this line or within the next two
+            // (rustfmt splits long appends).
+            let mut kind = None;
+            'outer: for (k, probe) in (line..line + 3).enumerate() {
+                let t = &runner.lines.get(probe - 1).map(|l| l.text.clone()).unwrap_or_default();
+                let from = if k == 0 { col } else { 0 };
+                if let Some(q) = t[from..].find('"') {
+                    let lit = &t[from + q + 1..];
+                    let word: String = lit
+                        .chars()
+                        .take_while(|c| c.is_ascii_lowercase() || *c == '_')
+                        .collect();
+                    if !word.is_empty() && lit[word.len()..].starts_with(' ') {
+                        kind = Some((word, probe));
+                    }
+                    break 'outer;
+                }
+            }
+            let Some((kind, at)) = kind else {
+                continue; // header record (starts with an interpolation)
+            };
+            if !accepted.iter().any(|a| a == &kind) {
+                report.push(Diagnostic {
+                    code: "AN303",
+                    ..vdiag(
+                        RUNNER_RS,
+                        at,
+                        format!(
+                            "the runner appends WAL kind `{kind}` but `CampaignState::replay` \
+                             does not accept it: every journal written here becomes \
+                             `Corrupt` on resume; teach replay the kind first, then ship the \
+                             writer"
+                        ),
+                    )
+                });
+            }
+        }
+    }
+}
+
+/// Every replay-accepted kind must appear in state.rs's own test corpus
+/// (a record literal starting `"<kind> `), so replay of that kind is
+/// actually executed somewhere.
+fn an304_corpus_coverage(
+    state: &SourceFile,
+    accepted: &[String],
+    replay_line: usize,
+    report: &mut Report,
+) {
+    for kind in accepted {
+        let pat = format!("\"{kind} ");
+        let exercised = state
+            .lines
+            .iter()
+            .any(|l| l.in_test && l.text.contains(&pat));
+        if !exercised {
+            report.push(Diagnostic {
+                code: "AN304",
+                ..vdiag(
+                    STATE_RS,
+                    replay_line,
+                    format!(
+                        "replay accepts WAL kind `{kind}` but the state.rs test corpus never \
+                         contains a `{kind}` record: its replay semantics are certified by \
+                         nobody; add it to a replay test"
+                    ),
+                )
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_variants_are_extracted() {
+        let src = "pub enum JobRecord {\n    /// doc\n    Submit {\n        id: u64,\n    },\n    Cancel { id: u64 },\n    Shutdown { reason: String },\n}\n";
+        let f = SourceFile::parse("crates/campaign/src/jobs.rs", src);
+        let (vs, line) = enum_variants(&f, "JobRecord");
+        assert_eq!(vs, vec!["Submit", "Cancel", "Shutdown"]);
+        assert_eq!(line, 1);
+    }
+
+    #[test]
+    fn replay_kinds_come_from_match_arms_not_error_strings() {
+        let src = "fn replay() {\n    if kind == \"shutdown\" {}\n    match kind {\n        \"cell\" => {}\n        \"sched\" | \"run\" => {}\n        other => err(\"unknown kind\"),\n    }\n    parse(body, \"attempt\");\n}\n";
+        let f = SourceFile::parse("crates/campaign/src/state.rs", src);
+        let (kinds, _) = replay_kinds(&f);
+        assert_eq!(kinds, vec!["shutdown", "cell", "sched", "run"]);
+    }
+
+    #[test]
+    fn writer_drift_fires_on_unaccepted_kind() {
+        let runner = SourceFile::parse(
+            "crates/campaign/src/runner.rs",
+            "fn go() {\n    shared.append(&format!(\"warp {idx}\"))?;\n}\n",
+        );
+        let mut report = Report::new();
+        an303_writer_drift(&runner, &["run".into()], &mut report);
+        assert!(report.has_code("AN303"), "{}", report.summary());
+    }
+
+    #[test]
+    fn multiline_append_literals_are_found() {
+        let runner = SourceFile::parse(
+            "crates/campaign/src/runner.rs",
+            "fn go() {\n    shared.append(&format!(\n        \"fail {idx} {a}\",\n    ))?;\n}\n",
+        );
+        let mut report = Report::new();
+        an303_writer_drift(&runner, &["run".into()], &mut report);
+        assert!(report.has_code("AN303"));
+        let mut clean = Report::new();
+        an303_writer_drift(&runner, &["fail".into()], &mut clean);
+        assert!(clean.is_clean(), "{}", clean.summary());
+    }
+
+    #[test]
+    fn corpus_coverage_fires_on_unexercised_kind() {
+        let src = "fn replay() {\n    match kind {\n        \"sched\" => {}\n    }\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = \"run 0 1\"; }\n}\n";
+        let f = SourceFile::parse("crates/campaign/src/state.rs", src);
+        let (kinds, line) = replay_kinds(&f);
+        let mut report = Report::new();
+        an304_corpus_coverage(&f, &kinds, line, &mut report);
+        assert!(report.has_code("AN304"));
+    }
+}

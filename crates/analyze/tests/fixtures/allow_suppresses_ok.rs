@@ -1,0 +1,7 @@
+//@ rel: crates/campaign/src/runner.rs
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    // an:allow(AN001): fixture demonstrating a justified wall-clock read.
+    Instant::now()
+}

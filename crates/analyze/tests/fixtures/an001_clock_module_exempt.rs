@@ -1,0 +1,6 @@
+//@ rel: crates/campaign/src/clock.rs
+use std::time::Instant;
+
+fn wall_now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//@ rel: crates/campaign/src/runner.rs
+//@ expect: AN001 6:14
+use std::time::Instant;
+
+fn queue_age() -> Instant {
+    let t0 = Instant::now();
+    t0
+}

@@ -1,0 +1,8 @@
+//@ rel: crates/milp/src/solver.rs
+//@ expect: AN002 6:18
+use std::collections::HashMap;
+
+fn build() -> usize {
+    let bounds = HashMap::<usize, f64>::new();
+    bounds.len()
+}

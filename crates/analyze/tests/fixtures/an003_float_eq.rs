@@ -1,0 +1,5 @@
+//@ rel: crates/te/src/eval.rs
+//@ expect: AN003 4:10
+fn saturated(util: f64) -> bool {
+    util == 1.0
+}

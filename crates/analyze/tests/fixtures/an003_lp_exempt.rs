@@ -1,0 +1,4 @@
+//@ rel: crates/lp/src/solver/mod.rs
+fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

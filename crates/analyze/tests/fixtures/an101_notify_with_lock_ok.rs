@@ -1,0 +1,9 @@
+//@ rel: crates/milp/src/parallel.rs
+use std::sync::{Condvar, Mutex};
+
+fn publish(m: &Mutex<u64>, cv: &Condvar) {
+    let mut g = m.lock().unwrap();
+    *g += 1;
+    drop(g);
+    cv.notify_all();
+}

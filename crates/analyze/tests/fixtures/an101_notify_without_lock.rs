@@ -1,0 +1,7 @@
+//@ rel: crates/milp/src/parallel.rs
+//@ expect: AN101 6:7
+use std::sync::Condvar;
+
+fn wake(cv: &Condvar) {
+    cv.notify_one();
+}

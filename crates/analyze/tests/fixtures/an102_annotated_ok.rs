@@ -1,0 +1,7 @@
+//@ rel: crates/milp/src/parallel.rs
+use std::sync::Mutex;
+
+struct Shared {
+    // lock-order: fixture-frontier (leaf)
+    frontier: Mutex<Vec<u64>>,
+}

@@ -1,0 +1,7 @@
+//@ rel: crates/milp/src/parallel.rs
+//@ expect: AN102 6:13
+use std::sync::Mutex;
+
+struct Shared {
+    frontier: Mutex<Vec<u64>>,
+}

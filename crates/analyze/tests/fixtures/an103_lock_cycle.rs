@@ -1,0 +1,10 @@
+//@ rel: crates/milp/src/parallel.rs
+//@ expect: AN103 7:6
+use std::sync::Mutex;
+
+struct Shared {
+    // lock-order: cyc-a -> cyc-b
+    a: Mutex<u64>,
+    // lock-order: cyc-b -> cyc-a
+    b: Mutex<u64>,
+}

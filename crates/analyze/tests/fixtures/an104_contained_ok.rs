@@ -1,0 +1,8 @@
+//@ rel: crates/server/src/api.rs
+fn worker() {
+    let _ = std::panic::catch_unwind(|| ());
+}
+
+fn launch() {
+    std::thread::spawn(|| worker());
+}

@@ -1,0 +1,7 @@
+//@ rel: crates/server/src/api.rs
+//@ expect: AN104 4:10
+fn handle_async() {
+    std::thread::spawn(|| {
+        let _ = 1 + 1;
+    });
+}

@@ -1,0 +1,9 @@
+//@ rel: crates/server/src/server.rs
+//@ expect: AN201 6:14
+use std::sync::Mutex;
+
+fn read_state(m: &Mutex<u64>, v: Option<u64>) -> u64 {
+    let x = v.unwrap();
+    let g = m.lock().unwrap();
+    x + *g
+}

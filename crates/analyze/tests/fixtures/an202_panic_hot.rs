@@ -1,0 +1,7 @@
+//@ rel: crates/milp/src/parallel.rs
+//@ expect: AN202 5:9
+fn steal(depth: usize) {
+    if depth > 64 {
+        unreachable!("depth bound");
+    }
+}

@@ -1,0 +1,6 @@
+//@ rel: crates/server/src/server.rs
+//@ expect: AN203 4:18
+fn first(xs: &[u64]) -> u64 {
+    let head = xs[0];
+    head
+}

@@ -1,0 +1,6 @@
+//@ rel: crates/campaign/src/runner.rs
+//@ expect: AN401 4:1
+fn tick() -> u64 {
+    // an:allow(AN001): stale -- nothing here reads the clock.
+    41 + 1
+}

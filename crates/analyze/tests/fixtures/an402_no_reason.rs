@@ -1,0 +1,6 @@
+//@ rel: crates/campaign/src/runner.rs
+//@ expect: AN402 4:1
+fn tock() -> u64 {
+    // an:allow(AN001)
+    42
+}

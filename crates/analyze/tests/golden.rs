@@ -1,0 +1,141 @@
+//! Golden-file suite for the ANxxx source lints.
+//!
+//! Every fixture under `tests/fixtures/` is a small Rust source headed by
+//! directives:
+//!
+//! ```text
+//! //@ rel: crates/server/src/server.rs     (pretend workspace path)
+//! //@ expect: AN203 4:18                   (code line:col, zero or more)
+//! ```
+//!
+//! The analyzer must emit *exactly* the expected diagnostics on the
+//! fixture — same codes, same 1-based line/column spans, nothing extra,
+//! nothing missing. Fixtures with no `expect` directives pin down the
+//! scoping and idiom exemptions (clock module, lp float-eq carve-out,
+//! lock-poison unwrap, interprocedural catch_unwind containment, a
+//! justified `an:allow`), which are as load-bearing as the positives: a
+//! lint that fires where it shouldn't gets suppressed into uselessness.
+
+use metaopt_analyze::lints;
+use metaopt_analyze::scan::SourceFile;
+use std::path::Path;
+
+struct Fixture {
+    name: String,
+    rel: String,
+    /// `(code, line, col)` triples, sorted.
+    expected: Vec<(String, usize, usize)>,
+    text: String,
+}
+
+fn parse_fixture(name: &str, text: &str) -> Fixture {
+    let mut rel = None;
+    let mut expected = Vec::new();
+    for line in text.lines() {
+        if let Some(r) = line.strip_prefix("//@ rel:") {
+            rel = Some(r.trim().to_string());
+        } else if let Some(e) = line.strip_prefix("//@ expect:") {
+            let mut parts = e.split_whitespace();
+            let code = parts
+                .next()
+                .unwrap_or_else(|| panic!("{name}: empty expect directive"))
+                .to_string();
+            let span = parts
+                .next()
+                .unwrap_or_else(|| panic!("{name}: expect `{code}` missing line:col"));
+            let (l, c) = span
+                .split_once(':')
+                .unwrap_or_else(|| panic!("{name}: expect span `{span}` is not line:col"));
+            expected.push((
+                code,
+                l.parse().unwrap_or_else(|_| panic!("{name}: bad line `{l}`")),
+                c.parse().unwrap_or_else(|_| panic!("{name}: bad col `{c}`")),
+            ));
+        }
+    }
+    expected.sort();
+    Fixture {
+        name: name.to_string(),
+        rel: rel.unwrap_or_else(|| panic!("{name}: missing `//@ rel:` directive")),
+        expected,
+        text: text.to_string(),
+    }
+}
+
+fn load_fixtures() -> Vec<Fixture> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixtures directory")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().to_string();
+            let text = std::fs::read_to_string(&p).expect("readable fixture");
+            parse_fixture(&name, &text)
+        })
+        .collect()
+}
+
+#[test]
+fn fixtures_match_golden_diagnostics() {
+    let fixtures = load_fixtures();
+    assert!(
+        fixtures.len() >= 12,
+        "golden suite shrank to {} fixtures; keep at least 12",
+        fixtures.len()
+    );
+    for fx in &fixtures {
+        let file = SourceFile::parse(&fx.rel, &fx.text);
+        let report = lints::run(std::slice::from_ref(&file));
+        let mut actual: Vec<(String, usize, usize)> = report
+            .diagnostics()
+            .iter()
+            .map(|d| (d.code.to_string(), d.span.line, d.span.col))
+            .collect();
+        actual.sort();
+        for d in report.diagnostics() {
+            assert_eq!(
+                d.span.file, fx.rel,
+                "{}: diagnostic span names the wrong file",
+                fx.name
+            );
+        }
+        assert_eq!(
+            actual,
+            fx.expected,
+            "{}: diagnostics diverged from golden expectations;\nactual:\n{}",
+            fx.name,
+            report
+                .diagnostics()
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn golden_suite_covers_every_suppressable_lint() {
+    // Each per-file code must appear in at least one fixture expectation,
+    // so no lint family can silently lose its golden coverage. (AN103 is
+    // cross-file in production but reproducible single-file; the AN3xx
+    // vocabulary contracts are workspace-level and tested in `vocab`.)
+    let fixtures = load_fixtures();
+    for code in [
+        "AN001", "AN002", "AN003", "AN101", "AN102", "AN103", "AN104", "AN201", "AN202", "AN203",
+        "AN401", "AN402",
+    ] {
+        assert!(
+            fixtures
+                .iter()
+                .any(|f| f.expected.iter().any(|(c, _, _)| c == code)),
+            "no fixture expects {code}; add one"
+        );
+    }
+}

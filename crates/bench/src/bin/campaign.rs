@@ -133,7 +133,7 @@ fn config() -> CampaignConfig {
         retry: RetryPolicy::default(),
         deadline,
         threads_per_cell: env_usize("METAOPT_CAMPAIGN_THREADS_PER_CELL", 0),
-        retry_salt: 0,
+        ..CampaignConfig::default()
     }
 }
 

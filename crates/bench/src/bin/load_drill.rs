@@ -59,6 +59,9 @@ fn main() -> ExitCode {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr").to_string();
     let serve_server = Arc::clone(&server);
+    // an:allow(AN104): drill binary, not a supervised worker — a panic in
+    // the acceptor aborts the whole drill loudly, which is the right
+    // outcome for a benchmark; there are no slots or supervisors to wedge.
     let serve_thread = std::thread::spawn(move || serve(&serve_server, listener));
 
     let call = |method: &str, path: &str, body: Option<&[u8]>| {

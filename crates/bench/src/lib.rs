@@ -46,9 +46,7 @@ pub fn run_or_resume_campaign(
     let cfg = metaopt_campaign::CampaignConfig {
         workers: 2,
         retry: metaopt_resilience::RetryPolicy::default(),
-        deadline: None,
-        threads_per_cell: 0,
-        retry_salt: 0,
+        ..metaopt_campaign::CampaignConfig::default()
     };
     let shutdown = metaopt_campaign::ShutdownFlag::new();
     if dir.join(metaopt_campaign::JOURNAL_FILE).exists() {

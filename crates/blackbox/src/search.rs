@@ -74,6 +74,9 @@ struct Tracker {
 impl Tracker {
     fn new() -> Self {
         Tracker {
+            // an:allow(AN001): blackbox search budgets and trajectories are
+            // wall-clock by definition (the paper's §4 comparison axis);
+            // nothing downstream replays or certifies these timestamps.
             start: Instant::now(),
             best: None,
             trajectory: Vec::new(),

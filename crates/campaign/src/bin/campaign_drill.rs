@@ -86,9 +86,7 @@ fn main() -> ExitCode {
     let cfg = CampaignConfig {
         workers: 2,
         retry: RetryPolicy::default(),
-        deadline: None,
-        threads_per_cell: 0,
-        retry_salt: 0,
+        ..CampaignConfig::default()
     };
     let shutdown = ShutdownFlag::new();
     let outcome = match cmd {

@@ -403,6 +403,10 @@ impl JobBook {
                 | JobRecord::Fail { id, .. }
                 | JobRecord::Quarantine { id, .. }
                 | JobRecord::Cancelled { id } => *id,
+                // an:allow(AN202): both variants were consumed by the
+                // enclosing match directly above; this arm is structurally
+                // unreachable, and a panic here would mean that invariant
+                // broke — exactly what should abort replay.
                 JobRecord::Submit { .. } | JobRecord::Shutdown { .. } => unreachable!(),
             };
             let entry = jobs
@@ -448,6 +452,8 @@ impl JobBook {
                     entry.status = JobStatus::Quarantined { reason, attempts };
                 }
                 JobRecord::Cancelled { .. } => entry.status = JobStatus::Cancelled,
+                // an:allow(AN202): same structural invariant as the id
+                // extraction above — the outer match already took these.
                 JobRecord::Submit { .. } | JobRecord::Shutdown { .. } => unreachable!(),
             }
         }

@@ -27,6 +27,7 @@
 //! See `DESIGN.md` §11 for the journal format and resume semantics.
 
 pub mod cell;
+pub mod clock;
 pub mod jobs;
 pub mod journal;
 pub mod runner;
@@ -36,6 +37,7 @@ pub mod wire;
 pub use cell::{
     decode_sweep_state, encode_sweep_state, CellHeuristic, CellOutcome, CellSpec, TopologySpec,
 };
+pub use clock::{Clock, SystemClock, TestClock};
 pub use jobs::{JobBook, JobEntry, JobRecord, JobStatus, JOBS_MAGIC};
 pub use journal::{
     encode_line, parse_journal_bytes, read_journal, Journal, JournalContents, JOURNAL_FILE,

@@ -16,6 +16,7 @@
 //! resumable manifest.
 
 use crate::cell::{encode_sweep_state, CellOutcome, CellSpec};
+use crate::clock::{Clock, SystemClock};
 use crate::journal::Journal;
 use crate::state::{CampaignState, CellStatus};
 use crate::{wire, CampaignError};
@@ -76,6 +77,11 @@ pub struct CampaignConfig {
     /// given salt, so replayed campaigns make identical scheduling
     /// decisions.
     pub retry_salt: u64,
+    /// Time source for deadlines, retry backoff, and drain checks. The
+    /// default [`SystemClock`] reads the OS monotonic clock; tests inject
+    /// a [`crate::clock::TestClock`] to drive timeout paths
+    /// deterministically.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for CampaignConfig {
@@ -86,6 +92,7 @@ impl Default for CampaignConfig {
             deadline: None,
             threads_per_cell: 0,
             retry_salt: 0,
+            clock: Arc::new(SystemClock),
         }
     }
 }
@@ -170,14 +177,19 @@ pub fn resume(
     let prior = CampaignState::from_dir(dir)?;
     let mut work = Vec::new();
     for idx in prior.pending_indices() {
+        // an:allow(AN203): `pending_indices` yields indices into its own
+        // `status`/`cells` vectors, which replay constructed together.
         let (attempt, resume_state) = match &prior.status[idx] {
             CellStatus::Pending { attempt, resume } => (*attempt + 1, resume.clone()),
+            // an:allow(AN202): a non-Pending status at a pending index means
+            // `CampaignState` itself is inconsistent; aborting resume is right.
             _ => unreachable!("pending_indices returned a terminal cell"),
         };
         work.push(WorkItem {
             idx,
             attempt,
             state: resume_state,
+            // an:allow(AN203): same `pending_indices` in-bounds invariant.
             spec: prior.cells[idx].clone(),
         });
     }
@@ -225,15 +237,19 @@ impl Queue {
 }
 
 struct Shared {
+    // lock-order: campaign.queue
     queue: Mutex<Queue>,
     cv: Condvar,
+    // lock-order: campaign.journal
     journal: Mutex<Journal>,
     shutdown: ShutdownFlag,
     deadline: Option<Instant>,
     retry: RetryPolicy,
     threads_per_cell: usize,
     retry_salt: u64,
+    clock: Arc<dyn Clock>,
     /// First unrecoverable runner error (journal I/O); stops the run.
+    // lock-order: campaign.fatal -> campaign.queue
     fatal: Mutex<Option<CampaignError>>,
 }
 
@@ -246,7 +262,7 @@ impl Shared {
     }
 
     fn drain_requested(&self) -> bool {
-        self.shutdown.is_requested() || self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.shutdown.is_requested() || self.deadline.is_some_and(|d| self.clock.now() >= d)
     }
 
     fn abort(&self, err: CampaignError) {
@@ -284,6 +300,7 @@ fn execute(
         retry: cfg.retry,
         threads_per_cell: cfg.threads_per_cell,
         retry_salt: cfg.retry_salt,
+        clock: Arc::clone(&cfg.clock),
         fatal: Mutex::new(None),
     };
 
@@ -291,6 +308,11 @@ fn execute(
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_workers);
         for _ in 0..n_workers {
+            // an:allow(AN104): containment lives one call deeper —
+            // `worker_loop` funnels every cell through `drive_cell`, which
+            // catch_unwinds both spec build and tick panics into `Failed`
+            // outcomes; a panic escaping the loop itself is a runner bug
+            // that the supervisor's join below deliberately propagates.
             handles.push(scope.spawn(|| worker_loop(&shared)));
         }
         // Supervisor: watch for drain requests while workers run.
@@ -312,6 +334,8 @@ fn execute(
         for h in handles {
             // Workers contain cell panics themselves; a panic escaping the
             // worker loop is a runner bug worth propagating.
+            // an:allow(AN201): deliberate propagation — see the comment
+            // above; swallowing this would hide a broken containment story.
             h.join().expect("worker thread panicked outside containment");
         }
     });
@@ -346,10 +370,13 @@ fn worker_loop(shared: &Shared) {
                 if q.stop {
                     return;
                 }
-                let now = Instant::now();
+                let now = shared.clock.now();
                 // Promote due retries.
                 let mut i = 0;
                 while i < q.delayed.len() {
+                    // an:allow(AN203): `i < q.delayed.len()` is re-checked
+                    // every iteration and `swap_remove` only shrinks the
+                    // vector, so the index cannot go stale.
                     if q.delayed[i].0 <= now {
                         let (_, item) = q.delayed.swap_remove(i);
                         q.ready.push_back(item);
@@ -414,7 +441,7 @@ fn run_item(shared: &Shared, item: WorkItem) {
     // The last journaled (durable) state: retries restart from here, not
     // from whatever a failing tick left behind.
     let mut last_good = state;
-    let started = Instant::now();
+    let started = shared.clock.now();
     let cell_deadline = spec.timeout_secs.map(|s| started + Duration::from_secs_f64(s));
 
     let end = attempt_cell(shared, idx, &spec, &mut last_good, cell_deadline);
@@ -456,7 +483,7 @@ fn run_item(shared: &Shared, item: WorkItem) {
                         spec,
                     };
                     let mut q = shared.queue.lock().expect("queue lock poisoned");
-                    q.delayed.push((Instant::now() + delay, retry));
+                    q.delayed.push((shared.clock.now() + delay, retry));
                     drop(q);
                     shared.cv.notify_all();
                 }
@@ -516,6 +543,9 @@ pub enum CellDriveEnd {
 /// * `stop()` is consulted at each tick boundary (cancel / drain), and
 /// * all cell panics are contained and reported as `Failed` ends.
 ///
+/// The timeout check at each tick boundary reads `clock`, so a test with
+/// a [`crate::clock::TestClock`] can drive the timeout path exactly.
+///
 /// `Err` is reserved for the caller's own `on_checkpoint` failures
 /// (journal I/O): those are supervisor-fatal, not cell failures.
 pub fn drive_cell(
@@ -523,6 +553,7 @@ pub fn drive_cell(
     threads_override: usize,
     resume: Option<SweepState>,
     cell_deadline: Option<Instant>,
+    clock: &dyn Clock,
     on_checkpoint: &mut dyn FnMut(&SweepState) -> Result<(), CampaignError>,
     stop: &mut dyn FnMut() -> bool,
 ) -> Result<CellDriveEnd, CampaignError> {
@@ -580,7 +611,7 @@ pub fn drive_cell(
             Ok(Ok(SweepTick::Paused(next))) => {
                 on_checkpoint(&next)?;
                 current = next;
-                if cell_deadline.is_some_and(|d| Instant::now() >= d) {
+                if cell_deadline.is_some_and(|d| clock.now() >= d) {
                     return Ok(CellDriveEnd::Failed {
                         kind: "timeout".into(),
                         detail: format!("cell exceeded {:?}s", spec.timeout_secs),
@@ -621,6 +652,7 @@ fn attempt_cell(
         shared.threads_per_cell,
         resume,
         cell_deadline,
+        &*shared.clock,
         &mut |next| {
             shared.append(&format!("ckpt {idx} {}", encode_sweep_state(next)))?;
             *last_good = Some(next.clone());

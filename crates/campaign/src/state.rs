@@ -327,15 +327,20 @@ mod tests {
             format!("cell 2 {}", spec("c").encode()),
             "run 0 1".to_string(),
             format!("done 0 {}", outcome.encode()),
+            // `sched` is the informational claim record; replay accepts it
+            // wherever `run` is accepted and it must not disturb status.
+            "sched 1 1".to_string(),
             "run 1 1".to_string(),
             format!("ckpt 1 {ckpt}"),
             "run 2 1".to_string(),
             format!("fail 2 1 callback_panic {}", wire::escape("boom at node 7")),
             "fail 2 2 timeout ~".to_string(),
             "quarantine 2 exhausted_retries 3".to_string(),
+            format!("shutdown {}", wire::escape("operator drain")),
         ];
         let st = CampaignState::replay(&records, false).unwrap();
         assert_eq!(st.name, "demo");
+        assert_eq!(st.clean_shutdown.as_deref(), Some("operator drain"));
         assert_eq!(st.counts(), (1, 1, 1));
         assert_eq!(st.pending_indices(), vec![1]);
         match &st.status[0] {

@@ -1,0 +1,148 @@
+//! Deterministic timeout and retry-backoff tests: every supervisory time
+//! read in the campaign runner goes through the injected [`Clock`], so a
+//! [`TestClock`] drives the timeout and backoff-promotion paths exactly —
+//! no sleeps, no flaky wall-clock margins.
+
+use metaopt_campaign::{
+    drive_cell, run, CampaignConfig, CellDriveEnd, CellHeuristic, CellSpec, CellStatus, Clock,
+    ShutdownFlag, TestClock, TopologySpec,
+};
+use metaopt_resilience::{QuarantineReason, RetryPolicy};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec(label: &str, timeout_secs: Option<f64>) -> CellSpec {
+    CellSpec {
+        label: label.into(),
+        topology: TopologySpec::Fig1 { cap: 100.0 },
+        paths_per_pair: 2,
+        heuristic: CellHeuristic::Dp { threshold: 50.0 },
+        lo: 0.0,
+        hi: 100.0,
+        resolution: 4.0,
+        probe_cap_nodes: 4_000,
+        slice_nodes: 8,
+        timeout_secs,
+        fault_seed: None,
+        quantized: None,
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "metaopt-clock-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The cell timeout fires exactly when the *injected* clock passes the
+/// deadline: a checkpoint that advances a TestClock beyond it turns the
+/// very next boundary check into a deterministic `timeout` failure.
+#[test]
+fn cell_timeout_fires_on_injected_clock_advance() {
+    let clock = TestClock::new();
+    let spec = spec("timeout-cell", Some(600.0));
+    let deadline = Some(clock.now() + Duration::from_secs(600));
+    let end = drive_cell(
+        &spec,
+        1,
+        None,
+        deadline,
+        &clock,
+        &mut |_st| {
+            // One tick elapsed; fast-forward time past the deadline.
+            clock.advance(Duration::from_secs(1200));
+            Ok(())
+        },
+        &mut || false,
+    )
+    .expect("checkpoint callback never fails");
+    match end {
+        CellDriveEnd::Failed { kind, .. } => assert_eq!(kind, "timeout"),
+        other => panic!("expected a timeout failure, got {other:?}"),
+    }
+}
+
+/// Under a frozen TestClock the same cell never times out: the sweep runs
+/// to its certified end even though (real) wall time passes.
+#[test]
+fn frozen_clock_never_times_out() {
+    let clock = TestClock::new();
+    let spec = spec("frozen-cell", Some(600.0));
+    let deadline = Some(clock.now() + Duration::from_secs(600));
+    let end = drive_cell(
+        &spec,
+        1,
+        None,
+        deadline,
+        &clock,
+        &mut |_st| Ok(()),
+        &mut || false,
+    )
+    .expect("checkpoint callback never fails");
+    assert!(
+        matches!(end, CellDriveEnd::Finished(_)),
+        "frozen clock must not trip the timeout: {end:?}"
+    );
+}
+
+/// Retry backoff is gated on the injected clock: a delayed retry stays
+/// parked while the clock is frozen — however much real time passes — and
+/// promotes as soon as the test advances past the backoff delay.
+#[test]
+fn retry_backoff_promotes_only_when_clock_advances() {
+    let clock = Arc::new(TestClock::new());
+    let dir = tmp_dir("backoff");
+    // timeout_secs = 0: the deadline equals the start instant, so every
+    // attempt fails with `timeout` at its first tick boundary — a
+    // guaranteed retryable failure with no fault injection.
+    let cells = vec![spec("always-times-out", Some(0.0))];
+    let cfg = CampaignConfig {
+        workers: 1,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_secs(500),
+            max_delay: Duration::from_secs(500),
+            multiplier: 1.0,
+            jitter: 0.0, // exact 500s spacing
+        },
+        clock: Arc::clone(&clock) as Arc<dyn metaopt_campaign::Clock>,
+        ..CampaignConfig::default()
+    };
+    let shutdown = ShutdownFlag::new();
+    let runner = {
+        let dir = dir.clone();
+        let cfg = cfg.clone();
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || run(&dir, "backoff", cells, &cfg, &shutdown))
+    };
+
+    // Attempt 1 fails immediately; the retry is due at frozen_now + 500s.
+    // With the clock frozen it must never promote, no matter how much
+    // real time elapses.
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(
+        !runner.is_finished(),
+        "retry promoted under a frozen clock"
+    );
+
+    // Advance past the backoff: the retry promotes, attempt 2 fails the
+    // same way, and max_attempts = 2 quarantines the cell.
+    clock.advance(Duration::from_secs(501));
+    let report = runner
+        .join()
+        .expect("runner thread must not panic")
+        .expect("campaign must complete");
+    match &report.state.status[0] {
+        CellStatus::Quarantined { reason, attempts } => {
+            assert_eq!(*reason, QuarantineReason::RepeatedTimeout);
+            assert_eq!(*attempts, 2);
+        }
+        other => panic!("expected quarantine after exhausted retries, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

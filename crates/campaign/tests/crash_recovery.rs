@@ -39,9 +39,7 @@ fn cfg() -> CampaignConfig {
     CampaignConfig {
         workers: 2,
         retry: RetryPolicy::default(),
-        deadline: None,
-        threads_per_cell: 0,
-        retry_salt: 0,
+        ..CampaignConfig::default()
     }
 }
 

@@ -49,6 +49,8 @@ struct Expect {
 struct Model {
     records: Vec<String>,
     jobs: Vec<Expect>, // index = id - 1
+    /// Latest `Shutdown` reason journaled, if any (latest wins on replay).
+    shutdown: Option<String>,
 }
 
 impl Model {
@@ -56,6 +58,7 @@ impl Model {
         Model {
             records: vec![JobBook::header(name)],
             jobs: Vec::new(),
+            shutdown: None,
         }
     }
 
@@ -70,7 +73,7 @@ impl Model {
     /// Applies one abstract op, `pick` choosing among eligible jobs.
     fn apply(&mut self, op: u8, pick: usize) {
         let live = self.live();
-        match op % 7 {
+        match op % 8 {
             // Admit a new job.
             0 => {
                 let id = self.jobs.len() as u64 + 1;
@@ -169,11 +172,24 @@ impl Model {
                 }
             }
             // Terminal: cancellation completed.
-            _ => {
+            6 => {
                 if let Some(&i) = live.get(pick % live.len().max(1)) {
                     self.records.push(JobRecord::Cancelled { id: i as u64 + 1 }.encode());
                     self.jobs[i].status = "cancelled";
                 }
+            }
+            // Graceful shutdown marker. The journal stays appendable (the
+            // next boot keeps writing to the same file), so later records
+            // are valid and the latest reason wins.
+            _ => {
+                let reason = format!("drain-{}", pick % 3);
+                self.records.push(
+                    JobRecord::Shutdown {
+                        reason: reason.clone(),
+                    }
+                    .encode(),
+                );
+                self.shutdown = Some(reason);
             }
         }
     }
@@ -205,6 +221,7 @@ proptest! {
         }
         let book = JobBook::replay(&model.records, false).expect("valid interleaving must replay");
         prop_assert_eq!(book.name.as_str(), "prop-server");
+        prop_assert_eq!(book.clean_shutdown.as_deref(), model.shutdown.as_deref());
         prop_assert_eq!(book.jobs.len(), model.jobs.len());
         prop_assert_eq!(book.next_id(), model.jobs.len() as u64 + 1);
         for (i, want) in model.jobs.iter().enumerate() {

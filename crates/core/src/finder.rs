@@ -601,6 +601,8 @@ pub fn find_adversarial_gap(
     constraints: &ConstrainedSet,
     cfg: &FinderConfig,
 ) -> CoreResult<GapResult> {
+    // an:allow(AN001): build/solve timing reported to the user, never
+    // replayed or certified; wall-clock is the honest axis here.
     let t0 = Instant::now();
     let am = build_adversarial_model(inst, spec, constraints, cfg)?;
 
@@ -620,6 +622,7 @@ pub fn find_adversarial_gap(
     let mut milp_cfg = cfg.milp_config();
     milp_cfg.budget = milp_cfg.budget.min_with(cfg.budget);
 
+    // an:allow(AN001): same reporting-only wall-clock as `t0` above.
     let solve_t = Instant::now();
     let mut cb = new_candidate_evaluator(inst, spec, constraints, &am, cfg);
     let attempt = if cfg.use_incumbent_callback {

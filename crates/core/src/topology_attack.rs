@@ -175,6 +175,7 @@ pub fn find_adversarial_topology(
             attack.degrade_frac
         )));
     }
+    // an:allow(AN001): reporting-only build timer, mirrors `find_gap`.
     let t0 = Instant::now();
     let mut model = Model::new();
 

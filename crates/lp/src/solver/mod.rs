@@ -228,6 +228,9 @@ impl Simplex {
         if self.fire_fault(FaultSite::DeadlineNow) {
             return true;
         }
+        // an:allow(AN001): the LP deadline is a liveness backstop
+        // against real elapsed time; routing it through an injectable
+        // clock would let a frozen test clock hang the simplex forever.
         self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
     }
 

@@ -320,6 +320,9 @@ pub(crate) fn solve_deterministic(
         degraded_nodes: 0,
         trajectory: Vec::new(),
         wall_trajectory: Vec::new(),
+        // an:allow(AN001): the §3.3 stall rule measures real elapsed time
+        // between incumbent improvements; determinism is preserved because
+        // stall stops are always recorded as `stopped_early`.
         last_improvement: Instant::now(),
         last_stall_value: f64::INFINITY,
         stopped_early: false,
@@ -470,6 +473,8 @@ impl<'a> Det<'a> {
                 f64::INFINITY
             };
             if improvement >= self.cfg.stall_improvement {
+                // an:allow(AN001): stall-rule wall clock, as at the engine
+                // start above.
                 self.last_improvement = Instant::now();
                 self.last_stall_value = min_obj;
             }
@@ -871,8 +876,11 @@ struct WsShared<'a> {
     threads: usize,
     budget: Budget,
     target_min: Option<f64>,
+    // lock-order: ws-frontier (terminal: the stop flag store and condvar
+    // park protocol live under it; never held while taking another lock)
     frontier: Mutex<WsFrontier>,
     cv: Condvar,
+    // lock-order: ws-inc (dropped before `request_stop` takes ws-frontier)
     inc: Mutex<WsIncumbent>,
     /// Min-space incumbent objective bits (`f64::INFINITY` when none):
     /// the lock-free read side of cooperative pruning.
@@ -886,12 +894,16 @@ struct WsShared<'a> {
     deadline_noted: AtomicBool,
     /// Gap-rule conclusion: the proven dual bound, when the search ended
     /// by proof rather than interruption.
+    // lock-order: ws-proven (dropped before `request_stop` takes ws-frontier)
     proven: Mutex<Option<f64>>,
     meter: NodeMeter,
     prunes: AtomicUsize,
     degraded: AtomicUsize,
+    // lock-order: ws-faults (leaf: push/take only, nothing acquired under it)
     faults: Mutex<Vec<SolverFault>>,
+    // lock-order: ws-fatal (dropped before `record_fatal` calls request_stop)
     fatal: Mutex<Option<MilpError>>,
+    // lock-order: ws-stats (leaf: record/read only, nothing acquired under it)
     stats: Mutex<LpSolveStats>,
     start: Instant,
     /// Root bounds per LP variable, shared so every worker restores stale
@@ -944,6 +956,8 @@ impl<'a> WsShared<'a> {
                 f64::INFINITY
             };
             if improvement >= self.cfg.stall_improvement {
+                // an:allow(AN001): stall-rule wall clock (work-stealing
+                // engine makes no determinism claims at all).
                 inc.last_improvement = Instant::now();
                 inc.last_stall_value = min_obj;
             }
@@ -1095,16 +1109,36 @@ fn ws_worker(sh: &WsShared<'_>, id: usize, cb_tx: &mpsc::Sender<Vec<f64>>) {
             return;
         }
         let idx = sh.meter.charge(1);
-        let eval = eval_node(
-            &mut simplex,
-            &mut applied,
-            // Work-stealing workers re-derive root bounds from the
-            // compiled LP (cheap relative to a node LP).
-            &sh.root_bounds_cache,
-            &node.changes,
-            node.basis.as_deref(),
-            false,
-        );
+        // Same containment as the deterministic engine's workers: a panic
+        // inside the node evaluation must surface as `Eval::Panicked` (park
+        // local nodes, release the inflight slot, stop the search) rather
+        // than unwind past the frontier protocol — an unwinding worker
+        // leaves its inflight slot populated, so the gap rule would keep
+        // waiting on a bound that no thread will ever retire.
+        let eval = catch_unwind(AssertUnwindSafe(|| {
+            if sh
+                .cfg
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| p.fire(FaultSite::EvalPanic))
+            {
+                // an:allow(AN202): chaos-injection site — unreachable unless
+                // a FaultPlan arms EvalPanic, and the catch_unwind one line
+                // up exists precisely to contain it.
+                panic!("injected node-evaluation panic");
+            }
+            eval_node(
+                &mut simplex,
+                &mut applied,
+                // Work-stealing workers re-derive root bounds from the
+                // compiled LP (cheap relative to a node LP).
+                &sh.root_bounds_cache,
+                &node.changes,
+                node.basis.as_deref(),
+                false,
+            )
+        }))
+        .unwrap_or_else(|_| Eval::Panicked("work-stealing LP worker panicked".into()));
         match eval {
             Eval::Deadline => {
                 if !sh.deadline_noted.swap(true, AtOrd::AcqRel) {
@@ -1250,6 +1284,7 @@ pub(crate) fn solve_work_stealing(
     let mut inc = WsIncumbent {
         best: None,
         trajectory: Vec::new(),
+        // an:allow(AN001): stall-rule wall clock; see `publish`.
         last_improvement: Instant::now(),
         last_stall_value: f64::INFINITY,
     };

@@ -5,7 +5,7 @@ use metaopt_lp::{Simplex, SolveStatus, VarId};
 use metaopt_model::{compile::compile, CompiledModel, Model};
 use metaopt_resilience::{Budget, FaultPlan, FaultSite, SolverFault};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -682,6 +682,9 @@ pub fn solve_resumable(
     callback: &mut dyn IncumbentCallback,
     resume: Option<Checkpoint>,
 ) -> MilpResult<(MilpSolution, Option<Checkpoint>)> {
+    // an:allow(AN001): `solve_time` and the reported trajectory are
+    // wall-clock for every engine; bit-stable replay rides on the
+    // checkpoint's node-axis trajectory instead.
     let start = Instant::now();
     let cm = compile(model)?;
     match cfg.resolved_engine() {
@@ -706,7 +709,7 @@ struct Search<'a> {
     simplex: Simplex,
     root_bounds: Vec<(f64, f64)>,
     /// Vars currently deviating from root bounds.
-    applied: HashMap<usize, ()>,
+    applied: BTreeMap<usize, ()>,
     heap: BinaryHeap<ByBound>,
     dive: Option<Node>,
     /// Incumbent in min-space.
@@ -756,7 +759,7 @@ impl<'a> Search<'a> {
             callback,
             simplex,
             root_bounds,
-            applied: HashMap::new(),
+            applied: BTreeMap::new(),
             heap: BinaryHeap::new(),
             dive: None,
             incumbent: None,
@@ -764,6 +767,8 @@ impl<'a> Search<'a> {
             numerical_prunes: 0,
             degraded_nodes: 0,
             trajectory: Vec::new(),
+            // an:allow(AN001): §3.3 stall rule measures real elapsed time;
+            // stall stops are recorded as `stopped_early`, never certified.
             last_improvement: Instant::now(),
             last_stall_value: f64::INFINITY,
             stopped_early: false,
@@ -806,7 +811,7 @@ impl<'a> Search<'a> {
 
     /// Applies a node's bound set (restoring root bounds first).
     fn apply_bounds(&mut self, node: &Node) -> MilpResult<()> {
-        let mut target: HashMap<usize, (f64, f64)> = HashMap::new();
+        let mut target: BTreeMap<usize, (f64, f64)> = BTreeMap::new();
         for &(v, lo, hi) in &node.changes {
             target.insert(v.0, (lo, hi));
         }
@@ -842,6 +847,7 @@ impl<'a> Search<'a> {
                 f64::INFINITY
             };
             if improvement >= self.cfg.stall_improvement {
+                // an:allow(AN001): stall-rule wall clock, as at `new`.
                 self.last_improvement = Instant::now();
                 self.last_stall_value = min_obj;
             }

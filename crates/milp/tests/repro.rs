@@ -52,3 +52,38 @@ fn knapsack_regression_three_items() {
         sol.best_bound
     );
 }
+
+/// The serial engine is bit-deterministic run to run: identical node
+/// counts, pivot counts, and warm/cold LP accounting. Guards the
+/// `apply_bounds` bookkeeping, which must iterate its bound sets in a
+/// deterministic (ordered) sequence — a hash-ordered container there once
+/// made pivot counts wobble across processes.
+#[test]
+fn serial_engine_stats_are_bit_identical_across_runs() {
+    let mut m = Model::new();
+    let mut w = LinExpr::zero();
+    let mut v = LinExpr::zero();
+    for i in 0..18 {
+        let z = m.add_binary(format!("z{i}")).unwrap();
+        let weight = 3.0 + ((i * 29) % 11) as f64;
+        w.add_term(z, weight);
+        v.add_term(z, weight + 4.0);
+    }
+    m.constrain(w, Sense::Le, 40.0).unwrap();
+    m.set_objective(ObjSense::Max, v).unwrap();
+
+    let cfg = MilpConfig {
+        parallel: metaopt_milp::ParallelMode::Serial,
+        ..MilpConfig::default()
+    };
+    let a = solve(&m, &cfg).unwrap();
+    let b = solve(&m, &cfg).unwrap();
+    assert_eq!(a.status, MilpStatus::Optimal);
+    assert_eq!(a.status, b.status);
+    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    assert_eq!(a.best_bound.to_bits(), b.best_bound.to_bits());
+    assert_eq!(a.nodes, b.nodes);
+    assert_eq!(a.lp_iterations, b.lp_iterations);
+    assert_eq!(a.lp_stats.warm_solves, b.lp_stats.warm_solves);
+    assert_eq!(a.lp_stats.cold_solves, b.lp_stats.cold_solves);
+}

@@ -204,3 +204,30 @@ fn resume_to_optimality_matches_full_solve() {
         full.objective
     );
 }
+
+/// A panic inside a work-stealing worker's node evaluation is contained:
+/// every sibling worker exits promptly (no lost wakeup, no leaked inflight
+/// slot wedging the gap rule) and the search surfaces a fatal error
+/// instead of unwinding or hanging.
+#[test]
+fn ws_worker_panic_is_contained_and_stops_the_search() {
+    let m = big_knapsack(20);
+    let plan = FaultPlan::new().inject(FaultSite::EvalPanic);
+    let cfg = MilpConfig {
+        threads: 4,
+        parallel: metaopt_milp::ParallelMode::WorkStealing,
+        fault_plan: Some(plan.clone()),
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let err = solve(&m, &cfg).expect_err("an evaluation panic must abort the search");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "panic containment must not wedge the worker pool"
+    );
+    assert_eq!(plan.fired(FaultSite::EvalPanic), 1);
+    assert!(
+        err.to_string().contains("panicked"),
+        "error must attribute the abort to the contained panic: {err}"
+    );
+}

@@ -151,6 +151,10 @@ impl Budget {
     /// A budget expiring `d` from now.
     pub fn from_duration(d: Duration) -> Self {
         Budget {
+            // an:allow(AN001): `Budget` *is* the workspace's wall-clock
+            // primitive — deadlines here are liveness backstops, and the
+            // deterministic engines quantize their effect to wave/tick
+            // boundaries so replay stays exact.
             deadline: Some(Instant::now() + d),
             max_nodes: None,
         }
@@ -187,6 +191,7 @@ impl Budget {
 
     /// Whether the wall-clock deadline has passed.
     pub fn expired(&self) -> bool {
+        // an:allow(AN001): see `from_duration` — this is the read side.
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
@@ -194,6 +199,7 @@ impl Budget {
     /// already expired).
     pub fn remaining(&self) -> Option<Duration> {
         self.deadline
+            // an:allow(AN001): see `from_duration` — this is the read side.
             .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
@@ -312,6 +318,12 @@ pub enum FaultSite {
     CallbackPanic,
     /// Force the §3.3 stall rule to fire.
     StallNow,
+    /// Force a panic inside a parallel worker's node evaluation. Exercises
+    /// the worker containment path (panic → `Eval::Panicked` → fatal stop);
+    /// deliberately *not* in [`FaultSite::ALL`] because it aborts the whole
+    /// search by design, while the seeded chaos matrix asserts recoverable
+    /// degradation.
+    EvalPanic,
 }
 
 impl FaultSite {

@@ -63,7 +63,22 @@ pub fn serve(server: &Arc<GapServer>, listener: TcpListener) -> io::Result<()> {
         let server = Arc::clone(server);
         let live = Arc::clone(&live);
         std::thread::spawn(move || {
-            let _ = handle(&server, &mut stream);
+            // A panicking handler must not leak its connection slot: after
+            // `MAX_CONNECTIONS` leaked slots the acceptor would shed every
+            // future connection with 503 forever. Contain the panic, always
+            // release the slot, and tell the client what happened.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = handle(&server, &mut stream);
+            }));
+            if outcome.is_err() {
+                let _ = write_error(
+                    &mut stream,
+                    500,
+                    "internal_error",
+                    "request handler panicked",
+                    None,
+                );
+            }
             live.fetch_sub(1, Ordering::AcqRel);
         });
     }
@@ -114,6 +129,9 @@ fn route(server: &Arc<GapServer>, stream: &mut TcpStream, req: &Request) -> io::
         },
         ("POST", ["admin", "drain"]) => {
             let server = Arc::clone(server);
+            // an:allow(AN104): detached one-shot; `drain` is idempotent,
+            // takes no connection slot, and a panic in it aborts nothing
+            // the acceptor tracks — there is no state to leak.
             std::thread::spawn(move || server.drain("admin request"));
             write_json(
                 stream,

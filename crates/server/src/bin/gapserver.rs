@@ -202,6 +202,8 @@ fn cmd_wait(args: &[&str]) -> Result<ExitCode, String> {
         .first()
         .ok_or_else(|| "wait needs a job id".to_string())?;
     let timeout = flags.num("timeout-secs", 600u64)?;
+    // an:allow(AN001): CLI polling deadline — the client binary lives
+    // outside the deterministic-replay boundary.
     let deadline = Instant::now() + Duration::from_secs(timeout);
     loop {
         let resp = call(addr, "GET", &format!("/jobs/{id}"), None)?;
@@ -230,6 +232,7 @@ fn cmd_wait(args: &[&str]) -> Result<ExitCode, String> {
             }
             _ => {}
         }
+        // an:allow(AN001): see the deadline above.
         if Instant::now() >= deadline {
             eprintln!("gapserver: timed out waiting for job {id} (last: {status})");
             return Ok(ExitCode::from(4));

@@ -65,6 +65,9 @@ impl Json {
         let n = self.as_f64()?;
         // f64 represents integers exactly up to 2^53; beyond that a u64
         // read from JSON was already lossy, so refuse it.
+        // an:allow(AN003): exact integer detection is the point — any
+        // nonzero fraction, however small, means the JSON carried a
+        // non-integer and must be refused, not rounded.
         (n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64).then_some(n as u64)
     }
 

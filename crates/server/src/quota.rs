@@ -5,7 +5,7 @@
 //! reading the clock, which keeps them trivially testable and keeps all
 //! time policy in one place (the server core).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// A classic token bucket: `capacity` tokens of burst, refilled at
@@ -51,7 +51,7 @@ impl TokenBucket {
 pub struct QuotaBook {
     burst: f64,
     per_sec: f64,
-    buckets: HashMap<String, TokenBucket>,
+    buckets: BTreeMap<String, TokenBucket>,
 }
 
 impl QuotaBook {
@@ -61,7 +61,7 @@ impl QuotaBook {
         QuotaBook {
             burst,
             per_sec,
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
         }
     }
 

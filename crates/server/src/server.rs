@@ -26,11 +26,11 @@ use crate::spec::{validate_submit, AdmissionLimits, SubmitRequest};
 use metaopt_campaign::jobs::{JobBook, JobEntry, JobRecord, JobStatus};
 use metaopt_campaign::{
     drive_cell, quarantine_reason_for, retry_jitter_seed, wire, CampaignError, CellDriveEnd,
-    Journal, JOURNAL_FILE,
+    Clock, Journal, SystemClock, JOURNAL_FILE,
 };
 use metaopt_core::SweepState;
 use metaopt_model::ModelStats;
-use metaopt_resilience::{RetryDecision, RetryPolicy, ServiceFault};
+use metaopt_resilience::{FaultPlan, FaultSite, RetryDecision, RetryPolicy, ServiceFault};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -63,6 +63,16 @@ pub struct ServerConfig {
     pub default_threads: usize,
     /// Admission shape limits.
     pub limits: AdmissionLimits,
+    /// Time source for queue aging, quotas, deadlines, and retry backoff.
+    /// The default [`SystemClock`] reads the OS monotonic clock; tests
+    /// inject a [`metaopt_campaign::TestClock`] to drive those paths
+    /// deterministically.
+    pub clock: Arc<dyn Clock>,
+    /// Chaos hook, `None` in production: instrumented server fault sites
+    /// (currently [`FaultSite::EvalPanic`] in the worker loop) consult this
+    /// plan, so the containment paths can be driven deterministically from
+    /// tests — the same pattern as `MilpConfig::fault_plan` one layer down.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +88,8 @@ impl Default for ServerConfig {
             retry: RetryPolicy::default(),
             default_threads: 0,
             limits: AdmissionLimits::default(),
+            clock: Arc::new(SystemClock),
+            fault_plan: None,
         }
     }
 }
@@ -156,6 +168,7 @@ struct Inner {
 /// the pool with [`GapServer::start_workers`], serve HTTP with
 /// [`crate::api::serve`].
 pub struct GapServer {
+    // lock-order: server.inner (the server's single coarse lock)
     inner: Mutex<Inner>,
     /// Wakes workers (new work, drain, stop).
     work_cv: Condvar,
@@ -173,7 +186,7 @@ impl GapServer {
     /// re-enter the queue at their last durable checkpoint, and
     /// interrupted cancellations complete.
     pub fn open(cfg: ServerConfig) -> Result<Arc<GapServer>, CampaignError> {
-        let now = Instant::now();
+        let now = cfg.clock.now();
         let mut queue = AgingQueue::new(Duration::from_secs_f64(cfg.aging_secs.max(0.001)));
         let mut jobs = BTreeMap::new();
         let mut next_id = 1u64;
@@ -268,7 +281,11 @@ impl GapServer {
                 let msg = e.to_string();
                 inner.fatal = Some(msg.clone());
                 inner.stopped = true;
+                // an:allow(AN101): the caller holds the server lock — it
+                // is threaded in as `&mut Inner`, so no `.lock()` appears
+                // in this function's own scope.
                 self.work_cv.notify_all();
+                // an:allow(AN101): same held-by-caller lock as above.
                 self.event_cv.notify_all();
                 Err(msg)
             }
@@ -284,7 +301,7 @@ impl GapServer {
         // The expensive admission work happens before any lock.
         let stats = validate_submit(&req, &self.cfg.limits)
             .map_err(|f| SubmitError::Rejected(f.detail().to_string()))?;
-        let now = Instant::now();
+        let now = self.cfg.clock.now();
         let mut inner = self.lock();
         if inner.stopped || inner.draining {
             return Err(SubmitError::Unavailable);
@@ -567,6 +584,9 @@ impl GapServer {
         seq: usize,
         timeout: Duration,
     ) -> Option<(Vec<String>, usize, bool)> {
+        // an:allow(AN001): the poll timeout for a live HTTP client must
+        // track real elapsed time — under a frozen TestClock this loop
+        // would spin forever instead of timing out.
         let deadline = Instant::now() + timeout;
         let mut inner = self.lock();
         loop {
@@ -577,6 +597,7 @@ impl GapServer {
                 let done = rt.events_done || inner.stopped;
                 return Some((fresh, next, done));
             }
+            // an:allow(AN001): same wall-clock poll deadline as above.
             let now = Instant::now();
             if now >= deadline {
                 return Some((Vec::new(), seq, false));
@@ -625,10 +646,13 @@ fn worker_loop(server: &GapServer) {
                 if inner.stopped || inner.draining {
                     return;
                 }
-                let now = Instant::now();
+                let now = server.cfg.clock.now();
                 let mut due = Vec::new();
                 let mut i = 0;
                 while i < inner.delayed.len() {
+                    // an:allow(AN203): `i < len` is the loop guard and
+                    // swap_remove shrinks from the tail, so the index
+                    // stays in bounds on every iteration.
                     if inner.delayed[i].0 <= now {
                         due.push(inner.delayed.swap_remove(i).1);
                     } else {
@@ -691,15 +715,34 @@ fn worker_loop(server: &GapServer) {
             (id, attempt, spec, threads, resume)
         };
 
-        // Execute outside the lock.
+        // Execute outside the lock. The cell deadline is computed and
+        // checked against the injected clock, so timeout behavior is
+        // deterministic under a `TestClock`.
         let cell_deadline = spec
             .timeout_secs
-            .map(|s| Instant::now() + Duration::from_secs_f64(s));
-        let end = drive_cell(
+            .map(|s| server.cfg.clock.now() + Duration::from_secs_f64(s));
+        // The whole solver stack runs inside this call; a panic escaping it
+        // would kill the worker thread with the job still in `running`, so
+        // `drain` would wait on it forever. Contain it and let the normal
+        // failure path journal the attempt and quarantine the job.
+        let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if server
+                .cfg
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| p.fire(FaultSite::EvalPanic))
+            {
+                // an:allow(AN202): chaos-injection site — unreachable unless
+                // a FaultPlan arms EvalPanic; the surrounding catch_unwind
+                // converts it into a quarantining `Failed{kind:"panic"}`.
+                panic!("injected worker panic");
+            }
+            drive_cell(
             &spec,
             threads,
             resume,
             cell_deadline,
+            &*server.cfg.clock,
             &mut |st| {
                 let mut inner = server.lock();
                 server
@@ -744,7 +787,19 @@ fn worker_loop(server: &GapServer) {
                         )
                     })
             },
-        );
+        )
+        }))
+        .unwrap_or_else(|payload| {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Ok(CellDriveEnd::Failed {
+                kind: "panic".to_string(),
+                detail: format!("cell worker panicked: {detail}"),
+            })
+        });
 
         // Record the outcome.
         let mut inner = server.lock();
@@ -847,7 +902,9 @@ fn worker_loop(server: &GapServer) {
                         ],
                     ));
                 }
-                let decision = if kind == "fatal" {
+                // Panics are treated like fatal faults: almost certainly
+                // deterministic, so retrying burns attempts for nothing.
+                let decision = if kind == "fatal" || kind == "panic" {
                     RetryDecision::Quarantine
                 } else {
                     server
@@ -857,7 +914,7 @@ fn worker_loop(server: &GapServer) {
                 };
                 match decision {
                     RetryDecision::RetryAfter(delay) => {
-                        inner.delayed.push((Instant::now() + delay, id));
+                        inner.delayed.push((server.cfg.clock.now() + delay, id));
                     }
                     RetryDecision::Quarantine => {
                         let reason = quarantine_reason_for(&kind);

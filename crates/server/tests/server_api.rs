@@ -271,3 +271,34 @@ fn drain_preserves_queued_jobs_for_the_next_boot() {
         w.join().unwrap();
     }
 }
+
+/// A worker panic mid-job is contained: the attempt is journaled with
+/// failure kind `panic`, the job is quarantined immediately (a panic is
+/// almost certainly deterministic, so retries would burn attempts), and
+/// the server still drains cleanly — the panicking worker must neither
+/// wedge `drain` nor leave the job stuck in `running`.
+#[test]
+fn worker_panic_quarantines_job_and_server_still_drains() {
+    use metaopt_resilience::{FaultPlan, FaultSite};
+    let plan = FaultPlan::new().inject(FaultSite::EvalPanic);
+    let mut config = cfg("api-worker-panic");
+    config.fault_plan = Some(plan.clone());
+    let h = Harness::start(config);
+
+    let resp = h.call("POST", "/jobs", Some(&job_body("boom", "mallory", 40.0, 60.0, 10.0)));
+    assert_eq!(resp.status, 202, "{}", resp.text());
+
+    let job = h.wait_status(1, "quarantined", Duration::from_secs(60));
+    assert_eq!(job.get("running").and_then(Json::as_bool), Some(false));
+    let failures = job.get("failures").unwrap().as_array().unwrap();
+    assert!(
+        failures
+            .iter()
+            .any(|f| f.get("kind").and_then(Json::as_str) == Some("panic")),
+        "quarantine must record the contained panic: {job:?}"
+    );
+    assert_eq!(plan.fired(FaultSite::EvalPanic), 1);
+
+    // The pool survived the panic: a drain completes and joins all workers.
+    h.shutdown();
+}

@@ -16,7 +16,7 @@
 
 use crate::graph::Topology;
 use crate::TopologyError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Errors specific to parsing (wrapped into [`TopologyError`] variants
 /// where possible; syntax errors carry line numbers).
@@ -63,7 +63,7 @@ impl From<TopologyError> for ParseError {
 /// Parses a topology from the text format described in the module docs.
 pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
     let mut topo = Topology::new("unnamed");
-    let mut nodes: HashMap<String, crate::NodeId> = HashMap::new();
+    let mut nodes: BTreeMap<String, crate::NodeId> = BTreeMap::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.split('#').next().unwrap_or("").trim();

@@ -8,7 +8,11 @@
 //!   `#![forbid(unsafe_code)]` (vendored crates are exempt).
 //! * `clippy` — runs the pedantic lint subset the repo holds itself to,
 //!   with `-D warnings`.
-//! * `lint` — both of the above; the CI entry point.
+//! * `lint` — both of the above.
+//! * `analyze` — the `metaopt-analyze` correctness gates: ANxxx source
+//!   lints over every first-party crate plus the exhaustive work-stealing
+//!   protocol check. Deny-by-default; see `DESIGN.md` §14.
+//! * `verify` — `lint` + `analyze`; the CI entry point.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -100,6 +104,27 @@ fn clippy(root: &Path) -> Result<(), String> {
     }
 }
 
+/// The `metaopt-analyze` gates: source lints, then the exhaustive
+/// protocol exploration. Both must be completely clean.
+fn analyze(root: &Path) -> Result<(), String> {
+    let report = metaopt_analyze::analyze_workspace(root)
+        .map_err(|e| format!("analyze: reading workspace sources: {e}"))?;
+    for d in report.diagnostics() {
+        eprintln!("{d}");
+    }
+    if report.has_errors() {
+        return Err(format!("analyze: source lints failed ({})", report.summary()));
+    }
+    println!("analyze: source lints ok ({})", report.summary());
+    let lines = metaopt_analyze::protocol::gate()
+        .map_err(|e| format!("analyze: protocol check failed:\n{e}"))?;
+    for line in &lines {
+        println!("analyze: protocol {}: {} states explored", line.name, line.states);
+    }
+    println!("analyze: protocol ok ({} scenarios exhaustively explored)", lines.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let task = std::env::args().nth(1).unwrap_or_default();
     let root = workspace_root();
@@ -107,7 +132,11 @@ fn main() -> ExitCode {
         "forbid-unsafe" => forbid_unsafe(&root),
         "clippy" => clippy(&root),
         "lint" => forbid_unsafe(&root).and_then(|()| clippy(&root)),
-        _ => Err("usage: cargo run -p xtask -- <lint|forbid-unsafe|clippy>".into()),
+        "analyze" => analyze(&root),
+        "verify" => forbid_unsafe(&root)
+            .and_then(|()| clippy(&root))
+            .and_then(|()| analyze(&root)),
+        _ => Err("usage: cargo run -p xtask -- <verify|lint|analyze|forbid-unsafe|clippy>".into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
