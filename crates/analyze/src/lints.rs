@@ -9,6 +9,7 @@
 //! | AN102 | concurrency  | a `Mutex` field without a `// lock-order:` annotation   |
 //! | AN103 | concurrency  | a cycle (or unknown node) in the declared lock order    |
 //! | AN104 | concurrency  | a spawn site with no `catch_unwind` containment         |
+//! | AN105 | observability| raw `println!`/`eprintln!` in first-party library code  |
 //! | AN201 | panic-free   | `unwrap`/`expect` in hot paths (lock-poison idiom exempt) |
 //! | AN202 | panic-free   | `panic!`-family macros in hot paths                     |
 //! | AN203 | panic-free   | slice indexing in supervisory request paths             |
@@ -22,8 +23,11 @@ use crate::scan::SourceFile;
 use crate::{Diagnostic, Report, Severity, Span};
 
 /// The module whose raw `Instant::now()` reads are sanctioned: every
-/// other supervisory read must go through the injected `Clock`.
-pub const APPROVED_CLOCK_MODULE: &str = "crates/campaign/src/clock.rs";
+/// other supervisory read must go through the injected `Clock`. The
+/// clock moved from `metaopt-campaign` to `metaopt-obs` (PR 8) so the
+/// tracer can share it; `crates/campaign/src/clock.rs` is now a plain
+/// re-export with no raw reads of its own.
+pub const APPROVED_CLOCK_MODULE: &str = "crates/obs/src/clock.rs";
 
 /// A parsed `// an:allow(ANxxx): why` suppression.
 #[derive(Debug)]
@@ -81,6 +85,7 @@ fn run_file(f: &SourceFile, report: &mut Report, locks: &mut Vec<LockDecl>) {
     an101_notify_without_lock(f, &mut fired);
     an102_mutex_annotations(f, &mut fired, locks);
     an104_spawn_containment(f, &mut fired);
+    an105_raw_print(f, &mut fired);
     an201_unwrap(f, &mut fired);
     an202_panic_macros(f, &mut fired);
     an203_indexing(f, &mut fired);
@@ -208,8 +213,8 @@ fn an001_time(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
     }
 }
 
-const CERTIFIED_CRATES: [&str; 8] = [
-    "lp", "milp", "model", "core", "te", "topology", "campaign", "server",
+const CERTIFIED_CRATES: [&str; 9] = [
+    "lp", "milp", "model", "core", "te", "topology", "campaign", "server", "obs",
 ];
 
 /// Crates where AN003 applies. `lp` and `model` are deliberately out of
@@ -574,6 +579,47 @@ fn an104_spawn_containment(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
                  justify where the containment actually lives)"
                     .into(),
             ));
+        }
+    }
+}
+
+/// Library code that may bypass the obs structured event API. Binaries
+/// own their stdout/stderr contract outright (drill scripts parse it);
+/// the `obs` crate is the sanctioned emit site (`Tracer::log_stderr`
+/// ends in an `eprintln!`); `xtask` and `analyze` are repo tooling whose
+/// whole job is printing reports; the vendored subsets are not ours.
+fn an105_exempt(f: &SourceFile) -> bool {
+    matches!(f.crate_name.as_str(), "obs" | "xtask" | "analyze")
+        || f.rel.contains("/bin/")
+        || f.rel.ends_with("/main.rs")
+}
+
+fn an105_raw_print(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    if an105_exempt(f) {
+        return;
+    }
+    for (line, code) in f.code_lines() {
+        for needle in ["println!(", "eprintln!("] {
+            // `find_word` so `println!(` does not also fire inside every
+            // `eprintln!(`.
+            for col in find_word(code, needle.trim_end_matches('(')) {
+                if !code[col..].starts_with(needle) {
+                    continue;
+                }
+                fired.push(diag(
+                    "AN105",
+                    f,
+                    line,
+                    col + 1,
+                    format!(
+                        "raw `{}` in first-party library code: route operator-facing \
+                         output through the obs event API (`Tracer::log_stderr` keeps \
+                         stderr byte-stable while also feeding the flight recorder), or \
+                         justify the direct write",
+                        needle.trim_end_matches('(')
+                    ),
+                ));
+            }
         }
     }
 }

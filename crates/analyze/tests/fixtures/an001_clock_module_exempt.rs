@@ -1,4 +1,4 @@
-//@ rel: crates/campaign/src/clock.rs
+//@ rel: crates/obs/src/clock.rs
 use std::time::Instant;
 
 fn wall_now() -> Instant {

@@ -1,0 +1,5 @@
+//@ rel: crates/server/src/bin/gapserver.rs
+fn main() {
+    println!("LISTENING 127.0.0.1:1");
+    eprintln!("gapserver: usage");
+}

@@ -1,0 +1,10 @@
+//@ rel: crates/campaign/src/progress.rs
+//@ expect: AN105 5:5
+//@ expect: AN105 9:5
+fn report(done: usize) {
+    println!("done {done}");
+}
+
+fn warn(msg: &str) {
+    eprintln!("campaign: {msg}");
+}

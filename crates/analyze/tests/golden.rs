@@ -128,8 +128,8 @@ fn golden_suite_covers_every_suppressable_lint() {
     // vocabulary contracts are workspace-level and tested in `vocab`.)
     let fixtures = load_fixtures();
     for code in [
-        "AN001", "AN002", "AN003", "AN101", "AN102", "AN103", "AN104", "AN201", "AN202", "AN203",
-        "AN401", "AN402",
+        "AN001", "AN002", "AN003", "AN101", "AN102", "AN103", "AN104", "AN105", "AN201", "AN202",
+        "AN203", "AN401", "AN402",
     ] {
         assert!(
             fixtures

@@ -12,12 +12,14 @@
 use metaopt_bench::quick_mode;
 use metaopt_core::finder::build_adversarial_model;
 use metaopt_core::{ConstrainedSet, FinderConfig, HeuristicSpec, PopMode};
-use metaopt_milp::{solve, MilpConfig, MilpSolution, ParallelMode};
+use metaopt_milp::{solve, MilpConfig, MilpMetrics, MilpSolution, ParallelMode};
 use metaopt_model::Model;
+use metaopt_obs::{Counter, Registry};
 use metaopt_te::pop::Partition;
 use metaopt_te::TeInstance;
 use metaopt_topology::synth::{figure1_triangle, line};
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::time::Instant;
 
 fn fig1() -> TeInstance {
@@ -97,6 +99,88 @@ fn run_cell(model_name: &str, model: &Model, engine: &'static str, threads: usiz
     }
 }
 
+/// Disabled-recorder overhead on the bench workload (DESIGN.md §15.4).
+///
+/// With observability off, every instrumentation site still executes a
+/// no-op handle call (`Option<Arc>` = `None` check). Two measurements
+/// bound its cost on the fig1-dp serial cell:
+///
+/// * `disabled_overhead_pct` — per-call cost of a disabled counter
+///   (amortized over 2^27 calls) times the number of instrumented
+///   operations one bench solve performs, as a fraction of that solve's
+///   wall clock. This is the honest bound: the A/B below cannot isolate
+///   sub-noise effects.
+/// * `enabled_delta_pct` — direct A/B of registered (live atomics)
+///   versus disabled handles on the same solve; noisy at small scales
+///   and reported as measured (may be negative).
+struct ObsOverhead {
+    ns_per_disabled_call: f64,
+    instrumented_ops_per_solve: u64,
+    solve_secs: f64,
+    disabled_overhead_pct: f64,
+    enabled_delta_pct: f64,
+}
+
+fn measure_obs_overhead(reps: usize) -> ObsOverhead {
+    let model = model_for("fig1-dp");
+    let reps = reps.max(3);
+    let disabled_cfg = MilpConfig {
+        threads: 1,
+        parallel: ParallelMode::Serial,
+        ..MilpConfig::default()
+    };
+    let registry = Registry::new();
+    let enabled_cfg = MilpConfig {
+        threads: 1,
+        parallel: ParallelMode::Serial,
+        metrics: MilpMetrics::register(&registry),
+        ..MilpConfig::default()
+    };
+    let mut disabled_secs = f64::INFINITY;
+    let mut enabled_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(solve(&model, &disabled_cfg).expect("solve failed"));
+        disabled_secs = disabled_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        black_box(solve(&model, &enabled_cfg).expect("solve failed"));
+        enabled_secs = enabled_secs.min(t0.elapsed().as_secs_f64());
+    }
+
+    // Per-call cost of a disabled handle.
+    let noop = Counter::disabled();
+    const CALLS: u64 = 1 << 27;
+    let t0 = Instant::now();
+    for _ in 0..CALLS {
+        black_box(&noop).inc();
+    }
+    let ns_per_disabled_call = t0.elapsed().as_secs_f64() * 1e9 / CALLS as f64;
+
+    // The enabled runs filled the shared counters: their totals over
+    // `reps` solves count exactly the instrumentation sites the solver
+    // hit, so totals/reps = instrumented ops per bench solve.
+    let m = &enabled_cfg.metrics;
+    let total_ops = m.nodes.get()
+        + m.waves.get()
+        + m.steals.get()
+        + m.incumbents.get()
+        + m.lp.pivots.get()
+        + m.lp.refactors.get()
+        + m.lp.warm_solves.get()
+        + m.lp.cold_solves.get();
+    let instrumented_ops_per_solve = total_ops / reps as u64;
+
+    ObsOverhead {
+        ns_per_disabled_call,
+        instrumented_ops_per_solve,
+        solve_secs: disabled_secs,
+        disabled_overhead_pct: instrumented_ops_per_solve as f64 * ns_per_disabled_call
+            / (disabled_secs * 1e9)
+            * 100.0,
+        enabled_delta_pct: (enabled_secs - disabled_secs) / disabled_secs * 100.0,
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // Every string this emitter writes is a plain identifier.
     s
@@ -115,11 +199,23 @@ fn main() {
         }
         cells.push(run_cell(name, &model, "work-stealing", 8, reps));
     }
+    let obs = measure_obs_overhead(reps);
 
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"bnb\",");
     let _ = writeln!(out, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(
+        out,
+        "  \"obs_overhead\": {{\"ns_per_disabled_call\": {:.4}, \
+         \"instrumented_ops_per_solve\": {}, \"solve_secs\": {:.6}, \
+         \"disabled_overhead_pct\": {:.4}, \"enabled_delta_pct\": {:.3}}},",
+        obs.ns_per_disabled_call,
+        obs.instrumented_ops_per_solve,
+        obs.solve_secs,
+        obs.disabled_overhead_pct,
+        obs.enabled_delta_pct,
+    );
     let _ = writeln!(
         out,
         "  \"note\": \"speedups are wall-clock vs the serial engine on the same model; \
@@ -192,5 +288,14 @@ fn main() {
                 .map_or("-".to_string(), |v| format!("{v:.1}")),
         );
     }
+    println!(
+        "\nobs overhead (fig1-dp serial): disabled handles {:.3} ns/call x {} ops \
+         = {:.4}% of the {:.4}s solve; enabled-vs-disabled A/B delta {:+.2}%",
+        obs.ns_per_disabled_call,
+        obs.instrumented_ops_per_solve,
+        obs.disabled_overhead_pct,
+        obs.solve_secs,
+        obs.enabled_delta_pct,
+    );
     println!("\nwrote {path}");
 }

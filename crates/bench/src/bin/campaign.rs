@@ -30,10 +30,13 @@ use metaopt_campaign::{
     resume, run, status, CampaignConfig, CampaignState, CellHeuristic, CellSpec, CellStatus,
     RunEnd, ShutdownFlag, TopologySpec,
 };
+use metaopt_obs::trace::DEFAULT_RING_CAPACITY;
+use metaopt_obs::{SystemClock, Tracer};
 use metaopt_resilience::RetryPolicy;
 use metaopt_server::Json;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn fig1_cells(timeout: Option<f64>) -> Vec<CellSpec> {
@@ -240,12 +243,16 @@ fn status_exit(state: &CampaignState) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Diagnostics go through the obs event API (flight recorder dumped
+    // on panic); stderr bytes are identical to the old `eprintln!`s.
+    let tracer = Tracer::new(Arc::new(SystemClock), DEFAULT_RING_CAPACITY);
+    tracer.install_panic_dump();
     let args: Vec<String> = std::env::args().collect();
     let usage = "usage: campaign <run|resume|status> <dir> [--json]";
     let (cmd, dir) = match (args.get(1), args.get(2)) {
         (Some(c), Some(d)) => (c.as_str(), Path::new(d)),
         _ => {
-            eprintln!("{usage}");
+            tracer.log_stderr("bench.usage", usage);
             return ExitCode::from(2);
         }
     };
@@ -273,13 +280,16 @@ fn main() -> ExitCode {
                     status_exit(&st)
                 }
                 Err(e) => {
-                    eprintln!("status failed: {e}");
+                    tracer.log_stderr("bench.status_failed", &format!("status failed: {e}"));
                     ExitCode::FAILURE
                 }
             }
         }
         other => {
-            eprintln!("unknown command `{other}`\n{usage}");
+            tracer.log_stderr(
+                "bench.bad_command",
+                &format!("unknown command `{other}`\n{usage}"),
+            );
             return ExitCode::from(2);
         }
     };
@@ -295,7 +305,7 @@ fn main() -> ExitCode {
             }
         }
         Err(e) => {
-            eprintln!("campaign failed: {e}");
+            tracer.log_stderr("bench.campaign_failed", &format!("campaign failed: {e}"));
             ExitCode::FAILURE
         }
     }

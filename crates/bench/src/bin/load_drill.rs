@@ -12,6 +12,8 @@
 //! acknowledged job reached a certified terminal result. Nonzero
 //! otherwise — so CI can run this as a drill, not just a benchmark.
 
+use metaopt_obs::trace::DEFAULT_RING_CAPACITY;
+use metaopt_obs::{SystemClock, Tracer};
 use metaopt_server::client::request;
 use metaopt_server::{serve, GapServer, Json, ServerConfig};
 use std::net::TcpListener;
@@ -34,6 +36,10 @@ fn tiny_job(label: &str, client: &str) -> Vec<u8> {
 }
 
 fn main() -> ExitCode {
+    // Structured diagnostics; stderr stays byte-identical to the old
+    // plain `eprintln!` lines.
+    let tracer = Tracer::new(Arc::new(SystemClock), DEFAULT_RING_CAPACITY);
+    tracer.install_panic_dump();
     let args: Vec<String> = std::env::args().collect();
     let burst: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120);
     let max_queue: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
@@ -51,7 +57,7 @@ fn main() -> ExitCode {
     }) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("load_drill: open: {e}");
+            tracer.log_stderr("load_drill.open_failed", &format!("load_drill: open: {e}"));
             return ExitCode::FAILURE;
         }
     };
@@ -114,7 +120,10 @@ fn main() -> ExitCode {
                 }
             }
             other => {
-                eprintln!("load_drill: unexpected status {other}: {}", resp.text());
+                tracer.log_stderr(
+                    "load_drill.unexpected_status",
+                    &format!("load_drill: unexpected status {other}: {}", resp.text()),
+                );
                 ok = false;
             }
         }

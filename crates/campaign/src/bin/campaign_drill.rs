@@ -13,9 +13,12 @@ use metaopt_campaign::{
     resume, run, status, CampaignConfig, CampaignState, CellHeuristic, CellSpec, CellStatus,
     RunEnd, ShutdownFlag, TopologySpec,
 };
+use metaopt_obs::trace::DEFAULT_RING_CAPACITY;
+use metaopt_obs::{SystemClock, Tracer};
 use metaopt_resilience::RetryPolicy;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn drill_cells(slice_nodes: usize) -> Vec<CellSpec> {
     // Three DP thresholds on the Figure-1 triangle: cheap enough for CI,
@@ -70,12 +73,17 @@ fn print_state(state: &CampaignState) {
 }
 
 fn main() -> ExitCode {
+    // Structured stderr: every diagnostic goes through the flight
+    // recorder (dumped on panic) while keeping stderr byte-identical to
+    // the old plain `eprintln!` lines the drill scripts grep.
+    let tracer = Tracer::new(Arc::new(SystemClock), DEFAULT_RING_CAPACITY);
+    tracer.install_panic_dump();
     let args: Vec<String> = std::env::args().collect();
     let usage = "usage: campaign_drill <run|resume|status> <dir> [slice_nodes]";
     let (cmd, dir) = match (args.get(1), args.get(2)) {
         (Some(c), Some(d)) => (c.as_str(), Path::new(d)),
         _ => {
-            eprintln!("{usage}");
+            tracer.log_stderr("drill.usage", usage);
             return ExitCode::from(2);
         }
     };
@@ -99,13 +107,16 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("status failed: {e}");
+                    tracer.log_stderr("drill.status_failed", &format!("status failed: {e}"));
                     ExitCode::FAILURE
                 }
             }
         }
         other => {
-            eprintln!("unknown command `{other}`\n{usage}");
+            tracer.log_stderr(
+                "drill.bad_command",
+                &format!("unknown command `{other}`\n{usage}"),
+            );
             return ExitCode::from(2);
         }
     };
@@ -118,7 +129,7 @@ fn main() -> ExitCode {
             }
         }
         Err(e) => {
-            eprintln!("campaign failed: {e}");
+            tracer.log_stderr("drill.campaign_failed", &format!("campaign failed: {e}"));
             ExitCode::FAILURE
         }
     }

@@ -38,6 +38,10 @@ pub const JOURNAL_FILE: &str = "journal.wal";
 pub struct Journal {
     file: BufWriter<File>,
     path: PathBuf,
+    /// Durability counters (no-op by default); `append` is the single
+    /// choke point every record passes through, so counting here covers
+    /// campaign runs and the job server's book alike.
+    metrics: crate::CampaignMetrics,
 }
 
 impl Journal {
@@ -55,6 +59,7 @@ impl Journal {
         Ok(Journal {
             file: BufWriter::new(file),
             path,
+            metrics: crate::CampaignMetrics::disabled(),
         })
     }
 
@@ -68,7 +73,14 @@ impl Journal {
         Ok(Journal {
             file: BufWriter::new(file),
             path,
+            metrics: crate::CampaignMetrics::disabled(),
         })
+    }
+
+    /// Installs durability counters; subsequent appends/fsyncs count
+    /// against them. Observation only — write behaviour is unchanged.
+    pub fn set_metrics(&mut self, metrics: crate::CampaignMetrics) {
+        self.metrics = metrics;
     }
 
     /// Appends one record payload (without the `J1 len crc` envelope —
@@ -80,6 +92,10 @@ impl Journal {
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
             .and_then(|()| self.file.get_ref().sync_data())
+            .map(|()| {
+                self.metrics.journal_appends.inc();
+                self.metrics.journal_fsyncs.inc();
+            })
             .map_err(|e| CampaignError::Io(format!("append {}: {e}", self.path.display())))
     }
 }

@@ -30,6 +30,7 @@ pub mod cell;
 pub mod clock;
 pub mod jobs;
 pub mod journal;
+pub mod metrics;
 pub mod runner;
 pub mod state;
 pub mod wire;
@@ -42,9 +43,10 @@ pub use jobs::{JobBook, JobEntry, JobRecord, JobStatus, JOBS_MAGIC};
 pub use journal::{
     encode_line, parse_journal_bytes, read_journal, Journal, JournalContents, JOURNAL_FILE,
 };
+pub use metrics::CampaignMetrics;
 pub use runner::{
     drive_cell, quarantine_reason_for, resume, retry_jitter_seed, run, status, CampaignConfig,
-    CampaignReport, CellDriveEnd, RunEnd, ShutdownFlag, MANIFEST_FILE,
+    CampaignReport, CellDriveEnd, RunEnd, ShutdownFlag, SolverObs, MANIFEST_FILE,
 };
 pub use state::{CampaignState, CellStatus, FailureRecord, CAMPAIGN_MAGIC};
 

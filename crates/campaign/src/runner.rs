@@ -82,6 +82,13 @@ pub struct CampaignConfig {
     /// a [`crate::clock::TestClock`] to drive timeout paths
     /// deterministically.
     pub clock: Arc<dyn Clock>,
+    /// Observability handles (journal durability, retries, quarantines,
+    /// replay durations, solver counters). Defaults to no-ops; enabling
+    /// them changes no scheduling decision and no journal byte.
+    pub metrics: crate::CampaignMetrics,
+    /// Flight-recorder tracer installed on each cell's solver stack.
+    /// Defaults to disabled.
+    pub tracer: metaopt_obs::Tracer,
 }
 
 impl Default for CampaignConfig {
@@ -93,6 +100,8 @@ impl Default for CampaignConfig {
             threads_per_cell: 0,
             retry_salt: 0,
             clock: Arc::new(SystemClock),
+            metrics: crate::CampaignMetrics::disabled(),
+            tracer: metaopt_obs::Tracer::disabled(),
         }
     }
 }
@@ -144,6 +153,7 @@ pub fn run(
         return Err(CampaignError::Config("campaign has no cells".into()));
     }
     let mut journal = Journal::create(dir)?;
+    journal.set_metrics(cfg.metrics.clone());
     journal.append(&format!(
         "{} {} {}",
         crate::state::CAMPAIGN_MAGIC,
@@ -174,7 +184,11 @@ pub fn resume(
     cfg: &CampaignConfig,
     shutdown: &ShutdownFlag,
 ) -> Result<CampaignReport, CampaignError> {
+    let replay_started = cfg.clock.now();
     let prior = CampaignState::from_dir(dir)?;
+    cfg.metrics
+        .replay_seconds
+        .observe((cfg.clock.now() - replay_started).as_secs_f64());
     let mut work = Vec::new();
     for idx in prior.pending_indices() {
         // an:allow(AN203): `pending_indices` yields indices into its own
@@ -193,7 +207,8 @@ pub fn resume(
             spec: prior.cells[idx].clone(),
         });
     }
-    let journal = Journal::open_append(dir)?;
+    let mut journal = Journal::open_append(dir)?;
+    journal.set_metrics(cfg.metrics.clone());
     execute(dir, journal, work, cfg, shutdown)
 }
 
@@ -248,6 +263,8 @@ struct Shared {
     threads_per_cell: usize,
     retry_salt: u64,
     clock: Arc<dyn Clock>,
+    metrics: crate::CampaignMetrics,
+    tracer: metaopt_obs::Tracer,
     /// First unrecoverable runner error (journal I/O); stops the run.
     // lock-order: campaign.fatal -> campaign.queue
     fatal: Mutex<Option<CampaignError>>,
@@ -301,6 +318,8 @@ fn execute(
         threads_per_cell: cfg.threads_per_cell,
         retry_salt: cfg.retry_salt,
         clock: Arc::clone(&cfg.clock),
+        metrics: cfg.metrics.clone(),
+        tracer: cfg.tracer.clone(),
         fatal: Mutex::new(None),
     };
 
@@ -356,7 +375,11 @@ fn execute(
     shared.append(&format!("shutdown {}", wire::escape(reason)))?;
     drop(shared);
 
+    let replay_started = cfg.clock.now();
     let state = CampaignState::from_dir(dir)?;
+    cfg.metrics
+        .replay_seconds
+        .observe((cfg.clock.now() - replay_started).as_secs_f64());
     std::fs::write(dir.join(MANIFEST_FILE), state.manifest())
         .map_err(|e| CampaignError::Io(format!("write manifest: {e}")))?;
     Ok(CampaignReport { state, end })
@@ -476,6 +499,7 @@ fn run_item(shared: &Shared, item: WorkItem) {
             };
             match decision {
                 RetryDecision::RetryAfter(delay) => {
+                    shared.metrics.retries.inc();
                     let retry = WorkItem {
                         idx,
                         attempt: attempt + 1,
@@ -488,6 +512,7 @@ fn run_item(shared: &Shared, item: WorkItem) {
                     shared.cv.notify_all();
                 }
                 RetryDecision::Quarantine => {
+                    shared.metrics.quarantines.inc();
                     let reason = quarantine_reason_for(&kind);
                     if let Err(e) = shared
                         .append(&format!("quarantine {idx} {} {attempt}", reason.kind()))
@@ -511,6 +536,21 @@ pub fn quarantine_reason_for(failure_kind: &str) -> QuarantineReason {
         "panic" => QuarantineReason::WorkerPanic,
         _ => QuarantineReason::ExhaustedRetries,
     }
+}
+
+/// Observability handles a supervisor installs on each cell attempt's
+/// solver stack: [`drive_cell`] copies them into the rebuilt
+/// `FinderConfig`'s `MilpConfig` before the first tick, so
+/// branch-and-bound node/wave/steal counters and node-LP pivot counters
+/// accumulate — and incumbent events reach the flight recorder —
+/// without the spec (which is journaled) having to carry them.
+/// Defaults to all-disabled: observation never changes tick results.
+#[derive(Debug, Clone, Default)]
+pub struct SolverObs {
+    /// Branch-and-bound + node-LP counter handles.
+    pub metrics: metaopt_milp::MilpMetrics,
+    /// Tracer receiving incumbent / solver events.
+    pub tracer: metaopt_obs::Tracer,
 }
 
 /// How one supervised [`drive_cell`] attempt ended.
@@ -548,12 +588,14 @@ pub enum CellDriveEnd {
 ///
 /// `Err` is reserved for the caller's own `on_checkpoint` failures
 /// (journal I/O): those are supervisor-fatal, not cell failures.
+#[allow(clippy::too_many_arguments)] // supervisor boundary: spec + overrides + clock + obs + callbacks
 pub fn drive_cell(
     spec: &CellSpec,
     threads_override: usize,
     resume: Option<SweepState>,
     cell_deadline: Option<Instant>,
     clock: &dyn Clock,
+    obs: &SolverObs,
     on_checkpoint: &mut dyn FnMut(&SweepState) -> Result<(), CampaignError>,
     stop: &mut dyn FnMut() -> bool,
 ) -> Result<CellDriveEnd, CampaignError> {
@@ -577,6 +619,17 @@ pub fn drive_cell(
     if threads_override > 0 {
         cfg.threads = threads_override;
     }
+    cfg.milp.metrics = obs.metrics.clone();
+    cfg.milp.tracer = obs.tracer.clone();
+    // Span covering the whole cell drive: every tick, probe, and solver
+    // event recorded below nests inside it in the flight recorder.
+    let _cell_span = obs.tracer.span(
+        "campaign.drive_cell",
+        vec![
+            ("label", spec.label.clone()),
+            ("threads", cfg.threads.to_string()),
+        ],
+    );
     let mut current = match resume {
         Some(s) => s,
         None => spec.fresh_state()?,
@@ -647,12 +700,17 @@ fn attempt_cell(
     cell_deadline: Option<Instant>,
 ) -> Result<AttemptEnd, CampaignError> {
     let resume = last_good.clone();
+    let obs = SolverObs {
+        metrics: shared.metrics.solver.clone(),
+        tracer: shared.tracer.clone(),
+    };
     let end = drive_cell(
         spec,
         shared.threads_per_cell,
         resume,
         cell_deadline,
         &*shared.clock,
+        &obs,
         &mut |next| {
             shared.append(&format!("ckpt {idx} {}", encode_sweep_state(next)))?;
             *last_good = Some(next.clone());

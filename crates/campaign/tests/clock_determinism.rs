@@ -53,6 +53,7 @@ fn cell_timeout_fires_on_injected_clock_advance() {
         None,
         deadline,
         &clock,
+        &metaopt_campaign::SolverObs::default(),
         &mut |_st| {
             // One tick elapsed; fast-forward time past the deadline.
             clock.advance(Duration::from_secs(1200));
@@ -80,6 +81,7 @@ fn frozen_clock_never_times_out() {
         None,
         deadline,
         &clock,
+        &metaopt_campaign::SolverObs::default(),
         &mut |_st| Ok(()),
         &mut || false,
     )

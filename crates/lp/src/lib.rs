@@ -24,11 +24,13 @@
 //! in traffic-engineering LPs — is handled with a Bland-rule fallback after a
 //! run of degenerate pivots.
 
+mod metrics;
 mod problem;
 mod solution;
 mod solver;
 mod sparse;
 
+pub use metrics::LpMetrics;
 pub use problem::{LpProblem, RowId, RowSense, VarId, INF, NEG_INF};
 pub use solution::{Solution, SolveStatus};
 pub use solver::{Basis, Simplex, SimplexConfig};

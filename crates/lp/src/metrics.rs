@@ -1,0 +1,77 @@
+//! Pre-registered obs handles for the simplex kernel.
+//!
+//! The kernel records *per-solve deltas*, never per-pivot increments:
+//! [`crate::Simplex`] already counts iterations for its own refactor
+//! cadence, and the recovery wrapper flushes the delta into these
+//! counters once per `solve`/`resolve`. A default-constructed
+//! (disabled) `LpMetrics` is a set of no-op handles, so un-instrumented
+//! callers pay a branch per solve, nothing per pivot.
+
+use metaopt_obs::{Counter, Registry};
+
+/// Counter handles for one simplex instance (clone-shared; all
+/// instances wired to the same registry share the same cells).
+#[derive(Debug, Clone, Default)]
+pub struct LpMetrics {
+    /// Simplex pivots, summed over every solve and recovery rung.
+    pub pivots: Counter,
+    /// Basis refactorizations (periodic and recovery-forced).
+    pub refactors: Counter,
+    /// Successful solves that finished as genuine warm dual re-solves.
+    pub warm_solves: Counter,
+    /// Successful solves that ran the cold two-phase primal.
+    pub cold_solves: Counter,
+    /// Recovery-ladder rung 1 entries (cold restart).
+    pub recovery_cold_restart: Counter,
+    /// Recovery-ladder rung 2 entries (row equilibration).
+    pub recovery_equilibrate: Counter,
+    /// Recovery-ladder rung 3 entries (bound perturbation attempts).
+    pub recovery_perturb: Counter,
+    /// Recovery-ladder rung 4 entries (cached best-feasible fallback).
+    pub recovery_best_feasible: Counter,
+}
+
+impl LpMetrics {
+    /// No-op handles; every record call is a folded-away branch.
+    pub fn disabled() -> LpMetrics {
+        LpMetrics::default()
+    }
+
+    /// Registers the `metaopt_lp_*` families on `registry` (idempotent —
+    /// handles from repeated calls share cells).
+    pub fn register(registry: &Registry) -> LpMetrics {
+        let rung = |r: &'static str| {
+            registry.counter(
+                "metaopt_lp_recovery_steps_total",
+                "Numerical-recovery ladder entries by rung",
+                &[("rung", r)],
+            )
+        };
+        LpMetrics {
+            pivots: registry.counter(
+                "metaopt_lp_pivots_total",
+                "Simplex pivots (iterations) across all solves",
+                &[],
+            ),
+            refactors: registry.counter(
+                "metaopt_lp_refactor_total",
+                "Dense basis-inverse refactorizations",
+                &[],
+            ),
+            warm_solves: registry.counter(
+                "metaopt_lp_solves_total",
+                "Successful LP solves by start mode",
+                &[("mode", "warm")],
+            ),
+            cold_solves: registry.counter(
+                "metaopt_lp_solves_total",
+                "Successful LP solves by start mode",
+                &[("mode", "cold")],
+            ),
+            recovery_cold_restart: rung("cold_restart"),
+            recovery_equilibrate: rung("equilibrate"),
+            recovery_perturb: rung("perturb"),
+            recovery_best_feasible: rung("best_feasible"),
+        }
+    }
+}

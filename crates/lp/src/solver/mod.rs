@@ -136,6 +136,9 @@ pub struct Simplex {
     /// Whether the most recent successful solve finished inside the dual
     /// simplex (a genuine warm re-solve) rather than a cold two-phase run.
     last_warm: bool,
+    /// Obs counter handles (no-op by default); flushed as per-solve
+    /// deltas so the pivot loops stay untouched.
+    metrics: crate::LpMetrics,
 }
 
 impl Simplex {
@@ -183,6 +186,7 @@ impl Simplex {
             row_scale: None,
             best_feasible: None,
             last_warm: false,
+            metrics: crate::LpMetrics::disabled(),
         }
     }
 
@@ -218,6 +222,12 @@ impl Simplex {
     /// the chaos suite; production callers leave this `None`.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.fault_plan = plan;
+    }
+
+    /// Installs obs counter handles; solves flush pivot/refactor/mode
+    /// deltas into them. Observation never feeds back into pivoting.
+    pub fn set_metrics(&mut self, metrics: crate::LpMetrics) {
+        self.metrics = metrics;
     }
 
     fn fire_fault(&self, site: FaultSite) -> bool {
@@ -376,6 +386,7 @@ impl Simplex {
         }
         self.binv = inv;
         self.pivots_since_refactor = 0;
+        self.metrics.refactors.inc();
         Ok(())
     }
 
@@ -560,6 +571,20 @@ impl Simplex {
     }
 
     fn run_with_recovery(&mut self, warm: bool) -> LpResult<Solution> {
+        let iters_before = self.iterations;
+        let out = self.run_recovery_ladder(warm);
+        if out.is_ok() {
+            self.metrics.pivots.add((self.iterations - iters_before) as u64);
+            if self.last_warm {
+                self.metrics.warm_solves.inc();
+            } else {
+                self.metrics.cold_solves.inc();
+            }
+        }
+        out
+    }
+
+    fn run_recovery_ladder(&mut self, warm: bool) -> LpResult<Solution> {
         // An already-expired deadline aborts before any pivoting — the
         // in-loop checks only run every 64 iterations, which tiny problems
         // never reach.
@@ -579,12 +604,14 @@ impl Simplex {
             Err(e) => return Err(e),
         };
         // Rung 1: cold restart — fresh start basis and factorization.
+        self.metrics.recovery_cold_restart.inc();
         match self.solve_raw() {
             Ok(sol) => return Ok(sol),
             Err(e) if e.is_recoverable() => {}
             Err(e) => return Err(e),
         }
         // Rung 2: row equilibration, then another cold start.
+        self.metrics.recovery_equilibrate.inc();
         self.equilibrate_rows();
         match self.solve_raw() {
             Ok(sol) => return Ok(sol),
@@ -598,6 +625,7 @@ impl Simplex {
         let saved_lo = self.lo[..self.n].to_vec();
         let saved_hi = self.hi[..self.n].to_vec();
         for attempt in 1..=2u64 {
+            self.metrics.recovery_perturb.inc();
             self.perturb_bounds(attempt);
             let outcome = self.solve_raw();
             self.lo[..self.n].copy_from_slice(&saved_lo);
@@ -617,6 +645,7 @@ impl Simplex {
         // Rung 4: the best cached feasible point, degraded (a valid
         // feasible value, not a relaxation optimum).
         if let Some(mut best) = self.best_feasible.clone() {
+            self.metrics.recovery_best_feasible.inc();
             best.degraded = true;
             return Ok(best);
         }

@@ -30,10 +30,12 @@
 //!   throughput-oriented **work-stealing** engine — both parallel engines
 //!   warm-start node LPs from parent [`metaopt_lp::Basis`] snapshots.
 
+mod metrics;
 mod parallel;
 mod solver;
 mod sweep;
 
+pub use metrics::MilpMetrics;
 pub use parallel::{env_threads, ParallelMode};
 pub use solver::{
     solve, solve_resumable, solve_with_callback, Checkpoint, CheckpointParseError,

@@ -262,10 +262,16 @@ fn eval_node(
     }
 }
 
-fn worker_simplex(cm: &CompiledModel, budget: &Budget, plan: Option<FaultPlan>) -> Simplex {
+fn worker_simplex(
+    cm: &CompiledModel,
+    budget: &Budget,
+    plan: Option<FaultPlan>,
+    metrics: crate::metrics::MilpMetrics,
+) -> Simplex {
     let mut s = Simplex::new(&cm.lp);
     s.set_deadline(budget.deadline());
     s.set_fault_plan(plan);
+    s.set_metrics(metrics.lp);
     s
 }
 
@@ -361,7 +367,7 @@ pub(crate) fn solve_deterministic(
         }
     }
     let outcome = if threads <= 1 {
-        let mut simplex = worker_simplex(cm, &budget, cfg.fault_plan.clone());
+        let mut simplex = worker_simplex(cm, &budget, cfg.fault_plan.clone(), cfg.metrics.clone());
         let mut applied: Vec<usize> = Vec::new();
         det.run(&mut |wave: &[DetNode]| {
             Ok(wave
@@ -387,8 +393,9 @@ pub(crate) fn solve_deterministic(
                     let res_tx = res_tx.clone();
                     let rb = &root_bounds;
                     let plan = cfg.fault_plan.clone();
+                    let metrics = cfg.metrics.clone();
                     scope.spawn(move || {
-                        let mut simplex = worker_simplex(cm, &budget, plan);
+                        let mut simplex = worker_simplex(cm, &budget, plan, metrics);
                         let mut applied: Vec<usize> = Vec::new();
                         while let Ok(Job {
                             slot,
@@ -483,6 +490,15 @@ impl<'a> Det<'a> {
             self.trajectory.push((self.nodes as f64, obj));
             self.wall_trajectory
                 .push((self.start.elapsed().as_secs_f64(), obj));
+            self.cfg.metrics.incumbents.inc();
+            self.cfg.tracer.event(
+                "milp.incumbent",
+                vec![
+                    ("engine", "deterministic".to_string()),
+                    ("objective", format!("{obj}")),
+                    ("nodes", self.nodes.to_string()),
+                ],
+            );
         }
     }
 
@@ -585,6 +601,7 @@ impl<'a> Det<'a> {
                 self.proven_bound = self.incumbent_obj();
                 return Ok(());
             }
+            self.cfg.metrics.waves.inc();
             let mut evals = eval_wave(&wave)?;
             // Certify strictly in canonical (wave) order.
             let mut push_back = false;
@@ -623,6 +640,7 @@ impl<'a> Det<'a> {
             }
             Eval::Pruned(fault) => {
                 self.nodes += 1;
+                self.cfg.metrics.nodes.inc();
                 if let Some(f) = fault {
                     self.faults.push(f);
                 }
@@ -643,6 +661,7 @@ impl<'a> Det<'a> {
                 basis,
             } => {
                 self.nodes += 1;
+                self.cfg.metrics.nodes.inc();
                 self.lp_stats.record(warm, iterations);
                 match status {
                     SolveStatus::Infeasible => return Ok(()),
@@ -966,6 +985,14 @@ impl<'a> WsShared<'a> {
             let obj = self.cm.restore_objective(min_obj);
             inc.trajectory.push((t, obj));
             self.inc_bits.store(min_obj.to_bits(), AtOrd::Release);
+            self.cfg.metrics.incumbents.inc();
+            self.cfg.tracer.event(
+                "milp.incumbent",
+                vec![
+                    ("engine", "work_stealing".to_string()),
+                    ("objective", format!("{obj}")),
+                ],
+            );
             if let Some(target) = self.target_min {
                 if min_obj <= target + crate::CERT_TOL {
                     drop(inc);
@@ -1005,6 +1032,7 @@ impl<'a> WsShared<'a> {
                 // check could overestimate the dual bound and stop with a
                 // wrong optimality proof.
                 self.inflight[id].store(n.bound.to_bits(), AtOrd::Release);
+                self.cfg.metrics.steals.inc();
                 return Some(n);
             }
             fr.idle += 1;
@@ -1055,7 +1083,12 @@ impl<'a> WsShared<'a> {
 }
 
 fn ws_worker(sh: &WsShared<'_>, id: usize, cb_tx: &mpsc::Sender<Vec<f64>>) {
-    let mut simplex = worker_simplex(sh.cm, &sh.budget, sh.cfg.fault_plan.clone());
+    let mut simplex = worker_simplex(
+        sh.cm,
+        &sh.budget,
+        sh.cfg.fault_plan.clone(),
+        sh.cfg.metrics.clone(),
+    );
     let mut applied: Vec<usize> = Vec::new();
     let mut local: Vec<WsNode> = Vec::new();
     let park = |local: &mut Vec<WsNode>| {
@@ -1109,6 +1142,7 @@ fn ws_worker(sh: &WsShared<'_>, id: usize, cb_tx: &mpsc::Sender<Vec<f64>>) {
             return;
         }
         let idx = sh.meter.charge(1);
+        sh.cfg.metrics.nodes.inc();
         // Same containment as the deterministic engine's workers: a panic
         // inside the node evaluation must surface as `Eval::Panicked` (park
         // local nodes, release the inflight slot, stop the search) rather

@@ -55,6 +55,12 @@ pub struct MilpConfig {
     /// [`crate::ParallelMode`]). The default `Auto` picks the serial engine
     /// at one resolved thread and the deterministic parallel engine above.
     pub parallel: crate::ParallelMode,
+    /// Obs counter handles shared by every engine and worker simplex
+    /// (no-op by default). Metrics never feed back into search order, so
+    /// enabling them cannot perturb the deterministic engine.
+    pub metrics: crate::MilpMetrics,
+    /// Obs tracer for incumbent/gap-trajectory events (no-op by default).
+    pub tracer: metaopt_obs::Tracer,
 }
 
 impl Default for MilpConfig {
@@ -73,6 +79,8 @@ impl Default for MilpConfig {
             fault_plan: None,
             threads: 0,
             parallel: crate::ParallelMode::Auto,
+            metrics: crate::MilpMetrics::disabled(),
+            tracer: metaopt_obs::Tracer::disabled(),
         }
     }
 }
@@ -750,6 +758,7 @@ impl<'a> Search<'a> {
         let mut simplex = Simplex::new(&cm.lp);
         simplex.set_deadline(budget.deadline());
         simplex.set_fault_plan(cfg.fault_plan.clone());
+        simplex.set_metrics(cfg.metrics.lp.clone());
         let root_bounds = (0..cm.lp.n_vars())
             .map(|j| cm.lp.bounds(VarId(j)))
             .collect();
@@ -852,8 +861,18 @@ impl<'a> Search<'a> {
                 self.last_stall_value = min_obj;
             }
             self.incumbent = Some((values, min_obj));
+            let model_obj = self.cm.restore_objective(min_obj);
             self.trajectory
-                .push((start.elapsed().as_secs_f64(), self.cm.restore_objective(min_obj)));
+                .push((start.elapsed().as_secs_f64(), model_obj));
+            self.cfg.metrics.incumbents.inc();
+            self.cfg.tracer.event(
+                "milp.incumbent",
+                vec![
+                    ("engine", "serial".to_string()),
+                    ("objective", format!("{model_obj}")),
+                    ("nodes", self.nodes.to_string()),
+                ],
+            );
         }
     }
 
@@ -973,6 +992,7 @@ impl<'a> Search<'a> {
                 return Ok(());
             }
             self.nodes += 1;
+            self.cfg.metrics.nodes.inc();
             self.process(node, start)?;
         }
         // Tree exhausted: the incumbent (if any) is optimal.

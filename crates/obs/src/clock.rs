@@ -1,0 +1,107 @@
+//! The approved time source for supervisory code.
+//!
+//! Every timeout, backoff, and queue-aging decision in the campaign
+//! runner and the job server — and every span duration the tracer
+//! records — flows through an injectable [`Clock`] instead of reading
+//! `Instant::now()` directly. That buys two things:
+//!
+//! * **Deterministic tests.** A [`TestClock`] advances only when a test
+//!   says so, so timeout, retry-promotion, and span-duration paths can be
+//!   exercised exactly — no sleeps, no flakes.
+//! * **Auditable wall-clock reads.** The `AN001` lint (`xtask analyze`)
+//!   denies raw `Instant::now()` / `SystemTime::now()` everywhere outside
+//!   this module; the handful of deliberate wall-clock reads left in the
+//!   solver kernels (stall detection, real-time budgets, trajectory
+//!   timestamps) each carry a justified `an:allow` annotation.
+//!
+//! The clock deals in [`Instant`]s, so supervisory code keeps its
+//! ordinary `deadline: Option<Instant>` shapes; only the *source* of
+//! "now" is injected.
+//!
+//! This module originally lived in `metaopt-campaign`; it moved here so
+//! the observability layer (which everything, including `metaopt-lp`,
+//! depends on) can drive span timing from the same injected source.
+//! `metaopt_campaign::clock` re-exports it unchanged.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A source of monotonic time.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The production clock: a thin wrapper over the OS monotonic clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        // The one sanctioned raw read: everything else goes through a
+        // `Clock`. (This module is the AN001 approved time module.)
+        Instant::now()
+    }
+}
+
+/// A manually-advanced clock for deterministic tests.
+///
+/// Starts at an arbitrary base instant; [`TestClock::advance`] moves it
+/// forward. Time never advances on its own, so a test that never calls
+/// `advance` sees a perfectly frozen clock.
+#[derive(Debug)]
+pub struct TestClock {
+    base: Instant,
+    // lock-order: clock.offset
+    offset: Mutex<Duration>,
+}
+
+impl TestClock {
+    /// A fresh clock frozen at its base instant.
+    pub fn new() -> TestClock {
+        TestClock {
+            base: Instant::now(),
+            offset: Mutex::new(Duration::ZERO),
+        }
+    }
+
+    /// Advances the clock by `d`. Affects every holder of this clock.
+    pub fn advance(&self, d: Duration) {
+        let mut off = self.offset.lock().expect("test clock lock poisoned");
+        *off += d;
+    }
+}
+
+impl Default for TestClock {
+    fn default() -> Self {
+        TestClock::new()
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Instant {
+        self.base + *self.offset.lock().expect("test clock lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_clock_is_frozen_until_advanced() {
+        let clock = TestClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert_eq!(a, b);
+        clock.advance(Duration::from_secs(7));
+        assert_eq!(clock.now() - a, Duration::from_secs(7));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock;
+        let a = clock.now();
+        assert!(clock.now() >= a);
+    }
+}

@@ -9,7 +9,13 @@
 //! | `GET /jobs/{id}/events`   | NDJSON lifecycle stream (chunked)         |
 //! | `DELETE /jobs/{id}`       | Cancel (drain running work to checkpoint) |
 //! | `POST /admin/drain`       | Graceful shutdown                         |
+//! | `GET /admin/trace`        | Flight-recorder tail (NDJSON)             |
+//! | `GET /metrics`            | Prometheus text exposition                |
 //! | `GET /healthz`            | Liveness + queue depth                    |
+//!
+//! Every request is counted and timed into the per-route
+//! `metaopt_server_requests_total` / `metaopt_server_request_seconds`
+//! families (no-ops unless the server was opened with a live registry).
 
 use crate::http::{
     read_request, write_error, write_json, write_response, ChunkedWriter, ReadError, Request,
@@ -26,6 +32,10 @@ use std::time::Duration;
 /// Concurrent connections the acceptor will service; excess connections
 /// are shed immediately with `503`, never queued behind slow handlers.
 pub const MAX_CONNECTIONS: usize = 64;
+
+/// Flight-recorder records served by `GET /admin/trace` (the recorder
+/// ring itself is bounded; this just caps one response body).
+pub const TRACE_TAIL: usize = 256;
 
 /// Serves the job API on `listener` until the server stops (drain or
 /// fatal journal failure). Thread-per-connection behind a hard cap.
@@ -50,6 +60,7 @@ pub fn serve(server: &Arc<GapServer>, listener: TcpListener) -> io::Result<()> {
         let _ = stream.set_nonblocking(false);
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         if live.load(Ordering::Acquire) >= MAX_CONNECTIONS {
+            server.metrics().shed_connections.inc();
             let _ = write_error(
                 &mut stream,
                 503,
@@ -59,7 +70,10 @@ pub fn serve(server: &Arc<GapServer>, listener: TcpListener) -> io::Result<()> {
             );
             continue;
         }
-        live.fetch_add(1, Ordering::AcqRel);
+        server
+            .metrics()
+            .active_connections
+            .set((live.fetch_add(1, Ordering::AcqRel) + 1) as f64);
         let server = Arc::clone(server);
         let live = Arc::clone(&live);
         std::thread::spawn(move || {
@@ -79,7 +93,10 @@ pub fn serve(server: &Arc<GapServer>, listener: TcpListener) -> io::Result<()> {
                     None,
                 );
             }
-            live.fetch_sub(1, Ordering::AcqRel);
+            server
+                .metrics()
+                .active_connections
+                .set((live.fetch_sub(1, Ordering::AcqRel) - 1) as f64);
         });
     }
 }
@@ -102,7 +119,42 @@ fn handle(server: &Arc<GapServer>, stream: &mut TcpStream) -> io::Result<()> {
 fn route(server: &Arc<GapServer>, stream: &mut TcpStream, req: &Request) -> io::Result<()> {
     let path = req.path.split('?').next().unwrap_or("");
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
+    let handles = server.metrics().route(route_name(req.method.as_str(), &segments));
+    let started = server.config().clock.now();
+    let out = dispatch(server, stream, req, path, &segments);
+    handles.requests.inc();
+    handles
+        .latency
+        .observe((server.config().clock.now() - started).as_secs_f64());
+    out
+}
+
+/// Maps a request onto the closed set of [`crate::metrics::ROUTES`]
+/// label values (anything unrecognized buckets into `not_found`, so
+/// scanners cannot mint unbounded label cardinality).
+fn route_name(method: &str, segments: &[&str]) -> &'static str {
+    match (method, segments) {
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["jobs"]) => "jobs_list",
+        ("POST", ["jobs"]) => "jobs_submit",
+        ("GET", ["jobs", _]) => "job_get",
+        ("GET", ["jobs", _, "events"]) => "job_events",
+        ("DELETE", ["jobs", _]) => "job_cancel",
+        ("POST", ["admin", "drain"]) => "admin_drain",
+        ("GET", ["admin", "trace"]) => "admin_trace",
+        ("GET", ["metrics"]) => "metrics",
+        _ => "not_found",
+    }
+}
+
+fn dispatch(
+    server: &Arc<GapServer>,
+    stream: &mut TcpStream,
+    req: &Request,
+    path: &str,
+    segments: &[&str],
+) -> io::Result<()> {
+    match (req.method.as_str(), segments) {
         ("GET", ["healthz"]) => {
             let mut body = server.status_json();
             if let Json::Obj(pairs) = &mut body {
@@ -139,6 +191,20 @@ fn route(server: &Arc<GapServer>, stream: &mut TcpStream, req: &Request) -> io::
                 &Json::obj(vec![("draining", Json::Bool(true))]),
             )
         }
+        ("GET", ["metrics"]) => write_response(
+            stream,
+            200,
+            &[],
+            "text/plain; version=0.0.4",
+            server.config().registry.render().as_bytes(),
+        ),
+        ("GET", ["admin", "trace"]) => write_response(
+            stream,
+            200,
+            &[],
+            "application/x-ndjson",
+            server.config().tracer.tail_ndjson(TRACE_TAIL).as_bytes(),
+        ),
         ("GET" | "POST" | "DELETE", _) => {
             write_error(stream, 404, "not_found", &format!("no route {path}"), None)
         }

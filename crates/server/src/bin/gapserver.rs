@@ -10,6 +10,8 @@
 //! gapserver events --addr HOST:PORT ID
 //! gapserver cancel --addr HOST:PORT ID
 //! gapserver drain  --addr HOST:PORT
+//! gapserver metrics --addr HOST:PORT
+//! gapserver trace  --addr HOST:PORT
 //! ```
 //!
 //! `serve` prints `LISTENING <addr>` once the socket is bound and also
@@ -20,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use metaopt_obs::trace::DEFAULT_RING_CAPACITY;
+use metaopt_obs::{Registry, SystemClock, Tracer};
 use metaopt_server::client;
 use metaopt_server::json::Json;
 use metaopt_server::{serve, GapServer, ServerConfig};
@@ -27,9 +31,20 @@ use std::io::Read;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+/// The process-wide tracer: CLI diagnostics go through
+/// [`Tracer::log_stderr`] (byte-identical stderr plus a flight-recorder
+/// event), and `serve` hands the same ring to the server so
+/// `GET /admin/trace` and the panic dump see CLI context too.
+fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer::new(Arc::new(SystemClock), DEFAULT_RING_CAPACITY))
+}
+
 fn main() -> ExitCode {
+    tracer().install_panic_dump();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
     let cmd = it.next().unwrap_or("help");
@@ -42,8 +57,10 @@ fn main() -> ExitCode {
         "events" => cmd_events(&rest),
         "cancel" => cmd_cancel(&rest),
         "drain" => cmd_drain(&rest),
+        "metrics" => cmd_get(&rest, "/metrics"),
+        "trace" => cmd_get(&rest, "/admin/trace"),
         "help" | "--help" | "-h" => {
-            eprintln!("{USAGE}");
+            tracer().log_stderr("cli.usage", USAGE);
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
@@ -51,7 +68,7 @@ fn main() -> ExitCode {
     match result {
         Ok(code) => code,
         Err(msg) => {
-            eprintln!("gapserver: {msg}");
+            tracer().log_stderr("cli.error", &format!("gapserver: {msg}"));
             ExitCode::FAILURE
         }
     }
@@ -66,7 +83,9 @@ const USAGE: &str = "usage:
   gapserver wait   --addr HOST:PORT ID [--timeout-secs N]
   gapserver events --addr HOST:PORT ID
   gapserver cancel --addr HOST:PORT ID
-  gapserver drain  --addr HOST:PORT";
+  gapserver drain  --addr HOST:PORT
+  gapserver metrics --addr HOST:PORT
+  gapserver trace  --addr HOST:PORT";
 
 /// Pulls `--flag value` pairs and bare positionals out of an argv slice.
 struct Flags<'a> {
@@ -127,6 +146,10 @@ fn cmd_serve(args: &[&str]) -> Result<ExitCode, String> {
         quota_per_sec: flags.num("quota-per-sec", 4.0f64)?,
         aging_secs: flags.num("aging-secs", 30.0f64)?,
         default_threads: flags.num("default-threads", 0usize)?,
+        // Live observability: `GET /metrics` renders this registry and
+        // `GET /admin/trace` tails the process-wide flight recorder.
+        registry: Registry::new(),
+        tracer: tracer().clone(),
         ..ServerConfig::default()
     };
     let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -234,7 +257,10 @@ fn cmd_wait(args: &[&str]) -> Result<ExitCode, String> {
         }
         // an:allow(AN001): see the deadline above.
         if Instant::now() >= deadline {
-            eprintln!("gapserver: timed out waiting for job {id} (last: {status})");
+            tracer().log_stderr(
+                "cli.wait_timeout",
+                &format!("gapserver: timed out waiting for job {id} (last: {status})"),
+            );
             return Ok(ExitCode::from(4));
         }
         std::thread::sleep(Duration::from_millis(200));
@@ -266,6 +292,21 @@ fn cmd_cancel(args: &[&str]) -> Result<ExitCode, String> {
         .ok_or_else(|| "cancel needs a job id".to_string())?;
     let resp = call(addr, "DELETE", &format!("/jobs/{id}"), None)?;
     println!("{}", resp.text());
+    Ok(if resp.status == 200 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `metrics` / `trace`: dump a GET endpoint's body verbatim (Prometheus
+/// text exposition and the flight-recorder NDJSON tail respectively), so
+/// drill scripts can scrape a live server without curl.
+fn cmd_get(args: &[&str], path: &str) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args)?;
+    let addr = flags.require("addr")?;
+    let resp = call(addr, "GET", path, None)?;
+    print!("{}", resp.text());
     Ok(if resp.status == 200 {
         ExitCode::SUCCESS
     } else {

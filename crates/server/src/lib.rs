@@ -31,12 +31,14 @@ pub mod api;
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod quota;
 pub mod server;
 pub mod spec;
 
 pub use api::{serve, MAX_CONNECTIONS};
 pub use json::Json;
+pub use metrics::{RouteMetrics, ServerMetrics, ROUTES};
 pub use quota::{AgingQueue, QueuedJob, QuotaBook, TokenBucket};
 pub use server::{CancelError, GapServer, ServerConfig, SubmitError};
 pub use spec::{parse_submit, validate_submit, AdmissionLimits, SubmitRequest};

@@ -23,11 +23,13 @@
 
 use crate::quota::{AgingQueue, QueuedJob, QuotaBook};
 use crate::spec::{validate_submit, AdmissionLimits, SubmitRequest};
+use crate::metrics::ServerMetrics;
 use metaopt_campaign::jobs::{JobBook, JobEntry, JobRecord, JobStatus};
 use metaopt_campaign::{
-    drive_cell, quarantine_reason_for, retry_jitter_seed, wire, CampaignError, CellDriveEnd,
-    Clock, Journal, SystemClock, JOURNAL_FILE,
+    drive_cell, quarantine_reason_for, retry_jitter_seed, wire, CampaignError, CampaignMetrics,
+    CellDriveEnd, Clock, Journal, SolverObs, SystemClock, JOURNAL_FILE,
 };
+use metaopt_obs::{Registry, Tracer};
 use metaopt_core::SweepState;
 use metaopt_model::ModelStats;
 use metaopt_resilience::{FaultPlan, FaultSite, RetryDecision, RetryPolicy, ServiceFault};
@@ -73,6 +75,14 @@ pub struct ServerConfig {
     /// plan, so the containment paths can be driven deterministically from
     /// tests — the same pattern as `MilpConfig::fault_plan` one layer down.
     pub fault_plan: Option<FaultPlan>,
+    /// Metrics registry: [`GapServer::open`] registers the
+    /// `metaopt_server_*` and `metaopt_campaign_*` families here and
+    /// `GET /metrics` renders it. The default disabled registry mints
+    /// no-op handles — observation off costs nothing.
+    pub registry: Registry,
+    /// Flight-recorder tracer for job lifecycle events; `GET /admin/trace`
+    /// serves its bounded NDJSON tail. Defaults to disabled.
+    pub tracer: Tracer,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +100,8 @@ impl Default for ServerConfig {
             limits: AdmissionLimits::default(),
             clock: Arc::new(SystemClock),
             fault_plan: None,
+            registry: Registry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -178,6 +190,9 @@ pub struct GapServer {
     /// Retry-jitter salt: stable per server name, so many servers (or many
     /// jobs — the id is mixed in per job) never retry in lockstep.
     salt: u64,
+    /// Pre-registered `metaopt_server_*` handles (no-ops when the
+    /// configured registry is disabled).
+    metrics: ServerMetrics,
 }
 
 impl GapServer {
@@ -187,14 +202,34 @@ impl GapServer {
     /// interrupted cancellations complete.
     pub fn open(cfg: ServerConfig) -> Result<Arc<GapServer>, CampaignError> {
         let now = cfg.clock.now();
+        let metrics = ServerMetrics::register(&cfg.registry);
+        let campaign_metrics = CampaignMetrics::register(&cfg.registry);
         let mut queue = AgingQueue::new(Duration::from_secs_f64(cfg.aging_secs.max(0.001)));
         let mut jobs = BTreeMap::new();
         let mut next_id = 1u64;
         let journal = if cfg.dir.join(JOURNAL_FILE).exists() {
+            // Boot replay. The `metaopt_server_jobs_*` counters are
+            // re-derived from the replayed book so that, after a hard
+            // kill, scraped totals for durable transitions match what the
+            // previous process reported — the crash drill asserts this.
+            let replay_started = cfg.clock.now();
             let book = JobBook::from_dir(&cfg.dir)?;
+            campaign_metrics
+                .replay_seconds
+                .observe((cfg.clock.now() - replay_started).as_secs_f64());
             let mut journal = Journal::open_append(&cfg.dir)?;
             next_id = book.next_id();
             for (id, mut entry) in book.jobs {
+                metrics.jobs_admitted.inc();
+                metrics
+                    .jobs_retried
+                    .add(replayed_retries(&entry));
+                match &entry.status {
+                    JobStatus::Done(_) => metrics.jobs_completed.inc(),
+                    JobStatus::Quarantined { .. } => metrics.jobs_quarantined.inc(),
+                    JobStatus::Cancelled => metrics.jobs_cancelled.inc(),
+                    JobStatus::Pending { .. } => {}
+                }
                 let mut events = vec![event_line(
                     "recovered",
                     id,
@@ -210,6 +245,7 @@ impl GapServer {
                         // cancellation wins at boot.
                         journal.append(&JobRecord::Cancelled { id }.encode())?;
                         entry.status = JobStatus::Cancelled;
+                        metrics.jobs_cancelled.inc();
                         events.push(event_line("cancelled", id, vec![]));
                         events_done = true;
                     }
@@ -237,6 +273,9 @@ impl GapServer {
             journal.append(&JobBook::header(&cfg.name))?;
             journal
         };
+        let mut journal = journal;
+        journal.set_metrics(campaign_metrics);
+        metrics.queue_depth.set(queue.len() as f64);
         let salt = u64::from(wire::crc32(cfg.name.as_bytes()));
         Ok(Arc::new(GapServer {
             inner: Mutex::new(Inner {
@@ -255,12 +294,19 @@ impl GapServer {
             event_cv: Condvar::new(),
             cfg,
             salt,
+            metrics,
         }))
     }
 
     /// The server configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
+    }
+
+    /// The server's pre-registered metric handles (the API layer records
+    /// per-route latency and connection churn through these).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// Whether the server has fully stopped (drain complete or fatal).
@@ -307,13 +353,16 @@ impl GapServer {
             return Err(SubmitError::Unavailable);
         }
         if let Err(wait) = inner.quotas.charge(&req.client, now) {
+            self.metrics.quota_rejections.inc();
             return Err(SubmitError::Quota(wait));
         }
         if inner.queue.len() >= self.cfg.max_queue {
+            self.metrics.shed_queue_full.inc();
             return Err(SubmitError::QueueFull(self.cfg.max_queue));
         }
         let id = inner.next_id;
         inner.next_id += 1;
+        let client = req.client.clone();
         let record = JobRecord::Submit {
             id,
             client: req.client.clone(),
@@ -356,7 +405,13 @@ impl GapServer {
             priority: req.priority,
             enqueued: now,
         });
+        self.metrics.jobs_admitted.inc();
+        self.metrics.queue_depth.set(inner.queue.len() as f64);
         drop(inner);
+        self.cfg.tracer.event(
+            "server.job_admitted",
+            vec![("job", id.to_string()), ("client", client)],
+        );
         self.work_cv.notify_all();
         self.event_cv.notify_all();
         Ok((id, stats))
@@ -389,6 +444,7 @@ impl GapServer {
         // Not running: nothing to drain, finish the cancellation now.
         let queued = inner.queue.remove(id);
         inner.delayed.retain(|(_, d)| *d != id);
+        self.metrics.queue_depth.set(inner.queue.len() as f64);
         let state = if queued || !inner.running.contains(&id) {
             self.append_or_die(&mut inner, &JobRecord::Cancelled { id })
                 .map_err(CancelError::Fatal)?;
@@ -397,6 +453,7 @@ impl GapServer {
                 rt.events.push(event_line("cancelled", id, vec![]));
                 rt.events_done = true;
             }
+            self.metrics.jobs_cancelled.inc();
             "cancelled"
         } else {
             "cancelling"
@@ -615,6 +672,18 @@ fn opt_num(v: Option<f64>) -> Json {
     v.map_or(Json::Null, Json::Num)
 }
 
+/// Retries the pre-kill process performed for a replayed job: every
+/// recorded failed attempt was followed by a `RetryAfter` decision except
+/// the final one of a quarantined job (that one quarantined instead), so
+/// boot re-derivation matches the runtime `jobs_retried` counting rule.
+fn replayed_retries(entry: &JobEntry) -> u64 {
+    let failures = entry.failures.len() as u64;
+    match entry.status {
+        JobStatus::Quarantined { .. } => failures.saturating_sub(1),
+        _ => failures,
+    }
+}
+
 fn progress_json(st: &SweepState) -> Json {
     Json::obj(vec![
         ("lo_bound", Json::Num(st.machine.lo_bound)),
@@ -666,9 +735,11 @@ fn worker_loop(server: &GapServer) {
                             priority,
                             enqueued: now,
                         });
+                        server.metrics.queue_depth.set(inner.queue.len() as f64);
                     }
                 }
                 if let Some(job) = inner.queue.pop_best(now) {
+                    server.metrics.queue_depth.set(inner.queue.len() as f64);
                     break job;
                 }
                 let (guard, _) = server
@@ -743,6 +814,10 @@ fn worker_loop(server: &GapServer) {
             resume,
             cell_deadline,
             &*server.cfg.clock,
+            &SolverObs {
+                metrics: server.metrics.solver.clone(),
+                tracer: server.cfg.tracer.clone(),
+            },
             &mut |st| {
                 let mut inner = server.lock();
                 server
@@ -838,9 +913,17 @@ fn worker_loop(server: &GapServer) {
                             ("nodes", Json::Num(outcome.nodes as f64)),
                         ],
                     ));
-                    rt.entry.status = JobStatus::Done(outcome);
+                    rt.entry.status = JobStatus::Done(outcome.clone());
                     rt.events_done = true;
                 }
+                server.metrics.jobs_completed.inc();
+                server.cfg.tracer.event(
+                    "server.job_done",
+                    vec![
+                        ("job", id.to_string()),
+                        ("nodes", outcome.nodes.to_string()),
+                    ],
+                );
             }
             Ok(CellDriveEnd::Stopped) => {
                 let cancel = inner.jobs.get(&id).is_some_and(|rt| {
@@ -864,6 +947,7 @@ fn worker_loop(server: &GapServer) {
                         rt.events.push(event_line("cancelled", id, vec![]));
                         rt.events_done = true;
                     }
+                    server.metrics.jobs_cancelled.inc();
                 }
                 // Drain: the job stays journaled-pending at its last
                 // checkpoint and resumes at next boot.
@@ -915,6 +999,7 @@ fn worker_loop(server: &GapServer) {
                 match decision {
                     RetryDecision::RetryAfter(delay) => {
                         inner.delayed.push((server.cfg.clock.now() + delay, id));
+                        server.metrics.jobs_retried.inc();
                     }
                     RetryDecision::Quarantine => {
                         let reason = quarantine_reason_for(&kind);
@@ -943,6 +1028,14 @@ fn worker_loop(server: &GapServer) {
                             ));
                             rt.events_done = true;
                         }
+                        server.metrics.jobs_quarantined.inc();
+                        server.cfg.tracer.event(
+                            "server.job_quarantined",
+                            vec![
+                                ("job", id.to_string()),
+                                ("reason", reason.kind().to_string()),
+                            ],
+                        );
                     }
                 }
             }

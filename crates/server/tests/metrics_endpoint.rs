@@ -1,0 +1,221 @@
+//! Golden tests for `GET /metrics`.
+//!
+//! * The boot exposition under an injected [`TestClock`] is pinned
+//!   **byte-for-byte** against `tests/golden/metrics_boot.prom`: every
+//!   family the server registers (server routes and jobs, campaign
+//!   journal, milp engine, lp kernel) appears with its HELP/TYPE header
+//!   in deterministic order, all counters zero, the boot-replay
+//!   histogram holding exactly one zero-duration observation. Rerun with
+//!   `METAOPT_BLESS=1` to regenerate the golden after an intentional
+//!   metric-catalogue change.
+//! * A job-running scrape asserts the solver families go live through
+//!   the server path: submitting one job and waiting for `done` must
+//!   move `metaopt_server_jobs_*`, `metaopt_campaign_journal_*`,
+//!   `metaopt_milp_nodes_total`, and `metaopt_lp_pivots_total` on the
+//!   same registry the endpoint renders.
+
+use metaopt_campaign::TestClock;
+use metaopt_obs::trace::DEFAULT_RING_CAPACITY;
+use metaopt_obs::{Clock, Registry, Tracer};
+use metaopt_server::client::{request, Response};
+use metaopt_server::json::Json;
+use metaopt_server::{serve, GapServer, ServerConfig};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const GOLDEN: &str = include_str!("golden/metrics_boot.prom");
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metaopt-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Harness {
+    addr: String,
+    serve_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Harness {
+    fn start(cfg: ServerConfig) -> Harness {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = GapServer::open(cfg).unwrap();
+        let workers = server.start_workers();
+        let serve_server = Arc::clone(&server);
+        let serve_thread = std::thread::spawn(move || serve(&serve_server, listener).unwrap());
+        drop(server);
+        Harness {
+            addr,
+            serve_thread: Some(serve_thread),
+            workers,
+        }
+    }
+
+    fn call(&self, method: &str, path: &str, body: Option<&[u8]>) -> Response {
+        request(&self.addr, method, path, body, Duration::from_secs(120)).unwrap()
+    }
+
+    fn scrape(&self) -> String {
+        let resp = self.call("GET", "/metrics", None);
+        assert_eq!(resp.status, 200);
+        resp.text()
+    }
+
+    fn shutdown(mut self) {
+        let resp = self.call("POST", "/admin/drain", None);
+        assert_eq!(resp.status, 202, "{}", resp.text());
+        self.serve_thread.take().unwrap().join().unwrap();
+        for w in self.workers.drain(..) {
+            w.join().unwrap();
+        }
+    }
+}
+
+fn config(tag: &str) -> ServerConfig {
+    let clock = Arc::new(TestClock::new());
+    ServerConfig {
+        dir: tmp_dir(tag),
+        workers: 1,
+        registry: Registry::new(),
+        tracer: Tracer::new(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            DEFAULT_RING_CAPACITY,
+        ),
+        clock,
+        ..ServerConfig::default()
+    }
+}
+
+/// Value of one exposition sample line (`name` includes labels, if any).
+fn sample(render: &str, name: &str) -> f64 {
+    let line = render
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .unwrap_or_else(|| panic!("family `{name}` missing from exposition"));
+    line[name.len() + 1..].trim().parse().unwrap()
+}
+
+/// The very first scrape of a fresh server under a frozen clock is
+/// byte-identical to the committed golden exposition.
+#[test]
+fn boot_exposition_matches_golden() {
+    let srv = Harness::start(config("golden"));
+    let body = srv.scrape();
+    srv.shutdown();
+
+    if std::env::var_os("METAOPT_BLESS").is_some() {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_boot.prom");
+        std::fs::write(&path, &body).unwrap();
+        return;
+    }
+    assert_eq!(
+        body, GOLDEN,
+        "boot /metrics drifted from tests/golden/metrics_boot.prom; \
+         rerun with METAOPT_BLESS=1 if the catalogue change is intentional"
+    );
+}
+
+/// One completed job moves the server, campaign, and solver families on
+/// the same registry `GET /metrics` renders — the full vertical slice.
+#[test]
+fn job_run_moves_solver_families_through_the_endpoint() {
+    let srv = Harness::start(config("vertical"));
+    let boot = srv.scrape();
+    assert_eq!(sample(&boot, "metaopt_server_jobs_admitted_total"), 0.0);
+    assert_eq!(sample(&boot, "metaopt_milp_nodes_total"), 0.0);
+
+    let body = concat!(
+        "{\"client\":\"obs\",\"label\":\"vertical\",",
+        "\"topology\":{\"kind\":\"fig1\",\"cap\":100.0},",
+        "\"heuristic\":{\"kind\":\"dp\",\"threshold\":50.0},",
+        // resolution 5 forces a probe above the true max gap (50), so the
+        // sweep must *prove* infeasibility by branch-and-bound — easy
+        // probes certify via the incumbent callback without expanding a
+        // single node, which would leave the solver counters at zero.
+        "\"sweep\":{\"lo\":40.0,\"hi\":60.0,\"resolution\":5.0},",
+        "\"budget\":{\"probe_cap_nodes\":4000,\"slice_nodes\":64}}"
+    );
+    let resp = srv.call("POST", "/jobs", Some(body.as_bytes()));
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = Json::parse(&resp.text())
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_f64)
+        .unwrap() as u64;
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = srv.call("GET", &format!("/jobs/{id}"), None);
+        assert_eq!(resp.status, 200);
+        let status = Json::parse(&resp.text())
+            .unwrap()
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        if status == "done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job stuck at `{status}`");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let after = srv.scrape();
+    srv.shutdown();
+    assert_eq!(sample(&after, "metaopt_server_jobs_admitted_total"), 1.0);
+    assert_eq!(sample(&after, "metaopt_server_jobs_completed_total"), 1.0);
+    assert_eq!(sample(&after, "metaopt_server_queue_depth"), 0.0);
+    assert!(sample(&after, "metaopt_campaign_journal_appends_total") > 0.0);
+    assert!(sample(&after, "metaopt_campaign_journal_fsyncs_total") > 0.0);
+    assert!(sample(&after, "metaopt_milp_nodes_total") > 0.0);
+    assert!(sample(&after, "metaopt_lp_pivots_total") > 0.0);
+    assert!(sample(&after, "metaopt_lp_solves_total{mode=\"warm\"}") > 0.0);
+    assert!(sample(&after, "metaopt_server_requests_total{route=\"jobs_submit\"}") >= 1.0);
+}
+
+/// `GET /admin/trace` serves the flight recorder's NDJSON tail, and the
+/// job lifecycle leaves structured events in it.
+#[test]
+fn admin_trace_serves_ndjson_tail() {
+    let srv = Harness::start(config("trace"));
+    let resp = srv.call("GET", "/admin/trace", None);
+    assert_eq!(resp.status, 200);
+    let boot_tail = resp.text();
+
+    let body = concat!(
+        "{\"client\":\"obs\",\"label\":\"trace\",",
+        "\"topology\":{\"kind\":\"fig1\",\"cap\":100.0},",
+        "\"heuristic\":{\"kind\":\"dp\",\"threshold\":50.0},",
+        "\"sweep\":{\"lo\":45.0,\"hi\":55.0,\"resolution\":10.0},",
+        "\"budget\":{\"probe_cap_nodes\":4000,\"slice_nodes\":64}}"
+    );
+    let resp = srv.call("POST", "/jobs", Some(body.as_bytes()));
+    assert_eq!(resp.status, 202, "{}", resp.text());
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let tail = loop {
+        let resp = srv.call("GET", "/admin/trace", None);
+        assert_eq!(resp.status, 200);
+        let tail = resp.text();
+        if tail.contains("server.job_done") {
+            break tail;
+        }
+        assert!(Instant::now() < deadline, "job_done event never recorded");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    srv.shutdown();
+
+    assert!(tail.contains("server.job_admitted"));
+    // Every tail line is a standalone JSON object (NDJSON contract).
+    for line in tail.lines() {
+        Json::parse(line).unwrap_or_else(|e| panic!("non-JSON trace line {line:?}: {e:?}"));
+    }
+    // The boot tail may be empty but must still be valid NDJSON.
+    for line in boot_tail.lines() {
+        Json::parse(line).unwrap();
+    }
+}

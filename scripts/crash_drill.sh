@@ -113,6 +113,19 @@ submit_jobs() { # submit_jobs; uses ADDR
     done
 }
 
+metric() { # metric <family>; scrapes /metrics on ADDR, prints the value
+    "$GAPSERVER" metrics --addr "$ADDR" | awk -v m="$1" '$1 == m { print $2 }'
+}
+
+expect_metric() { # expect_metric <family> <want> <context>
+    local got
+    got="$(metric "$1")"
+    if [[ "$got" != "$2" ]]; then
+        echo "metric $1 = $got, expected $2 ($3)" >&2
+        exit 1
+    fi
+}
+
 collect_results() { # collect_results <outfile>; waits for jobs 1..3
     : > "$1"
     for id in 1 2 3; do
@@ -134,20 +147,29 @@ collect_results "$WORK/server-want.txt"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
-# Crash run: SIGKILL lands after the acks, before completion.
+# Crash run: SIGKILL lands after the acks, before completion. Each 202
+# ack means the job record is fsynced, so the admitted counter must read
+# 3 on the live server — and must read 3 again after the restart below,
+# re-derived purely from journal replay.
 start_server "$WORK/server-crash"
 submit_jobs
+expect_metric metaopt_server_jobs_admitted_total 3 "pre-SIGKILL scrape"
 kill -9 "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
 # Restart on the same directory: journal replay must resurrect every
-# acknowledged job and run it to the identical certified result.
+# acknowledged job and run it to the identical certified result, with
+# the journal-derived job counters consistent with the pre-kill scrape.
 start_server "$WORK/server-crash"
+expect_metric metaopt_server_jobs_admitted_total 3 "post-restart boot replay"
 collect_results "$WORK/server-got.txt"
 diff -u "$WORK/server-want.txt" "$WORK/server-got.txt"
+expect_metric metaopt_server_jobs_admitted_total 3 "post-restart steady state"
+expect_metric metaopt_server_jobs_completed_total 3 "all acknowledged jobs re-ran to done"
+expect_metric metaopt_server_jobs_quarantined_total 0 "no job may quarantine in the drill"
 "$GAPSERVER" drain --addr "$ADDR" >/dev/null
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
-echo "server crash drill OK: post-SIGKILL restart reproduced all acknowledged jobs bit-identically"
+echo "server crash drill OK: post-SIGKILL restart reproduced all acknowledged jobs bit-identically (metrics re-derived consistently by replay)"
