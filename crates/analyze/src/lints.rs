@@ -10,6 +10,7 @@
 //! | AN103 | concurrency  | a cycle (or unknown node) in the declared lock order    |
 //! | AN104 | concurrency  | a spawn site with no `catch_unwind` containment         |
 //! | AN105 | observability| raw `println!`/`eprintln!` in first-party library code  |
+//! | AN106 | containment  | a `Command::new` process spawn outside the sandbox module |
 //! | AN201 | panic-free   | `unwrap`/`expect` in hot paths (lock-poison idiom exempt) |
 //! | AN202 | panic-free   | `panic!`-family macros in hot paths                     |
 //! | AN203 | panic-free   | slice indexing in supervisory request paths             |
@@ -86,6 +87,7 @@ fn run_file(f: &SourceFile, report: &mut Report, locks: &mut Vec<LockDecl>) {
     an102_mutex_annotations(f, &mut fired, locks);
     an104_spawn_containment(f, &mut fired);
     an105_raw_print(f, &mut fired);
+    an106_process_spawn(f, &mut fired);
     an201_unwrap(f, &mut fired);
     an202_panic_macros(f, &mut fired);
     an203_indexing(f, &mut fired);
@@ -620,6 +622,37 @@ fn an105_raw_print(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
                     ),
                 ));
             }
+        }
+    }
+}
+
+/// The one sanctioned process-spawn site (AN106): the sandbox
+/// supervisor, which pairs every child it creates with heartbeat
+/// liveness, wall/RSS limits, and lease fencing. A `Command` built
+/// anywhere else escapes all of that containment.
+pub const APPROVED_SPAWN_MODULE: &str = "crates/campaign/src/sandbox.rs";
+
+fn an106_process_spawn(f: &SourceFile, fired: &mut Vec<Diagnostic>) {
+    // `xtask` is repo tooling whose whole job is driving `cargo`; the
+    // sandbox module is the supervisor itself.
+    if f.crate_name == "xtask" || f.rel == APPROVED_SPAWN_MODULE {
+        return;
+    }
+    for (line, code) in f.code_lines() {
+        for col in find_all(code, "Command::new(") {
+            fired.push(diag(
+                "AN106",
+                f,
+                line,
+                col + 1,
+                format!(
+                    "raw process spawn outside the sandbox supervisor: children \
+                     created here have no heartbeat, no wall/RSS limits, and no \
+                     fencing token, so a runaway or zombie escapes the blast-radius \
+                     containment — spawn through `{APPROVED_SPAWN_MODULE}`, or \
+                     justify the exception"
+                ),
+            ));
         }
     }
 }

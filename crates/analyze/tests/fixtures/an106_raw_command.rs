@@ -1,0 +1,9 @@
+//@ rel: crates/server/src/server.rs
+//@ expect: AN106 6:19
+use std::process::Command;
+
+fn escape_hatch() {
+    let mut cmd = Command::new("solver-helper");
+    cmd.arg("--fast");
+    let _ = cmd;
+}

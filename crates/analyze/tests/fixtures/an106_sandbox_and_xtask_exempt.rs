@@ -1,0 +1,8 @@
+//@ rel: crates/campaign/src/sandbox.rs
+use std::process::Command;
+
+fn build_supervised_worker() {
+    let mut cmd = Command::new("gapserver");
+    cmd.arg("--worker");
+    let _ = cmd;
+}

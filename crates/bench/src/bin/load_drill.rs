@@ -4,14 +4,22 @@
 //! as one JSON document on stdout.
 //!
 //! ```text
-//! load_drill [burst] [max_queue]        (defaults: 120 8)
+//! load_drill [--chaos] [burst] [max_queue]        (defaults: 120 8)
 //! ```
 //!
 //! Exit code 0 when the overload contract held: the queue never exceeded
 //! its bound, every rejection carried `429 Retry-After`, and every
 //! acknowledged job reached a certified terminal result. Nonzero
 //! otherwise — so CI can run this as a drill, not just a benchmark.
+//!
+//! `--chaos` turns on process chaos: jobs execute in sandboxed worker
+//! children (self-exec of this binary in `--worker` mode) and the drill
+//! SIGKILLs live workers while the backlog drains. The contract is
+//! unchanged — every acknowledged job must still reach a certified
+//! result, because a killed worker is a retryable `worker_exit` fault,
+//! not a loss.
 
+use metaopt_campaign::{SandboxConfig, SandboxLimits};
 use metaopt_obs::trace::DEFAULT_RING_CAPACITY;
 use metaopt_obs::{SystemClock, Tracer};
 use metaopt_server::client::request;
@@ -35,14 +43,92 @@ fn tiny_job(label: &str, client: &str) -> Vec<u8> {
     .into_bytes()
 }
 
+/// Chaos-mode burst job: real branch-and-bound work (~1s per job) so the
+/// backlog drains slowly enough for the killer to catch workers mid-cell
+/// — the fig1 cells above finish in milliseconds, which starves the
+/// chaos of victims.
+fn chaos_job(label: &str, client: &str) -> Vec<u8> {
+    format!(
+        concat!(
+            "{{\"client\":\"{}\",\"label\":\"{}\",",
+            "\"topology\":{{\"kind\":\"builtin\",\"name\":\"abilene\",\"cap\":100.0}},",
+            "\"heuristic\":{{\"kind\":\"dp\",\"threshold\":50.0}},",
+            "\"sweep\":{{\"lo\":0.0,\"hi\":100.0,\"resolution\":4.0}},",
+            "\"budget\":{{\"probe_cap_nodes\":50000,\"slice_nodes\":8}}}}"
+        ),
+        client, label
+    )
+    .into_bytes()
+}
+
+/// Live children of this process running in `--worker` mode, via
+/// `/proc` (ppid is field 2 after the parenthesised comm in `stat`).
+fn worker_children() -> Vec<u32> {
+    let me = std::process::id();
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let Some(pid) = entry
+            .file_name()
+            .to_str()
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        let ppid = stat
+            .rsplit_once(')')
+            .map(|(_, rest)| rest)
+            .and_then(|rest| rest.split_whitespace().nth(1)?.parse::<u32>().ok());
+        if ppid != Some(me) {
+            continue;
+        }
+        let cmdline = std::fs::read_to_string(format!("/proc/{pid}/cmdline")).unwrap_or_default();
+        if cmdline.split('\0').any(|a| a == "--worker") {
+            out.push(pid);
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    // Hidden dispatch: `--worker` runs this binary as the sandboxed
+    // cell worker, exactly like `gapserver --worker`.
+    if args.get(1).is_some_and(|a| a == "--worker") {
+        return ExitCode::from(metaopt_campaign::worker_main().clamp(0, 255) as u8);
+    }
     // Structured diagnostics; stderr stays byte-identical to the old
     // plain `eprintln!` lines.
     let tracer = Tracer::new(Arc::new(SystemClock), DEFAULT_RING_CAPACITY);
     tracer.install_panic_dump();
-    let args: Vec<String> = std::env::args().collect();
-    let burst: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(120);
-    let max_queue: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let positional: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+    let burst: usize = positional.first().and_then(|s| s.parse().ok()).unwrap_or(120);
+    let max_queue: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let sandbox = if chaos {
+        let program = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => {
+                tracer.log_stderr(
+                    "load_drill.no_self_exe",
+                    &format!("load_drill: cannot self-exec for --chaos: {e}"),
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        Some(SandboxConfig {
+            program,
+            args: vec!["--worker".into()],
+            limits: SandboxLimits::default(),
+        })
+    } else {
+        None
+    };
 
     let dir = std::env::temp_dir().join(format!("metaopt-load-drill-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -53,6 +139,7 @@ fn main() -> ExitCode {
         max_queue,
         quota_burst: burst as f64 * 2.0,
         quota_per_sec: burst as f64,
+        sandbox,
         ..ServerConfig::default()
     }) {
         Ok(s) => s,
@@ -98,11 +185,12 @@ fn main() -> ExitCode {
     let mut max_depth_seen = 0u64;
     let mut ok = true;
     for i in 0..burst {
-        let resp = call(
-            "POST",
-            "/jobs",
-            Some(&tiny_job(&format!("burst-{i}"), &format!("tenant-{}", i % 7))),
-        );
+        let body = if chaos {
+            chaos_job(&format!("burst-{i}"), &format!("tenant-{}", i % 7))
+        } else {
+            tiny_job(&format!("burst-{i}"), &format!("tenant-{}", i % 7))
+        };
+        let resp = call("POST", "/jobs", Some(&body));
         match resp.status {
             202 => {
                 let id = Json::parse(&resp.text())
@@ -138,6 +226,40 @@ fn main() -> ExitCode {
 
     // Release the worker and confirm no acknowledged job was dropped.
     call("DELETE", &format!("/jobs/{pin_id}"), None);
+
+    // Process chaos: SIGKILL live worker children while the backlog
+    // drains. Two kills maximum — the default retry policy allows three
+    // attempts, so no single job can be chased into quarantine by the
+    // killer alone, which keeps the pass criterion exact.
+    let killer_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let killer = chaos.then(|| {
+        let stop = Arc::clone(&killer_stop);
+        std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut kills = 0usize;
+                while kills < 2 && !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    if let Some(&pid) = worker_children().first() {
+                        // an:allow(AN106): the chaos *killer*, not a
+                        // worker — it spawns /bin/kill to deliver the
+                        // SIGKILL the drill is about; nothing here needs
+                        // supervision.
+                        let delivered = std::process::Command::new("kill")
+                            .args(["-9", &pid.to_string()])
+                            .status()
+                            .is_ok_and(|s| s.success());
+                        if delivered {
+                            kills += 1;
+                            std::thread::sleep(Duration::from_millis(400));
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                kills
+            }))
+            .unwrap_or(0)
+        })
+    });
+
     let settle_start = Instant::now();
     let deadline = settle_start + Duration::from_secs(300);
     let mut completed = 0usize;
@@ -162,6 +284,16 @@ fn main() -> ExitCode {
         }
     }
     let settle_secs = settle_start.elapsed().as_secs_f64();
+    killer_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let workers_killed = killer.map_or(0, |k| k.join().unwrap_or(0));
+    if chaos && workers_killed == 0 {
+        // Chaos that never fired proves nothing; fail the drill loudly.
+        tracer.log_stderr(
+            "load_drill.chaos_idle",
+            "load_drill: --chaos requested but no worker child was ever killed",
+        );
+        ok = false;
+    }
 
     call("POST", "/admin/drain", None);
     let _ = serve_thread.join();
@@ -182,6 +314,8 @@ fn main() -> ExitCode {
         ("accepted_completed", Json::Num(completed as f64)),
         ("burst_secs", Json::Num(burst_secs)),
         ("settle_secs", Json::Num(settle_secs)),
+        ("chaos", Json::Bool(chaos)),
+        ("workers_killed", Json::Num(workers_killed as f64)),
         ("contract_held", Json::Bool(contract_held)),
     ]);
     println!("{}", summary.render());

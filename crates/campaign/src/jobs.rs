@@ -12,7 +12,7 @@
 //! jobs v1 <server-name>                    header, always first
 //! job <id> <client> <prio> <threads> <spec…>  admission (durable before the ack)
 //! cancel <id>                              client requested cancellation
-//! run <id> <attempt>                       a pool worker picked the job up
+//! run <id> <attempt> <fence>               a pool worker picked the job up
 //! ckpt <id> <sweep-state…>                 durable tick boundary
 //! done <id> <outcome…>                     certified completion (terminal)
 //! fail <id> <attempt> <kind> <detail>      attempt failed; retry may follow
@@ -69,6 +69,11 @@ pub enum JobRecord {
         id: u64,
         /// 1-based attempt number.
         attempt: usize,
+        /// Fencing token of the lease this attempt runs under (strictly
+        /// monotone per claim; `0` in journals written before fencing
+        /// existed). Replay ignores it, but journaling the token with
+        /// the claim makes every stale-write rejection auditable.
+        fence: u64,
     },
     /// Durable tick boundary of the job's sweep.
     Ckpt {
@@ -132,7 +137,7 @@ impl JobRecord {
                 spec.encode()
             ),
             JobRecord::Cancel { id } => format!("cancel {id}"),
-            JobRecord::Run { id, attempt } => format!("run {id} {attempt}"),
+            JobRecord::Run { id, attempt, fence } => format!("run {id} {attempt} {fence}"),
             JobRecord::Ckpt { id, state } => {
                 format!("ckpt {id} {}", encode_sweep_state(state))
             }
@@ -196,10 +201,16 @@ impl JobRecord {
                 }
                 JobRecord::Cancel { id }
             }
-            "run" => JobRecord::Run {
-                id,
-                attempt: wire::parse_usize(body, "attempt")?,
-            },
+            "run" => {
+                // Pre-fencing journals wrote `run <id> <attempt>`; the
+                // fence token is a back-compatible third field.
+                let (attempt_tok, fence_tok) = body.split_once(' ').unwrap_or((body, "0"));
+                JobRecord::Run {
+                    id,
+                    attempt: wire::parse_usize(attempt_tok, "attempt")?,
+                    fence: wire::parse_u64(fence_tok, "fence")?,
+                }
+            }
             "ckpt" => JobRecord::Ckpt {
                 id,
                 state: Box::new(decode_sweep_state(body)?),
@@ -323,6 +334,10 @@ pub struct JobBook {
     pub torn_tail: bool,
     /// `Some(reason)` when the last run drained gracefully.
     pub clean_shutdown: Option<String>,
+    /// Highest fencing token seen on any `run` record. The next boot
+    /// starts minting tokens above this, keeping fences monotone across
+    /// restarts even though leases themselves die with the process.
+    pub max_fence: u64,
 }
 
 impl JobBook {
@@ -350,6 +365,7 @@ impl JobBook {
         let mut jobs: BTreeMap<u64, JobEntry> = BTreeMap::new();
         let mut clean_shutdown = None;
         let mut max_id: Option<u64> = None;
+        let mut max_fence = 0u64;
 
         for (rec_no, raw) in it.enumerate() {
             let ctx = |why: String| corrupt(format!("record {}: {why}", rec_no + 1));
@@ -424,7 +440,9 @@ impl JobBook {
                         *cancel_requested = true;
                     }
                 }
-                JobRecord::Run { .. } => {} // informational
+                // Informational for job state; the fence high-water mark
+                // seeds the next boot's token mint.
+                JobRecord::Run { fence, .. } => max_fence = max_fence.max(fence),
                 JobRecord::Ckpt { state, .. } => {
                     if let JobStatus::Pending { resume, .. } = &mut entry.status {
                         *resume = Some(*state);
@@ -462,6 +480,7 @@ impl JobBook {
             jobs,
             torn_tail,
             clean_shutdown,
+            max_fence,
         })
     }
 
@@ -551,7 +570,7 @@ mod tests {
                 spec: Box::new(spec("a b")),
             },
             JobRecord::Cancel { id: 3 },
-            JobRecord::Run { id: 3, attempt: 2 },
+            JobRecord::Run { id: 3, attempt: 2, fence: 7 },
             JobRecord::Ckpt {
                 id: 3,
                 state: Box::new(state),
@@ -602,13 +621,13 @@ mod tests {
             submit(2),
             submit(3),
             submit(4),
-            JobRecord::Run { id: 1, attempt: 1 }.encode(),
+            JobRecord::Run { id: 1, attempt: 1, fence: 1 }.encode(),
             JobRecord::Done {
                 id: 1,
                 outcome: outcome.clone(),
             }
             .encode(),
-            JobRecord::Run { id: 2, attempt: 1 }.encode(),
+            JobRecord::Run { id: 2, attempt: 1, fence: 2 }.encode(),
             ckpt.encode(),
             JobRecord::Cancel { id: 2 }.encode(),
             JobRecord::Fail {
@@ -666,7 +685,7 @@ mod tests {
                 JobBook::header("s"),
                 submit(1),
                 JobRecord::Cancelled { id: 1 }.encode(),
-                JobRecord::Run { id: 1, attempt: 1 }.encode(),
+                JobRecord::Run { id: 1, attempt: 1, fence: 1 }.encode(),
             ],
         ];
         for records in cases {

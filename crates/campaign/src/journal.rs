@@ -22,22 +22,347 @@
 //! mid-file tear cannot happen under append-only writes, so it means the
 //! file was edited or the disk is lying, and resuming from it would be
 //! unsound.
+//!
+//! ## Disk-fault semantics (the fsync-poisoning rule)
+//!
+//! The journal writes through an injectable I/O layer ([`JournalDisk`] /
+//! [`JournalFile`], with [`FaultyDisk`] + [`IoFaultPlan`] as the
+//! deterministic chaos shim), and treats *any* failed append or
+//! `sync_data` as poisoning the handle: after a failure, every further
+//! [`Journal::append`] is refused until [`Journal::reopen`] has re-read
+//! the file, re-verified its tail, truncated any torn suffix, and opened
+//! a fresh descriptor. Retrying a failed fsync on the same descriptor is
+//! the classic fsyncgate bug — on most kernels the failed sync *clears*
+//! the dirty pages, so a second sync "succeeds" while the data is gone.
+//! The only sound recovery is to go back to the file and look.
+//! ENOSPC is classified separately ([`CampaignError::DiskFull`]) so a
+//! supervisor can degrade to read-only draining instead of treating the
+//! failure as unexplained.
 
 use crate::{wire, CampaignError};
+use std::fmt::Debug;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Journal file name inside a campaign directory.
 pub const JOURNAL_FILE: &str = "journal.wal";
 
-/// Append-only journal writer. Every [`Journal::append`] flushes and
-/// fsyncs before returning: when the call returns, the record survives the
-/// process.
+// ---------------------------------------------------------------------
+// The injectable I/O layer
+// ---------------------------------------------------------------------
+
+/// An open journal file handle. The contract is all-or-error: a failed
+/// `write` may have put a *prefix* of the buffer on disk (a torn write —
+/// already handled by replay as a dropped tail), and after any error the
+/// caller must treat the handle as unusable.
+pub trait JournalFile: Send + Debug {
+    /// Writes the whole buffer, or errors (possibly after a prefix
+    /// reached the disk).
+    fn write(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes file *data* to stable storage (`fdatasync` semantics).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations beneath a [`Journal`]. Production uses
+/// [`RealDisk`]; the chaos suite wraps it in [`FaultyDisk`] to inject
+/// EIO / ENOSPC / short writes / failed syncs deterministically.
+pub trait JournalDisk: Send + Sync + Debug {
+    /// Creates a fresh file (must refuse to overwrite).
+    fn create(&self, path: &Path) -> io::Result<Box<dyn JournalFile>>;
+    /// Opens an existing file for appending.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn JournalFile>>;
+    /// Reads the whole file back (the reopen+tail-verify path).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Truncates the file to `len` bytes (dropping a torn tail before
+    /// new appends land after it).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealDisk;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl JournalFile for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl JournalDisk for RealDisk {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn JournalFile>> {
+        let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn JournalFile>> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut raw = Vec::new();
+        File::open(path)?.read_to_end(&mut raw)?;
+        Ok(raw)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic disk-fault injection
+// ---------------------------------------------------------------------
+
+/// Where a disk fault can be injected beneath the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultSite {
+    /// The data write of one append.
+    Append,
+    /// The `sync_data` of one append.
+    Sync,
+}
+
+/// What an injected disk fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// Generic I/O error (`EIO`): the write/sync failed, disk state
+    /// unknown.
+    Eio,
+    /// Out of space (`ENOSPC`): nothing further can be made durable.
+    Enospc,
+    /// Torn write: half the buffer reaches the disk, then `EIO`. Only
+    /// meaningful at [`IoFaultSite::Append`]; at a sync site it behaves
+    /// like [`IoFaultKind::Eio`].
+    ShortWrite,
+}
+
+impl IoFaultKind {
+    /// Stable name (drill scripts arm plans from the environment).
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFaultKind::Eio => "eio",
+            IoFaultKind::Enospc => "enospc",
+            IoFaultKind::ShortWrite => "short",
+        }
+    }
+
+    /// Inverse of [`IoFaultKind::name`].
+    pub fn from_name(name: &str) -> Option<IoFaultKind> {
+        Some(match name {
+            "eio" => IoFaultKind::Eio,
+            "enospc" => IoFaultKind::Enospc,
+            "short" => IoFaultKind::ShortWrite,
+            _ => return None,
+        })
+    }
+
+    fn to_error(self, what: &str) -> io::Error {
+        match self {
+            // EIO = 5, ENOSPC = 28 on every Unix this workspace targets.
+            IoFaultKind::Eio | IoFaultKind::ShortWrite => {
+                io::Error::other(format!("injected EIO at {what}"))
+            }
+            IoFaultKind::Enospc => io::Error::from_raw_os_error(28),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct IoFaultState {
+    append_hits: AtomicUsize,
+    sync_hits: AtomicUsize,
+    fired: AtomicUsize,
+    // lock-order: campaign.io_fault_plan (leaf: nothing is acquired under it)
+    armed: Mutex<Vec<(IoFaultSite, usize, IoFaultKind)>>,
+}
+
+/// A deterministic disk-fault plan in the spirit of
+/// [`metaopt_resilience::FaultPlan`]: each `inject_at` arms one fault at
+/// the N-th (1-based) occurrence of a site, counters are shared across
+/// clones, and an unarmed plan is entirely transparent.
+#[derive(Debug, Clone, Default)]
+pub struct IoFaultPlan {
+    state: Arc<IoFaultState>,
+}
+
+impl IoFaultPlan {
+    /// An empty (transparent) plan.
+    pub fn new() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// Arms `kind` at the `occurrence`-th (1-based) hit of `site`.
+    pub fn inject_at(self, site: IoFaultSite, occurrence: usize, kind: IoFaultKind) -> Self {
+        self.state
+            .armed
+            .lock()
+            .expect("io fault plan lock poisoned")
+            .push((site, occurrence.max(1), kind));
+        self
+    }
+
+    /// Records a hit at `site` and returns the armed fault, if this is
+    /// its occurrence.
+    fn fire(&self, site: IoFaultSite) -> Option<IoFaultKind> {
+        let counter = match site {
+            IoFaultSite::Append => &self.state.append_hits,
+            IoFaultSite::Sync => &self.state.sync_hits,
+        };
+        let hit = counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let armed = self
+            .state
+            .armed
+            .lock()
+            .expect("io fault plan lock poisoned");
+        let kind = armed
+            .iter()
+            .find(|(s, occ, _)| *s == site && *occ == hit)
+            .map(|(_, _, k)| *k);
+        if kind.is_some() {
+            self.state.fired.fetch_add(1, Ordering::SeqCst);
+        }
+        kind
+    }
+
+    /// Hits recorded at `site` so far (across all clones).
+    pub fn hits(&self, site: IoFaultSite) -> usize {
+        match site {
+            IoFaultSite::Append => self.state.append_hits.load(Ordering::SeqCst),
+            IoFaultSite::Sync => self.state.sync_hits.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Faults actually delivered so far (across all clones).
+    pub fn fired(&self) -> usize {
+        self.state.fired.load(Ordering::SeqCst)
+    }
+
+    /// Parses a drill-script plan spec: comma-separated
+    /// `<site>:<occurrence>:<kind>` triples, e.g. `append:3:enospc` or
+    /// `sync:1:eio,append:5:short`. Sites are `append`/`sync`; kinds are
+    /// [`IoFaultKind::from_name`] names.
+    pub fn parse(spec: &str) -> Result<IoFaultPlan, String> {
+        let mut plan = IoFaultPlan::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let mut tok = part.trim().splitn(3, ':');
+            let site = match tok.next().unwrap_or("") {
+                "append" => IoFaultSite::Append,
+                "sync" => IoFaultSite::Sync,
+                other => return Err(format!("unknown io-fault site `{other}`")),
+            };
+            let occ_tok = tok.next().ok_or_else(|| format!("`{part}` missing occurrence"))?;
+            let occurrence: usize = occ_tok
+                .parse()
+                .map_err(|_| format!("bad occurrence `{occ_tok}` in `{part}`"))?;
+            let kind_tok = tok.next().ok_or_else(|| format!("`{part}` missing kind"))?;
+            let kind = IoFaultKind::from_name(kind_tok)
+                .ok_or_else(|| format!("unknown io-fault kind `{kind_tok}`"))?;
+            plan = plan.inject_at(site, occurrence, kind);
+        }
+        Ok(plan)
+    }
+}
+
+/// A [`JournalDisk`] that delivers the faults an [`IoFaultPlan`] arms and
+/// is otherwise the real filesystem.
+#[derive(Debug, Clone)]
+pub struct FaultyDisk {
+    plan: IoFaultPlan,
+}
+
+impl FaultyDisk {
+    /// Wraps the real disk with `plan`.
+    pub fn new(plan: IoFaultPlan) -> FaultyDisk {
+        FaultyDisk { plan }
+    }
+}
+
+#[derive(Debug)]
+struct FaultyFile {
+    inner: Box<dyn JournalFile>,
+    plan: IoFaultPlan,
+}
+
+impl JournalFile for FaultyFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.plan.fire(IoFaultSite::Append) {
+            None => self.inner.write(buf),
+            Some(IoFaultKind::ShortWrite) => {
+                // Half the line reaches the disk; replay sees a torn tail.
+                self.inner.write(&buf[..buf.len() / 2])?;
+                Err(IoFaultKind::ShortWrite.to_error("append (after torn prefix)"))
+            }
+            Some(kind) => Err(kind.to_error("append")),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.plan.fire(IoFaultSite::Sync) {
+            None => self.inner.sync_data(),
+            Some(kind) => Err(kind.to_error("sync_data")),
+        }
+    }
+}
+
+impl JournalDisk for FaultyDisk {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn JournalFile>> {
+        let inner = RealDisk.create(path)?;
+        Ok(Box::new(FaultyFile {
+            inner,
+            plan: self.plan.clone(),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn JournalFile>> {
+        let inner = RealDisk.open_append(path)?;
+        Ok(Box::new(FaultyFile {
+            inner,
+            plan: self.plan.clone(),
+        }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        RealDisk.read(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        RealDisk.truncate(path, len)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The journal writer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Poison {
+    disk_full: bool,
+    why: String,
+}
+
+/// Append-only journal writer. Every [`Journal::append`] writes and
+/// fsyncs before returning: when the call returns `Ok`, the record
+/// survives the process. When it returns `Err`, the handle is *poisoned*
+/// — no further appends until [`Journal::reopen`] has re-verified the
+/// file (the fsync-poisoning rule in the module docs).
 #[derive(Debug)]
 pub struct Journal {
-    file: BufWriter<File>,
+    /// `None` iff poisoned.
+    file: Option<Box<dyn JournalFile>>,
+    disk: Arc<dyn JournalDisk>,
     path: PathBuf,
+    poisoned: Option<Poison>,
     /// Durability counters (no-op by default); `append` is the single
     /// choke point every record passes through, so counting here covers
     /// campaign runs and the job server's book alike.
@@ -48,31 +373,45 @@ impl Journal {
     /// Creates a fresh journal (refuses to overwrite an existing one — an
     /// existing journal means "resume", never "restart").
     pub fn create(dir: &Path) -> Result<Journal, CampaignError> {
+        Journal::create_with(dir, Arc::new(RealDisk))
+    }
+
+    /// [`Journal::create`] over an injectable disk layer.
+    pub fn create_with(dir: &Path, disk: Arc<dyn JournalDisk>) -> Result<Journal, CampaignError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| CampaignError::Io(format!("create {}: {e}", dir.display())))?;
         let path = dir.join(JOURNAL_FILE);
-        let file = OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-            .map_err(|e| CampaignError::Io(format!("create {}: {e}", path.display())))?;
+        let file = disk
+            .create(&path)
+            .map_err(|e| classify_io(&path, "create", &e))?;
         Ok(Journal {
-            file: BufWriter::new(file),
+            file: Some(file),
+            disk,
             path,
+            poisoned: None,
             metrics: crate::CampaignMetrics::disabled(),
         })
     }
 
     /// Opens an existing journal for appending (resume path).
     pub fn open_append(dir: &Path) -> Result<Journal, CampaignError> {
+        Journal::open_append_with(dir, Arc::new(RealDisk))
+    }
+
+    /// [`Journal::open_append`] over an injectable disk layer.
+    pub fn open_append_with(
+        dir: &Path,
+        disk: Arc<dyn JournalDisk>,
+    ) -> Result<Journal, CampaignError> {
         let path = dir.join(JOURNAL_FILE);
-        let file = OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .map_err(|e| CampaignError::Io(format!("open {}: {e}", path.display())))?;
+        let file = disk
+            .open_append(&path)
+            .map_err(|e| classify_io(&path, "open", &e))?;
         Ok(Journal {
-            file: BufWriter::new(file),
+            file: Some(file),
+            disk,
             path,
+            poisoned: None,
             metrics: crate::CampaignMetrics::disabled(),
         })
     }
@@ -83,20 +422,105 @@ impl Journal {
         self.metrics = metrics;
     }
 
+    /// Whether the handle is poisoned (a previous append/sync failed and
+    /// [`Journal::reopen`] has not yet re-verified the file).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
     /// Appends one record payload (without the `J1 len crc` envelope —
-    /// this method adds it), then flushes and syncs.
+    /// this method adds it), then flushes and syncs. On failure the
+    /// handle poisons itself: the write may or may not be on disk, and
+    /// only [`Journal::reopen`]'s tail re-verification can say which.
     pub fn append(&mut self, payload: &str) -> Result<(), CampaignError> {
         debug_assert!(!payload.contains('\n'), "payloads are single-line");
+        if let Some(p) = &self.poisoned {
+            let why = format!(
+                "journal {} is poisoned (reopen + tail-verify required): {}",
+                self.path.display(),
+                p.why
+            );
+            return Err(if p.disk_full {
+                CampaignError::DiskFull(why)
+            } else {
+                CampaignError::Io(why)
+            });
+        }
+        let Some(file) = self.file.as_mut() else {
+            return Err(CampaignError::Io(format!(
+                "journal {} has no open handle",
+                self.path.display()
+            )));
+        };
         let line = encode_line(payload);
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.flush())
-            .and_then(|()| self.file.get_ref().sync_data())
-            .map(|()| {
+        match file
+            .write(line.as_bytes())
+            .and_then(|()| file.sync_data())
+        {
+            Ok(()) => {
                 self.metrics.journal_appends.inc();
                 self.metrics.journal_fsyncs.inc();
-            })
-            .map_err(|e| CampaignError::Io(format!("append {}: {e}", self.path.display())))
+                Ok(())
+            }
+            Err(e) => {
+                let disk_full = is_disk_full(&e);
+                let why = format!("append {}: {e}", self.path.display());
+                // Poison: drop the handle outright. Re-syncing a
+                // descriptor whose fsync failed can silently lose the
+                // dirty pages (fsyncgate); the descriptor is dead to us.
+                self.file = None;
+                self.poisoned = Some(Poison {
+                    disk_full,
+                    why: why.clone(),
+                });
+                self.metrics.journal_poisonings.inc();
+                Err(if disk_full {
+                    CampaignError::DiskFull(why)
+                } else {
+                    CampaignError::Io(why)
+                })
+            }
+        }
+    }
+
+    /// Recovers a poisoned handle: re-reads the file, re-verifies every
+    /// record, truncates a torn tail (so future appends never land after
+    /// garbage), and opens a fresh descriptor. Returns the verified
+    /// contents so the caller can reconcile which of its in-flight
+    /// records actually made it to disk before resuming.
+    pub fn reopen(&mut self) -> Result<JournalContents, CampaignError> {
+        let raw = self
+            .disk
+            .read(&self.path)
+            .map_err(|e| classify_io(&self.path, "reread", &e))?;
+        let contents = parse_journal_bytes(&raw)?;
+        if contents.torn_tail {
+            self.disk
+                .truncate(&self.path, contents.valid_len as u64)
+                .map_err(|e| classify_io(&self.path, "truncate torn tail of", &e))?;
+        }
+        let file = self
+            .disk
+            .open_append(&self.path)
+            .map_err(|e| classify_io(&self.path, "reopen", &e))?;
+        self.file = Some(file);
+        self.poisoned = None;
+        self.metrics.journal_reopens.inc();
+        Ok(contents)
+    }
+}
+
+/// ENOSPC detection across the injected shim and the real kernel.
+fn is_disk_full(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28)
+}
+
+fn classify_io(path: &Path, what: &str, e: &io::Error) -> CampaignError {
+    let why = format!("{what} {}: {e}", path.display());
+    if is_disk_full(e) {
+        CampaignError::DiskFull(why)
+    } else {
+        CampaignError::Io(why)
     }
 }
 
@@ -109,6 +533,13 @@ pub fn encode_line(payload: &str) -> String {
     )
 }
 
+/// Verifies one framed line (without its trailing newline) and returns
+/// the payload — the inverse of [`encode_line`], shared with the sandbox
+/// IPC protocol which speaks the same envelope over pipes.
+pub fn decode_line(line: &str) -> Result<String, String> {
+    verify_line(line.as_bytes(), true)
+}
+
 /// Outcome of replaying a journal file from disk.
 #[derive(Debug)]
 pub struct JournalContents {
@@ -118,15 +549,17 @@ pub struct JournalContents {
     /// hard kill mid-append; harmless — the write-ahead discipline means
     /// the lost record's transition never took effect).
     pub torn_tail: bool,
+    /// Byte length of the verified prefix (the whole file unless
+    /// `torn_tail`; the truncation point for reopen-after-poison).
+    pub valid_len: usize,
 }
 
 /// Reads and verifies a journal. Corruption anywhere except the final
 /// line is an error; a torn final line is dropped and flagged.
 pub fn read_journal(dir: &Path) -> Result<JournalContents, CampaignError> {
     let path = dir.join(JOURNAL_FILE);
-    let mut raw = Vec::new();
-    File::open(&path)
-        .and_then(|mut f| f.read_to_end(&mut raw))
+    let raw = RealDisk
+        .read(&path)
         .map_err(|e| CampaignError::Io(format!("read {}: {e}", path.display())))?;
     parse_journal_bytes(&raw)
 }
@@ -136,6 +569,7 @@ pub fn read_journal(dir: &Path) -> Result<JournalContents, CampaignError> {
 pub fn parse_journal_bytes(raw: &[u8]) -> Result<JournalContents, CampaignError> {
     let mut records = Vec::new();
     let mut torn_tail = false;
+    let mut valid_len = 0usize;
     let mut offset = 0usize;
     while offset < raw.len() {
         let (line, next, complete) = match raw[offset..].iter().position(|&b| b == b'\n') {
@@ -144,7 +578,10 @@ pub fn parse_journal_bytes(raw: &[u8]) -> Result<JournalContents, CampaignError>
         };
         let at_tail = next >= raw.len();
         match verify_line(line, complete) {
-            Ok(payload) => records.push(payload),
+            Ok(payload) => {
+                records.push(payload);
+                valid_len = next;
+            }
             Err(why) => {
                 if at_tail {
                     // A hard kill tears at most the final append.
@@ -159,7 +596,11 @@ pub fn parse_journal_bytes(raw: &[u8]) -> Result<JournalContents, CampaignError>
         }
         offset = next;
     }
-    Ok(JournalContents { records, torn_tail })
+    Ok(JournalContents {
+        records,
+        torn_tail,
+        valid_len,
+    })
 }
 
 /// Verifies one journal line's envelope, returning the payload.
@@ -202,6 +643,7 @@ mod tests {
         }
         let out = parse_journal_bytes(&bytes).unwrap();
         assert!(!out.torn_tail);
+        assert_eq!(out.valid_len, bytes.len());
         assert_eq!(out.records, payloads);
     }
 
@@ -209,11 +651,13 @@ mod tests {
     fn torn_tail_is_dropped_not_fatal() {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(encode_line("cell 0 spec").as_bytes());
+        let good_len = bytes.len();
         let full = encode_line("ckpt 0 blob");
         // Simulate a SIGKILL mid-append: half the final line, no newline.
         bytes.extend_from_slice(&full.as_bytes()[..full.len() / 2]);
         let out = parse_journal_bytes(&bytes).unwrap();
         assert!(out.torn_tail);
+        assert_eq!(out.valid_len, good_len);
         assert_eq!(out.records, vec!["cell 0 spec".to_string()]);
     }
 
@@ -242,5 +686,102 @@ mod tests {
         let out = parse_journal_bytes(&bytes).unwrap();
         assert!(out.torn_tail);
         assert_eq!(out.records.len(), 1);
+    }
+
+    #[test]
+    fn frame_decode_line_round_trips() {
+        let line = encode_line("spec 7 2 tokens");
+        let payload = decode_line(line.trim_end_matches('\n')).unwrap();
+        assert_eq!(payload, "spec 7 2 tokens");
+        assert!(decode_line("J1 3 deadbeef xyz").is_err());
+    }
+
+    #[test]
+    fn failed_sync_poisons_until_reopen_verifies_tail() {
+        let dir = std::env::temp_dir().join(format!("mo-jrnl-poison-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = IoFaultPlan::new().inject_at(IoFaultSite::Sync, 3, IoFaultKind::Eio);
+        let disk = Arc::new(FaultyDisk::new(plan.clone()));
+        let mut journal = Journal::create_with(&dir, disk).unwrap();
+        journal.append("hdr v1 t").unwrap();
+        journal.append("rec one").unwrap();
+        // Third append: the write lands, the fsync fails — the fsyncgate
+        // shape. The handle must poison, and must stay poisoned.
+        let err = journal.append("rec two").unwrap_err();
+        assert!(matches!(err, CampaignError::Io(_)), "{err:?}");
+        assert!(journal.is_poisoned());
+        let again = journal.append("rec three").unwrap_err();
+        assert!(
+            again.to_string().contains("poisoned"),
+            "append after poison must refuse, got: {again}"
+        );
+        assert_eq!(plan.fired(), 1);
+        // Reopen re-reads and re-verifies: the record whose fsync failed
+        // *did* reach the file here (the shim failed only the sync), so
+        // the caller sees it in the verified contents and must not
+        // re-append it.
+        let contents = journal.reopen().unwrap();
+        assert_eq!(
+            contents.records,
+            vec!["hdr v1 t", "rec one", "rec two"],
+            "reopen must report exactly what is durable"
+        );
+        assert!(!journal.is_poisoned());
+        journal.append("rec three").unwrap();
+        let after = read_journal(&dir).unwrap();
+        assert_eq!(after.records.len(), 4);
+        assert!(!after.torn_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_poisons_and_reopen_truncates_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("mo-jrnl-short-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = IoFaultPlan::new().inject_at(IoFaultSite::Append, 2, IoFaultKind::ShortWrite);
+        let disk = Arc::new(FaultyDisk::new(plan));
+        let mut journal = Journal::create_with(&dir, disk).unwrap();
+        journal.append("hdr v1 t").unwrap();
+        let err = journal.append("rec that tears").unwrap_err();
+        assert!(matches!(err, CampaignError::Io(_)), "{err:?}");
+        assert!(journal.is_poisoned());
+        // The torn prefix is on disk; reopen must drop it and truncate so
+        // the next append cannot land after garbage.
+        let contents = journal.reopen().unwrap();
+        assert!(contents.torn_tail);
+        assert_eq!(contents.records, vec!["hdr v1 t"]);
+        journal.append("rec two").unwrap();
+        let after = read_journal(&dir).unwrap();
+        assert!(!after.torn_tail, "truncation must have removed the tear");
+        assert_eq!(after.records, vec!["hdr v1 t", "rec two"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_classifies_as_disk_full() {
+        let dir = std::env::temp_dir().join(format!("mo-jrnl-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = IoFaultPlan::new().inject_at(IoFaultSite::Append, 1, IoFaultKind::Enospc);
+        let disk = Arc::new(FaultyDisk::new(plan));
+        let mut journal = Journal::create_with(&dir, disk).unwrap();
+        let err = journal.append("hdr v1 t").unwrap_err();
+        assert!(matches!(err, CampaignError::DiskFull(_)), "{err:?}");
+        // The poisoned re-refusal keeps the classification.
+        let again = journal.append("x").unwrap_err();
+        assert!(matches!(again, CampaignError::DiskFull(_)), "{again:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_parses_drill_specs() {
+        let plan = IoFaultPlan::parse("append:3:enospc,sync:1:eio").unwrap();
+        assert!(plan.fire(IoFaultSite::Sync).is_some());
+        assert!(plan.fire(IoFaultSite::Append).is_none());
+        assert!(plan.fire(IoFaultSite::Append).is_none());
+        assert!(plan.fire(IoFaultSite::Append) == Some(IoFaultKind::Enospc));
+        assert!(IoFaultPlan::parse("append:x:eio").is_err());
+        assert!(IoFaultPlan::parse("floppy:1:eio").is_err());
+        assert!(IoFaultPlan::parse("append:1:gremlins").is_err());
+        assert!(IoFaultPlan::parse("").unwrap().fire(IoFaultSite::Sync).is_none());
     }
 }

@@ -32,6 +32,7 @@ pub mod jobs;
 pub mod journal;
 pub mod metrics;
 pub mod runner;
+pub mod sandbox;
 pub mod state;
 pub mod wire;
 
@@ -41,12 +42,17 @@ pub use cell::{
 pub use clock::{Clock, SystemClock, TestClock};
 pub use jobs::{JobBook, JobEntry, JobRecord, JobStatus, JOBS_MAGIC};
 pub use journal::{
-    encode_line, parse_journal_bytes, read_journal, Journal, JournalContents, JOURNAL_FILE,
+    decode_line, encode_line, parse_journal_bytes, read_journal, FaultyDisk, IoFaultKind,
+    IoFaultPlan, IoFaultSite, Journal, JournalContents, JournalDisk, JournalFile, RealDisk,
+    JOURNAL_FILE,
 };
 pub use metrics::CampaignMetrics;
 pub use runner::{
     drive_cell, quarantine_reason_for, resume, retry_jitter_seed, run, status, CampaignConfig,
     CampaignReport, CellDriveEnd, RunEnd, ShutdownFlag, SolverObs, MANIFEST_FILE,
+};
+pub use sandbox::{
+    run_cell_sandboxed, worker_main, SandboxConfig, SandboxEnd, SandboxLimits,
 };
 pub use state::{CampaignState, CellStatus, FailureRecord, CAMPAIGN_MAGIC};
 
@@ -57,6 +63,11 @@ use metaopt_core::CoreError;
 pub enum CampaignError {
     /// Filesystem / journal I/O failed.
     Io(String),
+    /// The disk is full (ENOSPC): nothing can be made durable, but
+    /// existing durable state is intact. Classified apart from
+    /// [`CampaignError::Io`] so a supervisor can degrade to a read-only
+    /// draining mode instead of treating the failure as unexplained.
+    DiskFull(String),
     /// The journal (or a record inside it) failed verification. Resuming
     /// from corrupt state would be unsound, so this is always fatal.
     Corrupt(String),
@@ -70,6 +81,7 @@ impl std::fmt::Display for CampaignError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CampaignError::Io(s) => write!(f, "campaign io error: {s}"),
+            CampaignError::DiskFull(s) => write!(f, "disk full: {s}"),
             CampaignError::Corrupt(s) => write!(f, "corrupt journal: {s}"),
             CampaignError::Core(e) => write!(f, "campaign core error: {e}"),
             CampaignError::Config(s) => write!(f, "campaign config error: {s}"),

@@ -21,6 +21,11 @@ pub struct CampaignMetrics {
     /// `sync_data` calls completed by the journal (one per durable
     /// append under the current write-ahead discipline).
     pub journal_fsyncs: Counter,
+    /// Journal handles poisoned by a failed append/`sync_data` (the
+    /// fsync-poisoning rule: no further appends until reopen+tail-verify).
+    pub journal_poisonings: Counter,
+    /// Successful journal reopen+tail-verify recoveries after poisoning.
+    pub journal_reopens: Counter,
     /// Cell attempts re-queued by the retry policy.
     pub retries: Counter,
     /// Cells quarantined (fatal error or exhausted retries).
@@ -52,6 +57,16 @@ impl CampaignMetrics {
             journal_fsyncs: registry.counter(
                 "metaopt_campaign_journal_fsyncs_total",
                 "Journal sync_data calls completed",
+                &[],
+            ),
+            journal_poisonings: registry.counter(
+                "metaopt_campaign_journal_poisonings_total",
+                "Journal handles poisoned by a failed append or sync_data",
+                &[],
+            ),
+            journal_reopens: registry.counter(
+                "metaopt_campaign_journal_reopens_total",
+                "Journal reopen+tail-verify recoveries after poisoning",
                 &[],
             ),
             retries: registry.counter(

@@ -532,8 +532,12 @@ fn run_item(shared: &Shared, item: WorkItem) {
 pub fn quarantine_reason_for(failure_kind: &str) -> QuarantineReason {
     match failure_kind {
         "fatal" => QuarantineReason::FatalError,
-        "timeout" => QuarantineReason::RepeatedTimeout,
+        // A worker repeatedly killed for blowing its wall-clock limit is
+        // the sandboxed shape of a repeated in-process timeout.
+        "timeout" | "killed_deadline" => QuarantineReason::RepeatedTimeout,
         "panic" => QuarantineReason::WorkerPanic,
+        // `killed_oom` / `killed_heartbeat` / `worker_exit` (and anything
+        // future) exhaust their retries like transient solver faults.
         _ => QuarantineReason::ExhaustedRetries,
     }
 }

@@ -102,6 +102,7 @@ impl Model {
                         JobRecord::Run {
                             id: i as u64 + 1,
                             attempt: self.jobs[i].attempt + 1,
+                            fence: self.records.len() as u64,
                         }
                         .encode(),
                     );

@@ -57,6 +57,55 @@ pub enum SolverFault {
     /// encoding before the solve (release builds record this and continue;
     /// debug builds abort instead). The payload is the checker's summary.
     EncodingSuspect(String),
+    /// A sandboxed worker process was killed by its supervisor for
+    /// breaching a containment limit (RSS, wall clock, or heartbeat
+    /// liveness). The kill itself is the containment working: the server
+    /// survives, the attempt is journaled as failed, and the retry policy
+    /// decides what happens next.
+    WorkerKilled(WorkerKillReason),
+    /// Journal I/O failed beneath the durability layer (EIO, ENOSPC, a
+    /// short write, or a failed `sync_data`). The journal handle is
+    /// poisoned by this fault and must be reopened and tail-verified
+    /// before any further append — see the fsync-poisoning rule in
+    /// DESIGN.md §16.
+    JournalIo(String),
+}
+
+/// Why a sandbox supervisor killed its worker child. Each reason carries a
+/// stable kind string (`killed_oom` / `killed_deadline` /
+/// `killed_heartbeat`) that doubles as the journal failure-taxonomy kind
+/// for the failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerKillReason {
+    /// Resident-set-size limit breached (the from-scratch OOM killer).
+    Oom,
+    /// Wall-clock limit breached with the child still running.
+    Deadline,
+    /// No frame (checkpoint, result, or heartbeat) within the liveness
+    /// window — the child is wedged or dead without having exited.
+    Heartbeat,
+}
+
+impl WorkerKillReason {
+    /// Stable identifier, shared between [`SolverFault::kind`] and the
+    /// job journal's failure taxonomy.
+    pub fn kind(self) -> &'static str {
+        match self {
+            WorkerKillReason::Oom => "killed_oom",
+            WorkerKillReason::Deadline => "killed_deadline",
+            WorkerKillReason::Heartbeat => "killed_heartbeat",
+        }
+    }
+
+    /// Inverse of [`WorkerKillReason::kind`].
+    pub fn from_kind(kind: &str) -> Option<WorkerKillReason> {
+        Some(match kind {
+            "killed_oom" => WorkerKillReason::Oom,
+            "killed_deadline" => WorkerKillReason::Deadline,
+            "killed_heartbeat" => WorkerKillReason::Heartbeat,
+            _ => return None,
+        })
+    }
 }
 
 impl SolverFault {
@@ -69,6 +118,8 @@ impl SolverFault {
             SolverFault::CallbackPanic(_) => "callback_panic",
             SolverFault::StallDetected => "stall_detected",
             SolverFault::EncodingSuspect(_) => "encoding_suspect",
+            SolverFault::WorkerKilled(why) => why.kind(),
+            SolverFault::JournalIo(_) => "journal_io",
         }
     }
 
@@ -81,6 +132,7 @@ impl SolverFault {
             SolverFault::NumericalBreakdown(_)
                 | SolverFault::BasisSingular(_)
                 | SolverFault::CallbackPanic(_)
+                | SolverFault::WorkerKilled(_)
         )
     }
 
@@ -95,7 +147,10 @@ impl SolverFault {
             "callback_panic" => SolverFault::CallbackPanic(detail.to_string()),
             "stall_detected" => SolverFault::StallDetected,
             "encoding_suspect" => SolverFault::EncodingSuspect(detail.to_string()),
-            _ => return None,
+            "journal_io" => SolverFault::JournalIo(detail.to_string()),
+            kind => {
+                return WorkerKillReason::from_kind(kind).map(SolverFault::WorkerKilled)
+            }
         })
     }
 
@@ -106,8 +161,11 @@ impl SolverFault {
             SolverFault::NumericalBreakdown(s)
             | SolverFault::BasisSingular(s)
             | SolverFault::CallbackPanic(s)
-            | SolverFault::EncodingSuspect(s) => s,
-            SolverFault::DeadlineExceeded | SolverFault::StallDetected => "",
+            | SolverFault::EncodingSuspect(s)
+            | SolverFault::JournalIo(s) => s,
+            SolverFault::DeadlineExceeded
+            | SolverFault::StallDetected
+            | SolverFault::WorkerKilled(_) => "",
         }
     }
 }
@@ -121,6 +179,10 @@ impl std::fmt::Display for SolverFault {
             SolverFault::CallbackPanic(s) => write!(f, "callback panicked: {s}"),
             SolverFault::StallDetected => write!(f, "stalled (no sufficient improvement)"),
             SolverFault::EncodingSuspect(s) => write!(f, "suspect encoding: {s}"),
+            SolverFault::WorkerKilled(why) => {
+                write!(f, "worker killed by supervisor ({})", why.kind())
+            }
+            SolverFault::JournalIo(s) => write!(f, "journal I/O fault: {s}"),
         }
     }
 }
@@ -771,12 +833,32 @@ mod tests {
             SolverFault::CallbackPanic("boom".into()),
             SolverFault::StallDetected,
             SolverFault::EncodingSuspect("MC101".into()),
+            SolverFault::WorkerKilled(WorkerKillReason::Oom),
+            SolverFault::WorkerKilled(WorkerKillReason::Deadline),
+            SolverFault::WorkerKilled(WorkerKillReason::Heartbeat),
+            SolverFault::JournalIo("sync_data: ENOSPC".into()),
         ];
         for f in faults {
             let back = SolverFault::from_kind(f.kind(), f.detail()).unwrap();
             assert_eq!(back, f);
         }
         assert!(SolverFault::from_kind("martian_fault", "x").is_none());
+        assert!(SolverFault::from_kind("killed_boredom", "").is_none());
+    }
+
+    #[test]
+    fn worker_kill_reasons_round_trip_and_classify() {
+        for why in [
+            WorkerKillReason::Oom,
+            WorkerKillReason::Deadline,
+            WorkerKillReason::Heartbeat,
+        ] {
+            assert_eq!(WorkerKillReason::from_kind(why.kind()), Some(why));
+            // A supervisor kill is containment, not a verdict on the work:
+            // the retry policy gets a say.
+            assert!(SolverFault::WorkerKilled(why).is_recoverable());
+        }
+        assert!(!SolverFault::JournalIo("EIO".into()).is_recoverable());
     }
 
     #[test]

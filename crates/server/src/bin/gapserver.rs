@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use metaopt_campaign::journal::JournalDisk;
+use metaopt_campaign::{FaultyDisk, IoFaultPlan, SandboxConfig, SandboxLimits};
 use metaopt_obs::trace::DEFAULT_RING_CAPACITY;
 use metaopt_obs::{Registry, SystemClock, Tracer};
 use metaopt_server::client;
@@ -50,6 +52,14 @@ fn main() -> ExitCode {
     let cmd = it.next().unwrap_or("help");
     let rest: Vec<&str> = it.collect();
     let result = match cmd {
+        // Sandbox worker mode: the server self-execs its own binary with
+        // `--worker`; the child speaks the framed IPC protocol on
+        // stdin/stdout and exits when its one cell is done. No flags, no
+        // HTTP, no journal — everything arrives over the pipe.
+        "--worker" => {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            return ExitCode::from(metaopt_campaign::worker_main().clamp(0, 255) as u8);
+        }
         "serve" => cmd_serve(&rest),
         "submit" => cmd_submit(&rest),
         "status" => cmd_status(&rest),
@@ -58,6 +68,7 @@ fn main() -> ExitCode {
         "cancel" => cmd_cancel(&rest),
         "drain" => cmd_drain(&rest),
         "metrics" => cmd_get(&rest, "/metrics"),
+        "health" => cmd_get(&rest, "/healthz"),
         "trace" => cmd_get(&rest, "/admin/trace"),
         "help" | "--help" | "-h" => {
             tracer().log_stderr("cli.usage", USAGE);
@@ -77,7 +88,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   gapserver serve  --dir DIR --addr HOST:PORT [--workers N] [--max-queue N]
                    [--quota-burst F] [--quota-per-sec F] [--aging-secs F]
-                   [--default-threads N] [--name NAME]
+                   [--default-threads N] [--name NAME] [--sandbox on|off]
+                   [--sandbox-wall-secs F] [--sandbox-rss-mb N]
+                   [--sandbox-heartbeat-secs F]
   gapserver submit --addr HOST:PORT [--file SPEC.json]   (stdin when no --file)
   gapserver status --addr HOST:PORT [ID]
   gapserver wait   --addr HOST:PORT ID [--timeout-secs N]
@@ -85,6 +98,7 @@ const USAGE: &str = "usage:
   gapserver cancel --addr HOST:PORT ID
   gapserver drain  --addr HOST:PORT
   gapserver metrics --addr HOST:PORT
+  gapserver health --addr HOST:PORT
   gapserver trace  --addr HOST:PORT";
 
 /// Pulls `--flag value` pairs and bare positionals out of an argv slice.
@@ -133,11 +147,58 @@ impl<'a> Flags<'a> {
     }
 }
 
+/// Builds the worker-sandbox config for `serve`. `--sandbox off` opts
+/// back into in-process execution; everything else self-execs this very
+/// binary with `--worker`, so parent and child can never skew versions.
+fn sandbox_config(flags: &Flags) -> Result<Option<SandboxConfig>, String> {
+    match flags.get("sandbox") {
+        Some("off") => return Ok(None),
+        Some("on") | None => {}
+        Some(other) => return Err(format!("bad --sandbox `{other}` (want on|off)")),
+    }
+    let program =
+        std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let wall = flags.num("sandbox-wall-secs", 0.0f64)?;
+    let rss_mb = flags.num("sandbox-rss-mb", 0u64)?;
+    let heartbeat = flags.num("sandbox-heartbeat-secs", 10.0f64)?;
+    Ok(Some(SandboxConfig {
+        program,
+        args: vec!["--worker".to_string()],
+        limits: SandboxLimits {
+            wall: (wall > 0.0).then(|| Duration::from_secs_f64(wall)),
+            rss_bytes: (rss_mb > 0).then_some(rss_mb * 1024 * 1024),
+            heartbeat: Duration::from_secs_f64(heartbeat.max(0.1)),
+        },
+    }))
+}
+
+/// Builds the journal disk layer for `serve`: the `GAPSERVER_IO_FAULTS`
+/// environment variable (e.g. `append:3:enospc` or `sync:1:eio`) arms a
+/// deterministic fault plan for the disk-full / fsync drills; unset
+/// means the real filesystem, untouched.
+fn fault_disk() -> Result<Option<Arc<dyn JournalDisk>>, String> {
+    match std::env::var("GAPSERVER_IO_FAULTS") {
+        Err(_) => Ok(None),
+        Ok(spec) if spec.trim().is_empty() => Ok(None),
+        Ok(spec) => {
+            let plan = IoFaultPlan::parse(&spec)
+                .map_err(|e| format!("GAPSERVER_IO_FAULTS: {e}"))?;
+            tracer().log_stderr(
+                "cli.io_faults",
+                &format!("gapserver: journal fault plan armed: {spec}"),
+            );
+            Ok(Some(Arc::new(FaultyDisk::new(plan))))
+        }
+    }
+}
+
 fn cmd_serve(args: &[&str]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args)?;
     let dir = PathBuf::from(flags.require("dir")?);
     let addr = flags.require("addr")?;
     let cfg = ServerConfig {
+        sandbox: sandbox_config(&flags)?,
+        disk: fault_disk()?,
         name: flags.get("name").unwrap_or("gapserver").to_string(),
         dir: dir.clone(),
         workers: flags.num("workers", 2usize)?,

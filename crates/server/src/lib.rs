@@ -40,5 +40,5 @@ pub use api::{serve, MAX_CONNECTIONS};
 pub use json::Json;
 pub use metrics::{RouteMetrics, ServerMetrics, ROUTES};
 pub use quota::{AgingQueue, QueuedJob, QuotaBook, TokenBucket};
-pub use server::{CancelError, GapServer, ServerConfig, SubmitError};
+pub use server::{CancelError, GapServer, RecordVerdict, ServerConfig, SubmitError};
 pub use spec::{parse_submit, validate_submit, AdmissionLimits, SubmitRequest};

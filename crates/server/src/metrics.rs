@@ -68,6 +68,19 @@ pub struct ServerMetrics {
     pub jobs_cancelled: Counter,
     /// Failed attempts re-queued by the retry policy.
     pub jobs_retried: Counter,
+    /// Sandboxed worker children spawned.
+    pub workers_spawned: Counter,
+    /// Workers killed for an RSS-limit breach.
+    pub workers_killed_oom: Counter,
+    /// Workers killed for a wall-clock-limit breach.
+    pub workers_killed_deadline: Counter,
+    /// Workers killed for heartbeat silence.
+    pub workers_killed_heartbeat: Counter,
+    /// Worker children that exited without a terminal result frame.
+    pub workers_lost: Counter,
+    /// Stale results rejected by lease fencing (a write arriving under a
+    /// fence token that is no longer the job's current lease).
+    pub workers_fenced: Counter,
     /// Solver-stack counters installed on every job attempt's
     /// branch-and-bound config (nodes, waves, steals, node-LP pivots).
     pub solver: MilpMetrics,
@@ -150,6 +163,36 @@ impl ServerMetrics {
             jobs_retried: registry.counter(
                 "metaopt_server_jobs_retried_total",
                 "Failed attempts re-queued for retry",
+                &[],
+            ),
+            workers_spawned: registry.counter(
+                "metaopt_server_workers_spawned_total",
+                "Sandboxed worker children spawned",
+                &[],
+            ),
+            workers_killed_oom: registry.counter(
+                "metaopt_server_workers_killed_total",
+                "Worker children killed by the supervisor, by reason",
+                &[("reason", "oom")],
+            ),
+            workers_killed_deadline: registry.counter(
+                "metaopt_server_workers_killed_total",
+                "Worker children killed by the supervisor, by reason",
+                &[("reason", "deadline")],
+            ),
+            workers_killed_heartbeat: registry.counter(
+                "metaopt_server_workers_killed_total",
+                "Worker children killed by the supervisor, by reason",
+                &[("reason", "heartbeat")],
+            ),
+            workers_lost: registry.counter(
+                "metaopt_server_workers_lost_total",
+                "Worker children that exited without a result frame",
+                &[],
+            ),
+            workers_fenced: registry.counter(
+                "metaopt_server_workers_fenced_total",
+                "Stale worker results rejected by lease fencing",
                 &[],
             ),
             solver: MilpMetrics::register(registry),

@@ -25,14 +25,18 @@ use crate::quota::{AgingQueue, QueuedJob, QuotaBook};
 use crate::spec::{validate_submit, AdmissionLimits, SubmitRequest};
 use crate::metrics::ServerMetrics;
 use metaopt_campaign::jobs::{JobBook, JobEntry, JobRecord, JobStatus};
+use metaopt_campaign::journal::JournalDisk;
 use metaopt_campaign::{
-    drive_cell, quarantine_reason_for, retry_jitter_seed, wire, CampaignError, CampaignMetrics,
-    CellDriveEnd, Clock, Journal, SolverObs, SystemClock, JOURNAL_FILE,
+    drive_cell, quarantine_reason_for, retry_jitter_seed, run_cell_sandboxed, wire, CampaignError,
+    CampaignMetrics, CellDriveEnd, Clock, Journal, SandboxConfig, SandboxEnd, SolverObs,
+    SystemClock, JOURNAL_FILE,
 };
 use metaopt_obs::{Registry, Tracer};
 use metaopt_core::SweepState;
 use metaopt_model::ModelStats;
-use metaopt_resilience::{FaultPlan, FaultSite, RetryDecision, RetryPolicy, ServiceFault};
+use metaopt_resilience::{
+    FaultPlan, FaultSite, RetryDecision, RetryPolicy, ServiceFault, WorkerKillReason,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -83,6 +87,15 @@ pub struct ServerConfig {
     /// Flight-recorder tracer for job lifecycle events; `GET /admin/trace`
     /// serves its bounded NDJSON tail. Defaults to disabled.
     pub tracer: Tracer,
+    /// Process isolation for cell execution: `Some` spawns every attempt
+    /// as a supervised child process ([`run_cell_sandboxed`]) with
+    /// heartbeat/wall/RSS enforcement; `None` (the default) drives cells
+    /// in-process, contained only by `catch_unwind`.
+    pub sandbox: Option<SandboxConfig>,
+    /// Injectable disk layer under the journal (`None` = the real
+    /// filesystem). The disk-fault drills hand in a
+    /// [`metaopt_campaign::FaultyDisk`] here.
+    pub disk: Option<Arc<dyn JournalDisk>>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +115,8 @@ impl Default for ServerConfig {
             fault_plan: None,
             registry: Registry::disabled(),
             tracer: Tracer::disabled(),
+            sandbox: None,
+            disk: None,
         }
     }
 }
@@ -169,10 +184,26 @@ struct Inner {
     /// Backoff-delayed retries: `(due, id)`.
     delayed: Vec<(Instant, u64)>,
     running: BTreeSet<u64>,
+    /// Current lease per running job: `id → fence token`. Leases are
+    /// in-memory (they die with the supervisor, which is what makes them
+    /// safe); the token is minted monotone at claim time, journaled on
+    /// the `run` record for audit, and checked by [`GapServer::record_attempt`]
+    /// — a result arriving under any other token is a zombie's write and
+    /// is dropped.
+    leases: BTreeMap<u64, u64>,
+    /// Fence mint: strictly increasing, seeded above the journal's
+    /// high-water mark at boot.
+    next_fence: u64,
     next_id: u64,
     draining: bool,
     stopped: bool,
     fatal: Option<String>,
+    /// `Some(why)` once a journal append/fsync has failed: the server is
+    /// read-only — no admissions, no new claims — but keeps answering
+    /// status/metrics/results so operators can see what happened and
+    /// clients can fetch completed work. Distinct from `stopped`: a
+    /// degraded server still serves HTTP.
+    degraded: Option<String>,
     quotas: QuotaBook,
 }
 
@@ -207,6 +238,11 @@ impl GapServer {
         let mut queue = AgingQueue::new(Duration::from_secs_f64(cfg.aging_secs.max(0.001)));
         let mut jobs = BTreeMap::new();
         let mut next_id = 1u64;
+        let mut next_fence = 1u64;
+        let disk: Arc<dyn JournalDisk> = cfg
+            .disk
+            .clone()
+            .unwrap_or_else(|| Arc::new(metaopt_campaign::RealDisk));
         let journal = if cfg.dir.join(JOURNAL_FILE).exists() {
             // Boot replay. The `metaopt_server_jobs_*` counters are
             // re-derived from the replayed book so that, after a hard
@@ -217,8 +253,9 @@ impl GapServer {
             campaign_metrics
                 .replay_seconds
                 .observe((cfg.clock.now() - replay_started).as_secs_f64());
-            let mut journal = Journal::open_append(&cfg.dir)?;
+            let mut journal = Journal::open_append_with(&cfg.dir, disk)?;
             next_id = book.next_id();
+            next_fence = book.max_fence + 1;
             for (id, mut entry) in book.jobs {
                 metrics.jobs_admitted.inc();
                 metrics
@@ -269,7 +306,7 @@ impl GapServer {
             }
             journal
         } else {
-            let mut journal = Journal::create(&cfg.dir)?;
+            let mut journal = Journal::create_with(&cfg.dir, disk)?;
             journal.append(&JobBook::header(&cfg.name))?;
             journal
         };
@@ -284,10 +321,13 @@ impl GapServer {
                 queue,
                 delayed: Vec::new(),
                 running: BTreeSet::new(),
+                leases: BTreeMap::new(),
+                next_fence,
                 next_id,
                 draining: false,
                 stopped: false,
                 fatal: None,
+                degraded: None,
                 quotas: QuotaBook::new(cfg.quota_burst, cfg.quota_per_sec),
             }),
             work_cv: Condvar::new(),
@@ -314,19 +354,33 @@ impl GapServer {
         self.lock().stopped
     }
 
+    /// `Some(why)` when a journal fault has dropped the server into
+    /// read-only degraded mode (still serving HTTP, admitting nothing).
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.lock().degraded.clone()
+    }
+
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.inner.lock().expect("server lock poisoned")
     }
 
-    /// Journal append + fatal-stop on failure. Returns whether the append
-    /// succeeded; on failure the server refuses all further work.
+    /// Journal append + degrade on failure. On any append/fsync error the
+    /// journal handle is poisoned (see the fsync-poisoning rule in
+    /// `metaopt_campaign::journal`) and the server drops to read-only
+    /// *degraded* mode: no admissions, no new claims, but `/metrics`,
+    /// status, and completed results keep being served — a full disk
+    /// must not look like a crash.
     fn append_or_die(&self, inner: &mut Inner, record: &JobRecord) -> Result<(), String> {
         match inner.journal.append(&record.encode()) {
             Ok(()) => Ok(()),
             Err(e) => {
                 let msg = e.to_string();
-                inner.fatal = Some(msg.clone());
-                inner.stopped = true;
+                if inner.degraded.is_none() {
+                    inner.degraded = Some(msg.clone());
+                    self.cfg
+                        .tracer
+                        .event("server.degraded", vec![("why", msg.clone())]);
+                }
                 // an:allow(AN101): the caller holds the server lock — it
                 // is threaded in as `&mut Inner`, so no `.lock()` appears
                 // in this function's own scope.
@@ -349,7 +403,7 @@ impl GapServer {
             .map_err(|f| SubmitError::Rejected(f.detail().to_string()))?;
         let now = self.cfg.clock.now();
         let mut inner = self.lock();
-        if inner.stopped || inner.draining {
+        if inner.stopped || inner.draining || inner.degraded.is_some() {
             return Err(SubmitError::Unavailable);
         }
         if let Err(wait) = inner.quotas.charge(&req.client, now) {
@@ -502,6 +556,11 @@ impl GapServer {
         (0..self.cfg.workers.max(1))
             .map(|_| {
                 let server = Arc::clone(self);
+                // an:allow(AN104): containment lives one call down —
+                // in-process attempt bodies run under `catch_unwind` in
+                // `in_process_attempt`, and sandboxed attempts are
+                // separate processes; the loop around them cannot panic
+                // into user work.
                 std::thread::spawn(move || worker_loop(&server))
             })
             .collect()
@@ -534,6 +593,10 @@ impl GapServer {
             ("running", Json::Num(inner.running.len() as f64)),
             ("draining", Json::Bool(inner.draining)),
             ("stopped", Json::Bool(inner.stopped)),
+            (
+                "degraded",
+                inner.degraded.clone().map_or(Json::Null, Json::Str),
+            ),
             (
                 "fatal",
                 inner
@@ -666,6 +729,256 @@ impl GapServer {
             inner = guard;
         }
     }
+
+    /// Journals one durable checkpoint for a running attempt, *iff* the
+    /// attempt still holds the job's current lease. A stale fence means
+    /// the caller is a zombie (its attempt was retried out from under
+    /// it): the checkpoint is dropped without touching the journal —
+    /// never an error, because the zombie has no business learning
+    /// anything beyond "you are fenced off".
+    pub fn record_checkpoint(
+        &self,
+        id: u64,
+        fence: u64,
+        st: &SweepState,
+    ) -> Result<(), CampaignError> {
+        let mut inner = self.lock();
+        if inner.leases.get(&id) != Some(&fence) {
+            self.fenced(id, fence, "ckpt");
+            return Ok(());
+        }
+        self.append_or_die(
+            &mut inner,
+            &JobRecord::Ckpt {
+                id,
+                state: Box::new(st.clone()),
+            },
+        )
+        .map_err(CampaignError::Io)?;
+        if let Some(rt) = inner.jobs.get_mut(&id) {
+            if let JobStatus::Pending { resume, .. } = &mut rt.entry.status {
+                *resume = Some(st.clone());
+            }
+            let mut extra = vec![
+                ("lo_bound", Json::Num(st.machine.lo_bound)),
+                ("hi_bound", Json::Num(st.machine.hi_bound)),
+                ("probes", Json::Num(st.machine.probes as f64)),
+                ("nodes", Json::Num(st.nodes as f64)),
+            ];
+            if let Some(w) = &st.best_witness {
+                extra.push(("incumbent_gap", Json::Num(w.verified_gap)));
+            }
+            rt.events.push(event_line("checkpoint", id, extra));
+        }
+        drop(inner);
+        self.event_cv.notify_all();
+        Ok(())
+    }
+
+    /// Applies one attempt's terminal outcome through the fence check:
+    /// the single funnel by which results enter the journal. A stale
+    /// fence journals *nothing* — this is the invariant that makes a
+    /// kill-then-retry safe, because the killed attempt's late `done` or
+    /// `fail` can never overwrite the retried attempt's record.
+    pub fn record_attempt(
+        &self,
+        id: u64,
+        attempt: usize,
+        fence: u64,
+        end: CellDriveEnd,
+    ) -> RecordVerdict {
+        let mut inner = self.lock();
+        if inner.leases.get(&id) != Some(&fence) {
+            drop(inner);
+            self.fenced(id, fence, "result");
+            return RecordVerdict::FencedOut;
+        }
+        inner.leases.remove(&id);
+        inner.running.remove(&id);
+        match end {
+            CellDriveEnd::Finished(outcome) => {
+                if self
+                    .append_or_die(
+                        &mut inner,
+                        &JobRecord::Done {
+                            id,
+                            outcome: outcome.clone(),
+                        },
+                    )
+                    .is_err()
+                {
+                    return RecordVerdict::Degraded;
+                }
+                if let Some(rt) = inner.jobs.get_mut(&id) {
+                    rt.events.push(event_line(
+                        "done",
+                        id,
+                        vec![
+                            ("threshold", opt_num(outcome.threshold)),
+                            ("verified_gap", opt_num(outcome.verified_gap)),
+                            ("probes", Json::Num(outcome.probes as f64)),
+                            ("nodes", Json::Num(outcome.nodes as f64)),
+                        ],
+                    ));
+                    rt.entry.status = JobStatus::Done(outcome.clone());
+                    rt.events_done = true;
+                }
+                self.metrics.jobs_completed.inc();
+                self.cfg.tracer.event(
+                    "server.job_done",
+                    vec![
+                        ("job", id.to_string()),
+                        ("nodes", outcome.nodes.to_string()),
+                    ],
+                );
+            }
+            CellDriveEnd::Stopped => {
+                let cancel = inner.jobs.get(&id).is_some_and(|rt| {
+                    matches!(
+                        rt.entry.status,
+                        JobStatus::Pending {
+                            cancel_requested: true,
+                            ..
+                        }
+                    )
+                });
+                if cancel {
+                    if self
+                        .append_or_die(&mut inner, &JobRecord::Cancelled { id })
+                        .is_err()
+                    {
+                        return RecordVerdict::Degraded;
+                    }
+                    if let Some(rt) = inner.jobs.get_mut(&id) {
+                        rt.entry.status = JobStatus::Cancelled;
+                        rt.events.push(event_line("cancelled", id, vec![]));
+                        rt.events_done = true;
+                    }
+                    self.metrics.jobs_cancelled.inc();
+                }
+                // Drain: the job stays journaled-pending at its last
+                // checkpoint and resumes at next boot.
+            }
+            CellDriveEnd::Failed { kind, detail } => {
+                if self
+                    .append_or_die(
+                        &mut inner,
+                        &JobRecord::Fail {
+                            id,
+                            attempt,
+                            kind: kind.clone(),
+                            detail: detail.clone(),
+                        },
+                    )
+                    .is_err()
+                {
+                    return RecordVerdict::Degraded;
+                }
+                if let Some(rt) = inner.jobs.get_mut(&id) {
+                    rt.entry.failures.push(metaopt_campaign::FailureRecord {
+                        attempt,
+                        kind: kind.clone(),
+                        detail: detail.clone(),
+                    });
+                    if let JobStatus::Pending { attempt: a, .. } = &mut rt.entry.status {
+                        *a = attempt;
+                    }
+                    rt.events.push(event_line(
+                        "failed",
+                        id,
+                        vec![
+                            ("attempt", Json::Num(attempt as f64)),
+                            ("kind", Json::str(kind.clone())),
+                            ("detail", Json::str(detail)),
+                        ],
+                    ));
+                }
+                // Panics are treated like fatal faults: almost certainly
+                // deterministic, so retrying burns attempts for nothing.
+                // Supervisor kills (`killed_*`) and silent worker exits
+                // are the opposite: the *environment* failed, so they go
+                // through the ordinary retry policy.
+                let decision = if kind == "fatal" || kind == "panic" {
+                    RetryDecision::Quarantine
+                } else {
+                    self.cfg
+                        .retry
+                        .on_failure(attempt, retry_jitter_seed(self.salt, id, attempt))
+                };
+                match decision {
+                    RetryDecision::RetryAfter(delay) => {
+                        inner.delayed.push((self.cfg.clock.now() + delay, id));
+                        self.metrics.jobs_retried.inc();
+                    }
+                    RetryDecision::Quarantine => {
+                        let reason = quarantine_reason_for(&kind);
+                        if self
+                            .append_or_die(
+                                &mut inner,
+                                &JobRecord::Quarantine {
+                                    id,
+                                    reason,
+                                    attempts: attempt,
+                                },
+                            )
+                            .is_err()
+                        {
+                            return RecordVerdict::Degraded;
+                        }
+                        if let Some(rt) = inner.jobs.get_mut(&id) {
+                            rt.entry.status = JobStatus::Quarantined {
+                                reason,
+                                attempts: attempt,
+                            };
+                            rt.events.push(event_line(
+                                "quarantined",
+                                id,
+                                vec![("reason", Json::str(reason.kind()))],
+                            ));
+                            rt.events_done = true;
+                        }
+                        self.metrics.jobs_quarantined.inc();
+                        self.cfg.tracer.event(
+                            "server.job_quarantined",
+                            vec![
+                                ("job", id.to_string()),
+                                ("reason", reason.kind().to_string()),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        drop(inner);
+        self.work_cv.notify_all();
+        self.event_cv.notify_all();
+        RecordVerdict::Recorded
+    }
+
+    /// Counts and traces one fenced-off zombie write.
+    fn fenced(&self, id: u64, fence: u64, what: &'static str) {
+        self.metrics.workers_fenced.inc();
+        self.cfg.tracer.event(
+            "server.fenced_write",
+            vec![
+                ("job", id.to_string()),
+                ("fence", fence.to_string()),
+                ("what", what.to_string()),
+            ],
+        );
+    }
+}
+
+/// Verdict of offering an attempt outcome to [`GapServer::record_attempt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordVerdict {
+    /// Journaled and applied.
+    Recorded,
+    /// Rejected by lease fencing: the fence token was not the job's
+    /// current lease, so nothing touched the journal.
+    FencedOut,
+    /// The journal failed mid-record; the server is now degraded.
+    Degraded,
 }
 
 fn opt_num(v: Option<f64>) -> Json {
@@ -709,10 +1022,10 @@ fn event_line(event: &str, id: u64, extra: Vec<(&str, Json)>) -> String {
 fn worker_loop(server: &GapServer) {
     loop {
         // Claim.
-        let (id, attempt, spec, threads, resume) = {
+        let (id, attempt, fence, spec, threads, resume) = {
             let mut inner = server.lock();
             let claimed = loop {
-                if inner.stopped || inner.draining {
+                if inner.stopped || inner.draining || inner.degraded.is_some() {
                     return;
                 }
                 let now = server.cfg.clock.now();
@@ -768,22 +1081,33 @@ fn worker_loop(server: &GapServer) {
                 server.cfg.default_threads
             };
             inner.running.insert(id);
+            // Mint this attempt's lease. The token is strictly monotone
+            // across all claims (and, via the journaled high-water mark,
+            // across restarts), so "current lease" is unambiguous.
+            let fence = inner.next_fence;
+            inner.next_fence += 1;
+            inner.leases.insert(id, fence);
             if server
-                .append_or_die(&mut inner, &JobRecord::Run { id, attempt })
+                .append_or_die(&mut inner, &JobRecord::Run { id, attempt, fence })
                 .is_err()
             {
+                inner.running.remove(&id);
+                inner.leases.remove(&id);
                 return;
             }
             if let Some(rt) = inner.jobs.get_mut(&id) {
                 rt.events.push(event_line(
                     "run",
                     id,
-                    vec![("attempt", Json::Num(attempt as f64))],
+                    vec![
+                        ("attempt", Json::Num(attempt as f64)),
+                        ("fence", Json::Num(fence as f64)),
+                    ],
                 ));
             }
             drop(inner);
             server.event_cv.notify_all();
-            (id, attempt, spec, threads, resume)
+            (id, attempt, fence, spec, threads, resume)
         };
 
         // Execute outside the lock. The cell deadline is computed and
@@ -792,24 +1116,96 @@ fn worker_loop(server: &GapServer) {
         let cell_deadline = spec
             .timeout_secs
             .map(|s| server.cfg.clock.now() + Duration::from_secs_f64(s));
-        // The whole solver stack runs inside this call; a panic escaping it
-        // would kill the worker thread with the job still in `running`, so
-        // `drain` would wait on it forever. Contain it and let the normal
-        // failure path journal the attempt and quarantine the job.
-        let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if server
-                .cfg
-                .fault_plan
-                .as_ref()
-                .is_some_and(|p| p.fire(FaultSite::EvalPanic))
-            {
-                // an:allow(AN202): chaos-injection site — unreachable unless
-                // a FaultPlan arms EvalPanic; the surrounding catch_unwind
-                // converts it into a quarantining `Failed{kind:"panic"}`.
-                panic!("injected worker panic");
+        let mut on_checkpoint = |st: &SweepState| server.record_checkpoint(id, fence, st);
+        let mut stop = || {
+            let inner = server.lock();
+            inner.stopped
+                || inner.draining
+                || inner.degraded.is_some()
+                || inner.jobs.get(&id).is_some_and(|rt| {
+                    matches!(
+                        rt.entry.status,
+                        JobStatus::Pending {
+                            cancel_requested: true,
+                            ..
+                        }
+                    )
+                })
+        };
+        let end = match &server.cfg.sandbox {
+            Some(sandbox) => sandboxed_attempt(
+                server,
+                sandbox,
+                &spec,
+                threads,
+                resume,
+                cell_deadline,
+                &mut on_checkpoint,
+                &mut stop,
+            ),
+            None => in_process_attempt(
+                server,
+                &spec,
+                threads,
+                resume,
+                cell_deadline,
+                &mut on_checkpoint,
+                &mut stop,
+            ),
+        };
+
+        // Record the outcome through the fenced path.
+        match end {
+            Err(e) => {
+                // on_checkpoint journal failure: the server is already
+                // degraded (read-only); release this worker's claim and
+                // exit the pool.
+                let mut inner = server.lock();
+                inner.running.remove(&id);
+                inner.leases.remove(&id);
+                inner.degraded.get_or_insert(e.to_string());
+                drop(inner);
+                server.work_cv.notify_all();
+                server.event_cv.notify_all();
+                return;
             }
-            drive_cell(
-            &spec,
+            Ok(end) => {
+                if server.record_attempt(id, attempt, fence, end) == RecordVerdict::Degraded {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Drives one attempt in-process (no sandbox configured): the solver
+/// stack runs on this worker thread, contained by `catch_unwind`. A panic
+/// escaping it would kill the worker thread with the job still in
+/// `running`, so `drain` would wait on it forever — contain it and let
+/// the normal failure path journal the attempt and quarantine the job.
+fn in_process_attempt(
+    server: &GapServer,
+    spec: &metaopt_campaign::CellSpec,
+    threads: usize,
+    resume: Option<SweepState>,
+    cell_deadline: Option<Instant>,
+    on_checkpoint: &mut dyn FnMut(&SweepState) -> Result<(), CampaignError>,
+    stop: &mut dyn FnMut() -> bool,
+) -> Result<CellDriveEnd, CampaignError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if server
+            .cfg
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.fire(FaultSite::EvalPanic))
+        {
+            // an:allow(AN202): chaos-injection site — unreachable unless
+            // a FaultPlan arms EvalPanic; the surrounding catch_unwind
+            // converts it into a quarantining `Failed{kind:"panic"}`.
+            panic!("injected worker panic");
+        }
+        drive_cell(
+            spec,
             threads,
             resume,
             cell_deadline,
@@ -818,230 +1214,68 @@ fn worker_loop(server: &GapServer) {
                 metrics: server.metrics.solver.clone(),
                 tracer: server.cfg.tracer.clone(),
             },
-            &mut |st| {
-                let mut inner = server.lock();
-                server
-                    .append_or_die(
-                        &mut inner,
-                        &JobRecord::Ckpt {
-                            id,
-                            state: Box::new(st.clone()),
-                        },
-                    )
-                    .map_err(CampaignError::Io)?;
-                if let Some(rt) = inner.jobs.get_mut(&id) {
-                    if let JobStatus::Pending { resume, .. } = &mut rt.entry.status {
-                        *resume = Some(st.clone());
-                    }
-                    let mut extra = vec![
-                        ("lo_bound", Json::Num(st.machine.lo_bound)),
-                        ("hi_bound", Json::Num(st.machine.hi_bound)),
-                        ("probes", Json::Num(st.machine.probes as f64)),
-                        ("nodes", Json::Num(st.nodes as f64)),
-                    ];
-                    if let Some(w) = &st.best_witness {
-                        extra.push(("incumbent_gap", Json::Num(w.verified_gap)));
-                    }
-                    rt.events.push(event_line("checkpoint", id, extra));
-                }
-                drop(inner);
-                server.event_cv.notify_all();
-                Ok(())
-            },
-            &mut || {
-                let inner = server.lock();
-                inner.stopped
-                    || inner.draining
-                    || inner.jobs.get(&id).is_some_and(|rt| {
-                        matches!(
-                            rt.entry.status,
-                            JobStatus::Pending {
-                                cancel_requested: true,
-                                ..
-                            }
-                        )
-                    })
-            },
+            on_checkpoint,
+            stop,
         )
-        }))
-        .unwrap_or_else(|payload| {
-            let detail = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Ok(CellDriveEnd::Failed {
-                kind: "panic".to_string(),
-                detail: format!("cell worker panicked: {detail}"),
-            })
-        });
+    }))
+    .unwrap_or_else(|payload| {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Ok(CellDriveEnd::Failed {
+            kind: "panic".to_string(),
+            detail: format!("cell worker panicked: {detail}"),
+        })
+    })
+}
 
-        // Record the outcome.
-        let mut inner = server.lock();
-        inner.running.remove(&id);
-        match end {
-            Err(e) => {
-                // on_checkpoint journal failure: already fatally stopped.
-                inner.fatal.get_or_insert(e.to_string());
-                inner.stopped = true;
-                drop(inner);
-                server.work_cv.notify_all();
-                server.event_cv.notify_all();
-                return;
+/// Drives one attempt in a supervised child process and folds the
+/// sandbox-specific endings (kills, silent exits) into the failure
+/// taxonomy the retry/quarantine policy already speaks.
+#[allow(clippy::too_many_arguments)]
+fn sandboxed_attempt(
+    server: &GapServer,
+    sandbox: &SandboxConfig,
+    spec: &metaopt_campaign::CellSpec,
+    threads: usize,
+    resume: Option<SweepState>,
+    cell_deadline: Option<Instant>,
+    on_checkpoint: &mut dyn FnMut(&SweepState) -> Result<(), CampaignError>,
+    stop: &mut dyn FnMut() -> bool,
+) -> Result<CellDriveEnd, CampaignError> {
+    server.metrics.workers_spawned.inc();
+    let end = run_cell_sandboxed(
+        sandbox,
+        spec,
+        threads,
+        resume.as_ref(),
+        cell_deadline,
+        &*server.cfg.clock,
+        &server.cfg.tracer,
+        on_checkpoint,
+        stop,
+    )?;
+    Ok(match end {
+        SandboxEnd::Finished(outcome) => CellDriveEnd::Finished(outcome),
+        SandboxEnd::Stopped => CellDriveEnd::Stopped,
+        SandboxEnd::Failed { kind, detail } => {
+            if kind == "worker_exit" {
+                server.metrics.workers_lost.inc();
             }
-            Ok(CellDriveEnd::Finished(outcome)) => {
-                if server
-                    .append_or_die(
-                        &mut inner,
-                        &JobRecord::Done {
-                            id,
-                            outcome: outcome.clone(),
-                        },
-                    )
-                    .is_err()
-                {
-                    return;
-                }
-                if let Some(rt) = inner.jobs.get_mut(&id) {
-                    rt.events.push(event_line(
-                        "done",
-                        id,
-                        vec![
-                            ("threshold", opt_num(outcome.threshold)),
-                            ("verified_gap", opt_num(outcome.verified_gap)),
-                            ("probes", Json::Num(outcome.probes as f64)),
-                            ("nodes", Json::Num(outcome.nodes as f64)),
-                        ],
-                    ));
-                    rt.entry.status = JobStatus::Done(outcome.clone());
-                    rt.events_done = true;
-                }
-                server.metrics.jobs_completed.inc();
-                server.cfg.tracer.event(
-                    "server.job_done",
-                    vec![
-                        ("job", id.to_string()),
-                        ("nodes", outcome.nodes.to_string()),
-                    ],
-                );
+            CellDriveEnd::Failed { kind, detail }
+        }
+        SandboxEnd::Killed(reason) => {
+            match reason {
+                WorkerKillReason::Oom => server.metrics.workers_killed_oom.inc(),
+                WorkerKillReason::Deadline => server.metrics.workers_killed_deadline.inc(),
+                WorkerKillReason::Heartbeat => server.metrics.workers_killed_heartbeat.inc(),
             }
-            Ok(CellDriveEnd::Stopped) => {
-                let cancel = inner.jobs.get(&id).is_some_and(|rt| {
-                    matches!(
-                        rt.entry.status,
-                        JobStatus::Pending {
-                            cancel_requested: true,
-                            ..
-                        }
-                    )
-                });
-                if cancel {
-                    if server
-                        .append_or_die(&mut inner, &JobRecord::Cancelled { id })
-                        .is_err()
-                    {
-                        return;
-                    }
-                    if let Some(rt) = inner.jobs.get_mut(&id) {
-                        rt.entry.status = JobStatus::Cancelled;
-                        rt.events.push(event_line("cancelled", id, vec![]));
-                        rt.events_done = true;
-                    }
-                    server.metrics.jobs_cancelled.inc();
-                }
-                // Drain: the job stays journaled-pending at its last
-                // checkpoint and resumes at next boot.
-            }
-            Ok(CellDriveEnd::Failed { kind, detail }) => {
-                if server
-                    .append_or_die(
-                        &mut inner,
-                        &JobRecord::Fail {
-                            id,
-                            attempt,
-                            kind: kind.clone(),
-                            detail: detail.clone(),
-                        },
-                    )
-                    .is_err()
-                {
-                    return;
-                }
-                if let Some(rt) = inner.jobs.get_mut(&id) {
-                    rt.entry.failures.push(metaopt_campaign::FailureRecord {
-                        attempt,
-                        kind: kind.clone(),
-                        detail: detail.clone(),
-                    });
-                    if let JobStatus::Pending { attempt: a, .. } = &mut rt.entry.status {
-                        *a = attempt;
-                    }
-                    rt.events.push(event_line(
-                        "failed",
-                        id,
-                        vec![
-                            ("attempt", Json::Num(attempt as f64)),
-                            ("kind", Json::str(kind.clone())),
-                            ("detail", Json::str(detail)),
-                        ],
-                    ));
-                }
-                // Panics are treated like fatal faults: almost certainly
-                // deterministic, so retrying burns attempts for nothing.
-                let decision = if kind == "fatal" || kind == "panic" {
-                    RetryDecision::Quarantine
-                } else {
-                    server
-                        .cfg
-                        .retry
-                        .on_failure(attempt, retry_jitter_seed(server.salt, id, attempt))
-                };
-                match decision {
-                    RetryDecision::RetryAfter(delay) => {
-                        inner.delayed.push((server.cfg.clock.now() + delay, id));
-                        server.metrics.jobs_retried.inc();
-                    }
-                    RetryDecision::Quarantine => {
-                        let reason = quarantine_reason_for(&kind);
-                        if server
-                            .append_or_die(
-                                &mut inner,
-                                &JobRecord::Quarantine {
-                                    id,
-                                    reason,
-                                    attempts: attempt,
-                                },
-                            )
-                            .is_err()
-                        {
-                            return;
-                        }
-                        if let Some(rt) = inner.jobs.get_mut(&id) {
-                            rt.entry.status = JobStatus::Quarantined {
-                                reason,
-                                attempts: attempt,
-                            };
-                            rt.events.push(event_line(
-                                "quarantined",
-                                id,
-                                vec![("reason", Json::str(reason.kind()))],
-                            ));
-                            rt.events_done = true;
-                        }
-                        server.metrics.jobs_quarantined.inc();
-                        server.cfg.tracer.event(
-                            "server.job_quarantined",
-                            vec![
-                                ("job", id.to_string()),
-                                ("reason", reason.kind().to_string()),
-                            ],
-                        );
-                    }
-                }
+            CellDriveEnd::Failed {
+                kind: reason.kind().to_string(),
+                detail: format!("worker killed by supervisor ({})", reason.kind()),
             }
         }
-        drop(inner);
-        server.work_cv.notify_all();
-        server.event_cv.notify_all();
-    }
+    })
 }

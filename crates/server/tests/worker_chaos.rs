@@ -1,0 +1,375 @@
+//! The blast-radius contract, exercised three ways: a SIGKILLed worker
+//! child is retried to bit-identical results; an RSS-limit breach is
+//! contained (killed, retried, quarantined — the server never crashes);
+//! and a zombie attempt's late write is rejected by lease fencing so a
+//! kill-then-retry can never be overwritten by the corpse it replaced.
+
+use metaopt_campaign::{read_journal, CellDriveEnd, CellHeuristic, CellSpec, TopologySpec};
+use metaopt_obs::Registry;
+use metaopt_server::client::request;
+use metaopt_server::json::Json;
+use metaopt_server::spec::SubmitRequest;
+use metaopt_server::{GapServer, RecordVerdict, ServerConfig};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("metaopt-workerchaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Starts the real `gapserver` binary (sandbox defaults on) and resolves
+/// the OS-assigned port from the `ADDR` file it writes once listening.
+fn spawn_server(dir: &Path, extra: &[&str]) -> (Child, String) {
+    let _ = std::fs::remove_file(dir.join("ADDR"));
+    let mut args = vec![
+        "serve".to_string(),
+        "--dir".into(),
+        dir.to_str().unwrap().into(),
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+        "--workers".into(),
+        "2".into(),
+    ];
+    args.extend(extra.iter().map(std::string::ToString::to_string));
+    let child = Command::new(env!("CARGO_BIN_EXE_gapserver"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn gapserver");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(dir.join("ADDR")) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never wrote ADDR");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+fn job_body(label: &str, threshold: f64) -> Vec<u8> {
+    format!(
+        concat!(
+            "{{\"client\":\"chaos\",\"label\":\"{}\",",
+            "\"topology\":{{\"kind\":\"fig1\",\"cap\":100.0}},",
+            "\"heuristic\":{{\"kind\":\"dp\",\"threshold\":{}}},",
+            "\"sweep\":{{\"lo\":0.0,\"hi\":100.0,\"resolution\":2.0}},",
+            "\"budget\":{{\"probe_cap_nodes\":4000,\"slice_nodes\":8}}}}"
+        ),
+        label, threshold
+    )
+    .into_bytes()
+}
+
+const THRESHOLDS: [f64; 3] = [30.0, 50.0, 70.0];
+
+fn submit_all(addr: &str) -> Vec<u64> {
+    THRESHOLDS
+        .iter()
+        .map(|t| {
+            let resp = request(
+                addr,
+                "POST",
+                "/jobs",
+                Some(&job_body(&format!("chaos-{t}"), *t)),
+                Duration::from_secs(60),
+            )
+            .unwrap();
+            assert_eq!(resp.status, 202, "{}", resp.text());
+            Json::parse(&resp.text())
+                .unwrap()
+                .get("id")
+                .and_then(Json::as_u64)
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Polls until every job is terminal; returns `label → outcome_wire`.
+fn collect_results(addr: &str, ids: &[u64]) -> BTreeMap<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut results = BTreeMap::new();
+    for id in ids {
+        loop {
+            let resp =
+                request(addr, "GET", &format!("/jobs/{id}"), None, Duration::from_secs(60))
+                    .unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            let job = Json::parse(&resp.text()).unwrap();
+            match job.get("status").and_then(Json::as_str).unwrap() {
+                "done" => {
+                    let label = job.get("label").and_then(Json::as_str).unwrap().to_string();
+                    let wire = job
+                        .get("result")
+                        .and_then(|r| r.get("outcome_wire"))
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string();
+                    results.insert(label, wire);
+                    break;
+                }
+                "quarantined" | "cancelled" => panic!("job {id} ended {}", resp.text()),
+                _ => {}
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    results
+}
+
+/// PIDs of live children of `parent` running in `--worker` mode, via
+/// `/proc` (field 4 of `stat`, after the parenthesised comm).
+fn worker_children(parent: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let Some(pid) = entry
+            .file_name()
+            .to_str()
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+            continue;
+        };
+        let Some(after_comm) = stat.rsplit_once(')').map(|(_, rest)| rest) else {
+            continue;
+        };
+        let fields: Vec<&str> = after_comm.split_whitespace().collect();
+        if fields.get(1).and_then(|p| p.parse::<u32>().ok()) != Some(parent) {
+            continue;
+        }
+        let cmdline =
+            std::fs::read_to_string(format!("/proc/{pid}/cmdline")).unwrap_or_default();
+        if cmdline.split('\0').any(|a| a == "--worker") {
+            out.push(pid);
+        }
+    }
+    out
+}
+
+/// Scrapes one un-labelled counter value from `/metrics` text.
+fn scrape(metrics: &str, family_and_labels: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(family_and_labels))
+        .and_then(|rest| rest.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn sigkilled_worker_is_retried_to_bit_identical_results() {
+    // Baseline: an uninterrupted sandboxed run.
+    let base_dir = tmp_dir("baseline");
+    let (mut base, base_addr) = spawn_server(&base_dir, &[]);
+    let base_ids = submit_all(&base_addr);
+    let baseline = collect_results(&base_addr, &base_ids);
+    base.kill().unwrap();
+    let _ = base.wait();
+    assert_eq!(baseline.len(), THRESHOLDS.len());
+
+    // Chaos run: SIGKILL a live worker child mid-cell. The supervisor
+    // must see the child die without a result frame, journal a
+    // retryable `worker_exit` failure, and the retry must converge to
+    // the same certified bits.
+    let chaos_dir = tmp_dir("kill");
+    let (mut server, addr) = spawn_server(&chaos_dir, &[]);
+    let ids = submit_all(&addr);
+    let hunt_deadline = Instant::now() + Duration::from_secs(60);
+    let victim = loop {
+        let kids = worker_children(server.id());
+        if let Some(&pid) = kids.first() {
+            break pid;
+        }
+        assert!(
+            Instant::now() < hunt_deadline,
+            "no sandboxed worker child ever appeared under pid {}",
+            server.id()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let killed = Command::new("kill")
+        .args(["-9", &victim.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 {victim} failed");
+
+    let recovered = collect_results(&addr, &ids);
+    assert_eq!(
+        recovered, baseline,
+        "results after a worker SIGKILL must be bit-identical"
+    );
+
+    // The server itself never wobbled, and it accounted for the loss.
+    let health = request(&addr, "GET", "/healthz", None, Duration::from_secs(60)).unwrap();
+    assert_eq!(health.status, 200);
+    let metrics = request(&addr, "GET", "/metrics", None, Duration::from_secs(60))
+        .unwrap()
+        .text();
+    let spawned = scrape(&metrics, "metaopt_server_workers_spawned_total ");
+    assert!(
+        spawned >= THRESHOLDS.len() as u64,
+        "every attempt must run in a child (spawned={spawned})"
+    );
+    // The victim may have delivered its result in the instant before the
+    // kill landed; when it did not, the loss must be counted.
+    let lost = scrape(&metrics, "metaopt_server_workers_lost_total ");
+    assert!(
+        lost >= 1 || spawned == THRESHOLDS.len() as u64,
+        "a mid-cell kill must surface as workers_lost (lost={lost}, spawned={spawned})"
+    );
+    server.kill().unwrap();
+    let _ = server.wait();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn rss_breach_is_killed_and_quarantined_not_crashed() {
+    // A 1 MiB ceiling is below any real worker's footprint: every
+    // attempt breaches immediately, the supervisor kills it, the retry
+    // policy runs out, and the job quarantines — while the server stays
+    // up and keeps answering.
+    let dir = tmp_dir("oom");
+    let (mut server, addr) = spawn_server(&dir, &["--sandbox-rss-mb", "1"]);
+    let resp = request(
+        &addr,
+        "POST",
+        "/jobs",
+        Some(&job_body("oom-victim", 50.0)),
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = Json::parse(&resp.text())
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_u64)
+        .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = request(&addr, "GET", &format!("/jobs/{id}"), None, Duration::from_secs(60))
+            .unwrap();
+        let job = Json::parse(&resp.text()).unwrap();
+        let status = job.get("status").and_then(Json::as_str).unwrap().to_string();
+        if status == "quarantined" {
+            break;
+        }
+        assert_ne!(status, "done", "a 1 MiB worker cannot have finished honestly");
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck at `{status}` under the RSS ceiling"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let health = request(&addr, "GET", "/healthz", None, Duration::from_secs(60)).unwrap();
+    assert_eq!(health.status, 200, "server must survive its workers' OOM kills");
+    let metrics = request(&addr, "GET", "/metrics", None, Duration::from_secs(60))
+        .unwrap()
+        .text();
+    let oom = scrape(&metrics, "metaopt_server_workers_killed_total{reason=\"oom\"} ");
+    assert!(oom >= 1, "RSS kills must be counted (got {oom})\n{metrics}");
+    server.kill().unwrap();
+    let _ = server.wait();
+}
+
+#[test]
+fn zombie_write_after_lease_retirement_is_fenced() {
+    // In-process server so the test can play the zombie itself: run a
+    // job to completion, then replay a stale attempt's "result" through
+    // the public record funnel under the fence token the lease no longer
+    // holds. Nothing may reach the journal or the job state.
+    let dir = tmp_dir("fence");
+    let registry = Registry::new();
+    let server = GapServer::open(ServerConfig {
+        dir: dir.clone(),
+        workers: 1,
+        registry: registry.clone(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let workers = server.start_workers();
+
+    let spec = CellSpec {
+        label: "fence-job".into(),
+        topology: TopologySpec::Fig1 { cap: 100.0 },
+        paths_per_pair: 2,
+        heuristic: CellHeuristic::Dp { threshold: 50.0 },
+        lo: 0.0,
+        hi: 100.0,
+        resolution: 10.0,
+        probe_cap_nodes: 4_000,
+        slice_nodes: 16,
+        timeout_secs: None,
+        fault_seed: None,
+        quantized: None,
+    };
+    let (id, _) = server
+        .submit(SubmitRequest {
+            client: "fence".into(),
+            priority: 5,
+            threads: 1,
+            spec,
+        })
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let job = server.job_json(id).unwrap();
+        if job.get("status").and_then(Json::as_str) == Some("done") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fence job never finished");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let records_before = read_journal(&dir).unwrap().records;
+
+    // The zombie speaks: a late failure result under a stale fence. The
+    // lease died when the real attempt retired, so *no* fence can match.
+    let verdict = server.record_attempt(
+        id,
+        7,
+        u64::MAX,
+        CellDriveEnd::Failed {
+            kind: "worker_exit".into(),
+            detail: "zombie attempt reporting long after its lease expired".into(),
+        },
+    );
+    assert!(matches!(verdict, RecordVerdict::FencedOut), "{verdict:?}");
+
+    let records_after = read_journal(&dir).unwrap().records;
+    assert_eq!(
+        records_before, records_after,
+        "a fenced write must journal nothing"
+    );
+    let job = server.job_json(id).unwrap();
+    assert_eq!(
+        job.get("status").and_then(Json::as_str),
+        Some("done"),
+        "the certified result must be untouched"
+    );
+    assert_eq!(
+        server.metrics().workers_fenced.get(),
+        1,
+        "the rejection must be counted"
+    );
+
+    server.drain("test over");
+    for w in workers {
+        w.join().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

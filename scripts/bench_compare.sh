@@ -47,7 +47,15 @@ for model in fig1-dp fig1-pop line4-dp; do
     for t in 1 2 4 8; do
         b="$(speedup "$BASELINE" "$model" deterministic "$t")"
         c="$(speedup "$CURRENT" "$model" deterministic "$t")"
-        [[ -n "$b" && -n "$c" ]] && printf '  %-10s %7s  %8s  %7s\n' "$model" "$t" "$b" "$c"
+        [[ -n "$b" && -n "$c" ]] || continue
+        if (( t > cap )); then
+            # Oversubscribed cells are scheduling noise, not engine
+            # performance; comparing them invites phantom regressions.
+            printf '  %-10s %7s  skipped: %st exceeds hardware_threads (baseline %s, current %s)\n' \
+                "$model" "$t" "$t" "$hw_base" "$hw_cur"
+        else
+            printf '  %-10s %7s  %8s  %7s\n' "$model" "$t" "$b" "$c"
+        fi
     done
 done
 

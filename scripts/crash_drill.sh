@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Crash-recovery drills against the real release binaries and a real
-# `kill -9`, in two phases:
+# `kill -9`, in three phases:
 #
 #   1. Campaign drill: SIGKILL a running campaign mid-flight, resume it
 #      from the write-ahead journal in a fresh process, and assert the
@@ -12,6 +12,13 @@
 #      directory, and assert every acknowledged job reaches the same
 #      certified result (exact f64 bit patterns, compared via the
 #      `outcome_wire` encoding) as an uninterrupted server run.
+#
+#   3. Blast-radius drill: (a) SIGKILL a sandboxed *worker child* mid-cell
+#      and assert the supervisor retries it to the same bit-identical
+#      results with the server never wobbling; (b) inject ENOSPC under
+#      the journal (GAPSERVER_IO_FAULTS) and assert the server degrades
+#      to read-only draining — refusing new work, still answering
+#      /healthz and /metrics, still drainable.
 #
 # usage: scripts/crash_drill.sh [path/to/campaign_drill] [path/to/gapserver]
 set -euo pipefail
@@ -173,3 +180,156 @@ wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
 echo "server crash drill OK: post-SIGKILL restart reproduced all acknowledged jobs bit-identically (metrics re-derived consistently by replay)"
+
+# ----------------------------------------------------------------------
+# Phase 3a: worker-kill drill (SIGKILL a sandboxed child, not the server).
+# ----------------------------------------------------------------------
+
+# The phase-2 specs finish in milliseconds of actual compute, which makes
+# a mid-cell kill a coin flip: by the time /proc shows the child it has
+# often already delivered its `done` frame. Phase 3 sweeps the abilene
+# topology (real branch-and-bound work, ~1s per job) with small slices so
+# each worker stays busy long enough to be shot mid-cell.
+slow_job_spec() { # slow_job_spec <label> <threshold>
+    cat <<EOF
+{"client":"drill","label":"$1",
+ "topology":{"kind":"builtin","name":"abilene","cap":100.0},
+ "heuristic":{"kind":"dp","threshold":$2},
+ "sweep":{"lo":0.0,"hi":100.0,"resolution":4.0},
+ "budget":{"probe_cap_nodes":50000,"slice_nodes":8}}
+EOF
+}
+
+submit_slow_jobs() { # submit_slow_jobs; uses ADDR
+    for t in 30 50 70; do
+        slow_job_spec "kill-$t" "$t" | "$GAPSERVER" submit --addr "$ADDR" >/dev/null \
+            || { echo "submit kill-$t refused" >&2; exit 1; }
+    done
+}
+
+worker_child() { # worker_child <server-pid>; prints the first live --worker child
+    local p ppid
+    for p in /proc/[0-9]*; do
+        p="${p#/proc/}"
+        # ppid is the 2nd field after the parenthesised comm in stat.
+        ppid="$(awk -F') ' '{ split($NF, f, " "); print f[2] }' "/proc/$p/stat" 2>/dev/null)" || continue
+        [[ "$ppid" == "$1" ]] || continue
+        if tr '\0' ' ' < "/proc/$p/cmdline" 2>/dev/null | grep -q -- '--worker'; then
+            echo "$p"
+            return 0
+        fi
+    done
+    return 1
+}
+
+# Uninterrupted baseline with the phase-3 specs.
+start_server "$WORK/worker-kill-baseline"
+submit_slow_jobs
+collect_results "$WORK/worker-kill-want.txt"
+"$GAPSERVER" drain --addr "$ADDR" >/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+phase3_ok=0
+for attempt in $(seq 1 5); do
+    dir="$WORK/worker-kill-$attempt"
+    start_server "$dir"
+    submit_slow_jobs
+    victim=""
+    for _ in $(seq 1 400); do
+        if victim="$(worker_child "$SERVER_PID")"; then
+            break
+        fi
+        sleep 0.02
+    done
+    if [[ -z "$victim" ]]; then
+        echo "no sandboxed worker child appeared under $SERVER_PID" >&2
+        exit 1
+    fi
+    kill -9 "$victim" 2>/dev/null || true
+    collect_results "$WORK/worker-kill-got.txt"
+    diff -u "$WORK/worker-kill-want.txt" "$WORK/worker-kill-got.txt"
+    expect_metric metaopt_server_jobs_quarantined_total 0 "a killed worker must retry, not quarantine"
+    lost="$(metric metaopt_server_workers_lost_total)"
+    "$GAPSERVER" drain --addr "$ADDR" >/dev/null
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+    if [[ "${lost:-0}" -ge 1 ]]; then
+        phase3_ok=1
+        echo "worker-kill drill OK: SIGKILLed child retried to bit-identical results (attempt $attempt, workers_lost=$lost)"
+        break
+    fi
+    # The child delivered its result in the instant before the kill
+    # landed; results were still identical, but the drill wants to see a
+    # *lost* worker recovered, so try again.
+done
+if [[ "$phase3_ok" != 1 ]]; then
+    echo "could not land a mid-cell worker SIGKILL in 5 attempts" >&2
+    exit 1
+fi
+
+# ----------------------------------------------------------------------
+# Phase 3b: disk-full drill (injected ENOSPC => read-only draining mode).
+# ----------------------------------------------------------------------
+
+# The append schedule must be deterministic for the fault occurrence to
+# land after the acks: single-slice jobs (slice == probe cap) journal no
+# mid-cell checkpoints, so the only appends that can precede the third
+# 202 are the boot header (1), the three job records, and a run record
+# per worker (two workers) — six at most. Occurrence 7 therefore always
+# fires after every submit is acknowledged, on a run or result append,
+# while both workers are still busy with ~1s of branch-and-bound.
+fault_job_spec() { # fault_job_spec <label> <threshold>
+    cat <<EOF
+{"client":"drill","label":"$1",
+ "topology":{"kind":"builtin","name":"abilene","cap":100.0},
+ "heuristic":{"kind":"dp","threshold":$2},
+ "sweep":{"lo":0.0,"hi":100.0,"resolution":4.0},
+ "budget":{"probe_cap_nodes":50000,"slice_nodes":50000}}
+EOF
+}
+
+dir="$WORK/disk-full"
+rm -f "$dir/ADDR"
+mkdir -p "$dir"
+GAPSERVER_IO_FAULTS="append:7:enospc" "$GAPSERVER" serve --dir "$dir" --addr 127.0.0.1:0 --workers 2 >/dev/null &
+SERVER_PID=$!
+for _ in $(seq 1 300); do
+    [[ -s "$dir/ADDR" ]] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { echo "faulty server died during boot" >&2; exit 1; }
+    sleep 0.05
+done
+ADDR="$(cat "$dir/ADDR")"
+for t in 30 50 70; do
+    fault_job_spec "enospc-$t" "$t" | "$GAPSERVER" submit --addr "$ADDR" >/dev/null \
+        || { echo "submit enospc-$t refused before the fault fired" >&2; exit 1; }
+done
+degraded=0
+for _ in $(seq 1 600); do
+    if "$GAPSERVER" health --addr "$ADDR" | grep -q '"degraded":"'; then
+        degraded=1
+        break
+    fi
+    sleep 0.05
+done
+if [[ "$degraded" != 1 ]]; then
+    echo "injected ENOSPC never degraded the server" >&2
+    exit 1
+fi
+# Degraded, not dead: reads and metrics still answer on the same socket…
+"$GAPSERVER" health --addr "$ADDR" | grep -q '"stopped":false' \
+    || { echo "degraded server must not be stopped" >&2; exit 1; }
+"$GAPSERVER" metrics --addr "$ADDR" | grep -q '^metaopt_campaign_journal_poisonings_total 1' \
+    || { echo "journal poisoning not visible in /metrics" >&2; exit 1; }
+"$GAPSERVER" status --addr "$ADDR" >/dev/null \
+    || { echo "degraded server must still list jobs" >&2; exit 1; }
+# …while new work is refused (503, submit exits nonzero)…
+if job_spec "after-enospc" 50 | "$GAPSERVER" submit --addr "$ADDR" >/dev/null 2>&1; then
+    echo "degraded server accepted a submission it cannot journal" >&2
+    exit 1
+fi
+# …and drain still lands.
+"$GAPSERVER" drain --addr "$ADDR" >/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "disk-full drill OK: injected ENOSPC degraded the server to read-only draining (refusing work, still observable, cleanly drained)"
