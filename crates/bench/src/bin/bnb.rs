@@ -4,15 +4,18 @@
 //!
 //! Emits `target/figures/BENCH_bnb.json` (hand-rolled JSON, like every
 //! other emitter in this crate) with one record per (model, engine,
-//! threads) cell: wall-clock seconds, node throughput, certified
-//! objective, and the warm/cold solve split. The file also records the
-//! hardware thread count of the machine that produced it — speedup claims
-//! are only meaningful relative to that.
+//! threads, factor) cell: wall-clock seconds, node throughput, certified
+//! objective, the warm/cold solve split, and the factor-core counters
+//! (pivots, rank-one basis updates, refactorizations). Every cell runs
+//! under both `FactorBackend::Dense` and `FactorBackend::SparseLU`;
+//! speedups are computed against the serial cell of the SAME backend.
+//! The file also records the hardware thread count of the machine that
+//! produced it — speedup claims are only meaningful relative to that.
 
 use metaopt_bench::quick_mode;
 use metaopt_core::finder::build_adversarial_model;
 use metaopt_core::{ConstrainedSet, FinderConfig, HeuristicSpec, PopMode};
-use metaopt_milp::{solve, MilpConfig, MilpMetrics, MilpSolution, ParallelMode};
+use metaopt_milp::{solve, FactorBackend, MilpConfig, MilpMetrics, MilpSolution, ParallelMode};
 use metaopt_model::Model;
 use metaopt_obs::{Counter, Registry};
 use metaopt_te::pop::Partition;
@@ -64,38 +67,66 @@ struct Cell {
     model: String,
     engine: &'static str,
     threads: usize,
+    factor: FactorBackend,
     secs: f64,
     sol: MilpSolution,
+    /// Factor-core counters for the LAST repetition (per-rep registry):
+    /// simplex pivots, rank-one basis updates, and refactorizations.
+    pivots: u64,
+    basis_updates: u64,
+    refactors: u64,
 }
 
-fn run_cell(model_name: &str, model: &Model, engine: &'static str, threads: usize, reps: usize) -> Cell {
+fn run_cell(
+    model_name: &str,
+    model: &Model,
+    engine: &'static str,
+    threads: usize,
+    factor: FactorBackend,
+    reps: usize,
+) -> Cell {
     let parallel = match engine {
         "serial" => ParallelMode::Serial,
         "deterministic" => ParallelMode::Deterministic,
         "work-stealing" => ParallelMode::WorkStealing,
         _ => unreachable!(),
     };
-    let cfg = MilpConfig {
-        threads,
-        parallel,
-        ..MilpConfig::default()
-    };
     // Best-of-N wall clock to damp scheduler noise; the certified result
-    // is identical across repetitions for the deterministic engines.
+    // is identical across repetitions for the deterministic engines. Each
+    // repetition gets a fresh registry so the factor counters reported
+    // for the cell describe exactly one solve.
     let mut best_secs = f64::INFINITY;
     let mut last = None;
+    let mut counts = (0u64, 0u64, 0u64);
     for _ in 0..reps {
+        let registry = Registry::new();
+        let cfg = MilpConfig {
+            threads,
+            parallel,
+            factor,
+            metrics: MilpMetrics::register(&registry),
+            ..MilpConfig::default()
+        };
         let t0 = Instant::now();
         let sol = solve(model, &cfg).expect("solve failed");
         best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        counts = (
+            cfg.metrics.lp.pivots.get(),
+            cfg.metrics.lp.updates.get(),
+            cfg.metrics.lp.refactors.get(),
+        );
         last = Some(sol);
     }
     Cell {
         model: model_name.to_string(),
         engine,
         threads,
+        factor,
         secs: best_secs,
         sol: last.unwrap(),
+        pivots: counts.0,
+        basis_updates: counts.1,
+        refactors: counts.2,
     }
 }
 
@@ -190,14 +221,17 @@ fn main() {
     let reps = if quick_mode() { 1 } else { 3 };
     let hardware_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let models = ["fig1-dp", "fig1-pop", "line4-dp"];
+    let backends = [FactorBackend::Dense, FactorBackend::SparseLU];
     let mut cells: Vec<Cell> = Vec::new();
     for name in models {
         let model = model_for(name);
-        cells.push(run_cell(name, &model, "serial", 1, reps));
-        for threads in [1usize, 2, 4, 8] {
-            cells.push(run_cell(name, &model, "deterministic", threads, reps));
+        for factor in backends {
+            cells.push(run_cell(name, &model, "serial", 1, factor, reps));
+            for threads in [1usize, 2, 4, 8] {
+                cells.push(run_cell(name, &model, "deterministic", threads, factor, reps));
+            }
+            cells.push(run_cell(name, &model, "work-stealing", 8, factor, reps));
         }
-        cells.push(run_cell(name, &model, "work-stealing", 8, reps));
     }
     let obs = measure_obs_overhead(reps);
 
@@ -225,19 +259,22 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         let serial_secs = cells
             .iter()
-            .find(|s| s.model == c.model && s.engine == "serial")
+            .find(|s| s.model == c.model && s.engine == "serial" && s.factor == c.factor)
             .map_or(f64::NAN, |s| s.secs);
         let stats = &c.sol.lp_stats;
         let _ = write!(
             out,
             "    {{\"model\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
+             \"factor\": \"{}\", \
              \"secs\": {:.6}, \"speedup_vs_serial\": {:.3}, \"nodes\": {}, \
              \"objective\": {:.9}, \"best_bound\": {:.9}, \
              \"warm_solves\": {}, \"cold_solves\": {}, \
-             \"mean_warm_iters\": {}, \"mean_cold_iters\": {}}}",
+             \"mean_warm_iters\": {}, \"mean_cold_iters\": {}, \
+             \"pivots\": {}, \"basis_updates\": {}, \"refactors\": {}}}",
             json_escape_free(&c.model),
             c.engine,
             c.threads,
+            c.factor.name(),
             c.secs,
             serial_secs / c.secs,
             c.sol.nodes,
@@ -251,6 +288,9 @@ fn main() {
             stats
                 .mean_cold_iterations()
                 .map_or("null".to_string(), |v| format!("{v:.3}")),
+            c.pivots,
+            c.basis_updates,
+            c.refactors,
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
@@ -263,29 +303,25 @@ fn main() {
     // Human-readable summary.
     println!("branch-and-bound engine benchmark ({hardware_threads} hardware threads)\n");
     println!(
-        "  {:<10} {:<15} {:>7} {:>9} {:>8} {:>7} {:>10} {:>10}",
-        "model", "engine", "threads", "secs", "speedup", "nodes", "warm-iters", "cold-iters"
+        "  {:<10} {:<15} {:>7} {:<7} {:>9} {:>8} {:>7} {:>8} {:>9}",
+        "model", "engine", "threads", "factor", "secs", "speedup", "nodes", "updates", "refactors"
     );
     for c in &cells {
         let serial_secs = cells
             .iter()
-            .find(|s| s.model == c.model && s.engine == "serial")
+            .find(|s| s.model == c.model && s.engine == "serial" && s.factor == c.factor)
             .map_or(f64::NAN, |s| s.secs);
-        let stats = &c.sol.lp_stats;
         println!(
-            "  {:<10} {:<15} {:>7} {:>9.4} {:>8.2} {:>7} {:>10} {:>10}",
+            "  {:<10} {:<15} {:>7} {:<7} {:>9.4} {:>8.2} {:>7} {:>8} {:>9}",
             c.model,
             c.engine,
             c.threads,
+            c.factor.name(),
             c.secs,
             serial_secs / c.secs,
             c.sol.nodes,
-            stats
-                .mean_warm_iterations()
-                .map_or("-".to_string(), |v| format!("{v:.1}")),
-            stats
-                .mean_cold_iterations()
-                .map_or("-".to_string(), |v| format!("{v:.1}")),
+            c.basis_updates,
+            c.refactors,
         );
     }
     println!(

@@ -51,6 +51,7 @@ fn cell_timeout_fires_on_injected_clock_advance() {
         &spec,
         1,
         None,
+        None,
         deadline,
         &clock,
         &metaopt_campaign::SolverObs::default(),
@@ -78,6 +79,7 @@ fn frozen_clock_never_times_out() {
     let end = drive_cell(
         &spec,
         1,
+        None,
         None,
         deadline,
         &clock,

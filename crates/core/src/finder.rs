@@ -125,6 +125,11 @@ pub struct FinderConfig {
     /// (default [`metaopt_milp::ParallelMode::Auto`]: serial at one
     /// thread, deterministic-parallel above).
     pub threads: usize,
+    /// Basis-factorization backend override for every LP relaxation this
+    /// finder solves. `None` (the default) defers to `milp.factor`, which
+    /// itself resolves the `METAOPT_FACTOR` environment variable (sparse
+    /// LU when unset).
+    pub factor: Option<metaopt_milp::FactorBackend>,
 }
 
 impl Default for FinderConfig {
@@ -140,6 +145,7 @@ impl Default for FinderConfig {
             fallback_seed: 0,
             modelcheck: ModelCheckMode::default(),
             threads: 0,
+            factor: None,
         }
     }
 }
@@ -169,6 +175,9 @@ impl FinderConfig {
         let mut m = self.milp.clone();
         if self.threads > 0 {
             m.threads = self.threads;
+        }
+        if let Some(f) = self.factor {
+            m.factor = f;
         }
         m
     }

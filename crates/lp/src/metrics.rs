@@ -15,6 +15,9 @@ use metaopt_obs::{Counter, Registry};
 pub struct LpMetrics {
     /// Simplex pivots, summed over every solve and recovery rung.
     pub pivots: Counter,
+    /// Rank-one basis updates (dense row ops or product-form etas) —
+    /// pivots that changed the basis, excluding bound flips.
+    pub updates: Counter,
     /// Basis refactorizations (periodic and recovery-forced).
     pub refactors: Counter,
     /// Successful solves that finished as genuine warm dual re-solves.
@@ -53,9 +56,14 @@ impl LpMetrics {
                 "Simplex pivots (iterations) across all solves",
                 &[],
             ),
+            updates: registry.counter(
+                "metaopt_lp_updates_total",
+                "Rank-one basis updates (dense row ops or eta file)",
+                &[],
+            ),
             refactors: registry.counter(
                 "metaopt_lp_refactor_total",
-                "Dense basis-inverse refactorizations",
+                "Basis refactorizations (either backend)",
                 &[],
             ),
             warm_solves: registry.counter(

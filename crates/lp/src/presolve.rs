@@ -1,0 +1,571 @@
+//! Bounded LP presolve with exact postsolve.
+//!
+//! A deliberately *small* set of reductions, each one exactly
+//! solution-set-preserving and dual-reconstructible — this is not a full
+//! presolver, it is the subset whose postsolve can restore a complete
+//! primal/dual certificate without re-solving anything:
+//!
+//! * **fixed variables** (`lo == hi`) are substituted into their rows and
+//!   the objective offset;
+//! * **empty rows** are checked for `0 ∈ [rlo, rhi]` (else the problem is
+//!   proven infeasible) and dropped with a zero dual;
+//! * **singleton rows** (`a·x_j ∈ [rlo, rhi]`) become variable-bound
+//!   tightenings — the "obvious bound tightening" pass — and are dropped;
+//!   their duals are reconstructed during postsolve from the residual
+//!   reduced cost of `x_j`;
+//! * **strictly redundant rows** (activity range implied by the variable
+//!   boxes with a safety margin) are dropped with a zero dual;
+//! * activity bounds also prove infeasibility outright when a row can
+//!   never reach its range.
+//!
+//! The passes cascade (a singleton row can fix a variable, which can
+//! empty another row, …) through a bounded fixpoint loop. Postsolve
+//! unwinds the reductions in reverse: fixed variables are re-inserted,
+//! dropped-row duals are reconstructed, and reduced costs are recomputed
+//! wholesale against the *original* matrix so the returned
+//! [`Solution`] certifies the original problem.
+
+use crate::problem::{LpProblem, VarId};
+use crate::solution::{Solution, SolveStatus};
+use crate::solver::{Simplex, SimplexConfig};
+use crate::LpResult;
+
+/// Absolute slack allowed when presolve decides feasibility questions
+/// (stricter than the solver's `feas_tol`, so presolve never declares
+/// infeasible a problem the simplex would accept).
+const PRESOLVE_TOL: f64 = 1e-9;
+
+/// Margin required before a row is declared strictly redundant; wide
+/// enough that the dropped row stays slack at any tolerance-feasible
+/// optimum of the reduced problem.
+const REDUNDANCY_MARGIN: f64 = 1e-6;
+
+/// Fixpoint cap: each pass only shrinks the problem, but cascades are
+/// bounded anyway for predictable worst-case cost.
+const MAX_PASSES: usize = 10;
+
+/// Why a row left the problem during presolve (postsolve uses this to
+/// reconstruct its dual multiplier).
+#[derive(Debug, Clone)]
+enum DroppedRow {
+    /// Empty or strictly redundant: the row is slack at every feasible
+    /// point of the reduced problem, its dual is zero.
+    Slack,
+    /// Singleton row `coef · x_var ∈ [rlo, rhi]` converted into a bound;
+    /// postsolve attributes `x_var`'s residual reduced cost to it.
+    Singleton {
+        var: usize,
+        coef: f64,
+    },
+}
+
+/// Outcome of [`Presolve::reduce`].
+// `Reduced(Presolve)` dwarfs `Infeasible`, but the value is consumed
+// immediately by the caller (matched once, never stored in bulk), so
+// boxing would only add an allocation per solve.
+#[allow(clippy::large_enum_variant)]
+pub enum PresolveOutcome {
+    /// The (possibly) shrunken problem plus the postsolve recipe.
+    Reduced(Presolve),
+    /// Presolve proved the constraints unsatisfiable before any simplex
+    /// iteration.
+    Infeasible,
+}
+
+/// A presolved problem: the reduced LP and everything needed to map a
+/// reduced solution back onto the original problem.
+pub struct Presolve {
+    reduced: LpProblem,
+    /// Original problem data retained for postsolve certification.
+    orig_n: usize,
+    orig_m: usize,
+    orig_obj_offset: f64,
+    orig_obj: Vec<f64>,
+    orig_lo: Vec<f64>,
+    orig_hi: Vec<f64>,
+    orig_row_lo: Vec<f64>,
+    orig_row_hi: Vec<f64>,
+    orig_triplets: Vec<(usize, usize, f64)>,
+    /// Reduced-variable index → original variable index.
+    kept_vars: Vec<usize>,
+    /// Reduced-row index → original row index.
+    kept_rows: Vec<usize>,
+    /// Original variables eliminated at a fixed value.
+    fixed: Vec<(usize, f64)>,
+    /// Dropped rows in drop order (unwound in reverse by postsolve).
+    dropped: Vec<(usize, DroppedRow)>,
+}
+
+impl Presolve {
+    /// Runs the reduction passes over `p`. Returns
+    /// [`PresolveOutcome::Infeasible`] when a pass proves the constraints
+    /// unsatisfiable; otherwise the reduced problem (which may equal the
+    /// input when nothing fired).
+    pub fn reduce(p: &LpProblem) -> LpResult<PresolveOutcome> {
+        p.validate()?;
+        let n = p.n_vars();
+        let m = p.n_rows();
+        let mut lo = p.lo.clone();
+        let mut hi = p.hi.clone();
+        let mut row_lo = p.row_lo.clone();
+        let mut row_hi = p.row_hi.clone();
+        // Row-wise working matrix with duplicate (row, col) entries merged.
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for &(r, c, v) in p.triplets() {
+            rows[r].push((c, v));
+        }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            row.dedup_by(|&mut (c2, v2), &mut (c1, ref mut v1)| {
+                if c1 == c2 {
+                    *v1 += v2;
+                    true
+                } else {
+                    false
+                }
+            });
+            row.retain(|&(_, v)| v != 0.0);
+        }
+        let mut var_alive = vec![true; n];
+        let mut row_alive = vec![true; m];
+        let mut fixed_at = vec![f64::NAN; n];
+        let mut fixed: Vec<(usize, f64)> = Vec::new();
+        let mut dropped: Vec<(usize, DroppedRow)> = Vec::new();
+        let mut obj_offset = p.obj_offset;
+
+        for _pass in 0..MAX_PASSES {
+            let mut changed = false;
+
+            // Fixed-variable substitution.
+            for j in 0..n {
+                if !var_alive[j] || lo[j] < hi[j] {
+                    continue;
+                }
+                let v = lo[j];
+                var_alive[j] = false;
+                fixed_at[j] = v;
+                fixed.push((j, v));
+                obj_offset += p.obj[j] * v;
+                changed = true;
+            }
+            // Purge dead variables from live rows, folding their
+            // contribution into the activity range.
+            for (i, row) in rows.iter_mut().enumerate() {
+                if !row_alive[i] {
+                    continue;
+                }
+                let before = row.len();
+                row.retain(|&(c, a)| {
+                    if var_alive[c] {
+                        true
+                    } else {
+                        let shift = a * fixed_at[c];
+                        if row_lo[i].is_finite() {
+                            row_lo[i] -= shift;
+                        }
+                        if row_hi[i].is_finite() {
+                            row_hi[i] -= shift;
+                        }
+                        false
+                    }
+                });
+                if row.len() != before {
+                    changed = true;
+                }
+            }
+
+            // Row passes: empty, singleton, infeasible, redundant.
+            for i in 0..m {
+                if !row_alive[i] {
+                    continue;
+                }
+                let (rlo, rhi) = (row_lo[i], row_hi[i]);
+                let scale = 1.0
+                    + [rlo, rhi]
+                        .into_iter()
+                        .filter(|v| v.is_finite())
+                        .fold(0.0_f64, |a, v| a.max(v.abs()));
+                let tol = PRESOLVE_TOL * scale;
+                match rows[i].len() {
+                    0 => {
+                        if rlo > tol || rhi < -tol {
+                            return Ok(PresolveOutcome::Infeasible);
+                        }
+                        row_alive[i] = false;
+                        dropped.push((i, DroppedRow::Slack));
+                        changed = true;
+                    }
+                    1 => {
+                        let (j, a) = rows[i][0];
+                        // Implied box rlo/a <= x_j <= rhi/a (sides swap
+                        // when a < 0; infinite row bounds stay infinite).
+                        let (mut ilo, mut ihi) = (rlo / a, rhi / a);
+                        if a < 0.0 {
+                            std::mem::swap(&mut ilo, &mut ihi);
+                        }
+                        if ilo.is_nan() || ihi.is_nan() {
+                            // 0/0 from an infinite bound over a — treat
+                            // that side as unconstrained.
+                            ilo = if ilo.is_nan() { f64::NEG_INFINITY } else { ilo };
+                            ihi = if ihi.is_nan() { f64::INFINITY } else { ihi };
+                        }
+                        // Tolerance from the finite magnitudes only — an
+                        // infinite bound must not disable the check.
+                        let fin = |v: f64| if v.is_finite() { v.abs() } else { 0.0 };
+                        let vtol = PRESOLVE_TOL
+                            * (1.0 + fin(lo[j]).max(fin(hi[j])).max(fin(ilo)).max(fin(ihi)));
+                        if ilo > hi[j] + vtol || ihi < lo[j] - vtol {
+                            return Ok(PresolveOutcome::Infeasible);
+                        }
+                        if ilo > lo[j] {
+                            lo[j] = ilo.min(hi[j]);
+                        }
+                        if ihi < hi[j] {
+                            hi[j] = ihi.max(lo[j]);
+                        }
+                        row_alive[i] = false;
+                        dropped.push((i, DroppedRow::Singleton { var: j, coef: a }));
+                        changed = true;
+                    }
+                    _ => {
+                        // Activity range of the row over the current boxes.
+                        let (mut min_act, mut max_act) = (0.0_f64, 0.0_f64);
+                        for &(j, a) in &rows[i] {
+                            let (l, h) = if a > 0.0 {
+                                (lo[j], hi[j])
+                            } else {
+                                (hi[j], lo[j])
+                            };
+                            min_act += a * l; // -inf propagates
+                            max_act += a * h;
+                        }
+                        if min_act > rhi + tol || max_act < rlo - tol {
+                            return Ok(PresolveOutcome::Infeasible);
+                        }
+                        let margin = REDUNDANCY_MARGIN * scale;
+                        let lo_slack = !rlo.is_finite() || min_act >= rlo + margin;
+                        let hi_slack = !rhi.is_finite() || max_act <= rhi - margin;
+                        if lo_slack && hi_slack && min_act.is_finite() && max_act.is_finite()
+                        {
+                            row_alive[i] = false;
+                            dropped.push((i, DroppedRow::Slack));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        // Assemble the reduced problem over surviving variables/rows.
+        let mut reduced = LpProblem::new();
+        let mut var_map = vec![usize::MAX; n];
+        let mut kept_vars = Vec::new();
+        for j in 0..n {
+            if var_alive[j] {
+                let rj = reduced.add_var(lo[j], hi[j], p.obj[j])?;
+                var_map[j] = rj.0;
+                kept_vars.push(j);
+            }
+        }
+        reduced.add_obj_offset(obj_offset)?;
+        let mut kept_rows = Vec::new();
+        for i in 0..m {
+            if row_alive[i] {
+                reduced.add_range_row(
+                    row_lo[i],
+                    row_hi[i],
+                    rows[i]
+                        .iter()
+                        .map(|&(c, v)| (VarId(var_map[c]), v)),
+                )?;
+                kept_rows.push(i);
+            }
+        }
+
+        Ok(PresolveOutcome::Reduced(Presolve {
+            reduced,
+            orig_n: n,
+            orig_m: m,
+            orig_obj_offset: p.obj_offset,
+            orig_obj: p.obj.clone(),
+            orig_lo: p.lo.clone(),
+            orig_hi: p.hi.clone(),
+            orig_row_lo: p.row_lo.clone(),
+            orig_row_hi: p.row_hi.clone(),
+            orig_triplets: p.triplets().to_vec(),
+            kept_vars,
+            kept_rows,
+            fixed,
+            dropped,
+        }))
+    }
+
+    /// The reduced problem to hand to a solver.
+    pub fn problem(&self) -> &LpProblem {
+        &self.reduced
+    }
+
+    /// How many original variables presolve eliminated.
+    pub fn vars_eliminated(&self) -> usize {
+        self.orig_n - self.kept_vars.len()
+    }
+
+    /// How many original rows presolve eliminated.
+    pub fn rows_eliminated(&self) -> usize {
+        self.orig_m - self.kept_rows.len()
+    }
+
+    /// Maps a solution of [`Presolve::problem`] back onto the original
+    /// problem: re-inserts fixed variables, reconstructs duals of dropped
+    /// rows (singleton rows absorb the residual reduced cost of their
+    /// variable; slack rows get zero), and recomputes every reduced cost
+    /// against the original matrix.
+    pub fn postsolve(&self, sol: &Solution) -> Solution {
+        let mut x = vec![0.0; self.orig_n];
+        for (rj, &j) in self.kept_vars.iter().enumerate() {
+            x[j] = sol.x.get(rj).copied().unwrap_or(0.0);
+        }
+        for &(j, v) in &self.fixed {
+            x[j] = v;
+        }
+        let mut y = vec![0.0; self.orig_m];
+        for (ri, &i) in self.kept_rows.iter().enumerate() {
+            y[i] = sol.duals.get(ri).copied().unwrap_or(0.0);
+        }
+        // Reduced costs under the duals assigned so far.
+        let mut rc = self.orig_obj.clone();
+        for &(r, c, v) in &self.orig_triplets {
+            rc[c] -= y[r] * v;
+        }
+        if sol.status == SolveStatus::Optimal {
+            // Unwind dropped rows newest-first: a singleton row whose
+            // variable ended up strictly inside its *original* box must
+            // carry the variable's residual reduced cost (the tightened
+            // bound it created does not exist in the original problem).
+            // The residual is only attributed to a row that is *binding*
+            // at the postsolved point — complementary slackness forbids a
+            // nonzero multiplier on a slack row, and several singleton
+            // rows over the same variable may have been dropped.
+            for (i, reason) in self.dropped.iter().rev() {
+                let DroppedRow::Singleton { var, coef } = reason else {
+                    continue;
+                };
+                let d = rc[*var];
+                let itol = 1e-7 * (1.0 + x[*var].abs());
+                let interior = x[*var] > self.orig_lo[*var] + itol
+                    && x[*var] < self.orig_hi[*var] - itol;
+                let act: f64 = self
+                    .orig_triplets
+                    .iter()
+                    .filter(|&&(r, _, _)| r == *i)
+                    .map(|&(_, c, v)| v * x[c])
+                    .sum();
+                let atol = 1e-6 * (1.0 + act.abs());
+                let binding = (act - self.orig_row_lo[*i]).abs() <= atol
+                    || (act - self.orig_row_hi[*i]).abs() <= atol;
+                if interior && binding && d.abs() > PRESOLVE_TOL {
+                    y[*i] = d / coef;
+                    // Re-derive the reduced costs the new multiplier
+                    // touches (the original row may also cover fixed
+                    // variables eliminated before it was dropped).
+                    for &(r, c, v) in &self.orig_triplets {
+                        if r == *i {
+                            rc[c] -= y[*i] * v;
+                        }
+                    }
+                }
+            }
+        }
+        let objective = if sol.status == SolveStatus::Optimal {
+            // Recomputed over the full point — identical to the reduced
+            // objective by construction (fixed contributions were moved
+            // into the reduced offset).
+            self.orig_obj
+                .iter()
+                .zip(&x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+                + self.orig_obj_offset
+        } else {
+            f64::NAN
+        };
+        Solution {
+            status: sol.status,
+            x,
+            objective,
+            duals: y,
+            reduced_costs: rc,
+            iterations: sol.iterations,
+            degraded: sol.degraded,
+        }
+    }
+
+    /// Convenience: presolve `p`, solve the reduction with `cfg`, and
+    /// postsolve the result. A presolve-detected infeasibility returns a
+    /// regular `Infeasible` solution without running the simplex.
+    pub fn solve_with_config(p: &LpProblem, cfg: SimplexConfig) -> LpResult<Solution> {
+        match Presolve::reduce(p)? {
+            PresolveOutcome::Infeasible => Ok(Solution {
+                status: SolveStatus::Infeasible,
+                x: vec![0.0; p.n_vars()],
+                objective: f64::NAN,
+                duals: vec![0.0; p.n_rows()],
+                reduced_costs: vec![0.0; p.n_vars()],
+                iterations: 0,
+                degraded: false,
+            }),
+            PresolveOutcome::Reduced(ps) => {
+                let sol = Simplex::with_config(ps.problem(), cfg).solve()?;
+                Ok(ps.postsolve(&sol))
+            }
+        }
+    }
+
+    /// [`Presolve::solve_with_config`] under the default configuration.
+    pub fn solve(p: &LpProblem) -> LpResult<Solution> {
+        Self::solve_with_config(p, SimplexConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RowSense, INF, NEG_INF};
+
+    #[test]
+    fn fixed_vars_are_substituted() {
+        // min x + 2f  s.t. x + f >= 3, f fixed at 1 ⇒ min x + 2, x >= 2.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, 1.0).unwrap();
+        let f = p.add_var(1.0, 1.0, 2.0).unwrap();
+        p.add_row(RowSense::Ge, 3.0, [(x, 1.0), (f, 1.0)]).unwrap();
+        let PresolveOutcome::Reduced(ps) = Presolve::reduce(&p).unwrap() else {
+            panic!("expected reduction");
+        };
+        assert_eq!(ps.vars_eliminated(), 1);
+        let sol = Presolve::solve(&p).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 4.0).abs() < 1e-9, "{}", sol.objective);
+        assert!((sol.x[x.0] - 2.0).abs() < 1e-9);
+        assert!((sol.x[f.0] - 1.0).abs() < 1e-12);
+        assert!(p.max_violation(&sol.x) < 1e-7);
+    }
+
+    #[test]
+    fn empty_row_feasible_and_infeasible() {
+        let mut p = LpProblem::new();
+        let _ = p.add_var(0.0, 1.0, 1.0).unwrap();
+        p.add_range_row(-1.0, 1.0, []).unwrap();
+        assert!(matches!(
+            Presolve::reduce(&p).unwrap(),
+            PresolveOutcome::Reduced(_)
+        ));
+        let mut q = LpProblem::new();
+        let _ = q.add_var(0.0, 1.0, 1.0).unwrap();
+        q.add_range_row(2.0, 3.0, []).unwrap();
+        assert!(matches!(
+            Presolve::reduce(&q).unwrap(),
+            PresolveOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn singleton_row_tightens_and_reconstructs_dual() {
+        // min −x  s.t. 2x <= 8, 0 <= x <= 10: optimum x = 4 on the row.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, -1.0).unwrap();
+        p.add_row(RowSense::Le, 8.0, [(x, 2.0)]).unwrap();
+        let sol = Presolve::solve(&p).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.x[x.0] - 4.0).abs() < 1e-9);
+        assert!((sol.objective + 4.0).abs() < 1e-9);
+        // Stationarity: c = yᵀa ⇒ −1 = 2y ⇒ y = −0.5, rc = 0.
+        assert!((sol.duals[0] + 0.5).abs() < 1e-9, "duals {:?}", sol.duals);
+        assert!(sol.reduced_costs[x.0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_cascade_fixes_variable() {
+        // x == 5 via singleton equality, then row 2 becomes empty-feasible.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, 3.0).unwrap();
+        p.add_row(RowSense::Eq, 5.0, [(x, 1.0)]).unwrap();
+        p.add_row(RowSense::Le, 6.0, [(x, 1.0)]).unwrap();
+        let PresolveOutcome::Reduced(ps) = Presolve::reduce(&p).unwrap() else {
+            panic!("expected reduction");
+        };
+        assert_eq!(ps.vars_eliminated(), 1);
+        assert_eq!(ps.rows_eliminated(), 2);
+        assert_eq!(ps.problem().n_vars(), 0);
+        let sol = Presolve::solve(&p).unwrap();
+        assert!((sol.x[x.0] - 5.0).abs() < 1e-12);
+        assert!((sol.objective - 15.0).abs() < 1e-9);
+        // The equality row absorbs the full cost gradient: y = 3.
+        assert!((sol.duals[0] - 3.0).abs() < 1e-9, "duals {:?}", sol.duals);
+        assert!(p.max_violation(&sol.x) < 1e-7);
+    }
+
+    #[test]
+    fn contradictory_singletons_detected() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(NEG_INF, INF, 0.0).unwrap();
+        p.add_row(RowSense::Ge, 5.0, [(x, 1.0)]).unwrap();
+        p.add_row(RowSense::Le, 4.0, [(x, 1.0)]).unwrap();
+        assert!(matches!(
+            Presolve::reduce(&p).unwrap(),
+            PresolveOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn redundant_row_dropped_with_zero_dual() {
+        // x + y <= 100 can never bind under the boxes.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0, -1.0).unwrap();
+        let y = p.add_var(0.0, 1.0, -1.0).unwrap();
+        p.add_row(RowSense::Le, 100.0, [(x, 1.0), (y, 1.0)]).unwrap();
+        p.add_row(RowSense::Le, 1.5, [(x, 1.0), (y, 1.0)]).unwrap();
+        let PresolveOutcome::Reduced(ps) = Presolve::reduce(&p).unwrap() else {
+            panic!("expected reduction");
+        };
+        assert_eq!(ps.rows_eliminated(), 1);
+        let sol = Presolve::solve(&p).unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective + 1.5).abs() < 1e-9);
+        assert_eq!(sol.duals[0], 0.0);
+        assert!(sol.duals[1] < -1e-9, "binding row carries the dual");
+    }
+
+    #[test]
+    fn activity_bounds_prove_infeasibility() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0, 0.0).unwrap();
+        let y = p.add_var(0.0, 1.0, 0.0).unwrap();
+        p.add_row(RowSense::Ge, 5.0, [(x, 1.0), (y, 1.0)]).unwrap();
+        assert!(matches!(
+            Presolve::reduce(&p).unwrap(),
+            PresolveOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn untouched_problem_passes_through() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 4.0, -1.0).unwrap();
+        let y = p.add_var(0.0, 4.0, -2.0).unwrap();
+        p.add_row(RowSense::Le, 5.0, [(x, 1.0), (y, 1.0)]).unwrap();
+        p.add_row(RowSense::Le, 7.0, [(x, 2.0), (y, 1.0)]).unwrap();
+        let PresolveOutcome::Reduced(ps) = Presolve::reduce(&p).unwrap() else {
+            panic!("expected reduction");
+        };
+        assert_eq!(ps.vars_eliminated(), 0);
+        assert_eq!(ps.rows_eliminated(), 0);
+        let direct = Simplex::new(&p).solve().unwrap();
+        let via = Presolve::solve(&p).unwrap();
+        assert!((direct.objective - via.objective).abs() < 1e-9);
+    }
+}

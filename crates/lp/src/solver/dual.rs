@@ -41,6 +41,11 @@ impl Simplex {
         // long streak hands control back to the (anti-cycling) primal
         // cold-start path instead of risking a cycle.
         let mut degen_streak = 0usize;
+        // Dual devex reference weights, one per basis position
+        // (approximate dual steepest edge, Forrest–Goldfarb): the
+        // leaving row maximizes violation²/γ instead of the raw
+        // violation, which scales out row norms.
+        let mut gamma: Vec<f64> = vec![1.0; self.m];
         loop {
             if local_iters > limit {
                 return Err(LpError::IterationLimit);
@@ -49,26 +54,27 @@ impl Simplex {
             if local_iters.is_multiple_of(64) && self.deadline_passed() {
                 return Err(LpError::Fault(SolverFault::DeadlineExceeded));
             }
-            if self.pivots_since_refactor >= self.cfg.refactor_every {
+            if self.refactor_due() {
                 self.refactor_and_check()?;
             }
 
-            // Leaving: the basic variable with the largest bound violation.
+            // Leaving: the basic variable with the largest devex-scaled
+            // bound violation.
             let ft = self.cfg.feas_tol;
-            let mut leave: Option<(usize, f64, f64)> = None; // (pos, viol, target)
-            for i in 0..self.m {
+            let mut leave: Option<(usize, f64, f64)> = None; // (pos, score, target)
+            for (i, &g) in gamma.iter().enumerate().take(self.m) {
                 let j = self.basis[i];
                 let xj = self.x[j];
-                if xj < self.lo[j] - ft {
-                    let v = self.lo[j] - xj;
-                    if leave.as_ref().is_none_or(|&(_, bv, _)| v > bv) {
-                        leave = Some((i, v, self.lo[j]));
-                    }
+                let (viol, target) = if xj < self.lo[j] - ft {
+                    (self.lo[j] - xj, self.lo[j])
                 } else if xj > self.hi[j] + ft {
-                    let v = xj - self.hi[j];
-                    if leave.as_ref().is_none_or(|&(_, bv, _)| v > bv) {
-                        leave = Some((i, v, self.hi[j]));
-                    }
+                    (xj - self.hi[j], self.hi[j])
+                } else {
+                    continue;
+                };
+                let score = viol * viol / g;
+                if leave.as_ref().is_none_or(|&(_, bs, _)| score > bs) {
+                    leave = Some((i, score, target));
                 }
             }
             let (pos, _, target) = match leave {
@@ -78,8 +84,8 @@ impl Simplex {
             let leaving = self.basis[pos];
             let delta = self.x[leaving] - target; // >0 if above upper, <0 if below lower
 
-            // Pivot row ρ = e_posᵀ B⁻¹ (a row of the dense inverse).
-            let rho = self.binv[pos * self.m..(pos + 1) * self.m].to_vec();
+            // Pivot row ρ = e_posᵀ B⁻¹ (backend-agnostic unit BTRAN).
+            let rho = self.btran_unit(pos);
             let y = self.btran_duals();
 
             // Entering: among nonbasic j whose movement can pull the leaving
@@ -166,6 +172,33 @@ impl Simplex {
                 VarState::AtUpper
             };
             self.x[q] += step;
+            // Dual devex weight update (Forrest–Goldfarb): with pivot
+            // element w_r = w[pos], the reference weight of the pivot
+            // row propagates through the entering column:
+            //   γ_i ← max(γ_i, (w_i/w_r)²·γ_r),  γ_r ← max(γ_r/w_r², 1).
+            let wr = w[pos];
+            let gr = gamma[pos];
+            let inv_wr2 = 1.0 / (wr * wr);
+            let mut overflow = false;
+            for (i, g) in gamma.iter_mut().enumerate().take(self.m) {
+                if i == pos {
+                    continue;
+                }
+                let wi = w[i];
+                if wi != 0.0 {
+                    let cand = wi * wi * inv_wr2 * gr;
+                    if cand > *g {
+                        *g = cand;
+                        if cand > 1e8 {
+                            overflow = true;
+                        }
+                    }
+                }
+            }
+            gamma[pos] = (gr * inv_wr2).max(1.0);
+            if overflow {
+                gamma.iter_mut().for_each(|g| *g = 1.0);
+            }
             self.update_basis(pos, q, &w);
             self.iterations += 1;
         }

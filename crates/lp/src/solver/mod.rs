@@ -1,4 +1,4 @@
-//! Bounded-variable revised simplex with a dense basis inverse.
+//! Bounded-variable revised simplex over a pluggable basis factorization.
 //!
 //! Layout: the problem's `n` structural variables are followed by `m`
 //! *logical* variables (one per row, holding the row activity) and, during
@@ -18,6 +18,12 @@
 //! * [`Simplex::resolve`] re-optimizes after variable-bound changes with the
 //!   dual simplex — the hot operation of branch-and-bound — and falls back
 //!   to a cold primal solve when the warm basis is not dual feasible.
+//!
+//! All basis linear algebra (FTRAN, BTRAN, rank-one updates, periodic
+//! refactorization) goes through [`crate::factor::Factors`], which
+//! dispatches to either the dense explicit inverse or the sparse LU
+//! engine per [`SimplexConfig::backend`]. The pivot loops never look at
+//! the factorization representation directly.
 
 mod basis;
 mod dual;
@@ -25,6 +31,7 @@ mod primal;
 
 pub use basis::Basis;
 
+use crate::factor::{FactorBackend, Factors};
 use crate::problem::{LpProblem, VarId};
 use crate::solution::{Solution, SolveStatus};
 use crate::sparse::SparseMat;
@@ -42,13 +49,16 @@ pub struct SimplexConfig {
     pub pivot_tol: f64,
     /// Hard cap on total pivots per solve.
     pub max_iters: usize,
-    /// Refactorize the basis inverse every this many pivots.
+    /// Refactorize the basis every this many pivots (the sparse backend
+    /// additionally refactorizes early when its eta file outgrows the
+    /// base factors).
     pub refactor_every: usize,
     /// Switch to Bland's rule after this many consecutive degenerate pivots.
     pub degen_threshold: usize,
+    /// Basis-factorization engine; defaults from `METAOPT_FACTOR`
+    /// (sparse LU when unset).
+    pub backend: FactorBackend,
 }
-
-
 
 impl Default for SimplexConfig {
     fn default() -> Self {
@@ -59,6 +69,7 @@ impl Default for SimplexConfig {
             max_iters: 0, // 0 = auto (scaled by problem size)
             refactor_every: 512,
             degen_threshold: 400,
+            backend: FactorBackend::from_env(),
         }
     }
 }
@@ -110,14 +121,18 @@ pub struct Simplex {
     state: Vec<VarState>,
     /// Variable index occupying each basis position.
     basis: Vec<usize>,
-    /// Dense row-major `m × m` basis inverse.
-    binv: Vec<f64>,
+    /// Factorization of the current basis (dense inverse or sparse LU,
+    /// per [`SimplexConfig::backend`]).
+    factors: Factors,
     /// Current values of *all* variables (basic ones solved, nonbasic at bound).
     x: Vec<f64>,
 
     pivots_since_refactor: usize,
     degen_run: usize,
     iterations: usize,
+    /// Rank-one basis updates performed (pivots that changed the basis,
+    /// as opposed to bound flips) across all solves.
+    updates: usize,
     /// Artificial variables exist (phase-I leftovers are pinned to zero).
     n_artificials: usize,
     /// Optional wall-clock deadline checked periodically inside the
@@ -163,6 +178,7 @@ impl Simplex {
         lo.extend_from_slice(&p.row_lo);
         hi.extend_from_slice(&p.row_hi);
         let total = n + m;
+        let factors = Factors::empty(cfg.backend);
         Simplex {
             cfg,
             n,
@@ -175,11 +191,12 @@ impl Simplex {
             obj_offset: p.obj_offset,
             state: vec![VarState::AtLower; total],
             basis: Vec::new(),
-            binv: Vec::new(),
+            factors,
             x: vec![0.0; total],
             pivots_since_refactor: 0,
             degen_run: 0,
             iterations: 0,
+            updates: 0,
             n_artificials: 0,
             deadline: None,
             fault_plan: None,
@@ -203,6 +220,16 @@ impl Simplex {
     /// Total pivots performed so far (across all solves).
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Basis-factorization backend this solver runs on.
+    pub fn backend(&self) -> FactorBackend {
+        self.cfg.backend
+    }
+
+    /// Rank-one basis updates performed so far (across all solves).
+    pub fn basis_updates(&self) -> usize {
+        self.updates
     }
 
     /// Whether the most recent successful solve was a genuine warm dual
@@ -320,74 +347,29 @@ impl Simplex {
     }
 
     // ------------------------------------------------------------------
-    // Basis-inverse maintenance
+    // Basis-factorization maintenance
     // ------------------------------------------------------------------
 
-    /// Rebuilds `binv` from scratch by Gauss–Jordan elimination with partial
-    /// pivoting on the current basis columns.
+    /// Refactorizes the current basis from scratch on the configured
+    /// backend (dense Gauss–Jordan inverse or sparse Markowitz LU),
+    /// discarding any accumulated rank-one updates.
     pub(crate) fn refactor(&mut self) -> LpResult<()> {
         if self.fire_fault(FaultSite::SingularRefactor) {
             return Err(LpError::Fault(SolverFault::BasisSingular(
                 "injected singular refactorization".into(),
             )));
         }
-        let m = self.m;
-        // Dense basis matrix, row-major.
-        let mut b = vec![0.0; m * m];
-        for (pos, &j) in self.basis.iter().enumerate() {
-            for (r, v) in self.cols.col(j) {
-                b[r * m + pos] = v;
-            }
-        }
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        for col in 0..m {
-            // Partial pivot.
-            let mut piv_row = col;
-            let mut piv_val = b[col * m + col].abs();
-            for r in (col + 1)..m {
-                let v = b[r * m + col].abs();
-                if v > piv_val {
-                    piv_val = v;
-                    piv_row = r;
-                }
-            }
-            if piv_val < 1e-12 {
-                return Err(LpError::Fault(SolverFault::BasisSingular(format!(
-                    "singular basis during refactorization (column {col})"
-                ))));
-            }
-            if piv_row != col {
-                for k in 0..m {
-                    b.swap(col * m + k, piv_row * m + k);
-                    inv.swap(col * m + k, piv_row * m + k);
-                }
-            }
-            let d = b[col * m + col];
-            let dinv = 1.0 / d;
-            for k in 0..m {
-                b[col * m + k] *= dinv;
-                inv[col * m + k] *= dinv;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = b[r * m + col];
-                if f != 0.0 {
-                    for k in 0..m {
-                        b[r * m + k] -= f * b[col * m + k];
-                        inv[r * m + k] -= f * inv[col * m + k];
-                    }
-                }
-            }
-        }
-        self.binv = inv;
+        self.factors = Factors::factorize(self.cfg.backend, &self.cols, &self.basis)?;
         self.pivots_since_refactor = 0;
         self.metrics.refactors.inc();
         Ok(())
+    }
+
+    /// Whether the pivot loops should refactorize now: the periodic
+    /// pivot-count cadence, or the factorization's own early request
+    /// (sparse eta-file growth).
+    pub(crate) fn refactor_due(&self) -> bool {
+        self.pivots_since_refactor >= self.cfg.refactor_every || self.factors.wants_refactor()
     }
 
     /// Periodic refactorization plus numerical-health monitoring: after
@@ -428,30 +410,21 @@ impl Simplex {
 
     /// `w = B⁻¹ a_j` for variable `j`'s column.
     pub(crate) fn ftran(&self, j: usize, out: &mut [f64]) {
-        let m = self.m;
-        out.iter_mut().for_each(|v| *v = 0.0);
-        for (r, v) in self.cols.col(j) {
-            // Add v * column r of binv.
-            for (i, o) in out.iter_mut().enumerate().take(m) {
-                *o += v * self.binv[i * m + r];
-            }
-        }
+        self.factors.ftran_col(&self.cols, j, out);
     }
 
     /// `y = c_Bᵀ B⁻¹` using the current working costs.
     pub(crate) fn btran_duals(&self) -> Vec<f64> {
-        let m = self.m;
-        let mut y = vec![0.0; m];
-        for (pos, &j) in self.basis.iter().enumerate() {
-            let c = self.work_cost[j];
-            if c != 0.0 {
-                let row = &self.binv[pos * m..(pos + 1) * m];
-                for k in 0..m {
-                    y[k] += c * row[k];
-                }
-            }
-        }
-        y
+        let cb: Vec<f64> = self.basis.iter().map(|&j| self.work_cost[j]).collect();
+        self.factors.btran(&cb)
+    }
+
+    /// Row `pos` of `B⁻¹` (`ρ = e_posᵀ B⁻¹`): the shared pivot row used
+    /// by devex weight updates, incremental dual updates, and the dual
+    /// simplex ratio test. Backend-agnostic — the dense engine copies an
+    /// inverse row, the sparse engine runs a unit BTRAN.
+    pub(crate) fn btran_unit(&self, pos: usize) -> Vec<f64> {
+        self.factors.btran_unit(pos)
     }
 
     /// Recomputes every basic variable's value from the nonbasic point.
@@ -470,57 +443,23 @@ impl Simplex {
             }
         }
         // x_B = B⁻¹ rhs
-        for pos in 0..m {
-            let row = &self.binv[pos * m..(pos + 1) * m];
-            let mut acc = 0.0;
-            for k in 0..m {
-                acc += row[k] * rhs[k];
-            }
+        let mut xb = vec![0.0; m];
+        self.factors.ftran_dense(&rhs, &mut xb);
+        for (pos, v) in xb.into_iter().enumerate() {
             let j = self.basis[pos];
-            self.x[j] = acc;
+            self.x[j] = v;
         }
     }
 
     /// Replaces basis position `pos` with variable `entering`; `w` must be
-    /// `B⁻¹ a_entering`. Updates the dense inverse by an elementary row op.
+    /// `B⁻¹ a_entering`. Applies the backend's rank-one update (dense
+    /// elementary row ops or one product-form eta).
     pub(crate) fn update_basis(&mut self, pos: usize, entering: usize, w: &[f64]) {
-        let m = self.m;
-        let piv = w[pos];
-        debug_assert!(piv.abs() > 1e-13);
-        let inv_piv = 1.0 / piv;
-        // Scale pivot row.
-        {
-            let row = &mut self.binv[pos * m..(pos + 1) * m];
-            for v in row.iter_mut() {
-                *v *= inv_piv;
-            }
-        }
-        // Eliminate the entering column from every other row.
-        for i in 0..m {
-            if i == pos {
-                continue;
-            }
-            let f = w[i];
-            if f != 0.0 {
-                let (head, tail) = self.binv.split_at_mut(pos.max(i) * m);
-                let (src, dst) = if pos < i {
-                    (
-                        &head[pos * m..(pos + 1) * m],
-                        &mut tail[0..m],
-                    )
-                } else {
-                    let dst = &mut head[i * m..(i + 1) * m];
-                    // SAFETY-free approach: recompute via indexing below.
-                    (&tail[0..m], dst)
-                };
-                for k in 0..m {
-                    dst[k] -= f * src[k];
-                }
-            }
-        }
+        self.factors.update(pos, w);
         self.basis[pos] = entering;
         self.state[entering] = VarState::Basic(pos);
         self.pivots_since_refactor += 1;
+        self.updates += 1;
     }
 
     pub(crate) fn total_vars(&self) -> usize {
@@ -572,9 +511,11 @@ impl Simplex {
 
     fn run_with_recovery(&mut self, warm: bool) -> LpResult<Solution> {
         let iters_before = self.iterations;
+        let updates_before = self.updates;
         let out = self.run_recovery_ladder(warm);
         if out.is_ok() {
             self.metrics.pivots.add((self.iterations - iters_before) as u64);
+            self.metrics.updates.add((self.updates - updates_before) as u64);
             if self.last_warm {
                 self.metrics.warm_solves.inc();
             } else {

@@ -38,7 +38,7 @@ impl Simplex {
                 return Err(LpError::Fault(SolverFault::DeadlineExceeded));
             }
 
-            if self.pivots_since_refactor >= self.cfg.refactor_every {
+            if self.refactor_due() {
                 self.refactor_and_check()?;
                 y = self.btran_duals();
                 rejected.iter_mut().for_each(|r| *r = false);
@@ -164,8 +164,7 @@ impl Simplex {
                     // update (y += θ·ρ) and the Devex weight update.
                     let d_q = self.reduced_cost(q, &y);
                     let theta = d_q / piv;
-                    let rho: Vec<f64> =
-                        self.binv[pos * self.m..(pos + 1) * self.m].to_vec();
+                    let rho = self.btran_unit(pos);
                     for (yi, ri) in y.iter_mut().zip(&rho) {
                         *yi += theta * ri;
                     }

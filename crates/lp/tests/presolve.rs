@@ -1,0 +1,305 @@
+//! Presolve/postsolve round-trip properties, on LPs engineered so the
+//! reductions actually fire: random bounded feasible cores are wrapped
+//! with fixed variables, singleton rows, empty rows, and strictly
+//! redundant rows. The postsolved solution must
+//!
+//! * match a direct simplex solve of the *original* problem on status
+//!   and objective,
+//! * be primally feasible in the original problem, and
+//! * carry a valid dual certificate: stationarity of the reduced costs
+//!   against the original matrix, sign-correct reduced costs at the
+//!   bounds, and complementary slackness for every reconstructed row
+//!   dual (a nonzero multiplier only on a binding row, with the sign the
+//!   minimization convention demands — active `<=` side `y <= 0`, active
+//!   `>=` side `y >= 0`).
+
+use metaopt_lp::{LpProblem, Presolve, RowSense, Simplex, SolveStatus, VarId, INF, NEG_INF};
+use proptest::prelude::*;
+
+const OBJ_TOL: f64 = 1e-7;
+const FEAS_TOL: f64 = 1e-6;
+const DUAL_TOL: f64 = 1e-5;
+
+/// A random LP plus the interior anchor point that made it feasible.
+#[derive(Debug, Clone)]
+struct Decorated {
+    problem: LpProblem,
+}
+
+/// Core generator: boxed variables, rows anchored at an interior point —
+/// then decorated with every structure presolve targets.
+#[allow(clippy::too_many_arguments)]
+fn build_decorated(
+    vars: &[(f64, f64, f64)],
+    rows: &[(Vec<Option<f64>>, usize, f64)],
+    anchor: &[f64],
+    fixed_vals: &[Option<f64>],
+    singletons: &[(usize, f64, f64)],
+    add_empty: bool,
+    add_redundant: bool,
+) -> Decorated {
+    let mut p = LpProblem::new();
+    let mut ids = Vec::new();
+    let mut point = Vec::new();
+    for (i, (lo_off, width, obj)) in vars.iter().enumerate() {
+        let (lo, hi, at) = match fixed_vals[i] {
+            // A fixed variable: presolve substitutes it out.
+            Some(t) => {
+                let v = lo_off + t * width;
+                (v, v, v)
+            }
+            None => (*lo_off, lo_off + width, lo_off + anchor[i] * width),
+        };
+        ids.push(p.add_var(lo, hi, *obj).unwrap());
+        point.push(at);
+    }
+    for (coeffs, sense_sel, margin) in rows {
+        let entries: Vec<(usize, f64)> = coeffs
+            .iter()
+            .enumerate()
+            .filter_map(|(j, c)| c.map(|v| (j, v)))
+            .collect();
+        if entries.is_empty() {
+            continue;
+        }
+        let act: f64 = entries.iter().map(|(j, c)| c * point[*j]).sum();
+        let it = entries.iter().map(|(j, c)| (ids[*j], *c));
+        match sense_sel {
+            0 => p.add_row(RowSense::Le, act + margin, it).unwrap(),
+            1 => p.add_row(RowSense::Ge, act - margin, it).unwrap(),
+            _ => p.add_row(RowSense::Eq, act, it).unwrap(),
+        };
+    }
+    // Singleton rows: `coef * x_j <= coef * point_j + slack` (kept
+    // feasible at the anchor; tightening may still bind at the optimum).
+    for &(j, coef, slack) in singletons {
+        let j = j % ids.len();
+        p.add_row(RowSense::Le, coef * point[j] + slack, [(ids[j], coef)])
+            .unwrap();
+    }
+    if add_empty {
+        // 0 ∈ [-1, ∞): trivially satisfiable empty row.
+        p.add_row(RowSense::Ge, -1.0, std::iter::empty::<(VarId, f64)>())
+            .unwrap();
+    }
+    if add_redundant {
+        // Σ x_j over the whole box cannot exceed Σ max(|lo|,|hi|) + 10:
+        // strictly redundant at any feasible point.
+        let cap: f64 = vars
+            .iter()
+            .zip(fixed_vals)
+            .map(|((lo, w, _), f)| match f {
+                Some(t) => (lo + t * w).abs(),
+                None => lo.abs().max((lo + w).abs()),
+            })
+            .sum::<f64>()
+            + 10.0;
+        p.add_row(RowSense::Le, cap, ids.iter().map(|&v| (v, 1.0)))
+            .unwrap();
+    }
+    Decorated { problem: p }
+}
+
+fn decorated_strategy() -> impl Strategy<Value = Decorated> {
+    (2usize..7, 1usize..8).prop_flat_map(|(n, m)| {
+        let var_data = proptest::collection::vec((-4.0f64..4.0, 0.2f64..6.0, -3.0f64..3.0), n);
+        let row_data = proptest::collection::vec(
+            (
+                proptest::collection::vec(proptest::option::weighted(0.6, -2.0f64..2.0), n),
+                0usize..3,
+                0.5f64..5.0,
+            ),
+            m,
+        );
+        let anchor = proptest::collection::vec(0.0f64..1.0, n);
+        let fixed = proptest::collection::vec(proptest::option::weighted(0.25, 0.0f64..1.0), n);
+        let singles = proptest::collection::vec((0usize..8, 0.5f64..2.0, 0.0f64..4.0), 0..3);
+        (
+            var_data,
+            row_data,
+            anchor,
+            fixed,
+            singles,
+            0usize..2,
+            0usize..2,
+        )
+            .prop_map(|(vars, rows, anchor, fixed, singles, emp, red)| {
+                build_decorated(&vars, &rows, &anchor, &fixed, &singles, emp == 1, red == 1)
+            })
+    })
+}
+
+/// Full KKT audit of a postsolved optimal solution against the original
+/// problem: primal feasibility, stationarity, bound-sign correctness of
+/// the reduced costs, and complementary slackness of every row dual.
+fn assert_certificate(p: &LpProblem, sol: &metaopt_lp::Solution) {
+    let n = p.n_vars();
+    // Primal feasibility.
+    assert!(
+        p.max_violation(&sol.x) <= FEAS_TOL,
+        "postsolved point violates original rows by {}",
+        p.max_violation(&sol.x)
+    );
+    for j in 0..n {
+        let (lo, hi) = p.bounds(VarId(j));
+        assert!(
+            sol.x[j] >= lo - FEAS_TOL && sol.x[j] <= hi + FEAS_TOL,
+            "x[{j}] = {} outside [{lo}, {hi}]",
+            sol.x[j]
+        );
+    }
+    // Stationarity: the reported reduced costs must BE c - Aᵀy.
+    let mut rc: Vec<f64> = (0..n).map(|j| p.obj_coef(VarId(j))).collect();
+    for &(r, c, v) in p.triplets() {
+        rc[c] -= sol.duals[r] * v;
+    }
+    for (j, (&mine, &theirs)) in rc.iter().zip(&sol.reduced_costs).enumerate() {
+        assert!(
+            (mine - theirs).abs() <= DUAL_TOL * (1.0 + mine.abs()),
+            "rc[{j}] reported {theirs}, recomputed {mine}"
+        );
+    }
+    // Reduced-cost signs at the bounds (minimization): interior ⇒ rc ≈ 0,
+    // at lower ⇒ rc ≥ −tol, at upper ⇒ rc ≤ tol.
+    for (j, &rcj) in rc.iter().enumerate() {
+        let (lo, hi) = p.bounds(VarId(j));
+        let xj = sol.x[j];
+        let scale = DUAL_TOL * (1.0 + rcj.abs());
+        let at_lo = (xj - lo).abs() <= FEAS_TOL;
+        let at_hi = (hi - xj).abs() <= FEAS_TOL;
+        if !at_lo && !at_hi {
+            assert!(
+                rcj.abs() <= scale,
+                "interior x[{j}] with nonzero reduced cost {rcj}"
+            );
+        } else {
+            if at_lo && !at_hi {
+                assert!(rcj >= -scale, "x[{j}] at lower with rc {rcj}");
+            }
+            if at_hi && !at_lo {
+                assert!(rcj <= scale, "x[{j}] at upper with rc {rcj}");
+            }
+        }
+    }
+    // Complementary slackness with sign: a nonzero y[i] demands a binding
+    // row, on the side its sign selects.
+    let acts = p.row_activity(&sol.x);
+    for (i, (&yi, &act)) in sol.duals.iter().zip(&acts).enumerate() {
+        if yi.abs() <= DUAL_TOL {
+            continue;
+        }
+        let (rlo, rhi) = p.row_bounds(i);
+        let atol = FEAS_TOL * (1.0 + act.abs());
+        if yi < 0.0 {
+            // Active `<=` side.
+            assert!(
+                (act - rhi).abs() <= atol,
+                "y[{i}] = {yi} < 0 but activity {act} is slack of upper {rhi}"
+            );
+        } else {
+            // Active `>=` side.
+            assert!(
+                (act - rlo).abs() <= atol,
+                "y[{i}] = {yi} > 0 but activity {act} is slack of lower {rlo}"
+            );
+        }
+    }
+}
+
+fn round_trip(d: &Decorated) {
+    let direct = Simplex::new(&d.problem).solve().expect("direct solve");
+    let via = Presolve::solve(&d.problem).expect("presolved solve");
+    assert_eq!(via.status, direct.status, "status diverged");
+    if direct.status != SolveStatus::Optimal {
+        return;
+    }
+    assert!(
+        (via.objective - direct.objective).abs() <= OBJ_TOL * (1.0 + direct.objective.abs()),
+        "objective diverged: direct {} vs presolved {}",
+        direct.objective,
+        via.objective
+    );
+    assert_eq!(via.x.len(), d.problem.n_vars());
+    assert_eq!(via.duals.len(), d.problem.n_rows());
+    assert_certificate(&d.problem, &via);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Presolve → simplex → postsolve equals a direct solve, with a full
+    /// dual certificate on the original problem.
+    #[test]
+    fn presolve_round_trip_preserves_solutions(d in decorated_strategy()) {
+        round_trip(&d);
+    }
+}
+
+/// Deterministic regression set over the same decorated family.
+#[test]
+fn seeded_round_trip_matrix() {
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    let next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut unit = {
+        let mut n2 = next;
+        move || (n2() >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for case in 0..64 {
+        let n = 2 + (unit() * 5.0) as usize;
+        let m = 1 + (unit() * 7.0) as usize;
+        let vars: Vec<(f64, f64, f64)> = (0..n)
+            .map(|_| {
+                (
+                    -4.0 + 8.0 * unit(),
+                    0.2 + 5.8 * unit(),
+                    -3.0 + 6.0 * unit(),
+                )
+            })
+            .collect();
+        let rows: Vec<(Vec<Option<f64>>, usize, f64)> = (0..m)
+            .map(|_| {
+                let coeffs = (0..n)
+                    .map(|_| (unit() < 0.6).then(|| -2.0 + 4.0 * unit()))
+                    .collect();
+                ((coeffs), (unit() * 3.0) as usize, 0.5 + 4.5 * unit())
+            })
+            .collect();
+        let anchor: Vec<f64> = (0..n).map(|_| unit()).collect();
+        let fixed: Vec<Option<f64>> = (0..n).map(|_| (unit() < 0.25).then(&mut unit)).collect();
+        let singles: Vec<(usize, f64, f64)> = (0..(unit() * 3.0) as usize)
+            .map(|_| ((unit() * 8.0) as usize, 0.5 + 1.5 * unit(), 4.0 * unit()))
+            .collect();
+        let d = build_decorated(
+            &vars,
+            &rows,
+            &anchor,
+            &fixed,
+            &singles,
+            case % 2 == 0,
+            case % 3 == 0,
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| round_trip(&d)));
+        assert!(r.is_ok(), "round trip failed at seeded case {case}");
+    }
+}
+
+/// Presolve alone proves infeasibility of contradictory singleton pairs —
+/// no simplex run, original-shape `Infeasible` solution out.
+#[test]
+fn presolve_detects_contradiction_without_simplex() {
+    let mut p = LpProblem::new();
+    let x = p.add_var(NEG_INF, INF, 1.0).unwrap();
+    let y = p.add_var(0.0, 5.0, -1.0).unwrap();
+    p.add_row(RowSense::Ge, 7.0, [(x, 1.0)]).unwrap();
+    p.add_row(RowSense::Le, 6.5, [(x, 1.0)]).unwrap();
+    p.add_row(RowSense::Le, 4.0, [(x, 0.0), (y, 1.0)]).unwrap();
+    let sol = Presolve::solve(&p).unwrap();
+    assert_eq!(sol.status, SolveStatus::Infeasible);
+    assert_eq!(sol.x.len(), 2);
+    assert_eq!(sol.duals.len(), 3);
+}

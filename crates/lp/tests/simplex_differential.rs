@@ -11,11 +11,34 @@
 //! fixed seed matrix (overridable per CI shard via `CHAOS_SEED`, same
 //! convention as the chaos suite) pins a deterministic regression set.
 
-use metaopt_lp::{Basis, LpProblem, RowSense, Simplex, SolveStatus, VarId};
+//! The harness runs twice over every LP: once along the three warm/cold
+//! solve paths under whatever backend `METAOPT_FACTOR` selects, and once
+//! as a **dense-vs-sparse differential** — the same LP solved under
+//! [`FactorBackend::Dense`] and [`FactorBackend::SparseLU`] must agree on
+//! status and objective to 1e-9 on every path, and whenever the two
+//! backends land on the *same* optimal basis, their primal values, duals,
+//! reduced costs, and basis snapshots must agree elementwise to 1e-9
+//! (degenerate LPs can have several optimal bases, so the elementwise
+//! comparison is gated on basis agreement; the objective comparison is
+//! not).
+
+use metaopt_lp::{
+    Basis, FactorBackend, LpProblem, RowSense, Simplex, SimplexConfig, SolveStatus, VarId,
+};
 use proptest::prelude::*;
 
 const OBJ_TOL: f64 = 1e-9;
 const FEAS_TOL: f64 = 1e-6;
+
+fn solver_with(backend: FactorBackend, p: &LpProblem) -> Simplex {
+    Simplex::with_config(
+        p,
+        SimplexConfig {
+            backend,
+            ..SimplexConfig::default()
+        },
+    )
+}
 
 /// A randomly generated LP that is bounded (every variable boxed) and
 /// feasible (every row anchored around the activity of an interior point).
@@ -167,8 +190,132 @@ fn differential(rlp: &RandomLp, which: usize, shrink: f64) {
     }
 }
 
+/// Elementwise 1e-9 agreement between two solutions, used only when both
+/// backends produced the same optimal basis.
+fn assert_solutions_identical(
+    a: &metaopt_lp::Solution,
+    b: &metaopt_lp::Solution,
+    context: &str,
+) {
+    for (j, (va, vb)) in a.x.iter().zip(&b.x).enumerate() {
+        assert!(
+            (va - vb).abs() <= OBJ_TOL * (1.0 + vb.abs()),
+            "{context}: x[{j}] dense {va} vs sparse {vb}"
+        );
+    }
+    for (i, (va, vb)) in a.duals.iter().zip(&b.duals).enumerate() {
+        assert!(
+            (va - vb).abs() <= OBJ_TOL * (1.0 + vb.abs()),
+            "{context}: dual[{i}] dense {va} vs sparse {vb}"
+        );
+    }
+    for (j, (va, vb)) in a.reduced_costs.iter().zip(&b.reduced_costs).enumerate() {
+        assert!(
+            (va - vb).abs() <= OBJ_TOL * (1.0 + vb.abs()),
+            "{context}: rc[{j}] dense {va} vs sparse {vb}"
+        );
+    }
+}
+
+/// The dense-vs-sparse differential on one LP and one bound tightening:
+/// both backends walk the cold, dual-warm, and snapshot-warm paths; every
+/// path must agree on status and (when optimal) objective to 1e-9, with
+/// feasible points. Basis snapshots cross the backend boundary — a dense
+/// snapshot warm-starts a sparse solver. When the two backends' optimal
+/// bases coincide, the full solutions must be elementwise identical to
+/// 1e-9 (basis status included, by `Basis` equality).
+fn backend_differential(rlp: &RandomLp, which: usize, shrink: f64) {
+    let mut dense = solver_with(FactorBackend::Dense, &rlp.problem);
+    let mut sparse = solver_with(FactorBackend::SparseLU, &rlp.problem);
+    let d0 = dense.solve().expect("dense base solve failed");
+    let s0 = sparse.solve().expect("sparse base solve failed");
+    assert_eq!(d0.status, s0.status, "base status diverged");
+    assert_eq!(d0.status, SolveStatus::Optimal);
+    assert_close(d0.objective, s0.objective, "base dense vs sparse");
+    assert_feasible(&rlp.problem, &d0.x, "dense base");
+    assert_feasible(&rlp.problem, &s0.x, "sparse base");
+    let dense_snap = dense.snapshot_basis();
+    let sparse_snap = sparse.snapshot_basis();
+    if dense_snap == sparse_snap {
+        assert_solutions_identical(&d0, &s0, "base (same basis)");
+    }
+
+    let j = which % rlp.n;
+    let v = VarId(j);
+    let (lo, hi) = rlp.problem.bounds(v);
+    // An unbounded box (the max-flow encodings leave `hi` open) tightens
+    // to a finite one; `(hi - lo) * 0.0` would otherwise be NaN.
+    let mid = if hi.is_finite() {
+        lo + (hi - lo) * shrink
+    } else {
+        lo + 10.0 * shrink
+    };
+    let (nlo, nhi) = (lo, mid.max(lo));
+    let mut p2 = rlp.problem.clone();
+    p2.set_bounds(v, nlo, nhi).unwrap();
+
+    // Cold path.
+    let dc = solver_with(FactorBackend::Dense, &p2)
+        .solve()
+        .expect("dense cold failed");
+    let sc = solver_with(FactorBackend::SparseLU, &p2)
+        .solve()
+        .expect("sparse cold failed");
+    assert_eq!(dc.status, sc.status, "cold status diverged");
+    if dc.status == SolveStatus::Optimal {
+        assert_close(dc.objective, sc.objective, "cold dense vs sparse");
+        assert_feasible(&p2, &dc.x, "dense cold");
+        assert_feasible(&p2, &sc.x, "sparse cold");
+    }
+
+    // Dual-warm path.
+    dense.set_var_bounds(v, nlo, nhi).unwrap();
+    sparse.set_var_bounds(v, nlo, nhi).unwrap();
+    let dw = dense.resolve().expect("dense warm failed");
+    let sw = sparse.resolve().expect("sparse warm failed");
+    assert_eq!(dw.status, dc.status, "dense warm vs cold status");
+    assert_eq!(sw.status, sc.status, "sparse warm vs cold status");
+    if dc.status == SolveStatus::Optimal {
+        assert_close(dw.objective, dc.objective, "dense warm vs cold");
+        assert_close(sw.objective, dc.objective, "sparse warm vs dense cold");
+    }
+
+    // Snapshot-warm path, crossing the backend boundary both ways: the
+    // `Basis` snapshot is pivot-level state, so a basis taken under one
+    // backend must warm-start the other.
+    if let (Some(db), Some(sb)) = (dense_snap, sparse_snap) {
+        let mut d_from_s = solver_with(FactorBackend::Dense, &p2);
+        let mut s_from_d = solver_with(FactorBackend::SparseLU, &p2);
+        let dx = d_from_s
+            .resolve_from(&sb)
+            .expect("dense from sparse snapshot failed");
+        let sx = s_from_d
+            .resolve_from(&db)
+            .expect("sparse from dense snapshot failed");
+        assert_eq!(dx.status, dc.status, "cross-snapshot dense status");
+        assert_eq!(sx.status, dc.status, "cross-snapshot sparse status");
+        if dc.status == SolveStatus::Optimal {
+            assert_close(dx.objective, dc.objective, "dense-from-sparse vs cold");
+            assert_close(sx.objective, dc.objective, "sparse-from-dense vs cold");
+            assert_feasible(&p2, &dx.x, "dense-from-sparse");
+            assert_feasible(&p2, &sx.x, "sparse-from-dense");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dense and sparse backends agree on random bounded feasible LPs
+    /// along every solve path.
+    #[test]
+    fn backends_agree_on_random_lps(
+        rlp in random_lp_strategy(),
+        which in 0usize..8,
+        shrink in 0.0f64..1.0,
+    ) {
+        backend_differential(&rlp, which, shrink);
+    }
 
     /// The three-way differential holds on random bounded feasible LPs
     /// under a random single-variable tightening.
@@ -288,9 +435,64 @@ fn seeded_differential_matrix() {
                 let ctx = format!("seed {seed:#x} case {case} tightening {tightening}");
                 let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     differential(&rlp, which, shrink);
+                    backend_differential(&rlp, which, shrink);
                 }));
                 assert!(r.is_ok(), "differential failed at {ctx}");
             }
         }
+    }
+}
+
+// --- real traffic-engineering encodings ----------------------------------
+
+/// The paper's figure-1 triangle as a max-flow LP (the demand/capacity
+/// structure every gap-finding run ultimately solves): dense and sparse
+/// must agree along every path, across a sweep of demand tightenings.
+#[test]
+fn backends_agree_on_fig1_max_flow() {
+    // Figure 1 is directed (1→2→3), so only the three forward pairs route.
+    let (topo, [n1, n2, n3]) = metaopt_topology::synth::figure1_triangle(10.0);
+    let pairs = vec![(n1, n3), (n1, n2), (n2, n3)];
+    let inst =
+        metaopt_te::instance::TeInstance::with_pairs(topo, pairs, 2).expect("fig-1 instance");
+    let mut rng = XorShift(0xABCDEF12345);
+    for case in 0..24 {
+        let demands: Vec<f64> = (0..inst.n_pairs())
+            .map(|_| rng.in_range(0.0, 12.0))
+            .collect();
+        let (lp, _) = metaopt_te::flow::opt_max_flow_lp(&inst, &demands).expect("fig-1 lp");
+        let rlp = RandomLp {
+            n: lp.n_vars(),
+            problem: lp,
+        };
+        let which = rng.below(rlp.n);
+        let shrink = rng.unit();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            backend_differential(&rlp, which, shrink);
+        }));
+        assert!(r.is_ok(), "fig-1 backend differential failed at case {case}");
+    }
+}
+
+/// Same oracle on synthesized connected topologies — bigger, sparser
+/// bases where the two backends take genuinely different arithmetic
+/// paths to the same optimum.
+#[test]
+fn backends_agree_on_synth_topologies() {
+    let mut rng = XorShift(0x5EED_CAFE);
+    for (n_nodes, extra) in [(6usize, 3usize), (8, 5), (10, 6)] {
+        let topo = metaopt_topology::synth::random_connected(n_nodes, extra, 8.0, rng.next_u64());
+        let inst = metaopt_te::instance::TeInstance::all_pairs(topo, 2).expect("synth instance");
+        let demands: Vec<f64> = (0..inst.n_pairs())
+            .map(|_| rng.in_range(0.0, 6.0))
+            .collect();
+        let (lp, _) = metaopt_te::flow::opt_max_flow_lp(&inst, &demands).expect("synth lp");
+        let rlp = RandomLp {
+            n: lp.n_vars(),
+            problem: lp,
+        };
+        let which = rng.below(rlp.n);
+        let shrink = rng.unit();
+        backend_differential(&rlp, which, shrink);
     }
 }

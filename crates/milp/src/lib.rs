@@ -43,6 +43,8 @@ pub use solver::{
 };
 pub use sweep::{binary_sweep, SweepMachine, SweepOutcome};
 
+pub use metaopt_lp::FactorBackend;
+
 /// The workspace-wide certification tolerance: a witness counts for a
 /// threshold `g` when its re-measured value reaches `g − CERT_TOL`, and
 /// the branch-and-bound target-objective stop rule accepts an incumbent

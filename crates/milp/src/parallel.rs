@@ -267,8 +267,15 @@ fn worker_simplex(
     budget: &Budget,
     plan: Option<FaultPlan>,
     metrics: crate::metrics::MilpMetrics,
+    backend: metaopt_lp::FactorBackend,
 ) -> Simplex {
-    let mut s = Simplex::new(&cm.lp);
+    let mut s = Simplex::with_config(
+        &cm.lp,
+        metaopt_lp::SimplexConfig {
+            backend,
+            ..Default::default()
+        },
+    );
     s.set_deadline(budget.deadline());
     s.set_fault_plan(plan);
     s.set_metrics(metrics.lp);
@@ -367,7 +374,13 @@ pub(crate) fn solve_deterministic(
         }
     }
     let outcome = if threads <= 1 {
-        let mut simplex = worker_simplex(cm, &budget, cfg.fault_plan.clone(), cfg.metrics.clone());
+        let mut simplex = worker_simplex(
+            cm,
+            &budget,
+            cfg.fault_plan.clone(),
+            cfg.metrics.clone(),
+            cfg.factor,
+        );
         let mut applied: Vec<usize> = Vec::new();
         det.run(&mut |wave: &[DetNode]| {
             Ok(wave
@@ -394,8 +407,9 @@ pub(crate) fn solve_deterministic(
                     let rb = &root_bounds;
                     let plan = cfg.fault_plan.clone();
                     let metrics = cfg.metrics.clone();
+                    let backend = cfg.factor;
                     scope.spawn(move || {
-                        let mut simplex = worker_simplex(cm, &budget, plan, metrics);
+                        let mut simplex = worker_simplex(cm, &budget, plan, metrics, backend);
                         let mut applied: Vec<usize> = Vec::new();
                         while let Ok(Job {
                             slot,
@@ -1088,6 +1102,7 @@ fn ws_worker(sh: &WsShared<'_>, id: usize, cb_tx: &mpsc::Sender<Vec<f64>>) {
         &sh.budget,
         sh.cfg.fault_plan.clone(),
         sh.cfg.metrics.clone(),
+        sh.cfg.factor,
     );
     let mut applied: Vec<usize> = Vec::new();
     let mut local: Vec<WsNode> = Vec::new();

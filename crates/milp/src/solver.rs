@@ -55,6 +55,10 @@ pub struct MilpConfig {
     /// [`crate::ParallelMode`]). The default `Auto` picks the serial engine
     /// at one resolved thread and the deterministic parallel engine above.
     pub parallel: crate::ParallelMode,
+    /// Basis-factorization backend for every LP relaxation solved under
+    /// this search (root, nodes, workers). The default resolves the
+    /// `METAOPT_FACTOR` environment variable, falling back to sparse LU.
+    pub factor: metaopt_lp::FactorBackend,
     /// Obs counter handles shared by every engine and worker simplex
     /// (no-op by default). Metrics never feed back into search order, so
     /// enabling them cannot perturb the deterministic engine.
@@ -79,6 +83,7 @@ impl Default for MilpConfig {
             fault_plan: None,
             threads: 0,
             parallel: crate::ParallelMode::Auto,
+            factor: metaopt_lp::FactorBackend::from_env(),
             metrics: crate::MilpMetrics::disabled(),
             tracer: metaopt_obs::Tracer::disabled(),
         }
@@ -755,7 +760,13 @@ impl<'a> Search<'a> {
         resume: Option<Checkpoint>,
     ) -> Self {
         let budget = cfg.effective_budget();
-        let mut simplex = Simplex::new(&cm.lp);
+        let mut simplex = Simplex::with_config(
+            &cm.lp,
+            metaopt_lp::SimplexConfig {
+                backend: cfg.factor,
+                ..Default::default()
+            },
+        );
         simplex.set_deadline(budget.deadline());
         simplex.set_fault_plan(cfg.fault_plan.clone());
         simplex.set_metrics(cfg.metrics.lp.clone());

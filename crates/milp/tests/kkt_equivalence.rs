@@ -4,7 +4,7 @@
 //! on the LP directly (§3.1's "any feasible solution is also optimal").
 
 use metaopt_lp::{LpProblem, RowSense, Simplex, SolveStatus};
-use metaopt_milp::{solve, MilpConfig, MilpStatus};
+use metaopt_milp::{solve, FactorBackend, MilpConfig, MilpStatus};
 use metaopt_model::{kkt, InnerProblem, LinExpr, Model, ObjSense, Sense};
 use proptest::prelude::*;
 
@@ -53,7 +53,7 @@ fn lp_optimum(r: &RandomInnerLp) -> f64 {
     -sol.objective
 }
 
-fn kkt_solution_value(r: &RandomInnerLp) -> f64 {
+fn kkt_solution_value(r: &RandomInnerLp, backend: FactorBackend) -> f64 {
     let mut model = Model::new();
     let mut inner = InnerProblem::new("rand");
     let xs: Vec<_> = (0..r.n)
@@ -85,7 +85,11 @@ fn kkt_solution_value(r: &RandomInnerLp) -> f64 {
     inner.set_objective(ObjSense::Max, obj.clone());
     kkt::append_kkt(&mut model, &inner, f64::INFINITY).unwrap();
     // Pure feasibility solve: any point satisfying KKT is optimal.
-    let sol = solve(&model, &MilpConfig::default()).unwrap();
+    let cfg = MilpConfig {
+        factor: backend,
+        ..MilpConfig::default()
+    };
+    let sol = solve(&model, &cfg).unwrap();
     assert_eq!(sol.status, MilpStatus::Optimal, "KKT system must be feasible");
     obj.eval(&sol.values)
 }
@@ -93,14 +97,17 @@ fn kkt_solution_value(r: &RandomInnerLp) -> f64 {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Any KKT-feasible point attains the LP optimum exactly.
+    /// Any KKT-feasible point attains the LP optimum exactly — under
+    /// either basis-factorization backend.
     #[test]
     fn kkt_feasibility_equals_lp_optimum(r in strategy()) {
         let direct = lp_optimum(&r);
-        let via_kkt = kkt_solution_value(&r);
-        prop_assert!(
-            (direct - via_kkt).abs() <= 1e-5 * (1.0 + direct.abs()),
-            "simplex {direct} vs KKT/B&B {via_kkt}"
-        );
+        for backend in [FactorBackend::Dense, FactorBackend::SparseLU] {
+            let via_kkt = kkt_solution_value(&r, backend);
+            prop_assert!(
+                (direct - via_kkt).abs() <= 1e-5 * (1.0 + direct.abs()),
+                "simplex {direct} vs KKT/B&B ({backend}) {via_kkt}"
+            );
+        }
     }
 }

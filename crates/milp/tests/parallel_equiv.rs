@@ -18,8 +18,8 @@
 use metaopt_core::finder::build_adversarial_model;
 use metaopt_core::{ConstrainedSet, FinderConfig, HeuristicSpec, PopMode};
 use metaopt_milp::{
-    solve, solve_resumable, Checkpoint, IncumbentCallback, MilpConfig, MilpSolution, MilpStatus,
-    ParallelMode, CERT_TOL,
+    solve, solve_resumable, Checkpoint, FactorBackend, IncumbentCallback, MilpConfig,
+    MilpSolution, MilpStatus, ParallelMode, CERT_TOL,
 };
 use metaopt_model::Model;
 use metaopt_te::pop::Partition;
@@ -65,12 +65,19 @@ fn pop_model() -> Model {
 }
 
 fn det_cfg(threads: usize) -> MilpConfig {
+    det_cfg_with(threads, FactorBackend::from_env())
+}
+
+fn det_cfg_with(threads: usize, factor: FactorBackend) -> MilpConfig {
     MilpConfig {
         threads,
         parallel: ParallelMode::Deterministic,
+        factor,
         ..MilpConfig::default()
     }
 }
+
+const BACKENDS: [FactorBackend; 2] = [FactorBackend::Dense, FactorBackend::SparseLU];
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -92,27 +99,41 @@ impl IncumbentCallback for NoCb {
 }
 
 /// Deterministic engine, full solve: the signature is identical at every
-/// thread count, on both paper encodings.
+/// thread count, on both paper encodings — under each factorization
+/// backend separately. (Across backends the floating-point arithmetic
+/// differs, so bit-identity is required per backend, while the certified
+/// objectives must still agree to `CERT_TOL` between backends.)
 #[test]
 fn deterministic_solves_are_bit_identical_across_thread_counts() {
     for (name, model) in [("dp", dp_model()), ("pop", pop_model())] {
-        let mut baseline = None;
-        for threads in THREAD_COUNTS {
-            let sol = solve(&model, &det_cfg(threads)).unwrap();
-            assert_eq!(
-                sol.status,
-                MilpStatus::Optimal,
-                "{name} at {threads} threads did not certify"
-            );
-            let sig = signature(&sol);
-            match &baseline {
-                None => baseline = Some(sig),
-                Some(b) => assert_eq!(
-                    &sig, b,
-                    "{name}: thread count {threads} changed the certified result"
-                ),
+        let mut by_backend: Vec<f64> = Vec::new();
+        for backend in BACKENDS {
+            let mut baseline = None;
+            for threads in THREAD_COUNTS {
+                let sol = solve(&model, &det_cfg_with(threads, backend)).unwrap();
+                assert_eq!(
+                    sol.status,
+                    MilpStatus::Optimal,
+                    "{name} ({backend}) at {threads} threads did not certify"
+                );
+                let sig = signature(&sol);
+                match &baseline {
+                    None => {
+                        by_backend.push(sol.objective);
+                        baseline = Some(sig);
+                    }
+                    Some(b) => assert_eq!(
+                        &sig, b,
+                        "{name} ({backend}): thread count {threads} changed the certified result"
+                    ),
+                }
             }
         }
+        let (d, s) = (by_backend[0], by_backend[1]);
+        assert!(
+            (d - s).abs() <= CERT_TOL * (1.0 + d.abs()),
+            "{name}: dense {d} vs sparse {s} exceeded CERT_TOL"
+        );
     }
 }
 

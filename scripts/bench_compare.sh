@@ -26,8 +26,16 @@ hw() { # hw <file>
     sed -n 's/.*"hardware_threads": \([0-9][0-9]*\).*/\1/p' "$1" | head -1
 }
 
-speedup() { # speedup <file> <model> <engine> <threads>
-    sed -n 's/.*"model": "'"$2"'", "engine": "'"$3"'", "threads": '"$4"', .*"speedup_vs_serial": \([0-9.]*\).*/\1/p' "$1" | head -1
+speedup() { # speedup <file> <model> <engine> <threads> <factor>
+    # Cells are keyed by (model, engine, threads, factor). Baselines
+    # produced before the factor dimension existed lack the "factor"
+    # field; fall back to the unlabeled match so old files still gate.
+    local v
+    v="$(sed -n 's/.*"model": "'"$2"'", "engine": "'"$3"'", "threads": '"$4"', "factor": "'"$5"'", .*"speedup_vs_serial": \([0-9.]*\).*/\1/p' "$1" | head -1)"
+    if [[ -z "$v" ]]; then
+        v="$(sed -n 's/.*"model": "'"$2"'", "engine": "'"$3"'", "threads": '"$4"', .*"speedup_vs_serial": \([0-9.]*\).*/\1/p' "$1" | head -1)"
+    fi
+    printf '%s' "$v"
 }
 
 hw_base="$(hw "$BASELINE")"
@@ -42,27 +50,32 @@ done
 
 echo "bench_compare: baseline=$BASELINE (hw $hw_base) current=$CURRENT (hw $hw_cur), gating deterministic@${T}t on $HEADLINE_MODEL"
 
-echo "  model      threads  baseline  current"
+echo "  model      threads  factor  baseline  current"
 for model in fig1-dp fig1-pop line4-dp; do
     for t in 1 2 4 8; do
-        b="$(speedup "$BASELINE" "$model" deterministic "$t")"
-        c="$(speedup "$CURRENT" "$model" deterministic "$t")"
-        [[ -n "$b" && -n "$c" ]] || continue
-        if (( t > cap )); then
-            # Oversubscribed cells are scheduling noise, not engine
-            # performance; comparing them invites phantom regressions.
-            printf '  %-10s %7s  skipped: %st exceeds hardware_threads (baseline %s, current %s)\n' \
-                "$model" "$t" "$t" "$hw_base" "$hw_cur"
-        else
-            printf '  %-10s %7s  %8s  %7s\n' "$model" "$t" "$b" "$c"
-        fi
+        for factor in dense sparse; do
+            b="$(speedup "$BASELINE" "$model" deterministic "$t" "$factor")"
+            c="$(speedup "$CURRENT" "$model" deterministic "$t" "$factor")"
+            [[ -n "$b" && -n "$c" ]] || continue
+            if (( t > cap )); then
+                # Oversubscribed cells are scheduling noise, not engine
+                # performance; comparing them invites phantom regressions.
+                printf '  %-10s %7s  %-6s  skipped: %st exceeds hardware_threads (baseline %s, current %s)\n' \
+                    "$model" "$t" "$factor" "$t" "$hw_base" "$hw_cur"
+            else
+                printf '  %-10s %7s  %-6s  %8s  %7s\n' "$model" "$t" "$factor" "$b" "$c"
+            fi
+        done
     done
 done
 
-base_headline="$(speedup "$BASELINE" "$HEADLINE_MODEL" deterministic "$T")"
-cur_headline="$(speedup "$CURRENT" "$HEADLINE_MODEL" deterministic "$T")"
+# The production default is the sparse backend, so the regression gate
+# runs on the sparse headline cell (pre-factor baselines fall back to
+# their single unlabeled — dense — cell).
+base_headline="$(speedup "$BASELINE" "$HEADLINE_MODEL" deterministic "$T" sparse)"
+cur_headline="$(speedup "$CURRENT" "$HEADLINE_MODEL" deterministic "$T" sparse)"
 [[ -n "$base_headline" && -n "$cur_headline" ]] \
-    || { echo "bench_compare: headline cell ($HEADLINE_MODEL deterministic@$T) missing" >&2; exit 1; }
+    || { echo "bench_compare: headline cell ($HEADLINE_MODEL deterministic@$T sparse) missing" >&2; exit 1; }
 
 # current >= baseline * (1 - MAX_REGRESSION_PCT/100), in awk for the floats.
 if awk "BEGIN { exit !($cur_headline >= $base_headline * (1 - $MAX_REGRESSION_PCT / 100.0)) }"; then
@@ -70,4 +83,17 @@ if awk "BEGIN { exit !($cur_headline >= $base_headline * (1 - $MAX_REGRESSION_PC
 else
     echo "bench_compare FAILED: headline det-engine speedup regressed >${MAX_REGRESSION_PCT}%: $cur_headline vs baseline $base_headline" >&2
     exit 1
+fi
+
+# Backend gate: the sparse factorization core must not lose to the dense
+# one on the headline deterministic speedup of the current run. Skipped
+# when the current file predates the factor dimension.
+cur_dense="$(speedup "$CURRENT" "$HEADLINE_MODEL" deterministic "$T" dense)"
+if [[ -n "$cur_dense" && "$cur_dense" != "$cur_headline" ]]; then
+    if awk "BEGIN { exit !($cur_headline >= $cur_dense) }"; then
+        echo "bench_compare OK: sparse headline speedup $cur_headline >= dense $cur_dense"
+    else
+        echo "bench_compare FAILED: sparse headline speedup $cur_headline below dense $cur_dense" >&2
+        exit 1
+    fi
 fi
